@@ -1,0 +1,130 @@
+//! DeepEye-role visualization recommender (paper baseline DE-LN,
+//! Sec. VII-B): given a table, propose the top line-chart candidates.
+//!
+//! DeepEye scores (table, chart-type) candidates with learned-to-rank
+//! "goodness" features; for line charts the dominant features are temporal
+//! smoothness/trendiness, adequate cardinality and non-degenerate variance.
+//! This reimplementation scores every candidate column set with those
+//! features — its recommendation quality bounds DE-LN exactly as the paper
+//! observes.
+
+use lcdd_table::{Table, VisSpec};
+
+/// Line-chart "goodness" of a single column: combination of lag-1
+/// autocorrelation (smooth trends plot well), length adequacy and variance
+/// sanity. Returns a value in `[0, 1]`.
+pub fn column_goodness(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 8 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var < 1e-18 {
+        return 0.05; // constant columns make poor line charts
+    }
+    // Lag-1 autocorrelation in [-1, 1].
+    let mut cov = 0.0;
+    for i in 1..n {
+        cov += (values[i] - mean) * (values[i - 1] - mean);
+    }
+    cov /= (n - 1) as f64 * var;
+    let smoothness = ((cov + 1.0) / 2.0).clamp(0.0, 1.0);
+    let length_score = (n as f64 / 64.0).min(1.0);
+    0.7 * smoothness + 0.3 * length_score
+}
+
+/// One recommended chart: the columns to plot and the goodness score.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    pub spec: VisSpec,
+    pub goodness: f64,
+}
+
+/// Recommends up to `k` line-chart candidates for the table: the single
+/// best columns plus small multi-column groups of compatible (similar
+/// value range) columns, ranked by mean goodness.
+pub fn recommend_line_charts(table: &Table, k: usize) -> Vec<Recommendation> {
+    let mut scored: Vec<(usize, f64)> = table
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, column_goodness(&c.values)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut recs: Vec<Recommendation> = Vec::new();
+    // Single-column charts.
+    for &(i, g) in scored.iter().take(k) {
+        recs.push(Recommendation { spec: VisSpec::plain(vec![i]), goodness: g });
+    }
+    // Multi-column groups: prefix groups of the ranked columns whose ranges
+    // overlap enough to share an axis.
+    let range = |i: usize| {
+        let c = &table.columns[i];
+        (c.min().unwrap_or(0.0), c.max().unwrap_or(0.0))
+    };
+    for group_size in 2..=scored.len().min(4) {
+        let group: Vec<usize> = scored[..group_size].iter().map(|&(i, _)| i).collect();
+        let (lo0, hi0) = range(group[0]);
+        let compatible = group.iter().all(|&i| {
+            let (lo, hi) = range(i);
+            let span = (hi0 - lo0).abs().max(1e-9);
+            lo <= hi0 + span && hi >= lo0 - span
+        });
+        if compatible {
+            let g = group.iter().map(|&i| scored.iter().find(|s| s.0 == i).unwrap().1).sum::<f64>()
+                / group_size as f64;
+            recs.push(Recommendation { spec: VisSpec::plain(group), goodness: g });
+        }
+    }
+    recs.sort_by(|a, b| b.goodness.partial_cmp(&a.goodness).unwrap_or(std::cmp::Ordering::Equal));
+    recs.truncate(k);
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_table::Column;
+
+    #[test]
+    fn smooth_series_beats_noise() {
+        let smooth: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let noise: Vec<f64> = (0..100).map(|i| ((i * 7919) % 100) as f64).collect();
+        assert!(column_goodness(&smooth) > column_goodness(&noise));
+    }
+
+    #[test]
+    fn constant_and_short_series_penalised() {
+        assert!(column_goodness(&[5.0; 100]) < 0.1);
+        assert_eq!(column_goodness(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn recommends_up_to_k() {
+        let table = Table::new(
+            0,
+            "t",
+            vec![
+                Column::new("a", (0..80).map(|i| (i as f64 / 9.0).sin()).collect()),
+                Column::new("b", (0..80).map(|i| (i as f64 / 7.0).cos()).collect()),
+                Column::new("c", vec![1.0; 80]),
+            ],
+        );
+        let recs = recommend_line_charts(&table, 5);
+        assert!(!recs.is_empty() && recs.len() <= 5);
+        // Ranked descending.
+        for w in recs.windows(2) {
+            assert!(w[0].goodness >= w[1].goodness);
+        }
+        // Top recommendation should not be the constant column alone.
+        assert_ne!(recs[0].spec.y_columns, vec![2]);
+    }
+
+    #[test]
+    fn empty_table_no_recommendations() {
+        let table = Table::new(0, "e", vec![]);
+        assert!(recommend_line_charts(&table, 5).is_empty());
+    }
+}

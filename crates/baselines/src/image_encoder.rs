@@ -1,0 +1,215 @@
+//! Whole-chart image embedding network, shared by the CML baseline's image
+//! side (the "ViT" of Sec. VII-B) and by the LineNet-role chart-similarity
+//! model. Unlike FCM's chart encoder it sees the *entire* chart as one
+//! image — no visual-element extraction, no per-line treatment — which is
+//! exactly the coarseness the paper's comparison probes.
+
+use lcdd_chart::{GreyImage, RgbImage};
+use lcdd_nn::{Linear, TransformerEncoder};
+use lcdd_tensor::{Matrix, ParamStore, Tape, Var};
+use rand::Rng;
+
+/// Configuration of the whole-image encoder.
+#[derive(Clone, Debug)]
+pub struct ImageEncoderConfig {
+    pub embed_dim: usize,
+    pub n_heads: usize,
+    pub n_layers: usize,
+    pub ff_mult: usize,
+    /// Expected raster width and the height patches are downsampled to.
+    pub image_width: usize,
+    pub patch_height: usize,
+    /// Patch width in pixels.
+    pub patch_width: usize,
+}
+
+impl Default for ImageEncoderConfig {
+    fn default() -> Self {
+        ImageEncoderConfig {
+            embed_dim: 32,
+            n_heads: 4,
+            n_layers: 2,
+            ff_mult: 2,
+            image_width: 240,
+            patch_height: 24,
+            patch_width: 30,
+        }
+    }
+}
+
+impl ImageEncoderConfig {
+    /// Number of patches per image.
+    pub fn n_patches(&self) -> usize {
+        self.image_width.div_ceil(self.patch_width)
+    }
+
+    /// Flattened patch dimension.
+    pub fn patch_dim(&self) -> usize {
+        self.patch_height * self.patch_width
+    }
+}
+
+/// ViT-style whole-image embedder producing one pooled vector per chart.
+#[derive(Clone, Debug)]
+pub struct ImageEncoder {
+    cfg: ImageEncoderConfig,
+    proj: Linear,
+    encoder: TransformerEncoder,
+}
+
+impl ImageEncoder {
+    /// Registers parameters with the given name prefix.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        prefix: &str,
+        cfg: ImageEncoderConfig,
+    ) -> Self {
+        let proj = Linear::new(
+            store,
+            rng,
+            &format!("{prefix}.proj"),
+            cfg.patch_dim(),
+            cfg.embed_dim,
+            true,
+        );
+        let encoder = TransformerEncoder::new(
+            store,
+            rng,
+            &format!("{prefix}.vit"),
+            cfg.embed_dim,
+            cfg.n_heads,
+            cfg.n_layers,
+            cfg.ff_mult,
+            cfg.n_patches(),
+        );
+        ImageEncoder { cfg, proj, encoder }
+    }
+
+    /// Converts an RGB chart to the patch matrix (`n_patches x patch_dim`),
+    /// greyscaling + box-downsampling to `patch_height` rows. Dark pixels
+    /// become high activations (`1 - luma`).
+    pub fn image_to_patches(&self, img: &RgbImage) -> Matrix {
+        let grey = img.to_grey();
+        self.grey_to_patches(&grey)
+    }
+
+    /// Same as [`ImageEncoder::image_to_patches`] for greyscale input.
+    pub fn grey_to_patches(&self, grey: &GreyImage) -> Matrix {
+        let (w, h) = (grey.width(), grey.height());
+        let th = self.cfg.patch_height;
+        let mut small = vec![0.0f32; th * w];
+        for ty in 0..th {
+            let y0 = ty * h / th;
+            let y1 = (((ty + 1) * h).div_ceil(th)).min(h).max(y0 + 1);
+            for x in 0..w {
+                let mut s = 0.0;
+                for y in y0..y1 {
+                    s += 1.0 - grey.get(x, y);
+                }
+                small[ty * w + x] = s / (y1 - y0) as f32;
+            }
+        }
+        let np = self.cfg.n_patches();
+        let pw = self.cfg.patch_width;
+        let mut out = Matrix::zeros(np, self.cfg.patch_dim());
+        for p in 0..np {
+            for ty in 0..th {
+                for dx in 0..pw {
+                    let x = p * pw + dx;
+                    let v = if x < w { small[ty * w + x] } else { 0.0 };
+                    out.set(p, ty * pw + dx, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Embeds a patch matrix to a pooled `1 x K` representation.
+    pub fn embed(&self, store: &ParamStore, tape: &Tape, patches: &Matrix) -> Var {
+        let tokens = self.proj.forward(store, tape, &tape.leaf(patches.clone()));
+        self.encoder.forward(store, tape, &tokens).mean_rows()
+    }
+
+    /// Embeds an image and returns the pooled vector values (inference).
+    pub fn embed_image(&self, store: &ParamStore, img: &RgbImage) -> Vec<f32> {
+        let tape = Tape::new();
+        let patches = self.image_to_patches(img);
+        self.embed(store, &tape, &patches).value().into_vec()
+    }
+}
+
+/// Cosine similarity between two embedding vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        (dot / (na * nb)) as f64
+    }
+}
+
+/// Differentiable cosine-similarity row (delegates to
+/// [`lcdd_nn::cosine_scores`]; kept for API compatibility).
+pub fn cosine_scores(_tape: &Tape, q: &Var, cands: &[Var]) -> Var {
+    lcdd_nn::cosine_scores(q, cands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_chart::Rgb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn enc() -> (ParamStore, ImageEncoder) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let e = ImageEncoder::new(&mut store, &mut rng, "img", ImageEncoderConfig::default());
+        (store, e)
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let (store, e) = enc();
+        let img = RgbImage::new(240, 96, Rgb::WHITE);
+        let emb = e.embed_image(&store, &img);
+        assert_eq!(emb.len(), 32);
+    }
+
+    #[test]
+    fn different_images_different_embeddings() {
+        let (store, e) = enc();
+        let white = RgbImage::new(240, 96, Rgb::WHITE);
+        let mut inked = RgbImage::new(240, 96, Rgb::WHITE);
+        for x in 0..240 {
+            inked.set(x, 50, Rgb::BLACK);
+        }
+        let a = e.embed_image(&store, &white);
+        let b = e.embed_image(&store, &inked);
+        assert!(cosine(&a, &b) < 0.9999, "identical embeddings for different images");
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_scores_matches_scalar_cosine() {
+        let tape = Tape::new();
+        let q = tape.leaf(Matrix::from_vec(1, 3, vec![1.0, 2.0, -1.0]));
+        let c1 = tape.leaf(Matrix::from_vec(1, 3, vec![0.5, 1.0, -0.5]));
+        let c2 = tape.leaf(Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]));
+        let s = cosine_scores(&tape, &q, &[c1, c2]).value();
+        let expect1 = cosine(&[1.0, 2.0, -1.0], &[0.5, 1.0, -0.5]);
+        let expect2 = cosine(&[1.0, 2.0, -1.0], &[-1.0, 0.0, 2.0]);
+        assert!((s.get(0, 0) as f64 - expect1).abs() < 1e-4, "{} vs {}", s.get(0, 0), expect1);
+        assert!((s.get(0, 1) as f64 - expect2).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,168 @@
+//! LineNet-role chart-image similarity model (paper baselines DE-LN and
+//! Opt-LN, Sec. VII-B). LineNet learns data-aware image representations of
+//! line charts for similarity search; here the same role is filled by the
+//! shared whole-image encoder trained with a contrastive objective where
+//! the positive for each chart is an *augmented re-render* of the same
+//! underlying table (reverse / partition / down-sample, Sec. IV-A) and
+//! negatives are other charts in the batch.
+
+use lcdd_chart::{render_record, ChartStyle, RgbImage};
+use lcdd_nn::contrastive_nce;
+use lcdd_table::augment::random_augment;
+use lcdd_table::Record;
+use lcdd_tensor::{Adam, Matrix, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::image_encoder::{cosine, cosine_scores, ImageEncoder, ImageEncoderConfig};
+
+/// LineNet training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct LineNetConfig {
+    pub image: ImageEncoderConfig,
+    pub epochs: usize,
+    pub lr: f32,
+    pub batch_size: usize,
+    pub temperature: f32,
+    pub seed: u64,
+}
+
+impl Default for LineNetConfig {
+    fn default() -> Self {
+        LineNetConfig {
+            image: ImageEncoderConfig::default(),
+            epochs: 6,
+            lr: 3e-3,
+            batch_size: 10,
+            temperature: 0.2,
+            seed: 0x11e7,
+        }
+    }
+}
+
+/// The trained chart-similarity model.
+pub struct LineNet {
+    cfg: LineNetConfig,
+    store: ParamStore,
+    encoder: ImageEncoder,
+}
+
+impl LineNet {
+    /// Builds an untrained model.
+    pub fn new(cfg: LineNetConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let encoder = ImageEncoder::new(&mut store, &mut rng, "linenet", cfg.image.clone());
+        LineNet { cfg, store, encoder }
+    }
+
+    /// Embeds a chart image.
+    pub fn embed(&self, img: &RgbImage) -> Vec<f32> {
+        self.encoder.embed_image(&self.store, img)
+    }
+
+    /// Cosine similarity between two chart images.
+    pub fn similarity(&self, a: &RgbImage, b: &RgbImage) -> f64 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+
+    /// Contrastive training over corpus records: anchor = rendered chart,
+    /// positive = augmented re-render of the same table, negatives =
+    /// other records' charts. Returns per-epoch losses.
+    pub fn train(&mut self, records: &[Record], style: &ChartStyle) -> Vec<f32> {
+        assert!(records.len() >= 2, "LineNet::train: need at least 2 records");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xaaaa);
+        let mut opt = Adam::new(self.cfg.lr);
+
+        let anchors: Vec<Matrix> = records
+            .iter()
+            .map(|r| {
+                self.encoder
+                    .image_to_patches(&render_record(&r.table, &r.spec, style).image)
+            })
+            .collect();
+        let positives: Vec<Matrix> = records
+            .iter()
+            .map(|r| {
+                let aug = random_augment(&r.table, &mut rng);
+                self.encoder
+                    .image_to_patches(&render_record(&aug, &r.spec, style).image)
+            })
+            .collect();
+
+        let mut losses = Vec::with_capacity(self.cfg.epochs);
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut steps = 0;
+            for batch in order.chunks(self.cfg.batch_size) {
+                if batch.len() < 2 {
+                    continue;
+                }
+                let tape = Tape::new();
+                let cand_embs: Vec<Var> = batch
+                    .iter()
+                    .map(|&i| self.encoder.embed(&self.store, &tape, &positives[i]))
+                    .collect();
+                let mut batch_loss: Option<Var> = None;
+                for (bi, &qi) in batch.iter().enumerate() {
+                    let q = self.encoder.embed(&self.store, &tape, &anchors[qi]);
+                    let scores = cosine_scores(&tape, &q, &cand_embs);
+                    let l = contrastive_nce(&tape, &scores, bi, self.cfg.temperature);
+                    batch_loss = Some(match batch_loss {
+                        Some(acc) => acc.add(&l),
+                        None => l,
+                    });
+                }
+                let loss = batch_loss.unwrap().scale(1.0 / batch.len() as f32);
+                tape.backward(&loss);
+                self.store.apply_grads(&tape, &mut opt);
+                epoch_loss += loss.scalar();
+                steps += 1;
+            }
+            losses.push(epoch_loss / steps.max(1) as f32);
+        }
+        losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_table::{build_corpus, CorpusConfig};
+
+    fn small() -> LineNetConfig {
+        LineNetConfig {
+            image: ImageEncoderConfig { embed_dim: 16, n_heads: 2, n_layers: 1, ..Default::default() },
+            epochs: 4,
+            batch_size: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let corpus = build_corpus(&CorpusConfig {
+            n_records: 8,
+            near_duplicate_rate: 0.0,
+            ..Default::default()
+        });
+        let mut ln = LineNet::new(small());
+        let losses = ln.train(&corpus, &ChartStyle::default());
+        assert!(losses.last().unwrap() <= losses.first().unwrap(), "{losses:?}");
+    }
+
+    #[test]
+    fn same_chart_similarity_is_one() {
+        let corpus = build_corpus(&CorpusConfig {
+            n_records: 2,
+            near_duplicate_rate: 0.0,
+            ..Default::default()
+        });
+        let ln = LineNet::new(small());
+        let c = render_record(&corpus[0].table, &corpus[0].spec, &ChartStyle::default());
+        assert!((ln.similarity(&c.image, &c.image) - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5 negative sampling (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::fig5_negative_sampling::run(scale);
+}

@@ -1,0 +1,19 @@
+//! Runs every table/figure experiment in sequence (the full evaluation
+//! suite of the paper). `LCDD_SCALE=full` for the slower, larger run.
+use lcdd_bench::experiments as ex;
+
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    ex::table1_benchmark_stats::run(scale);
+    ex::table2_overall::run(scale);
+    ex::table3_multiline::run(scale);
+    ex::table4_da_breakdown::run(scale);
+    ex::table5_hcman_ablation::run(scale);
+    ex::table6_da_ablation::run(scale);
+    ex::table7_segment_sizes::run(scale);
+    ex::table8_indexing::run(scale);
+    ex::table9_negatives::run(scale);
+    ex::fig5_negative_sampling::run(scale);
+    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

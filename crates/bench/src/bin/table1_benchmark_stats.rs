@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 benchmark stats (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table1_benchmark_stats::run(scale);
+}

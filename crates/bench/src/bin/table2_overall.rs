@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 overall (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table2_overall::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 da breakdown (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table4_da_breakdown::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table5 hcman ablation (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table5_hcman_ablation::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table6 da ablation (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table6_da_ablation::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table7 segment sizes (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table7_segment_sizes::run(scale);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table8 indexing (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table8_indexing::run(scale);
+}

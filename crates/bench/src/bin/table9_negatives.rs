@@ -1,0 +1,5 @@
+//! Regenerates the paper's table9 negatives (see `lcdd_bench::experiments`).
+fn main() {
+    let scale = lcdd_bench::Scale::from_env();
+    lcdd_bench::experiments::table9_negatives::run(scale);
+}

@@ -1,0 +1,13 @@
+//! One module per paper table/figure; each exposes `run(scale)` and is
+//! wrapped by a thin binary in `src/bin/`.
+
+pub mod fig5_negative_sampling;
+pub mod table1_benchmark_stats;
+pub mod table2_overall;
+pub mod table3_multiline;
+pub mod table4_da_breakdown;
+pub mod table5_hcman_ablation;
+pub mod table6_da_ablation;
+pub mod table7_segment_sizes;
+pub mod table8_indexing;
+pub mod table9_negatives;

@@ -1,0 +1,62 @@
+//! Table II: overall effectiveness (prec@k / ndcg@k) for all five methods,
+//! broken down into all / with-DA / without-DA queries.
+
+use lcdd_baselines::DiscoveryMethod;
+use lcdd_benchmark::{evaluate, EvalSummary};
+
+use crate::harness::{experiment_benchmark, f3, print_table, train_all_methods, Scale};
+
+/// Regenerates Table II.
+pub fn run(scale: Scale) {
+    let bench = experiment_benchmark(scale);
+    let mut methods = train_all_methods(&bench, scale);
+
+    let summaries: Vec<EvalSummary> = {
+        let mut out = Vec::new();
+        let mut all: Vec<&mut dyn DiscoveryMethod> = vec![
+            &mut methods.cml,
+            &mut methods.de_ln,
+            &mut methods.opt_ln,
+            &mut methods.qetch,
+            &mut methods.fcm,
+        ];
+        for m in all.iter_mut() {
+            eprintln!("[table2] evaluating {} ...", m.name());
+            out.push(evaluate(*m, &bench));
+        }
+        out
+    };
+
+    let mut rows = Vec::new();
+    for (slice_name, f) in [
+        ("Overall", 0usize),
+        ("With DA", 1),
+        ("Without DA", 2),
+    ] {
+        for metric in ["prec@k", "ndcg@k"] {
+            let mut row = vec![slice_name.to_string(), metric.to_string()];
+            for s in &summaries {
+                let r = match f {
+                    0 => s.overall(),
+                    1 => s.with_da(),
+                    _ => s.without_da(),
+                };
+                row.push(f3(if metric == "prec@k" { r.prec } else { r.ndcg }));
+            }
+            rows.push(row);
+        }
+    }
+    let headers: Vec<&str> = std::iter::once("")
+        .chain(std::iter::once("Metric"))
+        .chain(summaries.iter().map(|s| s.method))
+        .collect();
+    print_table(
+        &format!("Table II: effectiveness, k={} (measured)", bench.k_rel),
+        &headers,
+        &rows,
+    );
+    println!("paper (k=50): Overall prec CML .349 DE-LN .224 Opt-LN .287 Qetch* .256 FCM .454");
+    println!("              With DA prec CML .180 DE-LN .134 Opt-LN .160 Qetch* .123 FCM .398");
+    println!("              W/o  DA prec CML .538 DE-LN .318 Opt-LN .417 Qetch* .390 FCM .589");
+    println!("expected shape: FCM best overall; every method drops on DA queries; FCM drops least.");
+}

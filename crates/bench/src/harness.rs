@@ -1,0 +1,187 @@
+//! Shared experiment plumbing: scaled benchmark construction, method
+//! training, and table printing.
+
+use lcdd_baselines::{Cml, CmlConfig, DeLn, ImageEncoderConfig, LineNet, LineNetConfig, OptLn, QetchStar};
+use lcdd_benchmark::{build_benchmark, train_fcm_on, Benchmark, BenchmarkConfig, FcmMethod};
+use lcdd_chart::RgbImage;
+use lcdd_fcm::{FcmConfig, FcmModel, NegativeStrategy, TrainConfig};
+use lcdd_table::Table;
+
+/// Experiment scale, selected by the `LCDD_SCALE` env var (`fast` default,
+/// `full` for a larger run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Fast,
+    Full,
+}
+
+impl Scale {
+    /// Reads `LCDD_SCALE`.
+    pub fn from_env() -> Scale {
+        match std::env::var("LCDD_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Fast,
+        }
+    }
+}
+
+/// Benchmark configuration at the given scale.
+pub fn bench_config(scale: Scale) -> BenchmarkConfig {
+    match scale {
+        Scale::Fast => BenchmarkConfig::default(),
+        Scale::Full => BenchmarkConfig {
+            n_train: 120,
+            n_distractors: 120,
+            n_query_tables: 25,
+            noise_copies: 12,
+            k_rel: 10,
+            ..Default::default()
+        },
+    }
+}
+
+/// FCM model configuration at the given scale.
+pub fn fcm_config(scale: Scale) -> FcmConfig {
+    match scale {
+        Scale::Fast => FcmConfig::small(),
+        Scale::Full => FcmConfig { embed_dim: 48, n_layers: 2, ..FcmConfig::small() },
+    }
+}
+
+/// FCM training configuration at the given scale.
+pub fn fcm_train_config(scale: Scale) -> TrainConfig {
+    match scale {
+        Scale::Fast => TrainConfig { epochs: 14, batch_size: 12, n_neg: 3, lr: 3e-3, ..Default::default() },
+        Scale::Full => TrainConfig { epochs: 18, batch_size: 16, n_neg: 3, lr: 3e-3, ..Default::default() },
+    }
+}
+
+/// Builds the benchmark at the given scale.
+pub fn experiment_benchmark(scale: Scale) -> Benchmark {
+    build_benchmark(&bench_config(scale))
+}
+
+/// Trains the FCM model on a benchmark (optionally with a modified config),
+/// returning the wrapped method.
+pub fn trained_fcm(bench: &Benchmark, model_cfg: FcmConfig, train_cfg: &TrainConfig) -> FcmMethod {
+    let mut model = FcmModel::new(model_cfg);
+    train_fcm_on(bench, &mut model, train_cfg, |_, _, _| 0.0);
+    FcmMethod::new(model)
+}
+
+/// Trains the CML baseline on the benchmark's train split.
+pub fn trained_cml(bench: &Benchmark, scale: Scale) -> Cml {
+    let pairs: Vec<(RgbImage, Table)> = bench
+        .train_triplets
+        .iter()
+        .map(|t| (t.chart.image.clone(), bench.train_tables[t.table_idx].clone()))
+        .collect();
+    let epochs = if scale == Scale::Fast { 5 } else { 8 };
+    let mut cml = Cml::new(CmlConfig {
+        image: small_image_cfg(),
+        epochs,
+        ..Default::default()
+    });
+    cml.train(&pairs);
+    cml
+}
+
+/// Trains the shared LineNet model for DE-LN / Opt-LN.
+pub fn trained_linenet(bench: &Benchmark, scale: Scale) -> LineNet {
+    let epochs = if scale == Scale::Fast { 4 } else { 8 };
+    let mut ln = LineNet::new(LineNetConfig {
+        image: small_image_cfg(),
+        epochs,
+        ..Default::default()
+    });
+    ln.train(&bench.train_records, &bench.style);
+    ln
+}
+
+fn small_image_cfg() -> ImageEncoderConfig {
+    ImageEncoderConfig { embed_dim: 32, n_heads: 4, n_layers: 2, ..Default::default() }
+}
+
+/// All five methods of Table II, trained and ready for `prepare`.
+pub struct Methods {
+    pub fcm: FcmMethod,
+    pub cml: Cml,
+    pub qetch: QetchStar,
+    pub de_ln: DeLn,
+    pub opt_ln: OptLn,
+}
+
+/// Trains every method on the benchmark's train split.
+pub fn train_all_methods(bench: &Benchmark, scale: Scale) -> Methods {
+    eprintln!("[harness] training FCM ...");
+    let fcm = trained_fcm(bench, fcm_config(scale), &fcm_train_config(scale));
+    eprintln!("[harness] training CML ...");
+    let cml = trained_cml(bench, scale);
+    eprintln!("[harness] training LineNet (DE-LN / Opt-LN) ...");
+    let de_ln = DeLn::new(trained_linenet(bench, scale), bench.style.clone());
+    let opt_ln = OptLn::new(trained_linenet(bench, scale), bench.style.clone());
+    Methods { fcm, cml, qetch: QetchStar::default(), de_ln, opt_ln }
+}
+
+/// Pretty-prints an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float to 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Negative strategies in Fig. 5 order.
+pub fn fig5_strategies() -> [NegativeStrategy; 4] {
+    NegativeStrategy::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_fast() {
+        std::env::remove_var("LCDD_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Fast);
+    }
+
+    #[test]
+    fn configs_valid() {
+        fcm_config(Scale::Fast).validate();
+        fcm_config(Scale::Full).validate();
+        assert!(bench_config(Scale::Full).n_train > bench_config(Scale::Fast).n_train);
+    }
+
+    #[test]
+    fn table_printer_runs() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! FCM wrapped as a [`DiscoveryMethod`], including index-accelerated
+//! variants (Table VIII) and the training glue from benchmark triplets.
+
+use lcdd_baselines::{DiscoveryMethod, QueryInput, RepoEntry};
+use lcdd_fcm::scoring::score_against;
+use lcdd_fcm::{
+    encode_repository, process_query, train_with_callback, EncodedRepository, FcmModel,
+    TrainConfig, TrainExample, TrainReport,
+};
+use lcdd_index::{HybridConfig, HybridIndex, IndexStrategy};
+use lcdd_table::Table;
+
+use crate::builder::Benchmark;
+
+/// FCM as a benchmark method, with cached repository encodings and an
+/// optional hybrid index for candidate pruning.
+pub struct FcmMethod {
+    pub model: FcmModel,
+    repo_cache: Option<EncodedRepository>,
+    index: Option<HybridIndex>,
+    pub strategy: IndexStrategy,
+}
+
+impl FcmMethod {
+    /// Wraps a trained model (linear-scan strategy by default).
+    pub fn new(model: FcmModel) -> Self {
+        FcmMethod { model, repo_cache: None, index: None, strategy: IndexStrategy::NoIndex }
+    }
+
+    /// Sets the index strategy used by [`DiscoveryMethod::rank`].
+    pub fn with_strategy(mut self, strategy: IndexStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The cached encoded repository (after `prepare`).
+    pub fn repository(&self) -> Option<&EncodedRepository> {
+        self.repo_cache.as_ref()
+    }
+
+    /// Candidate set produced by the current strategy for a query (exposed
+    /// for the Table VIII experiment, which reports candidate counts).
+    pub fn candidate_set(&self, query: &QueryInput) -> Option<Vec<usize>> {
+        let index = self.index.as_ref()?;
+        let repo = self.repo_cache.as_ref()?;
+        let ev = self.query_encodings(query, repo);
+        let line_embs: Vec<Vec<f32>> = ev
+            .iter()
+            .map(|m| {
+                let (rows, cols) = m.shape();
+                let mut out = vec![0.0f32; cols];
+                for r in 0..rows {
+                    for (o, &v) in out.iter_mut().zip(m.row(r)) {
+                        *o += v;
+                    }
+                }
+                out.iter_mut().for_each(|o| *o /= rows as f32);
+                out
+            })
+            .collect();
+        Some(index.candidates(self.strategy, query.extracted.y_range, &line_embs))
+    }
+
+    fn query_encodings(
+        &self,
+        query: &QueryInput,
+        _repo: &EncodedRepository,
+    ) -> Vec<lcdd_tensor::Matrix> {
+        let pq = process_query(&query.extracted, &self.model.config);
+        self.model.encode_query_values(&pq)
+    }
+}
+
+impl DiscoveryMethod for FcmMethod {
+    fn name(&self) -> &'static str {
+        "FCM"
+    }
+
+    fn prepare(&mut self, repo: &[RepoEntry]) {
+        let tables: Vec<Table> = repo.iter().map(|e| e.table.clone()).collect();
+        let encoded = encode_repository(&self.model, &tables);
+        // Column embeddings for the LSH side.
+        let col_embs: Vec<Vec<Vec<f32>>> = (0..encoded.len())
+            .map(|t| {
+                (0..encoded.encodings[t].len())
+                    .map(|c| encoded.column_embedding(t, c))
+                    .collect()
+            })
+            .collect();
+        self.index = Some(HybridIndex::build(
+            &tables,
+            &col_embs,
+            self.model.config.embed_dim,
+            HybridConfig::default(),
+        ));
+        self.repo_cache = Some(encoded);
+    }
+
+    fn score(&self, query: &QueryInput, entry: &RepoEntry) -> f64 {
+        let pq = process_query(&query.extracted, &self.model.config);
+        if pq.line_patches.is_empty() {
+            return 0.0;
+        }
+        self.model.score_table(&pq, &entry.table) as f64
+    }
+
+    fn rank(&self, query: &QueryInput, repo: &[RepoEntry], k: usize) -> Vec<(usize, f64)> {
+        let pq = process_query(&query.extracted, &self.model.config);
+        if pq.line_patches.is_empty() {
+            return Vec::new();
+        }
+        let Some(cache) = &self.repo_cache else {
+            // Uncached fallback.
+            let mut scored: Vec<(usize, f64)> =
+                repo.iter().enumerate().map(|(i, e)| (i, self.score(query, e))).collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(k);
+            return scored;
+        };
+        let candidates = match self.strategy {
+            IndexStrategy::NoIndex => (0..cache.len()).collect(),
+            _ => self.candidate_set(query).unwrap_or_else(|| (0..cache.len()).collect()),
+        };
+        let ev = self.model.encode_query_values(&pq);
+        let mut scored: Vec<(usize, f64)> = candidates
+            .into_iter()
+            .map(|ti| (ti, score_against(&self.model, cache, &ev, &pq, ti) as f64))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Builds FCM training examples from benchmark triplets (extractor applied
+/// to each training chart exactly as at query time).
+pub fn fcm_training_inputs(bench: &Benchmark, model: &FcmModel) -> Vec<TrainExample> {
+    bench
+        .train_triplets
+        .iter()
+        .filter_map(|t| {
+            let extracted = match &bench.extractor {
+                lcdd_vision::VisualElementExtractor::Oracle => bench.extractor.extract(&t.chart),
+                lcdd_vision::VisualElementExtractor::Trained(_) => {
+                    bench.extractor.extract_image(&t.chart.image)
+                }
+            };
+            let query = process_query(&extracted, &model.config);
+            if query.line_patches.is_empty() {
+                return None; // extractor found no lines; skip the triplet
+            }
+            Some(TrainExample {
+                query,
+                underlying: t.underlying.clone(),
+                positive: t.table_idx,
+            })
+        })
+        .collect()
+}
+
+/// Trains an FCM model on a benchmark's train split.
+pub fn train_fcm_on(
+    bench: &Benchmark,
+    model: &mut FcmModel,
+    cfg: &TrainConfig,
+    callback: impl FnMut(usize, f32, &FcmModel) -> f32,
+) -> TrainReport {
+    let examples = fcm_training_inputs(bench, model);
+    train_with_callback(model, &examples, &bench.train_tables, cfg, callback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_benchmark, BenchmarkConfig};
+    use lcdd_fcm::FcmConfig;
+
+    #[test]
+    fn prepare_and_rank_work() {
+        let bench = build_benchmark(&BenchmarkConfig::tiny());
+        let mut method = FcmMethod::new(FcmModel::new(FcmConfig::tiny()));
+        method.prepare(&bench.repo);
+        let ranked = method.rank(&bench.queries[0].input, &bench.repo, 5);
+        assert_eq!(ranked.len(), 5);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn training_inputs_cover_triplets() {
+        let bench = build_benchmark(&BenchmarkConfig::tiny());
+        let model = FcmModel::new(FcmConfig::tiny());
+        let inputs = fcm_training_inputs(&bench, &model);
+        assert!(!inputs.is_empty());
+        assert!(inputs.len() <= bench.train_triplets.len());
+        for ex in &inputs {
+            assert!(ex.positive < bench.train_tables.len());
+        }
+    }
+
+    #[test]
+    fn index_strategies_prune() {
+        let bench = build_benchmark(&BenchmarkConfig::tiny());
+        let mut method = FcmMethod::new(FcmModel::new(FcmConfig::tiny()));
+        method.prepare(&bench.repo);
+        method.strategy = IndexStrategy::IntervalOnly;
+        let cands = method.candidate_set(&bench.queries[0].input).unwrap();
+        assert!(cands.len() <= bench.repo.len());
+        method.strategy = IndexStrategy::Hybrid;
+        let hybrid = method.candidate_set(&bench.queries[0].input).unwrap();
+        assert!(hybrid.len() <= cands.len(), "hybrid must prune at least as much");
+    }
+}

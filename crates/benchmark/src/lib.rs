@@ -1,0 +1,18 @@
+//! # lcdd-benchmark
+//!
+//! The evaluation benchmark of the paper (Sec. VII-A/B): corpus filtering,
+//! dedup, splits, plain + aggregation-based query generation, noisy-clone
+//! ground truth via `Rel(D, T)`, prec@k / ndcg@k metrics, an evaluation
+//! runner with all the paper's breakdowns, and FCM wrapped as a
+//! [`lcdd_baselines::DiscoveryMethod`] (with index-accelerated ranking for
+//! Table VIII).
+
+pub mod builder;
+pub mod fcm_method;
+pub mod metrics;
+pub mod runner;
+
+pub use builder::{build_benchmark, noisy_clone, sample_aggregation, BenchQuery, Benchmark, BenchmarkConfig, TrainTriplet};
+pub use fcm_method::{fcm_training_inputs, train_fcm_on, FcmMethod};
+pub use metrics::{mean, ndcg_at_k, precision_at_k};
+pub use runner::{evaluate, evaluate_prepared, EvalResult, EvalSummary, PerQuery};

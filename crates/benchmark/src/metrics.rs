@@ -1,0 +1,102 @@
+//! Retrieval metrics (paper Sec. VII-B): prec@k and ndcg@k.
+
+use std::collections::HashSet;
+
+/// Precision at `k`: fraction of the top-k ranking that is relevant.
+pub fn precision_at_k(ranked: &[usize], relevant: &[usize], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    let hits = ranked.iter().take(k).filter(|i| rel.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Binary-gain NDCG at `k`: DCG with gain 1 for relevant items at rank `i`
+/// (1-based) discounted by `log2(i + 1)`, normalised by the ideal DCG.
+pub fn ndcg_at_k(ranked: &[usize], relevant: &[usize], k: usize) -> f64 {
+    if k == 0 || relevant.is_empty() {
+        return 0.0;
+    }
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, i)| rel.contains(i))
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    if ideal > 0.0 {
+        dcg / ideal
+    } else {
+        0.0
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let ranked = vec![1, 2, 3, 4];
+        let relevant = vec![1, 2, 3, 4];
+        assert_eq!(precision_at_k(&ranked, &relevant, 4), 1.0);
+        assert!((ndcg_at_k(&ranked, &relevant, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ranking() {
+        assert_eq!(precision_at_k(&[], &[1], 5), 0.0);
+        assert_eq!(ndcg_at_k(&[], &[1], 5), 0.0);
+        assert_eq!(ndcg_at_k(&[1], &[], 5), 0.0);
+    }
+
+    #[test]
+    fn half_right() {
+        let ranked = vec![1, 9, 2, 8];
+        let relevant = vec![1, 2, 3, 4];
+        assert_eq!(precision_at_k(&ranked, &relevant, 4), 0.5);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_hits() {
+        let relevant = vec![1, 2];
+        let early = ndcg_at_k(&[1, 2, 8, 9], &relevant, 4);
+        let late = ndcg_at_k(&[8, 9, 1, 2], &relevant, 4);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prec_counts_only_top_k() {
+        let ranked = vec![9, 8, 7, 1, 2];
+        let relevant = vec![1, 2];
+        assert_eq!(precision_at_k(&ranked, &relevant, 3), 0.0);
+        assert_eq!(precision_at_k(&ranked, &relevant, 5), 0.4);
+    }
+
+    #[test]
+    fn ndcg_with_fewer_relevant_than_k() {
+        // Only one relevant doc, ranked first: ideal = achieved.
+        assert!((ndcg_at_k(&[5, 1, 2], &[5], 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

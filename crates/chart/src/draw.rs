@@ -1,0 +1,178 @@
+//! Drawing primitives: Bresenham polylines, rectangles and bitmap text —
+//! each writing the rendered image and the element mask in lockstep.
+
+use crate::image::{Rgb, RgbImage};
+use crate::mask::{ElementClass, SegMask};
+use crate::ticks::{glyph, GLYPH_ADVANCE, GLYPH_H, GLYPH_W};
+
+fn put(img: &mut RgbImage, mask: &mut SegMask, x: isize, y: isize, color: Rgb, class: ElementClass) {
+    img.set(x, y, color);
+    mask.set(x, y, class);
+}
+
+/// Draws a line segment from `(x0, y0)` to `(x1, y1)` with the given stroke
+/// thickness (extra pixels are stacked vertically for near-horizontal
+/// strokes and horizontally for near-vertical strokes, matching how chart
+/// strokes read visually).
+#[allow(clippy::too_many_arguments)]
+pub fn draw_line(
+    img: &mut RgbImage,
+    mask: &mut SegMask,
+    x0: isize,
+    y0: isize,
+    x1: isize,
+    y1: isize,
+    color: Rgb,
+    class: ElementClass,
+    thickness: usize,
+) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let steep = dy.abs() > dx; // more vertical than horizontal
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        for t in 0..thickness as isize {
+            if steep {
+                put(img, mask, x + t, y, color, class);
+            } else {
+                put(img, mask, x, y + t, color, class);
+            }
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Draws a polyline through the given points.
+pub fn draw_polyline(
+    img: &mut RgbImage,
+    mask: &mut SegMask,
+    points: &[(isize, isize)],
+    color: Rgb,
+    class: ElementClass,
+    thickness: usize,
+) {
+    for w in points.windows(2) {
+        draw_line(img, mask, w[0].0, w[0].1, w[1].0, w[1].1, color, class, thickness);
+    }
+    if points.len() == 1 {
+        put(img, mask, points[0].0, points[0].1, color, class);
+    }
+}
+
+/// Renders `text` with the 3x5 bitmap font, top-left corner at `(x, y)`.
+/// Returns the pixel width consumed.
+#[allow(clippy::too_many_arguments)]
+pub fn draw_text(
+    img: &mut RgbImage,
+    mask: &mut SegMask,
+    x: isize,
+    y: isize,
+    text: &str,
+    color: Rgb,
+    class: ElementClass,
+) -> usize {
+    let mut cx = x;
+    for ch in text.chars() {
+        if let Some(bits) = glyph(ch) {
+            for gy in 0..GLYPH_H {
+                for gx in 0..GLYPH_W {
+                    if bits[gy * GLYPH_W + gx] == 1 {
+                        put(img, mask, cx + gx as isize, y + gy as isize, color, class);
+                    }
+                }
+            }
+        }
+        cx += GLYPH_ADVANCE as isize;
+    }
+    (cx - x) as usize
+}
+
+/// Pixel width `draw_text` would consume for `text`.
+pub fn text_width(text: &str) -> usize {
+    text.chars().count() * GLYPH_ADVANCE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (RgbImage, SegMask) {
+        (RgbImage::new(32, 16, Rgb::WHITE), SegMask::new(32, 16))
+    }
+
+    #[test]
+    fn horizontal_line_pixels() {
+        let (mut img, mut mask) = setup();
+        draw_line(&mut img, &mut mask, 2, 5, 10, 5, Rgb::BLACK, ElementClass::Axis, 1);
+        for x in 2..=10 {
+            assert_eq!(img.get(x, 5), Rgb::BLACK);
+            assert_eq!(mask.get(x, 5), ElementClass::Axis);
+        }
+        assert_eq!(mask.count(ElementClass::Axis), 9);
+    }
+
+    #[test]
+    fn diagonal_line_connected() {
+        let (mut img, mut mask) = setup();
+        draw_line(&mut img, &mut mask, 0, 0, 7, 7, Rgb::BLACK, ElementClass::Line(0), 1);
+        // Bresenham on a perfect diagonal hits exactly the diagonal.
+        for i in 0..=7 {
+            assert_eq!(mask.get(i, i), ElementClass::Line(0));
+        }
+    }
+
+    #[test]
+    fn thickness_widens_stroke() {
+        let (mut img, mut mask) = setup();
+        draw_line(&mut img, &mut mask, 2, 5, 10, 5, Rgb::BLACK, ElementClass::Line(1), 2);
+        assert_eq!(mask.get(5, 5), ElementClass::Line(1));
+        assert_eq!(mask.get(5, 6), ElementClass::Line(1));
+        let _ = img;
+    }
+
+    #[test]
+    fn polyline_connects_segments() {
+        let (mut img, mut mask) = setup();
+        draw_polyline(
+            &mut img,
+            &mut mask,
+            &[(0, 0), (5, 5), (10, 0)],
+            Rgb::BLACK,
+            ElementClass::Line(0),
+            1,
+        );
+        assert_eq!(mask.get(5, 5), ElementClass::Line(0));
+        assert_eq!(mask.get(10, 0), ElementClass::Line(0));
+    }
+
+    #[test]
+    fn text_renders_and_measures() {
+        let (mut img, mut mask) = setup();
+        let w = draw_text(&mut img, &mut mask, 1, 1, "-12", Rgb::BLACK, ElementClass::Tick);
+        assert_eq!(w, text_width("-12"));
+        assert!(mask.count(ElementClass::Tick) > 5);
+    }
+
+    #[test]
+    fn later_writes_win_overlap() {
+        let (mut img, mut mask) = setup();
+        draw_line(&mut img, &mut mask, 0, 3, 10, 3, Rgb::BLACK, ElementClass::Axis, 1);
+        draw_line(&mut img, &mut mask, 5, 0, 5, 8, Rgb(255, 0, 0), ElementClass::Line(0), 1);
+        assert_eq!(mask.get(5, 3), ElementClass::Line(0));
+        assert_eq!(img.get(5, 3), Rgb(255, 0, 0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Raster image types: RGB (rendered charts) and greyscale (encoder input).
+
+/// An RGB pixel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    pub const WHITE: Rgb = Rgb(255, 255, 255);
+    pub const BLACK: Rgb = Rgb(0, 0, 0);
+
+    /// ITU-R BT.601 luma in `[0, 1]`.
+    pub fn luma(self) -> f32 {
+        (0.299 * self.0 as f32 + 0.587 * self.1 as f32 + 0.114 * self.2 as f32) / 255.0
+    }
+}
+
+/// Row-major RGB image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl RgbImage {
+    /// Creates an image filled with `fill`.
+    pub fn new(width: usize, height: usize, fill: Rgb) -> Self {
+        RgbImage { width, height, pixels: vec![fill; width * height] }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel access (row `y`, column `x`).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel assignment; silently ignores out-of-bounds coordinates so draw
+    /// routines can clip for free.
+    #[inline]
+    pub fn set(&mut self, x: isize, y: isize, c: Rgb) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = c;
+        }
+    }
+
+    /// Raw pixel buffer.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Converts to greyscale luma in `[0, 1]` — the transformation the
+    /// paper applies to extracted line images (Sec. IV-B) to cut the input
+    /// size by the number of channels.
+    pub fn to_grey(&self) -> GreyImage {
+        GreyImage {
+            width: self.width,
+            height: self.height,
+            pixels: self.pixels.iter().map(|p| p.luma()).collect(),
+        }
+    }
+}
+
+/// Row-major greyscale image with values in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GreyImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f32>,
+}
+
+impl GreyImage {
+    /// Creates an image filled with `fill`.
+    pub fn new(width: usize, height: usize, fill: f32) -> Self {
+        GreyImage { width, height, pixels: vec![fill; width * height] }
+    }
+
+    /// Builds from a raw buffer (row-major, `height * width` long).
+    pub fn from_raw(width: usize, height: usize, pixels: Vec<f32>) -> Self {
+        assert_eq!(pixels.len(), width * height, "GreyImage::from_raw: size mismatch");
+        GreyImage { width, height, pixels }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = v;
+        }
+    }
+
+    /// Raw pixel buffer.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Crops columns `[x0, x1)` into a new image (line-segment slicing for
+    /// the ViT-style encoder, Sec. IV-B).
+    pub fn crop_cols(&self, x0: usize, x1: usize) -> GreyImage {
+        assert!(x0 <= x1 && x1 <= self.width, "crop_cols: bad range");
+        let mut out = GreyImage::new(x1 - x0, self.height, 0.0);
+        for y in 0..self.height {
+            for x in x0..x1 {
+                out.set(x - x0, y, self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Flattens to a row-major vector (the ViT patch flattening step).
+    pub fn flatten(&self) -> Vec<f32> {
+        self.pixels.clone()
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f32 {
+        if self.pixels.is_empty() {
+            0.0
+        } else {
+            self.pixels.iter().sum::<f32>() / self.pixels.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_set_get_clipping() {
+        let mut img = RgbImage::new(4, 3, Rgb::WHITE);
+        img.set(1, 2, Rgb::BLACK);
+        assert_eq!(img.get(1, 2), Rgb::BLACK);
+        img.set(-1, 0, Rgb::BLACK); // silently clipped
+        img.set(99, 99, Rgb::BLACK);
+        assert_eq!(img.get(0, 0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn luma_ordering() {
+        assert!(Rgb::WHITE.luma() > 0.99);
+        assert!(Rgb::BLACK.luma() < 0.01);
+        assert!(Rgb(255, 0, 0).luma() < Rgb(0, 255, 0).luma()); // green is brighter
+    }
+
+    #[test]
+    fn to_grey_dimensions() {
+        let img = RgbImage::new(5, 2, Rgb(128, 128, 128));
+        let g = img.to_grey();
+        assert_eq!((g.width(), g.height()), (5, 2));
+        assert!((g.get(0, 0) - 128.0 / 255.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn crop_cols_extracts_segment() {
+        let mut g = GreyImage::new(6, 2, 0.0);
+        g.set(3, 1, 0.9);
+        let c = g.crop_cols(2, 5);
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.get(1, 1), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn crop_cols_out_of_bounds() {
+        let g = GreyImage::new(4, 4, 0.0);
+        let _ = g.crop_cols(2, 9);
+    }
+}

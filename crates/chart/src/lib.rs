@@ -1,0 +1,26 @@
+//! # lcdd-chart
+//!
+//! The line-chart substrate: a software rasterizer producing RGB chart
+//! images together with pixel-exact visual-element masks, the mechanism the
+//! paper uses to auto-label its LineChartSeg segmentation dataset
+//! (Sec. IV-A — "we track the pixel coordinate location for each visual
+//! element ... with the help of the visualization library").
+//!
+//! Charts contain the paper's two essential element kinds — lines and
+//! y-axis ticks (with real bitmap-font tick labels that downstream code
+//! must decode from pixels) — plus axis spines.
+
+pub mod draw;
+pub mod image;
+pub mod mask;
+pub mod palette;
+pub mod pgm;
+pub mod render;
+pub mod spec;
+pub mod ticks;
+
+pub use image::{GreyImage, Rgb, RgbImage};
+pub use mask::{ElementClass, SegMask};
+pub use render::{render, render_record, Chart, RenderMeta};
+pub use spec::ChartStyle;
+pub use ticks::{format_tick, nice_ticks};

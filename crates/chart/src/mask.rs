@@ -1,0 +1,169 @@
+//! Pixel-level element labels — the ground truth LineChartSeg provides
+//! (paper Sec. IV-A): the renderer records which visual element produced
+//! every pixel, so segmentation training data comes for free.
+
+/// The visual element class of one pixel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ElementClass {
+    Background,
+    /// Axis strokes (x and y spines).
+    Axis,
+    /// Tick marks and tick label glyphs.
+    Tick,
+    /// The `i`-th line of the chart (0-based).
+    Line(u8),
+}
+
+impl ElementClass {
+    /// Encodes to a compact byte: 0 = background, 1 = axis, 2 = tick,
+    /// 3 + i = line i.
+    pub fn to_code(self) -> u8 {
+        match self {
+            ElementClass::Background => 0,
+            ElementClass::Axis => 1,
+            ElementClass::Tick => 2,
+            ElementClass::Line(i) => 3 + i,
+        }
+    }
+
+    /// Decodes from [`ElementClass::to_code`]'s encoding.
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => ElementClass::Background,
+            1 => ElementClass::Axis,
+            2 => ElementClass::Tick,
+            i => ElementClass::Line(i - 3),
+        }
+    }
+
+    /// Collapses line identity: the 4-way class used by the trainable pixel
+    /// classifier (background / axis / tick / line).
+    pub fn coarse_code(self) -> u8 {
+        match self {
+            ElementClass::Background => 0,
+            ElementClass::Axis => 1,
+            ElementClass::Tick => 2,
+            ElementClass::Line(_) => 3,
+        }
+    }
+
+    /// Number of coarse classes.
+    pub const NUM_COARSE: usize = 4;
+}
+
+/// A per-pixel label map aligned with a rendered chart image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SegMask {
+    width: usize,
+    height: usize,
+    labels: Vec<u8>,
+}
+
+impl SegMask {
+    /// All-background mask.
+    pub fn new(width: usize, height: usize) -> Self {
+        SegMask { width, height, labels: vec![0; width * height] }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Label at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> ElementClass {
+        debug_assert!(x < self.width && y < self.height);
+        ElementClass::from_code(self.labels[y * self.width + x])
+    }
+
+    /// Sets the label, clipping out-of-bounds writes.
+    ///
+    /// Lines are drawn last and may cross axes/ticks; the renderer resolves
+    /// overlap by letting later writes win, matching the painted image.
+    #[inline]
+    pub fn set(&mut self, x: isize, y: isize, class: ElementClass) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.labels[y as usize * self.width + x as usize] = class.to_code();
+        }
+    }
+
+    /// Count of pixels with the given class.
+    pub fn count(&self, class: ElementClass) -> usize {
+        let code = class.to_code();
+        self.labels.iter().filter(|&&l| l == code).count()
+    }
+
+    /// Distinct line ids present in the mask, ascending.
+    pub fn line_ids(&self) -> Vec<u8> {
+        let mut ids: Vec<u8> = self
+            .labels
+            .iter()
+            .filter(|&&l| l >= 3)
+            .map(|&l| l - 3)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Binary mask (`true` where the pixel belongs to line `id`).
+    pub fn line_mask(&self, id: u8) -> Vec<bool> {
+        let code = 3 + id;
+        self.labels.iter().map(|&l| l == code).collect()
+    }
+
+    /// Raw code buffer.
+    pub fn codes(&self) -> &[u8] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for class in [
+            ElementClass::Background,
+            ElementClass::Axis,
+            ElementClass::Tick,
+            ElementClass::Line(0),
+            ElementClass::Line(7),
+        ] {
+            assert_eq!(ElementClass::from_code(class.to_code()), class);
+        }
+    }
+
+    #[test]
+    fn coarse_codes() {
+        assert_eq!(ElementClass::Line(0).coarse_code(), 3);
+        assert_eq!(ElementClass::Line(9).coarse_code(), 3);
+        assert_eq!(ElementClass::Tick.coarse_code(), 2);
+    }
+
+    #[test]
+    fn mask_set_count_lines() {
+        let mut m = SegMask::new(4, 4);
+        m.set(0, 0, ElementClass::Line(2));
+        m.set(1, 0, ElementClass::Line(2));
+        m.set(2, 0, ElementClass::Line(0));
+        m.set(3, 3, ElementClass::Axis);
+        assert_eq!(m.count(ElementClass::Line(2)), 2);
+        assert_eq!(m.line_ids(), vec![0, 2]);
+        let lm = m.line_mask(2);
+        assert_eq!(lm.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_set_ignored() {
+        let mut m = SegMask::new(2, 2);
+        m.set(-5, 0, ElementClass::Axis);
+        m.set(0, 99, ElementClass::Axis);
+        assert_eq!(m.count(ElementClass::Axis), 0);
+    }
+}

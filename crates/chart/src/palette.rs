@@ -1,0 +1,52 @@
+//! Line colour palette (Plotly's default qualitative cycle).
+
+use crate::image::Rgb;
+
+/// Plotly's default 10-colour qualitative palette; lines cycle through it.
+pub const PALETTE: [Rgb; 10] = [
+    Rgb(99, 110, 250),  // blue
+    Rgb(239, 85, 59),   // red
+    Rgb(0, 204, 150),   // green
+    Rgb(171, 99, 250),  // purple
+    Rgb(255, 161, 90),  // orange
+    Rgb(25, 211, 243),  // cyan
+    Rgb(255, 102, 146), // pink
+    Rgb(182, 232, 128), // lime
+    Rgb(255, 151, 255), // magenta
+    Rgb(254, 203, 82),  // yellow
+];
+
+/// Colour of the `i`-th line.
+pub fn line_color(i: usize) -> Rgb {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Axis/tick stroke colour.
+pub const AXIS_COLOR: Rgb = Rgb(42, 63, 95);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles() {
+        assert_eq!(line_color(0), line_color(10));
+        assert_ne!(line_color(0), line_color(1));
+    }
+
+    #[test]
+    fn palette_colors_distinct() {
+        for i in 0..PALETTE.len() {
+            for j in (i + 1)..PALETTE.len() {
+                assert_ne!(PALETTE[i], PALETTE[j], "palette entries {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn colors_distinct_from_axis() {
+        for c in PALETTE {
+            assert_ne!(c, AXIS_COLOR);
+        }
+    }
+}

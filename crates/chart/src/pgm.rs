@@ -1,0 +1,62 @@
+//! PPM/PGM export (dependency-free image files for the examples).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::image::{GreyImage, RgbImage};
+
+/// Writes an RGB image as binary PPM (P6).
+pub fn write_ppm<W: Write>(img: &RgbImage, mut w: W) -> io::Result<()> {
+    write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    let mut buf = Vec::with_capacity(img.width() * img.height() * 3);
+    for p in img.pixels() {
+        buf.extend_from_slice(&[p.0, p.1, p.2]);
+    }
+    w.write_all(&buf)
+}
+
+/// Writes a greyscale image as binary PGM (P5).
+pub fn write_pgm<W: Write>(img: &GreyImage, mut w: W) -> io::Result<()> {
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let buf: Vec<u8> = img
+        .pixels()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&buf)
+}
+
+/// Saves an RGB image to a `.ppm` file.
+pub fn save_ppm(img: &RgbImage, path: impl AsRef<Path>) -> io::Result<()> {
+    write_ppm(img, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Saves a greyscale image to a `.pgm` file.
+pub fn save_pgm(img: &GreyImage, path: impl AsRef<Path>) -> io::Result<()> {
+    write_pgm(img, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Rgb;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = RgbImage::new(3, 2, Rgb(10, 20, 30));
+        let mut buf = Vec::new();
+        write_ppm(&img, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(buf.len(), b"P6\n3 2\n255\n".len() + 18);
+    }
+
+    #[test]
+    fn pgm_quantisation() {
+        let mut img = GreyImage::new(2, 1, 0.0);
+        img.set(1, 0, 1.0);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let data = &buf[buf.len() - 2..];
+        assert_eq!(data, &[0u8, 255u8]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The line-chart renderer: underlying data → RGB image + element mask +
+//! render metadata.
+//!
+//! The mask/metadata pair is exactly what LineChartSeg needs (paper
+//! Sec. IV-A): because we control pixel rendering, per-element pixel labels
+//! come for free. Query-time code must only consume the image (the
+//! extractor recovers lines and the y range from pixels); masks and
+//! metadata are reserved for segmenter training and evaluation.
+
+use lcdd_table::series::UnderlyingData;
+use lcdd_table::{Table, VisSpec};
+
+use crate::draw::{draw_line, draw_polyline, draw_text, text_width};
+use crate::image::{Rgb, RgbImage};
+use crate::mask::{ElementClass, SegMask};
+use crate::palette::{line_color, AXIS_COLOR};
+use crate::spec::ChartStyle;
+use crate::ticks::{format_tick, nice_ticks};
+
+/// Ground-truth facts about a rendered chart (training/eval only).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderMeta {
+    /// Value at the bottom/top edge of the plot area (first/last tick).
+    pub y_lo: f64,
+    pub y_hi: f64,
+    /// Tick values drawn.
+    pub ticks: Vec<f64>,
+    /// Plot rectangle `(x0, y0, x1, y1)`.
+    pub plot: (usize, usize, usize, usize),
+    /// Number of lines drawn.
+    pub num_lines: usize,
+}
+
+/// A rendered chart: image + pixel labels + metadata.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    pub image: RgbImage,
+    pub mask: SegMask,
+    pub meta: RenderMeta,
+}
+
+/// Renders the underlying data `D` as a line chart.
+///
+/// X values are spread evenly across the plot width (per paper Sec. II the
+/// x axis is an index or evenly spaced timestamps; Sec. VI-B's numerical-x
+/// generalisation interpolates onto this grid before calling the renderer).
+pub fn render(data: &UnderlyingData, style: &ChartStyle) -> Chart {
+    let (px0, py0, px1, py1) = style.plot_rect();
+    let mut image = RgbImage::new(style.width, style.height, Rgb::WHITE);
+    let mut mask = SegMask::new(style.width, style.height);
+
+    let (lo, hi) = data.y_range().unwrap_or((0.0, 1.0));
+    let ticks = nice_ticks(lo, hi, style.n_ticks);
+    let (y_lo, y_hi) = (*ticks.first().unwrap(), *ticks.last().unwrap());
+
+    // Axes first, then ticks, then lines (lines overwrite on overlap,
+    // matching z-order in real charting libraries).
+    if style.draw_axes {
+        draw_line(
+            &mut image,
+            &mut mask,
+            px0 as isize - 1,
+            py0 as isize,
+            px0 as isize - 1,
+            py1 as isize,
+            AXIS_COLOR,
+            ElementClass::Axis,
+            1,
+        );
+        draw_line(
+            &mut image,
+            &mut mask,
+            px0 as isize - 1,
+            py1 as isize,
+            px1 as isize - 1,
+            py1 as isize,
+            AXIS_COLOR,
+            ElementClass::Axis,
+            1,
+        );
+        for &tv in &ticks {
+            let ty = map_y(tv, y_lo, y_hi, py0, py1);
+            // tick mark
+            draw_line(
+                &mut image,
+                &mut mask,
+                px0 as isize - 3,
+                ty,
+                px0 as isize - 2,
+                ty,
+                AXIS_COLOR,
+                ElementClass::Tick,
+                1,
+            );
+            // right-aligned label left of the mark
+            let label = format_tick(tv);
+            let w = text_width(&label) as isize;
+            draw_text(
+                &mut image,
+                &mut mask,
+                (px0 as isize - 4 - w).max(0),
+                ty - 2,
+                &label,
+                AXIS_COLOR,
+                ElementClass::Tick,
+            );
+        }
+    }
+
+    for (li, series) in data.series.iter().enumerate() {
+        if series.is_empty() {
+            continue;
+        }
+        let n = series.len();
+        let points: Vec<(isize, isize)> = series
+            .ys
+            .iter()
+            .enumerate()
+            .filter(|(_, y)| y.is_finite())
+            .map(|(i, &y)| {
+                let x = if n == 1 {
+                    (px0 + px1) as isize / 2
+                } else {
+                    px0 as isize
+                        + ((px1 - 1 - px0) as f64 * i as f64 / (n - 1) as f64).round() as isize
+                };
+                (x, map_y(y, y_lo, y_hi, py0, py1))
+            })
+            .collect();
+        draw_polyline(
+            &mut image,
+            &mut mask,
+            &points,
+            line_color(li),
+            ElementClass::Line(li as u8),
+            style.line_thickness,
+        );
+    }
+
+    Chart {
+        image,
+        mask,
+        meta: RenderMeta {
+            y_lo,
+            y_hi,
+            ticks,
+            plot: (px0, py0, px1, py1),
+            num_lines: data.num_series(),
+        },
+    }
+}
+
+/// Renders the chart a `(table, spec)` Plotly-style record describes.
+pub fn render_record(table: &Table, spec: &VisSpec, style: &ChartStyle) -> Chart {
+    render(&UnderlyingData::from_spec(table, spec), style)
+}
+
+#[inline]
+fn map_y(v: f64, lo: f64, hi: f64, py0: usize, py1: usize) -> isize {
+    let span = (hi - lo).max(1e-12);
+    let frac = ((v - lo) / span).clamp(0.0, 1.0);
+    // y axis points down in image space.
+    (py1 as f64 - 1.0 - frac * (py1 - py0 - 1) as f64).round() as isize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_table::series::DataSeries;
+
+    fn simple_data() -> UnderlyingData {
+        UnderlyingData {
+            series: vec![
+                DataSeries::new("a", (0..50).map(|i| i as f64).collect()),
+                DataSeries::new("b", (0..50).map(|i| 50.0 - i as f64).collect()),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_expected_elements() {
+        let chart = render(&simple_data(), &ChartStyle::default());
+        assert!(chart.mask.count(ElementClass::Axis) > 0, "axis missing");
+        assert!(chart.mask.count(ElementClass::Tick) > 0, "ticks missing");
+        assert_eq!(chart.mask.line_ids(), vec![0, 1]);
+        assert_eq!(chart.meta.num_lines, 2);
+    }
+
+    #[test]
+    fn tick_range_covers_data() {
+        let chart = render(&simple_data(), &ChartStyle::default());
+        assert!(chart.meta.y_lo <= 0.0);
+        assert!(chart.meta.y_hi >= 50.0);
+    }
+
+    #[test]
+    fn increasing_series_pixels_rise_left_to_right() {
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("up", (0..100).map(|i| i as f64).collect())],
+        };
+        let chart = render(&data, &ChartStyle::default());
+        // Find line pixels at the left and right extremes of the plot.
+        let (px0, _, px1, _) = chart.meta.plot;
+        let col_y = |x: usize| -> Option<usize> {
+            (0..chart.mask.height()).find(|&y| chart.mask.get(x, y) == ElementClass::Line(0))
+        };
+        let left_y = col_y(px0).expect("left pixel");
+        let right_y = col_y(px1 - 1).expect("right pixel");
+        assert!(right_y < left_y, "line should rise (smaller y) to the right");
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let data = UnderlyingData { series: vec![DataSeries::new("p", vec![5.0])] };
+        let chart = render(&data, &ChartStyle::default());
+        assert!(chart.mask.count(ElementClass::Line(0)) >= 1);
+    }
+
+    #[test]
+    fn no_axes_style() {
+        let style = ChartStyle { draw_axes: false, ..Default::default() };
+        let chart = render(&simple_data(), &style);
+        assert_eq!(chart.mask.count(ElementClass::Axis), 0);
+        assert_eq!(chart.mask.count(ElementClass::Tick), 0);
+        assert!(chart.mask.count(ElementClass::Line(0)) > 0);
+    }
+
+    #[test]
+    fn nan_points_skipped() {
+        let mut ys: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        ys[10] = f64::NAN;
+        let data = UnderlyingData { series: vec![DataSeries::new("n", ys)] };
+        let chart = render(&data, &ChartStyle::default());
+        assert!(chart.mask.count(ElementClass::Line(0)) > 0);
+    }
+
+    #[test]
+    fn ten_plus_lines_render_distinct_ids() {
+        let data = UnderlyingData {
+            series: (0..9)
+                .map(|k| {
+                    DataSeries::new(
+                        format!("s{k}"),
+                        (0..60).map(|i| (i as f64 / 10.0).sin() + k as f64 * 2.0).collect(),
+                    )
+                })
+                .collect(),
+        };
+        let chart = render(&data, &ChartStyle::default());
+        assert_eq!(chart.mask.line_ids().len(), 9);
+    }
+}

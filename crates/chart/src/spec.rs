@@ -1,0 +1,74 @@
+//! Chart styling parameters.
+
+/// Rendering style for a line chart.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChartStyle {
+    /// Total image width in pixels.
+    pub width: usize,
+    /// Total image height in pixels.
+    pub height: usize,
+    /// Margins around the plot area (left hosts tick labels).
+    pub margin_left: usize,
+    pub margin_right: usize,
+    pub margin_top: usize,
+    pub margin_bottom: usize,
+    /// Stroke thickness of data lines.
+    pub line_thickness: usize,
+    /// Approximate number of y ticks.
+    pub n_ticks: usize,
+    /// Whether axes/ticks are drawn (essential elements; disabling models
+    /// chart crops that lack decorations).
+    pub draw_axes: bool,
+}
+
+impl Default for ChartStyle {
+    fn default() -> Self {
+        ChartStyle {
+            width: 240,
+            height: 96,
+            margin_left: 30,
+            margin_right: 4,
+            margin_top: 4,
+            margin_bottom: 8,
+            line_thickness: 1,
+            n_ticks: 4,
+            draw_axes: true,
+        }
+    }
+}
+
+impl ChartStyle {
+    /// The plot rectangle `(x0, y0, x1, y1)` (inclusive top-left, exclusive
+    /// bottom-right) that data pixels occupy.
+    pub fn plot_rect(&self) -> (usize, usize, usize, usize) {
+        let x0 = self.margin_left;
+        let y0 = self.margin_top;
+        let x1 = self.width.saturating_sub(self.margin_right);
+        let y1 = self.height.saturating_sub(self.margin_bottom);
+        assert!(x1 > x0 + 8 && y1 > y0 + 8, "ChartStyle: margins leave no plot area");
+        (x0, y0, x1, y1)
+    }
+
+    /// A larger style closer to publication-size figures.
+    pub fn large() -> Self {
+        ChartStyle { width: 480, height: 192, margin_left: 36, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plot_rect_positive() {
+        let (x0, y0, x1, y1) = ChartStyle::default().plot_rect();
+        assert!(x1 > x0 && y1 > y0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no plot area")]
+    fn absurd_margins_panic() {
+        let style = ChartStyle { margin_left: 300, ..Default::default() };
+        let _ = style.plot_rect();
+    }
+}

@@ -1,0 +1,164 @@
+//! "Nice" axis tick computation (the classic Heckbert loose-labeling
+//! algorithm) and a 3x5 bitmap glyph font for tick labels.
+//!
+//! Tick labels are rendered as actual pixels so the visual-element
+//! extractor must *decode the value range from the image* — keeping the
+//! pipeline honest end-to-end (paper Sec. IV-A uses y ticks to recover the
+//! value range).
+
+/// Rounds `x` to a "nice" number; `round` picks nearest-nice vs ceiling.
+fn nice_num(x: f64, round: bool) -> f64 {
+    let exp = x.log10().floor();
+    let f = x / 10f64.powf(exp);
+    let nf = if round {
+        if f < 1.5 {
+            1.0
+        } else if f < 3.0 {
+            2.0
+        } else if f < 7.0 {
+            5.0
+        } else {
+            10.0
+        }
+    } else if f <= 1.0 {
+        1.0
+    } else if f <= 2.0 {
+        2.0
+    } else if f <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nf * 10f64.powf(exp)
+}
+
+/// Computes ~`target` nice tick values covering `[lo, hi]` (loose: first
+/// tick ≤ lo, last tick ≥ hi). Degenerate ranges expand around the value.
+pub fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(lo.is_finite() && hi.is_finite()) {
+        return vec![0.0, 1.0];
+    }
+    let (mut lo, mut hi) = (lo.min(hi), lo.max(hi));
+    if (hi - lo).abs() < 1e-12 {
+        lo -= 0.5 * lo.abs().max(1.0);
+        hi += 0.5 * hi.abs().max(1.0);
+    }
+    let range = nice_num(hi - lo, false);
+    let step = nice_num(range / (target.max(2) - 1) as f64, true);
+    let tick_lo = (lo / step).floor() * step;
+    let tick_hi = (hi / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = tick_lo;
+    // Guard against FP drift producing an extra/missing final tick.
+    let n = ((tick_hi - tick_lo) / step).round() as usize;
+    for _ in 0..=n {
+        ticks.push((t / step).round() * step);
+        t += step;
+    }
+    ticks
+}
+
+/// Formats a tick value compactly (matching what the glyph set can render:
+/// digits, minus, decimal point).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    let s = if a >= 100_000.0 || a < 0.001 {
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    };
+    s
+}
+
+/// 3x5 bitmap glyphs for tick label characters. Row-major, 15 bits per
+/// glyph, top row first.
+pub fn glyph(ch: char) -> Option<[u8; 15]> {
+    let g: [u8; 15] = match ch {
+        '0' => [1, 1, 1, 1, 0, 1, 1, 0, 1, 1, 0, 1, 1, 1, 1],
+        '1' => [0, 1, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 1],
+        '2' => [1, 1, 1, 0, 0, 1, 1, 1, 1, 1, 0, 0, 1, 1, 1],
+        '3' => [1, 1, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 1],
+        '4' => [1, 0, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 0, 1],
+        '5' => [1, 1, 1, 1, 0, 0, 1, 1, 1, 0, 0, 1, 1, 1, 1],
+        '6' => [1, 1, 1, 1, 0, 0, 1, 1, 1, 1, 0, 1, 1, 1, 1],
+        '7' => [1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1, 0, 0, 1, 0],
+        '8' => [1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1],
+        '9' => [1, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 1, 1, 1],
+        '-' => [0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 0, 0, 0, 0, 0],
+        '.' => [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0],
+        'e' => [0, 0, 0, 1, 1, 1, 1, 1, 0, 1, 0, 0, 1, 1, 1],
+        '+' => [0, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 0, 0, 0, 0],
+        _ => return None,
+    };
+    Some(g)
+}
+
+/// Glyph cell dimensions (width, height) including no padding.
+pub const GLYPH_W: usize = 3;
+pub const GLYPH_H: usize = 5;
+/// Horizontal advance between glyphs.
+pub const GLYPH_ADVANCE: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_cover_range() {
+        let t = nice_ticks(0.3, 9.7, 5);
+        assert!(*t.first().unwrap() <= 0.3);
+        assert!(*t.last().unwrap() >= 9.7);
+        assert!(t.len() >= 3 && t.len() <= 12, "{t:?}");
+        // evenly spaced
+        let step = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ticks_handle_negative_and_degenerate() {
+        let t = nice_ticks(-5.0, 5.0, 5);
+        assert!(t.iter().any(|&v| v == 0.0));
+        let d = nice_ticks(2.0, 2.0, 5);
+        assert!(d.first().unwrap() < d.last().unwrap());
+        let nf = nice_ticks(f64::NAN, 1.0, 5);
+        assert_eq!(nf, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn format_compact() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(5.0), "5");
+        assert_eq!(format_tick(-20.0), "-20");
+        assert_eq!(format_tick(2.5), "2.50");
+        assert_eq!(format_tick(12.5), "12.5");
+        assert!(format_tick(1.0e6).contains('e'));
+    }
+
+    #[test]
+    fn glyphs_exist_for_all_formatted_chars() {
+        for v in [0.0, 1.5, -3.25, 12.5, 100.0, 99999.0, 1e8, -1e-6] {
+            for ch in format_tick(v).chars() {
+                assert!(glyph(ch).is_some(), "missing glyph for {ch:?} in {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn digit_glyphs_distinct() {
+        let digits: Vec<[u8; 15]> = ('0'..='9').map(|c| glyph(c).unwrap()).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(digits[i], digits[j], "glyphs {i} and {j} identical");
+            }
+        }
+    }
+}

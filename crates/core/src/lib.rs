@@ -1,0 +1,42 @@
+//! # lcdd-fcm
+//!
+//! The paper's primary contribution: the **F**ine-grained **C**ross-modal
+//! Relevance Learning **M**odel (FCM) from *Dataset Discovery via Line
+//! Charts* (ICDE 2025), end to end:
+//!
+//! * [`config`] — hyper-parameters ([`FcmConfig::paper`] is the published
+//!   configuration; experiments run [`FcmConfig::small`]),
+//! * [`input`] — extractor output / tables → encoder matrices (including
+//!   the y-tick column range filter of Sec. IV-C),
+//! * [`chart_encoder`] — segment-level line chart encoder (Sec. IV-B),
+//! * [`dataset_encoder`] — segment-level dataset encoder (Sec. IV-C),
+//! * [`da`] — transformation layers + HMRL + MoE for aggregation-based
+//!   queries (Sec. V),
+//! * [`matcher`] — HCMAN, the hierarchical cross-modal attention matcher
+//!   (Sec. IV-D),
+//! * [`negatives`] / [`trainer`] — semi-hard negative sampling and the
+//!   Eq. 2 training loop (Sec. V-E),
+//! * [`scoring`] — cached repository encoding + top-k search,
+//! * [`persist`] — weight save/load.
+//!
+//! Ablations from the paper are config switches: `hcman_enabled = false`
+//! gives FCM-HCMAN (Table V), `da_enabled = false` gives FCM-DA (Table VI).
+
+pub mod chart_encoder;
+pub mod config;
+pub mod da;
+pub mod dataset_encoder;
+pub mod input;
+pub mod matcher;
+pub mod model;
+pub mod negatives;
+pub mod persist;
+pub mod scoring;
+pub mod trainer;
+
+pub use config::FcmConfig;
+pub use input::{column_to_segments, line_to_patches, process_query, process_table, ProcessedQuery, ProcessedTable};
+pub use model::FcmModel;
+pub use negatives::NegativeStrategy;
+pub use scoring::{encode_repository, search_top_k, EncodedRepository};
+pub use trainer::{train, train_with_callback, TrainConfig, TrainExample, TrainReport};

@@ -1,0 +1,282 @@
+//! The cross-modal matcher (paper Sec. IV-D): HCMAN — a hierarchical
+//! cross-modal attention network matching representations at the segment
+//! level (SL-SAN) and the line-to-column level (LL-SAN), followed by an MLP
+//! relevance head. The FCM-HCMAN ablation (Sec. VII-D1) replaces both
+//! attention levels with mean pooling.
+//!
+//! Following the paper's description, each line/column representation is
+//! *reconstructed from its own segments*, weighted by how relevant each
+//! segment is to the other modality ("the line (column) representation is
+//! reconstructed using the relevance-weighted sum of all the corresponding
+//! line (data) segments"). Content never crosses modalities — only the
+//! pooling weights are cross-modal — which keeps the joint features
+//! discriminative.
+
+use lcdd_nn::{Activation, LayerNorm, Linear, Mlp};
+use lcdd_tensor::{Matrix, ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+
+use crate::config::FcmConfig;
+
+/// HCMAN or its mean-pooling ablation.
+#[derive(Clone, Debug)]
+pub struct CrossModalMatcher {
+    /// Segment-level query/key projections (SL-SAN); `None` in the ablation.
+    sl_proj: Option<(Linear, Linear)>,
+    /// Line-to-column level projections (LL-SAN); `None` in the ablation.
+    ll_proj: Option<(Linear, Linear)>,
+    /// Norms on the pooled chart/table representations: the pre-norm
+    /// transformer stacks have unbounded output magnitude, which would
+    /// saturate the sigmoid head.
+    v_norm: LayerNorm,
+    t_norm: LayerNorm,
+    head: Mlp,
+    /// Learnable weight of the direct correlation term added to the head's
+    /// logit: `logit = head(...) + w * corr(v, t)`. The correlation of the
+    /// normalised pooled representations gives ranking direct access to the
+    /// encoder alignment the contrastive objective trains.
+    sim_weight: ParamId,
+}
+
+/// Relevance-weighted pooling: reduces `own` (n x K) to `1 x K` using
+/// weights derived from each own-row's (soft-max) similarity to the rows of
+/// `other` (m x K) under the q/k projections.
+fn relevance_pool(
+    store: &ParamStore,
+    tape: &Tape,
+    own: &Var,
+    other: &Var,
+    proj: &(Linear, Linear),
+) -> Var {
+    let k_dim = own.shape().1 as f32;
+    let q = proj.0.forward(store, tape, own);
+    let k = proj.1.forward(store, tape, other);
+    let scores = q.matmul(&k.transpose_var()).scale(1.0 / k_dim.sqrt()); // n x m
+    // Smooth per-row max: attention-weighted mean of the row's own scores.
+    let attn = scores.softmax_rows();
+    let m = other.shape().0;
+    let ones = tape.constant(Matrix::full(m, 1, 1.0));
+    let row_rel = attn.mul(&scores).matmul(&ones); // n x 1
+    let weights = row_rel.transpose_var().softmax_rows(); // 1 x n
+    weights.matmul(own)
+}
+
+/// Plain mean pooling (the FCM-HCMAN ablation path).
+fn mean_pool(items: &[Var]) -> Var {
+    let pooled: Vec<Var> = items.iter().map(Var::mean_rows).collect();
+    Var::concat_rows(&pooled).mean_rows()
+}
+
+impl CrossModalMatcher {
+    /// Registers parameters according to `cfg.hcman_enabled`.
+    pub fn new(store: &mut ParamStore, rng: &mut impl Rng, cfg: &FcmConfig) -> Self {
+        let k = cfg.embed_dim;
+        let (sl_proj, ll_proj) = if cfg.hcman_enabled {
+            (
+                Some((
+                    Linear::new(store, rng, "match.sl.q", k, k, false),
+                    Linear::new(store, rng, "match.sl.k", k, k, false),
+                )),
+                Some((
+                    Linear::new(store, rng, "match.ll.q", k, k, false),
+                    Linear::new(store, rng, "match.ll.k", k, k, false),
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        // The head consumes [v, t, v*t, (v-t)^2]: the paper concatenates the
+        // two reconstructed representations and applies an MLP; the
+        // elementwise interaction features make the query-candidate
+        // dependence first-order (a plain [v, t] concat only produces
+        // interactions at the second layer, which trains far too slowly at
+        // reproduction scale).
+        let v_norm = LayerNorm::new(store, "match.vnorm", k);
+        let t_norm = LayerNorm::new(store, "match.tnorm", k);
+        let head = Mlp::new(
+            store,
+            rng,
+            "match.head",
+            &[4 * k, cfg.matcher_hidden, 1],
+            Activation::Relu,
+        );
+        let sim_weight = store.add("match.sim_w", Matrix::from_vec(1, 1, vec![2.0]));
+        CrossModalMatcher { sl_proj, ll_proj, v_norm, t_norm, head, sim_weight }
+    }
+
+    /// True when the hierarchical attention is active.
+    pub fn is_hcman(&self) -> bool {
+        self.sl_proj.is_some()
+    }
+
+    /// Estimates `Rel'(V, T)` as a raw logit (`1 x 1`, pre-sigmoid).
+    pub fn relevance_logit(&self, store: &ParamStore, tape: &Tape, ev: &[Var], et: &[Var]) -> Var {
+        self.relevance_logit_centered(store, tape, ev, et, None)
+    }
+
+    /// Like [`CrossModalMatcher::relevance_logit`], additionally given the
+    /// mean pooled table embedding of a reference set (`1 x K`). The
+    /// alignment term is the cosine between the pooled chart embedding and
+    /// the candidate's pooled table embedding *centered against the
+    /// reference mean* — positional embeddings and projection biases pool
+    /// into a per-modality constant direction that would otherwise dominate
+    /// the cosine for every candidate. The trainer centers against the
+    /// in-batch candidates; repository search centers against the whole
+    /// encoded repository.
+    pub fn relevance_logit_centered(
+        &self,
+        store: &ParamStore,
+        tape: &Tape,
+        ev: &[Var],
+        et: &[Var],
+        t_center: Option<&Var>,
+    ) -> Var {
+        assert!(!ev.is_empty(), "matcher: no lines");
+        assert!(!et.is_empty(), "matcher: no columns");
+        let (v_rep, t_rep) = match (&self.sl_proj, &self.ll_proj) {
+            (Some(sl), Some(ll)) => {
+                // --- SL-SAN: each line/column is reconstructed from its own
+                // segments, weighted by cross-modal segment relevance.
+                let all_t_segs = Var::concat_rows(et);
+                let all_v_segs = Var::concat_rows(ev);
+                let lines: Vec<Var> = ev
+                    .iter()
+                    .map(|line| relevance_pool(store, tape, line, &all_t_segs, sl))
+                    .collect();
+                let cols: Vec<Var> = et
+                    .iter()
+                    .map(|col| relevance_pool(store, tape, col, &all_v_segs, sl))
+                    .collect();
+                // --- LL-SAN: the chart is reconstructed from its own lines
+                // weighted by line-to-column relevance; symmetrically for
+                // the table.
+                let lines_mat = Var::concat_rows(&lines); // M x K
+                let cols_mat = Var::concat_rows(&cols); // NC x K
+                (
+                    relevance_pool(store, tape, &lines_mat, &cols_mat, ll),
+                    relevance_pool(store, tape, &cols_mat, &lines_mat, ll),
+                )
+            }
+            _ => (mean_pool(ev), mean_pool(et)),
+        };
+        let v_rep = self.v_norm.forward(store, tape, &v_rep);
+        let t_rep = self.t_norm.forward(store, tape, &t_rep);
+        let prod = v_rep.mul(&t_rep);
+        let diff_sq = v_rep.sub(&t_rep).square();
+        let joint = Var::concat_cols(&[v_rep, t_rep, prod, diff_sq]); // 1 x 4K
+        let head_logit = self.head.forward(store, tape, &joint);
+        // Alignment term: cosine between the mean-pooled encoder outputs
+        // (the exact quantities the contrastive objective aligns), with the
+        // candidate embedding centered when a reference mean is available.
+        let v_pooled = Var::concat_rows(ev).mean_rows();
+        let t_pooled = Var::concat_rows(et).mean_rows();
+        let t_centered = match t_center {
+            Some(c) => t_pooled.sub(c),
+            None => t_pooled,
+        };
+        let cos = lcdd_nn::cosine_scores(&v_pooled, &[t_centered]);
+        let w = store.leaf(tape, self.sim_weight);
+        head_logit.add(&cos.mul(&w))
+    }
+
+    /// Estimates `Rel'(V, T)` as a probability in `[0, 1]`.
+    pub fn relevance(&self, store: &ParamStore, tape: &Tape, ev: &[Var], et: &[Var]) -> Var {
+        self.relevance_logit(store, tape, ev, et).sigmoid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(hcman: bool) -> (ParamStore, CrossModalMatcher, FcmConfig) {
+        let mut cfg = FcmConfig::tiny();
+        cfg.hcman_enabled = hcman;
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = CrossModalMatcher::new(&mut store, &mut rng, &cfg);
+        (store, m, cfg)
+    }
+
+    fn reps(tape: &Tape, n: usize, rows: usize, k: usize, seed: f32) -> Vec<Var> {
+        (0..n)
+            .map(|i| {
+                tape.leaf(Matrix::from_vec(
+                    rows,
+                    k,
+                    (0..rows * k)
+                        .map(|j| ((j as f32 + seed + i as f32) * 0.37).sin() * 0.3)
+                        .collect(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hcman_outputs_probability() {
+        let (store, m, cfg) = setup(true);
+        assert!(m.is_hcman());
+        let tape = Tape::new();
+        let ev = reps(&tape, 2, 4, cfg.embed_dim, 0.0);
+        let et = reps(&tape, 3, 4, cfg.embed_dim, 5.0);
+        let r = m.relevance(&store, &tape, &ev, &et);
+        assert_eq!(r.shape(), (1, 1));
+        let v = r.scalar();
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn ablation_outputs_probability() {
+        let (store, m, cfg) = setup(false);
+        assert!(!m.is_hcman());
+        let tape = Tape::new();
+        let ev = reps(&tape, 1, 4, cfg.embed_dim, 0.0);
+        let et = reps(&tape, 1, 4, cfg.embed_dim, 2.0);
+        let r = m.relevance(&store, &tape, &ev, &et);
+        assert!((0.0..=1.0).contains(&r.scalar()));
+    }
+
+    #[test]
+    fn handles_many_lines_and_columns() {
+        let (store, m, cfg) = setup(true);
+        let tape = Tape::new();
+        let ev = reps(&tape, 8, 4, cfg.embed_dim, 1.0);
+        let et = reps(&tape, 10, 4, cfg.embed_dim, 3.0);
+        let r = m.relevance(&store, &tape, &ev, &et);
+        assert!(r.scalar().is_finite());
+    }
+
+    #[test]
+    fn matching_reps_score_higher_than_mismatched() {
+        // With identical (hence perfectly correlated) reps on both sides,
+        // the correlation term must push the logit above a mismatched pair.
+        let (store, m, cfg) = setup(true);
+        let tape = Tape::new();
+        let shared = reps(&tape, 1, 4, cfg.embed_dim, 0.0);
+        let matched = m
+            .relevance_logit(&store, &tape, &shared, &shared)
+            .scalar();
+        let other = reps(&tape, 1, 4, cfg.embed_dim, 40.0);
+        let mismatched = m.relevance_logit(&store, &tape, &shared, &other).scalar();
+        assert!(
+            matched > mismatched,
+            "matched {matched} should beat mismatched {mismatched}"
+        );
+    }
+
+    #[test]
+    fn gradients_flow_through_matcher() {
+        let (mut store, m, cfg) = setup(true);
+        let tape = Tape::new();
+        let ev = reps(&tape, 2, 4, cfg.embed_dim, 0.0);
+        let et = reps(&tape, 2, 4, cfg.embed_dim, 9.0);
+        let r = m.relevance(&store, &tape, &ev, &et);
+        let loss = r.square().sum_all();
+        tape.backward(&loss);
+        let mut sgd = lcdd_tensor::Sgd::new(0.0);
+        assert!(store.apply_grads(&tape, &mut sgd) > 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Negative-sampling strategies (paper Sec. V-E and Appendix B/E).
+//!
+//! For each positive pair `(V_i, T_i)` in a mini-batch, `N⁻` negative
+//! tables are drawn from the other tables of the batch, ranked by the
+//! ground-truth `Rel(D_i, T_j)`:
+//!
+//! * **semi-hard** — the middle of the ranking (the paper's choice),
+//! * **hard** — the highest-relevance non-positives,
+//! * **easy** — the lowest-relevance ones,
+//! * **random** — uniform.
+
+use rand::Rng;
+
+/// The four strategies compared in Fig. 5 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NegativeStrategy {
+    SemiHard,
+    Random,
+    Easy,
+    Hard,
+}
+
+impl NegativeStrategy {
+    /// All strategies (Fig. 5 sweep).
+    pub const ALL: [NegativeStrategy; 4] = [
+        NegativeStrategy::SemiHard,
+        NegativeStrategy::Random,
+        NegativeStrategy::Easy,
+        NegativeStrategy::Hard,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NegativeStrategy::SemiHard => "semi-hard",
+            NegativeStrategy::Random => "random",
+            NegativeStrategy::Easy => "easy",
+            NegativeStrategy::Hard => "hard",
+        }
+    }
+}
+
+/// Selects `n_neg` negative candidate indices for one query.
+///
+/// `scored` holds `(candidate_index, Rel(D, T))` pairs for every *other*
+/// table in the mini-batch (the positive must not be included). Returns at
+/// most `n_neg` indices.
+pub fn select_negatives(
+    strategy: NegativeStrategy,
+    scored: &[(usize, f64)],
+    n_neg: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    if scored.is_empty() || n_neg == 0 {
+        return Vec::new();
+    }
+    let n_neg = n_neg.min(scored.len());
+    let mut ranked: Vec<(usize, f64)> = scored.to_vec();
+    // Descending by relevance: ranked[0] is the hardest negative.
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    match strategy {
+        NegativeStrategy::Hard => ranked[..n_neg].iter().map(|&(i, _)| i).collect(),
+        NegativeStrategy::Easy => ranked[ranked.len() - n_neg..].iter().map(|&(i, _)| i).collect(),
+        NegativeStrategy::SemiHard => {
+            let mid = ranked.len() / 2;
+            let half = n_neg / 2;
+            let start = mid.saturating_sub(half).min(ranked.len() - n_neg);
+            ranked[start..start + n_neg].iter().map(|&(i, _)| i).collect()
+        }
+        NegativeStrategy::Random => {
+            let mut picked = Vec::with_capacity(n_neg);
+            let mut pool: Vec<usize> = (0..ranked.len()).collect();
+            for _ in 0..n_neg {
+                let k = rng.gen_range(0..pool.len());
+                picked.push(ranked[pool.swap_remove(k)].0);
+            }
+            picked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scored() -> Vec<(usize, f64)> {
+        // candidate index i has relevance 1.0 - i/10
+        (0..10).map(|i| (i, 1.0 - i as f64 / 10.0)).collect()
+    }
+
+    #[test]
+    fn hard_picks_top() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = select_negatives(NegativeStrategy::Hard, &scored(), 3, &mut rng);
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn easy_picks_bottom() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = select_negatives(NegativeStrategy::Easy, &scored(), 3, &mut rng);
+        assert_eq!(v, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn semi_hard_picks_middle() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = select_negatives(NegativeStrategy::SemiHard, &scored(), 3, &mut rng);
+        // middle of 10 elements with 3 picks: indices near rank 4-6
+        assert!(v.iter().all(|&i| (3..=7).contains(&i)), "{v:?}");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_unique() {
+        let a = select_negatives(
+            NegativeStrategy::Random,
+            &scored(),
+            5,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = select_negatives(
+            NegativeStrategy::Random,
+            &scored(),
+            5,
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert_eq!(a, b);
+        let mut u = a.clone();
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 5, "no duplicates allowed");
+    }
+
+    #[test]
+    fn clamps_to_pool_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool: Vec<(usize, f64)> = vec![(3, 0.5), (8, 0.1)];
+        for s in NegativeStrategy::ALL {
+            let v = select_negatives(s, &pool, 6, &mut rng);
+            assert_eq!(v.len(), 2, "{s:?}");
+        }
+        assert!(select_negatives(NegativeStrategy::Hard, &[], 3, &mut rng).is_empty());
+    }
+}

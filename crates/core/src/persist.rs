@@ -1,0 +1,66 @@
+//! Model weight persistence (binary format from `lcdd_tensor::io`).
+
+use std::io;
+use std::path::Path;
+
+use crate::model::FcmModel;
+
+/// Saves all model weights.
+pub fn save_model(model: &FcmModel, path: impl AsRef<Path>) -> io::Result<()> {
+    lcdd_tensor::io::save_params(&model.store, path)
+}
+
+/// Loads weights into a model built with the *same* [`crate::FcmConfig`].
+/// Returns the number of parameters restored; a partial restore (config
+/// mismatch) is reported as an error.
+pub fn load_model(model: &mut FcmModel, path: impl AsRef<Path>) -> io::Result<usize> {
+    let restored = lcdd_tensor::io::load_params(&mut model.store, path)?;
+    if restored != model.store.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "weight file restored {restored} of {} parameters; config mismatch?",
+                model.store.len()
+            ),
+        ));
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FcmConfig;
+
+    #[test]
+    fn save_load_roundtrip_preserves_outputs() {
+        let dir = std::env::temp_dir().join("lcdd_fcm_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+
+        let model = FcmModel::new(FcmConfig::tiny());
+        save_model(&model, &path).unwrap();
+
+        let mut other = FcmModel::new(FcmConfig { seed: 1234, ..FcmConfig::tiny() });
+        let restored = load_model(&mut other, &path).unwrap();
+        assert_eq!(restored, model.store.len());
+        // Same weights -> identical parameter values.
+        for (a, b) in model.store.iter().zip(other.store.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.as_slice(), b.1.as_slice());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn config_mismatch_rejected() {
+        let dir = std::env::temp_dir().join("lcdd_fcm_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let model = FcmModel::new(FcmConfig::tiny());
+        save_model(&model, &path).unwrap();
+        let mut bigger = FcmModel::new(FcmConfig::small());
+        assert!(load_model(&mut bigger, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,231 @@
+//! Repository encoding and top-k search with a trained FCM model.
+//!
+//! Dataset encodings are query-independent, so the repository is encoded
+//! once (in parallel) and cached; each query then runs the matcher against
+//! cached `ET` matrices — the linear-scan path that Sec. VI's indexes prune.
+
+use lcdd_table::Table;
+use lcdd_tensor::Matrix;
+
+use crate::input::{filter_columns, process_table, ProcessedQuery, ProcessedTable};
+use crate::model::FcmModel;
+
+/// A repository with cached dataset-encoder outputs.
+pub struct EncodedRepository {
+    pub tables: Vec<ProcessedTable>,
+    /// Per table, per column: `N2 x K` segment representations.
+    pub encodings: Vec<Vec<Matrix>>,
+    /// Mean over all tables of the pooled (all-column, all-segment) table
+    /// embedding — the centering reference for the matcher's alignment
+    /// term.
+    pub pooled_mean: Matrix,
+}
+
+impl EncodedRepository {
+    /// Mean-pooled column embedding (`K` floats) — what the LSH index hashes
+    /// (Sec. VI-A: "derive its representation EC by averaging all
+    /// representations of segments belonging to that column").
+    pub fn column_embedding(&self, table: usize, column: usize) -> Vec<f32> {
+        let m = &self.encodings[table][column];
+        let (rows, cols) = m.shape();
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            for (o, &v) in out.iter_mut().zip(m.row(r)) {
+                *o += v;
+            }
+        }
+        for o in &mut out {
+            *o /= rows as f32;
+        }
+        out
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Encodes every table in parallel (the model is read-only and `Sync`).
+pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepository {
+    let processed: Vec<ProcessedTable> =
+        tables.iter().map(|t| process_table(t, &model.config)).collect();
+    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let per = processed.len().div_ceil(n_threads).max(1);
+    let mut encodings: Vec<Vec<Matrix>> = vec![Vec::new(); processed.len()];
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ci, chunk) in processed.chunks(per).enumerate() {
+            handles.push((ci * per, s.spawn(move |_| {
+                chunk
+                    .iter()
+                    .map(|pt| model.encode_table_values(pt))
+                    .collect::<Vec<Vec<Matrix>>>()
+            })));
+        }
+        for (start, h) in handles {
+            for (i, enc) in h.join().expect("encode worker panicked").into_iter().enumerate() {
+                encodings[start + i] = enc;
+            }
+        }
+    })
+    .expect("encode scope");
+
+    // Repository-mean pooled table embedding (centering reference).
+    let k = model.config.embed_dim;
+    let mut pooled_mean = Matrix::zeros(1, k);
+    let mut count = 0usize;
+    for table_enc in &encodings {
+        if table_enc.is_empty() {
+            continue;
+        }
+        let mut t_pool = vec![0.0f32; k];
+        let mut rows = 0usize;
+        for col in table_enc {
+            for r in 0..col.rows() {
+                for (acc, &v) in t_pool.iter_mut().zip(col.row(r)) {
+                    *acc += v;
+                }
+            }
+            rows += col.rows();
+        }
+        if rows > 0 {
+            for (m, v) in pooled_mean.as_mut_slice().iter_mut().zip(&t_pool) {
+                *m += v / rows as f32;
+            }
+            count += 1;
+        }
+    }
+    if count > 0 {
+        pooled_mean.scale_assign(1.0 / count as f32);
+    }
+    EncodedRepository { tables: processed, encodings, pooled_mean }
+}
+
+/// Scores the query against one cached table.
+pub fn score_against(model: &FcmModel, repo: &EncodedRepository, ev: &[Matrix], query: &ProcessedQuery, table_idx: usize) -> f32 {
+    let pt = &repo.tables[table_idx];
+    let cols = filter_columns(pt, query.y_range, model.config.range_slack);
+    let et: Vec<Matrix> = cols.iter().map(|&c| repo.encodings[table_idx][c].clone()).collect();
+    if et.is_empty() || ev.is_empty() {
+        return 0.0;
+    }
+    model.match_cached_centered(ev, &et, Some(&repo.pooled_mean))
+}
+
+/// Top-k search over the repository (or a candidate subset), parallelised.
+/// Returns `(table_index, score)` descending by score.
+pub fn search_top_k(
+    model: &FcmModel,
+    repo: &EncodedRepository,
+    query: &ProcessedQuery,
+    k: usize,
+    candidates: Option<&[usize]>,
+) -> Vec<(usize, f32)> {
+    if query.line_patches.is_empty() {
+        return Vec::new();
+    }
+    let ev = model.encode_query_values(query);
+    let indices: Vec<usize> = match candidates {
+        Some(c) => c.to_vec(),
+        None => (0..repo.len()).collect(),
+    };
+    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let per = indices.len().div_ceil(n_threads).max(1);
+    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(indices.len());
+    crossbeam::thread::scope(|s| {
+        let ev = &ev;
+        let mut handles = Vec::new();
+        for chunk in indices.chunks(per) {
+            handles.push(s.spawn(move |_| {
+                chunk
+                    .iter()
+                    .map(|&ti| (ti, score_against(model, repo, ev, query, ti)))
+                    .collect::<Vec<(usize, f32)>>()
+            }));
+        }
+        for h in handles {
+            scored.extend(h.join().expect("search worker panicked"));
+        }
+    })
+    .expect("search scope");
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FcmConfig;
+    use crate::input::process_query;
+    use lcdd_chart::{render, ChartStyle};
+    use lcdd_table::series::{DataSeries, UnderlyingData};
+    use lcdd_table::Column;
+    use lcdd_vision::VisualElementExtractor;
+
+    fn world() -> (FcmModel, Vec<Table>, ProcessedQuery) {
+        let model = FcmModel::new(FcmConfig::tiny());
+        let tables: Vec<Table> = (0..5)
+            .map(|i| {
+                let vals: Vec<f64> =
+                    (0..80).map(|j| ((j + i * 13) as f64 / 7.0).sin() * (i + 1) as f64).collect();
+                Table::new(i as u64, format!("t{i}"), vec![Column::new("c", vals)])
+            })
+            .collect();
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("q", tables[2].columns[0].values.clone())],
+        };
+        let chart = render(&data, &ChartStyle::default());
+        let q = process_query(&VisualElementExtractor::oracle().extract(&chart), &model.config);
+        (model, tables, q)
+    }
+
+    #[test]
+    fn repository_encodes_all_tables() {
+        let (model, tables, _) = world();
+        let repo = encode_repository(&model, &tables);
+        assert_eq!(repo.len(), 5);
+        for t in 0..5 {
+            assert_eq!(repo.encodings[t].len(), 1);
+            assert_eq!(
+                repo.encodings[t][0].shape(),
+                (model.config.n_data_segments(), model.config.embed_dim)
+            );
+        }
+    }
+
+    #[test]
+    fn column_embedding_is_segment_mean() {
+        let (model, tables, _) = world();
+        let repo = encode_repository(&model, &tables);
+        let emb = repo.column_embedding(0, 0);
+        assert_eq!(emb.len(), model.config.embed_dim);
+        let m = &repo.encodings[0][0];
+        let expect: f32 = (0..m.rows()).map(|r| m.get(r, 0)).sum::<f32>() / m.rows() as f32;
+        assert!((emb[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn search_returns_ranked_k() {
+        let (model, tables, q) = world();
+        let repo = encode_repository(&model, &tables);
+        let top = search_top_k(&model, &repo, &q, 3, None);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn candidate_subset_respected() {
+        let (model, tables, q) = world();
+        let repo = encode_repository(&model, &tables);
+        let top = search_top_k(&model, &repo, &q, 10, Some(&[1, 3]));
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().all(|&(i, _)| i == 1 || i == 3));
+    }
+}

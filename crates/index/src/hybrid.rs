@@ -1,0 +1,253 @@
+//! The hybrid indexing strategy (paper Sec. VI-A): interval tree ∩ LSH.
+//!
+//! Query processing: (1) the decoded y-tick range stabs the interval tree →
+//! candidate set `S1` (no false negatives); (2) each extracted line's
+//! pooled embedding probes the LSH index → `S2`; (3) `S1 ∩ S2` goes to the
+//! expensive FCM matcher. Either side can be disabled to reproduce the
+//! "Interval Tree only" / "LSH only" rows of Table VIII.
+
+use lcdd_table::Table;
+
+use crate::interval_tree::{Interval, IntervalTree};
+use crate::lsh::LshIndex;
+
+/// Which pruning stages are active (the four rows of Table VIII).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexStrategy {
+    NoIndex,
+    IntervalOnly,
+    LshOnly,
+    Hybrid,
+}
+
+impl IndexStrategy {
+    /// All four strategies in the paper's Table VIII order.
+    pub const ALL: [IndexStrategy; 4] = [
+        IndexStrategy::NoIndex,
+        IndexStrategy::IntervalOnly,
+        IndexStrategy::LshOnly,
+        IndexStrategy::Hybrid,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexStrategy::NoIndex => "No Index",
+            IndexStrategy::IntervalOnly => "Interval Tree",
+            IndexStrategy::LshOnly => "LSH",
+            IndexStrategy::Hybrid => "Hybrid",
+        }
+    }
+}
+
+/// Configuration of the hybrid index.
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    /// LSH signature bits.
+    pub lsh_bits: usize,
+    /// Hamming probe radius at query time.
+    pub lsh_radius: u32,
+    /// Multiplicative slack widening the interval query range (aggregated
+    /// charts can exceed raw column ranges).
+    pub range_slack: f64,
+    pub seed: u64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { lsh_bits: 12, lsh_radius: 2, range_slack: 0.5, seed: 0x15b }
+    }
+}
+
+/// The hybrid index over a repository.
+pub struct HybridIndex {
+    tree: IntervalTree,
+    lsh: LshIndex,
+    n_datasets: usize,
+    cfg: HybridConfig,
+}
+
+impl HybridIndex {
+    /// Builds both structures. `column_embeddings[t][c]` is the pooled
+    /// FCM embedding of column `c` of table `t` (Sec. VI-A).
+    pub fn build(
+        tables: &[Table],
+        column_embeddings: &[Vec<Vec<f32>>],
+        embed_dim: usize,
+        cfg: HybridConfig,
+    ) -> Self {
+        assert_eq!(tables.len(), column_embeddings.len(), "HybridIndex: size mismatch");
+        let mut intervals = Vec::new();
+        for (ti, t) in tables.iter().enumerate() {
+            for c in &t.columns {
+                if let Some((lo, hi)) = c.index_interval() {
+                    intervals.push(Interval { lo, hi, dataset_id: ti });
+                }
+            }
+        }
+        let tree = IntervalTree::build(intervals);
+        let mut lsh = LshIndex::new(embed_dim, cfg.lsh_bits, cfg.seed);
+        for (ti, cols) in column_embeddings.iter().enumerate() {
+            for emb in cols {
+                lsh.insert(ti, emb);
+            }
+        }
+        HybridIndex { tree, lsh, n_datasets: tables.len(), cfg }
+    }
+
+    /// Number of indexed datasets.
+    pub fn len(&self) -> usize {
+        self.n_datasets
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n_datasets == 0
+    }
+
+    /// Candidate datasets for a query under the given strategy.
+    ///
+    /// `y_range` is the decoded tick range (interval stage skipped when
+    /// `None`); `line_embeddings` are the pooled per-line query embeddings
+    /// (LSH stage skipped when empty).
+    pub fn candidates(
+        &self,
+        strategy: IndexStrategy,
+        y_range: Option<(f64, f64)>,
+        line_embeddings: &[Vec<f32>],
+    ) -> Vec<usize> {
+        let all = || (0..self.n_datasets).collect::<Vec<usize>>();
+        let interval_side = |range: Option<(f64, f64)>| -> Vec<usize> {
+            match range {
+                Some((lo, hi)) => {
+                    let span = (hi - lo).abs().max(1e-12);
+                    self.tree
+                        .query(lo - span * self.cfg.range_slack, hi + span * self.cfg.range_slack)
+                }
+                None => all(),
+            }
+        };
+        let lsh_side = |lines: &[Vec<f32>]| -> Vec<usize> {
+            if lines.is_empty() {
+                return all();
+            }
+            let mut s2: Vec<usize> = lines
+                .iter()
+                .flat_map(|e| self.lsh.query(e, self.cfg.lsh_radius))
+                .collect();
+            s2.sort_unstable();
+            s2.dedup();
+            s2
+        };
+        match strategy {
+            IndexStrategy::NoIndex => all(),
+            IndexStrategy::IntervalOnly => interval_side(y_range),
+            IndexStrategy::LshOnly => lsh_side(line_embeddings),
+            IndexStrategy::Hybrid => {
+                let s1 = interval_side(y_range);
+                let s2 = lsh_side(line_embeddings);
+                // Sorted intersection.
+                let mut out = Vec::with_capacity(s1.len().min(s2.len()));
+                let (mut i, mut j) = (0, 0);
+                while i < s1.len() && j < s2.len() {
+                    match s1[i].cmp(&s2[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(s1[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_table::Column;
+
+    fn world() -> (Vec<Table>, Vec<Vec<Vec<f32>>>) {
+        let tables = vec![
+            Table::new(0, "low", vec![Column::new("a", vec![0.0, 1.0, 2.0])]),
+            Table::new(1, "mid", vec![Column::new("a", vec![10.0, 12.0, 14.0])]),
+            Table::new(2, "high", vec![Column::new("a", vec![100.0, 110.0, 120.0])]),
+        ];
+        // Embeddings: tables 0/1 similar, table 2 orthogonal-ish.
+        let emb = vec![
+            vec![vec![1.0, 0.0, 0.0, 0.0]],
+            vec![vec![0.98, 0.05, 0.0, 0.0]],
+            vec![vec![0.0, 0.0, 1.0, 0.0]],
+        ];
+        (tables, emb)
+    }
+
+    #[test]
+    fn no_index_returns_all() {
+        let (tables, emb) = world();
+        let idx = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        assert_eq!(idx.candidates(IndexStrategy::NoIndex, None, &[]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn interval_prunes_by_range() {
+        let (tables, emb) = world();
+        let idx = HybridIndex::build(
+            &tables,
+            &emb,
+            4,
+            HybridConfig { range_slack: 0.0, ..Default::default() },
+        );
+        let c = idx.candidates(IndexStrategy::IntervalOnly, Some((9.0, 15.0)), &[]);
+        assert_eq!(c, vec![1]);
+        // Missing range -> no pruning (no false negatives).
+        let c = idx.candidates(IndexStrategy::IntervalOnly, None, &[]);
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lsh_prunes_by_embedding() {
+        let (tables, emb) = world();
+        let idx = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        let c = idx.candidates(IndexStrategy::LshOnly, None, &[vec![1.0, 0.0, 0.0, 0.0]]);
+        assert!(c.contains(&0), "identical embedding must collide");
+        assert!(!c.contains(&2), "orthogonal table should be pruned");
+    }
+
+    #[test]
+    fn hybrid_is_intersection() {
+        let (tables, emb) = world();
+        let idx = HybridIndex::build(
+            &tables,
+            &emb,
+            4,
+            HybridConfig { range_slack: 0.0, ..Default::default() },
+        );
+        let q_emb = vec![vec![1.0, 0.0, 0.0, 0.0]];
+        let s1 = idx.candidates(IndexStrategy::IntervalOnly, Some((0.0, 3.0)), &q_emb);
+        let s2 = idx.candidates(IndexStrategy::LshOnly, Some((0.0, 3.0)), &q_emb);
+        let h = idx.candidates(IndexStrategy::Hybrid, Some((0.0, 3.0)), &q_emb);
+        for &d in &h {
+            assert!(s1.contains(&d) && s2.contains(&d));
+        }
+        assert!(h.contains(&0));
+    }
+
+    #[test]
+    fn interval_covers_sum_reach() {
+        // Table 0's column sums to 3.0: a query near 3 must keep it.
+        let (tables, emb) = world();
+        let idx = HybridIndex::build(
+            &tables,
+            &emb,
+            4,
+            HybridConfig { range_slack: 0.0, ..Default::default() },
+        );
+        let c = idx.candidates(IndexStrategy::IntervalOnly, Some((2.5, 3.5)), &[]);
+        assert!(c.contains(&0));
+    }
+}

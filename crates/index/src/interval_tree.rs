@@ -1,0 +1,169 @@
+//! Interval tree over column value ranges (paper Sec. VI-A).
+//!
+//! Each column `C` of each candidate dataset is indexed by the interval
+//! `[min(C), sum(C)]` — the extremes any aggregation operator can reach —
+//! and a query's decoded y-tick range is used as a stabbing-overlap query.
+//! The tree is a static, balanced augmented BST built once over all
+//! intervals (the repository is read-mostly), giving `O(log n + k)` overlap
+//! queries with zero false negatives.
+
+/// One indexed interval: `[lo, hi]` owned by `dataset_id`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+    pub dataset_id: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    center: Interval,
+    /// Max `hi` in this subtree (the classic augmentation).
+    max_hi: f64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// Static augmented interval tree.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// Builds a balanced tree from the given intervals (sorted by `lo`,
+    /// median-split). Non-finite intervals are dropped.
+    pub fn build(mut intervals: Vec<Interval>) -> Self {
+        intervals.retain(|iv| iv.lo.is_finite() && iv.hi.is_finite() && iv.lo <= iv.hi);
+        let len = intervals.len();
+        intervals.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());
+        let root = Self::build_node(&intervals);
+        IntervalTree { root, len }
+    }
+
+    fn build_node(sorted: &[Interval]) -> Option<Box<Node>> {
+        if sorted.is_empty() {
+            return None;
+        }
+        let mid = sorted.len() / 2;
+        let left = Self::build_node(&sorted[..mid]);
+        let right = Self::build_node(&sorted[mid + 1..]);
+        let mut max_hi = sorted[mid].hi;
+        if let Some(l) = &left {
+            max_hi = max_hi.max(l.max_hi);
+        }
+        if let Some(r) = &right {
+            max_hi = max_hi.max(r.max_hi);
+        }
+        Some(Box::new(Node { center: sorted[mid], max_hi, left, right }))
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no intervals are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Collects the `dataset_id`s of every interval overlapping
+    /// `[lo, hi]` (deduplicated, ascending).
+    pub fn query(&self, lo: f64, hi: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        Self::query_node(&self.root, lo, hi, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn query_node(node: &Option<Box<Node>>, lo: f64, hi: f64, out: &mut Vec<usize>) {
+        let Some(n) = node else { return };
+        // Subtree pruning: nothing in this subtree reaches the query.
+        if n.max_hi < lo {
+            return;
+        }
+        // Left subtree may always contain overlaps (its lo are smaller).
+        Self::query_node(&n.left, lo, hi, out);
+        if n.center.lo <= hi && n.center.hi >= lo {
+            out.push(n.center.dataset_id);
+        }
+        // Right subtree only if its smallest lo could still be <= hi.
+        if n.center.lo <= hi {
+            Self::query_node(&n.right, lo, hi, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> IntervalTree {
+        IntervalTree::build(vec![
+            Interval { lo: 0.0, hi: 10.0, dataset_id: 0 },
+            Interval { lo: 5.0, hi: 15.0, dataset_id: 1 },
+            Interval { lo: 20.0, hi: 30.0, dataset_id: 2 },
+            Interval { lo: -10.0, hi: -5.0, dataset_id: 3 },
+            Interval { lo: 8.0, hi: 9.0, dataset_id: 0 }, // second column of ds 0
+        ])
+    }
+
+    #[test]
+    fn overlap_queries() {
+        let t = tree();
+        assert_eq!(t.query(9.0, 21.0), vec![0, 1, 2]);
+        assert_eq!(t.query(-7.0, -6.0), vec![3]);
+        assert_eq!(t.query(16.0, 19.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn touching_endpoints_count_as_overlap() {
+        let t = tree();
+        assert_eq!(t.query(15.0, 16.0), vec![1]);
+        assert_eq!(t.query(30.0, 99.0), vec![2]);
+    }
+
+    #[test]
+    fn duplicate_dataset_ids_deduplicated() {
+        let t = tree();
+        // [8,10] overlaps both intervals of dataset 0 and one of dataset 1.
+        assert_eq!(t.query(8.0, 10.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let t = IntervalTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.query(0.0, 1.0).is_empty());
+        let t = IntervalTree::build(vec![Interval { lo: f64::NAN, hi: 1.0, dataset_id: 7 }]);
+        assert!(t.is_empty(), "NaN interval must be dropped");
+    }
+
+    #[test]
+    fn no_false_negatives_exhaustive() {
+        // Brute-force comparison on a pseudo-random interval set.
+        let intervals: Vec<Interval> = (0..200)
+            .map(|i| {
+                let lo = ((i * 37) % 100) as f64 - 50.0;
+                let hi = lo + ((i * 13) % 30) as f64;
+                Interval { lo, hi, dataset_id: i }
+            })
+            .collect();
+        let tree = IntervalTree::build(intervals.clone());
+        for q in 0..50 {
+            let qlo = ((q * 17) % 120) as f64 - 60.0;
+            let qhi = qlo + ((q * 7) % 40) as f64;
+            let mut expect: Vec<usize> = intervals
+                .iter()
+                .filter(|iv| iv.lo <= qhi && iv.hi >= qlo)
+                .map(|iv| iv.dataset_id)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(tree.query(qlo, qhi), expect, "query [{qlo}, {qhi}]");
+        }
+    }
+}

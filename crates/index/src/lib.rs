@@ -1,0 +1,15 @@
+//! # lcdd-index
+//!
+//! The hybrid query-processing index of the paper (Sec. VI-A): an
+//! augmented [`interval_tree`] over `[min(C), sum(C)]` column intervals
+//! (zero false negatives), sign-random-projection [`lsh`] over learned
+//! column embeddings, and their intersection ([`hybrid`]) which prunes the
+//! candidate set before the expensive FCM matcher runs.
+
+pub mod hybrid;
+pub mod interval_tree;
+pub mod lsh;
+
+pub use hybrid::{HybridConfig, HybridIndex, IndexStrategy};
+pub use interval_tree::{Interval, IntervalTree};
+pub use lsh::LshIndex;

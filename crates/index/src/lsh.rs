@@ -1,0 +1,163 @@
+//! Random-hyperplane LSH over learned column embeddings (paper Sec. VI-A).
+//!
+//! Each column embedding `E_C` (the mean of its segment representations) is
+//! hashed to a `K`-bit signature by signs of dot products with `K` random
+//! hyperplanes (sign-random-projection — the cosine-similarity LSH family).
+//! Datasets collide with a query line when any of their column signatures
+//! fall within a small Hamming radius of the line's signature (multi-probe
+//! flavour of the paper's reference \[21\]).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sign-random-projection LSH index mapping signatures → dataset ids.
+pub struct LshIndex {
+    hyperplanes: Vec<Vec<f32>>,
+    buckets: HashMap<u64, Vec<usize>>,
+    dim: usize,
+    bits: usize,
+}
+
+impl LshIndex {
+    /// Creates an empty index with `bits` hyperplanes over `dim`-dim
+    /// embeddings.
+    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
+        assert!(bits > 0 && bits <= 64, "LshIndex: bits must be in 1..=64");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hyperplanes = (0..bits)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        // Rademacher-like gaussian via Box-Muller.
+                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                        let u2: f32 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                    })
+                    .collect()
+            })
+            .collect();
+        LshIndex { hyperplanes, buckets: HashMap::new(), dim, bits }
+    }
+
+    /// Signature bit width.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Computes the signature of an embedding.
+    pub fn signature(&self, embedding: &[f32]) -> u64 {
+        assert_eq!(embedding.len(), self.dim, "LshIndex: embedding width mismatch");
+        let mut sig = 0u64;
+        for (b, hp) in self.hyperplanes.iter().enumerate() {
+            let dot: f32 = hp.iter().zip(embedding).map(|(&h, &e)| h * e).sum();
+            if dot >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    /// Indexes one column embedding of a dataset.
+    pub fn insert(&mut self, dataset_id: usize, embedding: &[f32]) {
+        let sig = self.signature(embedding);
+        self.buckets.entry(sig).or_default().push(dataset_id);
+    }
+
+    /// Number of occupied buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Datasets whose signatures are within Hamming distance `radius` of the
+    /// query embedding's signature (deduplicated, ascending). `radius = 0`
+    /// is exact-bucket lookup; small radii implement multi-probe.
+    pub fn query(&self, embedding: &[f32], radius: u32) -> Vec<usize> {
+        let sig = self.signature(embedding);
+        let mut out = Vec::new();
+        if radius == 0 {
+            if let Some(b) = self.buckets.get(&sig) {
+                out.extend_from_slice(b);
+            }
+        } else {
+            for (&bsig, ids) in &self.buckets {
+                if (bsig ^ sig).count_ones() <= radius {
+                    out.extend_from_slice(ids);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    #[test]
+    fn identical_embeddings_collide() {
+        let mut idx = LshIndex::new(8, 16, 3);
+        let e = vec![0.3, -0.7, 0.2, 0.9, -0.1, 0.5, -0.4, 0.8];
+        idx.insert(5, &e);
+        assert_eq!(idx.query(&e, 0), vec![5]);
+    }
+
+    #[test]
+    fn near_duplicates_collide_with_high_probability() {
+        let mut idx = LshIndex::new(16, 12, 7);
+        let base: Vec<f32> = (0..16).map(|i| ((i * 7) as f32).sin()).collect();
+        let near: Vec<f32> = base.iter().map(|&v| v + 0.01).collect();
+        idx.insert(1, &base);
+        let hits = idx.query(&near, 1);
+        assert!(hits.contains(&1), "tiny perturbation must stay within radius 1");
+    }
+
+    #[test]
+    fn orthogonal_embeddings_usually_separate() {
+        let mut idx = LshIndex::new(32, 24, 11);
+        idx.insert(0, &unit(32, 0));
+        let hits = idx.query(&unit(32, 17), 0);
+        // Orthogonal vectors agree on each bit with p=0.5 -> 2^-24 chance of
+        // exact collision.
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn radius_monotonicity() {
+        let mut idx = LshIndex::new(8, 10, 5);
+        for i in 0..20 {
+            let e: Vec<f32> = (0..8).map(|j| ((i * 3 + j * 5) as f32).sin()).collect();
+            idx.insert(i, &e);
+        }
+        let q: Vec<f32> = (0..8).map(|j| (j as f32).cos()).collect();
+        let r0 = idx.query(&q, 0).len();
+        let r2 = idx.query(&q, 2).len();
+        let r10 = idx.query(&q, 10).len();
+        assert!(r0 <= r2 && r2 <= r10);
+        assert_eq!(r10, 20, "radius = bits returns everything");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = LshIndex::new(8, 16, 9);
+        let b = LshIndex::new(8, 16, 9);
+        let e = vec![0.5; 8];
+        assert_eq!(a.signature(&e), b.signature(&e));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_dim_panics() {
+        let idx = LshIndex::new(8, 8, 1);
+        let _ = idx.signature(&[1.0; 4]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property-based invariants for the hybrid index structures.
+
+use lcdd_index::{Interval, IntervalTree, LshIndex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interval_tree_matches_bruteforce(
+        raw in proptest::collection::vec((-100.0f64..100.0, 0.0f64..50.0), 0..60),
+        qlo in -120.0f64..120.0,
+        qspan in 0.0f64..60.0,
+    ) {
+        let intervals: Vec<Interval> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(lo, span))| Interval { lo, hi: lo + span, dataset_id: i % 20 })
+            .collect();
+        let tree = IntervalTree::build(intervals.clone());
+        let qhi = qlo + qspan;
+        let mut expect: Vec<usize> = intervals
+            .iter()
+            .filter(|iv| iv.lo <= qhi && iv.hi >= qlo)
+            .map(|iv| iv.dataset_id)
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(tree.query(qlo, qhi), expect);
+    }
+
+    #[test]
+    fn lsh_self_collision_and_radius_monotone(
+        emb in proptest::collection::vec(-1.0f32..1.0, 8),
+        bits in 4usize..20,
+    ) {
+        let mut idx = LshIndex::new(8, bits, 42);
+        idx.insert(3, &emb);
+        // Exact self-collision always holds.
+        prop_assert_eq!(idx.query(&emb, 0), vec![3]);
+        // Growing the radius never loses results.
+        let r1 = idx.query(&emb, 1).len();
+        let r3 = idx.query(&emb, 3).len();
+        prop_assert!(r1 <= r3);
+    }
+
+    #[test]
+    fn lsh_signature_deterministic(emb in proptest::collection::vec(-1.0f32..1.0, 16)) {
+        let a = LshIndex::new(16, 12, 7);
+        let b = LshIndex::new(16, 12, 7);
+        prop_assert_eq!(a.signature(&emb), b.signature(&emb));
+    }
+}

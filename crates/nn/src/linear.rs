@@ -1,0 +1,109 @@
+//! Fully-connected (affine) layer.
+
+use lcdd_tensor::{init, ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+
+use crate::module::scoped;
+
+/// `y = x W + b` with `x: (n, in_dim)`, `W: (in_dim, out_dim)`, `b: (1, out_dim)`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers weights (Xavier-uniform) and an optional zero bias.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(scoped(prefix, "w"), init::xavier_uniform(rng, in_dim, out_dim));
+        let b = bias.then(|| store.add(scoped(prefix, "b"), init::zeros(1, out_dim)));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, store: &ParamStore, tape: &Tape, x: &Var) -> Var {
+        assert_eq!(
+            x.shape().1,
+            self.in_dim,
+            "Linear::forward: expected input width {}, got {}",
+            self.in_dim,
+            x.shape().1
+        );
+        let w = store.leaf(tape, self.w);
+        let y = x.matmul(&w);
+        match self.b {
+            Some(b) => y.add_row_broadcast(&store.leaf(tape, b)),
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_tensor::{Matrix, Sgd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, &mut rng, "l", 3, 2, true);
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::from_vec(4, 3, vec![0.5; 12]));
+        let y = lin.forward(&store, &tape, &x);
+        assert_eq!(y.shape(), (4, 2));
+    }
+
+    #[test]
+    fn trainable_to_fit_identity_target() {
+        // Tiny regression: y_target = 2 * x; a 1->1 linear layer must fit it.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(&mut store, &mut rng, "l", 1, 1, true);
+        let mut opt = Sgd::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let tape = Tape::new();
+            let x = tape.leaf(Matrix::from_vec(4, 1, vec![-1.0, 0.0, 1.0, 2.0]));
+            let target = tape.constant(Matrix::from_vec(4, 1, vec![-2.0, 0.0, 2.0, 4.0]));
+            let pred = lin.forward(&store, &tape, &x);
+            let loss = pred.sub(&target).square().mean_all();
+            tape.backward(&loss);
+            store.apply_grads(&tape, &mut opt);
+            last = loss.scalar();
+        }
+        assert!(last < 1e-3, "final loss = {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected input width")]
+    fn width_mismatch_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = Linear::new(&mut store, &mut rng, "l", 3, 2, false);
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(1, 4));
+        let _ = lin.forward(&store, &tape, &x);
+    }
+}

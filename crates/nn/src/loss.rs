@@ -1,0 +1,177 @@
+//! Training objectives.
+//!
+//! The paper's loss (Eq. 2) is a class-balanced binary cross-entropy:
+//!
+//! ```text
+//! L = -[ 1/Npos * Σ r_i log(r̂_i)  +  1/Nneg * Σ (1 - r_i) log(1 - r̂_i) ]
+//! ```
+
+use lcdd_tensor::{Matrix, Tape, Var};
+
+const EPS: f32 = 1e-7;
+
+/// Class-balanced BCE exactly as in Eq. (2). `preds` must be an `(n,1)`
+/// column of probabilities in `(0,1)`; `labels` are the ground-truth `r_i`
+/// (0.0 or 1.0 — soft labels in between are also accepted, counted toward
+/// the positive pool when `> 0.5`).
+///
+/// Returns a `1x1` scalar loss. Panics when predictions and labels disagree
+/// in length or when there is not at least one example.
+pub fn balanced_bce(tape: &Tape, preds: &Var, labels: &[f32]) -> Var {
+    let (n, w) = preds.shape();
+    assert_eq!(w, 1, "balanced_bce: preds must be a column");
+    assert_eq!(n, labels.len(), "balanced_bce: {n} preds vs {} labels", labels.len());
+    assert!(n > 0, "balanced_bce: empty batch");
+    let n_pos = labels.iter().filter(|&&r| r > 0.5).count().max(1) as f32;
+    let n_neg = labels.iter().filter(|&&r| r <= 0.5).count().max(1) as f32;
+
+    // Weight vector: r_i / Npos for the positive term, (1-r_i) / Nneg for
+    // the negative term.
+    let pos_w: Vec<f32> = labels.iter().map(|&r| r / n_pos).collect();
+    let neg_w: Vec<f32> = labels.iter().map(|&r| (1.0 - r) / n_neg).collect();
+
+    let pos_weights = tape.constant(Matrix::from_vec(n, 1, pos_w));
+    let neg_weights = tape.constant(Matrix::from_vec(n, 1, neg_w));
+
+    let log_p = preds.ln_clamped(EPS);
+    let log_1mp = preds.neg().add_scalar(1.0).ln_clamped(EPS);
+    let pos_term = log_p.mul(&pos_weights).sum_all();
+    let neg_term = log_1mp.mul(&neg_weights).sum_all();
+    pos_term.add(&neg_term).neg()
+}
+
+/// Class-balanced BCE over raw **logits** (numerically stable):
+/// `loss_i = softplus(z_i) - z_i * r_i`, each term weighted `1/Npos` or
+/// `1/Nneg` exactly as in Eq. (2). Unlike [`balanced_bce`] the gradient
+/// `sigmoid(z) - r` never vanishes to exactly zero, so saturated
+/// predictions keep learning.
+pub fn balanced_bce_logits(tape: &Tape, logits: &Var, labels: &[f32]) -> Var {
+    let (n, w) = logits.shape();
+    assert_eq!(w, 1, "balanced_bce_logits: logits must be a column");
+    assert_eq!(n, labels.len(), "balanced_bce_logits: length mismatch");
+    assert!(n > 0, "balanced_bce_logits: empty batch");
+    let n_pos = labels.iter().filter(|&&r| r > 0.5).count().max(1) as f32;
+    let n_neg = labels.iter().filter(|&&r| r <= 0.5).count().max(1) as f32;
+    // weight_i: positives averaged over Npos, negatives over Nneg.
+    let weights: Vec<f32> = labels
+        .iter()
+        .map(|&r| if r > 0.5 { 1.0 / n_pos } else { 1.0 / n_neg })
+        .collect();
+    let wv = tape.constant(Matrix::from_vec(n, 1, weights));
+    let tv = tape.constant(Matrix::from_vec(n, 1, labels.to_vec()));
+    let per_example = logits.softplus().sub(&logits.mul(&tv));
+    per_example.mul(&wv).sum_all()
+}
+
+/// Differentiable cosine-similarity row: `q (1 x K)` against each of the
+/// `cands` (`1 x K` each), returning `1 x n`. Norms are computed in log
+/// space for stability. Used by contrastive objectives.
+pub fn cosine_scores(q: &Var, cands: &[Var]) -> Var {
+    let eps = 1e-6;
+    let qn = q.mul(q).sum_all().add_scalar(eps).ln_clamped(1e-12).scale(0.5); // log ||q||
+    let scores: Vec<Var> = cands
+        .iter()
+        .map(|c| {
+            let dot = q.mul(c).sum_all();
+            let cn = c.mul(c).sum_all().add_scalar(eps).ln_clamped(1e-12).scale(0.5);
+            let inv = qn.add(&cn).neg().exp_var();
+            dot.mul(&inv)
+        })
+        .collect();
+    Var::concat_cols(&scores)
+}
+
+/// Plain mean-squared error between a prediction column and targets.
+pub fn mse(tape: &Tape, preds: &Var, targets: &[f32]) -> Var {
+    let (n, w) = preds.shape();
+    assert_eq!(w, 1, "mse: preds must be a column");
+    assert_eq!(n, targets.len(), "mse: length mismatch");
+    let t = tape.constant(Matrix::from_vec(n, 1, targets.to_vec()));
+    preds.sub(&t).square().mean_all()
+}
+
+/// InfoNCE-style contrastive loss used to train the LineNet-role baseline
+/// encoder: `-log( exp(s_pos/τ) / Σ_j exp(s_j/τ) )` where `scores` is a
+/// `1 x n` row of similarities and `positive` indexes the matching entry.
+pub fn contrastive_nce(tape: &Tape, scores: &Var, positive: usize, temperature: f32) -> Var {
+    let (r, n) = scores.shape();
+    assert_eq!(r, 1, "contrastive_nce: scores must be a row");
+    assert!(positive < n, "contrastive_nce: positive index out of range");
+    assert!(temperature > 0.0, "contrastive_nce: temperature must be positive");
+    let probs = scores.scale(1.0 / temperature).softmax_rows();
+    let mut mask = vec![0.0f32; n];
+    mask[positive] = -1.0;
+    let mask = tape.constant(Matrix::from_vec(1, n, mask));
+    probs.ln_clamped(EPS).mul(&mask).sum_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_scores_match_manual() {
+        let tape = Tape::new();
+        let q = tape.leaf(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let c = tape.leaf(Matrix::from_vec(1, 2, vec![4.0, 3.0]));
+        let s = cosine_scores(&q, &[c]).value();
+        // cos = (12+12)/(5*5) = 0.96
+        assert!((s.get(0, 0) - 0.96).abs() < 1e-4, "{}", s.get(0, 0));
+    }
+
+    #[test]
+    fn balanced_bce_perfect_predictions_near_zero() {
+        let tape = Tape::new();
+        let preds = tape.leaf(Matrix::from_vec(4, 1, vec![0.999, 0.001, 0.999, 0.001]));
+        let loss = balanced_bce(&tape, &preds, &[1.0, 0.0, 1.0, 0.0]);
+        assert!(loss.scalar() < 0.01, "loss = {}", loss.scalar());
+    }
+
+    #[test]
+    fn balanced_bce_wrong_predictions_large() {
+        let tape = Tape::new();
+        let preds = tape.leaf(Matrix::from_vec(2, 1, vec![0.01, 0.99]));
+        let loss = balanced_bce(&tape, &preds, &[1.0, 0.0]);
+        assert!(loss.scalar() > 4.0);
+    }
+
+    #[test]
+    fn balanced_bce_balances_classes() {
+        // 1 positive + 3 negatives: the positive term must not be swamped.
+        let tape = Tape::new();
+        let preds = tape.leaf(Matrix::from_vec(4, 1, vec![0.5, 0.5, 0.5, 0.5]));
+        let loss = balanced_bce(&tape, &preds, &[1.0, 0.0, 0.0, 0.0]).scalar();
+        // Both halves contribute ln(2): total = 2 ln 2 regardless of counts.
+        assert!((loss - 2.0 * std::f32::consts::LN_2).abs() < 1e-4, "loss = {loss}");
+    }
+
+    #[test]
+    fn balanced_bce_gradient_direction() {
+        let tape = Tape::new();
+        let preds = tape.leaf(Matrix::from_vec(2, 1, vec![0.3, 0.7]));
+        let loss = balanced_bce(&tape, &preds, &[1.0, 0.0]);
+        tape.backward(&loss);
+        let g = preds.grad().unwrap();
+        // Positive example underestimated -> gradient negative (increase p).
+        assert!(g.get(0, 0) < 0.0);
+        // Negative example overestimated -> gradient positive (decrease p).
+        assert!(g.get(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn nce_prefers_positive() {
+        let tape = Tape::new();
+        let good = tape.leaf(Matrix::from_vec(1, 3, vec![5.0, 0.0, 0.0]));
+        let bad = tape.leaf(Matrix::from_vec(1, 3, vec![0.0, 5.0, 0.0]));
+        let lg = contrastive_nce(&tape, &good, 0, 1.0).scalar();
+        let lb = contrastive_nce(&tape, &bad, 0, 1.0).scalar();
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn mse_zero_for_exact() {
+        let tape = Tape::new();
+        let preds = tape.leaf(Matrix::from_vec(2, 1, vec![1.5, -0.5]));
+        assert_eq!(mse(&tape, &preds, &[1.5, -0.5]).scalar(), 0.0);
+    }
+}

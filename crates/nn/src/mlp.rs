@@ -1,0 +1,107 @@
+//! Multi-layer perceptron.
+
+use lcdd_tensor::{ParamStore, Tape, Var};
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::module::{scoped, Activation};
+
+/// A stack of [`Linear`] layers with an activation between consecutive
+/// layers (none after the last).
+///
+/// Used throughout the paper: the transformer's position-wise feed-forward
+/// (Eq. 1), the DA transformation layers (Sec. V-B, two-layer MLPs), HMRL's
+/// child-combiner `f` (Sec. V-C) and the final relevance head (Sec. IV-D).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP over the widths in `dims` (e.g. `[64, 128, 1]` is a
+    /// two-layer network 64→128→1).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        prefix: &str,
+        dims: &[usize],
+        activation: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new: need at least input and output widths");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                Linear::new(store, rng, &scoped(prefix, &format!("fc{i}")), w[0], w[1], true)
+            })
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Applies the network.
+    pub fn forward(&self, store: &ParamStore, tape: &Tape, x: &Var) -> Var {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(store, tape, &h);
+            if i != last {
+                h = self.activation.apply(&h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_tensor::{Adam, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&mut store, &mut rng, "mlp", &[4, 8, 2], Activation::Relu);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(3, 4));
+        assert_eq!(mlp.forward(&store, &tape, &x).shape(), (3, 2));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the classic non-linear sanity check for an MLP + autograd.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mlp = Mlp::new(&mut store, &mut rng, "xor", &[2, 8, 1], Activation::Tanh);
+        let mut opt = Adam::new(0.05);
+        let xs = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let ys = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let x = tape.leaf(xs.clone());
+            let t = tape.constant(ys.clone());
+            let p = mlp.forward(&store, &tape, &x).sigmoid();
+            let loss = p.sub(&t).square().mean_all();
+            tape.backward(&loss);
+            store.apply_grads(&tape, &mut opt);
+            last = loss.scalar();
+        }
+        assert!(last < 0.03, "XOR loss did not converge: {last}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-modal alignment must be learnable with plain linear encoders and
+//! the InfoNCE + cosine machinery — guards the optimisation path the FCM
+//! trainer depends on.
+
+use lcdd_nn::{contrastive_nce, cosine_scores, Activation, Mlp};
+use lcdd_tensor::{Adam, Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn linear_encoders_align_with_infonce() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 24; // items
+    let da = 48; // modality-A feature dim
+    let db = 32; // modality-B feature dim
+    let k = 16; // embedding dim
+
+    // Shared latent factors; each modality observes a different random
+    // linear view of the same latent (the cross-modal setting).
+    let latents: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let view = |rng: &mut StdRng, rows: usize| -> Vec<Vec<f32>> {
+        (0..rows).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect()
+    };
+    let proj_a = view(&mut rng, da);
+    let proj_b = view(&mut rng, db);
+    let observe = |latent: &[f32], proj: &[Vec<f32>]| -> Vec<f32> {
+        proj.iter().map(|row| row.iter().zip(latent).map(|(&p, &l)| p * l).sum()).collect()
+    };
+    let xs_a: Vec<Vec<f32>> = latents.iter().map(|l| observe(l, &proj_a)).collect();
+    let xs_b: Vec<Vec<f32>> = latents.iter().map(|l| observe(l, &proj_b)).collect();
+
+    let mut store = ParamStore::new();
+    let enc_a = Mlp::new(&mut store, &mut rng, "a", &[da, k], Activation::Identity);
+    let enc_b = Mlp::new(&mut store, &mut rng, "b", &[db, k], Activation::Identity);
+    let mut opt = Adam::new(5e-3);
+
+    let mut first = None;
+    let mut last = 0.0;
+    for step in 0..300 {
+        let tape = Tape::new();
+        let qi = step % n;
+        let q = enc_a.forward(&store, &tape, &tape.leaf(Matrix::from_vec(1, da, xs_a[qi].clone())));
+        // Candidates: the matching B item + 3 in-batch negatives.
+        let mut cands = vec![qi];
+        for j in 1..=3 {
+            cands.push((qi + j * 7) % n);
+        }
+        let cand_vars: Vec<_> = cands
+            .iter()
+            .map(|&ci| {
+                enc_b.forward(&store, &tape, &tape.leaf(Matrix::from_vec(1, db, xs_b[ci].clone())))
+            })
+            .collect();
+        let sims = cosine_scores(&q, &cand_vars);
+        let loss = contrastive_nce(&tape, &sims, 0, 0.2);
+        tape.backward(&loss);
+        store.apply_grads(&tape, &mut opt);
+        last = loss.scalar();
+        if first.is_none() {
+            first = Some(last);
+        }
+    }
+    let first = first.unwrap();
+    assert!(
+        last < first * 0.5,
+        "InfoNCE alignment failed to train: first {first}, last {last}"
+    );
+}

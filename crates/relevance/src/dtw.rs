@@ -1,0 +1,124 @@
+//! Dynamic time warping (paper Sec. III-A uses DTW to define the low-level
+//! relevance between a chart's data series and a table column).
+
+/// Full O(n·m) DTW with absolute-difference local cost and a rolling DP row.
+pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let m = b.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for &ai in a {
+        curr[0] = f64::INFINITY;
+        for j in 1..=m {
+            let cost = (ai - b[j - 1]).abs();
+            curr[j] = cost + prev[j].min(prev[j - 1]).min(curr[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW constrained to a Sakoe-Chiba band of half-width `band` (after index
+/// rescaling for unequal lengths). `band == 0` degenerates to a rescaled
+/// point-wise comparison; larger bands approach full DTW.
+pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    let (n, m) = (a.len(), b.len());
+    // Effective band must at least cover the length difference.
+    let scale = m as f64 / n as f64;
+    let band = band.max(n.abs_diff(m)) + 1;
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        let center = (i as f64 * scale).round() as isize;
+        let j_lo = (center - band as isize).max(1) as usize;
+        let j_hi = ((center + band as isize) as usize).min(m);
+        curr[0] = f64::INFINITY;
+        // Cells outside the band stay INFINITY.
+        for c in curr.iter_mut().take(j_lo).skip(1) {
+            *c = f64::INFINITY;
+        }
+        for c in curr.iter_mut().take(m + 1).skip(j_hi + 1) {
+            *c = f64::INFINITY;
+        }
+        for j in j_lo..=j_hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            curr[j] = cost + prev[j].min(prev[j - 1]).min(curr[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_distance(&a, &a), 0.0);
+        assert_eq!(dtw_distance_banded(&a, &a, 2), 0.0);
+    }
+
+    #[test]
+    fn shifted_series_cheaper_than_euclidean() {
+        // b is a one-step shift of a: DTW should absorb most of it.
+        let a = [0.0, 0.0, 1.0, 2.0, 3.0, 0.0];
+        let b = [0.0, 1.0, 2.0, 3.0, 0.0, 0.0];
+        let euclid: f64 = a.iter().zip(&b).map(|(x, y): (&f64, &f64)| (x - y).abs()).sum();
+        let dtw = dtw_distance(&a, &b);
+        assert!(dtw < euclid, "dtw {dtw} >= euclid {euclid}");
+    }
+
+    #[test]
+    fn unequal_lengths_supported() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+        let d = dtw_distance(&a, &b);
+        assert!(d.is_finite());
+        assert!(d < 3.0, "stretched ramp should match closely, got {d}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw_distance(&[], &[]), 0.0);
+        assert!(dtw_distance(&[1.0], &[]).is_infinite());
+        assert!(dtw_distance_banded(&[], &[1.0], 3).is_infinite());
+    }
+
+    #[test]
+    fn banded_upper_bounds_full() {
+        // A band restricts warping, so banded distance >= full distance.
+        let a: Vec<f64> = (0..40).map(|i| ((i as f64) / 5.0).sin()).collect();
+        let b: Vec<f64> = (0..40).map(|i| ((i as f64 + 3.0) / 5.0).sin()).collect();
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, 4);
+        assert!(banded >= full - 1e-9, "banded {banded} < full {full}");
+        // With a huge band, banded equals full.
+        let wide = dtw_distance_banded(&a, &b, 64);
+        assert!((wide - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let b = [2.0, 7.0, 1.0, 8.0];
+        assert!((dtw_distance(&a, &b) - dtw_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_like_monotonicity() {
+        // Distance grows as series diverge.
+        let base: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let near: Vec<f64> = base.iter().map(|v| v + 0.1).collect();
+        let far: Vec<f64> = base.iter().map(|v| v + 5.0).collect();
+        assert!(dtw_distance(&base, &near) < dtw_distance(&base, &far));
+    }
+}

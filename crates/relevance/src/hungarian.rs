@@ -1,0 +1,187 @@
+//! Maximum-weight bipartite matching via the Hungarian (Kuhn–Munkres)
+//! algorithm, used to assemble the high-level relevance `Rel(D, T)` from
+//! per-pair scores (paper Sec. III-A).
+
+/// Solves maximum-weight bipartite matching on an `n x m` weight matrix
+/// (`weights[i][j]` = weight of matching left node `i` to right node `j`).
+///
+/// Unmatched pairings contribute zero (the matrix is implicitly padded to a
+/// square with zeros), so every weight should be non-negative for the
+/// matching to be meaningful — negative weights are treated as "never
+/// match" and clamped to 0.
+///
+/// Returns `(total_weight, assignment)` where `assignment[i] = Some(j)` maps
+/// left `i` to right `j`.
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> (f64, Vec<Option<usize>>) {
+    let n_left = weights.len();
+    if n_left == 0 {
+        return (0.0, Vec::new());
+    }
+    let n_right = weights.first().map_or(0, Vec::len);
+    if n_right == 0 {
+        return (0.0, vec![None; n_left]);
+    }
+    let n = n_left.max(n_right);
+
+    // Kuhn–Munkres minimises cost; negate (clamped) weights on a padded
+    // square matrix.
+    let big = 0.0f64;
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < n_left && j < n_right {
+            -weights[i][j].max(big)
+        } else {
+            0.0
+        }
+    };
+
+    // O(n^3) Hungarian with potentials (1-indexed helpers).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; n_left];
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= n_left && j <= n_right {
+            let w = weights[i - 1][j - 1];
+            if w > 0.0 {
+                assignment[i - 1] = Some(j - 1);
+                total += w;
+            }
+        }
+    }
+    (total, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_optimal() {
+        let w = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 3.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+        ];
+        let (total, assign) = max_weight_matching(&w);
+        assert_eq!(total, 9.0); // 3 + 3 + 3: (0,2), (1,1), (2,0)
+        assert_eq!(assign, vec![Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let w = vec![vec![5.0], vec![7.0], vec![1.0]];
+        let (total, assign) = max_weight_matching(&w);
+        assert_eq!(total, 7.0);
+        assert_eq!(assign[1], Some(0));
+        assert_eq!(assign[0], None);
+        assert_eq!(assign[2], None);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let w = vec![vec![1.0, 9.0, 2.0, 3.0]];
+        let (total, assign) = max_weight_matching(&w);
+        assert_eq!(total, 9.0);
+        assert_eq!(assign, vec![Some(1)]);
+    }
+
+    #[test]
+    fn no_two_share_a_column() {
+        let w = vec![vec![10.0, 9.0], vec![10.0, 1.0]];
+        let (total, assign) = max_weight_matching(&w);
+        // Best is (0,1)+(1,0)=19, not (0,0)+(1,0) which is illegal.
+        assert_eq!(total, 19.0);
+        let mut cols: Vec<usize> = assign.iter().flatten().copied().collect();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(max_weight_matching(&[]).0, 0.0);
+        let (t, a) = max_weight_matching(&[vec![], vec![]]);
+        assert_eq!(t, 0.0);
+        assert_eq!(a, vec![None, None]);
+    }
+
+    #[test]
+    fn greedy_is_suboptimal_here() {
+        // Greedy picks (0,0)=8 then (1,1)=1 -> 9; optimal is 7+6=13.
+        let w = vec![vec![8.0, 7.0], vec![6.0, 1.0]];
+        let (total, _) = max_weight_matching(&w);
+        assert_eq!(total, 13.0);
+    }
+
+    #[test]
+    fn brute_force_agreement_small() {
+        // Compare against exhaustive search on random-ish 4x4 weights.
+        let w: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| ((i * 7 + j * 13) % 11) as f64).collect())
+            .collect();
+        let (total, _) = max_weight_matching(&w);
+        // Exhaustive over all permutations of columns.
+        let mut best = 0.0f64;
+        let perms = [
+            [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2], [0, 3, 2, 1],
+            [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
+            [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0],
+            [3, 0, 1, 2], [3, 0, 2, 1], [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+        ];
+        for p in perms {
+            let s: f64 = p.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+            best = best.max(s);
+        }
+        assert!((total - best).abs() < 1e-9, "hungarian {total} != brute {best}");
+    }
+}

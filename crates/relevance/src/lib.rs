@@ -1,0 +1,14 @@
+//! # lcdd-relevance
+//!
+//! The ground-truth relevance substrate of the paper (Sec. III-A):
+//! dynamic time warping ([`dtw`]), maximum-weight bipartite matching
+//! ([`hungarian`]) and their composition into `Rel(D, T)` ([`rel`]), used
+//! to label training triplets and to generate benchmark ground truth.
+
+pub mod dtw;
+pub mod hungarian;
+pub mod rel;
+
+pub use dtw::{dtw_distance, dtw_distance_banded};
+pub use hungarian::max_weight_matching;
+pub use rel::{rel_data_table, rel_score, rel_series_column, RelMatch, RelevanceConfig};

@@ -1,0 +1,194 @@
+//! The ground-truth relevance `Rel(D, T)` (paper Sec. III-A):
+//!
+//! * low level — `rel(d, C) = 1 / (1 + DTW(d.y, C))`,
+//! * high level — maximum-weight bipartite matching between `D`'s series
+//!   and `T`'s columns over the low-level scores.
+
+use lcdd_table::normalize::resample;
+use lcdd_table::series::UnderlyingData;
+use lcdd_table::Table;
+
+use crate::dtw::{dtw_distance, dtw_distance_banded};
+use crate::hungarian::max_weight_matching;
+
+/// Parameters controlling how `Rel(D, T)` is computed.
+#[derive(Clone, Copy, Debug)]
+pub struct RelevanceConfig {
+    /// Series/columns are resampled to this length before DTW; keeps the
+    /// quadratic DP tractable over a whole repository and removes length
+    /// bias from the distance. `0` disables resampling.
+    pub resample_len: usize,
+    /// Sakoe-Chiba half-band for DTW; `0` means unconstrained DTW.
+    pub band: usize,
+    /// DTW cost is divided by the warping-free path length (the resample
+    /// length) so scores are comparable across configurations.
+    pub normalize_by_len: bool,
+}
+
+impl Default for RelevanceConfig {
+    fn default() -> Self {
+        RelevanceConfig { resample_len: 128, band: 16, normalize_by_len: true }
+    }
+}
+
+impl RelevanceConfig {
+    /// Exact (slow) configuration: full DTW on raw-length series.
+    pub fn exact() -> Self {
+        RelevanceConfig { resample_len: 0, band: 0, normalize_by_len: false }
+    }
+}
+
+fn dtw_cfg(a: &[f64], b: &[f64], cfg: &RelevanceConfig) -> f64 {
+    let (ra, rb);
+    let (a, b): (&[f64], &[f64]) = if cfg.resample_len > 0 {
+        ra = resample(a, cfg.resample_len);
+        rb = resample(b, cfg.resample_len);
+        (&ra, &rb)
+    } else {
+        (a, b)
+    };
+    let d = if cfg.band > 0 {
+        dtw_distance_banded(a, b, cfg.band)
+    } else {
+        dtw_distance(a, b)
+    };
+    if cfg.normalize_by_len && cfg.resample_len > 0 {
+        d / cfg.resample_len as f64
+    } else {
+        d
+    }
+}
+
+/// Low-level relevance `rel(d, C) = 1 / (1 + dist(d, C))`. X values are
+/// ignored by construction (only y values participate), per Sec. III-A.
+pub fn rel_series_column(d_ys: &[f64], column: &[f64], cfg: &RelevanceConfig) -> f64 {
+    let dist = dtw_cfg(d_ys, column, cfg);
+    if dist.is_finite() {
+        1.0 / (1.0 + dist)
+    } else {
+        0.0
+    }
+}
+
+/// Result of the high-level match: the score plus the series→column map.
+#[derive(Clone, Debug)]
+pub struct RelMatch {
+    /// Total matched weight (the `Rel(D, T)` value).
+    pub score: f64,
+    /// `assignment[i] = Some(j)`: series `i` matched to column `j`.
+    pub assignment: Vec<Option<usize>>,
+}
+
+/// High-level relevance `Rel(D, T)`: bipartite max matching of series to
+/// columns over low-level scores.
+pub fn rel_data_table(data: &UnderlyingData, table: &Table, cfg: &RelevanceConfig) -> RelMatch {
+    let weights: Vec<Vec<f64>> = data
+        .series
+        .iter()
+        .map(|d| {
+            table
+                .columns
+                .iter()
+                .map(|c| rel_series_column(&d.ys, &c.values, cfg))
+                .collect()
+        })
+        .collect();
+    let (score, assignment) = max_weight_matching(&weights);
+    RelMatch { score, assignment }
+}
+
+/// Convenience: just the scalar `Rel(D, T)`.
+pub fn rel_score(data: &UnderlyingData, table: &Table, cfg: &RelevanceConfig) -> f64 {
+    rel_data_table(data, table, cfg).score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_table::series::DataSeries;
+    use lcdd_table::Column;
+
+    fn cfg() -> RelevanceConfig {
+        RelevanceConfig::default()
+    }
+
+    fn ramp(n: usize, slope: f64) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * slope).collect()
+    }
+
+    #[test]
+    fn rel_is_one_for_identical() {
+        let d = ramp(100, 1.0);
+        assert!((rel_series_column(&d, &d, &cfg()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rel_decreases_with_distance() {
+        let d = ramp(100, 1.0);
+        let near: Vec<f64> = d.iter().map(|v| v + 0.5).collect();
+        let far: Vec<f64> = d.iter().map(|v| v + 50.0).collect();
+        let rn = rel_series_column(&d, &near, &cfg());
+        let rf = rel_series_column(&d, &far, &cfg());
+        assert!(rn > rf);
+        assert!(rn > 0.5);
+        assert!(rf < 0.1);
+    }
+
+    #[test]
+    fn rel_data_table_matches_each_series_to_own_column() {
+        let table = Table::new(
+            0,
+            "t",
+            vec![
+                Column::new("up", ramp(80, 1.0)),
+                Column::new("down", ramp(80, -1.0)),
+                Column::new("flat", vec![0.0; 80]),
+            ],
+        );
+        let data = UnderlyingData {
+            series: vec![
+                DataSeries::new("d0", ramp(80, -1.0)), // should match "down"
+                DataSeries::new("d1", ramp(80, 1.0)),  // should match "up"
+            ],
+        };
+        let m = rel_data_table(&data, &table, &cfg());
+        assert_eq!(m.assignment[0], Some(1));
+        assert_eq!(m.assignment[1], Some(0));
+        assert!(m.score > 1.8, "two near-perfect matches expected, got {}", m.score);
+    }
+
+    #[test]
+    fn true_source_table_beats_distractor() {
+        // The defining property the ground-truth generation relies on.
+        let src = Table::new(
+            0,
+            "src",
+            vec![Column::new("a", ramp(120, 0.3)), Column::new("b", vec![5.0; 120])],
+        );
+        let distractor = Table::new(
+            1,
+            "other",
+            vec![Column::new("x", ramp(120, -2.0)), Column::new("y", ramp(120, 7.0))],
+        );
+        let data = UnderlyingData { series: vec![DataSeries::new("q", ramp(120, 0.3))] };
+        assert!(
+            rel_score(&data, &src, &cfg()) > rel_score(&data, &distractor, &cfg()),
+            "source table must outrank distractor"
+        );
+    }
+
+    #[test]
+    fn resampling_handles_unequal_lengths() {
+        let d = ramp(37, 1.0);
+        let c = ramp(211, 37.0 / 211.0); // same endpoint slope overall
+        let r = rel_series_column(&d, &c, &cfg());
+        assert!(r > 0.5, "resampled comparison should be close, got {r}");
+    }
+
+    #[test]
+    fn exact_config_runs() {
+        let d = ramp(30, 1.0);
+        let r = rel_series_column(&d, &d, &RelevanceConfig::exact());
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

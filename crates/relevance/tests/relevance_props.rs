@@ -1,0 +1,82 @@
+//! Property-based invariants for the ground-truth relevance substrate.
+
+use lcdd_relevance::{dtw_distance, dtw_distance_banded, max_weight_matching};
+use proptest::prelude::*;
+
+fn series(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-50.0f64..50.0, 1..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dtw_identity(a in series(40)) {
+        prop_assert_eq!(dtw_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dtw_symmetry(a in series(30), b in series(30)) {
+        let d1 = dtw_distance(&a, &b);
+        let d2 = dtw_distance(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-9, "{} != {}", d1, d2);
+    }
+
+    #[test]
+    fn dtw_non_negative(a in series(30), b in series(30)) {
+        prop_assert!(dtw_distance(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn banded_never_below_full(a in series(25), b in series(25), band in 1usize..8) {
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, band);
+        prop_assert!(banded >= full - 1e-9, "banded {} < full {}", banded, full);
+    }
+
+    #[test]
+    fn dtw_bounded_by_pointwise_cost(a in series(25)) {
+        // Warping a series against a constant: DTW <= sum of |a_i - c|.
+        let c = 3.0;
+        let constant = vec![c; a.len()];
+        let pointwise: f64 = a.iter().map(|&v| (v - c).abs()).sum();
+        prop_assert!(dtw_distance(&a, &constant) <= pointwise + 1e-9);
+    }
+
+    #[test]
+    fn hungarian_matches_bruteforce_3x3(w in proptest::collection::vec(0.0f64..10.0, 9)) {
+        let m: Vec<Vec<f64>> = w.chunks(3).map(|r| r.to_vec()).collect();
+        let (total, assign) = max_weight_matching(&m);
+        // Exhaustive over 3! permutations.
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let best = perms
+            .iter()
+            .map(|p| p.iter().enumerate().map(|(i, &j)| m[i][j]).sum::<f64>())
+            .fold(f64::MIN, f64::max);
+        prop_assert!((total - best).abs() < 1e-9, "hungarian {} != brute {}", total, best);
+        // Assignment must be a partial injection.
+        let mut used: Vec<usize> = assign.iter().flatten().copied().collect();
+        used.sort_unstable();
+        let before = used.len();
+        used.dedup();
+        prop_assert_eq!(before, used.len(), "column used twice");
+    }
+
+    #[test]
+    fn hungarian_total_consistent_with_assignment(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let m: Vec<Vec<f64>> = (0..rows)
+            .map(|i| (0..cols).map(|j| (((seed as usize + i * 7 + j * 13) % 23) as f64) / 3.0).collect())
+            .collect();
+        let (total, assign) = max_weight_matching(&m);
+        let recomputed: f64 = assign
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| j.map(|j| m[i][j]))
+            .sum();
+        prop_assert!((total - recomputed).abs() < 1e-9);
+    }
+}

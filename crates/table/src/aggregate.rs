@@ -1,0 +1,135 @@
+//! Windowed data-aggregation operators (paper Sec. II & V).
+//!
+//! A line chart is often drawn from aggregated data: the column is split
+//! into consecutive windows of `window` rows and each window is reduced
+//! with one of four operators: `avg`, `sum`, `max`, `min`.
+
+/// The four aggregation operators the paper supports, plus `Identity` for
+//  non-aggregated charts (the fifth transformation-layer expert, Sec. V-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// No aggregation (identity expert).
+    Identity,
+    Avg,
+    Sum,
+    Max,
+    Min,
+}
+
+impl AggOp {
+    /// The four real aggregation operators (excluding `Identity`).
+    pub const AGGREGATORS: [AggOp; 4] = [AggOp::Avg, AggOp::Sum, AggOp::Max, AggOp::Min];
+
+    /// All five experts in the order the MoE layer indexes them.
+    pub const EXPERTS: [AggOp; 5] =
+        [AggOp::Identity, AggOp::Avg, AggOp::Sum, AggOp::Max, AggOp::Min];
+
+    /// Index of this operator within [`AggOp::EXPERTS`].
+    pub fn expert_index(self) -> usize {
+        match self {
+            AggOp::Identity => 0,
+            AggOp::Avg => 1,
+            AggOp::Sum => 2,
+            AggOp::Max => 3,
+            AggOp::Min => 4,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggOp::Identity => "none",
+            AggOp::Avg => "avg",
+            AggOp::Sum => "sum",
+            AggOp::Max => "max",
+            AggOp::Min => "min",
+        }
+    }
+
+    /// Reduces one window of values. Empty windows are undefined behaviour
+    /// at call sites and return NaN here to make the bug loud.
+    pub fn reduce(self, window: &[f64]) -> f64 {
+        if window.is_empty() {
+            return f64::NAN;
+        }
+        match self {
+            AggOp::Identity => window[0],
+            AggOp::Avg => window.iter().sum::<f64>() / window.len() as f64,
+            AggOp::Sum => window.iter().sum(),
+            AggOp::Max => window.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggOp::Min => window.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+/// Applies tumbling-window aggregation over `values`.
+///
+/// Consecutive non-overlapping windows of `window` rows are each reduced by
+/// `op`; a trailing partial window is also reduced (matching how charting
+/// tools aggregate the remainder of a series). `Identity` (or `window <= 1`)
+/// returns the input unchanged.
+pub fn aggregate(values: &[f64], op: AggOp, window: usize) -> Vec<f64> {
+    if op == AggOp::Identity || window <= 1 {
+        return values.to_vec();
+    }
+    values.chunks(window).map(|w| op.reduce(w)).collect()
+}
+
+/// Number of output points `aggregate` produces for an input of `n` rows.
+pub fn aggregated_len(n: usize, window: usize) -> usize {
+    if window <= 1 {
+        n
+    } else {
+        n.div_ceil(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: [f64; 7] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+
+    #[test]
+    fn avg_windows() {
+        assert_eq!(aggregate(&V, AggOp::Avg, 2), vec![1.5, 3.5, 5.5, 7.0]);
+    }
+
+    #[test]
+    fn sum_windows() {
+        assert_eq!(aggregate(&V, AggOp::Sum, 3), vec![6.0, 15.0, 7.0]);
+    }
+
+    #[test]
+    fn max_min_windows() {
+        assert_eq!(aggregate(&V, AggOp::Max, 4), vec![4.0, 7.0]);
+        assert_eq!(aggregate(&V, AggOp::Min, 4), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_and_window_one() {
+        assert_eq!(aggregate(&V, AggOp::Identity, 10), V.to_vec());
+        assert_eq!(aggregate(&V, AggOp::Sum, 1), V.to_vec());
+    }
+
+    #[test]
+    fn lengths_match_helper() {
+        for w in 1..10 {
+            assert_eq!(aggregate(&V, AggOp::Avg, w).len(), aggregated_len(V.len(), w));
+        }
+    }
+
+    #[test]
+    fn expert_indices_are_stable() {
+        assert_eq!(AggOp::Identity.expert_index(), 0);
+        assert_eq!(AggOp::EXPERTS[3], AggOp::Max);
+        for (i, op) in AggOp::EXPERTS.iter().enumerate() {
+            assert_eq!(op.expert_index(), i);
+        }
+    }
+
+    #[test]
+    fn window_larger_than_series() {
+        assert_eq!(aggregate(&V, AggOp::Sum, 100), vec![28.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Data-level augmentations for segmentation-model training (paper
+//! Sec. IV-A): transformations applied to the *tabular* data before
+//! re-rendering, so the augmented chart stays a legal, semantically valid
+//! line chart (unlike image flips, which corrupt ticks and labels).
+
+use rand::Rng;
+
+use crate::column::Column;
+use crate::table::Table;
+
+/// `Reverse`: each column `(a1..an)` becomes `(an..a1)`.
+pub fn reverse(table: &Table) -> Table {
+    let columns = table
+        .columns
+        .iter()
+        .map(|c| {
+            let mut v = c.values.clone();
+            v.reverse();
+            Column::new(c.name.clone(), v)
+        })
+        .collect();
+    Table::new(table.id, format!("{}#rev", table.name), columns)
+}
+
+/// `Partitioning`: splits every column at row `split`, yielding two tables
+/// (rows `[0, split)` and `[split, n)`).
+///
+/// # Panics
+/// Panics when `split` is 0 or ≥ the row count (either side would be empty).
+pub fn partition(table: &Table, split: usize) -> (Table, Table) {
+    let n = table.num_rows();
+    assert!(split > 0 && split < n, "partition: split {split} outside (0, {n})");
+    let left = table
+        .columns
+        .iter()
+        .map(|c| Column::new(c.name.clone(), c.values[..split].to_vec()))
+        .collect();
+    let right = table
+        .columns
+        .iter()
+        .map(|c| Column::new(c.name.clone(), c.values[split..].to_vec()))
+        .collect();
+    (
+        Table::new(table.id, format!("{}#l", table.name), left),
+        Table::new(table.id, format!("{}#r", table.name), right),
+    )
+}
+
+/// `Down-Sampling`: keeps one row out of every `rho` consecutive rows.
+///
+/// # Panics
+/// Panics when `rho == 0`.
+pub fn downsample(table: &Table, rho: usize) -> Table {
+    assert!(rho > 0, "downsample: rho must be positive");
+    let columns = table
+        .columns
+        .iter()
+        .map(|c| {
+            Column::new(
+                c.name.clone(),
+                c.values.iter().copied().step_by(rho).collect(),
+            )
+        })
+        .collect();
+    Table::new(table.id, format!("{}#ds{rho}", table.name), columns)
+}
+
+/// Randomly picks one of the three augmentations (paper Sec. IV-A) and
+/// applies it. Partitioning returns the left half or right half with equal
+/// probability. Tables with fewer than 4 rows are returned reversed (the
+/// only always-safe transform).
+pub fn random_augment(table: &Table, rng: &mut impl Rng) -> Table {
+    let n = table.num_rows();
+    if n < 4 {
+        return reverse(table);
+    }
+    match rng.gen_range(0..3) {
+        0 => reverse(table),
+        1 => {
+            let split = rng.gen_range(1..n);
+            let (l, r) = partition(table, split);
+            if rng.gen_bool(0.5) {
+                l
+            } else {
+                r
+            }
+        }
+        _ => downsample(table, rng.gen_range(2..=4)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t() -> Table {
+        Table::new(
+            7,
+            "t",
+            vec![
+                Column::new("a", vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+                Column::new("b", vec![5.0, 4.0, 3.0, 2.0, 1.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn reverse_reverses_every_column() {
+        let r = reverse(&t());
+        assert_eq!(r.columns[0].values, vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(r.columns[1].values, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Double reverse is identity on values.
+        assert_eq!(reverse(&r).columns[0].values, t().columns[0].values);
+    }
+
+    #[test]
+    fn partition_splits_rows() {
+        let (l, r) = partition(&t(), 2);
+        assert_eq!(l.num_rows(), 2);
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(l.columns[0].values, vec![1.0, 2.0]);
+        assert_eq!(r.columns[0].values, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn partition_rejects_empty_side() {
+        let _ = partition(&t(), 0);
+    }
+
+    #[test]
+    fn downsample_ratio() {
+        let d = downsample(&t(), 2);
+        assert_eq!(d.columns[0].values, vec![1.0, 3.0, 5.0]);
+        let d3 = downsample(&t(), 3);
+        assert_eq!(d3.columns[0].values, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn random_augment_preserves_table_validity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = random_augment(&t(), &mut rng);
+            assert!(a.num_rows() > 0);
+            assert_eq!(a.num_cols(), 2);
+            // Column lengths stay consistent (Table::new checks internally).
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A named numeric column (the paper's data series `C = (a1..aNR)`).
+
+/// One column of a dataset. All discovery-relevant columns are numeric; the
+/// paper treats every column as a data series over its row index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    /// Column header.
+    pub name: String,
+    /// Cell values, one per row.
+    pub values: Vec<f64>,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Column { name: name.into(), values }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum value (`None` for an empty column or all-NaN data).
+    pub fn min(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Sum of values (0 for empty).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().filter(|v| v.is_finite()).sum()
+    }
+
+    /// Arithmetic mean (`None` for empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.values.len() as f64)
+        }
+    }
+
+    /// Population standard deviation (`None` for empty).
+    pub fn std(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .values
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// The interval the paper indexes in its interval tree (Sec. VI-A):
+    /// `[min(C), sum(C)]` — min/sum being the extreme results any
+    /// aggregation operator can produce over (a window of) the column.
+    ///
+    /// For columns with negative values `sum` can undershoot `min`; the
+    /// interval is normalised so `lo <= hi` always holds.
+    pub fn index_interval(&self) -> Option<(f64, f64)> {
+        let min = self.min()?;
+        let max = self.max()?;
+        let sum = self.sum();
+        let lo = min.min(sum);
+        let hi = max.max(sum);
+        Some((lo, hi))
+    }
+
+    /// True when at least `ratio` of the cells are finite numbers.
+    pub fn mostly_finite(&self, ratio: f64) -> bool {
+        if self.values.is_empty() {
+            return false;
+        }
+        let finite = self.values.iter().filter(|v| v.is_finite()).count();
+        finite as f64 / self.values.len() as f64 >= ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        let c = Column::new("a", vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(4.0));
+        assert_eq!(c.sum(), 10.0);
+        assert_eq!(c.mean(), Some(2.5));
+        assert!((c.std().unwrap() - 1.118_034).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new("e", vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.min(), None);
+        assert_eq!(c.mean(), None);
+        assert!(!c.mostly_finite(0.5));
+    }
+
+    #[test]
+    fn index_interval_positive_values() {
+        let c = Column::new("a", vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.index_interval(), Some((1.0, 6.0)));
+    }
+
+    #[test]
+    fn index_interval_negative_sum() {
+        // sum = -6 < min = -3: interval must still be ordered.
+        let c = Column::new("a", vec![-1.0, -2.0, -3.0]);
+        let (lo, hi) = c.index_interval().unwrap();
+        assert!(lo <= hi);
+        assert_eq!(lo, -6.0);
+        assert_eq!(hi, -1.0);
+    }
+
+    #[test]
+    fn nan_handling() {
+        let c = Column::new("a", vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(3.0));
+        assert!(c.mostly_finite(0.6));
+        assert!(!c.mostly_finite(0.9));
+    }
+}

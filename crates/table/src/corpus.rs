@@ -1,0 +1,225 @@
+//! Synthetic Plotly-like corpus: `(table, visualization spec)` records.
+//!
+//! Stands in for the real Plotly corpus (paper Sec. VII-A) which cannot be
+//! shipped. Matches its *shape*: tables with heterogeneous column counts and
+//! row counts, a vis spec selecting which columns become lines, a skewed
+//! distribution over the number of lines `M` (paper Table I), and
+//! near-duplicate records so the benchmark's dedup stage has work to do.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::generators::{generate, SeriesFamily};
+use crate::table::Table;
+use crate::vis_spec::VisSpec;
+
+/// One Plotly-style record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    pub table: Table,
+    pub spec: VisSpec,
+    /// The family of each generated column (diagnostics / stratification).
+    pub families: Vec<SeriesFamily>,
+}
+
+/// Corpus generation parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of base records (near-duplicates come on top).
+    pub n_records: usize,
+    /// Inclusive row-count range for generated tables.
+    pub min_rows: usize,
+    pub max_rows: usize,
+    /// Fraction of records duplicated with tiny perturbations (tests the
+    /// benchmark's dedup stage).
+    pub near_duplicate_rate: f64,
+    /// RNG seed; the corpus is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_records: 200,
+            min_rows: 96,
+            max_rows: 320,
+            near_duplicate_rate: 0.05,
+            seed: 0x1ce_d15c,
+        }
+    }
+}
+
+/// Samples the number of lines `M` following the paper's Table I repository
+/// distribution: 36% single-line, 25% 2–4, 21% 5–7, 18% >7.
+pub fn sample_num_lines(rng: &mut impl Rng) -> usize {
+    let r: f64 = rng.gen();
+    if r < 0.36 {
+        1
+    } else if r < 0.61 {
+        rng.gen_range(2..=4)
+    } else if r < 0.82 {
+        rng.gen_range(5..=7)
+    } else {
+        rng.gen_range(8..=10)
+    }
+}
+
+/// Bucket labels used throughout the paper's tables for `M`.
+pub fn m_bucket(m: usize) -> &'static str {
+    match m {
+        1 => "1",
+        2..=4 => "2-4",
+        5..=7 => "5-7",
+        _ => ">7",
+    }
+}
+
+fn generate_record(rng: &mut StdRng, id: u64, cfg: &CorpusConfig) -> Record {
+    let rows = rng.gen_range(cfg.min_rows..=cfg.max_rows);
+    let m = sample_num_lines(rng);
+    // Tables usually carry a few extra, unplotted columns.
+    let extra = rng.gen_range(0..=2);
+    let n_cols = m + extra;
+
+    // Application-style value range shared by most columns of one table
+    // (sales in thousands vs. sensor millivolts etc.).
+    let base_scale = 10f64.powf(rng.gen_range(-1.0..3.0));
+    let base_offset = rng.gen_range(-2.0..2.0) * base_scale;
+
+    let mut columns = Vec::with_capacity(n_cols);
+    let mut families = Vec::with_capacity(n_cols);
+    // Plotted columns of one chart tend to be related: reuse one dominant
+    // family with occasional outliers.
+    let dominant = SeriesFamily::ALL[rng.gen_range(0..SeriesFamily::ALL.len())];
+    for c in 0..n_cols {
+        let family = if rng.gen_bool(0.7) {
+            dominant
+        } else {
+            SeriesFamily::ALL[rng.gen_range(0..SeriesFamily::ALL.len())]
+        };
+        let jitter = rng.gen_range(0.5..1.5);
+        let values = generate(rng, family, rows, base_scale * jitter, base_offset);
+        columns.push(Column::new(format!("c{c}"), values));
+        families.push(family);
+    }
+    let table = Table::new(id, format!("table_{id}"), columns);
+    let spec = VisSpec::plain((0..m).collect());
+    Record { table, spec, families }
+}
+
+fn perturb(record: &Record, rng: &mut StdRng, id: u64) -> Record {
+    let columns = record
+        .table
+        .columns
+        .iter()
+        .map(|c| {
+            let values = c
+                .values
+                .iter()
+                .map(|&v| v * rng.gen_range(0.999..1.001))
+                .collect();
+            Column::new(c.name.clone(), values)
+        })
+        .collect();
+    Record {
+        table: Table::new(id, format!("{}~dup", record.table.name), columns),
+        spec: record.spec.clone(),
+        families: record.families.clone(),
+    }
+}
+
+/// Builds the corpus. Near-duplicates are appended after the base records
+/// with fresh ids.
+pub fn build_corpus(cfg: &CorpusConfig) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut records: Vec<Record> = (0..cfg.n_records)
+        .map(|i| generate_record(&mut rng, i as u64, cfg))
+        .collect();
+    let n_dups = (cfg.n_records as f64 * cfg.near_duplicate_rate).round() as usize;
+    for d in 0..n_dups {
+        let src = rng.gen_range(0..cfg.n_records);
+        let dup = perturb(&records[src], &mut rng, (cfg.n_records + d) as u64);
+        records.push(dup);
+    }
+    records
+}
+
+/// Summary statistics of a corpus bucketed by `M` (regenerates the shape of
+/// paper Table I).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CorpusStats {
+    pub total: usize,
+    pub m1: usize,
+    pub m2_4: usize,
+    pub m5_7: usize,
+    pub m_gt7: usize,
+}
+
+/// Computes line-count bucket statistics.
+pub fn corpus_stats(records: &[Record]) -> CorpusStats {
+    let mut s = CorpusStats { total: records.len(), ..Default::default() };
+    for r in records {
+        match r.spec.num_lines() {
+            1 => s.m1 += 1,
+            2..=4 => s.m2_4 += 1,
+            5..=7 => s.m5_7 += 1,
+            _ => s.m_gt7 += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = CorpusConfig { n_records: 20, ..Default::default() };
+        let a = build_corpus(&cfg);
+        let b = build_corpus(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.table, y.table);
+        }
+    }
+
+    #[test]
+    fn spec_columns_exist() {
+        let cfg = CorpusConfig { n_records: 50, ..Default::default() };
+        for r in build_corpus(&cfg) {
+            for &ci in &r.spec.y_columns {
+                assert!(ci < r.table.num_cols());
+            }
+            assert!(r.table.num_rows() >= cfg.min_rows);
+            assert!(r.table.num_rows() <= cfg.max_rows);
+        }
+    }
+
+    #[test]
+    fn near_duplicates_appended() {
+        let cfg = CorpusConfig { n_records: 40, near_duplicate_rate: 0.25, ..Default::default() };
+        let corpus = build_corpus(&cfg);
+        assert_eq!(corpus.len(), 50);
+        let dups = corpus.iter().filter(|r| r.table.name.ends_with("~dup")).count();
+        assert_eq!(dups, 10);
+    }
+
+    #[test]
+    fn m_distribution_covers_all_buckets() {
+        let cfg = CorpusConfig { n_records: 400, ..Default::default() };
+        let stats = corpus_stats(&build_corpus(&cfg));
+        assert!(stats.m1 > 0 && stats.m2_4 > 0 && stats.m5_7 > 0 && stats.m_gt7 > 0);
+        // Single-line should be the largest bucket (paper Table I).
+        assert!(stats.m1 >= stats.m2_4 && stats.m1 >= stats.m5_7 && stats.m1 >= stats.m_gt7);
+    }
+
+    #[test]
+    fn m_bucket_labels() {
+        assert_eq!(m_bucket(1), "1");
+        assert_eq!(m_bucket(3), "2-4");
+        assert_eq!(m_bucket(6), "5-7");
+        assert_eq!(m_bucket(9), ">7");
+    }
+}

@@ -1,0 +1,97 @@
+//! Minimal CSV import/export for tables (examples and user data).
+//!
+//! Only the subset needed here: numeric cells, comma separator, first row is
+//! the header. Non-numeric cells parse as NaN (and can be filtered with
+//! [`crate::column::Column::mostly_finite`]).
+
+use std::io::{self, BufRead, Write};
+
+use crate::column::Column;
+use crate::table::Table;
+
+/// Serialises a table as CSV (header row + one row per record).
+pub fn write_csv<W: Write>(table: &Table, mut w: W) -> io::Result<()> {
+    let header: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for r in 0..table.num_rows() {
+        let row: Vec<String> = table.columns.iter().map(|c| format!("{}", c.values[r])).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Parses CSV into a table. Ragged rows are padded with NaN; an empty input
+/// yields an empty table.
+pub fn read_csv<R: BufRead>(id: u64, name: &str, r: R) -> io::Result<Table> {
+    let mut lines = r.lines();
+    let Some(header) = lines.next().transpose()? else {
+        return Ok(Table::new(id, name, vec![]));
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        for (i, col) in cols.iter_mut().enumerate() {
+            let v = cells
+                .get(i)
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .unwrap_or(f64::NAN);
+            col.push(v);
+        }
+    }
+    let columns = names
+        .into_iter()
+        .zip(cols)
+        .map(|(n, v)| Column::new(n, v))
+        .collect();
+    Ok(Table::new(id, name, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Table::new(
+            3,
+            "t",
+            vec![
+                Column::new("a", vec![1.0, 2.5]),
+                Column::new("b", vec![-1.0, 0.0]),
+            ],
+        );
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(3, "t", buf.as_slice()).unwrap();
+        assert_eq!(back.columns[0].values, vec![1.0, 2.5]);
+        assert_eq!(back.columns[1].name, "b");
+    }
+
+    #[test]
+    fn non_numeric_becomes_nan() {
+        let csv = "x,y\n1,apple\n2,3\n";
+        let t = read_csv(0, "t", csv.as_bytes()).unwrap();
+        assert!(t.columns[1].values[0].is_nan());
+        assert_eq!(t.columns[1].values[1], 3.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = read_csv(0, "empty", "".as_bytes()).unwrap();
+        assert_eq!(t.num_cols(), 0);
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let csv = "a,b\n1\n2,3\n";
+        let t = read_csv(0, "t", csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.columns[1].values[0].is_nan());
+    }
+}

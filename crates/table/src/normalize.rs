@@ -1,0 +1,172 @@
+//! Normalisation and resampling utilities shared by the encoders, the
+//! ground-truth relevance and the baselines.
+
+/// Z-normalises a series in place; constant series become all-zero.
+pub fn z_normalize(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        values.iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        values.iter_mut().for_each(|v| *v = (*v - mean) / std);
+    }
+}
+
+/// Returns a z-normalised copy.
+pub fn z_normalized(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    z_normalize(&mut v);
+    v
+}
+
+/// Min-max scales into `[0, 1]`; constant series map to `0.5`.
+pub fn min_max_normalized(values: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi - lo < 1e-12 {
+        return vec![0.5; values.len()];
+    }
+    values.iter().map(|&v| (v - lo) / (hi - lo)).collect()
+}
+
+/// Linearly resamples a series to exactly `target_len` points.
+///
+/// Used to put variable-length columns on the encoder's fixed segment grid
+/// and by the numerical-x-axis generalisation (Sec. VI-B) after sorting by
+/// the candidate x column.
+pub fn resample(values: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(target_len > 0, "resample: target_len must be positive");
+    if values.is_empty() {
+        return vec![0.0; target_len];
+    }
+    if values.len() == 1 {
+        return vec![values[0]; target_len];
+    }
+    if values.len() == target_len {
+        return values.to_vec();
+    }
+    let n = values.len();
+    (0..target_len)
+        .map(|i| {
+            let pos = i as f64 * (n - 1) as f64 / (target_len - 1).max(1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = pos - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+/// Interpolates `(x, y)` samples onto an evenly spaced x grid of
+/// `target_len` points spanning `[min(x), max(x)]`. Input must be sorted by
+/// x (ties allowed). Supports the numerical-x generalisation of Sec. VI-B.
+pub fn interpolate_even(points: &[(f64, f64)], target_len: usize) -> Vec<f64> {
+    assert!(target_len > 0, "interpolate_even: target_len must be positive");
+    if points.is_empty() {
+        return vec![0.0; target_len];
+    }
+    if points.len() == 1 {
+        return vec![points[0].1; target_len];
+    }
+    let x0 = points.first().unwrap().0;
+    let x1 = points.last().unwrap().0;
+    if (x1 - x0).abs() < 1e-12 {
+        return vec![points[0].1; target_len];
+    }
+    let mut out = Vec::with_capacity(target_len);
+    let mut j = 0usize;
+    for i in 0..target_len {
+        let x = x0 + (x1 - x0) * i as f64 / (target_len - 1).max(1) as f64;
+        while j + 1 < points.len() && points[j + 1].0 < x {
+            j += 1;
+        }
+        let (xa, ya) = points[j];
+        let (xb, yb) = points[(j + 1).min(points.len() - 1)];
+        let y = if (xb - xa).abs() < 1e-12 {
+            ya
+        } else {
+            ya + (yb - ya) * ((x - xa) / (xb - xa)).clamp(0.0, 1.0)
+        };
+        out.push(y);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_norm_moments() {
+        let mut v = vec![2.0, 4.0, 6.0, 8.0];
+        z_normalize(&mut v);
+        let mean: f64 = v.iter().sum::<f64>() / 4.0;
+        let var: f64 = v.iter().map(|&x| x * x).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_norm_constant_is_zero() {
+        let mut v = vec![5.0; 10];
+        z_normalize(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        let v = min_max_normalized(&[10.0, 20.0, 15.0]);
+        assert_eq!(v, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn resample_endpoints_preserved() {
+        let v = vec![0.0, 1.0, 2.0, 3.0];
+        let r = resample(&v, 7);
+        assert_eq!(r.len(), 7);
+        assert!((r[0] - 0.0).abs() < 1e-12);
+        assert!((r[6] - 3.0).abs() < 1e-12);
+        // Linear data stays linear after resampling.
+        for w in r.windows(2) {
+            assert!((w[1] - w[0] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_identity_when_same_len() {
+        let v = vec![3.0, 1.0, 4.0];
+        assert_eq!(resample(&v, 3), v);
+    }
+
+    #[test]
+    fn resample_degenerate_inputs() {
+        assert_eq!(resample(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(resample(&[7.0], 3), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn interpolate_even_linear() {
+        let pts = [(0.0, 0.0), (10.0, 10.0)];
+        let y = interpolate_even(&pts, 5);
+        assert_eq!(y, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    fn interpolate_uneven_spacing() {
+        // Dense near 0, sparse after: interpolation must follow segments.
+        let pts = [(0.0, 0.0), (1.0, 1.0), (10.0, 1.0)];
+        let y = interpolate_even(&pts, 11);
+        assert!((y[0] - 0.0).abs() < 1e-9);
+        assert!((y[1] - 1.0).abs() < 1e-9); // x=1 hits the knee
+        assert!(y[5] > 0.99 && y[10] > 0.99);
+    }
+}

@@ -1,0 +1,146 @@
+//! Underlying data of a line chart (paper Sec. II).
+//!
+//! `D = {d1..dM}`, each `d` a list of `(x, y)` points. All series share the
+//! same x values; the relevance definition (Sec. III-A) deliberately ignores
+//! x, so the y values are the payload.
+
+use crate::aggregate::aggregate;
+use crate::table::Table;
+use crate::vis_spec::VisSpec;
+
+/// One data series `d` — the data behind a single line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataSeries {
+    /// Display name (usually the source column header).
+    pub name: String,
+    /// y values, in x order.
+    pub ys: Vec<f64>,
+}
+
+impl DataSeries {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, ys: Vec<f64>) -> Self {
+        DataSeries { name: name.into(), ys }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// `(min, max)` of the y values; `None` when empty/non-finite.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &y in &self.ys {
+            if y.is_finite() {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+}
+
+/// The underlying data `D` of a chart: one series per line.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct UnderlyingData {
+    pub series: Vec<DataSeries>,
+}
+
+impl UnderlyingData {
+    /// Number of lines `M`.
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Combined y range across all series.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.series {
+            if let Some((a, b)) = s.y_range() {
+                lo = lo.min(a);
+                hi = hi.max(b);
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Materialises the underlying data a [`VisSpec`] selects from a table,
+    /// applying the spec's aggregation if any (paper Sec. II: the two ways
+    /// to generate `D` from column pairs).
+    pub fn from_spec(table: &Table, spec: &VisSpec) -> Self {
+        let series = spec
+            .y_columns
+            .iter()
+            .map(|&ci| {
+                let col = table.column(ci);
+                let ys = match spec.agg {
+                    Some((op, window)) => aggregate(&col.values, op, window),
+                    None => col.values.clone(),
+                };
+                DataSeries::new(col.name.clone(), ys)
+            })
+            .collect();
+        UnderlyingData { series }
+    }
+}
+
+/// Convenience: materialise a plain (non-aggregated) `D` from chosen columns.
+pub fn underlying_from_columns(table: &Table, y_columns: &[usize]) -> UnderlyingData {
+    let spec = VisSpec { x_column: None, y_columns: y_columns.to_vec(), agg: None };
+    UnderlyingData::from_spec(table, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggOp;
+    use crate::column::Column;
+
+    fn table() -> Table {
+        Table::new(
+            0,
+            "t",
+            vec![
+                Column::new("x", vec![0.0, 1.0, 2.0, 3.0]),
+                Column::new("a", vec![1.0, 2.0, 3.0, 4.0]),
+                Column::new("b", vec![-1.0, -2.0, -3.0, -4.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_spec_plain() {
+        let spec = VisSpec { x_column: Some(0), y_columns: vec![1, 2], agg: None };
+        let d = UnderlyingData::from_spec(&table(), &spec);
+        assert_eq!(d.num_series(), 2);
+        assert_eq!(d.series[0].ys, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.y_range(), Some((-4.0, 4.0)));
+    }
+
+    #[test]
+    fn from_spec_aggregated() {
+        let spec = VisSpec {
+            x_column: None,
+            y_columns: vec![1],
+            agg: Some((AggOp::Sum, 2)),
+        };
+        let d = UnderlyingData::from_spec(&table(), &spec);
+        assert_eq!(d.series[0].ys, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn series_range_ignores_non_finite() {
+        let s = DataSeries::new("s", vec![1.0, f64::NAN, 5.0]);
+        assert_eq!(s.y_range(), Some((1.0, 5.0)));
+        let e = DataSeries::new("e", vec![f64::NAN]);
+        assert_eq!(e.y_range(), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tables (datasets): ordered collections of equal-length columns.
+
+use crate::column::Column;
+
+/// A dataset `T` with `NC` columns of `NR` rows each (paper Sec. II).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Stable identifier within a repository.
+    pub id: u64,
+    /// Human-readable name.
+    pub name: String,
+    /// Columns; all must have equal length.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table, checking that all columns have equal length.
+    pub fn new(id: u64, name: impl Into<String>, columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(
+                    c.len(),
+                    first.len(),
+                    "Table::new: column {} has {} rows, expected {}",
+                    c.name,
+                    c.len(),
+                    first.len()
+                );
+            }
+        }
+        Table { id, name: name.into(), columns }
+    }
+
+    /// Number of rows (`NR`).
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns (`NC`).
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column by index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Find a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Indices of columns whose `[min, max]` range overlaps `[lo, hi]` —
+    /// the y-tick pre-filter applied by the dataset encoder (Sec. IV-C).
+    ///
+    /// `slack` widens the query range multiplicatively on both sides
+    /// (aggregated charts can exceed the raw column range, e.g. `sum`).
+    pub fn columns_in_range(&self, lo: f64, hi: f64, slack: f64) -> Vec<usize> {
+        let span = (hi - lo).abs().max(1e-12);
+        let qlo = lo - span * slack;
+        let qhi = hi + span * slack;
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let (cmin, cmax) = (c.min()?, c.max()?);
+                // Also admit columns whose *aggregated* values could fall in
+                // range: the index interval [min, sum] captures this.
+                let (ilo, ihi) = c.index_interval()?;
+                let raw_overlap = cmin <= qhi && cmax >= qlo;
+                let agg_overlap = ilo <= qhi && ihi >= qlo;
+                (raw_overlap || agg_overlap).then_some(i)
+            })
+            .collect()
+    }
+
+    /// A content fingerprint used for near-duplicate elimination in the
+    /// benchmark build: coarse per-column summary statistics rounded to two
+    /// significant decimals.
+    pub fn fingerprint(&self) -> Vec<(i64, i64, i64)> {
+        self.columns
+            .iter()
+            .map(|c| {
+                let q = |v: f64| (v * 100.0).round() as i64;
+                (
+                    q(c.mean().unwrap_or(0.0)),
+                    q(c.std().unwrap_or(0.0)),
+                    c.len() as i64,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            1,
+            "t",
+            vec![
+                Column::new("a", vec![0.0, 1.0, 2.0]),
+                Column::new("b", vec![10.0, 20.0, 30.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn dims() {
+        let t = t();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows, expected")]
+    fn ragged_rejected() {
+        let _ = Table::new(
+            0,
+            "bad",
+            vec![Column::new("a", vec![1.0]), Column::new("b", vec![1.0, 2.0])],
+        );
+    }
+
+    #[test]
+    fn range_filter() {
+        let t = t();
+        // Range [9, 35] matches only column b's raw range.
+        let hits = t.columns_in_range(9.0, 35.0, 0.0);
+        assert_eq!(hits, vec![1]);
+        // Wide range matches both.
+        let hits = t.columns_in_range(-100.0, 100.0, 0.0);
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn range_filter_admits_aggregated_reach() {
+        // Column a: raw range [0,2], but sum = 3 -> a query near 3 (a summed
+        // chart) must still admit it via the index interval.
+        let t = t();
+        let hits = t.columns_in_range(2.5, 3.5, 0.0);
+        assert!(hits.contains(&0));
+    }
+
+    #[test]
+    fn fingerprints_detect_duplicates() {
+        let a = t();
+        let mut b = t();
+        b.id = 99;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.columns[0].values[0] += 5.0;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,83 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Used for all projection matrices in the transformer encoders.
+pub fn xavier_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Kaiming/He uniform for ReLU-family activations:
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / rows as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..=a)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Gaussian initialisation with the given standard deviation (Box–Muller).
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, std: f32) -> Matrix {
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// All-zeros initialisation (biases, layernorm beta).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+/// All-ones initialisation (layernorm gamma).
+pub fn ones(rows: usize, cols: usize) -> Matrix {
+    Matrix::full(rows, cols, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 64, 32);
+        let a = (6.0 / 96.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+        // Should not be degenerate.
+        assert!(m.max_abs() > a * 0.5);
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = normal(&mut rng, 100, 100, 0.5);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / m.len() as f32;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(3), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(3), 4, 4);
+        assert_eq!(a, b);
+    }
+}

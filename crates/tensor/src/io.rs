@@ -1,0 +1,141 @@
+//! Binary weight (de)serialisation for [`ParamStore`].
+//!
+//! A deliberately tiny, self-describing little-endian format (no external
+//! serialisation crates are available offline):
+//!
+//! ```text
+//! magic  "LCDDW001"                              (8 bytes)
+//! count  u32
+//! repeat count times:
+//!   name_len u32, name utf-8 bytes,
+//!   rows u32, cols u32, data f32-LE * rows*cols
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::param::ParamStore;
+
+const MAGIC: &[u8; 8] = b"LCDDW001";
+
+/// Serialises every parameter (names + values; optimizer moments are not
+/// persisted) to a writer.
+pub fn write_params<W: Write>(store: &ParamStore, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (name, value) in store.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &x in value.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameters written by [`write_params`] into `(name, matrix)` pairs.
+pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<(String, Matrix)>> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic in weight file"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut u32buf)?;
+        let name_len = u32::from_le_bytes(u32buf) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        r.read_exact(&mut u32buf)?;
+        let rows = u32::from_le_bytes(u32buf) as usize;
+        r.read_exact(&mut u32buf)?;
+        let cols = u32::from_le_bytes(u32buf) as usize;
+        let mut data = vec![0f32; rows * cols];
+        let mut f32buf = [0u8; 4];
+        for d in data.iter_mut() {
+            r.read_exact(&mut f32buf)?;
+            *d = f32::from_le_bytes(f32buf);
+        }
+        out.push((name, Matrix::from_vec(rows, cols, data)));
+    }
+    Ok(out)
+}
+
+/// Saves a store to a file.
+pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_params(store, std::io::BufWriter::new(file))
+}
+
+/// Loads weights from a file into an existing store. Parameters are matched
+/// by name; shapes must agree. Returns the number of parameters restored.
+pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<usize> {
+    let file = std::fs::File::open(path)?;
+    let pairs = read_params(std::io::BufReader::new(file))?;
+    let mut restored = 0;
+    for (name, value) in pairs {
+        if let Some(pos) = store.entries.iter().position(|e| e.name == name) {
+            if store.entries[pos].value.shape() != value.shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("shape mismatch for parameter {name}"),
+                ));
+            }
+            store.entries[pos].value = value;
+            restored += 1;
+        }
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut store = ParamStore::new();
+        store.add("a", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        store.add("b", Matrix::from_vec(1, 3, vec![-1.0, 0.5, 9.0]));
+        let mut buf = Vec::new();
+        write_params(&store, &mut buf).unwrap();
+        let pairs = read_params(buf.as_slice()).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "a");
+        assert_eq!(pairs[0].1.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(pairs[1].1.shape(), (1, 3));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTMAGIC\x00\x00\x00\x00".to_vec();
+        assert!(read_params(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_name_matching() {
+        let dir = std::env::temp_dir().join("lcdd_tensor_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.bin");
+
+        let mut store = ParamStore::new();
+        let id = store.add("layer.w", Matrix::from_vec(1, 2, vec![7.0, 8.0]));
+        save_params(&store, &path).unwrap();
+
+        let mut fresh = ParamStore::new();
+        let fid = fresh.add("layer.w", Matrix::zeros(1, 2));
+        fresh.add("layer.extra", Matrix::zeros(1, 1));
+        let restored = load_params(&mut fresh, &path).unwrap();
+        assert_eq!(restored, 1);
+        assert_eq!(fresh.value(fid).as_slice(), store.value(id).as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+}

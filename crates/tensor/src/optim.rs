@@ -1,0 +1,193 @@
+//! First-order optimizers: SGD (with optional momentum) and Adam.
+//!
+//! The paper trains FCM with Adam at a learning rate of 1e-6 for 60 epochs
+//! (Sec. VII-B). At reproduction scale we keep Adam with larger rates; both
+//! are available behind the [`Optimizer`] trait.
+
+use crate::matrix::Matrix;
+
+/// A stateless-per-parameter optimizer interface. `m` and `v` are per-param
+/// scratch buffers owned by the [`crate::param::ParamStore`].
+pub trait Optimizer {
+    /// Called once before a round of [`Optimizer::update`] calls (advances
+    /// the timestep for bias correction).
+    fn begin_step(&mut self);
+    /// Applies one update to `value` given gradient `grad`.
+    fn update(&mut self, value: &mut Matrix, grad: &Matrix, m: &mut Matrix, v: &mut Matrix);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Replaces the learning rate (supports warmup/decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and gradient clipping.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    /// Per-element clip on gradients (disabled when `<= 0`).
+    pub clip: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, clip: 0.0 }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, clip: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, value: &mut Matrix, grad: &Matrix, m: &mut Matrix, _v: &mut Matrix) {
+        let clip = self.clip;
+        for i in 0..value.len() {
+            let mut g = grad.as_slice()[i];
+            if clip > 0.0 {
+                g = g.clamp(-clip, clip);
+            }
+            if self.momentum > 0.0 {
+                let mv = self.momentum * m.as_slice()[i] + g;
+                m.as_mut_slice()[i] = mv;
+                g = mv;
+            }
+            value.as_mut_slice()[i] -= self.lr * g;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction and optional gradient
+/// clipping.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Per-element clip on gradients (disabled when `<= 0`).
+    pub clip: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 1.0, t: 0 }
+    }
+
+    /// The paper's configuration: Adam, lr = 1e-6 (Sec. VII-B).
+    pub fn paper() -> Self {
+        Adam::new(1e-6)
+    }
+
+    /// Current timestep.
+    pub fn timestep(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, value: &mut Matrix, grad: &Matrix, m: &mut Matrix, v: &mut Matrix) {
+        debug_assert!(self.t > 0, "Adam::update called before begin_step");
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..value.len() {
+            let mut g = grad.as_slice()[i];
+            if self.clip > 0.0 {
+                g = g.clamp(-self.clip, self.clip);
+            }
+            let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+            let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+            m.as_mut_slice()[i] = mi;
+            v.as_mut_slice()[i] = vi;
+            let mhat = mi / b1t;
+            let vhat = vi / b2t;
+            value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // minimise f(x) = x^2 starting at x = 2; grad = 2x
+        let mut x = Matrix::from_vec(1, 1, vec![2.0]);
+        let mut m = Matrix::zeros(1, 1);
+        let mut v = Matrix::zeros(1, 1);
+        for _ in 0..steps {
+            let g = Matrix::from_vec(1, 1, vec![2.0 * x.get(0, 0)]);
+            opt.begin_step();
+            opt.update(&mut x, &g, &mut m, &mut v);
+        }
+        x.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1);
+        let x = quadratic_descent(&mut sgd, 100);
+        assert!(x.abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::with_momentum(0.05, 0.9);
+        let x = quadratic_descent(&mut sgd, 200);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1);
+        let x = quadratic_descent(&mut adam, 300);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_clip_bounds_step() {
+        let mut adam = Adam::new(0.5);
+        adam.clip = 0.001;
+        let mut x = Matrix::from_vec(1, 1, vec![0.0]);
+        let g = Matrix::from_vec(1, 1, vec![1e9]);
+        let mut m = Matrix::zeros(1, 1);
+        let mut v = Matrix::zeros(1, 1);
+        adam.begin_step();
+        adam.update(&mut x, &g, &mut m, &mut v);
+        // One clipped Adam step is bounded by lr * mhat/sqrt(vhat) ~= lr.
+        assert!(x.get(0, 0).abs() <= 0.51, "step too large: {}", x.get(0, 0));
+    }
+
+    #[test]
+    fn lr_schedule_settable() {
+        let mut adam = Adam::new(0.1);
+        adam.set_learning_rate(0.01);
+        assert_eq!(adam.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,209 @@
+//! Define-by-run reverse-mode autograd tape.
+//!
+//! Every forward operation appends a node carrying the result value and a
+//! backward closure. [`Var`] is a cheap handle (tape pointer + node index);
+//! cloning a `Var` does not copy data. A fresh tape is built per forward pass
+//! — parameters re-enter each tape as leaves via
+//! [`crate::param::ParamStore::leaf`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+
+/// A backward closure: given the gradient flowing into this node's output,
+/// push gradient contributions to parent nodes through the sink callback.
+pub(crate) type BackwardFn = Box<dyn Fn(&Matrix, &mut dyn FnMut(usize, Matrix))>;
+
+pub(crate) struct Node {
+    pub(crate) value: Matrix,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub(crate) nodes: Vec<Node>,
+    /// `(param id, node index)` pairs recorded by `ParamStore::leaf`.
+    pub(crate) bindings: Vec<(usize, usize)>,
+    /// Gradients per node, populated by [`Tape::backward`].
+    pub(crate) grads: Vec<Option<Matrix>>,
+}
+
+/// A reverse-mode autograd tape. Cheap to clone (shared pointer).
+#[derive(Clone, Default)]
+pub struct Tape {
+    pub(crate) inner: Rc<RefCell<TapeInner>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds a leaf node (no parents) holding `value`.
+    pub fn leaf(&self, value: Matrix) -> Var {
+        self.push(value, None)
+    }
+
+    /// Adds a constant node. Identical to [`Tape::leaf`] but signals intent:
+    /// gradients that reach a constant are computed and then ignored.
+    pub fn constant(&self, value: Matrix) -> Var {
+        self.leaf(value)
+    }
+
+    pub(crate) fn push(&self, value: Matrix, backward: Option<BackwardFn>) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let idx = inner.nodes.len();
+        inner.nodes.push(Node { value, backward });
+        Var { tape: self.clone(), idx }
+    }
+
+    pub(crate) fn record_binding(&self, param_id: usize, node_idx: usize) {
+        self.inner.borrow_mut().bindings.push((param_id, node_idx));
+    }
+
+    /// Runs the backward pass from `root`, which must be a `1x1` scalar node.
+    ///
+    /// Gradients for every node reachable from `root` are accumulated and can
+    /// afterwards be read with [`Var::grad`].
+    pub fn backward(&self, root: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.inner, &root.tape.inner),
+            "backward: root belongs to a different tape"
+        );
+        let mut inner = self.inner.borrow_mut();
+        let n = inner.nodes.len();
+        assert_eq!(
+            inner.nodes[root.idx].value.shape(),
+            (1, 1),
+            "backward: root must be a 1x1 scalar"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; n];
+        grads[root.idx] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        // The tape is already in topological order: parents always precede
+        // children, so a single reverse sweep suffices.
+        for idx in (0..=root.idx).rev() {
+            let Some(grad_out) = grads[idx].take() else { continue };
+            // Put it back for later inspection via Var::grad().
+            grads[idx] = Some(grad_out.clone());
+            if let Some(backward) = inner.nodes[idx].backward.as_ref() {
+                let mut sink = |parent: usize, contribution: Matrix| {
+                    debug_assert!(parent < idx, "backward edge must point earlier in the tape");
+                    match &mut grads[parent] {
+                        Some(g) => g.add_assign(&contribution),
+                        slot @ None => *slot = Some(contribution),
+                    }
+                };
+                backward(&grad_out, &mut sink);
+            }
+        }
+        inner.grads = grads;
+    }
+
+    pub(crate) fn grad_of(&self, idx: usize) -> Option<Matrix> {
+        self.inner.borrow().grads.get(idx).and_then(|g| g.clone())
+    }
+}
+
+/// Handle to a node on a [`Tape`]. Clone is cheap (no data copy).
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) tape: Tape,
+    pub(crate) idx: usize,
+}
+
+impl Var {
+    /// The tape this variable lives on.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Node index within the tape (stable for the tape's lifetime).
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Copies out the node's value.
+    pub fn value(&self) -> Matrix {
+        self.tape.inner.borrow().nodes[self.idx].value.clone()
+    }
+
+    /// Shape of the node's value without copying.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.inner.borrow().nodes[self.idx].value.shape()
+    }
+
+    /// Runs `f` with a borrow of the value, avoiding a copy.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.tape.inner.borrow().nodes[self.idx].value)
+    }
+
+    /// Scalar value of a `1x1` node.
+    pub fn scalar(&self) -> f32 {
+        self.with_value(|v| {
+            assert_eq!(v.shape(), (1, 1), "scalar: node is not 1x1");
+            v.get(0, 0)
+        })
+    }
+
+    /// Gradient of the last backward pass w.r.t. this node, if it was reached.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.tape.grad_of(self.idx)
+    }
+
+    pub(crate) fn same_tape(&self, other: &Var) -> bool {
+        Rc::ptr_eq(&self.tape.inner, &other.tape.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let tape = Tape::new();
+        let v = tape.leaf(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        assert_eq!(v.shape(), (1, 2));
+        assert_eq!(v.value().as_slice(), &[3.0, 4.0]);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn backward_on_leaf_scalar() {
+        let tape = Tape::new();
+        let v = tape.leaf(Matrix::from_vec(1, 1, vec![5.0]));
+        tape.backward(&v);
+        let g = v.grad().expect("leaf root must have a gradient");
+        assert_eq!(g.as_slice(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1 scalar")]
+    fn backward_requires_scalar_root() {
+        let tape = Tape::new();
+        let v = tape.leaf(Matrix::zeros(2, 2));
+        tape.backward(&v);
+    }
+
+    #[test]
+    fn var_clone_shares_node() {
+        let tape = Tape::new();
+        let v = tape.leaf(Matrix::zeros(1, 1));
+        let w = v.clone();
+        assert_eq!(v.index(), w.index());
+        assert_eq!(tape.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based gradient verification: every differentiable op's backward
+//! closure is checked against central finite differences on random inputs.
+
+use lcdd_tensor::grad_check::grad_check;
+use lcdd_tensor::Matrix;
+use proptest::prelude::*;
+
+const H: f32 = 1e-2;
+const ABS_TOL: f32 = 2e-2;
+const REL_TOL: f32 = 3e-2;
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.5f32..1.5f32, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_add_sub(a in small_vals(6), b in small_vals(6)) {
+        let am = Matrix::from_vec(2, 3, a);
+        let bm = Matrix::from_vec(2, 3, b);
+        let r = grad_check(&[am, bm], H, |_t, v| v[0].add(&v[1]).sub(&v[0].scale(0.5)).square().sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_mul(a in small_vals(4), b in small_vals(4)) {
+        let am = Matrix::from_vec(2, 2, a);
+        let bm = Matrix::from_vec(2, 2, b);
+        let r = grad_check(&[am, bm], H, |_t, v| v[0].mul(&v[1]).sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_matmul(a in small_vals(6), b in small_vals(8)) {
+        let am = Matrix::from_vec(3, 2, a);
+        let bm = Matrix::from_vec(2, 4, b);
+        let r = grad_check(&[am, bm], H, |_t, v| v[0].matmul(&v[1]).square().sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_transpose_chain(a in small_vals(6)) {
+        let am = Matrix::from_vec(2, 3, a);
+        let r = grad_check(&[am], H, |_t, v| {
+            v[0].transpose_var().matmul(&v[0]).sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_sigmoid_tanh(a in small_vals(5)) {
+        let am = Matrix::from_vec(1, 5, a);
+        let r = grad_check(&[am], H, |_t, v| v[0].sigmoid().mul(&v[0].tanh_var()).sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_leaky_relu(a in small_vals(6)) {
+        // Keep inputs away from the kink at 0 where finite differences lie.
+        let am = Matrix::from_vec(2, 3, a.iter().map(|&x| if x.abs() < 0.15 { x + 0.3 } else { x }).collect());
+        let r = grad_check(&[am], H * 0.1, |_t, v| v[0].leaky_relu(0.1).square().sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_softmax(a in small_vals(8)) {
+        let am = Matrix::from_vec(2, 4, a);
+        let wm = Matrix::from_vec(2, 4, vec![1.0, -0.5, 2.0, 0.25, -1.0, 0.5, 0.75, -0.25]);
+        let r = grad_check(&[am], H, move |t, v| {
+            let w = t.constant(wm.clone());
+            v[0].softmax_rows().mul(&w).sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_layer_norm(a in small_vals(8), g in small_vals(4), b in small_vals(4)) {
+        let am = Matrix::from_vec(2, 4, a);
+        let gm = Matrix::from_vec(1, 4, g.iter().map(|&x| x + 1.5).collect());
+        let bm = Matrix::from_vec(1, 4, b);
+        let wm = Matrix::from_vec(2, 4, vec![0.9, -0.4, 1.1, 0.2, -0.6, 0.3, 0.8, -1.0]);
+        let r = grad_check(&[am, gm, bm], H, move |t, v| {
+            let w = t.constant(wm.clone());
+            v[0].layer_norm(&v[1], &v[2], 1e-3).mul(&w).sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_mean_rows_broadcast(a in small_vals(8), b in small_vals(4)) {
+        let am = Matrix::from_vec(2, 4, a);
+        let bm = Matrix::from_vec(1, 4, b);
+        let r = grad_check(&[am, bm], H, |_t, v| {
+            v[0].add_row_broadcast(&v[1]).mean_rows().square().sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_attention_block(q in small_vals(8), k in small_vals(8), vv in small_vals(8)) {
+        let qm = Matrix::from_vec(2, 4, q);
+        let km = Matrix::from_vec(2, 4, k);
+        let vm = Matrix::from_vec(2, 4, vv);
+        let r = grad_check(&[qm, km, vm], H, |_t, v| {
+            let (out, _) = lcdd_tensor::scaled_dot_attention(&v[0], &v[1], &v[2]);
+            out.square().sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_concat_slice(a in small_vals(4), b in small_vals(4)) {
+        let am = Matrix::from_vec(2, 2, a);
+        let bm = Matrix::from_vec(2, 2, b);
+        let r = grad_check(&[am, bm], H, |_t, v| {
+            let cat = lcdd_tensor::Var::concat_rows(&[v[0].clone(), v[1].clone()]);
+            let sliced = cat.slice_rows_var(1, 3);
+            let wide = lcdd_tensor::Var::concat_cols(&[sliced.clone(), sliced]);
+            wide.square().sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_ln_clamped(a in proptest::collection::vec(0.2f32..2.0f32, 4)) {
+        let am = Matrix::from_vec(1, 4, a);
+        let r = grad_check(&[am], 1e-3, |_t, v| v[0].ln_clamped(1e-6).sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_scale_by(a in small_vals(4), s in -1.0f32..1.0f32) {
+        let am = Matrix::from_vec(2, 2, a);
+        let sm = Matrix::from_vec(1, 1, vec![s]);
+        let r = grad_check(&[am, sm], H, |_t, v| v[0].scale_by(&v[1]).square().sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+}
+
+#[test]
+fn composite_two_layer_network_gradcheck() {
+    // A small end-to-end MLP: x -> xW1+b1 -> leaky_relu -> W2 -> sigmoid -> bce
+    let x = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.6, -0.1, 0.3, 0.5]);
+    let w1 = Matrix::from_vec(3, 4, (0..12).map(|i| ((i * 7 % 11) as f32 - 5.0) / 10.0).collect());
+    let b1 = Matrix::from_vec(1, 4, vec![0.05, -0.05, 0.1, 0.0]);
+    let w2 = Matrix::from_vec(4, 1, vec![0.3, -0.2, 0.5, 0.1]);
+    let r = grad_check(&[x, w1, b1, w2], 1e-3, |_t, v| {
+        let h = v[0].matmul(&v[1]).add_row_broadcast(&v[2]).leaky_relu(0.01);
+        let p = h.matmul(&v[3]).sigmoid();
+        // BCE against target 1.0 for both rows
+        p.ln_clamped(1e-7).neg().mean_all()
+    });
+    assert!(r.passes(2e-2, 3e-2), "{r:?}");
+}

@@ -1,0 +1,173 @@
+//! Connected components and colour-based line-instance separation.
+//!
+//! The coarse pixel classifier says *which pixels are line ink* but not
+//! *which line they belong to*. Charting libraries draw each series in a
+//! distinct palette colour, so instance separation clusters line pixels by
+//! quantised colour and then prunes noise clusters — the role Mask R-CNN's
+//! instance head plays in the paper.
+
+use lcdd_chart::RgbImage;
+
+/// A pixel-coordinate cluster representing one line instance.
+#[derive(Clone, Debug)]
+pub struct LineInstance {
+    /// `(x, y)` pixels belonging to this line.
+    pub pixels: Vec<(usize, usize)>,
+    /// Mean colour (diagnostics).
+    pub color: (u8, u8, u8),
+}
+
+/// Quantises a colour channel to 32 levels; palette colours stay distinct
+/// while anti-aliasing-level noise folds together.
+#[inline]
+fn quantize(c: u8) -> u8 {
+    c >> 3
+}
+
+/// Groups the given line-class pixels into instances by quantised colour,
+/// dropping clusters smaller than `min_pixels`.
+///
+/// Instances are ordered left-to-right by their first (leftmost) pixel so
+/// ids are stable across runs.
+pub fn separate_line_instances(
+    img: &RgbImage,
+    line_pixels: &[(usize, usize)],
+    min_pixels: usize,
+) -> Vec<LineInstance> {
+    use std::collections::HashMap;
+    let mut clusters: HashMap<(u8, u8, u8), Vec<(usize, usize)>> = HashMap::new();
+    for &(x, y) in line_pixels {
+        let p = img.get(x, y);
+        clusters
+            .entry((quantize(p.0), quantize(p.1), quantize(p.2)))
+            .or_default()
+            .push((x, y));
+    }
+    let mut instances: Vec<LineInstance> = clusters
+        .into_values()
+        .filter(|pixels| pixels.len() >= min_pixels)
+        .map(|pixels| {
+            let (mut r, mut g, mut b) = (0u64, 0u64, 0u64);
+            for &(x, y) in &pixels {
+                let p = img.get(x, y);
+                r += p.0 as u64;
+                g += p.1 as u64;
+                b += p.2 as u64;
+            }
+            let n = pixels.len() as u64;
+            LineInstance {
+                color: ((r / n) as u8, (g / n) as u8, (b / n) as u8),
+                pixels,
+            }
+        })
+        .collect();
+    for inst in &mut instances {
+        inst.pixels.sort_unstable();
+    }
+    instances.sort_by_key(|i| i.pixels.first().copied().unwrap_or((usize::MAX, 0)));
+    instances
+}
+
+/// 4-connected components over an arbitrary boolean grid; returns one list
+/// of `(x, y)` per component. Used for glyph/box grouping in tick decoding.
+pub fn connected_components(width: usize, height: usize, is_set: impl Fn(usize, usize) -> bool) -> Vec<Vec<(usize, usize)>> {
+    let mut visited = vec![false; width * height];
+    let mut out = Vec::new();
+    for sy in 0..height {
+        for sx in 0..width {
+            if visited[sy * width + sx] || !is_set(sx, sy) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![(sx, sy)];
+            visited[sy * width + sx] = true;
+            while let Some((x, y)) = stack.pop() {
+                comp.push((x, y));
+                let neighbors = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbors {
+                    if nx < width && ny < height && !visited[ny * width + nx] && is_set(nx, ny) {
+                        visited[ny * width + nx] = true;
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+            out.push(comp);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_chart::Rgb;
+
+    #[test]
+    fn separates_two_colors() {
+        let mut img = RgbImage::new(10, 4, Rgb::WHITE);
+        let mut pixels = Vec::new();
+        for x in 0..10 {
+            img.set(x as isize, 0, Rgb(99, 110, 250));
+            pixels.push((x, 0usize));
+            img.set(x as isize, 2, Rgb(239, 85, 59));
+            pixels.push((x, 2usize));
+        }
+        let inst = separate_line_instances(&img, &pixels, 2);
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst[0].pixels.len(), 10);
+    }
+
+    #[test]
+    fn drops_small_noise_clusters() {
+        let mut img = RgbImage::new(10, 4, Rgb::WHITE);
+        let mut pixels = Vec::new();
+        for x in 0..10 {
+            img.set(x as isize, 0, Rgb(99, 110, 250));
+            pixels.push((x, 0usize));
+        }
+        img.set(5, 3, Rgb(1, 255, 1)); // lone misclassified pixel
+        pixels.push((5, 3));
+        let inst = separate_line_instances(&img, &pixels, 3);
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn components_split_disconnected_blobs() {
+        // Two separate 2x1 blobs.
+        let set = |x: usize, y: usize| (y == 0 && x < 2) || (y == 2 && x >= 4 && x < 6);
+        let comps = connected_components(8, 4, set);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 2);
+    }
+
+    #[test]
+    fn components_empty_grid() {
+        let comps = connected_components(5, 5, |_, _| false);
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn instances_ordered_stably() {
+        let mut img = RgbImage::new(10, 4, Rgb::WHITE);
+        let mut pixels = Vec::new();
+        for x in 0..5 {
+            img.set(x as isize, 1, Rgb(0, 204, 150));
+            pixels.push((x, 1usize));
+        }
+        for x in 2..9 {
+            img.set(x as isize, 3, Rgb(171, 99, 250));
+            pixels.push((x, 3usize));
+        }
+        let a = separate_line_instances(&img, &pixels, 2);
+        let b = separate_line_instances(&img, &pixels, 2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pixels, y.pixels);
+        }
+    }
+}

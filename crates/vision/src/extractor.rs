@@ -1,0 +1,185 @@
+//! The visual element extractor (paper Sec. IV-A): chart image → per-line
+//! greyscale images + traced series + the y-axis value range.
+
+use lcdd_chart::{Chart, GreyImage, RgbImage};
+
+use crate::components::separate_line_instances;
+use crate::lcseg::Lcseg;
+use crate::tick_decode::{decode_ticks, TickInfo};
+use crate::trace::{fill_gaps, line_image, trace_rows};
+
+/// One extracted line.
+#[derive(Clone, Debug)]
+pub struct ExtractedLine {
+    /// Ink-on-paper greyscale image of just this line (full chart size) —
+    /// input to the segment-level line chart encoder.
+    pub image: GreyImage,
+    /// Per-plot-column pixel row of the line (gaps filled).
+    pub trace_rows: Vec<f64>,
+    /// The trace converted to chart value units via the decoded tick fit;
+    /// equals normalised pixel rows when no ticks could be decoded.
+    pub values: Vec<f64>,
+}
+
+/// Extraction result for one chart.
+#[derive(Clone, Debug)]
+pub struct ExtractedChart {
+    pub lines: Vec<ExtractedLine>,
+    /// Value range of the plot area decoded from y ticks (None when the
+    /// chart has no decodable ticks).
+    pub y_range: Option<(f64, f64)>,
+    /// Axis information when found.
+    pub ticks: Option<TickInfo>,
+}
+
+/// The extractor: a trained LCSeg model, or oracle mode which consumes the
+/// renderer's ground-truth masks (upper-bound / ablation / fast tests).
+pub enum VisualElementExtractor {
+    Trained(Box<Lcseg>),
+    Oracle,
+}
+
+/// Minimum pixels for a colour cluster to count as a line.
+const MIN_LINE_PIXELS: usize = 12;
+
+impl VisualElementExtractor {
+    /// Wraps a trained LCSeg model.
+    pub fn trained(model: Lcseg) -> Self {
+        VisualElementExtractor::Trained(Box::new(model))
+    }
+
+    /// Oracle mode (ground-truth masks; only usable on rendered [`Chart`]s).
+    pub fn oracle() -> Self {
+        VisualElementExtractor::Oracle
+    }
+
+    /// True for the oracle variant.
+    pub fn is_oracle(&self) -> bool {
+        matches!(self, VisualElementExtractor::Oracle)
+    }
+
+    fn class_map(&self, chart: &Chart) -> Vec<u8> {
+        match self {
+            VisualElementExtractor::Trained(model) => model.predict_map(&chart.image),
+            VisualElementExtractor::Oracle => {
+                let (w, h) = (chart.mask.width(), chart.mask.height());
+                (0..w * h)
+                    .map(|i| chart.mask.get(i % w, i / w).coarse_code())
+                    .collect()
+            }
+        }
+    }
+
+    /// Extracts visual elements from a rendered chart.
+    pub fn extract(&self, chart: &Chart) -> ExtractedChart {
+        let map = self.class_map(chart);
+        extract_from_map(&chart.image, &map)
+    }
+
+    /// Extracts from a raw image (query path — no mask available). Oracle
+    /// mode cannot be used here.
+    pub fn extract_image(&self, image: &RgbImage) -> ExtractedChart {
+        match self {
+            VisualElementExtractor::Trained(model) => {
+                let map = model.predict_map(image);
+                extract_from_map(image, &map)
+            }
+            VisualElementExtractor::Oracle => {
+                panic!("oracle extractor needs a rendered Chart with masks")
+            }
+        }
+    }
+}
+
+fn extract_from_map(image: &RgbImage, class_map: &[u8]) -> ExtractedChart {
+    let (w, h) = (image.width(), image.height());
+    let ticks = decode_ticks(image, class_map, w, h);
+
+    // Plot region: right of the spine when known, else the full width.
+    let x0 = ticks.as_ref().map_or(0, |t| t.spine_x + 1);
+    let x1 = w;
+
+    let line_pixels: Vec<(usize, usize)> = (0..w * h)
+        .filter(|&i| class_map[i] == 3)
+        .map(|i| (i % w, i / w))
+        .collect();
+    let instances = separate_line_instances(image, &line_pixels, MIN_LINE_PIXELS);
+
+    let lines = instances
+        .iter()
+        .filter_map(|inst| {
+            let raw = trace_rows(inst, x0, x1);
+            let rows = fill_gaps(&raw)?;
+            let values: Vec<f64> = match &ticks {
+                Some(t) => rows.iter().map(|&r| t.value_at_row(r)).collect(),
+                // Without ticks, report rows flipped so larger = higher.
+                None => rows.iter().map(|&r| h as f64 - 1.0 - r).collect(),
+            };
+            Some(ExtractedLine { image: line_image(inst, w, h), trace_rows: rows, values })
+        })
+        .collect();
+
+    ExtractedChart { y_range: ticks.as_ref().map(TickInfo::y_range), lines, ticks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_chart::{render, ChartStyle};
+    use lcdd_table::series::{DataSeries, UnderlyingData};
+
+    fn two_line_chart() -> Chart {
+        let data = UnderlyingData {
+            series: vec![
+                DataSeries::new("up", (0..100).map(|i| i as f64 * 0.5).collect()),
+                DataSeries::new("wave", (0..100).map(|i| 25.0 + 20.0 * (i as f64 / 9.0).sin()).collect()),
+            ],
+        };
+        render(&data, &ChartStyle::default())
+    }
+
+    #[test]
+    fn oracle_extracts_both_lines() {
+        let chart = two_line_chart();
+        let ex = VisualElementExtractor::oracle().extract(&chart);
+        assert_eq!(ex.lines.len(), 2, "expected 2 extracted lines");
+        assert!(ex.y_range.is_some());
+    }
+
+    #[test]
+    fn extracted_values_track_the_data() {
+        let chart = two_line_chart();
+        let ex = VisualElementExtractor::oracle().extract(&chart);
+        // One of the lines must be monotonically increasing (the ramp).
+        let is_ramp = |vals: &[f64]| {
+            let n = vals.len();
+            vals[n - 1] > vals[0] + 20.0
+        };
+        assert!(
+            ex.lines.iter().any(|l| is_ramp(&l.values)),
+            "no extracted line matches the increasing ramp"
+        );
+        // Extracted value range should be near the true data range (0..~50).
+        let (lo, hi) = ex.y_range.unwrap();
+        assert!(lo <= 1.0 && hi >= 45.0, "decoded range ({lo}, {hi})");
+    }
+
+    #[test]
+    fn line_images_have_disjoint_ink() {
+        let chart = two_line_chart();
+        let ex = VisualElementExtractor::oracle().extract(&chart);
+        let overlap: usize = (0..ex.lines[0].image.pixels().len())
+            .filter(|&i| {
+                ex.lines[0].image.pixels()[i] > 0.5 && ex.lines[1].image.pixels()[i] > 0.5
+            })
+            .count();
+        assert_eq!(overlap, 0, "per-line images must not share ink");
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle extractor")]
+    fn oracle_rejects_raw_images() {
+        let chart = two_line_chart();
+        let _ = VisualElementExtractor::oracle().extract_image(&chart.image);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-pixel features for the trainable chart segmenter.
+//!
+//! The paper trains a Mask R-CNN; at reproduction scale we train a
+//! multinomial pixel classifier over hand-rolled local features (colour,
+//! position, stroke-run statistics). Axis and tick strokes share a colour,
+//! so the run-length features carry the signal that separates them (axis
+//! spines are long runs; tick glyphs are short).
+
+use lcdd_chart::{GreyImage, RgbImage};
+
+/// Number of features per pixel.
+pub const NUM_FEATURES: usize = 10;
+
+/// Luma threshold below which a pixel counts as "ink".
+const INK_LUMA: f32 = 0.92;
+/// Run lengths are capped and normalised by this value.
+const RUN_CAP: f32 = 32.0;
+
+/// Precomputed per-image planes enabling O(1) feature reads per pixel.
+pub struct FeaturePlanes {
+    width: usize,
+    height: usize,
+    rgb: Vec<[f32; 3]>,
+    luma: GreyImage,
+    h_run: Vec<u16>,
+    v_run: Vec<u16>,
+}
+
+impl FeaturePlanes {
+    /// Precomputes feature planes for an image.
+    pub fn compute(img: &RgbImage) -> Self {
+        let (w, h) = (img.width(), img.height());
+        let mut rgb = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let p = img.get(x, y);
+                rgb.push([p.0 as f32 / 255.0, p.1 as f32 / 255.0, p.2 as f32 / 255.0]);
+            }
+        }
+        let luma = img.to_grey();
+        let ink = |x: usize, y: usize| luma.get(x, y) < INK_LUMA;
+
+        // Horizontal runs: for each row, length of the ink run covering each
+        // pixel.
+        let mut h_run = vec![0u16; w * h];
+        for y in 0..h {
+            let mut x = 0;
+            while x < w {
+                if ink(x, y) {
+                    let start = x;
+                    while x < w && ink(x, y) {
+                        x += 1;
+                    }
+                    let len = (x - start) as u16;
+                    for i in start..x {
+                        h_run[y * w + i] = len;
+                    }
+                } else {
+                    x += 1;
+                }
+            }
+        }
+        // Vertical runs.
+        let mut v_run = vec![0u16; w * h];
+        for x in 0..w {
+            let mut y = 0;
+            while y < h {
+                if ink(x, y) {
+                    let start = y;
+                    while y < h && ink(x, y) {
+                        y += 1;
+                    }
+                    let len = (y - start) as u16;
+                    for i in start..y {
+                        v_run[i * w + x] = len;
+                    }
+                } else {
+                    y += 1;
+                }
+            }
+        }
+        FeaturePlanes { width: w, height: h, rgb, luma, h_run, v_run }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// True when the pixel is ink (dark enough to be part of an element).
+    pub fn is_ink(&self, x: usize, y: usize) -> bool {
+        self.luma.get(x, y) < INK_LUMA
+    }
+
+    /// Writes the pixel's feature vector into `out` (length
+    /// [`NUM_FEATURES`]).
+    pub fn features_into(&self, x: usize, y: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), NUM_FEATURES);
+        let idx = y * self.width + x;
+        let [r, g, b] = self.rgb[idx];
+        let luma = self.luma.get(x, y);
+        let sat = r.max(g).max(b) - r.min(g).min(b);
+        let mut dark_neighbors = 0.0;
+        for (dx, dy) in [(-1i32, 0i32), (1, 0), (0, -1), (0, 1), (-1, -1), (1, 1), (-1, 1), (1, -1)] {
+            let nx = x as i32 + dx;
+            let ny = y as i32 + dy;
+            if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
+                && self.is_ink(nx as usize, ny as usize)
+            {
+                dark_neighbors += 1.0;
+            }
+        }
+        out[0] = r;
+        out[1] = g;
+        out[2] = b;
+        out[3] = luma;
+        out[4] = sat;
+        out[5] = x as f32 / self.width as f32;
+        out[6] = y as f32 / self.height as f32;
+        out[7] = (self.h_run[idx] as f32).min(RUN_CAP) / RUN_CAP;
+        out[8] = (self.v_run[idx] as f32).min(RUN_CAP) / RUN_CAP;
+        out[9] = dark_neighbors / 8.0;
+    }
+
+    /// Allocating convenience wrapper around [`FeaturePlanes::features_into`].
+    pub fn features(&self, x: usize, y: usize) -> Vec<f32> {
+        let mut out = vec![0.0; NUM_FEATURES];
+        self.features_into(x, y, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_chart::Rgb;
+
+    fn image_with_strokes() -> RgbImage {
+        let mut img = RgbImage::new(20, 10, Rgb::WHITE);
+        // long horizontal stroke (axis-like)
+        for x in 0..20 {
+            img.set(x as isize, 8, Rgb(42, 63, 95));
+        }
+        // short glyph-like blob
+        img.set(2, 2, Rgb(42, 63, 95));
+        img.set(3, 2, Rgb(42, 63, 95));
+        // coloured line pixel
+        img.set(10, 4, Rgb(239, 85, 59));
+        img
+    }
+
+    #[test]
+    fn run_lengths_separate_axis_from_glyph() {
+        let planes = FeaturePlanes::compute(&image_with_strokes());
+        let axis = planes.features(10, 8);
+        let glyph = planes.features(2, 2);
+        assert!(axis[7] > glyph[7], "axis h-run must exceed glyph h-run");
+    }
+
+    #[test]
+    fn saturation_flags_line_pixels() {
+        let planes = FeaturePlanes::compute(&image_with_strokes());
+        let line = planes.features(10, 4);
+        let axis = planes.features(10, 8);
+        assert!(line[4] > axis[4], "coloured line pixels have higher saturation");
+    }
+
+    #[test]
+    fn background_is_not_ink() {
+        let planes = FeaturePlanes::compute(&image_with_strokes());
+        assert!(!planes.is_ink(0, 0));
+        assert!(planes.is_ink(10, 8));
+    }
+
+    #[test]
+    fn feature_vector_length() {
+        let planes = FeaturePlanes::compute(&image_with_strokes());
+        assert_eq!(planes.features(0, 0).len(), NUM_FEATURES);
+    }
+}

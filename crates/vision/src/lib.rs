@@ -1,0 +1,22 @@
+//! # lcdd-vision
+//!
+//! The visual element extractor of FCM (paper Sec. IV-A): the LineChartSeg
+//! auto-labelled segmentation dataset, the trainable LCSeg pixel classifier
+//! (Mask R-CNN substitute — see DESIGN.md), colour/connectivity line
+//! instance separation, line tracing back to 1-D series, and y-tick label
+//! decoding that recovers the chart's value range from raw pixels.
+
+pub mod components;
+pub mod extractor;
+pub mod features;
+pub mod lcseg;
+pub mod linechartseg;
+pub mod tick_decode;
+pub mod trace;
+
+pub use components::{connected_components, separate_line_instances, LineInstance};
+pub use extractor::{ExtractedChart, ExtractedLine, VisualElementExtractor};
+pub use features::{FeaturePlanes, NUM_FEATURES};
+pub use lcseg::{Lcseg, LcsegConfig};
+pub use linechartseg::{build_linechartseg, SegExample};
+pub use tick_decode::{decode_ticks, TickInfo};

@@ -1,0 +1,269 @@
+//! Y-axis tick decoding: recover the chart's value range from pixels.
+//!
+//! The renderer draws tick labels with a 3x5 bitmap font; this module finds
+//! the y-axis spine, groups tick-label ink into row bands, decodes each
+//! label by glyph template matching, and least-squares-fits the
+//! `value = a·row + b` mapping. The extractor uses the fit to convert
+//! traced pixel rows into chart units and to report the y range the paper's
+//! dataset encoder filters columns with (Sec. IV-C).
+
+use lcdd_chart::ticks::{glyph, GLYPH_ADVANCE, GLYPH_H, GLYPH_W};
+use lcdd_chart::RgbImage;
+
+/// Decoded axis information.
+#[derive(Clone, Debug)]
+pub struct TickInfo {
+    /// Column of the y-axis spine.
+    pub spine_x: usize,
+    /// Top (min) and bottom (max) row of the spine.
+    pub spine_top: usize,
+    pub spine_bottom: usize,
+    /// Decoded `(row_center, value)` pairs.
+    pub ticks: Vec<(f64, f64)>,
+    /// Linear fit `value = a * row + b`.
+    pub a: f64,
+    pub b: f64,
+}
+
+impl TickInfo {
+    /// Chart value at a pixel row.
+    pub fn value_at_row(&self, row: f64) -> f64 {
+        self.a * row + self.b
+    }
+
+    /// The `(y_lo, y_hi)` value range spanned by the plot area.
+    pub fn y_range(&self) -> (f64, f64) {
+        let v_bottom = self.value_at_row(self.spine_bottom as f64 - 1.0);
+        let v_top = self.value_at_row(self.spine_top as f64);
+        (v_bottom.min(v_top), v_bottom.max(v_top))
+    }
+}
+
+/// Finds the y-axis spine from a coarse class map (class 1 = axis): the
+/// column containing the most axis pixels. Returns `(x, top, bottom)`.
+pub fn find_spine(class_map: &[u8], width: usize, height: usize) -> Option<(usize, usize, usize)> {
+    let mut best_x = 0usize;
+    let mut best_count = 0usize;
+    for x in 0..width {
+        let count = (0..height).filter(|&y| class_map[y * width + x] == 1).count();
+        if count > best_count {
+            best_count = count;
+            best_x = x;
+        }
+    }
+    if best_count < 8 {
+        return None;
+    }
+    let ys: Vec<usize> = (0..height).filter(|&y| class_map[y * width + best_x] == 1).collect();
+    Some((best_x, *ys.first().unwrap(), *ys.last().unwrap()))
+}
+
+fn is_ink(img: &RgbImage, x: usize, y: usize) -> bool {
+    img.get(x, y).luma() < 0.92
+}
+
+/// Decodes one label whose ink occupies rows `[y0, y1]` left of `x_limit`.
+fn decode_band(img: &RgbImage, x_limit: usize, y0: usize, y1: usize) -> Option<(f64, f64)> {
+    // Bounding box of ink in the band.
+    let mut min_x = usize::MAX;
+    let mut max_x = 0usize;
+    let mut count = 0usize;
+    for y in y0..=y1 {
+        for x in 0..x_limit {
+            if is_ink(img, x, y) {
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let n_chars = ((max_x - min_x) as f64 / GLYPH_ADVANCE as f64).round() as usize + 1;
+    // Labels are drawn with the glyph-top two rows above the tick row; the
+    // band's top row is the glyph top.
+    let glyph_top = y0;
+    let mut text = String::new();
+    for c in 0..n_chars {
+        let cx = min_x + c * GLYPH_ADVANCE;
+        // Extract the 3x5 cell.
+        let mut cell = [0u8; GLYPH_W * GLYPH_H];
+        for gy in 0..GLYPH_H {
+            for gx in 0..GLYPH_W {
+                let (x, y) = (cx + gx, glyph_top + gy);
+                if x < x_limit && y < img.height() && is_ink(img, x, y) {
+                    cell[gy * GLYPH_W + gx] = 1;
+                }
+            }
+        }
+        // Template match against the font.
+        let mut best: Option<(char, usize)> = None;
+        for ch in ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '-', '.', 'e', '+'] {
+            let g = glyph(ch).unwrap();
+            let agree = g.iter().zip(cell.iter()).filter(|(a, b)| a == b).count();
+            if best.map_or(true, |(_, s)| agree > s) {
+                best = Some((ch, agree));
+            }
+        }
+        let (ch, score) = best?;
+        if score < GLYPH_W * GLYPH_H - 2 {
+            return None; // too noisy to trust
+        }
+        text.push(ch);
+    }
+    let value: f64 = text.parse().ok()?;
+    // The tick row the label is centred on: glyph_top + 2 (labels render at
+    // tick_row - 2).
+    Some((glyph_top as f64 + 2.0, value))
+}
+
+/// Decodes every tick label left of the spine and fits the row→value line.
+pub fn decode_ticks(
+    img: &RgbImage,
+    class_map: &[u8],
+    width: usize,
+    height: usize,
+) -> Option<TickInfo> {
+    let (spine_x, spine_top, spine_bottom) = find_spine(class_map, width, height)?;
+    if spine_x < 6 {
+        return None;
+    }
+    let label_region_limit = spine_x.saturating_sub(2);
+
+    // Rows containing tick-class ink left of the spine.
+    let mut row_has_label = vec![false; height];
+    for y in 0..height {
+        for x in 0..label_region_limit {
+            if class_map[y * width + x] == 2 && is_ink(img, x, y) {
+                row_has_label[y] = true;
+                break;
+            }
+        }
+    }
+    // Group contiguous rows into bands.
+    let mut bands: Vec<(usize, usize)> = Vec::new();
+    let mut y = 0;
+    while y < height {
+        if row_has_label[y] {
+            let start = y;
+            while y < height && row_has_label[y] {
+                y += 1;
+            }
+            bands.push((start, y - 1));
+        } else {
+            y += 1;
+        }
+    }
+
+    let mut ticks: Vec<(f64, f64)> = bands
+        .into_iter()
+        .filter_map(|(y0, y1)| decode_band(img, label_region_limit, y0, y1))
+        .collect();
+    ticks.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    if ticks.len() < 2 {
+        return None;
+    }
+
+    // Least squares fit value = a*row + b.
+    let n = ticks.len() as f64;
+    let sx: f64 = ticks.iter().map(|t| t.0).sum();
+    let sy: f64 = ticks.iter().map(|t| t.1).sum();
+    let sxx: f64 = ticks.iter().map(|t| t.0 * t.0).sum();
+    let sxy: f64 = ticks.iter().map(|t| t.0 * t.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-9 {
+        return None;
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+
+    Some(TickInfo { spine_x, spine_top, spine_bottom, ticks, a, b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcdd_chart::{render, ChartStyle, ElementClass};
+    use lcdd_table::series::{DataSeries, UnderlyingData};
+
+    fn oracle_map(chart: &lcdd_chart::Chart) -> Vec<u8> {
+        let (w, h) = (chart.mask.width(), chart.mask.height());
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                chart.mask.get(x, y).coarse_code()
+            })
+            .collect()
+    }
+
+    fn chart_for(values: Vec<f64>) -> lcdd_chart::Chart {
+        let data = UnderlyingData { series: vec![DataSeries::new("s", values)] };
+        render(&data, &ChartStyle::default())
+    }
+
+    #[test]
+    fn decodes_range_of_simple_chart() {
+        let chart = chart_for((0..100).map(|i| i as f64).collect());
+        let map = oracle_map(&chart);
+        let info =
+            decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height()).unwrap();
+        let (lo, hi) = info.y_range();
+        // True plot range is meta.y_lo..meta.y_hi.
+        let span = chart.meta.y_hi - chart.meta.y_lo;
+        assert!((lo - chart.meta.y_lo).abs() < span * 0.1, "lo {lo} vs {}", chart.meta.y_lo);
+        assert!((hi - chart.meta.y_hi).abs() < span * 0.1, "hi {hi} vs {}", chart.meta.y_hi);
+    }
+
+    #[test]
+    fn decodes_negative_ranges() {
+        let chart = chart_for((0..80).map(|i| -40.0 + i as f64).collect());
+        let map = oracle_map(&chart);
+        let info =
+            decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height()).unwrap();
+        let (lo, hi) = info.y_range();
+        assert!(lo < 0.0 && hi > 0.0, "range ({lo}, {hi}) should straddle zero");
+    }
+
+    #[test]
+    fn tick_values_match_meta_ticks() {
+        let chart = chart_for((0..60).map(|i| (i as f64 / 8.0).sin() * 12.0).collect());
+        let map = oracle_map(&chart);
+        let info =
+            decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height()).unwrap();
+        // Every decoded value must appear among the true tick values.
+        for &(_, v) in &info.ticks {
+            assert!(
+                chart.meta.ticks.iter().any(|&t| (t - v).abs() < 1e-6 + t.abs() * 0.01),
+                "decoded {v} not among {:?}",
+                chart.meta.ticks
+            );
+        }
+        assert!(info.ticks.len() >= 2);
+    }
+
+    #[test]
+    fn spine_found_at_plot_left() {
+        let chart = chart_for((0..50).map(|i| i as f64).collect());
+        let map = oracle_map(&chart);
+        let (x, top, bottom) =
+            find_spine(&map, chart.image.width(), chart.image.height()).unwrap();
+        let (px0, py0, _, py1) = chart.meta.plot;
+        assert_eq!(x, px0 - 1);
+        assert!(top <= py0 + 1);
+        assert!(bottom >= py1 - 2);
+    }
+
+    #[test]
+    fn no_axes_returns_none() {
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("s", (0..50).map(|i| i as f64).collect())],
+        };
+        let style = ChartStyle { draw_axes: false, ..Default::default() };
+        let chart = render(&data, &style);
+        let map = oracle_map(&chart);
+        assert!(chart.mask.count(ElementClass::Axis) == 0);
+        assert!(decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height())
+            .is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Line tracing: turn a line-pixel instance back into a 1-D series and a
+//! clean per-line greyscale image (the encoder's input, paper Sec. IV-B).
+
+use lcdd_chart::GreyImage;
+
+use crate::components::LineInstance;
+
+/// Per-column mean pixel row of a line instance across `[x0, x1)`;
+/// columns the line does not touch (occlusion by later-drawn lines, gaps)
+/// are `None`.
+pub fn trace_rows(instance: &LineInstance, x0: usize, x1: usize) -> Vec<Option<f64>> {
+    let mut sums = vec![(0.0f64, 0usize); x1.saturating_sub(x0)];
+    for &(x, y) in &instance.pixels {
+        if x >= x0 && x < x1 {
+            let slot = &mut sums[x - x0];
+            slot.0 += y as f64;
+            slot.1 += 1;
+        }
+    }
+    sums.into_iter()
+        .map(|(s, n)| (n > 0).then(|| s / n as f64))
+        .collect()
+}
+
+/// Fills `None` gaps by linear interpolation between the nearest observed
+/// columns; leading/trailing gaps extend the first/last observation.
+/// Returns `None` when no column is observed at all.
+pub fn fill_gaps(trace: &[Option<f64>]) -> Option<Vec<f64>> {
+    let first = trace.iter().position(Option::is_some)?;
+    let last = trace.iter().rposition(Option::is_some)?;
+    let mut out = Vec::with_capacity(trace.len());
+    for i in 0..trace.len() {
+        if let Some(v) = trace[i] {
+            out.push(v);
+            continue;
+        }
+        if i < first {
+            out.push(trace[first].unwrap());
+        } else if i > last {
+            out.push(trace[last].unwrap());
+        } else {
+            // interior gap: find bracketing observations
+            let l = trace[..i].iter().rposition(Option::is_some).unwrap();
+            let r = i + trace[i..].iter().position(Option::is_some).unwrap();
+            let (lv, rv) = (trace[l].unwrap(), trace[r].unwrap());
+            let frac = (i - l) as f64 / (r - l) as f64;
+            out.push(lv + (rv - lv) * frac);
+        }
+    }
+    Some(out)
+}
+
+/// Paints the instance onto a white background as an ink-on-paper greyscale
+/// image of the full chart size (`ink = 1.0`), which the line-chart encoder
+/// slices into segment patches.
+pub fn line_image(instance: &LineInstance, width: usize, height: usize) -> GreyImage {
+    let mut img = GreyImage::new(width, height, 0.0);
+    for &(x, y) in &instance.pixels {
+        img.set(x, y, 1.0);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(pixels: Vec<(usize, usize)>) -> LineInstance {
+        LineInstance { pixels, color: (0, 0, 0) }
+    }
+
+    #[test]
+    fn trace_means_multiple_rows() {
+        // Two pixels stacked at x=1 (thickness 2) average to 5.5.
+        let inst = instance(vec![(0, 4), (1, 5), (1, 6), (2, 7)]);
+        let t = trace_rows(&inst, 0, 3);
+        assert_eq!(t[0], Some(4.0));
+        assert_eq!(t[1], Some(5.5));
+        assert_eq!(t[2], Some(7.0));
+    }
+
+    #[test]
+    fn gaps_interpolated() {
+        let t = vec![Some(0.0), None, None, Some(3.0)];
+        assert_eq!(fill_gaps(&t).unwrap(), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn edges_extended() {
+        let t = vec![None, Some(2.0), None];
+        assert_eq!(fill_gaps(&t).unwrap(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn all_empty_returns_none() {
+        assert!(fill_gaps(&[None, None]).is_none());
+    }
+
+    #[test]
+    fn line_image_paints_pixels() {
+        let inst = instance(vec![(1, 1), (2, 2)]);
+        let img = line_image(&inst, 4, 4);
+        assert_eq!(img.get(1, 1), 1.0);
+        assert_eq!(img.get(2, 2), 1.0);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.mean(), 2.0 / 16.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full pipeline from synthetic corpus
+//! through rendering, extraction, training and retrieval.
+
+use linechart_discovery::baselines::{DiscoveryMethod, QetchStar, RepoEntry};
+use linechart_discovery::benchmark::{
+    build_benchmark, evaluate, BenchmarkConfig, FcmMethod,
+};
+use linechart_discovery::chart::{render, render_record, ChartStyle};
+use linechart_discovery::fcm::{FcmConfig, FcmModel, TrainConfig};
+use linechart_discovery::relevance::{rel_score, RelevanceConfig};
+use linechart_discovery::table::series::UnderlyingData;
+use linechart_discovery::table::{build_corpus, CorpusConfig};
+use linechart_discovery::vision::VisualElementExtractor;
+
+fn tiny_bench_cfg() -> BenchmarkConfig {
+    BenchmarkConfig {
+        n_train: 10,
+        n_distractors: 8,
+        n_query_tables: 4,
+        noise_copies: 3,
+        k_rel: 3,
+        train_extractor: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn render_extract_roundtrip_preserves_line_count() {
+    let corpus = build_corpus(&CorpusConfig { n_records: 12, ..Default::default() });
+    let style = ChartStyle::default();
+    let oracle = VisualElementExtractor::oracle();
+    let mut matched = 0usize;
+    for r in &corpus {
+        let chart = render_record(&r.table, &r.spec, &style);
+        let extracted = oracle.extract(&chart);
+        if extracted.lines.len() == r.spec.num_lines() {
+            matched += 1;
+        }
+        // The decoded y range must cover the rendered tick range closely.
+        if let Some((lo, hi)) = extracted.y_range {
+            let span = (chart.meta.y_hi - chart.meta.y_lo).abs().max(1e-9);
+            assert!((lo - chart.meta.y_lo).abs() < span * 0.2, "{}", r.table.name);
+            assert!((hi - chart.meta.y_hi).abs() < span * 0.2, "{}", r.table.name);
+        }
+    }
+    // Heavily overlapping multi-line charts can merge instances; most must
+    // round-trip exactly.
+    assert!(matched * 10 >= corpus.len() * 7, "only {matched}/{} charts round-tripped", corpus.len());
+}
+
+#[test]
+fn ground_truth_relevance_identifies_source_tables() {
+    let corpus = build_corpus(&CorpusConfig { n_records: 15, ..Default::default() });
+    let cfg = RelevanceConfig::default();
+    let mut top1 = 0usize;
+    for (qi, r) in corpus.iter().enumerate().take(8) {
+        let d = UnderlyingData::from_spec(&r.table, &r.spec);
+        let best = corpus
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| (ti, rel_score(&d, &t.table, &cfg)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        top1 += usize::from(best == qi);
+    }
+    assert!(top1 >= 7, "Rel(D,T) should almost always point at the source: {top1}/8");
+}
+
+#[test]
+fn benchmark_evaluation_end_to_end_with_fcm_and_qetch() {
+    let bench = build_benchmark(&tiny_bench_cfg());
+
+    // Untrained FCM must run the whole pipeline without panicking.
+    let mut fcm = FcmMethod::new(FcmModel::new(FcmConfig::tiny()));
+    let s = evaluate(&mut fcm, &bench);
+    assert_eq!(s.overall().n_queries, bench.queries.len());
+
+    // Qetch* (no training) should beat chance on plain queries because it
+    // matches extracted shapes directly.
+    let mut qetch = QetchStar::default();
+    let s = evaluate(&mut qetch, &bench);
+    let chance = bench.k_rel as f64 / bench.repo.len() as f64;
+    assert!(
+        s.without_da().prec > chance,
+        "Qetch* prec {} should beat chance {chance}",
+        s.without_da().prec
+    );
+}
+
+#[test]
+fn trained_fcm_beats_untrained_fcm() {
+    let bench = build_benchmark(&tiny_bench_cfg());
+    let tc = TrainConfig { epochs: 6, batch_size: 10, n_neg: 2, ..Default::default() };
+
+    let mut untrained = FcmMethod::new(FcmModel::new(FcmConfig::tiny()));
+    let before = evaluate(&mut untrained, &bench).overall();
+
+    let mut model = FcmModel::new(FcmConfig::tiny());
+    linechart_discovery::benchmark::train_fcm_on(&bench, &mut model, &tc, |_, _, _| 0.0);
+    let mut trained = FcmMethod::new(model);
+    let after = evaluate(&mut trained, &bench).overall();
+
+    assert!(
+        after.prec >= before.prec,
+        "training must not hurt retrieval: before {} after {}",
+        before.prec,
+        after.prec
+    );
+}
+
+#[test]
+fn index_candidates_preserve_ground_truth_recall() {
+    use linechart_discovery::index::IndexStrategy;
+    let bench = build_benchmark(&tiny_bench_cfg());
+    let mut fcm = FcmMethod::new(FcmModel::new(FcmConfig::tiny()));
+    fcm.prepare(&bench.repo);
+    fcm.strategy = IndexStrategy::IntervalOnly;
+    // The interval tree must never prune the query's own source table: its
+    // columns trivially overlap the chart's value range.
+    for q in &bench.queries {
+        if q.agg.is_some() {
+            continue; // aggregated charts can exceed raw ranges
+        }
+        if let Some(c) = fcm.candidate_set(&q.input) {
+            assert!(
+                c.contains(&q.source),
+                "interval stage pruned the true source for a plain query"
+            );
+        }
+    }
+}
+
+#[test]
+fn chart_styles_roundtrip_through_extractor() {
+    // A larger raster must extract as well as the default one.
+    let corpus = build_corpus(&CorpusConfig { n_records: 3, ..Default::default() });
+    let style = ChartStyle::large();
+    let oracle = VisualElementExtractor::oracle();
+    let data = UnderlyingData::from_spec(&corpus[0].table, &corpus[0].spec);
+    let chart = render(&data, &style);
+    let extracted = oracle.extract(&chart);
+    assert!(!extracted.lines.is_empty());
+    assert!(extracted.y_range.is_some());
+}
