@@ -81,7 +81,14 @@ impl Cml {
             cfg.image.ff_mult,
             MAX_COLS,
         );
-        Cml { cfg, store, image_encoder, col_proj, table_encoder, table_cache: Vec::new() }
+        Cml {
+            cfg,
+            store,
+            image_encoder,
+            col_proj,
+            table_encoder,
+            table_cache: Vec::new(),
+        }
     }
 
     fn table_tokens(&self, table: &Table) -> Matrix {
@@ -103,7 +110,9 @@ impl Cml {
         let tokens = self
             .col_proj
             .forward(&self.store, tape, &tape.leaf(self.table_tokens(table)));
-        self.table_encoder.forward(&self.store, tape, &tokens).mean_rows()
+        self.table_encoder
+            .forward(&self.store, tape, &tokens)
+            .mean_rows()
     }
 
     /// Pooled table embedding (inference).
@@ -177,7 +186,10 @@ impl DiscoveryMethod for Cml {
     }
 
     fn score(&self, query: &QueryInput, entry: &RepoEntry) -> f64 {
-        cosine(&self.embed_chart(&query.image), &self.embed_table(&entry.table))
+        cosine(
+            &self.embed_chart(&query.image),
+            &self.embed_table(&entry.table),
+        )
     }
 
     fn rank(&self, query: &QueryInput, repo: &[RepoEntry], k: usize) -> Vec<(usize, f64)> {
@@ -216,9 +228,14 @@ mod tests {
             .map(|i| {
                 let fam = SeriesFamily::ALL[i % SeriesFamily::ALL.len()];
                 let vals = lcdd_table::generate(&mut rng, fam, 120, 1.0, 0.0);
-                let table =
-                    Table::new(i as u64, format!("t{i}"), vec![Column::new("a", vals.clone())]);
-                let data = UnderlyingData { series: vec![DataSeries::new("a", vals)] };
+                let table = Table::new(
+                    i as u64,
+                    format!("t{i}"),
+                    vec![Column::new("a", vals.clone())],
+                );
+                let data = UnderlyingData {
+                    series: vec![DataSeries::new("a", vals)],
+                };
                 let chart = render(&data, &ChartStyle::default());
                 (chart.image, table)
             })
@@ -244,7 +261,10 @@ mod tests {
         let pairs = world(6);
         let mut cml = Cml::new(small_cfg());
         let losses = cml.train(&pairs);
-        assert!(losses.last().unwrap() < losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 
     #[test]
@@ -262,19 +282,29 @@ mod tests {
         cml.train(&pairs);
         let repo: Vec<RepoEntry> = pairs
             .iter()
-            .map(|(_, t)| RepoEntry { table: t.clone(), spec: lcdd_table::VisSpec::plain(vec![0]) })
+            .map(|(_, t)| RepoEntry {
+                table: t.clone(),
+                spec: lcdd_table::VisSpec::plain(vec![0]),
+            })
             .collect();
         let mut mean_rank = 0.0;
         for (qi, (img, _)) in pairs.iter().enumerate() {
             let q = QueryInput {
                 image: img.clone(),
-                extracted: lcdd_vision::ExtractedChart { lines: vec![], y_range: None, ticks: None },
+                extracted: lcdd_vision::ExtractedChart {
+                    lines: vec![],
+                    y_range: None,
+                    ticks: None,
+                },
             };
             let ranked = cml.rank(&q, &repo, repo.len());
             let pos = ranked.iter().position(|&(i, _)| i == qi).unwrap();
             mean_rank += pos as f64;
         }
         mean_rank /= pairs.len() as f64;
-        assert!(mean_rank < 3.5, "mean rank of true table too high: {mean_rank}");
+        assert!(
+            mean_rank < 3.5,
+            "mean rank of true table too high: {mean_rank}"
+        );
     }
 }

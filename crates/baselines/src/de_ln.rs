@@ -31,7 +31,11 @@ pub struct DeLn {
 impl DeLn {
     /// Wraps a trained LineNet model.
     pub fn new(linenet: LineNet, style: ChartStyle) -> Self {
-        DeLn { linenet, style, rec_cache: Vec::new() }
+        DeLn {
+            linenet,
+            style,
+            rec_cache: Vec::new(),
+        }
     }
 
     fn recommended_embeddings(&self, table: &Table) -> Vec<Vec<f32>> {
@@ -61,7 +65,10 @@ impl DiscoveryMethod for DeLn {
     }
 
     fn prepare(&mut self, repo: &[RepoEntry]) {
-        self.rec_cache = repo.iter().map(|e| self.recommended_embeddings(&e.table)).collect();
+        self.rec_cache = repo
+            .iter()
+            .map(|e| self.recommended_embeddings(&e.table))
+            .collect();
     }
 
     fn score(&self, query: &QueryInput, entry: &RepoEntry) -> f64 {
@@ -76,8 +83,11 @@ impl DiscoveryMethod for DeLn {
     fn rank(&self, query: &QueryInput, repo: &[RepoEntry], k: usize) -> Vec<(usize, f64)> {
         if self.rec_cache.len() != repo.len() {
             // No cache: fall back to per-pair scoring.
-            let mut scored: Vec<(usize, f64)> =
-                repo.iter().enumerate().map(|(i, e)| (i, self.score(query, e))).collect();
+            let mut scored: Vec<(usize, f64)> = repo
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, self.score(query, e)))
+                .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             scored.truncate(k);
             return scored;
@@ -112,7 +122,11 @@ pub struct OptLn {
 impl OptLn {
     /// Wraps a trained LineNet model.
     pub fn new(linenet: LineNet, style: ChartStyle) -> Self {
-        OptLn { linenet, style, spec_cache: Vec::new() }
+        OptLn {
+            linenet,
+            style,
+            spec_cache: Vec::new(),
+        }
     }
 }
 
@@ -139,8 +153,11 @@ impl DiscoveryMethod for OptLn {
 
     fn rank(&self, query: &QueryInput, repo: &[RepoEntry], k: usize) -> Vec<(usize, f64)> {
         if self.spec_cache.len() != repo.len() {
-            let mut scored: Vec<(usize, f64)> =
-                repo.iter().enumerate().map(|(i, e)| (i, self.score(query, e))).collect();
+            let mut scored: Vec<(usize, f64)> = repo
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, self.score(query, e)))
+                .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             scored.truncate(k);
             return scored;
@@ -168,7 +185,12 @@ mod tests {
 
     fn tiny_linenet() -> LineNet {
         LineNet::new(LineNetConfig {
-            image: ImageEncoderConfig { embed_dim: 16, n_heads: 2, n_layers: 1, ..Default::default() },
+            image: ImageEncoderConfig {
+                embed_dim: 16,
+                n_heads: 2,
+                n_layers: 1,
+                ..Default::default()
+            },
             ..Default::default()
         })
     }
@@ -183,11 +205,18 @@ mod tests {
         let chart = render_record(&corpus[0].table, &corpus[0].spec, &style);
         let q = QueryInput {
             image: chart.image,
-            extracted: ExtractedChart { lines: vec![], y_range: None, ticks: None },
+            extracted: ExtractedChart {
+                lines: vec![],
+                y_range: None,
+                ticks: None,
+            },
         };
         let repo: Vec<RepoEntry> = corpus
             .into_iter()
-            .map(|r| RepoEntry { table: r.table, spec: r.spec })
+            .map(|r| RepoEntry {
+                table: r.table,
+                spec: r.spec,
+            })
             .collect();
         (q, repo)
     }

@@ -56,7 +56,10 @@ pub fn recommend_line_charts(table: &Table, k: usize) -> Vec<Recommendation> {
     let mut recs: Vec<Recommendation> = Vec::new();
     // Single-column charts.
     for &(i, g) in scored.iter().take(k) {
-        recs.push(Recommendation { spec: VisSpec::plain(vec![i]), goodness: g });
+        recs.push(Recommendation {
+            spec: VisSpec::plain(vec![i]),
+            goodness: g,
+        });
     }
     // Multi-column groups: prefix groups of the ranked columns whose ranges
     // overlap enough to share an axis.
@@ -73,12 +76,22 @@ pub fn recommend_line_charts(table: &Table, k: usize) -> Vec<Recommendation> {
             lo <= hi0 + span && hi >= lo0 - span
         });
         if compatible {
-            let g = group.iter().map(|&i| scored.iter().find(|s| s.0 == i).unwrap().1).sum::<f64>()
+            let g = group
+                .iter()
+                .map(|&i| scored.iter().find(|s| s.0 == i).unwrap().1)
+                .sum::<f64>()
                 / group_size as f64;
-            recs.push(Recommendation { spec: VisSpec::plain(group), goodness: g });
+            recs.push(Recommendation {
+                spec: VisSpec::plain(group),
+                goodness: g,
+            });
         }
     }
-    recs.sort_by(|a, b| b.goodness.partial_cmp(&a.goodness).unwrap_or(std::cmp::Ordering::Equal));
+    recs.sort_by(|a, b| {
+        b.goodness
+            .partial_cmp(&a.goodness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     recs.truncate(k);
     recs
 }

@@ -189,7 +189,10 @@ mod tests {
         }
         let a = e.embed_image(&store, &white);
         let b = e.embed_image(&store, &inked);
-        assert!(cosine(&a, &b) < 0.9999, "identical embeddings for different images");
+        assert!(
+            cosine(&a, &b) < 0.9999,
+            "identical embeddings for different images"
+        );
     }
 
     #[test]
@@ -209,7 +212,12 @@ mod tests {
         let s = cosine_scores(&tape, &q, &[c1, c2]).value();
         let expect1 = cosine(&[1.0, 2.0, -1.0], &[0.5, 1.0, -0.5]);
         let expect2 = cosine(&[1.0, 2.0, -1.0], &[-1.0, 0.0, 2.0]);
-        assert!((s.get(0, 0) as f64 - expect1).abs() < 1e-4, "{} vs {}", s.get(0, 0), expect1);
+        assert!(
+            (s.get(0, 0) as f64 - expect1).abs() < 1e-4,
+            "{} vs {}",
+            s.get(0, 0),
+            expect1
+        );
         assert!((s.get(0, 1) as f64 - expect2).abs() < 1e-4);
     }
 }

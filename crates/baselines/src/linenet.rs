@@ -54,7 +54,11 @@ impl LineNet {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let encoder = ImageEncoder::new(&mut store, &mut rng, "linenet", cfg.image.clone());
-        LineNet { cfg, store, encoder }
+        LineNet {
+            cfg,
+            store,
+            encoder,
+        }
     }
 
     /// Embeds a chart image.
@@ -71,7 +75,10 @@ impl LineNet {
     /// positive = augmented re-render of the same table, negatives =
     /// other records' charts. Returns per-epoch losses.
     pub fn train(&mut self, records: &[Record], style: &ChartStyle) -> Vec<f32> {
-        assert!(records.len() >= 2, "LineNet::train: need at least 2 records");
+        assert!(
+            records.len() >= 2,
+            "LineNet::train: need at least 2 records"
+        );
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xaaaa);
         let mut opt = Adam::new(self.cfg.lr);
 
@@ -135,7 +142,12 @@ mod tests {
 
     fn small() -> LineNetConfig {
         LineNetConfig {
-            image: ImageEncoderConfig { embed_dim: 16, n_heads: 2, n_layers: 1, ..Default::default() },
+            image: ImageEncoderConfig {
+                embed_dim: 16,
+                n_heads: 2,
+                n_layers: 1,
+                ..Default::default()
+            },
             epochs: 4,
             batch_size: 6,
             ..Default::default()
@@ -151,7 +163,10 @@ mod tests {
         });
         let mut ln = LineNet::new(small());
         let losses = ln.train(&corpus, &ChartStyle::default());
-        assert!(losses.last().unwrap() <= losses.first().unwrap(), "{losses:?}");
+        assert!(
+            losses.last().unwrap() <= losses.first().unwrap(),
+            "{losses:?}"
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ mod tests {
             .collect();
         let q = QueryInput {
             image: RgbImage::new(4, 4, Rgb::WHITE),
-            extracted: ExtractedChart { lines: vec![], y_range: None, ticks: None },
+            extracted: ExtractedChart {
+                lines: vec![],
+                y_range: None,
+                ticks: None,
+            },
         };
         let ranked = ById.rank(&q, &repo, 3);
         assert_eq!(ranked.len(), 3);

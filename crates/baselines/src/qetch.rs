@@ -28,19 +28,18 @@ pub struct QetchConfig {
 
 impl Default for QetchConfig {
     fn default() -> Self {
-        QetchConfig { target_len: 96, n_segments: 8, distortion_weight: 0.35 }
+        QetchConfig {
+            target_len: 96,
+            n_segments: 8,
+            distortion_weight: 0.35,
+        }
     }
 }
 
 /// The Qetch* method (stateless; no training).
+#[derive(Default)]
 pub struct QetchStar {
     pub cfg: QetchConfig,
-}
-
-impl Default for QetchStar {
-    fn default() -> Self {
-        QetchStar { cfg: QetchConfig::default() }
-    }
 }
 
 impl QetchStar {
@@ -122,8 +121,12 @@ impl DiscoveryMethod for QetchStar {
     }
 
     fn score(&self, query: &QueryInput, entry: &RepoEntry) -> f64 {
-        let lines: Vec<Vec<f64>> =
-            query.extracted.lines.iter().map(|l| l.values.clone()).collect();
+        let lines: Vec<Vec<f64>> = query
+            .extracted
+            .lines
+            .iter()
+            .map(|l| l.values.clone())
+            .collect();
         self.chart_table_rel(&lines, &entry.table)
     }
 }
@@ -165,7 +168,10 @@ mod tests {
         let table = Table::new(
             0,
             "t",
-            vec![Column::new("down", down.clone()), Column::new("up", up.clone())],
+            vec![
+                Column::new("down", down.clone()),
+                Column::new("up", up.clone()),
+            ],
         );
         let rel = q.chart_table_rel(&[up.clone(), down.clone()], &table);
         // Both lines should find near-perfect matches: rel close to 2.
@@ -174,7 +180,10 @@ mod tests {
         let table1 = Table::new(
             1,
             "t1",
-            vec![Column::new("up", up.clone()), Column::new("flat", vec![0.0; 60])],
+            vec![
+                Column::new("up", up.clone()),
+                Column::new("flat", vec![0.0; 60]),
+            ],
         );
         let rel1 = q.chart_table_rel(&[up, down], &table1);
         assert!(rel1 < rel);

@@ -5,15 +5,85 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lcdd_chart::{render, ChartStyle};
+use lcdd_fcm::scoring::{encode_repository, search_top_k};
 use lcdd_fcm::{process_query, process_table, FcmConfig, FcmModel};
 use lcdd_index::{HybridConfig, HybridIndex, IndexStrategy};
 use lcdd_relevance::{dtw_distance, dtw_distance_banded, max_weight_matching};
 use lcdd_table::series::{DataSeries, UnderlyingData};
-use lcdd_table::{build_corpus, CorpusConfig};
+use lcdd_table::{build_corpus, Column, CorpusConfig, Table};
+use lcdd_tensor::{matmul_naive, Matrix};
 use lcdd_vision::VisualElementExtractor;
 
 fn series(n: usize, seed: f64) -> Vec<f64> {
-    (0..n).map(|i| ((i as f64 + seed) / 9.0).sin() * 3.0 + seed).collect()
+    (0..n)
+        .map(|i| ((i as f64 + seed) / 9.0).sin() * 3.0 + seed)
+        .collect()
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    // The kernel-layer sweep (blocked vs naive reference); the standalone
+    // `bench_kernels` bin emits the same comparison as BENCH_kernels.json.
+    let mut g = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256, 512] {
+        let a = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n)
+                .map(|i| ((i * 37 + 13) % 211) as f32 / 105.0 - 1.0)
+                .collect(),
+        );
+        let b = Matrix::from_vec(
+            n,
+            n,
+            (0..n * n)
+                .map(|i| ((i * 53 + 7) % 199) as f32 / 99.0 - 1.0)
+                .collect(),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("blocked", n),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| a.matmul(b)),
+        );
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &(&a, &b), |bench, (a, b)| {
+                bench.iter(|| matmul_naive(a, b))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_batch_scoring(c: &mut Criterion) {
+    // The cached linear-scan path Sec. VI's indexes prune: encode once,
+    // then score every candidate per query.
+    let model = FcmModel::new(FcmConfig::small());
+    let tables: Vec<Table> = (0..48)
+        .map(|i| {
+            let vals: Vec<f64> = (0..120)
+                .map(|j| ((j + i * 13) as f64 / 7.0).sin() * ((i % 5) + 1) as f64)
+                .collect();
+            Table::new(i as u64, format!("t{i}"), vec![Column::new("c", vals)])
+        })
+        .collect();
+    let repo = encode_repository(&model, &tables);
+    let data = UnderlyingData {
+        series: vec![DataSeries::new("q", tables[7].columns[0].values.clone())],
+    };
+    let chart = render(&data, &ChartStyle::default());
+    let query = process_query(
+        &VisualElementExtractor::oracle().extract(&chart),
+        &model.config,
+    );
+
+    let mut g = c.benchmark_group("batch_scoring");
+    g.sample_size(10);
+    g.bench_function("encode_repository_48", |bench| {
+        bench.iter(|| encode_repository(&model, &tables))
+    });
+    g.bench_function("linear_scan_top8_of_48", |bench| {
+        bench.iter(|| search_top_k(&model, &repo, &query, 8, None))
+    });
+    g.finish();
 }
 
 fn bench_dtw(c: &mut Criterion) {
@@ -53,16 +123,24 @@ fn bench_rasterizer_and_extractor(c: &mut Criterion) {
     };
     let style = ChartStyle::default();
     let mut g = c.benchmark_group("chart");
-    g.bench_function("render_4_lines", |bench| bench.iter(|| render(&data, &style)));
+    g.bench_function("render_4_lines", |bench| {
+        bench.iter(|| render(&data, &style))
+    });
     let chart = render(&data, &style);
     let oracle = VisualElementExtractor::oracle();
-    g.bench_function("extract_oracle", |bench| bench.iter(|| oracle.extract(&chart)));
+    g.bench_function("extract_oracle", |bench| {
+        bench.iter(|| oracle.extract(&chart))
+    });
     g.finish();
 }
 
 fn bench_encoders_and_matcher(c: &mut Criterion) {
     let model = FcmModel::new(FcmConfig::small());
-    let corpus = build_corpus(&CorpusConfig { n_records: 4, near_duplicate_rate: 0.0, ..Default::default() });
+    let corpus = build_corpus(&CorpusConfig {
+        n_records: 4,
+        near_duplicate_rate: 0.0,
+        ..Default::default()
+    });
     let style = ChartStyle::default();
     let chart = lcdd_chart::render_record(&corpus[0].table, &corpus[0].spec, &style);
     let extracted = VisualElementExtractor::oracle().extract(&chart);
@@ -79,14 +157,20 @@ fn bench_encoders_and_matcher(c: &mut Criterion) {
     });
     let ev = model.encode_query_values(&query);
     let et = model.encode_table_values(&table);
-    g.bench_function("match_cached", |bench| bench.iter(|| model.match_cached(&ev, &et)));
+    g.bench_function("match_cached", |bench| {
+        bench.iter(|| model.match_cached(&ev, &et))
+    });
     g.finish();
 }
 
 fn bench_index_query(c: &mut Criterion) {
     // Table VIII's timing column in microbenchmark form: candidate
     // generation per strategy over a synthetic repository.
-    let corpus = build_corpus(&CorpusConfig { n_records: 200, near_duplicate_rate: 0.0, ..Default::default() });
+    let corpus = build_corpus(&CorpusConfig {
+        n_records: 200,
+        near_duplicate_rate: 0.0,
+        ..Default::default()
+    });
     let tables: Vec<lcdd_table::Table> = corpus.iter().map(|r| r.table.clone()).collect();
     let dim = 32;
     let embs: Vec<Vec<Vec<f32>>> = tables
@@ -112,6 +196,8 @@ fn bench_index_query(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_matmul,
+    bench_batch_scoring,
     bench_dtw,
     bench_hungarian,
     bench_rasterizer_and_extractor,

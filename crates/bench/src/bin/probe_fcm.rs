@@ -18,19 +18,35 @@ fn main() {
 
     let mut model = FcmModel::new(fcm_config(scale));
     let examples = fcm_training_inputs(&bench, &model);
-    eprintln!("triplets: {}, tables: {}", examples.len(), bench.train_tables.len());
+    eprintln!(
+        "triplets: {}, tables: {}",
+        examples.len(),
+        bench.train_tables.len()
+    );
     let mut tc = fcm_train_config(scale);
-    tc.epochs = std::env::var("PROBE_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(tc.epochs);
+    tc.epochs = std::env::var("PROBE_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(tc.epochs);
     if let Some(lr) = std::env::var("PROBE_LR").ok().and_then(|v| v.parse().ok()) {
         tc.lr = lr;
     }
-    let report = train_with_callback(&mut model, &examples, &bench.train_tables, &tc, |e, loss, _| {
-        eprintln!("epoch {e}: loss {loss:.4}");
-        0.0
-    });
+    let report = train_with_callback(
+        &mut model,
+        &examples,
+        &bench.train_tables,
+        &tc,
+        |e, loss, _| {
+            eprintln!("epoch {e}: loss {loss:.4}");
+            0.0
+        },
+    );
     eprintln!("grad norms: {:?}", report.epoch_grad_norms);
     for (e, c) in report.epoch_components.iter().enumerate() {
-        eprintln!("epoch {e}: bce {:.3} nce {:.3} cos+ {:.3} cos- {:.3}", c.0, c.1, c.2, c.3);
+        eprintln!(
+            "epoch {e}: bce {:.3} nce {:.3} cos+ {:.3} cos- {:.3}",
+            c.0, c.1, c.2, c.3
+        );
     }
     let mut method = FcmMethod::new(model);
     method.prepare(&bench.repo);
@@ -38,10 +54,18 @@ fn main() {
     // Test queries.
     let mut hits = 0.0;
     for q in &bench.queries {
-        let ranked: Vec<usize> = method.rank(&q.input, &bench.repo, bench.k_rel).into_iter().map(|(i, _)| i).collect();
+        let ranked: Vec<usize> = method
+            .rank(&q.input, &bench.repo, bench.k_rel)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         hits += precision_at_k(&ranked, &q.relevant, bench.k_rel);
     }
-    println!("test prec@{}: {:.3}", bench.k_rel, hits / bench.queries.len() as f64);
+    println!(
+        "test prec@{}: {:.3}",
+        bench.k_rel,
+        hits / bench.queries.len() as f64
+    );
 
     // Train-side sanity: query = train chart; is its OWN table ranked top-10%?
     let mut top_hits = 0usize;
@@ -51,14 +75,22 @@ fn main() {
             VisualElementExtractor::Oracle => bench.extractor.extract(&t.chart),
             VisualElementExtractor::Trained(_) => bench.extractor.extract_image(&t.chart.image),
         };
-        let input = QueryInput { image: t.chart.image.clone(), extracted };
+        let input = QueryInput {
+            image: t.chart.image.clone(),
+            extracted,
+        };
         let ranked = method.rank(&input, &bench.repo, 20);
         // train table ti is repo entry ti (same order in builder).
         if ranked.iter().any(|&(i, _)| i == t.table_idx) {
             top_hits += 1;
         }
         let scores: Vec<f64> = ranked.iter().take(5).map(|&(_, s)| s).collect();
-        eprintln!("train probe table {}: top5 scores {:?} (hit={})", t.table_idx, scores, ranked.iter().any(|&(i, _)| i == t.table_idx));
+        eprintln!(
+            "train probe table {}: top5 scores {:?} (hit={})",
+            t.table_idx,
+            scores,
+            ranked.iter().any(|&(i, _)| i == t.table_idx)
+        );
     }
     println!("train-source in top-20: {top_hits}/{n_probe}");
 }

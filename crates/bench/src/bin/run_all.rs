@@ -15,5 +15,8 @@ fn main() {
     ex::table8_indexing::run(scale);
     ex::table9_negatives::run(scale);
     ex::fig5_negative_sampling::run(scale);
-    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -51,7 +51,10 @@ pub fn run(scale: Scale) {
         .chain(epoch_headers.iter().map(String::as_str))
         .collect();
     print_table(
-        &format!("Fig. 5: prec@{} per epoch by negative-sampling strategy (measured)", bench.k_rel),
+        &format!(
+            "Fig. 5: prec@{} per epoch by negative-sampling strategy (measured)",
+            bench.k_rel
+        ),
         &headers,
         &rows,
     );

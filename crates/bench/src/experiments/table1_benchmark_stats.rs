@@ -12,7 +12,10 @@ pub fn run(scale: Scale) {
 
     let mut query_counts = [0usize; 4];
     for q in &bench.queries {
-        let b = buckets.iter().position(|&s| s == m_bucket(q.num_lines)).unwrap();
+        let b = buckets
+            .iter()
+            .position(|&s| s == m_bucket(q.num_lines))
+            .unwrap();
         query_counts[b] += 1;
     }
     let mut repo_counts = [0usize; 4];

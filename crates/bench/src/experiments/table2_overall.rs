@@ -28,11 +28,7 @@ pub fn run(scale: Scale) {
     };
 
     let mut rows = Vec::new();
-    for (slice_name, f) in [
-        ("Overall", 0usize),
-        ("With DA", 1),
-        ("Without DA", 2),
-    ] {
+    for (slice_name, f) in [("Overall", 0usize), ("With DA", 1), ("Without DA", 2)] {
         for metric in ["prec@k", "ndcg@k"] {
             let mut row = vec![slice_name.to_string(), metric.to_string()];
             for s in &summaries {
@@ -58,5 +54,7 @@ pub fn run(scale: Scale) {
     println!("paper (k=50): Overall prec CML .349 DE-LN .224 Opt-LN .287 Qetch* .256 FCM .454");
     println!("              With DA prec CML .180 DE-LN .134 Opt-LN .160 Qetch* .123 FCM .398");
     println!("              W/o  DA prec CML .538 DE-LN .318 Opt-LN .417 Qetch* .390 FCM .589");
-    println!("expected shape: FCM best overall; every method drops on DA queries; FCM drops least.");
+    println!(
+        "expected shape: FCM best overall; every method drops on DA queries; FCM drops least."
+    );
 }

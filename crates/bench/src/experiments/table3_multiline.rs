@@ -43,10 +43,15 @@ pub fn run(scale: Scale) {
         .chain(summaries.iter().map(|s| s.method))
         .collect();
     print_table(
-        &format!("Table III: effectiveness vs M, k={} (measured)", bench.k_rel),
+        &format!(
+            "Table III: effectiveness vs M, k={} (measured)",
+            bench.k_rel
+        ),
         &headers,
         &rows,
     );
-    println!("paper (k=50, prec): M=1 FCM .569/CML .453; 2-4 .496/.384; 5-7 .378/.283; >7 .240/.175");
+    println!(
+        "paper (k=50, prec): M=1 FCM .569/CML .453; 2-4 .496/.384; 5-7 .378/.283; >7 .240/.175"
+    );
     println!("expected shape: every method degrades as M grows; FCM stays best in every bucket.");
 }

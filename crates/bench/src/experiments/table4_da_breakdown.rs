@@ -72,7 +72,10 @@ pub fn run(scale: Scale) {
                         bench.extractor.extract_image(&chart.image)
                     }
                 };
-                let input = QueryInput { image: chart.image, extracted };
+                let input = QueryInput {
+                    image: chart.image,
+                    extracted,
+                };
                 // Ground truth for this probe.
                 let mut scored: Vec<(usize, f64)> = bench
                     .repo
@@ -95,15 +98,22 @@ pub fn run(scale: Scale) {
         rows.push(row);
     }
 
-    let bucket_headers: Vec<String> =
-        buckets.iter().map(|&(lo, hi)| format!("w {lo}-{hi}")).collect();
+    let bucket_headers: Vec<String> = buckets
+        .iter()
+        .map(|&(lo, hi)| format!("w {lo}-{hi}"))
+        .collect();
     let headers: Vec<&str> = std::iter::once("op")
         .chain(bucket_headers.iter().map(String::as_str))
         .collect();
     print_table(
-        &format!("Table IV: FCM prec@{} by operator x window (measured, P2={p2})", bench.k_rel),
+        &format!(
+            "Table IV: FCM prec@{} by operator x window (measured, P2={p2})",
+            bench.k_rel
+        ),
         &headers,
         &rows,
     );
-    println!("paper (P2=64): sum/avg > min/max; sharp drop once window > P2 (buckets 60-80, 80-100).");
+    println!(
+        "paper (P2=64): sum/avg > min/max; sharp drop once window > P2 (buckets 60-80, 80-100)."
+    );
 }

@@ -16,7 +16,10 @@ pub fn run(scale: Scale) {
     eprintln!("[table5] training FCM (full) ...");
     let mut full = trained_fcm(&bench, fcm_config(scale), &tc);
     eprintln!("[table5] training FCM-HCMAN (mean-pool matcher) ...");
-    let ablated_cfg = FcmConfig { hcman_enabled: false, ..fcm_config(scale) };
+    let ablated_cfg = FcmConfig {
+        hcman_enabled: false,
+        ..fcm_config(scale)
+    };
     let mut ablated = trained_fcm(&bench, ablated_cfg, &tc);
 
     let s_full = evaluate(&mut full, &bench);

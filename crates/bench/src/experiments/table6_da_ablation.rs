@@ -16,7 +16,10 @@ pub fn run(scale: Scale) {
     eprintln!("[table6] training FCM (full) ...");
     let mut full = trained_fcm(&bench, fcm_config(scale), &tc);
     eprintln!("[table6] training FCM-DA (no DA layers) ...");
-    let no_da_cfg = FcmConfig { da_enabled: false, ..fcm_config(scale) };
+    let no_da_cfg = FcmConfig {
+        da_enabled: false,
+        ..fcm_config(scale)
+    };
     let mut no_da = trained_fcm(&bench, no_da_cfg, &tc);
 
     let s_full = evaluate(&mut full, &bench);
@@ -42,11 +45,16 @@ pub fn run(scale: Scale) {
         }
     }
     print_table(
-        &format!("Table VI: impact of the DA layers, k={} (measured)", bench.k_rel),
+        &format!(
+            "Table VI: impact of the DA layers, k={} (measured)",
+            bench.k_rel
+        ),
         &["Model", "Metric", "Overall", "With DA", "Without DA"],
         &rows,
     );
     println!("paper (k=50, prec): FCM overall .454 / DA .398 / no-DA .589;");
     println!("                    FCM-DA overall .385 / DA .175 / no-DA .595");
-    println!("expected shape: removing DA layers collapses DA-query accuracy while non-DA stays flat.");
+    println!(
+        "expected shape: removing DA layers collapses DA-query accuracy while non-DA stays flat."
+    );
 }

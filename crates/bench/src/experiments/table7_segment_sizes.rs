@@ -30,7 +30,11 @@ pub fn run(scale: Scale) {
         let mut row = vec![format!("P1={p1}")];
         for &p2 in &p2s {
             eprintln!("[table7] training P1={p1} P2={p2} ...");
-            let cfg = FcmConfig { p1, p2, ..fcm_config(scale) };
+            let cfg = FcmConfig {
+                p1,
+                p2,
+                ..fcm_config(scale)
+            };
             let mut fcm = trained_fcm(&bench, cfg, &tc);
             let s = evaluate(&mut fcm, &bench);
             row.push(f3(s.overall().prec));
@@ -46,6 +50,8 @@ pub fn run(scale: Scale) {
         &headers,
         &rows,
     );
-    println!("paper (k=50): best at moderate sizes (P1=60, P2=64 -> .454); degrades at both extremes.");
+    println!(
+        "paper (k=50): best at moderate sizes (P1=60, P2=64 -> .454); degrades at both extremes."
+    );
     println!("expected shape: interior of the grid beats the extreme rows/columns.");
 }

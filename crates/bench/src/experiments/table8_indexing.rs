@@ -52,7 +52,14 @@ pub fn run(scale: Scale) {
             bench.k_rel,
             bench.repo.len()
         ),
-        &["Strategy", "prec@k", "ndcg@k", "query ms", "candidates", "speedup"],
+        &[
+            "Strategy",
+            "prec@k",
+            "ndcg@k",
+            "query ms",
+            "candidates",
+            "speedup",
+        ],
         &rows,
     );
     println!("paper: No Index .494/.377 @374s; Interval .494/.377 @187s; LSH .454/.347 @28s; Hybrid .454/.347 @12s (41x).");

@@ -41,5 +41,7 @@ pub fn run(scale: Scale) {
         &[prec_row, ndcg_row],
     );
     println!("paper (k=50, prec): .147 .182 .212 .211 .212 .213 .210 .208 for N-=1..8");
-    println!("expected shape: rises steeply to N-~3, then plateaus (too many negatives adds noise).");
+    println!(
+        "expected shape: rises steeply to N-~3, then plateaus (too many negatives adds noise)."
+    );
 }

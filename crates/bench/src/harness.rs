@@ -1,7 +1,9 @@
 //! Shared experiment plumbing: scaled benchmark construction, method
 //! training, and table printing.
 
-use lcdd_baselines::{Cml, CmlConfig, DeLn, ImageEncoderConfig, LineNet, LineNetConfig, OptLn, QetchStar};
+use lcdd_baselines::{
+    Cml, CmlConfig, DeLn, ImageEncoderConfig, LineNet, LineNetConfig, OptLn, QetchStar,
+};
 use lcdd_benchmark::{build_benchmark, train_fcm_on, Benchmark, BenchmarkConfig, FcmMethod};
 use lcdd_chart::RgbImage;
 use lcdd_fcm::{FcmConfig, FcmModel, NegativeStrategy, TrainConfig};
@@ -44,15 +46,31 @@ pub fn bench_config(scale: Scale) -> BenchmarkConfig {
 pub fn fcm_config(scale: Scale) -> FcmConfig {
     match scale {
         Scale::Fast => FcmConfig::small(),
-        Scale::Full => FcmConfig { embed_dim: 48, n_layers: 2, ..FcmConfig::small() },
+        Scale::Full => FcmConfig {
+            embed_dim: 48,
+            n_layers: 2,
+            ..FcmConfig::small()
+        },
     }
 }
 
 /// FCM training configuration at the given scale.
 pub fn fcm_train_config(scale: Scale) -> TrainConfig {
     match scale {
-        Scale::Fast => TrainConfig { epochs: 14, batch_size: 12, n_neg: 3, lr: 3e-3, ..Default::default() },
-        Scale::Full => TrainConfig { epochs: 18, batch_size: 16, n_neg: 3, lr: 3e-3, ..Default::default() },
+        Scale::Fast => TrainConfig {
+            epochs: 14,
+            batch_size: 12,
+            n_neg: 3,
+            lr: 3e-3,
+            ..Default::default()
+        },
+        Scale::Full => TrainConfig {
+            epochs: 18,
+            batch_size: 16,
+            n_neg: 3,
+            lr: 3e-3,
+            ..Default::default()
+        },
     }
 }
 
@@ -74,7 +92,12 @@ pub fn trained_cml(bench: &Benchmark, scale: Scale) -> Cml {
     let pairs: Vec<(RgbImage, Table)> = bench
         .train_triplets
         .iter()
-        .map(|t| (t.chart.image.clone(), bench.train_tables[t.table_idx].clone()))
+        .map(|t| {
+            (
+                t.chart.image.clone(),
+                bench.train_tables[t.table_idx].clone(),
+            )
+        })
         .collect();
     let epochs = if scale == Scale::Fast { 5 } else { 8 };
     let mut cml = Cml::new(CmlConfig {
@@ -99,7 +122,12 @@ pub fn trained_linenet(bench: &Benchmark, scale: Scale) -> LineNet {
 }
 
 fn small_image_cfg() -> ImageEncoderConfig {
-    ImageEncoderConfig { embed_dim: 32, n_heads: 4, n_layers: 2, ..Default::default() }
+    ImageEncoderConfig {
+        embed_dim: 32,
+        n_heads: 4,
+        n_layers: 2,
+        ..Default::default()
+    }
 }
 
 /// All five methods of Table II, trained and ready for `prepare`.
@@ -120,7 +148,13 @@ pub fn train_all_methods(bench: &Benchmark, scale: Scale) -> Methods {
     eprintln!("[harness] training LineNet (DE-LN / Opt-LN) ...");
     let de_ln = DeLn::new(trained_linenet(bench, scale), bench.style.clone());
     let opt_ln = OptLn::new(trained_linenet(bench, scale), bench.style.clone());
-    Methods { fcm, cml, qetch: QetchStar::default(), de_ln, opt_ln }
+    Methods {
+        fcm,
+        cml,
+        qetch: QetchStar::default(),
+        de_ln,
+        opt_ln,
+    }
 }
 
 /// Pretty-prints an aligned table to stdout.
@@ -142,8 +176,18 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -118,7 +118,7 @@ impl BenchmarkConfig {
 /// window uniform in `[2, min(100, NR / 10)]` (Sec. VII-A).
 pub fn sample_aggregation(rng: &mut impl Rng, n_rows: usize) -> (AggOp, usize) {
     let op = AggOp::AGGREGATORS[rng.gen_range(0..AggOp::AGGREGATORS.len())];
-    let max_w = (n_rows / 10).min(100).max(2);
+    let max_w = (n_rows / 10).clamp(2, 100);
     (op, rng.gen_range(2..=max_w))
 }
 
@@ -131,7 +131,10 @@ pub fn noisy_clone(table: &Table, id: u64, rng: &mut impl Rng) -> Table {
         .map(|c| {
             Column::new(
                 c.name.clone(),
-                c.values.iter().map(|&v| v * rng.gen_range(0.9..1.1)).collect(),
+                c.values
+                    .iter()
+                    .map(|&v| v * rng.gen_range(0.9..1.1))
+                    .collect(),
             )
         })
         .collect();
@@ -165,8 +168,7 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
     records.truncate(total);
 
     let train_records: Vec<Record> = records[..cfg.n_train].to_vec();
-    let query_records: Vec<Record> =
-        records[cfg.n_train + cfg.n_distractors..].to_vec();
+    let query_records: Vec<Record> = records[cfg.n_train + cfg.n_distractors..].to_vec();
 
     // Extractor: trained LCSeg on the train split (with augmentations) or
     // oracle masks.
@@ -186,7 +188,10 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
     // Repository: every corpus table (fresh sequential ids) + noise copies.
     let mut repo: Vec<RepoEntry> = records
         .iter()
-        .map(|r| RepoEntry { table: r.table.clone(), spec: r.spec.clone() })
+        .map(|r| RepoEntry {
+            table: r.table.clone(),
+            spec: r.spec.clone(),
+        })
         .collect();
 
     // Queries: two per query table (plain + DA).
@@ -204,12 +209,18 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
         for n in 0..cfg.noise_copies {
             let id = (repo.len() + n) as u64;
             let t = noisy_clone(&record.table, id, &mut rng);
-            repo.push(RepoEntry { table: t, spec: record.spec.clone() });
+            repo.push(RepoEntry {
+                table: t,
+                spec: record.spec.clone(),
+            });
         }
         for aggregated in [false, true] {
             let spec = if aggregated {
                 let (op, w) = sample_aggregation(&mut rng, record.table.num_rows());
-                VisSpec { agg: Some((op, w)), ..record.spec.clone() }
+                VisSpec {
+                    agg: Some((op, w)),
+                    ..record.spec.clone()
+                }
             } else {
                 record.spec.clone()
             };
@@ -220,7 +231,10 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
                 VisualElementExtractor::Trained(_) => extractor.extract_image(&chart.image),
             };
             pending.push(PendingQuery {
-                input: QueryInput { image: chart.image, extracted },
+                input: QueryInput {
+                    image: chart.image,
+                    extracted,
+                },
                 num_lines: underlying.num_series(),
                 underlying,
                 agg: spec.agg.filter(|_| aggregated),
@@ -233,38 +247,16 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
     // parallelised across queries.
     let rel_cfg = cfg.rel_cfg;
     let k_rel = cfg.k_rel;
-    let repo_ref = &repo;
-    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let per = pending.len().div_ceil(n_threads).max(1);
-    let mut relevants: Vec<Vec<usize>> = vec![Vec::new(); pending.len()];
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, chunk) in pending.chunks(per).enumerate() {
-            handles.push((ci * per, s.spawn(move |_| {
-                chunk
-                    .iter()
-                    .map(|p| {
-                        let mut scored: Vec<(usize, f64)> = repo_ref
-                            .iter()
-                            .enumerate()
-                            .map(|(ti, e)| (ti, rel_score(&p.underlying, &e.table, &rel_cfg)))
-                            .collect();
-                        scored.sort_by(|a, b| {
-                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-                        });
-                        scored.truncate(k_rel);
-                        scored.into_iter().map(|(i, _)| i).collect::<Vec<usize>>()
-                    })
-                    .collect::<Vec<Vec<usize>>>()
-            })));
-        }
-        for (start, h) in handles {
-            for (i, r) in h.join().expect("ground-truth worker").into_iter().enumerate() {
-                relevants[start + i] = r;
-            }
-        }
-    })
-    .expect("ground-truth scope");
+    let relevants: Vec<Vec<usize>> = lcdd_tensor::pool::par_map(&pending, |p| {
+        let mut scored: Vec<(usize, f64)> = repo
+            .iter()
+            .enumerate()
+            .map(|(ti, e)| (ti, rel_score(&p.underlying, &e.table, &rel_cfg)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k_rel);
+        scored.into_iter().map(|(i, _)| i).collect()
+    });
 
     let queries: Vec<BenchQuery> = pending
         .into_iter()
@@ -287,10 +279,18 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
     for (ti, record) in train_records.iter().enumerate() {
         let underlying = UnderlyingData::from_spec(&record.table, &record.spec);
         let chart = render(&underlying, &cfg.style);
-        train_triplets.push(TrainTriplet { chart, underlying, table_idx: ti, agg: None });
+        train_triplets.push(TrainTriplet {
+            chart,
+            underlying,
+            table_idx: ti,
+            agg: None,
+        });
         if rng.gen_bool(cfg.train_da_fraction) {
             let (op, w) = sample_aggregation(&mut rng, record.table.num_rows());
-            let spec = VisSpec { agg: Some((op, w)), ..record.spec.clone() };
+            let spec = VisSpec {
+                agg: Some((op, w)),
+                ..record.spec.clone()
+            };
             let underlying = UnderlyingData::from_spec(&record.table, &spec);
             let chart = render(&underlying, &cfg.style);
             train_triplets.push(TrainTriplet {
@@ -306,7 +306,12 @@ pub fn build_benchmark(cfg: &BenchmarkConfig) -> Benchmark {
             let chart = render(&underlying, &cfg.style);
             let aug_idx = train_tables.len();
             train_tables.push(aug);
-            train_triplets.push(TrainTriplet { chart, underlying, table_idx: aug_idx, agg: None });
+            train_triplets.push(TrainTriplet {
+                chart,
+                underlying,
+                table_idx: aug_idx,
+                agg: None,
+            });
         }
     }
 
@@ -333,7 +338,9 @@ mod tests {
         // Repo: all corpus tables + noise copies per query table.
         assert_eq!(
             b.repo.len(),
-            cfg.n_train + cfg.n_distractors + cfg.n_query_tables
+            cfg.n_train
+                + cfg.n_distractors
+                + cfg.n_query_tables
                 + cfg.n_query_tables * cfg.noise_copies
         );
         // Two queries (plain + DA) per query table.
@@ -379,7 +386,7 @@ mod tests {
         let t = Table::new(0, "t", vec![Column::new("a", vec![10.0; 50])]);
         let n = noisy_clone(&t, 1, &mut rng);
         for &v in &n.columns[0].values {
-            assert!(v >= 9.0 - 1e-9 && v <= 11.0 + 1e-9);
+            assert!((9.0 - 1e-9..=11.0 + 1e-9).contains(&v));
         }
         assert_ne!(n.columns[0].values, t.columns[0].values);
     }

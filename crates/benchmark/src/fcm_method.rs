@@ -24,7 +24,12 @@ pub struct FcmMethod {
 impl FcmMethod {
     /// Wraps a trained model (linear-scan strategy by default).
     pub fn new(model: FcmModel) -> Self {
-        FcmMethod { model, repo_cache: None, index: None, strategy: IndexStrategy::NoIndex }
+        FcmMethod {
+            model,
+            repo_cache: None,
+            index: None,
+            strategy: IndexStrategy::NoIndex,
+        }
     }
 
     /// Sets the index strategy used by [`DiscoveryMethod::rank`].
@@ -111,15 +116,20 @@ impl DiscoveryMethod for FcmMethod {
         }
         let Some(cache) = &self.repo_cache else {
             // Uncached fallback.
-            let mut scored: Vec<(usize, f64)> =
-                repo.iter().enumerate().map(|(i, e)| (i, self.score(query, e))).collect();
+            let mut scored: Vec<(usize, f64)> = repo
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, self.score(query, e)))
+                .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             scored.truncate(k);
             return scored;
         };
         let candidates = match self.strategy {
             IndexStrategy::NoIndex => (0..cache.len()).collect(),
-            _ => self.candidate_set(query).unwrap_or_else(|| (0..cache.len()).collect()),
+            _ => self
+                .candidate_set(query)
+                .unwrap_or_else(|| (0..cache.len()).collect()),
         };
         let ev = self.model.encode_query_values(&pq);
         let mut scored: Vec<(usize, f64)> = candidates
@@ -209,6 +219,9 @@ mod tests {
         assert!(cands.len() <= bench.repo.len());
         method.strategy = IndexStrategy::Hybrid;
         let hybrid = method.candidate_set(&bench.queries[0].input).unwrap();
-        assert!(hybrid.len() <= cands.len(), "hybrid must prune at least as much");
+        assert!(
+            hybrid.len() <= cands.len(),
+            "hybrid must prune at least as much"
+        );
     }
 }

@@ -12,7 +12,10 @@ pub mod fcm_method;
 pub mod metrics;
 pub mod runner;
 
-pub use builder::{build_benchmark, noisy_clone, sample_aggregation, BenchQuery, Benchmark, BenchmarkConfig, TrainTriplet};
+pub use builder::{
+    build_benchmark, noisy_clone, sample_aggregation, BenchQuery, Benchmark, BenchmarkConfig,
+    TrainTriplet,
+};
 pub use fcm_method::{fcm_training_inputs, train_fcm_on, FcmMethod};
 pub use metrics::{mean, ndcg_at_k, precision_at_k};
 pub use runner::{evaluate, evaluate_prepared, EvalResult, EvalSummary, PerQuery};

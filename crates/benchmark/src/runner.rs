@@ -24,7 +24,11 @@ pub struct PerQuery {
     pub ndcg: f64,
     pub num_lines: usize,
     pub agg: Option<(AggOp, usize)>,
-    /// Wall-clock seconds spent ranking this query.
+    /// Wall-clock seconds spent ranking this query, measured inside the
+    /// parallel evaluation pass — i.e. while sibling queries contend for
+    /// the same cores. Comparable across methods/strategies evaluated the
+    /// same way, but not a single-query-in-isolation latency; for
+    /// throughput use [`EvalSummary::queries_per_second`].
     pub seconds: f64,
 }
 
@@ -34,13 +38,19 @@ pub struct EvalSummary {
     pub method: &'static str,
     pub per_query: Vec<PerQuery>,
     pub k: usize,
+    /// Wall-clock seconds of the whole (parallel) evaluation pass.
+    pub wall_seconds: f64,
 }
 
 impl EvalSummary {
     fn aggregate(rows: Vec<(&PerQuery, f64, f64)>) -> EvalResult {
         let precs: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let ndcgs: Vec<f64> = rows.iter().map(|r| r.2).collect();
-        EvalResult { prec: mean(&precs), ndcg: mean(&ndcgs), n_queries: rows.len() }
+        EvalResult {
+            prec: mean(&precs),
+            ndcg: mean(&ndcgs),
+            n_queries: rows.len(),
+        }
     }
 
     fn filter(&self, pred: impl Fn(&PerQuery) -> bool) -> EvalResult {
@@ -78,37 +88,56 @@ impl EvalSummary {
         self.filter(|q| matches!(q.agg, Some((o, w)) if o == op && w >= w_lo && w < w_hi))
     }
 
-    /// Mean ranking seconds per query.
+    /// Mean ranking seconds per query (in-pass measurement; see
+    /// [`PerQuery::seconds`] for what that includes).
     pub fn mean_query_seconds(&self) -> f64 {
         mean(&self.per_query.iter().map(|q| q.seconds).collect::<Vec<_>>())
     }
+
+    /// End-to-end evaluation throughput: queries ranked per wall-clock
+    /// second across the parallel pass.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.per_query.len() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
-/// Evaluates one prepared method over the benchmark queries. `prepare`
-/// must already have been called (use [`evaluate`] for the full flow).
+/// Evaluates one prepared method over the benchmark queries, parallelised
+/// across queries on the shared work pool ([`DiscoveryMethod`] is `Sync`;
+/// ranking never mutates). `prepare` must already have been called (use
+/// [`evaluate`] for the full flow).
 pub fn evaluate_prepared(
     method: &dyn DiscoveryMethod,
     queries: &[BenchQuery],
     repo: &[RepoEntry],
     k: usize,
 ) -> EvalSummary {
-    let per_query: Vec<PerQuery> = queries
-        .iter()
-        .map(|q| {
-            let start = std::time::Instant::now();
-            let ranked: Vec<usize> =
-                method.rank(&q.input, repo, k).into_iter().map(|(i, _)| i).collect();
-            let seconds = start.elapsed().as_secs_f64();
-            PerQuery {
-                prec: precision_at_k(&ranked, &q.relevant, k),
-                ndcg: ndcg_at_k(&ranked, &q.relevant, k),
-                num_lines: q.num_lines,
-                agg: q.agg,
-                seconds,
-            }
-        })
-        .collect();
-    EvalSummary { method: method.name(), per_query, k }
+    let wall_start = std::time::Instant::now();
+    let per_query: Vec<PerQuery> = lcdd_tensor::pool::par_map(queries, |q| {
+        let start = std::time::Instant::now();
+        let ranked: Vec<usize> = method
+            .rank(&q.input, repo, k)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let seconds = start.elapsed().as_secs_f64();
+        PerQuery {
+            prec: precision_at_k(&ranked, &q.relevant, k),
+            ndcg: ndcg_at_k(&ranked, &q.relevant, k),
+            num_lines: q.num_lines,
+            agg: q.agg,
+            seconds,
+        }
+    });
+    EvalSummary {
+        method: method.name(),
+        per_query,
+        k,
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Prepares the method on the repository, then evaluates every query.
@@ -165,7 +194,9 @@ mod tests {
     #[test]
     fn oracle_scores_one_worst_scores_low() {
         let bench = build_benchmark(&BenchmarkConfig::tiny());
-        let oracle = Oracle { queries: &bench.queries };
+        let oracle = Oracle {
+            queries: &bench.queries,
+        };
         let s = evaluate_prepared(&oracle, &bench.queries, &bench.repo, bench.k_rel);
         let overall = s.overall();
         assert!((overall.prec - 1.0).abs() < 1e-12);
@@ -179,7 +210,9 @@ mod tests {
     #[test]
     fn breakdowns_partition_queries() {
         let bench = build_benchmark(&BenchmarkConfig::tiny());
-        let oracle = Oracle { queries: &bench.queries };
+        let oracle = Oracle {
+            queries: &bench.queries,
+        };
         let s = evaluate_prepared(&oracle, &bench.queries, &bench.repo, bench.k_rel);
         let with_da = s.with_da().n_queries;
         let without = s.without_da().n_queries;
@@ -194,7 +227,9 @@ mod tests {
     #[test]
     fn timing_recorded() {
         let bench = build_benchmark(&BenchmarkConfig::tiny());
-        let oracle = Oracle { queries: &bench.queries };
+        let oracle = Oracle {
+            queries: &bench.queries,
+        };
         let s = evaluate_prepared(&oracle, &bench.queries, &bench.repo, bench.k_rel);
         assert!(s.mean_query_seconds() >= 0.0);
     }

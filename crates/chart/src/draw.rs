@@ -5,7 +5,14 @@ use crate::image::{Rgb, RgbImage};
 use crate::mask::{ElementClass, SegMask};
 use crate::ticks::{glyph, GLYPH_ADVANCE, GLYPH_H, GLYPH_W};
 
-fn put(img: &mut RgbImage, mask: &mut SegMask, x: isize, y: isize, color: Rgb, class: ElementClass) {
+fn put(
+    img: &mut RgbImage,
+    mask: &mut SegMask,
+    x: isize,
+    y: isize,
+    color: Rgb,
+    class: ElementClass,
+) {
     img.set(x, y, color);
     mask.set(x, y, class);
 }
@@ -66,7 +73,9 @@ pub fn draw_polyline(
     thickness: usize,
 ) {
     for w in points.windows(2) {
-        draw_line(img, mask, w[0].0, w[0].1, w[1].0, w[1].1, color, class, thickness);
+        draw_line(
+            img, mask, w[0].0, w[0].1, w[1].0, w[1].1, color, class, thickness,
+        );
     }
     if points.len() == 1 {
         put(img, mask, points[0].0, points[0].1, color, class);
@@ -117,7 +126,17 @@ mod tests {
     #[test]
     fn horizontal_line_pixels() {
         let (mut img, mut mask) = setup();
-        draw_line(&mut img, &mut mask, 2, 5, 10, 5, Rgb::BLACK, ElementClass::Axis, 1);
+        draw_line(
+            &mut img,
+            &mut mask,
+            2,
+            5,
+            10,
+            5,
+            Rgb::BLACK,
+            ElementClass::Axis,
+            1,
+        );
         for x in 2..=10 {
             assert_eq!(img.get(x, 5), Rgb::BLACK);
             assert_eq!(mask.get(x, 5), ElementClass::Axis);
@@ -128,7 +147,17 @@ mod tests {
     #[test]
     fn diagonal_line_connected() {
         let (mut img, mut mask) = setup();
-        draw_line(&mut img, &mut mask, 0, 0, 7, 7, Rgb::BLACK, ElementClass::Line(0), 1);
+        draw_line(
+            &mut img,
+            &mut mask,
+            0,
+            0,
+            7,
+            7,
+            Rgb::BLACK,
+            ElementClass::Line(0),
+            1,
+        );
         // Bresenham on a perfect diagonal hits exactly the diagonal.
         for i in 0..=7 {
             assert_eq!(mask.get(i, i), ElementClass::Line(0));
@@ -138,7 +167,17 @@ mod tests {
     #[test]
     fn thickness_widens_stroke() {
         let (mut img, mut mask) = setup();
-        draw_line(&mut img, &mut mask, 2, 5, 10, 5, Rgb::BLACK, ElementClass::Line(1), 2);
+        draw_line(
+            &mut img,
+            &mut mask,
+            2,
+            5,
+            10,
+            5,
+            Rgb::BLACK,
+            ElementClass::Line(1),
+            2,
+        );
         assert_eq!(mask.get(5, 5), ElementClass::Line(1));
         assert_eq!(mask.get(5, 6), ElementClass::Line(1));
         let _ = img;
@@ -162,7 +201,15 @@ mod tests {
     #[test]
     fn text_renders_and_measures() {
         let (mut img, mut mask) = setup();
-        let w = draw_text(&mut img, &mut mask, 1, 1, "-12", Rgb::BLACK, ElementClass::Tick);
+        let w = draw_text(
+            &mut img,
+            &mut mask,
+            1,
+            1,
+            "-12",
+            Rgb::BLACK,
+            ElementClass::Tick,
+        );
         assert_eq!(w, text_width("-12"));
         assert!(mask.count(ElementClass::Tick) > 5);
     }
@@ -170,8 +217,28 @@ mod tests {
     #[test]
     fn later_writes_win_overlap() {
         let (mut img, mut mask) = setup();
-        draw_line(&mut img, &mut mask, 0, 3, 10, 3, Rgb::BLACK, ElementClass::Axis, 1);
-        draw_line(&mut img, &mut mask, 5, 0, 5, 8, Rgb(255, 0, 0), ElementClass::Line(0), 1);
+        draw_line(
+            &mut img,
+            &mut mask,
+            0,
+            3,
+            10,
+            3,
+            Rgb::BLACK,
+            ElementClass::Axis,
+            1,
+        );
+        draw_line(
+            &mut img,
+            &mut mask,
+            5,
+            0,
+            5,
+            8,
+            Rgb(255, 0, 0),
+            ElementClass::Line(0),
+            1,
+        );
         assert_eq!(mask.get(5, 3), ElementClass::Line(0));
         assert_eq!(img.get(5, 3), Rgb(255, 0, 0));
     }

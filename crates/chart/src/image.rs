@@ -25,7 +25,11 @@ pub struct RgbImage {
 impl RgbImage {
     /// Creates an image filled with `fill`.
     pub fn new(width: usize, height: usize, fill: Rgb) -> Self {
-        RgbImage { width, height, pixels: vec![fill; width * height] }
+        RgbImage {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -80,13 +84,25 @@ pub struct GreyImage {
 impl GreyImage {
     /// Creates an image filled with `fill`.
     pub fn new(width: usize, height: usize, fill: f32) -> Self {
-        GreyImage { width, height, pixels: vec![fill; width * height] }
+        GreyImage {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
     }
 
     /// Builds from a raw buffer (row-major, `height * width` long).
     pub fn from_raw(width: usize, height: usize, pixels: Vec<f32>) -> Self {
-        assert_eq!(pixels.len(), width * height, "GreyImage::from_raw: size mismatch");
-        GreyImage { width, height, pixels }
+        assert_eq!(
+            pixels.len(),
+            width * height,
+            "GreyImage::from_raw: size mismatch"
+        );
+        GreyImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     pub fn width(&self) -> usize {

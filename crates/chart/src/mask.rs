@@ -62,7 +62,11 @@ pub struct SegMask {
 impl SegMask {
     /// All-background mask.
     pub fn new(width: usize, height: usize) -> Self {
-        SegMask { width, height, labels: vec![0; width * height] }
+        SegMask {
+            width,
+            height,
+            labels: vec![0; width * height],
+        }
     }
 
     pub fn width(&self) -> usize {

@@ -36,9 +36,9 @@ mod tests {
 
     #[test]
     fn palette_colors_distinct() {
-        for i in 0..PALETTE.len() {
-            for j in (i + 1)..PALETTE.len() {
-                assert_ne!(PALETTE[i], PALETTE[j], "palette entries {i} and {j} collide");
+        for (i, a) in PALETTE.iter().enumerate() {
+            for (j, b) in PALETTE.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "palette entries {i} and {j} collide");
             }
         }
     }

@@ -206,19 +206,27 @@ mod tests {
         };
         let left_y = col_y(px0).expect("left pixel");
         let right_y = col_y(px1 - 1).expect("right pixel");
-        assert!(right_y < left_y, "line should rise (smaller y) to the right");
+        assert!(
+            right_y < left_y,
+            "line should rise (smaller y) to the right"
+        );
     }
 
     #[test]
     fn single_point_series_renders() {
-        let data = UnderlyingData { series: vec![DataSeries::new("p", vec![5.0])] };
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("p", vec![5.0])],
+        };
         let chart = render(&data, &ChartStyle::default());
         assert!(chart.mask.count(ElementClass::Line(0)) >= 1);
     }
 
     #[test]
     fn no_axes_style() {
-        let style = ChartStyle { draw_axes: false, ..Default::default() };
+        let style = ChartStyle {
+            draw_axes: false,
+            ..Default::default()
+        };
         let chart = render(&simple_data(), &style);
         assert_eq!(chart.mask.count(ElementClass::Axis), 0);
         assert_eq!(chart.mask.count(ElementClass::Tick), 0);
@@ -229,7 +237,9 @@ mod tests {
     fn nan_points_skipped() {
         let mut ys: Vec<f64> = (0..40).map(|i| i as f64).collect();
         ys[10] = f64::NAN;
-        let data = UnderlyingData { series: vec![DataSeries::new("n", ys)] };
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("n", ys)],
+        };
         let chart = render(&data, &ChartStyle::default());
         assert!(chart.mask.count(ElementClass::Line(0)) > 0);
     }
@@ -241,7 +251,9 @@ mod tests {
                 .map(|k| {
                     DataSeries::new(
                         format!("s{k}"),
-                        (0..60).map(|i| (i as f64 / 10.0).sin() + k as f64 * 2.0).collect(),
+                        (0..60)
+                            .map(|i| (i as f64 / 10.0).sin() + k as f64 * 2.0)
+                            .collect(),
                     )
                 })
                 .collect(),

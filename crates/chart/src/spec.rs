@@ -45,13 +45,21 @@ impl ChartStyle {
         let y0 = self.margin_top;
         let x1 = self.width.saturating_sub(self.margin_right);
         let y1 = self.height.saturating_sub(self.margin_bottom);
-        assert!(x1 > x0 + 8 && y1 > y0 + 8, "ChartStyle: margins leave no plot area");
+        assert!(
+            x1 > x0 + 8 && y1 > y0 + 8,
+            "ChartStyle: margins leave no plot area"
+        );
         (x0, y0, x1, y1)
     }
 
     /// A larger style closer to publication-size figures.
     pub fn large() -> Self {
-        ChartStyle { width: 480, height: 192, margin_left: 36, ..Default::default() }
+        ChartStyle {
+            width: 480,
+            height: 192,
+            margin_left: 36,
+            ..Default::default()
+        }
     }
 }
 
@@ -68,7 +76,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "no plot area")]
     fn absurd_margins_panic() {
-        let style = ChartStyle { margin_left: 300, ..Default::default() };
+        let style = ChartStyle {
+            margin_left: 300,
+            ..Default::default()
+        };
         let _ = style.plot_rect();
     }
 }

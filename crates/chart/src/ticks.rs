@@ -65,7 +65,7 @@ pub fn format_tick(v: f64) -> String {
         return "0".to_string();
     }
     let a = v.abs();
-    let s = if a >= 100_000.0 || a < 0.001 {
+    let s = if !(0.001..100_000.0).contains(&a) {
         format!("{v:.0e}")
     } else if (v - v.round()).abs() < 1e-9 {
         format!("{}", v.round() as i64)
@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn ticks_handle_negative_and_degenerate() {
         let t = nice_ticks(-5.0, 5.0, 5);
-        assert!(t.iter().any(|&v| v == 0.0));
+        assert!(t.contains(&0.0));
         let d = nice_ticks(2.0, 2.0, 5);
         assert!(d.first().unwrap() < d.last().unwrap());
         let nf = nice_ticks(f64::NAN, 1.0, 5);

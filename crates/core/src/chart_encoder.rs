@@ -21,7 +21,14 @@ impl ChartEncoder {
     pub fn new(store: &mut ParamStore, rng: &mut impl Rng, cfg: &FcmConfig) -> Self {
         let n1 = cfg.n_line_segments();
         ChartEncoder {
-            patch_proj: Linear::new(store, rng, "chart.patch", cfg.patch_dim(), cfg.embed_dim, true),
+            patch_proj: Linear::new(
+                store,
+                rng,
+                "chart.patch",
+                cfg.patch_dim(),
+                cfg.embed_dim,
+                true,
+            ),
             transformer: TransformerEncoder::new(
                 store,
                 rng,
@@ -39,7 +46,11 @@ impl ChartEncoder {
     /// Encodes one line's patch matrix (`N1 x patch_dim`) into segment
     /// representations (`N1 x K`).
     pub fn encode_line(&self, store: &ParamStore, tape: &Tape, patches: &Matrix) -> Var {
-        assert_eq!(patches.rows(), self.n_segments, "encode_line: patch count mismatch");
+        assert_eq!(
+            patches.rows(),
+            self.n_segments,
+            "encode_line: patch count mismatch"
+        );
         let tokens = self
             .patch_proj
             .forward(store, tape, &tape.leaf(patches.clone()));
@@ -48,7 +59,10 @@ impl ChartEncoder {
 
     /// Encodes every line of a chart: `EV[i]` per line.
     pub fn encode_chart(&self, store: &ParamStore, tape: &Tape, lines: &[Matrix]) -> Vec<Var> {
-        lines.iter().map(|p| self.encode_line(store, tape, p)).collect()
+        lines
+            .iter()
+            .map(|p| self.encode_line(store, tape, p))
+            .collect()
     }
 }
 

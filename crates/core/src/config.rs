@@ -140,7 +140,7 @@ impl FcmConfig {
     pub fn sub_segment_len(&self) -> usize {
         let subs = 1usize << self.beta;
         assert!(
-            self.p2 % subs == 0,
+            self.p2.is_multiple_of(subs),
             "FcmConfig: p2 ({}) must be divisible by 2^beta ({subs})",
             self.p2
         );
@@ -155,10 +155,16 @@ impl FcmConfig {
 
     /// Validates internal consistency; called by model construction.
     pub fn validate(&self) {
-        assert!(self.embed_dim % self.n_heads == 0, "embed_dim must divide by heads");
+        assert!(
+            self.embed_dim.is_multiple_of(self.n_heads),
+            "embed_dim must divide by heads"
+        );
         assert!(self.p1 > 0 && self.p2 > 0 && self.n_layers > 0);
         let _ = self.sub_segment_len();
-        assert!(self.column_len % self.p2 == 0, "column_len must be a multiple of p2");
+        assert!(
+            self.column_len.is_multiple_of(self.p2),
+            "column_len must be a multiple of p2"
+        );
     }
 }
 

@@ -3,8 +3,8 @@
 //! multi-scale representation layer (HMRL) and the Mixture-of-Experts gate.
 
 use lcdd_nn::{Activation, Mlp, MoeGate};
-use lcdd_tensor::{ParamStore, Tape, Var};
 use lcdd_table::AggOp;
+use lcdd_tensor::{ParamStore, Tape, Var};
 use rand::Rng;
 
 use crate::config::FcmConfig;
@@ -58,7 +58,13 @@ impl DaLayers {
             dim,
             cfg.moe_hidden,
         );
-        DaLayers { transforms, combiner, gate, beta: cfg.beta, sub_len }
+        DaLayers {
+            transforms,
+            combiner,
+            gate,
+            beta: cfg.beta,
+            sub_len,
+        }
     }
 
     /// Number of experts (always 5).
@@ -71,7 +77,10 @@ impl DaLayers {
     fn hmrl_root(&self, store: &ParamStore, tape: &Tape, leaves: Vec<Var>) -> Var {
         let mut level = leaves;
         while level.len() > 1 {
-            debug_assert!(level.len() % 2 == 0, "HMRL level size must be even");
+            debug_assert!(
+                level.len().is_multiple_of(2),
+                "HMRL level size must be even"
+            );
             let mut next = Vec::with_capacity(level.len() / 2);
             for pair in level.chunks(2) {
                 let cat = Var::concat_cols(&[pair[0].clone(), pair[1].clone()]);
@@ -90,7 +99,11 @@ impl DaLayers {
         let (r, p2) = segment.shape();
         assert_eq!(r, 1, "forward_segment: expects one segment row");
         let n_subs = 1usize << self.beta;
-        assert_eq!(p2, n_subs * self.sub_len, "forward_segment: segment width mismatch");
+        assert_eq!(
+            p2,
+            n_subs * self.sub_len,
+            "forward_segment: segment width mismatch"
+        );
 
         // Split the segment into 2^β sub-segments once; reshape 1 x P2 into
         // n_subs rows of sub_len via transpose-free slicing of the value.
@@ -155,8 +168,16 @@ mod tests {
     fn distinct_inputs_give_distinct_tokens() {
         let (store, da, cfg) = setup();
         let tape = Tape::new();
-        let a = tape.leaf(Matrix::from_vec(1, cfg.p2, (0..cfg.p2).map(|i| i as f32 / 16.0).collect()));
-        let b = tape.leaf(Matrix::from_vec(1, cfg.p2, (0..cfg.p2).map(|i| 1.0 - i as f32 / 16.0).collect()));
+        let a = tape.leaf(Matrix::from_vec(
+            1,
+            cfg.p2,
+            (0..cfg.p2).map(|i| i as f32 / 16.0).collect(),
+        ));
+        let b = tape.leaf(Matrix::from_vec(
+            1,
+            cfg.p2,
+            (0..cfg.p2).map(|i| 1.0 - i as f32 / 16.0).collect(),
+        ));
         let (ta, _) = da.forward_segment(&store, &tape, &a);
         let (tb, _) = da.forward_segment(&store, &tape, &b);
         let diff: f32 = ta

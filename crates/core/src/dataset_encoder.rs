@@ -27,7 +27,9 @@ impl DatasetEncoder {
         let n2 = cfg.n_data_segments();
         DatasetEncoder {
             seg_proj: Linear::new(store, rng, "data.seg", cfg.p2, cfg.embed_dim, true),
-            da: cfg.da_enabled.then(|| DaLayers::new(store, rng, "data.da", cfg)),
+            da: cfg
+                .da_enabled
+                .then(|| DaLayers::new(store, rng, "data.da", cfg)),
             transformer: TransformerEncoder::new(
                 store,
                 rng,
@@ -56,7 +58,11 @@ impl DatasetEncoder {
         tape: &Tape,
         segments: &Matrix,
     ) -> (Var, Option<Var>) {
-        assert_eq!(segments.rows(), self.n_segments, "encode_column: segment count mismatch");
+        assert_eq!(
+            segments.rows(),
+            self.n_segments,
+            "encode_column: segment count mismatch"
+        );
         match &self.da {
             None => {
                 let tokens = self
@@ -82,18 +88,16 @@ impl DatasetEncoder {
                 let plain = self.seg_proj.forward(store, tape, &seg_leaf);
                 let tokens = da_tokens.add(&plain);
                 let gate_mean = Var::concat_rows(&gates).mean_rows();
-                (self.transformer.forward(store, tape, &tokens), Some(gate_mean))
+                (
+                    self.transformer.forward(store, tape, &tokens),
+                    Some(gate_mean),
+                )
             }
         }
     }
 
     /// Encodes a set of columns; `ET[m]` per column.
-    pub fn encode_columns(
-        &self,
-        store: &ParamStore,
-        tape: &Tape,
-        columns: &[&Matrix],
-    ) -> Vec<Var> {
+    pub fn encode_columns(&self, store: &ParamStore, tape: &Tape, columns: &[&Matrix]) -> Vec<Var> {
         columns
             .iter()
             .map(|c| self.encode_column(store, tape, c).0)
@@ -135,7 +139,9 @@ mod tests {
         let seg = Matrix::from_vec(
             cfg.n_data_segments(),
             cfg.p2,
-            (0..cfg.n_data_segments() * cfg.p2).map(|i| (i % 17) as f32 / 17.0).collect(),
+            (0..cfg.n_data_segments() * cfg.p2)
+                .map(|i| (i % 17) as f32 / 17.0)
+                .collect(),
         );
         let (et, gates) = enc.encode_column(&store, &tape, &seg);
         assert_eq!(et.shape(), (cfg.n_data_segments(), cfg.embed_dim));

@@ -58,7 +58,7 @@ pub fn line_to_patches_with_trace(
     // alignment degenerates when all features share a positive offset).
     let normed_trace: Option<Vec<f64>> = match (cfg.trace_dim, trace) {
         (0, _) | (_, None) => None,
-        (_, Some(t)) if t.is_empty() => None,
+        (_, Some([])) => None,
         (_, Some(t)) => Some(z_normalized(t)),
     };
     let mut out = Matrix::zeros(n1, pd);

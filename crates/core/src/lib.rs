@@ -35,7 +35,10 @@ pub mod scoring;
 pub mod trainer;
 
 pub use config::FcmConfig;
-pub use input::{column_to_segments, line_to_patches, process_query, process_table, ProcessedQuery, ProcessedTable};
+pub use input::{
+    column_to_segments, line_to_patches, process_query, process_table, ProcessedQuery,
+    ProcessedTable,
+};
 pub use model::FcmModel;
 pub use negatives::NegativeStrategy;
 pub use scoring::{encode_repository, search_top_k, EncodedRepository};

@@ -51,8 +51,10 @@ fn relevance_pool(
     let k_dim = own.shape().1 as f32;
     let q = proj.0.forward(store, tape, own);
     let k = proj.1.forward(store, tape, other);
-    let scores = q.matmul(&k.transpose_var()).scale(1.0 / k_dim.sqrt()); // n x m
-    // Smooth per-row max: attention-weighted mean of the row's own scores.
+    let scores = q.matmul_nt(&k).scale(1.0 / k_dim.sqrt()); // n x m
+
+    // Smooth per-row max of `scores`: attention-weighted mean of the
+    // row's own scores.
     let attn = scores.softmax_rows();
     let m = other.shape().0;
     let ones = tape.constant(Matrix::full(m, 1, 1.0));
@@ -101,7 +103,14 @@ impl CrossModalMatcher {
             Activation::Relu,
         );
         let sim_weight = store.add("match.sim_w", Matrix::from_vec(1, 1, vec![2.0]));
-        CrossModalMatcher { sl_proj, ll_proj, v_norm, t_norm, head, sim_weight }
+        CrossModalMatcher {
+            sl_proj,
+            ll_proj,
+            v_norm,
+            t_norm,
+            head,
+            sim_weight,
+        }
     }
 
     /// True when the hierarchical attention is active.
@@ -256,9 +265,7 @@ mod tests {
         let (store, m, cfg) = setup(true);
         let tape = Tape::new();
         let shared = reps(&tape, 1, 4, cfg.embed_dim, 0.0);
-        let matched = m
-            .relevance_logit(&store, &tape, &shared, &shared)
-            .scalar();
+        let matched = m.relevance_logit(&store, &tape, &shared, &shared).scalar();
         let other = reps(&tape, 1, 4, cfg.embed_dim, 40.0);
         let mismatched = m.relevance_logit(&store, &tape, &shared, &other).scalar();
         assert!(

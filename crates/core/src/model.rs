@@ -31,7 +31,13 @@ impl FcmModel {
         let chart_encoder = ChartEncoder::new(&mut store, &mut rng, &config);
         let dataset_encoder = DatasetEncoder::new(&mut store, &mut rng, &config);
         let matcher = CrossModalMatcher::new(&mut store, &mut rng, &config);
-        FcmModel { config, store, chart_encoder, dataset_encoder, matcher }
+        FcmModel {
+            config,
+            store,
+            chart_encoder,
+            dataset_encoder,
+            matcher,
+        }
     }
 
     /// Total trainable scalars.
@@ -60,12 +66,7 @@ impl FcmModel {
     }
 
     /// Inference forward pass: `Rel'(V, T)` as a probability.
-    pub fn forward(
-        &self,
-        tape: &Tape,
-        query: &ProcessedQuery,
-        table: &ProcessedTable,
-    ) -> Var {
+    pub fn forward(&self, tape: &Tape, query: &ProcessedQuery, table: &ProcessedTable) -> Var {
         self.forward_logit(tape, query, table).sigmoid()
     }
 
@@ -94,7 +95,12 @@ impl FcmModel {
         table
             .column_segments
             .iter()
-            .map(|c| self.dataset_encoder.encode_column(&self.store, &tape, c).0.value())
+            .map(|c| {
+                self.dataset_encoder
+                    .encode_column(&self.store, &tape, c)
+                    .0
+                    .value()
+            })
             .collect()
     }
 
@@ -108,7 +114,10 @@ impl FcmModel {
         et: &[Matrix],
         t_center: Option<&Matrix>,
     ) -> f32 {
-        assert!(!ev.is_empty() && !et.is_empty(), "match_cached: empty encodings");
+        assert!(
+            !ev.is_empty() && !et.is_empty(),
+            "match_cached: empty encodings"
+        );
         let tape = Tape::new();
         let ev: Vec<Var> = ev.iter().map(|m| tape.leaf(m.clone())).collect();
         let et: Vec<Var> = et.iter().map(|m| tape.leaf(m.clone())).collect();
@@ -140,7 +149,9 @@ mod tests {
 
     fn query_and_table() -> (ProcessedQuery, Table) {
         let values: Vec<f64> = (0..120).map(|i| (i as f64 / 10.0).sin() * 5.0).collect();
-        let data = UnderlyingData { series: vec![DataSeries::new("s", values.clone())] };
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("s", values.clone())],
+        };
         let chart = render(&data, &ChartStyle::default());
         let extracted = VisualElementExtractor::oracle().extract(&chart);
         let model_cfg = FcmConfig::tiny();

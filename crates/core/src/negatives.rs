@@ -60,12 +60,18 @@ pub fn select_negatives(
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     match strategy {
         NegativeStrategy::Hard => ranked[..n_neg].iter().map(|&(i, _)| i).collect(),
-        NegativeStrategy::Easy => ranked[ranked.len() - n_neg..].iter().map(|&(i, _)| i).collect(),
+        NegativeStrategy::Easy => ranked[ranked.len() - n_neg..]
+            .iter()
+            .map(|&(i, _)| i)
+            .collect(),
         NegativeStrategy::SemiHard => {
             let mid = ranked.len() / 2;
             let half = n_neg / 2;
             let start = mid.saturating_sub(half).min(ranked.len() - n_neg);
-            ranked[start..start + n_neg].iter().map(|&(i, _)| i).collect()
+            ranked[start..start + n_neg]
+                .iter()
+                .map(|&(i, _)| i)
+                .collect()
         }
         NegativeStrategy::Random => {
             let mut picked = Vec::with_capacity(n_neg);

@@ -41,7 +41,10 @@ mod tests {
         let model = FcmModel::new(FcmConfig::tiny());
         save_model(&model, &path).unwrap();
 
-        let mut other = FcmModel::new(FcmConfig { seed: 1234, ..FcmConfig::tiny() });
+        let mut other = FcmModel::new(FcmConfig {
+            seed: 1234,
+            ..FcmConfig::tiny()
+        });
         let restored = load_model(&mut other, &path).unwrap();
         assert_eq!(restored, model.store.len());
         // Same weights -> identical parameter values.

@@ -5,7 +5,7 @@
 //! cached `ET` matrices — the linear-scan path that Sec. VI's indexes prune.
 
 use lcdd_table::Table;
-use lcdd_tensor::Matrix;
+use lcdd_tensor::{pool, Matrix};
 
 use crate::input::{filter_columns, process_table, ProcessedQuery, ProcessedTable};
 use crate::model::FcmModel;
@@ -29,6 +29,12 @@ impl EncodedRepository {
         let m = &self.encodings[table][column];
         let (rows, cols) = m.shape();
         let mut out = vec![0.0f32; cols];
+        // A zero-row encoding has no segments to average; dividing by
+        // `rows as f32 == 0.0` would hand NaNs to the LSH index, whose
+        // signature bits then poison every bucket they touch.
+        if rows == 0 {
+            return out;
+        }
         for r in 0..rows {
             for (o, &v) in out.iter_mut().zip(m.row(r)) {
                 *o += v;
@@ -53,28 +59,11 @@ impl EncodedRepository {
 
 /// Encodes every table in parallel (the model is read-only and `Sync`).
 pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepository {
-    let processed: Vec<ProcessedTable> =
-        tables.iter().map(|t| process_table(t, &model.config)).collect();
-    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let per = processed.len().div_ceil(n_threads).max(1);
-    let mut encodings: Vec<Vec<Matrix>> = vec![Vec::new(); processed.len()];
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, chunk) in processed.chunks(per).enumerate() {
-            handles.push((ci * per, s.spawn(move |_| {
-                chunk
-                    .iter()
-                    .map(|pt| model.encode_table_values(pt))
-                    .collect::<Vec<Vec<Matrix>>>()
-            })));
-        }
-        for (start, h) in handles {
-            for (i, enc) in h.join().expect("encode worker panicked").into_iter().enumerate() {
-                encodings[start + i] = enc;
-            }
-        }
-    })
-    .expect("encode scope");
+    let processed: Vec<ProcessedTable> = tables
+        .iter()
+        .map(|t| process_table(t, &model.config))
+        .collect();
+    let encodings: Vec<Vec<Matrix>> = pool::par_map(&processed, |pt| model.encode_table_values(pt));
 
     // Repository-mean pooled table embedding (centering reference).
     let k = model.config.embed_dim;
@@ -104,14 +93,27 @@ pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepositor
     if count > 0 {
         pooled_mean.scale_assign(1.0 / count as f32);
     }
-    EncodedRepository { tables: processed, encodings, pooled_mean }
+    EncodedRepository {
+        tables: processed,
+        encodings,
+        pooled_mean,
+    }
 }
 
 /// Scores the query against one cached table.
-pub fn score_against(model: &FcmModel, repo: &EncodedRepository, ev: &[Matrix], query: &ProcessedQuery, table_idx: usize) -> f32 {
+pub fn score_against(
+    model: &FcmModel,
+    repo: &EncodedRepository,
+    ev: &[Matrix],
+    query: &ProcessedQuery,
+    table_idx: usize,
+) -> f32 {
     let pt = &repo.tables[table_idx];
     let cols = filter_columns(pt, query.y_range, model.config.range_slack);
-    let et: Vec<Matrix> = cols.iter().map(|&c| repo.encodings[table_idx][c].clone()).collect();
+    let et: Vec<Matrix> = cols
+        .iter()
+        .map(|&c| repo.encodings[table_idx][c].clone())
+        .collect();
     if et.is_empty() || ev.is_empty() {
         return 0.0;
     }
@@ -135,25 +137,9 @@ pub fn search_top_k(
         Some(c) => c.to_vec(),
         None => (0..repo.len()).collect(),
     };
-    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let per = indices.len().div_ceil(n_threads).max(1);
-    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(indices.len());
-    crossbeam::thread::scope(|s| {
-        let ev = &ev;
-        let mut handles = Vec::new();
-        for chunk in indices.chunks(per) {
-            handles.push(s.spawn(move |_| {
-                chunk
-                    .iter()
-                    .map(|&ti| (ti, score_against(model, repo, ev, query, ti)))
-                    .collect::<Vec<(usize, f32)>>()
-            }));
-        }
-        for h in handles {
-            scored.extend(h.join().expect("search worker panicked"));
-        }
-    })
-    .expect("search scope");
+    let mut scored: Vec<(usize, f32)> = pool::par_map(&indices, |&ti| {
+        (ti, score_against(model, repo, &ev, query, ti))
+    });
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     scored.truncate(k);
     scored
@@ -173,8 +159,9 @@ mod tests {
         let model = FcmModel::new(FcmConfig::tiny());
         let tables: Vec<Table> = (0..5)
             .map(|i| {
-                let vals: Vec<f64> =
-                    (0..80).map(|j| ((j + i * 13) as f64 / 7.0).sin() * (i + 1) as f64).collect();
+                let vals: Vec<f64> = (0..80)
+                    .map(|j| ((j + i * 13) as f64 / 7.0).sin() * (i + 1) as f64)
+                    .collect();
                 Table::new(i as u64, format!("t{i}"), vec![Column::new("c", vals)])
             })
             .collect();
@@ -182,7 +169,10 @@ mod tests {
             series: vec![DataSeries::new("q", tables[2].columns[0].values.clone())],
         };
         let chart = render(&data, &ChartStyle::default());
-        let q = process_query(&VisualElementExtractor::oracle().extract(&chart), &model.config);
+        let q = process_query(
+            &VisualElementExtractor::oracle().extract(&chart),
+            &model.config,
+        );
         (model, tables, q)
     }
 
@@ -209,6 +199,20 @@ mod tests {
         let m = &repo.encodings[0][0];
         let expect: f32 = (0..m.rows()).map(|r| m.get(r, 0)).sum::<f32>() / m.rows() as f32;
         assert!((emb[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_row_encoding_yields_finite_zero_embedding() {
+        // Regression: a column with no segment rows used to divide by zero
+        // and feed NaNs into the LSH index.
+        let repo = EncodedRepository {
+            tables: Vec::new(),
+            encodings: vec![vec![Matrix::zeros(0, 8)]],
+            pooled_mean: Matrix::zeros(1, 8),
+        };
+        let emb = repo.column_embedding(0, 0);
+        assert_eq!(emb, vec![0.0; 8]);
+        assert!(emb.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -80,35 +80,12 @@ pub fn relevance_matrix(
     tables: &[Table],
     rel_cfg: &RelevanceConfig,
 ) -> Vec<Vec<f64>> {
-    let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let mut out: Vec<Vec<f64>> = vec![Vec::new(); examples.len()];
-    let chunks: Vec<(usize, &[TrainExample])> = {
-        let per = examples.len().div_ceil(n_threads).max(1);
-        examples.chunks(per).enumerate().map(|(i, c)| (i * per, c)).collect()
-    };
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (start, chunk) in chunks {
-            handles.push((start, s.spawn(move |_| {
-                chunk
-                    .iter()
-                    .map(|ex| {
-                        tables
-                            .iter()
-                            .map(|t| rel_score(&ex.underlying, t, rel_cfg))
-                            .collect::<Vec<f64>>()
-                    })
-                    .collect::<Vec<Vec<f64>>>()
-            })));
-        }
-        for (start, h) in handles {
-            for (i, row) in h.join().expect("relevance worker panicked").into_iter().enumerate() {
-                out[start + i] = row;
-            }
-        }
+    lcdd_tensor::pool::par_map(examples, |ex| {
+        tables
+            .iter()
+            .map(|t| rel_score(&ex.underlying, t, rel_cfg))
+            .collect()
     })
-    .expect("relevance scope");
-    out
 }
 
 /// Trains the model. The callback runs after each epoch with
@@ -122,8 +99,10 @@ pub fn train_with_callback(
     mut callback: impl FnMut(usize, f32, &FcmModel) -> f32,
 ) -> TrainReport {
     assert!(!examples.is_empty(), "train: no examples");
-    let processed: Vec<ProcessedTable> =
-        tables.iter().map(|t| process_table(t, &model.config)).collect();
+    let processed: Vec<ProcessedTable> = tables
+        .iter()
+        .map(|t| process_table(t, &model.config))
+        .collect();
     let rel = relevance_matrix(examples, tables, &cfg.rel_cfg);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -161,9 +140,10 @@ pub fn train_with_callback(
 
                 let tape = Tape::new();
                 // Encode the query once; every candidate shares the nodes.
-                let ev = model
-                    .chart_encoder
-                    .encode_chart(&model.store, &tape, &ex.query.line_patches);
+                let ev =
+                    model
+                        .chart_encoder
+                        .encode_chart(&model.store, &tape, &ex.query.line_patches);
                 let v_pooled = Var::concat_rows(&ev).mean_rows();
 
                 let candidates: Vec<(usize, f32)> = std::iter::once((ex.positive, 1.0f32))
@@ -272,14 +252,24 @@ mod tests {
         for i in 0..6 {
             let family = SeriesFamily::ALL[i % SeriesFamily::ALL.len()];
             let values = lcdd_table::generate(&mut rng, family, 96, 1.0, i as f64 * 10.0);
-            let table = Table::new(i as u64, format!("t{i}"), vec![Column::new("a", values.clone())]);
-            let underlying = UnderlyingData { series: vec![DataSeries::new("a", values)] };
+            let table = Table::new(
+                i as u64,
+                format!("t{i}"),
+                vec![Column::new("a", values.clone())],
+            );
+            let underlying = UnderlyingData {
+                series: vec![DataSeries::new("a", values)],
+            };
             let chart = render(&underlying, &ChartStyle::default());
             let query = process_query(&extractor.extract(&chart), &cfg);
             if query.line_patches.is_empty() {
                 continue;
             }
-            examples.push(TrainExample { query, underlying, positive: tables.len() });
+            examples.push(TrainExample {
+                query,
+                underlying,
+                positive: tables.len(),
+            });
             tables.push(table);
         }
         (examples, tables)
@@ -289,7 +279,13 @@ mod tests {
     fn loss_decreases_over_training() {
         let (examples, tables) = tiny_world();
         let mut model = FcmModel::new(FcmConfig::tiny());
-        let cfg = TrainConfig { epochs: 5, batch_size: 6, n_neg: 2, lr: 5e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 6,
+            n_neg: 2,
+            lr: 5e-3,
+            ..Default::default()
+        };
         let report = train(&mut model, &examples, &tables, &cfg);
         assert_eq!(report.epoch_losses.len(), 5);
         let first = report.epoch_losses.first().unwrap();
@@ -301,8 +297,13 @@ mod tests {
     fn trained_model_ranks_positive_above_random_negative() {
         let (examples, tables) = tiny_world();
         let mut model = FcmModel::new(FcmConfig::tiny());
-        let cfg =
-            TrainConfig { epochs: 30, batch_size: 6, n_neg: 2, lr: 1e-2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 6,
+            n_neg: 2,
+            lr: 1e-2,
+            ..Default::default()
+        };
         train(&mut model, &examples, &tables, &cfg);
         let mut wins = 0usize;
         let mut total = 0usize;
@@ -341,7 +342,12 @@ mod tests {
     fn callback_collects_metrics() {
         let (examples, tables) = tiny_world();
         let mut model = FcmModel::new(FcmConfig::tiny());
-        let cfg = TrainConfig { epochs: 2, batch_size: 6, n_neg: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 6,
+            n_neg: 1,
+            ..Default::default()
+        };
         let report = train_with_callback(&mut model, &examples, &tables, &cfg, |e, _, _| e as f32);
         assert_eq!(report.epoch_metrics, vec![0.0, 1.0]);
     }

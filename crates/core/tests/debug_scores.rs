@@ -1,6 +1,6 @@
 // temporary debug integration test
-use lcdd_fcm::*;
 use lcdd_chart::{render, ChartStyle};
+use lcdd_fcm::*;
 use lcdd_table::series::{DataSeries, UnderlyingData};
 use lcdd_table::{Column, SeriesFamily, Table};
 use lcdd_vision::VisualElementExtractor;
@@ -17,19 +17,38 @@ fn debug_scores() {
     for i in 0..6 {
         let family = SeriesFamily::ALL[i % SeriesFamily::ALL.len()];
         let values = lcdd_table::generate(&mut rng, family, 96, 1.0, i as f64 * 10.0);
-        let table = Table::new(i as u64, format!("t{i}"), vec![Column::new("a", values.clone())]);
-        let underlying = UnderlyingData { series: vec![DataSeries::new("a", values)] };
+        let table = Table::new(
+            i as u64,
+            format!("t{i}"),
+            vec![Column::new("a", values.clone())],
+        );
+        let underlying = UnderlyingData {
+            series: vec![DataSeries::new("a", values)],
+        };
         let chart = render(&underlying, &ChartStyle::default());
         let query = process_query(&extractor.extract(&chart), &cfg);
-        examples.push(TrainExample { query, underlying, positive: tables.len() });
+        examples.push(TrainExample {
+            query,
+            underlying,
+            positive: tables.len(),
+        });
         tables.push(table);
     }
     let mut model = FcmModel::new(FcmConfig::tiny());
-    let tc = TrainConfig { epochs: 60, batch_size: 6, n_neg: 2, lr: 3e-3, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: 60,
+        batch_size: 6,
+        n_neg: 2,
+        lr: 3e-3,
+        ..Default::default()
+    };
     let report = train(&mut model, &examples, &tables, &tc);
     println!("losses: {:?}", &report.epoch_losses);
     for (qi, ex) in examples.iter().enumerate() {
-        let scores: Vec<f32> = tables.iter().map(|t| model.score_table(&ex.query, t)).collect();
+        let scores: Vec<f32> = tables
+            .iter()
+            .map(|t| model.score_table(&ex.query, t))
+            .collect();
         println!("q{qi} (pos={}): {:?}", ex.positive, scores);
     }
 }

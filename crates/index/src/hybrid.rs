@@ -55,7 +55,12 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        HybridConfig { lsh_bits: 12, lsh_radius: 2, range_slack: 0.5, seed: 0x15b }
+        HybridConfig {
+            lsh_bits: 12,
+            lsh_radius: 2,
+            range_slack: 0.5,
+            seed: 0x15b,
+        }
     }
 }
 
@@ -76,12 +81,20 @@ impl HybridIndex {
         embed_dim: usize,
         cfg: HybridConfig,
     ) -> Self {
-        assert_eq!(tables.len(), column_embeddings.len(), "HybridIndex: size mismatch");
+        assert_eq!(
+            tables.len(),
+            column_embeddings.len(),
+            "HybridIndex: size mismatch"
+        );
         let mut intervals = Vec::new();
         for (ti, t) in tables.iter().enumerate() {
             for c in &t.columns {
                 if let Some((lo, hi)) = c.index_interval() {
-                    intervals.push(Interval { lo, hi, dataset_id: ti });
+                    intervals.push(Interval {
+                        lo,
+                        hi,
+                        dataset_id: ti,
+                    });
                 }
             }
         }
@@ -92,7 +105,12 @@ impl HybridIndex {
                 lsh.insert(ti, emb);
             }
         }
-        HybridIndex { tree, lsh, n_datasets: tables.len(), cfg }
+        HybridIndex {
+            tree,
+            lsh,
+            n_datasets: tables.len(),
+            cfg,
+        }
     }
 
     /// Number of indexed datasets.
@@ -121,8 +139,10 @@ impl HybridIndex {
             match range {
                 Some((lo, hi)) => {
                     let span = (hi - lo).abs().max(1e-12);
-                    self.tree
-                        .query(lo - span * self.cfg.range_slack, hi + span * self.cfg.range_slack)
+                    self.tree.query(
+                        lo - span * self.cfg.range_slack,
+                        hi + span * self.cfg.range_slack,
+                    )
                 }
                 None => all(),
             }
@@ -190,7 +210,10 @@ mod tests {
     fn no_index_returns_all() {
         let (tables, emb) = world();
         let idx = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
-        assert_eq!(idx.candidates(IndexStrategy::NoIndex, None, &[]), vec![0, 1, 2]);
+        assert_eq!(
+            idx.candidates(IndexStrategy::NoIndex, None, &[]),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -200,7 +223,10 @@ mod tests {
             &tables,
             &emb,
             4,
-            HybridConfig { range_slack: 0.0, ..Default::default() },
+            HybridConfig {
+                range_slack: 0.0,
+                ..Default::default()
+            },
         );
         let c = idx.candidates(IndexStrategy::IntervalOnly, Some((9.0, 15.0)), &[]);
         assert_eq!(c, vec![1]);
@@ -225,7 +251,10 @@ mod tests {
             &tables,
             &emb,
             4,
-            HybridConfig { range_slack: 0.0, ..Default::default() },
+            HybridConfig {
+                range_slack: 0.0,
+                ..Default::default()
+            },
         );
         let q_emb = vec![vec![1.0, 0.0, 0.0, 0.0]];
         let s1 = idx.candidates(IndexStrategy::IntervalOnly, Some((0.0, 3.0)), &q_emb);
@@ -245,7 +274,10 @@ mod tests {
             &tables,
             &emb,
             4,
-            HybridConfig { range_slack: 0.0, ..Default::default() },
+            HybridConfig {
+                range_slack: 0.0,
+                ..Default::default()
+            },
         );
         let c = idx.candidates(IndexStrategy::IntervalOnly, Some((2.5, 3.5)), &[]);
         assert!(c.contains(&0));

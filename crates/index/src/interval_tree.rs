@@ -56,7 +56,12 @@ impl IntervalTree {
         if let Some(r) = &right {
             max_hi = max_hi.max(r.max_hi);
         }
-        Some(Box::new(Node { center: sorted[mid], max_hi, left, right }))
+        Some(Box::new(Node {
+            center: sorted[mid],
+            max_hi,
+            left,
+            right,
+        }))
     }
 
     /// Number of indexed intervals.
@@ -103,11 +108,31 @@ mod tests {
 
     fn tree() -> IntervalTree {
         IntervalTree::build(vec![
-            Interval { lo: 0.0, hi: 10.0, dataset_id: 0 },
-            Interval { lo: 5.0, hi: 15.0, dataset_id: 1 },
-            Interval { lo: 20.0, hi: 30.0, dataset_id: 2 },
-            Interval { lo: -10.0, hi: -5.0, dataset_id: 3 },
-            Interval { lo: 8.0, hi: 9.0, dataset_id: 0 }, // second column of ds 0
+            Interval {
+                lo: 0.0,
+                hi: 10.0,
+                dataset_id: 0,
+            },
+            Interval {
+                lo: 5.0,
+                hi: 15.0,
+                dataset_id: 1,
+            },
+            Interval {
+                lo: 20.0,
+                hi: 30.0,
+                dataset_id: 2,
+            },
+            Interval {
+                lo: -10.0,
+                hi: -5.0,
+                dataset_id: 3,
+            },
+            Interval {
+                lo: 8.0,
+                hi: 9.0,
+                dataset_id: 0,
+            }, // second column of ds 0
         ])
     }
 
@@ -138,7 +163,11 @@ mod tests {
         let t = IntervalTree::build(vec![]);
         assert!(t.is_empty());
         assert!(t.query(0.0, 1.0).is_empty());
-        let t = IntervalTree::build(vec![Interval { lo: f64::NAN, hi: 1.0, dataset_id: 7 }]);
+        let t = IntervalTree::build(vec![Interval {
+            lo: f64::NAN,
+            hi: 1.0,
+            dataset_id: 7,
+        }]);
         assert!(t.is_empty(), "NaN interval must be dropped");
     }
 
@@ -149,7 +178,11 @@ mod tests {
             .map(|i| {
                 let lo = ((i * 37) % 100) as f64 - 50.0;
                 let hi = lo + ((i * 13) % 30) as f64;
-                Interval { lo, hi, dataset_id: i }
+                Interval {
+                    lo,
+                    hi,
+                    dataset_id: i,
+                }
             })
             .collect();
         let tree = IntervalTree::build(intervals.clone());

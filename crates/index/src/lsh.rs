@@ -38,7 +38,12 @@ impl LshIndex {
                     .collect()
             })
             .collect();
-        LshIndex { hyperplanes, buckets: HashMap::new(), dim, bits }
+        LshIndex {
+            hyperplanes,
+            buckets: HashMap::new(),
+            dim,
+            bits,
+        }
     }
 
     /// Signature bit width.
@@ -48,7 +53,11 @@ impl LshIndex {
 
     /// Computes the signature of an embedding.
     pub fn signature(&self, embedding: &[f32]) -> u64 {
-        assert_eq!(embedding.len(), self.dim, "LshIndex: embedding width mismatch");
+        assert_eq!(
+            embedding.len(),
+            self.dim,
+            "LshIndex: embedding width mismatch"
+        );
         let mut sig = 0u64;
         for (b, hp) in self.hyperplanes.iter().enumerate() {
             let dot: f32 = hp.iter().zip(embedding).map(|(&h, &e)| h * e).sum();
@@ -118,7 +127,10 @@ mod tests {
         let near: Vec<f32> = base.iter().map(|&v| v + 0.01).collect();
         idx.insert(1, &base);
         let hits = idx.query(&near, 1);
-        assert!(hits.contains(&1), "tiny perturbation must stay within radius 1");
+        assert!(
+            hits.contains(&1),
+            "tiny perturbation must stay within radius 1"
+        );
     }
 
     #[test]

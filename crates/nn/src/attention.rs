@@ -36,7 +36,10 @@ impl MultiHeadAttention {
         dim: usize,
         n_heads: usize,
     ) -> Self {
-        assert!(n_heads > 0 && dim % n_heads == 0, "dim {dim} not divisible by heads {n_heads}");
+        assert!(
+            n_heads > 0 && dim.is_multiple_of(n_heads),
+            "dim {dim} not divisible by heads {n_heads}"
+        );
         let dh = dim / n_heads;
         let heads = (0..n_heads)
             .map(|h| {
@@ -64,15 +67,13 @@ impl MultiHeadAttention {
 
     /// Cross-attention: queries from `q_src: (n, dim)`, keys/values from
     /// `kv_src: (m, dim)`. Returns `(n, dim)`.
-    pub fn forward_cross(
-        &self,
-        store: &ParamStore,
-        tape: &Tape,
-        q_src: &Var,
-        kv_src: &Var,
-    ) -> Var {
+    pub fn forward_cross(&self, store: &ParamStore, tape: &Tape, q_src: &Var, kv_src: &Var) -> Var {
         assert_eq!(q_src.shape().1, self.dim, "attention: query width mismatch");
-        assert_eq!(kv_src.shape().1, self.dim, "attention: key/value width mismatch");
+        assert_eq!(
+            kv_src.shape().1,
+            self.dim,
+            "attention: key/value width mismatch"
+        );
         let outs: Vec<Var> = self
             .heads
             .iter()
@@ -147,7 +148,11 @@ mod tests {
     fn weights_rows_sum_to_one() {
         let (store, m) = mha(4, 1);
         let tape = Tape::new();
-        let q = tape.leaf(Matrix::from_vec(2, 4, vec![0.5, -0.5, 0.25, 1.0, 0.0, 0.3, -0.2, 0.7]));
+        let q = tape.leaf(Matrix::from_vec(
+            2,
+            4,
+            vec![0.5, -0.5, 0.25, 1.0, 0.0, 0.3, -0.2, 0.7],
+        ));
         let kv = tape.leaf(Matrix::from_vec(3, 4, vec![0.1; 12]));
         let w = m.attention_weights(&store, &tape, &q, &kv).value();
         assert_eq!(w.shape(), (2, 3));
@@ -167,7 +172,11 @@ mod tests {
     fn gradients_flow_to_all_projections() {
         let (mut store, m) = mha(4, 2);
         let tape = Tape::new();
-        let x = tape.leaf(Matrix::from_vec(3, 4, (0..12).map(|i| i as f32 / 10.0).collect()));
+        let x = tape.leaf(Matrix::from_vec(
+            3,
+            4,
+            (0..12).map(|i| i as f32 / 10.0).collect(),
+        ));
         let loss = m.forward_self(&store, &tape, &x).square().sum_all();
         tape.backward(&loss);
         let mut sgd = lcdd_tensor::Sgd::new(0.0);

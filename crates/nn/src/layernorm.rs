@@ -20,7 +20,12 @@ impl LayerNorm {
     pub fn new(store: &mut ParamStore, prefix: &str, dim: usize) -> Self {
         let gamma = store.add(scoped(prefix, "gamma"), init::ones(1, dim));
         let beta = store.add(scoped(prefix, "beta"), init::zeros(1, dim));
-        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+        LayerNorm {
+            gamma,
+            beta,
+            dim,
+            eps: 1e-5,
+        }
     }
 
     /// Feature width this norm expects.
@@ -47,7 +52,11 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let tape = Tape::new();
-        let x = tape.leaf(Matrix::from_vec(2, 4, vec![10.0, 20.0, 30.0, 40.0, -5.0, 0.0, 5.0, 10.0]));
+        let x = tape.leaf(Matrix::from_vec(
+            2,
+            4,
+            vec![10.0, 20.0, 30.0, 40.0, -5.0, 0.0, 5.0, 10.0],
+        ));
         let y = ln.forward(&store, &tape, &x).value();
         for r in 0..2 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;

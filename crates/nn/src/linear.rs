@@ -24,9 +24,17 @@ impl Linear {
         out_dim: usize,
         bias: bool,
     ) -> Self {
-        let w = store.add(scoped(prefix, "w"), init::xavier_uniform(rng, in_dim, out_dim));
+        let w = store.add(
+            scoped(prefix, "w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
         let b = bias.then(|| store.add(scoped(prefix, "b"), init::zeros(1, out_dim)));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature width.
@@ -49,11 +57,10 @@ impl Linear {
             x.shape().1
         );
         let w = store.leaf(tape, self.w);
-        let y = x.matmul(&w);
-        match self.b {
-            Some(b) => y.add_row_broadcast(&store.leaf(tape, b)),
-            None => y,
-        }
+        // Fused matmul+bias: one tape node, bias applied in place into the
+        // kernel's output instead of a clone-and-add second node.
+        let b = self.b.map(|b| store.leaf(tape, b));
+        x.affine(&w, b.as_ref())
     }
 }
 

@@ -20,7 +20,12 @@ const EPS: f32 = 1e-7;
 pub fn balanced_bce(tape: &Tape, preds: &Var, labels: &[f32]) -> Var {
     let (n, w) = preds.shape();
     assert_eq!(w, 1, "balanced_bce: preds must be a column");
-    assert_eq!(n, labels.len(), "balanced_bce: {n} preds vs {} labels", labels.len());
+    assert_eq!(
+        n,
+        labels.len(),
+        "balanced_bce: {n} preds vs {} labels",
+        labels.len()
+    );
     assert!(n > 0, "balanced_bce: empty batch");
     let n_pos = labels.iter().filter(|&&r| r > 0.5).count().max(1) as f32;
     let n_neg = labels.iter().filter(|&&r| r <= 0.5).count().max(1) as f32;
@@ -68,12 +73,22 @@ pub fn balanced_bce_logits(tape: &Tape, logits: &Var, labels: &[f32]) -> Var {
 /// space for stability. Used by contrastive objectives.
 pub fn cosine_scores(q: &Var, cands: &[Var]) -> Var {
     let eps = 1e-6;
-    let qn = q.mul(q).sum_all().add_scalar(eps).ln_clamped(1e-12).scale(0.5); // log ||q||
+    let qn = q
+        .mul(q)
+        .sum_all()
+        .add_scalar(eps)
+        .ln_clamped(1e-12)
+        .scale(0.5); // log ||q||
     let scores: Vec<Var> = cands
         .iter()
         .map(|c| {
             let dot = q.mul(c).sum_all();
-            let cn = c.mul(c).sum_all().add_scalar(eps).ln_clamped(1e-12).scale(0.5);
+            let cn = c
+                .mul(c)
+                .sum_all()
+                .add_scalar(eps)
+                .ln_clamped(1e-12)
+                .scale(0.5);
             let inv = qn.add(&cn).neg().exp_var();
             dot.mul(&inv)
         })
@@ -97,7 +112,10 @@ pub fn contrastive_nce(tape: &Tape, scores: &Var, positive: usize, temperature: 
     let (r, n) = scores.shape();
     assert_eq!(r, 1, "contrastive_nce: scores must be a row");
     assert!(positive < n, "contrastive_nce: positive index out of range");
-    assert!(temperature > 0.0, "contrastive_nce: temperature must be positive");
+    assert!(
+        temperature > 0.0,
+        "contrastive_nce: temperature must be positive"
+    );
     let probs = scores.scale(1.0 / temperature).softmax_rows();
     let mut mask = vec![0.0f32; n];
     mask[positive] = -1.0;
@@ -142,7 +160,10 @@ mod tests {
         let preds = tape.leaf(Matrix::from_vec(4, 1, vec![0.5, 0.5, 0.5, 0.5]));
         let loss = balanced_bce(&tape, &preds, &[1.0, 0.0, 0.0, 0.0]).scalar();
         // Both halves contribute ln(2): total = 2 ln 2 regardless of counts.
-        assert!((loss - 2.0 * std::f32::consts::LN_2).abs() < 1e-4, "loss = {loss}");
+        assert!(
+            (loss - 2.0 * std::f32::consts::LN_2).abs() < 1e-4,
+            "loss = {loss}"
+        );
     }
 
     #[test]

@@ -28,12 +28,22 @@ impl Mlp {
         dims: &[usize],
         activation: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp::new: need at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least input and output widths"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                Linear::new(store, rng, &scoped(prefix, &format!("fc{i}")), w[0], w[1], true)
+                Linear::new(
+                    store,
+                    rng,
+                    &scoped(prefix, &format!("fc{i}")),
+                    w[0],
+                    w[1],
+                    true,
+                )
             })
             .collect();
         Mlp { layers, activation }

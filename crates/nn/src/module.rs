@@ -50,7 +50,10 @@ mod tests {
             Activation::LeakyRelu(0.1).apply(&x).value().as_slice(),
             &[-0.1, 2.0]
         );
-        assert_eq!(Activation::Identity.apply(&x).value().as_slice(), &[-1.0, 2.0]);
+        assert_eq!(
+            Activation::Identity.apply(&x).value().as_slice(),
+            &[-1.0, 2.0]
+        );
         let s = Activation::Sigmoid.apply(&x).value();
         assert!(s.get(0, 0) < 0.5 && s.get(0, 1) > 0.5);
     }

@@ -73,7 +73,11 @@ impl MoeGate {
             .iter()
             .zip(expert_reps)
             .map(|((w1, w2), e)| {
-                assert_eq!(e.shape(), (1, self.dim), "MoeGate: expert rep must be 1 x dim");
+                assert_eq!(
+                    e.shape(),
+                    (1, self.dim),
+                    "MoeGate: expert rep must be 1 x dim"
+                );
                 let h = w1.forward(store, tape, e).leaky_relu(0.01);
                 w2.forward(store, tape, &h)
             })
@@ -151,12 +155,10 @@ mod tests {
             let p2 = p.slice_rows_var(0, 1); // no-op, keeps Var
             let target = p2.with_value(|v| v.get(0, 2));
             let _ = target;
-            let loss = p.ln_clamped(1e-7).mul(&tape.constant(Matrix::from_vec(
-                1,
-                3,
-                vec![0.0, 0.0, -1.0],
-            )))
-            .sum_all();
+            let loss = p
+                .ln_clamped(1e-7)
+                .mul(&tape.constant(Matrix::from_vec(1, 3, vec![0.0, 0.0, -1.0])))
+                .sum_all();
             tape.backward(&loss);
             store.apply_grads(&tape, &mut opt);
         }

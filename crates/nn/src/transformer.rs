@@ -50,9 +50,13 @@ impl TransformerBlock {
 
     /// Applies the block to `(n, dim)`.
     pub fn forward(&self, store: &ParamStore, tape: &Tape, x: &Var) -> Var {
-        let a = self.attn.forward_self(store, tape, &self.ln1.forward(store, tape, x));
+        let a = self
+            .attn
+            .forward_self(store, tape, &self.ln1.forward(store, tape, x));
         let x = a.add(x);
-        let f = self.ff.forward(store, tape, &self.ln2.forward(store, tape, &x));
+        let f = self
+            .ff
+            .forward(store, tape, &self.ln2.forward(store, tape, &x));
         f.add(&x)
     }
 }
@@ -85,14 +89,26 @@ impl TransformerEncoder {
     ) -> Self {
         let blocks = (0..n_layers)
             .map(|i| {
-                TransformerBlock::new(store, rng, &scoped(prefix, &format!("b{i}")), dim, n_heads, ff_mult)
+                TransformerBlock::new(
+                    store,
+                    rng,
+                    &scoped(prefix, &format!("b{i}")),
+                    dim,
+                    n_heads,
+                    ff_mult,
+                )
             })
             .collect();
         let pos = store.add(
             scoped(prefix, "pos"),
             lcdd_tensor::init::normal(rng, max_len, dim, 0.02),
         );
-        TransformerEncoder { blocks, pos, dim, max_len }
+        TransformerEncoder {
+            blocks,
+            pos,
+            dim,
+            max_len,
+        }
     }
 
     /// Model width.
@@ -156,8 +172,16 @@ mod tests {
         // Swapping two tokens must change the output because of Epos.
         let (store, enc) = encoder(4, 1);
         let tape = Tape::new();
-        let a = tape.leaf(Matrix::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]));
-        let b = tape.leaf(Matrix::from_vec(2, 4, vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0]));
+        let a = tape.leaf(Matrix::from_vec(
+            2,
+            4,
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        ));
+        let b = tape.leaf(Matrix::from_vec(
+            2,
+            4,
+            vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+        ));
         let ya = enc.forward(&store, &tape, &a).value();
         let yb = enc.forward(&store, &tape, &b).value();
         let diff: f32 = ya

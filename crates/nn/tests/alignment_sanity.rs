@@ -21,12 +21,16 @@ fn linear_encoders_align_with_infonce() {
         .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
         .collect();
     let view = |rng: &mut StdRng, rows: usize| -> Vec<Vec<f32>> {
-        (0..rows).map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect()).collect()
+        (0..rows)
+            .map(|_| (0..8).map(|_| rng.gen_range(-0.5f32..0.5)).collect())
+            .collect()
     };
     let proj_a = view(&mut rng, da);
     let proj_b = view(&mut rng, db);
     let observe = |latent: &[f32], proj: &[Vec<f32>]| -> Vec<f32> {
-        proj.iter().map(|row| row.iter().zip(latent).map(|(&p, &l)| p * l).sum()).collect()
+        proj.iter()
+            .map(|row| row.iter().zip(latent).map(|(&p, &l)| p * l).sum())
+            .collect()
     };
     let xs_a: Vec<Vec<f32>> = latents.iter().map(|l| observe(l, &proj_a)).collect();
     let xs_b: Vec<Vec<f32>> = latents.iter().map(|l| observe(l, &proj_b)).collect();
@@ -41,7 +45,11 @@ fn linear_encoders_align_with_infonce() {
     for step in 0..300 {
         let tape = Tape::new();
         let qi = step % n;
-        let q = enc_a.forward(&store, &tape, &tape.leaf(Matrix::from_vec(1, da, xs_a[qi].clone())));
+        let q = enc_a.forward(
+            &store,
+            &tape,
+            &tape.leaf(Matrix::from_vec(1, da, xs_a[qi].clone())),
+        );
         // Candidates: the matching B item + 3 in-batch negatives.
         let mut cands = vec![qi];
         for j in 1..=3 {
@@ -50,7 +58,11 @@ fn linear_encoders_align_with_infonce() {
         let cand_vars: Vec<_> = cands
             .iter()
             .map(|&ci| {
-                enc_b.forward(&store, &tape, &tape.leaf(Matrix::from_vec(1, db, xs_b[ci].clone())))
+                enc_b.forward(
+                    &store,
+                    &tape,
+                    &tape.leaf(Matrix::from_vec(1, db, xs_b[ci].clone())),
+                )
             })
             .collect();
         let sims = cosine_scores(&q, &cand_vars);

@@ -4,7 +4,11 @@
 /// Full O(n·m) DTW with absolute-difference local cost and a rolling DP row.
 pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let m = b.len();
     let mut prev = vec![f64::INFINITY; m + 1];
@@ -26,7 +30,11 @@ pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
 /// point-wise comparison; larger bands approach full DTW.
 pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.is_empty() && b.is_empty() { 0.0 } else { f64::INFINITY };
+        return if a.is_empty() && b.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let (n, m) = (a.len(), b.len());
     // Effective band must at least cover the length difference.
@@ -72,7 +80,11 @@ mod tests {
         // b is a one-step shift of a: DTW should absorb most of it.
         let a = [0.0, 0.0, 1.0, 2.0, 3.0, 0.0];
         let b = [0.0, 1.0, 2.0, 3.0, 0.0, 0.0];
-        let euclid: f64 = a.iter().zip(&b).map(|(x, y): (&f64, &f64)| (x - y).abs()).sum();
+        let euclid: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y): (&f64, &f64)| (x - y).abs())
+            .sum();
         let dtw = dtw_distance(&a, &b);
         assert!(dtw < euclid, "dtw {dtw} >= euclid {euclid}");
     }

@@ -27,14 +27,22 @@ pub struct RelevanceConfig {
 
 impl Default for RelevanceConfig {
     fn default() -> Self {
-        RelevanceConfig { resample_len: 128, band: 16, normalize_by_len: true }
+        RelevanceConfig {
+            resample_len: 128,
+            band: 16,
+            normalize_by_len: true,
+        }
     }
 }
 
 impl RelevanceConfig {
     /// Exact (slow) configuration: full DTW on raw-length series.
     pub fn exact() -> Self {
-        RelevanceConfig { resample_len: 0, band: 0, normalize_by_len: false }
+        RelevanceConfig {
+            resample_len: 0,
+            band: 0,
+            normalize_by_len: false,
+        }
     }
 }
 
@@ -80,19 +88,19 @@ pub struct RelMatch {
 }
 
 /// High-level relevance `Rel(D, T)`: bipartite max matching of series to
-/// columns over low-level scores.
+/// columns over low-level scores. The DTW weight matrix is computed
+/// row-parallel on the shared work pool (each row is `|columns|`
+/// independent quadratic DPs — the dominant cost of ground-truth
+/// generation); when called from inside an outer pool worker the rows fall
+/// back to a serial loop.
 pub fn rel_data_table(data: &UnderlyingData, table: &Table, cfg: &RelevanceConfig) -> RelMatch {
-    let weights: Vec<Vec<f64>> = data
-        .series
-        .iter()
-        .map(|d| {
-            table
-                .columns
-                .iter()
-                .map(|c| rel_series_column(&d.ys, &c.values, cfg))
-                .collect()
-        })
-        .collect();
+    let weights: Vec<Vec<f64>> = lcdd_tensor::pool::par_map(&data.series, |d| {
+        table
+            .columns
+            .iter()
+            .map(|c| rel_series_column(&d.ys, &c.values, cfg))
+            .collect()
+    });
     let (score, assignment) = max_weight_matching(&weights);
     RelMatch { score, assignment }
 }
@@ -154,7 +162,11 @@ mod tests {
         let m = rel_data_table(&data, &table, &cfg());
         assert_eq!(m.assignment[0], Some(1));
         assert_eq!(m.assignment[1], Some(0));
-        assert!(m.score > 1.8, "two near-perfect matches expected, got {}", m.score);
+        assert!(
+            m.score > 1.8,
+            "two near-perfect matches expected, got {}",
+            m.score
+        );
     }
 
     #[test]
@@ -163,14 +175,22 @@ mod tests {
         let src = Table::new(
             0,
             "src",
-            vec![Column::new("a", ramp(120, 0.3)), Column::new("b", vec![5.0; 120])],
+            vec![
+                Column::new("a", ramp(120, 0.3)),
+                Column::new("b", vec![5.0; 120]),
+            ],
         );
         let distractor = Table::new(
             1,
             "other",
-            vec![Column::new("x", ramp(120, -2.0)), Column::new("y", ramp(120, 7.0))],
+            vec![
+                Column::new("x", ramp(120, -2.0)),
+                Column::new("y", ramp(120, 7.0)),
+            ],
         );
-        let data = UnderlyingData { series: vec![DataSeries::new("q", ramp(120, 0.3))] };
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("q", ramp(120, 0.3))],
+        };
         assert!(
             rel_score(&data, &src, &cfg()) > rel_score(&data, &distractor, &cfg()),
             "source table must outrank distractor"

@@ -35,6 +35,19 @@ proptest! {
     }
 
     #[test]
+    fn banded_with_big_band_converges_to_full(a in series(30), b in series(30)) {
+        // Once the Sakoe-Chiba band covers the whole alignment matrix the
+        // banded DP must agree with unconstrained DTW exactly.
+        let big_band = a.len().max(b.len());
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, big_band);
+        prop_assert!((banded - full).abs() < 1e-9, "banded {} != full {}", banded, full);
+        // And any wider band changes nothing.
+        let wider = dtw_distance_banded(&a, &b, big_band * 3);
+        prop_assert!((wider - full).abs() < 1e-9, "wider {} != full {}", wider, full);
+    }
+
+    #[test]
     fn dtw_bounded_by_pointwise_cost(a in series(25)) {
         // Warping a series against a constant: DTW <= sum of |a_i - c|.
         let c = 3.0;

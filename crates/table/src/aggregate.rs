@@ -21,8 +21,13 @@ impl AggOp {
     pub const AGGREGATORS: [AggOp; 4] = [AggOp::Avg, AggOp::Sum, AggOp::Max, AggOp::Min];
 
     /// All five experts in the order the MoE layer indexes them.
-    pub const EXPERTS: [AggOp; 5] =
-        [AggOp::Identity, AggOp::Avg, AggOp::Sum, AggOp::Max, AggOp::Min];
+    pub const EXPERTS: [AggOp; 5] = [
+        AggOp::Identity,
+        AggOp::Avg,
+        AggOp::Sum,
+        AggOp::Max,
+        AggOp::Min,
+    ];
 
     /// Index of this operator within [`AggOp::EXPERTS`].
     pub fn expert_index(self) -> usize {
@@ -115,7 +120,10 @@ mod tests {
     #[test]
     fn lengths_match_helper() {
         for w in 1..10 {
-            assert_eq!(aggregate(&V, AggOp::Avg, w).len(), aggregated_len(V.len(), w));
+            assert_eq!(
+                aggregate(&V, AggOp::Avg, w).len(),
+                aggregated_len(V.len(), w)
+            );
         }
     }
 

@@ -29,7 +29,10 @@ pub fn reverse(table: &Table) -> Table {
 /// Panics when `split` is 0 or ≥ the row count (either side would be empty).
 pub fn partition(table: &Table, split: usize) -> (Table, Table) {
     let n = table.num_rows();
-    assert!(split > 0 && split < n, "partition: split {split} outside (0, {n})");
+    assert!(
+        split > 0 && split < n,
+        "partition: split {split} outside (0, {n})"
+    );
     let left = table
         .columns
         .iter()

@@ -13,7 +13,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
-        Column { name: name.into(), values }
+        Column {
+            name: name.into(),
+            values,
+        }
     }
 
     /// Number of rows.

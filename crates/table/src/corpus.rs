@@ -105,7 +105,11 @@ fn generate_record(rng: &mut StdRng, id: u64, cfg: &CorpusConfig) -> Record {
     }
     let table = Table::new(id, format!("table_{id}"), columns);
     let spec = VisSpec::plain((0..m).collect());
-    Record { table, spec, families }
+    Record {
+        table,
+        spec,
+        families,
+    }
 }
 
 fn perturb(record: &Record, rng: &mut StdRng, id: u64) -> Record {
@@ -158,7 +162,10 @@ pub struct CorpusStats {
 
 /// Computes line-count bucket statistics.
 pub fn corpus_stats(records: &[Record]) -> CorpusStats {
-    let mut s = CorpusStats { total: records.len(), ..Default::default() };
+    let mut s = CorpusStats {
+        total: records.len(),
+        ..Default::default()
+    };
     for r in records {
         match r.spec.num_lines() {
             1 => s.m1 += 1,
@@ -176,7 +183,10 @@ mod tests {
 
     #[test]
     fn corpus_is_deterministic() {
-        let cfg = CorpusConfig { n_records: 20, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 20,
+            ..Default::default()
+        };
         let a = build_corpus(&cfg);
         let b = build_corpus(&cfg);
         assert_eq!(a.len(), b.len());
@@ -187,7 +197,10 @@ mod tests {
 
     #[test]
     fn spec_columns_exist() {
-        let cfg = CorpusConfig { n_records: 50, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 50,
+            ..Default::default()
+        };
         for r in build_corpus(&cfg) {
             for &ci in &r.spec.y_columns {
                 assert!(ci < r.table.num_cols());
@@ -199,16 +212,26 @@ mod tests {
 
     #[test]
     fn near_duplicates_appended() {
-        let cfg = CorpusConfig { n_records: 40, near_duplicate_rate: 0.25, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 40,
+            near_duplicate_rate: 0.25,
+            ..Default::default()
+        };
         let corpus = build_corpus(&cfg);
         assert_eq!(corpus.len(), 50);
-        let dups = corpus.iter().filter(|r| r.table.name.ends_with("~dup")).count();
+        let dups = corpus
+            .iter()
+            .filter(|r| r.table.name.ends_with("~dup"))
+            .count();
         assert_eq!(dups, 10);
     }
 
     #[test]
     fn m_distribution_covers_all_buckets() {
-        let cfg = CorpusConfig { n_records: 400, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 400,
+            ..Default::default()
+        };
         let stats = corpus_stats(&build_corpus(&cfg));
         assert!(stats.m1 > 0 && stats.m2_4 > 0 && stats.m5_7 > 0 && stats.m_gt7 > 0);
         // Single-line should be the largest bucket (paper Table I).

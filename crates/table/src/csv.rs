@@ -14,7 +14,11 @@ pub fn write_csv<W: Write>(table: &Table, mut w: W) -> io::Result<()> {
     let header: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
     writeln!(w, "{}", header.join(","))?;
     for r in 0..table.num_rows() {
-        let row: Vec<String> = table.columns.iter().map(|c| format!("{}", c.values[r])).collect();
+        let row: Vec<String> = table
+            .columns
+            .iter()
+            .map(|c| format!("{}", c.values[r]))
+            .collect();
         writeln!(w, "{}", row.join(","))?;
     }
     Ok(())

@@ -118,9 +118,7 @@ pub fn generate(
                 .map(|i| {
                     comps
                         .iter()
-                        .map(|&(p, a, ph)| {
-                            a * ((i as f64 / p) * std::f64::consts::TAU + ph).sin()
-                        })
+                        .map(|&(p, a, ph)| a * ((i as f64 / p) * std::f64::consts::TAU + ph).sin())
                         .sum::<f64>()
                 })
                 .collect()
@@ -154,16 +152,21 @@ pub fn generate(
         SeriesFamily::EcgLike => {
             // A crude PQRST-ish repeating template with beat-length jitter.
             let beat = rng.gen_range(18..36);
+            // Peaks narrower than the sample spacing (1/beat) would alias
+            // away for short beats, leaving a beat with no R spike; clamp
+            // the sharp widths to stay resolvable at this beat length.
+            let w_r = (0.8 / beat as f64).max(0.016);
+            let w_qs = (0.9 / beat as f64).max(0.018);
             let mut out = Vec::with_capacity(len);
             let mut i = 0usize;
             while out.len() < len {
                 let pos = i % beat;
                 let t = pos as f64 / beat as f64;
                 let v = 0.12 * (-((t - 0.18) / 0.045).powi(2)).exp()    // P
-                    - 0.18 * (-((t - 0.36) / 0.018).powi(2)).exp()      // Q
-                    + 1.0 * (-((t - 0.40) / 0.016).powi(2)).exp()       // R
-                    - 0.22 * (-((t - 0.44) / 0.018).powi(2)).exp()      // S
-                    + 0.28 * (-((t - 0.68) / 0.07).powi(2)).exp();      // T
+                    - 0.18 * (-((t - 0.36) / w_qs).powi(2)).exp()       // Q
+                    + 1.0 * (-((t - 0.40) / w_r).powi(2)).exp()         // R
+                    - 0.22 * (-((t - 0.44) / w_qs).powi(2)).exp()       // S
+                    + 0.28 * (-((t - 0.68) / 0.07).powi(2)).exp(); // T
                 out.push(v + gauss(rng) * 0.01);
                 i += 1;
             }
@@ -192,27 +195,54 @@ mod tests {
         for family in SeriesFamily::ALL {
             let s = generate(&mut rng, family, 128, 2.0, 10.0);
             assert_eq!(s.len(), 128, "{family:?}");
-            assert!(s.iter().all(|v| v.is_finite()), "{family:?} produced non-finite");
+            assert!(
+                s.iter().all(|v| v.is_finite()),
+                "{family:?} produced non-finite"
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = generate(&mut StdRng::seed_from_u64(9), SeriesFamily::Ar1, 50, 1.0, 0.0);
-        let b = generate(&mut StdRng::seed_from_u64(9), SeriesFamily::Ar1, 50, 1.0, 0.0);
+        let a = generate(
+            &mut StdRng::seed_from_u64(9),
+            SeriesFamily::Ar1,
+            50,
+            1.0,
+            0.0,
+        );
+        let b = generate(
+            &mut StdRng::seed_from_u64(9),
+            SeriesFamily::Ar1,
+            50,
+            1.0,
+            0.0,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn scale_offset_applied() {
-        let s = generate(&mut StdRng::seed_from_u64(1), SeriesFamily::Logistic, 200, 1.0, 100.0);
+        let s = generate(
+            &mut StdRng::seed_from_u64(1),
+            SeriesFamily::Logistic,
+            200,
+            1.0,
+            100.0,
+        );
         // Logistic lives in ~[0,1] before offset; after +100 everything > 95.
         assert!(s.iter().all(|&v| v > 95.0));
     }
 
     #[test]
     fn ecg_is_quasi_periodic() {
-        let s = generate(&mut StdRng::seed_from_u64(2), SeriesFamily::EcgLike, 300, 1.0, 0.0);
+        let s = generate(
+            &mut StdRng::seed_from_u64(2),
+            SeriesFamily::EcgLike,
+            300,
+            1.0,
+            0.0,
+        );
         // R peaks dominate: max should clearly exceed the mean.
         let mean = s.iter().sum::<f64>() / s.len() as f64;
         let max = s.iter().copied().fold(f64::MIN, f64::max);

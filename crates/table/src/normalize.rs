@@ -70,7 +70,10 @@ pub fn resample(values: &[f64], target_len: usize) -> Vec<f64> {
 /// `target_len` points spanning `[min(x), max(x)]`. Input must be sorted by
 /// x (ties allowed). Supports the numerical-x generalisation of Sec. VI-B.
 pub fn interpolate_even(points: &[(f64, f64)], target_len: usize) -> Vec<f64> {
-    assert!(target_len > 0, "interpolate_even: target_len must be positive");
+    assert!(
+        target_len > 0,
+        "interpolate_even: target_len must be positive"
+    );
     if points.is_empty() {
         return vec![0.0; target_len];
     }

@@ -20,7 +20,10 @@ pub struct DataSeries {
 impl DataSeries {
     /// Creates a series.
     pub fn new(name: impl Into<String>, ys: Vec<f64>) -> Self {
-        DataSeries { name: name.into(), ys }
+        DataSeries {
+            name: name.into(),
+            ys,
+        }
     }
 
     /// Number of points.
@@ -94,7 +97,11 @@ impl UnderlyingData {
 
 /// Convenience: materialise a plain (non-aggregated) `D` from chosen columns.
 pub fn underlying_from_columns(table: &Table, y_columns: &[usize]) -> UnderlyingData {
-    let spec = VisSpec { x_column: None, y_columns: y_columns.to_vec(), agg: None };
+    let spec = VisSpec {
+        x_column: None,
+        y_columns: y_columns.to_vec(),
+        agg: None,
+    };
     UnderlyingData::from_spec(table, &spec)
 }
 
@@ -118,7 +125,11 @@ mod tests {
 
     #[test]
     fn from_spec_plain() {
-        let spec = VisSpec { x_column: Some(0), y_columns: vec![1, 2], agg: None };
+        let spec = VisSpec {
+            x_column: Some(0),
+            y_columns: vec![1, 2],
+            agg: None,
+        };
         let d = UnderlyingData::from_spec(&table(), &spec);
         assert_eq!(d.num_series(), 2);
         assert_eq!(d.series[0].ys, vec![1.0, 2.0, 3.0, 4.0]);

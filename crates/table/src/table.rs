@@ -28,7 +28,11 @@ impl Table {
                 );
             }
         }
-        Table { id, name: name.into(), columns }
+        Table {
+            id,
+            name: name.into(),
+            columns,
+        }
     }
 
     /// Number of rows (`NR`).
@@ -123,7 +127,10 @@ mod tests {
         let _ = Table::new(
             0,
             "bad",
-            vec![Column::new("a", vec![1.0]), Column::new("b", vec![1.0, 2.0])],
+            vec![
+                Column::new("a", vec![1.0]),
+                Column::new("b", vec![1.0, 2.0]),
+            ],
         );
     }
 

@@ -19,12 +19,20 @@ pub struct VisSpec {
 impl VisSpec {
     /// Plain multi-line spec over the given y columns with an index x axis.
     pub fn plain(y_columns: Vec<usize>) -> Self {
-        VisSpec { x_column: None, y_columns, agg: None }
+        VisSpec {
+            x_column: None,
+            y_columns,
+            agg: None,
+        }
     }
 
     /// Aggregated spec.
     pub fn aggregated(y_columns: Vec<usize>, op: AggOp, window: usize) -> Self {
-        VisSpec { x_column: None, y_columns, agg: Some((op, window)) }
+        VisSpec {
+            x_column: None,
+            y_columns,
+            agg: Some((op, window)),
+        }
     }
 
     /// Number of lines this spec draws.

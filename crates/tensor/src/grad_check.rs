@@ -26,21 +26,24 @@ impl GradCheckReport {
 ///
 /// `f` receives a fresh tape and leaf variables for each probe, and must
 /// return a `1x1` scalar `Var`.
-pub fn grad_check(
-    inputs: &[Matrix],
-    h: f32,
-    f: impl Fn(&Tape, &[Var]) -> Var,
-) -> GradCheckReport {
+pub fn grad_check(inputs: &[Matrix], h: f32, f: impl Fn(&Tape, &[Var]) -> Var) -> GradCheckReport {
     // Analytic gradients.
     let tape = Tape::new();
     let vars: Vec<Var> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
     let out = f(&tape, &vars);
-    assert_eq!(out.shape(), (1, 1), "grad_check: function must return a scalar");
+    assert_eq!(
+        out.shape(),
+        (1, 1),
+        "grad_check: function must return a scalar"
+    );
     tape.backward(&out);
     let analytic: Vec<Matrix> = vars
         .iter()
         .zip(inputs)
-        .map(|(v, m)| v.grad().unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols())))
+        .map(|(v, m)| {
+            v.grad()
+                .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()))
+        })
         .collect();
 
     let eval = |probe: &[Matrix]| -> f32 {
@@ -49,7 +52,10 @@ pub fn grad_check(
         f(&tape, &vars).scalar()
     };
 
-    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
     let mut probe: Vec<Matrix> = inputs.to_vec();
     for (i, input) in inputs.iter().enumerate() {
         for e in 0..input.len() {

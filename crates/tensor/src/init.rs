@@ -68,7 +68,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let m = normal(&mut rng, 100, 100, 0.5);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / m.len() as f32;
         assert!(mean.abs() < 0.02, "mean = {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std = {}", var.sqrt());

@@ -41,7 +41,10 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<(String, Matrix)>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic in weight file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic in weight file",
+        ));
     }
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
@@ -52,8 +55,8 @@ pub fn read_params<R: Read>(mut r: R) -> io::Result<Vec<(String, Matrix)>> {
         let name_len = u32::from_le_bytes(u32buf) as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         r.read_exact(&mut u32buf)?;
         let rows = u32::from_le_bytes(u32buf) as usize;
         r.read_exact(&mut u32buf)?;

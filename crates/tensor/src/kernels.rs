@@ -1,0 +1,617 @@
+//! Blocked/packed matmul kernels — the compute core under every encoder,
+//! the HCMAN matcher and the linear-scan scoring path.
+//!
+//! The dense path packs the `B` operand into contiguous column panels of
+//! width [`NR`] and runs an `MR`×`NR` register-tiled micro-kernel with
+//! [`MR`]-wide accumulator unrolling; both panel reads and accumulator
+//! updates are contiguous, so LLVM auto-vectorizes the inner loop to the
+//! widest SIMD the target supports (the workspace builds with
+//! `target-cpu=native`). Large products are additionally split into row
+//! bands across the [`crate::pool`] workers.
+//!
+//! Three data layouts cover the autograd tape's needs without ever
+//! materializing a transpose:
+//!
+//! * [`matmul_into`] — `C = A · B`
+//! * [`matmul_nt_into`] — `C = A · Bᵀ` (backward w.r.t. the left operand)
+//! * [`matmul_tn_into`] — `C = Aᵀ · B` (backward w.r.t. the right operand)
+//!
+//! A sparse fast path (the seed kernel's skip-zero loop) is kept behind a
+//! cheap density probe: one-hot / masked inputs such as MoE gate outputs
+//! still skip their zero rows, while dense inputs never pay the
+//! per-element branch the seed imposed on everything.
+
+use crate::matrix::Matrix;
+use crate::pool;
+
+/// Micro-kernel row tile (accumulator unroll factor).
+pub const MR: usize = 4;
+/// Micro-kernel column tile (one packed panel width).
+pub const NR: usize = 16;
+
+/// Products smaller than this many multiply-adds run the plain loop; the
+/// packing + tiling overhead only pays off once the operands stop fitting
+/// in registers/L1 anyway.
+const TINY_FLOP_LIMIT: usize = 16 * 1024;
+
+/// Products at least this large are split into row bands across the pool.
+const PAR_FLOP_LIMIT: usize = 2 * 1024 * 1024;
+
+/// Fraction of probed elements that must be zero before the sparse
+/// skip-zero path is chosen.
+const SPARSE_THRESHOLD: f64 = 0.8;
+
+/// Reference triple-loop matmul (i-j-k, no blocking, no zero-skip).
+///
+/// This is the correctness oracle for the property tests and the baseline
+/// the kernel benchmarks compare against. Keep it boring.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_naive: inner dimensions differ ({}x{} * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (n, m, p) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(n, p);
+    for i in 0..n {
+        for j in 0..p {
+            let mut acc = 0.0f32;
+            for k in 0..m {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// Estimated fraction of zero elements, probing at most 256 samples.
+///
+/// Probe positions come from Fibonacci hashing rather than a fixed
+/// stride: a stride of `len / 256` aligns with the row length whenever
+/// the width divides it (e.g. any 256-wide matrix), which would sample a
+/// single column and misclassify dense matrices with one zero column as
+/// sparse.
+fn zero_fraction(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let n = data.len() as u128;
+    let samples = data.len().min(256) as u64;
+    let mut zeros = 0usize;
+    for i in 0..samples {
+        let h = (i + 1).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        let idx = ((h as u128 * n) >> 32) as usize;
+        zeros += usize::from(data[idx] == 0.0);
+    }
+    zeros as f64 / samples as f64
+}
+
+/// `out = a · b`, shapes `(n,m) x (m,p) -> (n,p)`. `out` is fully
+/// overwritten; it must already have the right shape.
+///
+/// Writing into caller-provided `out` removes the per-op output
+/// allocation of [`Matrix::matmul`]. The dense path still allocates one
+/// internal scratch buffer per call to pack `B` into panels (packed-panel
+/// caching for persistent weight matrices is a possible future
+/// optimization); tiny and sparse paths allocate nothing.
+pub fn matmul_into(out: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (n, m) = a.shape();
+    let (mb, p) = b.shape();
+    assert_eq!(
+        m, mb,
+        "matmul: inner dimensions differ ({n}x{m} * {mb}x{p})"
+    );
+    assert_eq!(out.shape(), (n, p), "matmul: output shape mismatch");
+    let flops = n * m * p;
+    if flops == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    if flops <= TINY_FLOP_LIMIT {
+        return matmul_ikj(out, a, b);
+    }
+    if zero_fraction(a.as_slice()) >= SPARSE_THRESHOLD {
+        return matmul_sparse_a(out, a, b);
+    }
+
+    // Dense path: pack B into zero-padded NR-wide column panels so the
+    // micro-kernel streams contiguous memory regardless of p.
+    let packed = pack_b_panels(b);
+    let a_data = a.as_slice();
+    let out_data = out.as_mut_slice();
+
+    if flops >= PAR_FLOP_LIMIT && pool::num_threads() > 1 && n >= 2 * MR {
+        // Row bands: each worker owns a disjoint band of output rows,
+        // rounded to the micro-kernel tile so bands never share a tile.
+        let bands = pool::num_threads().min(n.div_ceil(MR));
+        let rows_per = n.div_ceil(bands).next_multiple_of(MR);
+        pool::par_chunks_mut(out_data, rows_per * p, |offset, band| {
+            let i0 = offset / p;
+            let rows = band.len() / p;
+            matmul_packed_rows(band, &a_data[i0 * m..(i0 + rows) * m], &packed, rows, m, p);
+        });
+    } else {
+        matmul_packed_rows(out_data, a_data, &packed, n, m, p);
+    }
+}
+
+/// Packs `b` into panel-major layout: panel `jp` holds columns
+/// `[jp*NR, (jp+1)*NR)` as `m` contiguous rows of `NR` floats, zero-padded
+/// on the right edge.
+fn pack_b_panels(b: &Matrix) -> Vec<f32> {
+    let (m, p) = b.shape();
+    let n_panels = p.div_ceil(NR);
+    let mut packed = vec![0.0f32; n_panels * m * NR];
+    let b_data = b.as_slice();
+    for jp in 0..n_panels {
+        let j0 = jp * NR;
+        let w = NR.min(p - j0);
+        let panel = &mut packed[jp * m * NR..(jp + 1) * m * NR];
+        for k in 0..m {
+            panel[k * NR..k * NR + w].copy_from_slice(&b_data[k * p + j0..k * p + j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Dense micro-kernel sweep over `rows` output rows. `out` and `a` are the
+/// row-major buffers for those rows; `packed` is the full panel-packed B.
+fn matmul_packed_rows(out: &mut [f32], a: &[f32], packed: &[f32], rows: usize, m: usize, p: usize) {
+    debug_assert_eq!(out.len(), rows * p);
+    debug_assert_eq!(a.len(), rows * m);
+    let n_panels = p.div_ceil(NR);
+    // Panel-outer loop order: one `m x NR` panel (≤16 KiB at the sizes this
+    // workspace hits) stays L1-resident while every row block sweeps it;
+    // the i-outer order would re-stream the whole packed B from L2 once
+    // per row block.
+    for jp in 0..n_panels {
+        let panel = &packed[jp * m * NR..(jp + 1) * m * NR];
+        let mut i = 0;
+        // Widest tile first (12 rows with explicit AVX-512 FMA where
+        // available), then the generic MR tile, then single rows.
+        #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+        while i + avx512::MR_WIDE <= rows {
+            // SAFETY: avx512f is a compile-time target feature here, and
+            // the tile bounds were just checked.
+            unsafe { avx512::microkernel_12(out, a, panel, i, jp, m, p) };
+            i += avx512::MR_WIDE;
+        }
+        while i + MR <= rows {
+            microkernel::<MR>(out, a, panel, i, jp, m, p);
+            i += MR;
+        }
+        // Tail rows (< MR): single-row kernel, still panel-contiguous.
+        while i < rows {
+            microkernel_1(out, a, panel, i, jp, m, p);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod avx512 {
+    //! Explicit AVX-512 micro-kernel. The autovectorized generic tile tops
+    //! out well below FMA throughput because LLVM picks a conservative
+    //! vector width; with 32 zmm registers a 12×16 tile (12 accumulators +
+    //! panel row + broadcast) keeps both FMA ports busy.
+
+    use super::NR;
+    use core::arch::x86_64::*;
+
+    /// Rows per AVX-512 tile.
+    pub const MR_WIDE: usize = 12;
+
+    /// 12×NR tile: accumulate `out[i0..i0+12][jp*NR..]` over the packed
+    /// panel.
+    ///
+    /// # Safety
+    /// Requires the `avx512f` target feature (enforced by the enclosing
+    /// `cfg`) and `i0 + 12 <= rows`, `panel.len() >= m * NR`.
+    #[inline]
+    pub unsafe fn microkernel_12(
+        out: &mut [f32],
+        a: &[f32],
+        panel: &[f32],
+        i0: usize,
+        jp: usize,
+        m: usize,
+        p: usize,
+    ) {
+        debug_assert_eq!(NR, 16, "tile assumes one zmm per panel row");
+        let mut acc = [_mm512_setzero_ps(); MR_WIDE];
+        let panel_ptr = panel.as_ptr();
+        let a_ptr = a.as_ptr();
+        for k in 0..m {
+            let brow = _mm512_loadu_ps(panel_ptr.add(k * NR));
+            // Unrolled broadcast-FMA sweep; LLVM folds the broadcasts into
+            // the FMA memory operands.
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let v = _mm512_set1_ps(*a_ptr.add((i0 + r) * m + k));
+                *acc_r = _mm512_fmadd_ps(v, brow, *acc_r);
+            }
+        }
+        let j0 = jp * NR;
+        let w = NR.min(p - j0);
+        if w == NR {
+            for (r, acc_r) in acc.iter().enumerate() {
+                _mm512_storeu_ps(out.as_mut_ptr().add((i0 + r) * p + j0), *acc_r);
+            }
+        } else {
+            // Right-edge panel: spill the tile and copy the valid prefix.
+            let mut tmp = [0.0f32; NR];
+            for (r, acc_r) in acc.iter().enumerate() {
+                _mm512_storeu_ps(tmp.as_mut_ptr(), *acc_r);
+                out[(i0 + r) * p + j0..(i0 + r) * p + j0 + w].copy_from_slice(&tmp[..w]);
+            }
+        }
+    }
+}
+
+/// RxNR register tile: `R` output rows against one packed panel. The
+/// accumulators live in `[[f32; NR]; R]`, which LLVM keeps in vector
+/// registers; the k-loop does R broadcast-FMA sweeps over the panel row
+/// (on AVX-512 the broadcasts fold into the FMA's memory operand).
+#[inline]
+fn microkernel<const R: usize>(
+    out: &mut [f32],
+    a: &[f32],
+    panel: &[f32],
+    i0: usize,
+    jp: usize,
+    m: usize,
+    p: usize,
+) {
+    let mut acc = [[0.0f32; NR]; R];
+    for k in 0..m {
+        let brow: &[f32; NR] = panel[k * NR..(k + 1) * NR].try_into().unwrap();
+        for r in 0..R {
+            let v = a[(i0 + r) * m + k];
+            for c in 0..NR {
+                acc[r][c] += v * brow[c];
+            }
+        }
+    }
+    let j0 = jp * NR;
+    let w = NR.min(p - j0);
+    for (r, acc_row) in acc.iter().enumerate() {
+        let dst = &mut out[(i0 + r) * p + j0..(i0 + r) * p + j0 + w];
+        dst.copy_from_slice(&acc_row[..w]);
+    }
+}
+
+/// Single-row edge kernel for the `rows % MR` tail.
+#[inline]
+fn microkernel_1(
+    out: &mut [f32],
+    a: &[f32],
+    panel: &[f32],
+    i: usize,
+    jp: usize,
+    m: usize,
+    p: usize,
+) {
+    let mut acc = [0.0f32; NR];
+    let a_row = &a[i * m..(i + 1) * m];
+    for (k, &v) in a_row.iter().enumerate() {
+        let brow: &[f32; NR] = panel[k * NR..(k + 1) * NR].try_into().unwrap();
+        for c in 0..NR {
+            acc[c] += v * brow[c];
+        }
+    }
+    let j0 = jp * NR;
+    let w = NR.min(p - j0);
+    out[i * p + j0..i * p + j0 + w].copy_from_slice(&acc[..w]);
+}
+
+/// Plain i-k-j loop for tiny products (axpy inner loop, no zero branch).
+fn matmul_ikj(out: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (n, m) = a.shape();
+    let p = b.cols();
+    let out_data = out.as_mut_slice();
+    out_data.fill(0.0);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for i in 0..n {
+        let a_row = &a_data[i * m..(i + 1) * m];
+        let o_row = &mut out_data[i * p..(i + 1) * p];
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            let b_row = &b_data[k * p..(k + 1) * p];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// Skip-zero i-k-j loop for A operands the density probe found mostly
+/// zero (one-hot selections, masked gates).
+fn matmul_sparse_a(out: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (n, m) = a.shape();
+    let p = b.cols();
+    let out_data = out.as_mut_slice();
+    out_data.fill(0.0);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for i in 0..n {
+        let a_row = &a_data[i * m..(i + 1) * m];
+        let o_row = &mut out_data[i * p..(i + 1) * p];
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[k * p..(k + 1) * p];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// Above this many multiply-adds the transposed-layout kernels
+/// materialize the transpose once and dispatch to the blocked/packed
+/// kernel instead: the O(n·m·p) packed micro-kernel gain dwarfs the
+/// O(m·p) transpose copy, while small gradients keep the copy-free path.
+const NT_TN_BLOCKED_LIMIT: usize = 64 * 1024;
+
+/// `out = a · bᵀ`, shapes `(n,m) x (p,m) -> (n,p)`.
+///
+/// Small products read both operands along contiguous rows (dot
+/// products) with no transpose materialization; large ones transpose
+/// once and use the blocked kernel. This is the gradient kernel for
+/// `dL/dA = G · Bᵀ`.
+pub fn matmul_nt_into(out: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (n, m) = a.shape();
+    let (p, mb) = b.shape();
+    assert_eq!(
+        m, mb,
+        "matmul_nt: inner dimensions differ ({n}x{m} * ({p}x{mb})ᵀ)"
+    );
+    assert_eq!(out.shape(), (n, p), "matmul_nt: output shape mismatch");
+    if n * m * p > NT_TN_BLOCKED_LIMIT {
+        return matmul_into(out, a, &b.transpose());
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    for i in 0..n {
+        let a_row = &a_data[i * m..(i + 1) * m];
+        let o_row = &mut out_data[i * p..(i + 1) * p];
+        let mut j = 0;
+        // 4-wide dot-product unroll: four B rows share one pass over a_row.
+        while j + 4 <= p {
+            let b0 = &b_data[j * m..(j + 1) * m];
+            let b1 = &b_data[(j + 1) * m..(j + 2) * m];
+            let b2 = &b_data[(j + 2) * m..(j + 3) * m];
+            let b3 = &b_data[(j + 3) * m..(j + 4) * m];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (k, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[k];
+                s1 += av * b1[k];
+                s2 += av * b2[k];
+                s3 += av * b3[k];
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < p {
+            let b_row = &b_data[j * m..(j + 1) * m];
+            o_row[j] = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            j += 1;
+        }
+    }
+}
+
+/// `out = aᵀ · b`, shapes `(m,n) x (m,p) -> (n,p)`.
+///
+/// Small products are register-tiled directly on the transposed
+/// indexing (within row `k`, `a[k][i..i+MR]` and `b[k][j..j+NR]` are
+/// both contiguous, so the tile needs no packing); large ones transpose
+/// once and use the blocked kernel. This is the gradient kernel for
+/// `dL/dB = Aᵀ · G`.
+pub fn matmul_tn_into(out: &mut Matrix, a: &Matrix, b: &Matrix) {
+    let (m, n) = a.shape();
+    let (mb, p) = b.shape();
+    assert_eq!(
+        m, mb,
+        "matmul_tn: inner dimensions differ (({m}x{n})ᵀ * {mb}x{p})"
+    );
+    assert_eq!(out.shape(), (n, p), "matmul_tn: output shape mismatch");
+    if n * m * p > NT_TN_BLOCKED_LIMIT {
+        return matmul_into(out, &a.transpose(), b);
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    let mut i = 0;
+    while i + MR <= n {
+        let mut jp = 0;
+        while jp < p {
+            let w = NR.min(p - jp);
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..m {
+                let a_part: &[f32] = &a_data[k * n + i..k * n + i + MR];
+                let b_part: &[f32] = &b_data[k * p + jp..k * p + jp + w];
+                for (r, &av) in a_part.iter().enumerate() {
+                    for (c, &bv) in b_part.iter().enumerate() {
+                        acc[r][c] += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_data[(i + r) * p + jp..(i + r) * p + jp + w].copy_from_slice(&acc_row[..w]);
+            }
+            jp += NR;
+        }
+        i += MR;
+    }
+    while i < n {
+        let mut jp = 0;
+        while jp < p {
+            let w = NR.min(p - jp);
+            let mut acc = [0.0f32; NR];
+            for k in 0..m {
+                let av = a_data[k * n + i];
+                let b_part = &b_data[k * p + jp..k * p + jp + w];
+                for (c, &bv) in b_part.iter().enumerate() {
+                    acc[c] += av * bv;
+                }
+            }
+            out_data[i * p + jp..i * p + jp + w].copy_from_slice(&acc[..w]);
+            jp += NR;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+        // Deterministic pseudo-random fill, varied by seed.
+        let data = (0..rows * cols)
+            .map(|i| {
+                (((i as u32).wrapping_mul(2654435761).wrapping_add(seed * 97)) % 1000) as f32
+                    / 250.0
+                    - 2.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32, ctx: &str) {
+        assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+        for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!((x - y).abs() <= tol, "{ctx}: element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        for &(n, m, p) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 4, 16),
+            (5, 17, 33),
+            (16, 16, 16),
+            (33, 65, 9),
+            (64, 32, 48),
+            (70, 70, 70),
+        ] {
+            let a = matrix(n, m, 1);
+            let b = matrix(m, p, 2);
+            let naive = matmul_naive(&a, &b);
+            let mut fast = Matrix::zeros(n, p);
+            matmul_into(&mut fast, &a, &b);
+            assert_close(&fast, &naive, 1e-3, &format!("{n}x{m}x{p}"));
+        }
+    }
+
+    #[test]
+    fn sparse_path_matches_naive() {
+        // A is ~95% zeros -> density probe must still produce exact results.
+        let n = 40;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a.set(i, (i * 7) % n, 1.5);
+            if i % 2 == 0 {
+                a.set(i, (i * 3) % n, -0.5);
+            }
+        }
+        let b = matrix(n, n, 3);
+        let naive = matmul_naive(&a, &b);
+        let mut fast = Matrix::zeros(n, n);
+        matmul_into(&mut fast, &a, &b);
+        assert_close(&fast, &naive, 1e-4, "sparse");
+    }
+
+    #[test]
+    fn nt_matches_naive_on_transpose() {
+        // (48, 64, 40) and (80, 80, 80) cross NT_TN_BLOCKED_LIMIT, covering
+        // the transpose-then-blocked dispatch.
+        for &(n, m, p) in &[
+            (3, 4, 5),
+            (8, 16, 8),
+            (13, 7, 21),
+            (1, 9, 1),
+            (48, 64, 40),
+            (80, 80, 80),
+        ] {
+            let a = matrix(n, m, 4);
+            let bt = matrix(p, m, 5); // b = btᵀ
+            let mut out = Matrix::zeros(n, p);
+            matmul_nt_into(&mut out, &a, &bt);
+            let reference = matmul_naive(&a, &bt.transpose());
+            assert_close(&out, &reference, 1e-3, &format!("nt {n}x{m}x{p}"));
+        }
+    }
+
+    #[test]
+    fn tn_matches_naive_on_transpose() {
+        for &(n, m, p) in &[
+            (3, 4, 5),
+            (8, 16, 8),
+            (13, 7, 21),
+            (21, 1, 17),
+            (48, 64, 40),
+            (80, 80, 80),
+        ] {
+            let at = matrix(m, n, 6); // a = atᵀ
+            let b = matrix(m, p, 7);
+            let mut out = Matrix::zeros(n, p);
+            matmul_tn_into(&mut out, &at, &b);
+            let reference = matmul_naive(&at.transpose(), &b);
+            assert_close(&out, &reference, 1e-3, &format!("tn {n}x{m}x{p}"));
+        }
+    }
+
+    #[test]
+    fn into_overwrites_stale_contents() {
+        let a = matrix(6, 6, 8);
+        let b = matrix(6, 6, 9);
+        let mut out = Matrix::full(6, 6, f32::NAN);
+        matmul_into(&mut out, &a, &b);
+        assert!(!out.has_non_finite(), "stale NaNs must be overwritten");
+        assert_close(&out, &matmul_naive(&a, &b), 1e-3, "overwrite");
+    }
+
+    #[test]
+    fn zero_fraction_probe() {
+        assert_eq!(zero_fraction(&[]), 0.0);
+        assert_eq!(zero_fraction(&[0.0; 64]), 1.0);
+        assert_eq!(zero_fraction(&[1.0; 64]), 0.0);
+        let half: Vec<f32> = (0..64).map(|i| (i % 2) as f32).collect();
+        let f = zero_fraction(&half);
+        assert!((f - 0.5).abs() < 0.2, "{f}");
+    }
+
+    #[test]
+    fn zero_fraction_not_fooled_by_zero_column() {
+        // 256-wide dense matrix whose column 0 is entirely zero: a fixed
+        // stride of len/256 == row length would probe only that column and
+        // report 1.0, sending dense work down the scalar sparse path.
+        let mut data = vec![1.0f32; 256 * 256];
+        for r in 0..256 {
+            data[r * 256] = 0.0;
+        }
+        let f = zero_fraction(&data);
+        assert!(f < 0.1, "dense matrix with one zero column probed as {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(2, 2);
+        matmul_into(&mut out, &a, &b);
+    }
+}

@@ -10,6 +10,9 @@
 //! operation set the paper's architecture needs:
 //!
 //! * [`Matrix`] — plain row-major `f32` storage,
+//! * [`kernels`] — blocked/packed matmul micro-kernels (`A·B`, `A·Bᵀ`,
+//!   `Aᵀ·B`) with `_into` variants writing caller-provided scratch,
+//! * [`pool`] — the scoped-thread work pool behind every parallel hot path,
 //! * [`Tape`]/[`Var`] — define-by-run reverse-mode autograd,
 //! * fused `softmax_rows` / `layer_norm` kernels,
 //! * [`ParamStore`] — persistent parameters re-bound to each fresh tape,
@@ -32,13 +35,16 @@
 pub mod grad_check;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
 pub mod param;
+pub mod pool;
 pub mod tape;
 
 pub use grad_check::{grad_check, GradCheckReport};
+pub use kernels::matmul_naive;
 pub use matrix::Matrix;
 pub use ops::scaled_dot_attention;
 pub use optim::{Adam, Optimizer, Sgd};

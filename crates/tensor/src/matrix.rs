@@ -29,12 +29,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -157,30 +165,37 @@ impl Matrix {
 
     /// Matrix product `self * other`, shapes `(n,m) x (m,p) -> (n,p)`.
     ///
-    /// Uses the cache-friendly i-k-j loop ordering; at the model sizes used
-    /// in this workspace (tens to a few hundred per side) this outperforms
-    /// naive i-j-k by avoiding strided reads of `other`.
+    /// Dispatches to the blocked/packed kernel layer in
+    /// [`crate::kernels`]: register-tiled micro-kernel for dense operands,
+    /// a skip-zero path when a density probe finds the left operand mostly
+    /// zero, and row-band parallelism over the [`crate::pool`] workers for
+    /// large products.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions differ ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let (n, m, p) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, p);
-        for i in 0..n {
-            let a_row = &self.data[i * m..(i + 1) * m];
-            let o_row = &mut out.data[i * p..(i + 1) * p];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * p..(k + 1) * p];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        crate::kernels::matmul_into(&mut out, self, other);
+        out
+    }
+
+    /// Matrix product written into caller-provided storage (overwritten),
+    /// avoiding the per-op allocation of [`Matrix::matmul`]. `out` must be
+    /// `(self.rows, other.cols)`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_into(out, self, other);
+    }
+
+    /// `self * otherᵀ` without materializing the transpose, shapes
+    /// `(n,m) x (p,m) -> (n,p)`.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        crate::kernels::matmul_nt_into(&mut out, self, other);
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose, shapes
+    /// `(m,n) x (m,p) -> (n,p)`.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        crate::kernels::matmul_tn_into(&mut out, self, other);
         out
     }
 
@@ -229,7 +244,11 @@ impl Matrix {
 
     /// `self += alpha * other` elementwise (axpy).
     pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
@@ -289,8 +308,7 @@ impl Matrix {
             let mut offset = 0;
             for p in parts {
                 assert_eq!(p.rows, rows, "concat_cols: row mismatch");
-                out.data[r * cols + offset..r * cols + offset + p.cols]
-                    .copy_from_slice(p.row(r));
+                out.data[r * cols + offset..r * cols + offset + p.cols].copy_from_slice(p.row(r));
                 offset += p.cols;
             }
         }
@@ -299,7 +317,10 @@ impl Matrix {
 
     /// Copies rows `[r0, r1)` into a new matrix.
     pub fn slice_rows(&self, r0: usize, r1: usize) -> Matrix {
-        assert!(r0 <= r1 && r1 <= self.rows, "slice_rows: range out of bounds");
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "slice_rows: range out of bounds"
+        );
         Matrix {
             rows: r1 - r0,
             cols: self.cols,
@@ -309,7 +330,11 @@ impl Matrix {
 
     /// Reshapes in place (element count must match).
     pub fn reshape(mut self, rows: usize, cols: usize) -> Matrix {
-        assert_eq!(rows * cols, self.data.len(), "reshape: element count mismatch");
+        assert_eq!(
+            rows * cols,
+            self.data.len(),
+            "reshape: element count mismatch"
+        );
         self.rows = rows;
         self.cols = cols;
         self

@@ -9,7 +9,10 @@ use crate::tape::Var;
 
 impl Var {
     fn assert_same_tape(&self, other: &Var, op: &str) {
-        assert!(self.same_tape(other), "{op}: operands live on different tapes");
+        assert!(
+            self.same_tape(other),
+            "{op}: operands live on different tapes"
+        );
     }
 
     /// Elementwise addition.
@@ -144,8 +147,74 @@ impl Var {
         self.tape.push(
             out,
             Some(Box::new(move |g, sink| {
-                sink(ai, g.matmul(&b.transpose()));
-                sink(bi, a.transpose().matmul(g));
+                // dA = G·Bᵀ, dB = Aᵀ·G — layout-aware kernels, no
+                // transpose materialization.
+                sink(ai, g.matmul_nt(&b));
+                sink(bi, a.matmul_tn(g));
+            })),
+        )
+    }
+
+    /// Matrix product against a transposed right operand:
+    /// `self (n,m) · otherᵀ (m,p) -> (n,p)` with `other: (p,m)`.
+    ///
+    /// Equivalent to `self.matmul(&other.transpose_var())` but skips the
+    /// transpose node and its materialized value — this is the hot scoring
+    /// shape (`Q·Kᵀ`) in every attention block and the HCMAN matcher.
+    pub fn matmul_nt(&self, other: &Var) -> Var {
+        self.assert_same_tape(other, "matmul_nt");
+        let a = self.value();
+        let b = other.value();
+        let out = a.matmul_nt(&b);
+        let (ai, bi) = (self.idx, other.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g, sink| {
+                // out = A·Bᵀ  ⇒  dA = G·B, dB = Gᵀ·A.
+                sink(ai, g.matmul(&b));
+                sink(bi, g.matmul_tn(&a));
+            })),
+        )
+    }
+
+    /// Fused affine transform `self·w (+ bias)` as a single tape node.
+    ///
+    /// `self: (n,k)`, `w: (k,d)`, `bias: (1,d)`. Compared with
+    /// `matmul` + `add_row_broadcast` this records one node instead of two
+    /// and writes the bias in place instead of cloning the product — the
+    /// per-op allocation that dominated `Linear::forward`.
+    pub fn affine(&self, w: &Var, bias: Option<&Var>) -> Var {
+        self.assert_same_tape(w, "affine");
+        let x = self.value();
+        let wv = w.value();
+        let mut out = Matrix::zeros(x.rows(), wv.cols());
+        x.matmul_into(&wv, &mut out);
+        let bias_idx = bias.map(|b| {
+            self.assert_same_tape(b, "affine");
+            let bv = b.value();
+            assert_eq!(bv.shape(), (1, wv.cols()), "affine: bias must be 1xD");
+            for r in 0..out.rows() {
+                for (o, &bb) in out.row_mut(r).iter_mut().zip(bv.as_slice()) {
+                    *o += bb;
+                }
+            }
+            b.idx
+        });
+        let (xi, wi) = (self.idx, w.idx);
+        self.tape.push(
+            out,
+            Some(Box::new(move |g, sink| {
+                sink(xi, g.matmul_nt(&wv));
+                sink(wi, x.matmul_tn(g));
+                if let Some(bidx) = bias_idx {
+                    let mut db = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (d, &gg) in db.as_mut_slice().iter_mut().zip(g.row(r)) {
+                            *d += gg;
+                        }
+                    }
+                    sink(bidx, db);
+                }
             })),
         )
     }
@@ -366,14 +435,14 @@ impl Var {
         let mut xhat = Matrix::zeros(rows, cols);
         let mut inv_std = vec![0.0f32; rows];
         let mut out = Matrix::zeros(rows, cols);
-        for r in 0..rows {
+        for (r, istd_slot) in inv_std.iter_mut().enumerate() {
             let row = x.row(r);
             let mean = row.iter().sum::<f32>() / cols as f32;
             let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for c in 0..cols {
-                let xh = (row[c] - mean) * istd;
+            *istd_slot = istd;
+            for (c, &xv) in row.iter().enumerate() {
+                let xh = (xv - mean) * istd;
                 xhat.set(r, c, xh);
                 out.set(r, c, gm.get(0, c) * xh + bt.get(0, c));
             }
@@ -386,7 +455,7 @@ impl Var {
                 let mut dgamma = Matrix::zeros(1, cols);
                 let mut dbeta = Matrix::zeros(1, cols);
                 let n = cols as f32;
-                for r in 0..rows {
+                for (r, &istd) in inv_std.iter().enumerate() {
                     let gr = g.row(r);
                     let xhr = xhat.row(r);
                     // dxhat_c = g_c * gamma_c
@@ -396,12 +465,10 @@ impl Var {
                         .map(|(c, &gg)| gg * gm.get(0, c))
                         .collect();
                     let sum_dxhat: f32 = dxhat.iter().sum();
-                    let sum_dxhat_xhat: f32 =
-                        dxhat.iter().zip(xhr).map(|(&d, &xh)| d * xh).sum();
+                    let sum_dxhat_xhat: f32 = dxhat.iter().zip(xhr).map(|(&d, &xh)| d * xh).sum();
                     for c in 0..cols {
-                        let term =
-                            n * dxhat[c] - sum_dxhat - xhr[c] * sum_dxhat_xhat;
-                        dx.set(r, c, inv_std[r] / n * term);
+                        let term = n * dxhat[c] - sum_dxhat - xhr[c] * sum_dxhat_xhat;
+                        dx.set(r, c, istd / n * term);
                         dgamma.as_mut_slice()[c] += gr[c] * xhr[c];
                         dbeta.as_mut_slice()[c] += gr[c];
                     }
@@ -500,7 +567,7 @@ impl Var {
 /// Also returns the attention weights node for inspection.
 pub fn scaled_dot_attention(q: &Var, k: &Var, v: &Var) -> (Var, Var) {
     let d = q.shape().1 as f32;
-    let scores = q.matmul(&k.transpose_var()).scale(1.0 / d.sqrt());
+    let scores = q.matmul_nt(k).scale(1.0 / d.sqrt());
     let weights = scores.softmax_rows();
     (weights.matmul(v), weights)
 }
@@ -551,6 +618,58 @@ mod tests {
     }
 
     #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let t = Tape::new();
+        let a = leaf(&t, 2, 3, vec![1.0, -2.0, 3.0, 0.5, 1.5, -0.5]);
+        let b = leaf(&t, 4, 3, (0..12).map(|i| i as f32 * 0.25 - 1.0).collect());
+        let fused = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose_var());
+        assert_eq!(fused.value(), explicit.value());
+        let loss = fused.square().sum_all();
+        t.backward(&loss);
+        assert_eq!(a.grad().unwrap().shape(), (2, 3));
+        assert_eq!(b.grad().unwrap().shape(), (4, 3));
+    }
+
+    #[test]
+    fn affine_matches_matmul_plus_broadcast() {
+        let t = Tape::new();
+        let x = leaf(&t, 3, 2, vec![1.0, 2.0, -1.0, 0.5, 0.0, 3.0]);
+        let w = leaf(&t, 2, 4, (0..8).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let b = leaf(&t, 1, 4, vec![0.1, -0.2, 0.3, -0.4]);
+        let fused = x.affine(&w, Some(&b));
+        let explicit = x.matmul(&w).add_row_broadcast(&b);
+        assert_eq!(fused.value(), explicit.value());
+        let loss = fused.square().sum_all();
+        t.backward(&loss);
+        let gx = x.grad().unwrap();
+        let gw = w.grad().unwrap();
+        let gb = b.grad().unwrap();
+        // Cross-check against the unfused graph on a fresh tape.
+        let t2 = Tape::new();
+        let x2 = t2.leaf(x.value());
+        let w2 = t2.leaf(w.value());
+        let b2 = t2.leaf(b.value());
+        let loss2 = x2.matmul(&w2).add_row_broadcast(&b2).square().sum_all();
+        t2.backward(&loss2);
+        assert_eq!(gx, x2.grad().unwrap());
+        assert_eq!(gw, w2.grad().unwrap());
+        assert_eq!(gb, b2.grad().unwrap());
+    }
+
+    #[test]
+    fn affine_without_bias() {
+        let t = Tape::new();
+        let x = leaf(&t, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = leaf(&t, 2, 2, vec![0.5, -0.5, 1.0, 1.5]);
+        let y = x.affine(&w, None);
+        assert_eq!(y.value(), x.value().matmul(&w.value()));
+        let loss = y.sum_all();
+        t.backward(&loss);
+        assert_eq!(w.grad().unwrap().shape(), (2, 2));
+    }
+
+    #[test]
     fn softmax_rows_sums_to_one() {
         let t = Tape::new();
         let a = leaf(&t, 2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
@@ -583,7 +702,12 @@ mod tests {
         let beta = leaf(&t, 1, 4, vec![0.0; 4]);
         let y = a.layer_norm(&gamma, &beta, 1e-5).value();
         let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -612,7 +736,10 @@ mod tests {
         let loss = cat.mul(&w).sum_all();
         t.backward(&loss);
         assert_eq!(a.grad().unwrap().as_slice(), &[1.0, 1000.0]);
-        assert_eq!(b.grad().unwrap().as_slice(), &[10.0, 100.0, 10000.0, 100000.0]);
+        assert_eq!(
+            b.grad().unwrap().as_slice(),
+            &[10.0, 100.0, 10000.0, 100000.0]
+        );
     }
 
     #[test]

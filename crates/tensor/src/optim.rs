@@ -32,12 +32,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, clip: 0.0 }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip: 0.0,
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, clip: 0.0 }
+        Sgd {
+            lr,
+            momentum,
+            clip: 0.0,
+        }
     }
 }
 
@@ -85,7 +93,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 1.0, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 1.0,
+            t: 0,
+        }
     }
 
     /// The paper's configuration: Adam, lr = 1e-6 (Sec. VII-B).

@@ -112,7 +112,11 @@ impl ParamStore {
         drop(inner);
         let mut sq_norm = 0.0f64;
         for g in acc.iter().flatten() {
-            sq_norm += g.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+            sq_norm += g
+                .as_slice()
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>();
         }
         let norm = (sq_norm as f32).sqrt();
         opt.begin_step();

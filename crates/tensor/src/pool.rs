@@ -1,0 +1,220 @@
+//! Scoped-thread work pool shared by every parallel hot path in the
+//! workspace: repository encoding, candidate scoring, ground-truth DTW
+//! matrices and row-blocked matmuls.
+//!
+//! The pool is deliberately structured around `std::thread::scope`: workers
+//! borrow their inputs directly (no `Arc`, no channels, no 'static bounds)
+//! and a panicking worker propagates at the scope boundary. Threads are
+//! spawned per call — for the coarse-grained work units here (encoding a
+//! table, scoring a candidate, one DTW row) spawn cost is noise, and scoped
+//! spawning keeps the API allocation- and lifetime-free.
+//!
+//! Thread count comes from `LCDD_THREADS` when set (useful for pinning
+//! benchmarks or forcing serial execution), otherwise from
+//! `available_parallelism`, capped at 16.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Hard ceiling on worker threads; beyond this the workloads in this
+/// workspace are memory-bound and extra threads only add contention.
+const MAX_THREADS: usize = 16;
+
+thread_local! {
+    /// Set inside pool workers so nested `par_*` calls run serial instead
+    /// of multiplying threads (e.g. per-query eval → per-candidate scoring
+    /// → row-blocked matmul would otherwise cube the thread count).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn detect_threads() -> usize {
+    if let Ok(v) = std::env::var("LCDD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, MAX_THREADS);
+        }
+    }
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(MAX_THREADS)
+}
+
+/// Number of worker threads the pool helpers will use from the current
+/// context (always 1 inside a pool worker — nesting stays serial).
+pub fn num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(detect_threads)
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Items are split into one contiguous chunk per worker. Falls back to a
+/// serial loop when the pool has a single thread or the input is small
+/// enough that spawn overhead would dominate.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`par_map`], additionally passing each item's index.
+pub fn par_map_indexed<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    let threads = num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let per = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut slots: &mut [Option<R>] = &mut out;
+        for (ci, chunk) in items.chunks(per).enumerate() {
+            let (head, tail) = slots.split_at_mut(chunk.len());
+            slots = tail;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                let base = ci * per;
+                for (j, (slot, item)) in head.iter_mut().zip(chunk).enumerate() {
+                    *slot = Some(f(base + j, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_map: worker skipped a slot"))
+        .collect()
+}
+
+/// Splits `items` into per-worker chunks and maps each chunk as a unit,
+/// concatenating results in order. Useful when per-item work is tiny and
+/// the closure wants to amortize setup across a chunk.
+pub fn par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(usize, &[T]) -> Vec<R> + Sync,
+) -> Vec<R> {
+    let threads = num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return f(0, items);
+    }
+    let per = items.len().div_ceil(threads);
+    let chunks: Vec<&[T]> = items.chunks(per).collect();
+    let results = par_map_indexed(&chunks, |ci, chunk| f(ci * per, chunk));
+    results.into_iter().flatten().collect()
+}
+
+/// Runs `f` over disjoint mutable chunks of `data` in parallel, passing the
+/// chunk's starting offset. Chunk boundaries fall on multiples of
+/// `chunk_len`; the final chunk may be shorter. This is the building block
+/// for row-blocked matmul, where each worker owns a band of output rows.
+pub fn par_chunks_mut<T: Send + Sync>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    let threads = num_threads();
+    if threads <= 1 || data.len() <= chunk_len {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                f(ci * chunk_len, chunk);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+        assert!(num_threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let mapped = par_map(&items, |&x| x * 2);
+        assert_eq!(mapped, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_gives_global_indices() {
+        let items: Vec<u32> = (0..100).collect();
+        let mapped = par_map_indexed(&items, |i, &x| (i, x));
+        for (i, &(gi, x)) in mapped.iter().enumerate() {
+            assert_eq!(gi, i);
+            assert_eq!(x as usize, i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_chunks(&items, |base, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| (base + j, x))
+                .collect()
+        });
+        assert_eq!(out.len(), 1000);
+        for (i, &(gi, x)) in out.iter().enumerate() {
+            assert_eq!(gi, i);
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut data = vec![0u64; 1003];
+        par_chunks_mut(&mut data, 100, |base, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (base + j) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn nested_par_map_is_correct_and_serial() {
+        let outer: Vec<usize> = (0..16).collect();
+        let out = par_map(&outer, |&x| {
+            // Inside a worker the pool must report a single thread so
+            // nesting cannot multiply spawn counts.
+            if std::thread::current().name().is_none() {
+                assert_eq!(num_threads(), 1);
+            }
+            par_map(&[1usize, 2, 3], |&y| y * x).iter().sum::<usize>()
+        });
+        assert_eq!(out, outer.iter().map(|&x| 6 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_match_serial_reference() {
+        let items: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+        let serial: Vec<f64> = items.iter().map(|&x| x.sin() * x).collect();
+        assert_eq!(par_map(&items, |&x| x.sin() * x), serial);
+    }
+}

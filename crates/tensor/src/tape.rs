@@ -66,7 +66,10 @@ impl Tape {
         let mut inner = self.inner.borrow_mut();
         let idx = inner.nodes.len();
         inner.nodes.push(Node { value, backward });
-        Var { tape: self.clone(), idx }
+        Var {
+            tape: self.clone(),
+            idx,
+        }
     }
 
     pub(crate) fn record_binding(&self, param_id: usize, node_idx: usize) {
@@ -95,7 +98,9 @@ impl Tape {
         // The tape is already in topological order: parents always precede
         // children, so a single reverse sweep suffices.
         for idx in (0..=root.idx).rev() {
-            let Some(grad_out) = grads[idx].take() else { continue };
+            let Some(grad_out) = grads[idx].take() else {
+                continue;
+            };
             // Put it back for later inspection via Var::grad().
             grads[idx] = Some(grad_out.clone());
             if let Some(backward) = inner.nodes[idx].backward.as_ref() {

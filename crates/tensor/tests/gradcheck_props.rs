@@ -41,6 +41,25 @@ proptest! {
     }
 
     #[test]
+    fn grad_matmul_nt(a in small_vals(6), b in small_vals(8)) {
+        let am = Matrix::from_vec(3, 2, a);
+        let bm = Matrix::from_vec(4, 2, b);
+        let r = grad_check(&[am, bm], H, |_t, v| v[0].matmul_nt(&v[1]).square().sum_all());
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
+    fn grad_affine(x in small_vals(6), w in small_vals(8), b in small_vals(4)) {
+        let xm = Matrix::from_vec(3, 2, x);
+        let wm = Matrix::from_vec(2, 4, w);
+        let bm = Matrix::from_vec(1, 4, b);
+        let r = grad_check(&[xm, wm, bm], H, |_t, v| {
+            v[0].affine(&v[1], Some(&v[2])).square().sum_all()
+        });
+        prop_assert!(r.passes(ABS_TOL, REL_TOL), "{r:?}");
+    }
+
+    #[test]
     fn grad_transpose_chain(a in small_vals(6)) {
         let am = Matrix::from_vec(2, 3, a);
         let r = grad_check(&[am], H, |_t, v| {
@@ -143,7 +162,13 @@ proptest! {
 fn composite_two_layer_network_gradcheck() {
     // A small end-to-end MLP: x -> xW1+b1 -> leaky_relu -> W2 -> sigmoid -> bce
     let x = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.6, -0.1, 0.3, 0.5]);
-    let w1 = Matrix::from_vec(3, 4, (0..12).map(|i| ((i * 7 % 11) as f32 - 5.0) / 10.0).collect());
+    let w1 = Matrix::from_vec(
+        3,
+        4,
+        (0..12)
+            .map(|i| ((i * 7 % 11) as f32 - 5.0) / 10.0)
+            .collect(),
+    );
     let b1 = Matrix::from_vec(1, 4, vec![0.05, -0.05, 0.1, 0.0]);
     let w2 = Matrix::from_vec(4, 1, vec![0.3, -0.2, 0.5, 0.1]);
     let r = grad_check(&[x, w1, b1, w2], 1e-3, |_t, v| {

@@ -70,7 +70,11 @@ pub fn separate_line_instances(
 
 /// 4-connected components over an arbitrary boolean grid; returns one list
 /// of `(x, y)` per component. Used for glyph/box grouping in tick decoding.
-pub fn connected_components(width: usize, height: usize, is_set: impl Fn(usize, usize) -> bool) -> Vec<Vec<(usize, usize)>> {
+pub fn connected_components(
+    width: usize,
+    height: usize,
+    is_set: impl Fn(usize, usize) -> bool,
+) -> Vec<Vec<(usize, usize)>> {
     let mut visited = vec![false; width * height];
     let mut out = Vec::new();
     for sy in 0..height {
@@ -139,7 +143,7 @@ mod tests {
     #[test]
     fn components_split_disconnected_blobs() {
         // Two separate 2x1 blobs.
-        let set = |x: usize, y: usize| (y == 0 && x < 2) || (y == 2 && x >= 4 && x < 6);
+        let set = |x: usize, y: usize| (y == 0 && x < 2) || (y == 2 && (4..6).contains(&x));
         let comps = connected_components(8, 4, set);
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].len(), 2);

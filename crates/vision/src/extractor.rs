@@ -115,11 +115,19 @@ fn extract_from_map(image: &RgbImage, class_map: &[u8]) -> ExtractedChart {
                 // Without ticks, report rows flipped so larger = higher.
                 None => rows.iter().map(|&r| h as f64 - 1.0 - r).collect(),
             };
-            Some(ExtractedLine { image: line_image(inst, w, h), trace_rows: rows, values })
+            Some(ExtractedLine {
+                image: line_image(inst, w, h),
+                trace_rows: rows,
+                values,
+            })
         })
         .collect();
 
-    ExtractedChart { y_range: ticks.as_ref().map(TickInfo::y_range), lines, ticks }
+    ExtractedChart {
+        y_range: ticks.as_ref().map(TickInfo::y_range),
+        lines,
+        ticks,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +140,12 @@ mod tests {
         let data = UnderlyingData {
             series: vec![
                 DataSeries::new("up", (0..100).map(|i| i as f64 * 0.5).collect()),
-                DataSeries::new("wave", (0..100).map(|i| 25.0 + 20.0 * (i as f64 / 9.0).sin()).collect()),
+                DataSeries::new(
+                    "wave",
+                    (0..100)
+                        .map(|i| 25.0 + 20.0 * (i as f64 / 9.0).sin())
+                        .collect(),
+                ),
             ],
         };
         render(&data, &ChartStyle::default())
@@ -169,9 +182,7 @@ mod tests {
         let chart = two_line_chart();
         let ex = VisualElementExtractor::oracle().extract(&chart);
         let overlap: usize = (0..ex.lines[0].image.pixels().len())
-            .filter(|&i| {
-                ex.lines[0].image.pixels()[i] > 0.5 && ex.lines[1].image.pixels()[i] > 0.5
-            })
+            .filter(|&i| ex.lines[0].image.pixels()[i] > 0.5 && ex.lines[1].image.pixels()[i] > 0.5)
             .count();
         assert_eq!(overlap, 0, "per-line images must not share ink");
     }

@@ -79,7 +79,14 @@ impl FeaturePlanes {
                 }
             }
         }
-        FeaturePlanes { width: w, height: h, rgb, luma, h_run, v_run }
+        FeaturePlanes {
+            width: w,
+            height: h,
+            rgb,
+            luma,
+            h_run,
+            v_run,
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -104,10 +111,22 @@ impl FeaturePlanes {
         let luma = self.luma.get(x, y);
         let sat = r.max(g).max(b) - r.min(g).min(b);
         let mut dark_neighbors = 0.0;
-        for (dx, dy) in [(-1i32, 0i32), (1, 0), (0, -1), (0, 1), (-1, -1), (1, 1), (-1, 1), (1, -1)] {
+        for (dx, dy) in [
+            (-1i32, 0i32),
+            (1, 0),
+            (0, -1),
+            (0, 1),
+            (-1, -1),
+            (1, 1),
+            (-1, 1),
+            (1, -1),
+        ] {
             let nx = x as i32 + dx;
             let ny = y as i32 + dy;
-            if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
+            if nx >= 0
+                && ny >= 0
+                && (nx as usize) < self.width
+                && (ny as usize) < self.height
                 && self.is_ink(nx as usize, ny as usize)
             {
                 dark_neighbors += 1.0;
@@ -165,7 +184,10 @@ mod tests {
         let planes = FeaturePlanes::compute(&image_with_strokes());
         let line = planes.features(10, 4);
         let axis = planes.features(10, 8);
-        assert!(line[4] > axis[4], "coloured line pixels have higher saturation");
+        assert!(
+            line[4] > axis[4],
+            "coloured line pixels have higher saturation"
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub struct LcsegConfig {
 
 impl Default for LcsegConfig {
     fn default() -> Self {
-        LcsegConfig { pixels_per_example: 160, epochs: 6, lr: 0.5, seed: 0xc1a55 }
+        LcsegConfig {
+            pixels_per_example: 160,
+            epochs: 6,
+            lr: 0.5,
+            seed: 0xc1a55,
+        }
     }
 }
 
@@ -199,7 +204,11 @@ mod tests {
     use lcdd_table::{build_corpus, CorpusConfig};
 
     fn small_dataset() -> Vec<SegExample> {
-        let cfg = CorpusConfig { n_records: 6, near_duplicate_rate: 0.0, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 6,
+            near_duplicate_rate: 0.0,
+            ..Default::default()
+        };
         build_linechartseg(&build_corpus(&cfg), &ChartStyle::default(), 1, 3)
     }
 

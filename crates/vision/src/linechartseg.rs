@@ -29,12 +29,16 @@ pub fn build_linechartseg(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(records.len() * (1 + augment_per_record));
     for record in records {
-        out.push(SegExample { chart: render_record(&record.table, &record.spec, style) });
+        out.push(SegExample {
+            chart: render_record(&record.table, &record.spec, style),
+        });
         for _ in 0..augment_per_record {
             let table = random_augment(&record.table, &mut rng);
             // Augmentations can shrink tables below the spec's columns only
             // by rows, never columns, so the spec stays valid.
-            out.push(SegExample { chart: render_record(&table, &record.spec, style) });
+            out.push(SegExample {
+                chart: render_record(&table, &record.spec, style),
+            });
         }
     }
     out
@@ -47,7 +51,11 @@ mod tests {
 
     #[test]
     fn builds_expected_count_with_augmentation() {
-        let cfg = CorpusConfig { n_records: 6, near_duplicate_rate: 0.0, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 6,
+            near_duplicate_rate: 0.0,
+            ..Default::default()
+        };
         let records = build_corpus(&cfg);
         let ds = build_linechartseg(&records, &ChartStyle::default(), 2, 1);
         assert_eq!(ds.len(), 18);
@@ -55,18 +63,29 @@ mod tests {
 
     #[test]
     fn masks_align_with_images() {
-        let cfg = CorpusConfig { n_records: 3, near_duplicate_rate: 0.0, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 3,
+            near_duplicate_rate: 0.0,
+            ..Default::default()
+        };
         let records = build_corpus(&cfg);
         for ex in build_linechartseg(&records, &ChartStyle::default(), 1, 2) {
             assert_eq!(ex.chart.image.width(), ex.chart.mask.width());
             assert_eq!(ex.chart.image.height(), ex.chart.mask.height());
-            assert!(!ex.chart.mask.line_ids().is_empty(), "every chart draws lines");
+            assert!(
+                !ex.chart.mask.line_ids().is_empty(),
+                "every chart draws lines"
+            );
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = CorpusConfig { n_records: 2, near_duplicate_rate: 0.0, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_records: 2,
+            near_duplicate_rate: 0.0,
+            ..Default::default()
+        };
         let records = build_corpus(&cfg);
         let a = build_linechartseg(&records, &ChartStyle::default(), 2, 9);
         let b = build_linechartseg(&records, &ChartStyle::default(), 2, 9);

@@ -45,7 +45,9 @@ pub fn find_spine(class_map: &[u8], width: usize, height: usize) -> Option<(usiz
     let mut best_x = 0usize;
     let mut best_count = 0usize;
     for x in 0..width {
-        let count = (0..height).filter(|&y| class_map[y * width + x] == 1).count();
+        let count = (0..height)
+            .filter(|&y| class_map[y * width + x] == 1)
+            .count();
         if count > best_count {
             best_count = count;
             best_x = x;
@@ -54,7 +56,9 @@ pub fn find_spine(class_map: &[u8], width: usize, height: usize) -> Option<(usiz
     if best_count < 8 {
         return None;
     }
-    let ys: Vec<usize> = (0..height).filter(|&y| class_map[y * width + best_x] == 1).collect();
+    let ys: Vec<usize> = (0..height)
+        .filter(|&y| class_map[y * width + best_x] == 1)
+        .collect();
     Some((best_x, *ys.first().unwrap(), *ys.last().unwrap()))
 }
 
@@ -99,10 +103,12 @@ fn decode_band(img: &RgbImage, x_limit: usize, y0: usize, y1: usize) -> Option<(
         }
         // Template match against the font.
         let mut best: Option<(char, usize)> = None;
-        for ch in ['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '-', '.', 'e', '+'] {
+        for ch in [
+            '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '-', '.', 'e', '+',
+        ] {
             let g = glyph(ch).unwrap();
             let agree = g.iter().zip(cell.iter()).filter(|(a, b)| a == b).count();
-            if best.map_or(true, |(_, s)| agree > s) {
+            if best.is_none_or(|(_, s)| agree > s) {
                 best = Some((ch, agree));
             }
         }
@@ -178,7 +184,14 @@ pub fn decode_ticks(
     let a = (n * sxy - sx * sy) / denom;
     let b = (sy - a * sx) / n;
 
-    Some(TickInfo { spine_x, spine_top, spine_bottom, ticks, a, b })
+    Some(TickInfo {
+        spine_x,
+        spine_top,
+        spine_bottom,
+        ticks,
+        a,
+        b,
+    })
 }
 
 #[cfg(test)]
@@ -198,7 +211,9 @@ mod tests {
     }
 
     fn chart_for(values: Vec<f64>) -> lcdd_chart::Chart {
-        let data = UnderlyingData { series: vec![DataSeries::new("s", values)] };
+        let data = UnderlyingData {
+            series: vec![DataSeries::new("s", values)],
+        };
         render(&data, &ChartStyle::default())
     }
 
@@ -206,35 +221,65 @@ mod tests {
     fn decodes_range_of_simple_chart() {
         let chart = chart_for((0..100).map(|i| i as f64).collect());
         let map = oracle_map(&chart);
-        let info =
-            decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height()).unwrap();
+        let info = decode_ticks(
+            &chart.image,
+            &map,
+            chart.image.width(),
+            chart.image.height(),
+        )
+        .unwrap();
         let (lo, hi) = info.y_range();
         // True plot range is meta.y_lo..meta.y_hi.
         let span = chart.meta.y_hi - chart.meta.y_lo;
-        assert!((lo - chart.meta.y_lo).abs() < span * 0.1, "lo {lo} vs {}", chart.meta.y_lo);
-        assert!((hi - chart.meta.y_hi).abs() < span * 0.1, "hi {hi} vs {}", chart.meta.y_hi);
+        assert!(
+            (lo - chart.meta.y_lo).abs() < span * 0.1,
+            "lo {lo} vs {}",
+            chart.meta.y_lo
+        );
+        assert!(
+            (hi - chart.meta.y_hi).abs() < span * 0.1,
+            "hi {hi} vs {}",
+            chart.meta.y_hi
+        );
     }
 
     #[test]
     fn decodes_negative_ranges() {
         let chart = chart_for((0..80).map(|i| -40.0 + i as f64).collect());
         let map = oracle_map(&chart);
-        let info =
-            decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height()).unwrap();
+        let info = decode_ticks(
+            &chart.image,
+            &map,
+            chart.image.width(),
+            chart.image.height(),
+        )
+        .unwrap();
         let (lo, hi) = info.y_range();
-        assert!(lo < 0.0 && hi > 0.0, "range ({lo}, {hi}) should straddle zero");
+        assert!(
+            lo < 0.0 && hi > 0.0,
+            "range ({lo}, {hi}) should straddle zero"
+        );
     }
 
     #[test]
     fn tick_values_match_meta_ticks() {
         let chart = chart_for((0..60).map(|i| (i as f64 / 8.0).sin() * 12.0).collect());
         let map = oracle_map(&chart);
-        let info =
-            decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height()).unwrap();
+        let info = decode_ticks(
+            &chart.image,
+            &map,
+            chart.image.width(),
+            chart.image.height(),
+        )
+        .unwrap();
         // Every decoded value must appear among the true tick values.
         for &(_, v) in &info.ticks {
             assert!(
-                chart.meta.ticks.iter().any(|&t| (t - v).abs() < 1e-6 + t.abs() * 0.01),
+                chart
+                    .meta
+                    .ticks
+                    .iter()
+                    .any(|&t| (t - v).abs() < 1e-6 + t.abs() * 0.01),
                 "decoded {v} not among {:?}",
                 chart.meta.ticks
             );
@@ -246,8 +291,7 @@ mod tests {
     fn spine_found_at_plot_left() {
         let chart = chart_for((0..50).map(|i| i as f64).collect());
         let map = oracle_map(&chart);
-        let (x, top, bottom) =
-            find_spine(&map, chart.image.width(), chart.image.height()).unwrap();
+        let (x, top, bottom) = find_spine(&map, chart.image.width(), chart.image.height()).unwrap();
         let (px0, py0, _, py1) = chart.meta.plot;
         assert_eq!(x, px0 - 1);
         assert!(top <= py0 + 1);
@@ -259,11 +303,19 @@ mod tests {
         let data = UnderlyingData {
             series: vec![DataSeries::new("s", (0..50).map(|i| i as f64).collect())],
         };
-        let style = ChartStyle { draw_axes: false, ..Default::default() };
+        let style = ChartStyle {
+            draw_axes: false,
+            ..Default::default()
+        };
         let chart = render(&data, &style);
         let map = oracle_map(&chart);
         assert!(chart.mask.count(ElementClass::Axis) == 0);
-        assert!(decode_ticks(&chart.image, &map, chart.image.width(), chart.image.height())
-            .is_none());
+        assert!(decode_ticks(
+            &chart.image,
+            &map,
+            chart.image.width(),
+            chart.image.height()
+        )
+        .is_none());
     }
 }

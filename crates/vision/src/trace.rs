@@ -66,7 +66,10 @@ mod tests {
     use super::*;
 
     fn instance(pixels: Vec<(usize, usize)>) -> LineInstance {
-        LineInstance { pixels, color: (0, 0, 0) }
+        LineInstance {
+            pixels,
+            color: (0, 0, 0),
+        }
     }
 
     #[test]

@@ -18,7 +18,11 @@ fn main() {
 
     // Daily sales for a year.
     let daily = generate(&mut rng, SeriesFamily::TrendSeason, 360, 400.0, 2500.0);
-    let table = Table::new(0, "daily_sales", vec![Column::new("revenue", daily.clone())]);
+    let table = Table::new(
+        0,
+        "daily_sales",
+        vec![Column::new("revenue", daily.clone())],
+    );
 
     // The analyst charts *monthly totals*: sum aggregation, window 30.
     let spec = VisSpec::aggregated(vec![0], AggOp::Sum, 30);
@@ -31,7 +35,10 @@ fn main() {
 
     // The distribution shift the paper's Sec. V targets: a sum over 30 days
     // lives on a ~30x larger scale than the daily data.
-    let (dlo, dhi) = (table.columns[0].min().unwrap(), table.columns[0].max().unwrap());
+    let (dlo, dhi) = (
+        table.columns[0].min().unwrap(),
+        table.columns[0].max().unwrap(),
+    );
     let (mlo, mhi) = monthly.y_range().unwrap();
     println!("daily range   [{dlo:.0}, {dhi:.0}]");
     println!("monthly range [{mlo:.0}, {mhi:.0}]  <- ~30x shift");
@@ -59,8 +66,14 @@ fn main() {
         "\nchart y range [{:.0}, {:.0}]; raw column range [{dlo:.0}, {dhi:.0}]; index interval [{ilo:.0}, {ihi:.0}]",
         chart.meta.y_lo, chart.meta.y_hi
     );
-    assert!(chart.meta.y_lo > dhi, "aggregated chart exceeds the raw range");
-    assert!(ihi >= chart.meta.y_hi, "the [min, sum] interval covers the aggregated chart");
+    assert!(
+        chart.meta.y_lo > dhi,
+        "aggregated chart exceeds the raw range"
+    );
+    assert!(
+        ihi >= chart.meta.y_hi,
+        "the [min, sum] interval covers the aggregated chart"
+    );
 
     // The DA-aware model configuration handles this shift with five
     // transformation experts, HMRL multi-scale fusion and a MoE gate.

@@ -20,7 +20,11 @@ fn main() {
     let mut lake: Vec<Table> = Vec::new();
     for p in 0..30 {
         let ecg = generate(&mut rng, SeriesFamily::EcgLike, 300, 1.2, 0.0);
-        lake.push(Table::new(p, format!("patient_{p:02}_ecg"), vec![Column::new("mV", ecg)]));
+        lake.push(Table::new(
+            p,
+            format!("patient_{p:02}_ecg"),
+            vec![Column::new("mV", ecg)],
+        ));
     }
     for v in 0..20 {
         let vitals = generate(&mut rng, SeriesFamily::Ar1, 300, 8.0, 80.0);
@@ -46,8 +50,10 @@ fn main() {
     // Hybrid index: the interval stage alone prunes the vitals tables whose
     // value ranges (~60-100 bpm) cannot have produced a millivolt chart.
     let dim = 8;
-    let dummy_embs: Vec<Vec<Vec<f32>>> =
-        lake.iter().map(|t| vec![vec![0.1; dim]; t.num_cols()]).collect();
+    let dummy_embs: Vec<Vec<Vec<f32>>> = lake
+        .iter()
+        .map(|t| vec![vec![0.1; dim]; t.num_cols()])
+        .collect();
     let index = HybridIndex::build(&lake, &dummy_embs, dim, HybridConfig::default());
     let candidates = index.candidates(IndexStrategy::IntervalOnly, extracted.y_range, &[]);
     println!(
@@ -55,8 +61,14 @@ fn main() {
         candidates.len(),
         lake.len()
     );
-    assert!(candidates.len() < lake.len(), "pruning should drop out-of-range tables");
-    assert!(candidates.contains(&12), "the true patient must survive pruning");
+    assert!(
+        candidates.len() < lake.len(),
+        "pruning should drop out-of-range tables"
+    );
+    assert!(
+        candidates.contains(&12),
+        "the true patient must survive pruning"
+    );
 
     // Rank survivors by DTW shape relevance of the extracted trace.
     let q = UnderlyingData {
@@ -65,7 +77,12 @@ fn main() {
     let rel_cfg = linechart_discovery::relevance::RelevanceConfig::default();
     let mut scored: Vec<(usize, f64)> = candidates
         .iter()
-        .map(|&i| (i, linechart_discovery::relevance::rel_score(&q, &lake[i], &rel_cfg)))
+        .map(|&i| {
+            (
+                i,
+                linechart_discovery::relevance::rel_score(&q, &lake[i], &rel_cfg),
+            )
+        })
         .collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\nmost similar recordings:");

@@ -6,16 +6,19 @@
 //! Run with: `cargo run --release --example journalism_fact_check`
 
 use linechart_discovery::baselines::QueryInput;
-use linechart_discovery::chart::{render, pgm, ChartStyle};
+use linechart_discovery::chart::{pgm, render, ChartStyle};
+use linechart_discovery::relevance::{rel_score, RelevanceConfig};
 use linechart_discovery::table::series::{DataSeries, UnderlyingData};
+use linechart_discovery::table::Table;
 use linechart_discovery::table::{build_corpus, CorpusConfig};
 use linechart_discovery::vision::{build_linechartseg, Lcseg, LcsegConfig, VisualElementExtractor};
-use linechart_discovery::relevance::{rel_score, RelevanceConfig};
-use linechart_discovery::table::Table;
 
 fn main() {
     // The "data lake" of public datasets.
-    let corpus = build_corpus(&CorpusConfig { n_records: 60, ..Default::default() });
+    let corpus = build_corpus(&CorpusConfig {
+        n_records: 60,
+        ..Default::default()
+    });
     let style = ChartStyle::default();
 
     // Train the chart segmenter on rendered charts (LineChartSeg).
@@ -39,19 +42,30 @@ fn main() {
         extracted.lines.len(),
         extracted.y_range
     );
-    let query = QueryInput { image: article_chart.image.clone(), extracted };
+    let query = QueryInput {
+        image: article_chart.image.clone(),
+        extracted,
+    };
 
     // Shape-based scan of the lake with the ground-truth relevance metric
     // (DTW + bipartite matching) applied to the *extracted* line values —
     // the zero-training path a journalist could run today.
-    let lines: Vec<Vec<f64>> = query.extracted.lines.iter().map(|l| l.values.clone()).collect();
+    let lines: Vec<Vec<f64>> = query
+        .extracted
+        .lines
+        .iter()
+        .map(|l| l.values.clone())
+        .collect();
     let rel_cfg = RelevanceConfig::default();
     let mut scored: Vec<(usize, f64)> = corpus
         .iter()
         .enumerate()
         .map(|(i, r)| {
             let d = UnderlyingData {
-                series: lines.iter().map(|l| DataSeries::new("q", l.clone())).collect(),
+                series: lines
+                    .iter()
+                    .map(|l| DataSeries::new("q", l.clone()))
+                    .collect(),
             };
             (i, rel_score(&d, &r.table, &rel_cfg))
         })
@@ -60,7 +74,13 @@ fn main() {
     println!("\ntop-5 candidate source datasets:");
     for (rank, (i, s)) in scored.iter().take(5).enumerate() {
         let marker = if *i == 17 { "  <- the true source" } else { "" };
-        println!("  #{} {} (score {:.4}){}", rank + 1, table_name(&corpus[*i].table), s, marker);
+        println!(
+            "  #{} {} (score {:.4}){}",
+            rank + 1,
+            table_name(&corpus[*i].table),
+            s,
+            marker
+        );
     }
     assert_eq!(scored[0].0, 17, "the true source should rank first");
     println!("\nfact-check complete: the article's data source was recovered.");

@@ -28,11 +28,15 @@ fn main() {
     // 2. Train FCM on the train split.
     println!("training FCM ...");
     let mut model = FcmModel::new(FcmConfig::small());
-    let tc = TrainConfig { epochs: 8, ..Default::default() };
-    let report = linechart_discovery::benchmark::train_fcm_on(&bench, &mut model, &tc, |e, loss, _| {
-        println!("  epoch {e}: loss {loss:.3}");
-        0.0
-    });
+    let tc = TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
+    let report =
+        linechart_discovery::benchmark::train_fcm_on(&bench, &mut model, &tc, |e, loss, _| {
+            println!("  epoch {e}: loss {loss:.3}");
+            0.0
+        });
     let _ = report;
 
     // 3. Retrieve: rank the repository for the first query.
@@ -47,14 +51,21 @@ fn main() {
     // 4. Show the top-5 tables for one query.
     use linechart_discovery::baselines::DiscoveryMethod;
     let q = &bench.queries[0];
-    println!("\ntop-5 candidates for query 0 (true sources: {:?}):", q.relevant);
+    println!(
+        "\ntop-5 candidates for query 0 (true sources: {:?}):",
+        q.relevant
+    );
     for (rank, (ti, score)) in method.rank(&q.input, &bench.repo, 5).iter().enumerate() {
         println!(
             "  #{} table '{}' (score {:.3}){}",
             rank + 1,
             bench.repo[*ti].table.name,
             score,
-            if q.relevant.contains(ti) { "  <- relevant" } else { "" }
+            if q.relevant.contains(ti) {
+                "  <- relevant"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Refresh BENCH_kernels.json (kernel-layer perf trajectory) and optionally
+# run the full Criterion micro-benchmark suite.
+#
+# Usage:
+#   scripts/bench.sh            # kernel benches -> BENCH_kernels.json
+#   scripts/bench.sh --all      # also run `cargo bench` (microbench suite)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== kernel benches -> BENCH_kernels.json =="
+cargo run --release -p lcdd-bench --bin bench_kernels -- BENCH_kernels.json
+
+if [[ "${1:-}" == "--all" ]]; then
+    echo
+    echo "== criterion micro-benchmarks =="
+    cargo bench -p lcdd-bench
+fi

@@ -1,0 +1,256 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of `criterion` its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The measurement loop is deliberately simple — warm up, then run timed
+//! batches until a wall-clock budget is hit and report the fastest batch
+//! mean (the usual minimum-timing estimator; robust to scheduler noise) —
+//! with no plots, no statistics machinery and no disk state. Set
+//! `CRITERION_BUDGET_MS` to trade accuracy for wall-clock time
+//! (default 300 ms per benchmark).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Fastest batch mean observed, in ns/iter.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in batches, until the budget elapses.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in ~1/10 of the budget?
+        let probe_start = Instant::now();
+        black_box(routine());
+        let once = probe_start.elapsed().max(Duration::from_nanos(1));
+        let batch = ((self.budget.as_nanos() / 10 / once.as_nanos()).clamp(1, 1_000_000)) as u64;
+
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.budget;
+        let mut batches = 0u32;
+        while batches < 3 || Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(per_iter);
+            batches += 1;
+            if batches >= 10_000 {
+                break;
+            }
+        }
+        self.result_ns = best;
+    }
+}
+
+fn budget_from_env() -> Duration {
+    std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget-based loop does
+    /// not count samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher) -> O,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, O>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I) -> O,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a plain argument.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            budget: budget_from_env(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher) -> O,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = id.id.clone();
+        self.run_one(&full, f);
+        self
+    }
+
+    fn run_one<O>(&mut self, full_name: &str, mut f: impl FnMut(&mut Bencher) -> O) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            budget: self.budget,
+            result_ns: f64::NAN,
+        };
+        f(&mut bencher);
+        if bencher.result_ns.is_nan() {
+            println!("{full_name:<40} (no iter() call)");
+        } else {
+            println!(
+                "{full_name:<40} {:>12}/iter ({:.0} iters/s)",
+                human(bencher.result_ns),
+                1e9 / bencher.result_ns
+            );
+        }
+    }
+}
+
+/// Mirrors `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_BUDGET_MS", "20");
+        let mut c = Criterion {
+            budget: Duration::from_millis(20),
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of `proptest` its test suites use: range and collection
+//! strategies, tuple strategies, `proptest!` with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. Each test runs `cases` deterministic pseudo-random inputs
+//! (seeded from the test name, so failures reproduce across runs) and
+//! reports the first failing input verbatim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of test inputs. Upstream proptest separates strategies
+    /// from value trees to support shrinking; this shim generates directly.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_for_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// `Just` strategy: always yields a clone of the value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S` and length in `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything the `proptest!` macro and typical tests need in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+#[doc(hidden)]
+pub fn __run_cases<F: FnMut(&mut StdRng)>(test_name: &str, cases: u32, mut body: F) {
+    // Deterministic seed per test so failures reproduce without a
+    // persistence file; the case index advances the stream.
+    let mut seed = 0xcbf29ce484222325u64; // FNV-1a over the test name
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100000001b3);
+    }
+    for case in 0..cases as u64 {
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15)));
+        body(&mut rng);
+    }
+}
+
+/// Mirrors `proptest::proptest!`: a block of `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::__run_cases(stringify!($name), cfg.cases, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    // Report the failing input on panic, proptest-style.
+                    let __inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                        $(&$arg,)*
+                    );
+                    let __guard = $crate::__PanicContext::new(stringify!($name), __inputs);
+                    { $body }
+                    __guard.disarm();
+                });
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                #[test]
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[doc(hidden)]
+pub struct __PanicContext {
+    name: &'static str,
+    inputs: String,
+    armed: bool,
+}
+
+impl __PanicContext {
+    pub fn new(name: &'static str, inputs: String) -> Self {
+        __PanicContext {
+            name,
+            inputs,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for __PanicContext {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest case failed: {} with inputs:\n{}",
+                self.name, self.inputs
+            );
+        }
+    }
+}
+
+/// Mirrors `prop_assert!` (panics instead of returning `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_len_in_range(v in collection::vec(0.0f32..1.0, 1..6)) {
+            prop_assert!((1..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0.0..1.0).contains(&e)));
+        }
+
+        #[test]
+        fn tuple_elements(p in collection::vec((-5.0f64..5.0, 0.0f64..2.0), 0..4)) {
+            for (a, b) in p {
+                prop_assert!((-5.0..5.0).contains(&a));
+                prop_assert!((0.0..2.0).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::__run_cases("det", 5, |rng| {
+            first.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::__run_cases("det", 5, |rng| {
+            second.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+        });
+        assert_eq!(first, second);
+    }
+}
