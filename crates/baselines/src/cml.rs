@@ -177,7 +177,7 @@ impl Cml {
 }
 
 impl DiscoveryMethod for Cml {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "CML"
     }
 

@@ -60,7 +60,7 @@ impl DeLn {
 }
 
 impl DiscoveryMethod for DeLn {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "DE-LN"
     }
 
@@ -131,7 +131,7 @@ impl OptLn {
 }
 
 impl DiscoveryMethod for OptLn {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Opt-LN"
     }
 

@@ -23,8 +23,10 @@ pub struct RepoEntry {
 
 /// A dataset-discovery method: scores a query against a candidate.
 pub trait DiscoveryMethod: Sync {
-    /// Method name as it appears in the paper's tables.
-    fn name(&self) -> &'static str;
+    /// Method label as it appears in result tables. Borrowed from the
+    /// method (not `'static`) so configured variants — e.g.
+    /// "FCM+Hybrid k=10" — can carry runtime-built labels.
+    fn name(&self) -> &str;
 
     /// Called once before evaluation with the full repository; methods use
     /// it to build query-independent caches (table embeddings, rendered
@@ -56,7 +58,7 @@ mod tests {
 
     struct ById;
     impl DiscoveryMethod for ById {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "by-id"
         }
         fn score(&self, _q: &QueryInput, e: &RepoEntry) -> f64 {

@@ -116,7 +116,7 @@ impl QetchStar {
 }
 
 impl DiscoveryMethod for QetchStar {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Qetch*"
     }
 

@@ -44,7 +44,7 @@ pub fn run(scale: Scale) {
     }
     let headers: Vec<&str> = std::iter::once("")
         .chain(std::iter::once("Metric"))
-        .chain(summaries.iter().map(|s| s.method))
+        .chain(summaries.iter().map(|s| s.method.as_str()))
         .collect();
     print_table(
         &format!("Table II: effectiveness, k={} (measured)", bench.k_rel),

@@ -40,7 +40,7 @@ pub fn run(scale: Scale) {
     }
     let headers: Vec<&str> = std::iter::once("M")
         .chain(std::iter::once("Metric"))
-        .chain(summaries.iter().map(|s| s.method))
+        .chain(summaries.iter().map(|s| s.method.as_str()))
         .collect();
     print_table(
         &format!(

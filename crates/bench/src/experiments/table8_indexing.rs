@@ -1,7 +1,14 @@
 //! Table VIII: indexing strategies — effectiveness, query time and
 //! candidate-set size for No Index / Interval Tree / LSH / Hybrid.
+//!
+//! All four rows run against **one** `lcdd_engine::Engine`: the strategy
+//! is a per-query [`SearchOptions`] override, so nothing is retrained or
+//! re-indexed between rows, and the candidate counts come straight from
+//! the engine's per-stage provenance.
 
-use lcdd_benchmark::evaluate;
+use lcdd_baselines::DiscoveryMethod;
+use lcdd_benchmark::evaluate_engine;
+use lcdd_engine::SearchOptions;
 use lcdd_index::IndexStrategy;
 
 use crate::harness::{
@@ -13,29 +20,25 @@ pub fn run(scale: Scale) {
     let bench = experiment_benchmark(scale);
     eprintln!("[table8] training FCM ...");
     let mut fcm = trained_fcm(&bench, fcm_config(scale), &fcm_train_config(scale));
+    fcm.prepare(&bench.repo); // builds the engine: encode + index, once
+    let engine = fcm.engine().expect("prepare built the engine");
 
     let mut rows = Vec::new();
     let mut baseline_time = None;
     for strategy in IndexStrategy::ALL {
-        fcm.strategy = strategy;
         eprintln!("[table8] evaluating {} ...", strategy.name());
-        let s = evaluate(&mut fcm, &bench);
+        let opts = SearchOptions::top_k(bench.k_rel).with_strategy(strategy);
+        let s = evaluate_engine(
+            engine,
+            format!("FCM+{}", strategy.name()),
+            &bench.queries,
+            &opts,
+        );
         let t = s.mean_query_seconds();
         if strategy == IndexStrategy::NoIndex {
             baseline_time = Some(t);
         }
-        // Mean candidate-set size across queries.
-        let mean_cands: f64 = bench
-            .queries
-            .iter()
-            .map(|q| match strategy {
-                IndexStrategy::NoIndex => bench.repo.len() as f64,
-                _ => fcm
-                    .candidate_set(&q.input)
-                    .map_or(bench.repo.len() as f64, |c| c.len() as f64),
-            })
-            .sum::<f64>()
-            / bench.queries.len() as f64;
+        let mean_cands = s.mean_candidates().unwrap_or(bench.repo.len() as f64);
         let speedup = baseline_time.map_or(1.0, |b| b / t.max(1e-9));
         rows.push(vec![
             strategy.name().to_string(),

@@ -1,24 +1,28 @@
-//! FCM wrapped as a [`DiscoveryMethod`], including index-accelerated
-//! variants (Table VIII) and the training glue from benchmark triplets.
+//! FCM wrapped as a [`DiscoveryMethod`], backed by [`lcdd_engine::Engine`]
+//! (the index-accelerated variants of Table VIII are per-query
+//! [`IndexStrategy`] overrides on the same engine), plus the training glue
+//! from benchmark triplets.
 
 use lcdd_baselines::{DiscoveryMethod, QueryInput, RepoEntry};
-use lcdd_fcm::scoring::score_against;
+use lcdd_engine::{Engine, EngineBuilder, EngineError, SearchOptions};
 use lcdd_fcm::{
-    encode_repository, process_query, train_with_callback, EncodedRepository, FcmModel,
-    TrainConfig, TrainExample, TrainReport,
+    process_query, train_with_callback, EncodedRepository, FcmModel, TrainConfig, TrainExample,
+    TrainReport,
 };
-use lcdd_index::{HybridConfig, HybridIndex, IndexStrategy};
-use lcdd_table::Table;
+use lcdd_index::{HybridConfig, IndexStrategy};
 
 use crate::builder::Benchmark;
 
-/// FCM as a benchmark method, with cached repository encodings and an
-/// optional hybrid index for candidate pruning.
+/// FCM as a benchmark method: `prepare` builds an engine over the
+/// repository (encodings + hybrid index), `rank` answers through
+/// [`Engine::search_extracted`] with this method's strategy.
 pub struct FcmMethod {
     pub model: FcmModel,
-    repo_cache: Option<EncodedRepository>,
-    index: Option<HybridIndex>,
+    engine: Option<Engine>,
+    /// Index strategy used by [`DiscoveryMethod::rank`] — a per-query
+    /// option on the engine, so flipping it never rebuilds anything.
     pub strategy: IndexStrategy,
+    label: String,
 }
 
 impl FcmMethod {
@@ -26,9 +30,9 @@ impl FcmMethod {
     pub fn new(model: FcmModel) -> Self {
         FcmMethod {
             model,
-            repo_cache: None,
-            index: None,
+            engine: None,
             strategy: IndexStrategy::NoIndex,
+            label: "FCM".to_string(),
         }
     }
 
@@ -38,67 +42,47 @@ impl FcmMethod {
         self
     }
 
+    /// Overrides the method label reported to the evaluation runner
+    /// (e.g. "FCM+Hybrid k=10" for engine-configured variants).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The engine built by `prepare`, if any.
+    pub fn engine(&self) -> Option<&Engine> {
+        self.engine.as_ref()
+    }
+
     /// The cached encoded repository (after `prepare`).
     pub fn repository(&self) -> Option<&EncodedRepository> {
-        self.repo_cache.as_ref()
+        self.engine.as_ref().map(|e| e.repository())
     }
 
     /// Candidate set produced by the current strategy for a query (exposed
     /// for the Table VIII experiment, which reports candidate counts).
     pub fn candidate_set(&self, query: &QueryInput) -> Option<Vec<usize>> {
-        let index = self.index.as_ref()?;
-        let repo = self.repo_cache.as_ref()?;
-        let ev = self.query_encodings(query, repo);
-        let line_embs: Vec<Vec<f32>> = ev
-            .iter()
-            .map(|m| {
-                let (rows, cols) = m.shape();
-                let mut out = vec![0.0f32; cols];
-                for r in 0..rows {
-                    for (o, &v) in out.iter_mut().zip(m.row(r)) {
-                        *o += v;
-                    }
-                }
-                out.iter_mut().for_each(|o| *o /= rows as f32);
-                out
-            })
-            .collect();
-        Some(index.candidates(self.strategy, query.extracted.y_range, &line_embs))
+        let engine = self.engine.as_ref()?;
+        Some(engine.candidates(&query.extracted, self.strategy).ids)
     }
 
-    fn query_encodings(
-        &self,
-        query: &QueryInput,
-        _repo: &EncodedRepository,
-    ) -> Vec<lcdd_tensor::Matrix> {
-        let pq = process_query(&query.extracted, &self.model.config);
-        self.model.encode_query_values(&pq)
+    fn search_options(&self, k: usize) -> SearchOptions {
+        SearchOptions::top_k(k).with_strategy(self.strategy)
     }
 }
 
 impl DiscoveryMethod for FcmMethod {
-    fn name(&self) -> &'static str {
-        "FCM"
+    fn name(&self) -> &str {
+        &self.label
     }
 
     fn prepare(&mut self, repo: &[RepoEntry]) {
-        let tables: Vec<Table> = repo.iter().map(|e| e.table.clone()).collect();
-        let encoded = encode_repository(&self.model, &tables);
-        // Column embeddings for the LSH side.
-        let col_embs: Vec<Vec<Vec<f32>>> = (0..encoded.len())
-            .map(|t| {
-                (0..encoded.encodings[t].len())
-                    .map(|c| encoded.column_embedding(t, c))
-                    .collect()
-            })
-            .collect();
-        self.index = Some(HybridIndex::build(
-            &tables,
-            &col_embs,
-            self.model.config.embed_dim,
-            HybridConfig::default(),
-        ));
-        self.repo_cache = Some(encoded);
+        let engine = EngineBuilder::new(self.model.clone())
+            .hybrid_config(HybridConfig::default())
+            .ingest(repo)
+            .build()
+            .expect("FcmMethod: model config was validated at construction");
+        self.engine = Some(engine);
     }
 
     fn score(&self, query: &QueryInput, entry: &RepoEntry) -> f64 {
@@ -110,12 +94,14 @@ impl DiscoveryMethod for FcmMethod {
     }
 
     fn rank(&self, query: &QueryInput, repo: &[RepoEntry], k: usize) -> Vec<(usize, f64)> {
-        let pq = process_query(&query.extracted, &self.model.config);
-        if pq.line_patches.is_empty() {
-            return Vec::new();
-        }
-        let Some(cache) = &self.repo_cache else {
-            // Uncached fallback.
+        let Some(engine) = &self.engine else {
+            // Uncached fallback (prepare not called). A query with no
+            // extractable lines ranks nothing, matching the engine path's
+            // EmptyQuery rejection.
+            let pq = process_query(&query.extracted, &self.model.config);
+            if pq.line_patches.is_empty() {
+                return Vec::new();
+            }
             let mut scored: Vec<(usize, f64)> = repo
                 .iter()
                 .enumerate()
@@ -125,20 +111,15 @@ impl DiscoveryMethod for FcmMethod {
             scored.truncate(k);
             return scored;
         };
-        let candidates = match self.strategy {
-            IndexStrategy::NoIndex => (0..cache.len()).collect(),
-            _ => self
-                .candidate_set(query)
-                .unwrap_or_else(|| (0..cache.len()).collect()),
-        };
-        let ev = self.model.encode_query_values(&pq);
-        let mut scored: Vec<(usize, f64)> = candidates
-            .into_iter()
-            .map(|ti| (ti, score_against(&self.model, cache, &ev, &pq, ti) as f64))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        scored
+        match engine.search_extracted(&query.extracted, &self.search_options(k)) {
+            Ok(resp) => resp
+                .hits
+                .into_iter()
+                .map(|h| (h.index, h.score as f64))
+                .collect(),
+            Err(EngineError::EmptyQuery) => Vec::new(),
+            Err(e) => panic!("engine search failed: {e}"),
+        }
     }
 }
 
@@ -223,5 +204,14 @@ mod tests {
             hybrid.len() <= cands.len(),
             "hybrid must prune at least as much"
         );
+    }
+
+    #[test]
+    fn configurable_label_reaches_the_runner() {
+        let bench = build_benchmark(&BenchmarkConfig::tiny());
+        let mut method =
+            FcmMethod::new(FcmModel::new(FcmConfig::tiny())).with_label("FCM+Hybrid k=3");
+        let s = crate::runner::evaluate(&mut method, &bench);
+        assert_eq!(s.method, "FCM+Hybrid k=3");
     }
 }

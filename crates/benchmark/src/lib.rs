@@ -4,8 +4,10 @@
 //! dedup, splits, plain + aggregation-based query generation, noisy-clone
 //! ground truth via `Rel(D, T)`, prec@k / ndcg@k metrics, an evaluation
 //! runner with all the paper's breakdowns, and FCM wrapped as a
-//! [`lcdd_baselines::DiscoveryMethod`] (with index-accelerated ranking for
-//! Table VIII).
+//! [`lcdd_baselines::DiscoveryMethod`] backed by `lcdd_engine` (the
+//! engine's per-query [`lcdd_index::IndexStrategy`] override powers the
+//! index-accelerated ranking of Table VIII; [`runner::evaluate_engine`]
+//! evaluates an engine directly, keeping its per-stage provenance).
 
 pub mod builder;
 pub mod fcm_method;
@@ -18,4 +20,4 @@ pub use builder::{
 };
 pub use fcm_method::{fcm_training_inputs, train_fcm_on, FcmMethod};
 pub use metrics::{mean, ndcg_at_k, precision_at_k};
-pub use runner::{evaluate, evaluate_prepared, EvalResult, EvalSummary, PerQuery};
+pub use runner::{evaluate, evaluate_engine, evaluate_prepared, EvalResult, EvalSummary, PerQuery};

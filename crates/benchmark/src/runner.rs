@@ -3,6 +3,7 @@
 //! with/without DA, by number of lines M, by operator × window bucket).
 
 use lcdd_baselines::{DiscoveryMethod, RepoEntry};
+use lcdd_engine::{Engine, EngineError, SearchOptions};
 use lcdd_table::corpus::m_bucket;
 use lcdd_table::AggOp;
 
@@ -30,12 +31,18 @@ pub struct PerQuery {
     /// same way, but not a single-query-in-isolation latency; for
     /// throughput use [`EvalSummary::queries_per_second`].
     pub seconds: f64,
+    /// Candidates the index handed to the scorer for this query (`None`
+    /// when the method was evaluated through the generic
+    /// [`DiscoveryMethod`] path, which has no provenance).
+    pub candidates: Option<usize>,
 }
 
 /// Full evaluation summary.
 #[derive(Clone, Debug)]
 pub struct EvalSummary {
-    pub method: &'static str,
+    /// Method label, owned so engine-configured variants (e.g.
+    /// "FCM+Hybrid k=10") can be reported without leaking statics.
+    pub method: String,
     pub per_query: Vec<PerQuery>,
     pub k: usize,
     /// Wall-clock seconds of the whole (parallel) evaluation pass.
@@ -103,6 +110,21 @@ impl EvalSummary {
             0.0
         }
     }
+
+    /// Mean candidate-set size per query (engine-evaluated summaries only;
+    /// `None` when no query carried provenance).
+    pub fn mean_candidates(&self) -> Option<f64> {
+        let counts: Vec<f64> = self
+            .per_query
+            .iter()
+            .filter_map(|q| q.candidates.map(|c| c as f64))
+            .collect();
+        if counts.is_empty() {
+            None
+        } else {
+            Some(mean(&counts))
+        }
+    }
 }
 
 /// Evaluates one prepared method over the benchmark queries, parallelised
@@ -130,10 +152,11 @@ pub fn evaluate_prepared(
             num_lines: q.num_lines,
             agg: q.agg,
             seconds,
+            candidates: None,
         }
     });
     EvalSummary {
-        method: method.name(),
+        method: method.name().to_string(),
         per_query,
         k,
         wall_seconds: wall_start.elapsed().as_secs_f64(),
@@ -144,6 +167,50 @@ pub fn evaluate_prepared(
 pub fn evaluate(method: &mut dyn DiscoveryMethod, bench: &Benchmark) -> EvalSummary {
     method.prepare(&bench.repo);
     evaluate_prepared(method, &bench.queries, &bench.repo, bench.k_rel)
+}
+
+/// Evaluates an [`Engine`] directly over benchmark queries — the serving
+/// path: each query goes through `search_extracted` under `opts` (fanned
+/// across the work pool), and the per-stage provenance the engine reports
+/// is kept in [`PerQuery::candidates`]. Queries the engine rejects as
+/// empty rank nothing (scored as zero precision, like an empty `rank`).
+pub fn evaluate_engine(
+    engine: &Engine,
+    label: impl Into<String>,
+    queries: &[BenchQuery],
+    opts: &SearchOptions,
+) -> EvalSummary {
+    let wall_start = std::time::Instant::now();
+    let per_query: Vec<PerQuery> = lcdd_tensor::pool::par_map(queries, |q| {
+        let start = std::time::Instant::now();
+        let (ranked, seconds, candidates) = match engine.search_extracted(&q.input.extracted, opts)
+        {
+            Ok(resp) => (
+                resp.ranked_indices(),
+                resp.timings.total_s,
+                Some(resp.counts.scored),
+            ),
+            // Rejected-as-empty queries still cost their (measured)
+            // preprocessing time, keeping mean_query_seconds comparable
+            // with the DiscoveryMethod path, which times every rank call.
+            Err(EngineError::EmptyQuery) => (Vec::new(), start.elapsed().as_secs_f64(), Some(0)),
+            Err(e) => panic!("engine evaluation failed: {e}"),
+        };
+        PerQuery {
+            prec: precision_at_k(&ranked, &q.relevant, opts.k),
+            ndcg: ndcg_at_k(&ranked, &q.relevant, opts.k),
+            num_lines: q.num_lines,
+            agg: q.agg,
+            seconds,
+            candidates,
+        }
+    });
+    EvalSummary {
+        method: label.into(),
+        per_query,
+        k: opts.k,
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +224,7 @@ mod tests {
         queries: &'a [BenchQuery],
     }
     impl DiscoveryMethod for Oracle<'_> {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "oracle"
         }
         fn score(&self, _q: &QueryInput, _e: &RepoEntry) -> f64 {
@@ -177,7 +244,7 @@ mod tests {
     /// Adversary that ranks nothing relevant.
     struct Worst;
     impl DiscoveryMethod for Worst {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "worst"
         }
         fn score(&self, _q: &QueryInput, _e: &RepoEntry) -> f64 {
@@ -222,6 +289,35 @@ mod tests {
             .map(|b| s.for_m_bucket(b).n_queries)
             .sum();
         assert_eq!(m_total, s.overall().n_queries);
+    }
+
+    #[test]
+    fn engine_evaluation_matches_method_path() {
+        use crate::fcm_method::FcmMethod;
+        use lcdd_fcm::{FcmConfig, FcmModel};
+        use lcdd_index::IndexStrategy;
+
+        let bench = build_benchmark(&BenchmarkConfig::tiny());
+        let mut method = FcmMethod::new(FcmModel::new(FcmConfig::tiny()));
+        let via_method = evaluate(&mut method, &bench);
+        let engine = method.engine().expect("prepare built the engine");
+        let opts = SearchOptions::top_k(bench.k_rel).with_strategy(IndexStrategy::NoIndex);
+        let via_engine = evaluate_engine(engine, "FCM (engine)", &bench.queries, &opts);
+
+        assert_eq!(via_engine.method, "FCM (engine)");
+        assert_eq!(via_engine.per_query.len(), via_method.per_query.len());
+        // Identical model + identical strategy -> identical metrics.
+        for (a, b) in via_method.per_query.iter().zip(&via_engine.per_query) {
+            assert_eq!(a.prec, b.prec);
+            assert_eq!(a.ndcg, b.ndcg);
+        }
+        // The engine path carries provenance; the generic path does not.
+        assert_eq!(
+            via_engine.mean_candidates(),
+            Some(bench.repo.len() as f64),
+            "NoIndex scores the whole repository"
+        );
+        assert_eq!(via_method.mean_candidates(), None);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! FCM hyper-parameters.
 
+use crate::error::EngineError;
+
 /// Configuration of the FCM model (paper Sec. IV/V/VII-B).
 ///
 /// `paper()` reproduces the published configuration; `small()` is the
@@ -153,18 +155,43 @@ impl FcmConfig {
         self.line_image_height * self.p1 + self.trace_dim
     }
 
-    /// Validates internal consistency; called by model construction.
+    /// Validates internal consistency, reporting the first violated
+    /// constraint as an [`EngineError::InvalidConfig`]. The engine-facing
+    /// APIs (`lcdd_engine`'s builder and snapshot loader) surface this
+    /// instead of panicking.
+    pub fn validated(&self) -> Result<(), EngineError> {
+        let fail = |msg: String| Err(EngineError::InvalidConfig(msg));
+        if !self.embed_dim.is_multiple_of(self.n_heads) {
+            return fail(format!(
+                "embed_dim must divide by heads ({} / {})",
+                self.embed_dim, self.n_heads
+            ));
+        }
+        if self.p1 == 0 || self.p2 == 0 || self.n_layers == 0 {
+            return fail("p1, p2 and n_layers must be positive".into());
+        }
+        let subs = 1usize << self.beta;
+        if !self.p2.is_multiple_of(subs) {
+            return fail(format!(
+                "p2 ({}) must be divisible by 2^beta ({subs})",
+                self.p2
+            ));
+        }
+        if !self.column_len.is_multiple_of(self.p2) {
+            return fail(format!(
+                "column_len ({}) must be a multiple of p2 ({})",
+                self.column_len, self.p2
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panicking validation, kept for model construction paths that treat a
+    /// bad config as a programming error.
     pub fn validate(&self) {
-        assert!(
-            self.embed_dim.is_multiple_of(self.n_heads),
-            "embed_dim must divide by heads"
-        );
-        assert!(self.p1 > 0 && self.p2 > 0 && self.n_layers > 0);
-        let _ = self.sub_segment_len();
-        assert!(
-            self.column_len.is_multiple_of(self.p2),
-            "column_len must be a multiple of p2"
-        );
+        if let Err(e) = self.validated() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -194,6 +221,18 @@ mod tests {
         let mut c = FcmConfig::small();
         c.p2 = 30; // not divisible by 4
         c.validate();
+    }
+
+    #[test]
+    fn validated_reports_errors_instead_of_panicking() {
+        let mut c = FcmConfig::small();
+        c.embed_dim = 33; // not divisible by 4 heads
+        let err = c.validated().unwrap_err();
+        assert!(err.to_string().contains("embed_dim"));
+        let mut c = FcmConfig::small();
+        c.column_len = 100; // not a multiple of p2 = 32
+        assert!(c.validated().is_err());
+        assert!(FcmConfig::small().validated().is_ok());
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod chart_encoder;
 pub mod config;
 pub mod da;
 pub mod dataset_encoder;
+pub mod error;
 pub mod input;
 pub mod matcher;
 pub mod model;
@@ -35,6 +36,7 @@ pub mod scoring;
 pub mod trainer;
 
 pub use config::FcmConfig;
+pub use error::EngineError;
 pub use input::{
     column_to_segments, line_to_patches, process_query, process_table, ProcessedQuery,
     ProcessedTable,

@@ -1,30 +1,44 @@
 //! Model weight persistence (binary format from `lcdd_tensor::io`).
 
-use std::io;
+use std::io::{Read, Write};
 use std::path::Path;
 
+use crate::error::EngineError;
 use crate::model::FcmModel;
 
-/// Saves all model weights.
-pub fn save_model(model: &FcmModel, path: impl AsRef<Path>) -> io::Result<()> {
-    lcdd_tensor::io::save_params(&model.store, path)
+/// Serialises all model weights to a writer (used standalone and as the
+/// weight section of engine snapshots).
+pub fn write_model<W: Write>(model: &FcmModel, w: W) -> Result<(), EngineError> {
+    lcdd_tensor::io::write_params(&model.store, w)?;
+    Ok(())
 }
 
-/// Loads weights into a model built with the *same* [`crate::FcmConfig`].
-/// Returns the number of parameters restored; a partial restore (config
-/// mismatch) is reported as an error.
-pub fn load_model(model: &mut FcmModel, path: impl AsRef<Path>) -> io::Result<usize> {
-    let restored = lcdd_tensor::io::load_params(&mut model.store, path)?;
+/// Restores weights from a reader into a model built with the *same*
+/// [`crate::FcmConfig`]. Returns the number of parameters restored; a
+/// partial restore (config mismatch) is an [`EngineError::WeightMismatch`].
+pub fn read_model_into<R: Read>(model: &mut FcmModel, r: R) -> Result<usize, EngineError> {
+    let pairs = lcdd_tensor::io::read_params(r)?;
+    let restored = lcdd_tensor::io::assign_params(&mut model.store, pairs)?;
     if restored != model.store.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "weight file restored {restored} of {} parameters; config mismatch?",
-                model.store.len()
-            ),
-        ));
+        return Err(EngineError::WeightMismatch {
+            expected: model.store.len(),
+            restored,
+        });
     }
     Ok(restored)
+}
+
+/// Saves all model weights to a file.
+pub fn save_model(model: &FcmModel, path: impl AsRef<Path>) -> Result<(), EngineError> {
+    let file = std::fs::File::create(path)?;
+    write_model(model, std::io::BufWriter::new(file))
+}
+
+/// Loads weights from a file (see [`read_model_into`] for the mismatch
+/// contract).
+pub fn load_model(model: &mut FcmModel, path: impl AsRef<Path>) -> Result<usize, EngineError> {
+    let file = std::fs::File::open(path)?;
+    read_model_into(model, std::io::BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -56,14 +70,32 @@ mod tests {
     }
 
     #[test]
-    fn config_mismatch_rejected() {
+    fn config_mismatch_rejected_as_weight_mismatch() {
         let dir = std::env::temp_dir().join("lcdd_fcm_persist_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.bin");
         let model = FcmModel::new(FcmConfig::tiny());
         save_model(&model, &path).unwrap();
         let mut bigger = FcmModel::new(FcmConfig::small());
-        assert!(load_model(&mut bigger, &path).is_err());
+        // Same parameter names but different shapes: rejected either at the
+        // shape check (Io/InvalidData) or at the restored-count check.
+        match load_model(&mut bigger, &path) {
+            Err(EngineError::WeightMismatch { expected, restored }) => {
+                assert_eq!(expected, bigger.store.len());
+                assert!(restored < expected);
+            }
+            Err(EngineError::Io(e)) => assert!(e.to_string().contains("shape mismatch")),
+            other => panic!("expected a mismatch error, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut model = FcmModel::new(FcmConfig::tiny());
+        match load_model(&mut model, "/nonexistent/lcdd/model.bin") {
+            Err(EngineError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 }

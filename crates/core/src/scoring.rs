@@ -46,6 +46,20 @@ impl EncodedRepository {
         out
     }
 
+    /// All pooled column embeddings, `[table][column] -> K floats` — the
+    /// exact shape the LSH index ingests. Index construction and snapshot
+    /// restore both derive embeddings through here, so a rebuilt index
+    /// always hashes the same vectors a freshly built one does.
+    pub fn column_embeddings(&self) -> Vec<Vec<Vec<f32>>> {
+        (0..self.len())
+            .map(|t| {
+                (0..self.encodings[t].len())
+                    .map(|c| self.column_embedding(t, c))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Number of tables.
     pub fn len(&self) -> usize {
         self.tables.len()

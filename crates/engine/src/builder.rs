@@ -1,0 +1,125 @@
+//! Ingest → encode → index: corpus in, [`Engine`] out.
+
+use lcdd_baselines::RepoEntry;
+use lcdd_chart::ChartStyle;
+use lcdd_fcm::{encode_repository, EngineError, FcmConfig, FcmModel};
+use lcdd_index::{column_intervals, HybridConfig, HybridIndex};
+use lcdd_table::{Table, VisSpec};
+use lcdd_vision::VisualElementExtractor;
+
+use crate::engine::{Engine, TableMeta};
+
+/// Builds an [`Engine`] from a model and a corpus. The expensive steps
+/// (parallel repository encoding, index construction) run once in
+/// [`EngineBuilder::build`]; afterwards — or after [`Engine::load`] — no
+/// query ever re-encodes the repository.
+pub struct EngineBuilder {
+    model: FcmModel,
+    hybrid: HybridConfig,
+    extractor: VisualElementExtractor,
+    style: ChartStyle,
+    tables: Vec<Table>,
+}
+
+impl EngineBuilder {
+    /// Starts from an already-constructed (typically trained) model.
+    pub fn new(model: FcmModel) -> Self {
+        EngineBuilder {
+            model,
+            hybrid: HybridConfig::default(),
+            extractor: VisualElementExtractor::oracle(),
+            style: ChartStyle::default(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Starts from a config, constructing a fresh (untrained) model.
+    /// Invalid configs are reported instead of panicking.
+    pub fn from_config(config: FcmConfig) -> Result<Self, EngineError> {
+        config.validated()?;
+        Ok(Self::new(FcmModel::new(config)))
+    }
+
+    /// Overrides the hybrid-index configuration (default: the paper's
+    /// Table VIII settings).
+    pub fn hybrid_config(mut self, cfg: HybridConfig) -> Self {
+        self.hybrid = cfg;
+        self
+    }
+
+    /// Sets the visual element extractor used for [`crate::Query::Chart`]
+    /// image queries (default: oracle, which serves only pre-extracted and
+    /// series queries).
+    pub fn extractor(mut self, extractor: VisualElementExtractor) -> Self {
+        self.extractor = extractor;
+        self
+    }
+
+    /// Sets the chart style [`crate::Query::Series`] sketches are rendered
+    /// with.
+    pub fn chart_style(mut self, style: ChartStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Ingests repository entries (appends; call repeatedly to ingest in
+    /// batches).
+    pub fn ingest(self, entries: &[RepoEntry]) -> Self {
+        self.ingest_tables(entries.iter().map(|e| e.table.clone()))
+    }
+
+    /// Ingests bare tables.
+    pub fn ingest_tables(mut self, tables: impl IntoIterator<Item = Table>) -> Self {
+        self.tables.extend(tables);
+        self
+    }
+
+    /// Encodes the corpus with the FCM dataset encoder (in parallel on the
+    /// shared work pool) and constructs the hybrid index.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        self.model.config.validated()?;
+        let meta: Vec<TableMeta> = self
+            .tables
+            .iter()
+            .map(|t| TableMeta {
+                id: t.id,
+                name: t.name.clone(),
+            })
+            .collect();
+        let repo = encode_repository(&self.model, &self.tables);
+        let column_embeddings = repo.column_embeddings();
+        let intervals = column_intervals(&self.tables);
+        let index = HybridIndex::from_parts(
+            intervals.clone(),
+            &column_embeddings,
+            self.model.config.embed_dim,
+            self.tables.len(),
+            self.hybrid.clone(),
+        );
+        Ok(Engine {
+            model: self.model,
+            repo,
+            index,
+            hybrid_cfg: self.hybrid,
+            intervals,
+            meta,
+            extractor: self.extractor,
+            style: self.style,
+        })
+    }
+}
+
+/// Wraps bare tables as [`RepoEntry`] values with plain one-line-per-column
+/// specs (for callers that only have tables).
+pub fn entries_from_tables(tables: Vec<Table>) -> Vec<RepoEntry> {
+    tables
+        .into_iter()
+        .map(|table| {
+            let cols: Vec<usize> = (0..table.columns.len()).collect();
+            RepoEntry {
+                spec: VisSpec::plain(cols),
+                table,
+            }
+        })
+        .collect()
+}

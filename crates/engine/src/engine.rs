@@ -1,0 +1,253 @@
+//! The serving handle: typed queries in, ranked + attributed hits out.
+
+use std::time::Instant;
+
+use lcdd_chart::{render, ChartStyle};
+use lcdd_fcm::scoring::score_against;
+use lcdd_fcm::{process_query, EncodedRepository, EngineError, FcmModel, ProcessedQuery};
+use lcdd_index::{CandidateSet, HybridConfig, HybridIndex, Interval};
+use lcdd_tensor::{pool, Matrix};
+use lcdd_vision::{ExtractedChart, VisualElementExtractor};
+
+use crate::types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};
+
+/// Identity of one ingested table, kept so hits can be attributed without
+/// the raw table data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableMeta {
+    pub id: u64,
+    pub name: String,
+}
+
+/// The assembled search engine: a trained FCM model, the encoded
+/// repository, and the hybrid index, behind one `search` call.
+///
+/// Construction goes through [`crate::EngineBuilder`] (ingest → encode →
+/// index) or [`Engine::load`] (snapshot restore). The engine is read-only
+/// after construction and `Sync`, so one instance serves concurrent
+/// queries; [`Engine::search_batch`] fans a batch across the shared work
+/// pool.
+pub struct Engine {
+    pub(crate) model: FcmModel,
+    pub(crate) repo: EncodedRepository,
+    pub(crate) index: HybridIndex,
+    pub(crate) hybrid_cfg: HybridConfig,
+    /// Kept verbatim for snapshots: the interval tree is rebuilt from
+    /// these on load.
+    pub(crate) intervals: Vec<Interval>,
+    pub(crate) meta: Vec<TableMeta>,
+    pub(crate) extractor: VisualElementExtractor,
+    pub(crate) style: ChartStyle,
+}
+
+impl Engine {
+    /// Number of ingested tables.
+    pub fn len(&self) -> usize {
+        self.repo.len()
+    }
+
+    /// True when no tables are ingested.
+    pub fn is_empty(&self) -> bool {
+        self.repo.is_empty()
+    }
+
+    /// The trained model serving this engine.
+    pub fn model(&self) -> &FcmModel {
+        &self.model
+    }
+
+    /// The cached repository encodings.
+    pub fn repository(&self) -> &EncodedRepository {
+        &self.repo
+    }
+
+    /// Identity of the `i`-th ingested table.
+    pub fn table_meta(&self, i: usize) -> &TableMeta {
+        &self.meta[i]
+    }
+
+    /// The hybrid-index configuration in effect.
+    pub fn hybrid_config(&self) -> &HybridConfig {
+        &self.hybrid_cfg
+    }
+
+    /// Replaces the visual element extractor (snapshots restore with the
+    /// oracle extractor; serving raw [`Query::Chart`] images needs a
+    /// trained one).
+    pub fn set_extractor(&mut self, extractor: VisualElementExtractor) {
+        self.extractor = extractor;
+    }
+
+    /// Answers one typed query.
+    pub fn search(
+        &self,
+        query: &Query,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, EngineError> {
+        let owned: ExtractedChart;
+        let (extracted, extract_s): (&ExtractedChart, f64) = match query {
+            Query::Extracted(e) => (e, 0.0),
+            Query::Chart(image) => {
+                if self.extractor.is_oracle() {
+                    return Err(EngineError::UnsupportedQuery(
+                        "raw chart images need a trained extractor (the oracle \
+                         extractor requires renderer masks); use set_extractor \
+                         or query with pre-extracted elements"
+                            .into(),
+                    ));
+                }
+                let t = Instant::now();
+                owned = self.extractor.extract_image(image);
+                (&owned, t.elapsed().as_secs_f64())
+            }
+            Query::Series(data) => {
+                if data.series.is_empty() {
+                    return Err(EngineError::EmptyQuery);
+                }
+                let t = Instant::now();
+                // Rendering our own chart gives the oracle extractor its
+                // ground-truth masks, so series sketches never need a
+                // trained extractor.
+                let chart = render(data, &self.style);
+                owned = VisualElementExtractor::oracle().extract(&chart);
+                (&owned, t.elapsed().as_secs_f64())
+            }
+        };
+        self.search_extracted_timed(extracted, opts, extract_s)
+    }
+
+    /// Answers a pre-extracted query without going through [`Query`]
+    /// (avoids cloning extractor output on hot adapter paths).
+    pub fn search_extracted(
+        &self,
+        extracted: &ExtractedChart,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, EngineError> {
+        self.search_extracted_timed(extracted, opts, 0.0)
+    }
+
+    fn search_extracted_timed(
+        &self,
+        extracted: &ExtractedChart,
+        opts: &SearchOptions,
+        extract_s: f64,
+    ) -> Result<SearchResponse, EngineError> {
+        let total0 = Instant::now();
+
+        let t = Instant::now();
+        let pq = process_query(extracted, &self.model.config);
+        if pq.line_patches.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        let ev = self.model.encode_query_values(&pq);
+        let line_embs = mean_pooled(&ev);
+        let encode_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let cand = self
+            .index
+            .candidates_with_stats(opts.strategy, pq.y_range, &line_embs);
+        let prune_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut scored: Vec<(usize, f32)> = pool::par_map(&cand.ids, |&ti| {
+            (ti, score_against(&self.model, &self.repo, &ev, &pq, ti))
+        });
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let score_s = t.elapsed().as_secs_f64();
+
+        let hits: Vec<SearchHit> = scored
+            .iter()
+            .take(opts.k)
+            .filter(|&&(_, s)| opts.min_score.is_none_or(|m| s >= m))
+            .map(|&(i, score)| SearchHit {
+                index: i,
+                table_id: self.meta[i].id,
+                table_name: self.meta[i].name.clone(),
+                score,
+            })
+            .collect();
+
+        Ok(SearchResponse {
+            hits,
+            counts: StageCounts {
+                total: self.repo.len(),
+                after_interval: cand.after_interval,
+                after_lsh: cand.after_lsh,
+                scored: cand.ids.len(),
+            },
+            timings: StageTimings {
+                extract_s,
+                encode_s,
+                prune_s,
+                score_s,
+                total_s: extract_s + total0.elapsed().as_secs_f64(),
+            },
+            strategy: opts.strategy,
+        })
+    }
+
+    /// Answers a batch of queries, fanned across the shared work pool
+    /// (per-query candidate scoring then runs serially inside each worker
+    /// — nested pool calls degrade gracefully).
+    pub fn search_batch(
+        &self,
+        queries: &[Query],
+        opts: &SearchOptions,
+    ) -> Vec<Result<SearchResponse, EngineError>> {
+        pool::par_map(queries, |q| self.search(q, opts))
+    }
+
+    /// The candidate set (with per-stage counts) the index produces for a
+    /// pre-extracted query under `strategy`, without scoring. Exposed for
+    /// index experiments and diagnostics.
+    pub fn candidates(
+        &self,
+        extracted: &ExtractedChart,
+        strategy: lcdd_index::IndexStrategy,
+    ) -> CandidateSet {
+        let pq = process_query(extracted, &self.model.config);
+        let line_embs = if pq.line_patches.is_empty() {
+            Vec::new()
+        } else {
+            mean_pooled(&self.model.encode_query_values(&pq))
+        };
+        self.index
+            .candidates_with_stats(strategy, pq.y_range, &line_embs)
+    }
+
+    /// Preprocesses + scores one query against one specific table through
+    /// the cached encodings (the point-lookup counterpart of `search`).
+    pub fn score_one(&self, extracted: &ExtractedChart, index: usize) -> Result<f32, EngineError> {
+        let pq: ProcessedQuery = process_query(extracted, &self.model.config);
+        if pq.line_patches.is_empty() {
+            return Err(EngineError::EmptyQuery);
+        }
+        let ev = self.model.encode_query_values(&pq);
+        Ok(score_against(&self.model, &self.repo, &ev, &pq, index))
+    }
+}
+
+/// Mean-pools each `N1 x K` line encoding into a `K`-vector — the query
+/// side of the LSH probe (Sec. VI-A).
+pub(crate) fn mean_pooled(encodings: &[Matrix]) -> Vec<Vec<f32>> {
+    encodings
+        .iter()
+        .map(|m| {
+            let (rows, cols) = m.shape();
+            let mut out = vec![0.0f32; cols];
+            if rows == 0 {
+                return out;
+            }
+            for r in 0..rows {
+                for (o, &v) in out.iter_mut().zip(m.row(r)) {
+                    *o += v;
+                }
+            }
+            for o in &mut out {
+                *o /= rows as f32;
+            }
+            out
+        })
+        .collect()
+}

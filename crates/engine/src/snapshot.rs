@@ -1,0 +1,383 @@
+//! Full engine snapshots: model weights + cached repository encodings +
+//! index structures in one versioned file, so serving starts without
+//! re-encoding the corpus.
+//!
+//! Layout (all little-endian; strings are `u32` length + UTF-8 bytes,
+//! matrices are `u32 rows, u32 cols, f32 * rows*cols`):
+//!
+//! ```text
+//! magic   "LCDDSNP1"                           (8 bytes)
+//! version u32 (currently 1)
+//! fcm config      (13 u64 fields, 2 bool bytes, 1 f64, 1 u64 seed)
+//! hybrid config   (u64 bits, u32 radius, f64 slack, u64 seed)
+//! model weights   (lcdd_tensor::io::write_params block)
+//! tables  u64 count; per table: id u64, name, n_cols u64,
+//!         per column: segment matrix + (f64, f64) range
+//! encodings       per table: n_cols u64, per column: N2 x K matrix
+//! pooled_mean     matrix
+//! intervals       u64 count; per interval: lo f64, hi f64, dataset u64
+//! ```
+//!
+//! The interval tree and LSH structures are *deterministic* functions of
+//! the persisted intervals / embeddings / seed, so they are rebuilt on
+//! load and answer queries identically (asserted by the round-trip tests).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use lcdd_chart::ChartStyle;
+use lcdd_fcm::input::ProcessedTable;
+use lcdd_fcm::persist::{read_model_into, write_model};
+use lcdd_fcm::{EncodedRepository, EngineError, FcmConfig, FcmModel};
+use lcdd_index::{HybridConfig, HybridIndex, Interval};
+use lcdd_tensor::Matrix;
+use lcdd_vision::VisualElementExtractor;
+
+use crate::engine::{Engine, TableMeta};
+
+const MAGIC: &[u8; 8] = b"LCDDSNP1";
+const VERSION: u32 = 1;
+
+// ---- primitive writers / readers -----------------------------------------
+
+fn wu32<W: Write>(w: &mut W, v: u32) -> Result<(), EngineError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn wu64<W: Write>(w: &mut W, v: u64) -> Result<(), EngineError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn wusize<W: Write>(w: &mut W, v: usize) -> Result<(), EngineError> {
+    wu64(w, v as u64)
+}
+
+fn wf64<W: Write>(w: &mut W, v: f64) -> Result<(), EngineError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn wbool<W: Write>(w: &mut W, v: bool) -> Result<(), EngineError> {
+    w.write_all(&[u8::from(v)])?;
+    Ok(())
+}
+
+fn wstr<W: Write>(w: &mut W, s: &str) -> Result<(), EngineError> {
+    wu32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+fn wmat<W: Write>(w: &mut W, m: &Matrix) -> Result<(), EngineError> {
+    wu32(w, m.rows() as u32)?;
+    wu32(w, m.cols() as u32)?;
+    let mut buf = Vec::with_capacity(m.len() * 4);
+    for &x in m.as_slice() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+fn ru32<R: Read>(r: &mut R) -> Result<u32, EngineError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn ru64<R: Read>(r: &mut R) -> Result<u64, EngineError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn rusize<R: Read>(r: &mut R) -> Result<usize, EngineError> {
+    Ok(ru64(r)? as usize)
+}
+
+fn rf64<R: Read>(r: &mut R) -> Result<f64, EngineError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn rbool<R: Read>(r: &mut R) -> Result<bool, EngineError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0] != 0)
+}
+
+/// Upper bound on any single variable-length field read from a snapshot.
+/// Header fields are untrusted: without a cap, corrupt dimensions would
+/// either overflow the size arithmetic or trigger multi-GB allocations
+/// before `read_exact` ever fails. 256 MiB is orders of magnitude above
+/// any real segment/encoding matrix.
+const MAX_FIELD_BYTES: usize = 256 << 20;
+
+fn rstr<R: Read>(r: &mut R) -> Result<String, EngineError> {
+    let len = ru32(r)? as usize;
+    if len > MAX_FIELD_BYTES {
+        return Err(EngineError::Snapshot(format!(
+            "string length {len} exceeds the {MAX_FIELD_BYTES}-byte cap"
+        )));
+    }
+    let mut b = vec![0u8; len];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|e| EngineError::Snapshot(format!("non-UTF-8 string: {e}")))
+}
+
+fn rmat<R: Read>(r: &mut R) -> Result<Matrix, EngineError> {
+    let rows = ru32(r)? as usize;
+    let cols = ru32(r)? as usize;
+    let bytes = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(4))
+        .filter(|&n| n <= MAX_FIELD_BYTES)
+        .ok_or_else(|| EngineError::Snapshot(format!("implausible matrix shape {rows}x{cols}")))?;
+    let mut buf = vec![0u8; bytes];
+    r.read_exact(&mut buf)?;
+    let data: Vec<f32> = buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+// ---- config sections -----------------------------------------------------
+
+fn write_fcm_config<W: Write>(w: &mut W, c: &FcmConfig) -> Result<(), EngineError> {
+    for v in [
+        c.embed_dim,
+        c.n_heads,
+        c.n_layers,
+        c.ff_mult,
+        c.chart_width,
+        c.line_image_height,
+        c.p1,
+        c.trace_dim,
+        c.column_len,
+        c.p2,
+        c.beta,
+        c.moe_hidden,
+        c.matcher_hidden,
+    ] {
+        wusize(w, v)?;
+    }
+    wbool(w, c.da_enabled)?;
+    wbool(w, c.hcman_enabled)?;
+    wf64(w, c.range_slack)?;
+    wu64(w, c.seed)?;
+    Ok(())
+}
+
+fn read_fcm_config<R: Read>(r: &mut R) -> Result<FcmConfig, EngineError> {
+    let mut f = [0usize; 13];
+    for v in f.iter_mut() {
+        *v = rusize(r)?;
+    }
+    let da_enabled = rbool(r)?;
+    let hcman_enabled = rbool(r)?;
+    let range_slack = rf64(r)?;
+    let seed = ru64(r)?;
+    Ok(FcmConfig {
+        embed_dim: f[0],
+        n_heads: f[1],
+        n_layers: f[2],
+        ff_mult: f[3],
+        chart_width: f[4],
+        line_image_height: f[5],
+        p1: f[6],
+        trace_dim: f[7],
+        column_len: f[8],
+        p2: f[9],
+        beta: f[10],
+        moe_hidden: f[11],
+        matcher_hidden: f[12],
+        da_enabled,
+        hcman_enabled,
+        range_slack,
+        seed,
+    })
+}
+
+fn write_hybrid_config<W: Write>(w: &mut W, c: &HybridConfig) -> Result<(), EngineError> {
+    wusize(w, c.lsh_bits)?;
+    wu32(w, c.lsh_radius)?;
+    wf64(w, c.range_slack)?;
+    wu64(w, c.seed)
+}
+
+fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, EngineError> {
+    Ok(HybridConfig {
+        lsh_bits: rusize(r)?,
+        lsh_radius: ru32(r)?,
+        range_slack: rf64(r)?,
+        seed: ru64(r)?,
+    })
+}
+
+// ---- the snapshot itself -------------------------------------------------
+
+impl Engine {
+    /// Writes the full serving state to a writer.
+    pub fn save_to<W: Write>(&self, mut w: W) -> Result<(), EngineError> {
+        w.write_all(MAGIC)?;
+        wu32(&mut w, VERSION)?;
+        write_fcm_config(&mut w, &self.model.config)?;
+        write_hybrid_config(&mut w, &self.hybrid_cfg)?;
+        write_model(&self.model, &mut w)?;
+
+        wusize(&mut w, self.repo.tables.len())?;
+        for (pt, meta) in self.repo.tables.iter().zip(&self.meta) {
+            wu64(&mut w, meta.id)?;
+            wstr(&mut w, &meta.name)?;
+            wusize(&mut w, pt.column_segments.len())?;
+            for (seg, &(lo, hi)) in pt.column_segments.iter().zip(&pt.column_ranges) {
+                wmat(&mut w, seg)?;
+                wf64(&mut w, lo)?;
+                wf64(&mut w, hi)?;
+            }
+        }
+        for table_enc in &self.repo.encodings {
+            wusize(&mut w, table_enc.len())?;
+            for col in table_enc {
+                wmat(&mut w, col)?;
+            }
+        }
+        wmat(&mut w, &self.repo.pooled_mean)?;
+
+        wusize(&mut w, self.intervals.len())?;
+        for iv in &self.intervals {
+            wf64(&mut w, iv.lo)?;
+            wf64(&mut w, iv.hi)?;
+            wusize(&mut w, iv.dataset_id)?;
+        }
+        Ok(())
+    }
+
+    /// Restores an engine from a reader. The restored engine uses the
+    /// oracle extractor and default chart style; call
+    /// [`Engine::set_extractor`] to serve raw image queries.
+    pub fn load_from<R: Read>(mut r: R) -> Result<Engine, EngineError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(EngineError::Snapshot("bad magic".into()));
+        }
+        let version = ru32(&mut r)?;
+        if version != VERSION {
+            return Err(EngineError::Snapshot(format!(
+                "unsupported snapshot version {version} (supported: {VERSION})"
+            )));
+        }
+        let config = read_fcm_config(&mut r)?;
+        config.validated()?;
+        let hybrid_cfg = read_hybrid_config(&mut r)?;
+        let mut model = FcmModel::new(config);
+        read_model_into(&mut model, &mut r)?;
+
+        let n_tables = rusize(&mut r)?;
+        let mut meta = Vec::with_capacity(n_tables.min(65_536));
+        let mut tables = Vec::with_capacity(n_tables.min(65_536));
+        for _ in 0..n_tables {
+            let id = ru64(&mut r)?;
+            let name = rstr(&mut r)?;
+            let n_cols = rusize(&mut r)?;
+            let mut column_segments = Vec::with_capacity(n_cols.min(65_536));
+            let mut column_ranges = Vec::with_capacity(n_cols.min(65_536));
+            for _ in 0..n_cols {
+                column_segments.push(rmat(&mut r)?);
+                let lo = rf64(&mut r)?;
+                let hi = rf64(&mut r)?;
+                column_ranges.push((lo, hi));
+            }
+            meta.push(TableMeta {
+                id,
+                name: name.clone(),
+            });
+            tables.push(ProcessedTable {
+                table_id: id,
+                column_segments,
+                column_ranges,
+            });
+        }
+        let mut encodings = Vec::with_capacity(n_tables.min(65_536));
+        for (ti, table) in tables.iter().enumerate() {
+            let n_cols = rusize(&mut r)?;
+            if n_cols != table.column_segments.len() {
+                return Err(EngineError::Snapshot(format!(
+                    "table {ti}: {n_cols} encodings for {} columns",
+                    table.column_segments.len()
+                )));
+            }
+            let mut cols = Vec::with_capacity(n_cols.min(65_536));
+            for _ in 0..n_cols {
+                cols.push(rmat(&mut r)?);
+            }
+            encodings.push(cols);
+        }
+        let pooled_mean = rmat(&mut r)?;
+        if pooled_mean.cols() != model.config.embed_dim {
+            return Err(EngineError::Snapshot(format!(
+                "pooled mean width {} != embed_dim {}",
+                pooled_mean.cols(),
+                model.config.embed_dim
+            )));
+        }
+
+        let n_intervals = rusize(&mut r)?;
+        let mut intervals = Vec::with_capacity(n_intervals.min(65_536));
+        for _ in 0..n_intervals {
+            let lo = rf64(&mut r)?;
+            let hi = rf64(&mut r)?;
+            let dataset_id = rusize(&mut r)?;
+            if dataset_id >= n_tables {
+                return Err(EngineError::Snapshot(format!(
+                    "interval references table {dataset_id} of {n_tables}"
+                )));
+            }
+            intervals.push(Interval { lo, hi, dataset_id });
+        }
+
+        let repo = EncodedRepository {
+            tables,
+            encodings,
+            pooled_mean,
+        };
+        // Column embeddings are the segment means of the persisted
+        // encodings; LSH insertion order (table-major, column-minor) and
+        // the seeded hyperplanes make the rebuilt index identical.
+        let column_embeddings = repo.column_embeddings();
+        let index = HybridIndex::from_parts(
+            intervals.clone(),
+            &column_embeddings,
+            repo.pooled_mean.cols(),
+            n_tables,
+            hybrid_cfg.clone(),
+        );
+        Ok(Engine {
+            model,
+            repo,
+            index,
+            hybrid_cfg,
+            intervals,
+            meta,
+            extractor: VisualElementExtractor::oracle(),
+            style: ChartStyle::default(),
+        })
+    }
+
+    /// Saves the full serving state to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
+        let file = std::fs::File::create(path)?;
+        self.save_to(BufWriter::new(file))
+    }
+
+    /// Restores an engine from a snapshot file (see [`Engine::load_from`]).
+    pub fn load(path: impl AsRef<Path>) -> Result<Engine, EngineError> {
+        let file = std::fs::File::open(path)?;
+        Engine::load_from(BufReader::new(file))
+    }
+}

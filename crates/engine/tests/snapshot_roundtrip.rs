@@ -1,0 +1,122 @@
+//! Engine snapshot round-trip: a saved-then-loaded engine must reproduce
+//! identical top-k rankings, scores, and per-stage provenance on fixed
+//! queries — the guarantee that lets serving restart without re-encoding
+//! the repository.
+
+use lcdd_engine::{Engine, EngineBuilder, EngineError, IndexStrategy, Query, SearchOptions};
+use lcdd_fcm::{FcmConfig, FcmModel};
+use lcdd_table::{Column, Table};
+
+fn corpus() -> Vec<Table> {
+    (0..8)
+        .map(|i| {
+            let vals: Vec<f64> = (0..100)
+                .map(|j| ((j * (i + 2)) as f64 / 9.0).sin() * (i + 1) as f64 + i as f64)
+                .collect();
+            let second: Vec<f64> = (0..100)
+                .map(|j| (j as f64 / (i + 3) as f64).cos())
+                .collect();
+            Table::new(
+                i as u64,
+                format!("corpus-{i}"),
+                vec![Column::new("a", vals), Column::new("b", second)],
+            )
+        })
+        .collect()
+}
+
+fn fixed_queries() -> Vec<Query> {
+    (0..4)
+        .map(|i| {
+            Query::from_series(vec![(0..100)
+                .map(|j| ((j * (i + 2)) as f64 / 9.0).sin() * (i + 1) as f64 + i as f64)
+                .collect()])
+        })
+        .collect()
+}
+
+fn build_engine() -> Engine {
+    EngineBuilder::new(FcmModel::new(FcmConfig::tiny()))
+        .ingest_tables(corpus())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn snapshot_roundtrip_reproduces_rankings_and_provenance() {
+    let engine = build_engine();
+
+    let dir = std::env::temp_dir().join("lcdd_engine_snapshot_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.snap");
+    engine.save(&path).unwrap();
+    let restored = Engine::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.len(), engine.len());
+    for strategy in IndexStrategy::ALL {
+        let opts = SearchOptions::top_k(5).with_strategy(strategy);
+        for (qi, q) in fixed_queries().iter().enumerate() {
+            let a = engine.search(q, &opts).unwrap();
+            let b = restored.search(q, &opts).unwrap();
+            assert_eq!(
+                a.ranked_indices(),
+                b.ranked_indices(),
+                "strategy {strategy:?}, query {qi}: top-k must be identical"
+            );
+            for (ha, hb) in a.hits.iter().zip(&b.hits) {
+                assert_eq!(ha.score, hb.score, "scores must be bit-identical");
+                assert_eq!(ha.table_id, hb.table_id);
+                assert_eq!(ha.table_name, hb.table_name);
+            }
+            assert_eq!(
+                a.counts, b.counts,
+                "strategy {strategy:?}, query {qi}: provenance counts must match"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_in_memory() {
+    let engine = build_engine();
+    let mut buf = Vec::new();
+    engine.save_to(&mut buf).unwrap();
+    let restored = Engine::load_from(buf.as_slice()).unwrap();
+    let q = &fixed_queries()[0];
+    let opts = SearchOptions::top_k(3);
+    assert_eq!(
+        engine.search(q, &opts).unwrap().ranked_indices(),
+        restored.search(q, &opts).unwrap().ranked_indices()
+    );
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected() {
+    let engine = build_engine();
+    let mut buf = Vec::new();
+    engine.save_to(&mut buf).unwrap();
+
+    // Bad magic.
+    let mut bad = buf.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        Engine::load_from(bad.as_slice()),
+        Err(EngineError::Snapshot(_))
+    ));
+
+    // Unsupported version.
+    let mut bad = buf.clone();
+    bad[8] = 0xEE;
+    match Engine::load_from(bad.as_slice()) {
+        Err(EngineError::Snapshot(msg)) => assert!(msg.contains("version")),
+        other => panic!("expected Snapshot error, got {:?}", other.map(|_| ())),
+    }
+
+    // Truncation.
+    let truncated = &buf[..buf.len() / 2];
+    assert!(matches!(
+        Engine::load_from(truncated),
+        Err(EngineError::Io(_))
+    ));
+}

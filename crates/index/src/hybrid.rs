@@ -41,7 +41,12 @@ impl IndexStrategy {
 }
 
 /// Configuration of the hybrid index.
-#[derive(Clone, Debug)]
+///
+/// `Default` is the paper's Table VIII operating point (both pruning
+/// structures built; the strategy itself is **per query** — pass a
+/// different [`IndexStrategy`] to [`HybridIndex::candidates`] instead of
+/// rebuilding the index).
+#[derive(Clone, Debug, PartialEq)]
 pub struct HybridConfig {
     /// LSH signature bits.
     pub lsh_bits: usize,
@@ -55,6 +60,15 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
+        HybridConfig::table_viii()
+    }
+}
+
+impl HybridConfig {
+    /// The settings behind the paper's Table VIII measurements at this
+    /// reproduction's scale: 12-bit signatures, Hamming radius 2, and the
+    /// same 0.5 range slack the FCM column filter uses.
+    pub fn table_viii() -> Self {
         HybridConfig {
             lsh_bits: 12,
             lsh_radius: 2,
@@ -64,12 +78,45 @@ impl Default for HybridConfig {
     }
 }
 
+/// Per-stage result of candidate generation: the surviving ids plus how
+/// many datasets each active pruning stage let through (`None` = stage not
+/// active under the chosen strategy). This is the provenance the engine
+/// reports per query.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    /// Final candidate ids (deduplicated, ascending).
+    pub ids: Vec<usize>,
+    /// Dataset count after the interval-tree stage.
+    pub after_interval: Option<usize>,
+    /// Dataset count after the LSH stage.
+    pub after_lsh: Option<usize>,
+}
+
 /// The hybrid index over a repository.
 pub struct HybridIndex {
     tree: IntervalTree,
     lsh: LshIndex,
     n_datasets: usize,
     cfg: HybridConfig,
+}
+
+/// Extracts the `[min(C), sum(C)]` intervals the interval tree indexes
+/// from a repository (Sec. VI-A). Exposed so engine snapshots can persist
+/// them and rebuild the tree without the raw tables.
+pub fn column_intervals(tables: &[Table]) -> Vec<Interval> {
+    let mut intervals = Vec::new();
+    for (ti, t) in tables.iter().enumerate() {
+        for c in &t.columns {
+            if let Some((lo, hi)) = c.index_interval() {
+                intervals.push(Interval {
+                    lo,
+                    hi,
+                    dataset_id: ti,
+                });
+            }
+        }
+    }
+    intervals
 }
 
 impl HybridIndex {
@@ -86,18 +133,27 @@ impl HybridIndex {
             column_embeddings.len(),
             "HybridIndex: size mismatch"
         );
-        let mut intervals = Vec::new();
-        for (ti, t) in tables.iter().enumerate() {
-            for c in &t.columns {
-                if let Some((lo, hi)) = c.index_interval() {
-                    intervals.push(Interval {
-                        lo,
-                        hi,
-                        dataset_id: ti,
-                    });
-                }
-            }
-        }
+        Self::from_parts(
+            column_intervals(tables),
+            column_embeddings,
+            embed_dim,
+            tables.len(),
+            cfg,
+        )
+    }
+
+    /// Builds the index from pre-extracted parts. Both structures are
+    /// deterministic functions of their inputs (the tree is a median-split
+    /// over sorted intervals, the LSH hyperplanes are seeded), so an index
+    /// rebuilt from persisted intervals + embeddings answers queries
+    /// identically — this is the snapshot-restore path.
+    pub fn from_parts(
+        intervals: Vec<Interval>,
+        column_embeddings: &[Vec<Vec<f32>>],
+        embed_dim: usize,
+        n_datasets: usize,
+        cfg: HybridConfig,
+    ) -> Self {
         let tree = IntervalTree::build(intervals);
         let mut lsh = LshIndex::new(embed_dim, cfg.lsh_bits, cfg.seed);
         for (ti, cols) in column_embeddings.iter().enumerate() {
@@ -108,9 +164,14 @@ impl HybridIndex {
         HybridIndex {
             tree,
             lsh,
-            n_datasets: tables.len(),
+            n_datasets,
             cfg,
         }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &HybridConfig {
+        &self.cfg
     }
 
     /// Number of indexed datasets.
@@ -134,6 +195,19 @@ impl HybridIndex {
         y_range: Option<(f64, f64)>,
         line_embeddings: &[Vec<f32>],
     ) -> Vec<usize> {
+        self.candidates_with_stats(strategy, y_range, line_embeddings)
+            .ids
+    }
+
+    /// Like [`HybridIndex::candidates`], additionally reporting how many
+    /// datasets survived each active pruning stage (the engine surfaces
+    /// this as per-query provenance).
+    pub fn candidates_with_stats(
+        &self,
+        strategy: IndexStrategy,
+        y_range: Option<(f64, f64)>,
+        line_embeddings: &[Vec<f32>],
+    ) -> CandidateSet {
         let all = || (0..self.n_datasets).collect::<Vec<usize>>();
         let interval_side = |range: Option<(f64, f64)>| -> Vec<usize> {
             match range {
@@ -160,9 +234,27 @@ impl HybridIndex {
             s2
         };
         match strategy {
-            IndexStrategy::NoIndex => all(),
-            IndexStrategy::IntervalOnly => interval_side(y_range),
-            IndexStrategy::LshOnly => lsh_side(line_embeddings),
+            IndexStrategy::NoIndex => CandidateSet {
+                ids: all(),
+                after_interval: None,
+                after_lsh: None,
+            },
+            IndexStrategy::IntervalOnly => {
+                let s1 = interval_side(y_range);
+                CandidateSet {
+                    after_interval: Some(s1.len()),
+                    after_lsh: None,
+                    ids: s1,
+                }
+            }
+            IndexStrategy::LshOnly => {
+                let s2 = lsh_side(line_embeddings);
+                CandidateSet {
+                    after_interval: None,
+                    after_lsh: Some(s2.len()),
+                    ids: s2,
+                }
+            }
             IndexStrategy::Hybrid => {
                 let s1 = interval_side(y_range);
                 let s2 = lsh_side(line_embeddings);
@@ -180,7 +272,11 @@ impl HybridIndex {
                         }
                     }
                 }
-                out
+                CandidateSet {
+                    after_interval: Some(s1.len()),
+                    after_lsh: Some(s2.len()),
+                    ids: out,
+                }
             }
         }
     }
@@ -264,6 +360,40 @@ mod tests {
             assert!(s1.contains(&d) && s2.contains(&d));
         }
         assert!(h.contains(&0));
+    }
+
+    #[test]
+    fn stats_report_active_stages() {
+        let (tables, emb) = world();
+        let idx = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        let q_emb = vec![vec![1.0, 0.0, 0.0, 0.0]];
+        let s = idx.candidates_with_stats(IndexStrategy::NoIndex, Some((0.0, 3.0)), &q_emb);
+        assert!(s.after_interval.is_none() && s.after_lsh.is_none());
+        let s = idx.candidates_with_stats(IndexStrategy::Hybrid, Some((0.0, 3.0)), &q_emb);
+        assert!(s.after_interval.is_some() && s.after_lsh.is_some());
+        assert!(s.ids.len() <= s.after_interval.unwrap());
+        assert!(s.ids.len() <= s.after_lsh.unwrap());
+    }
+
+    #[test]
+    fn from_parts_matches_build() {
+        let (tables, emb) = world();
+        let built = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        let rebuilt = HybridIndex::from_parts(
+            column_intervals(&tables),
+            &emb,
+            4,
+            tables.len(),
+            HybridConfig::default(),
+        );
+        let q_emb = vec![vec![0.98, 0.05, 0.0, 0.0]];
+        for strategy in IndexStrategy::ALL {
+            assert_eq!(
+                built.candidates(strategy, Some((0.0, 20.0)), &q_emb),
+                rebuilt.candidates(strategy, Some((0.0, 20.0)), &q_emb),
+                "strategy {strategy:?} must answer identically after rebuild"
+            );
+        }
     }
 
     #[test]

@@ -10,6 +10,6 @@ pub mod hybrid;
 pub mod interval_tree;
 pub mod lsh;
 
-pub use hybrid::{HybridConfig, HybridIndex, IndexStrategy};
+pub use hybrid::{column_intervals, CandidateSet, HybridConfig, HybridIndex, IndexStrategy};
 pub use interval_tree::{Interval, IntervalTree};
 pub use lsh::LshIndex;

@@ -78,11 +78,10 @@ pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()>
     write_params(store, std::io::BufWriter::new(file))
 }
 
-/// Loads weights from a file into an existing store. Parameters are matched
-/// by name; shapes must agree. Returns the number of parameters restored.
-pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<usize> {
-    let file = std::fs::File::open(path)?;
-    let pairs = read_params(std::io::BufReader::new(file))?;
+/// Assigns `(name, matrix)` pairs (e.g. from [`read_params`]) into an
+/// existing store. Parameters are matched by name; shapes must agree.
+/// Returns the number of parameters restored.
+pub fn assign_params(store: &mut ParamStore, pairs: Vec<(String, Matrix)>) -> io::Result<usize> {
     let mut restored = 0;
     for (name, value) in pairs {
         if let Some(pos) = store.entries.iter().position(|e| e.name == name) {
@@ -97,6 +96,13 @@ pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result
         }
     }
     Ok(restored)
+}
+
+/// Loads weights from a file into an existing store (see [`assign_params`]).
+pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<usize> {
+    let file = std::fs::File::open(path)?;
+    let pairs = read_params(std::io::BufReader::new(file))?;
+    assign_params(store, pairs)
 }
 
 #[cfg(test)]

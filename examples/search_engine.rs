@@ -1,0 +1,132 @@
+//! The `lcdd_engine` facade end to end: build a corpus, train FCM briefly,
+//! assemble an engine (ingest → encode → index), answer typed queries with
+//! per-stage provenance, snapshot it, and serve from the restored engine.
+//!
+//! ```bash
+//! cargo run --release --example search_engine
+//! ```
+
+use linechart_discovery::benchmark::{build_benchmark, train_fcm_on, BenchmarkConfig};
+use linechart_discovery::engine::{
+    Engine, EngineBuilder, IndexStrategy, Query, SearchOptions, SearchResponse,
+};
+use linechart_discovery::fcm::{FcmConfig, FcmModel, TrainConfig};
+
+fn show(label: &str, resp: &SearchResponse) {
+    let c = &resp.counts;
+    let stages = [
+        c.after_interval.map(|n| format!("interval->{n}")),
+        c.after_lsh.map(|n| format!("lsh->{n}")),
+    ]
+    .into_iter()
+    .flatten()
+    .collect::<Vec<_>>()
+    .join(" ");
+    println!(
+        "  [{label}] strategy={:<13} scored {:>3}/{:<3} {} ({:.1} ms)",
+        resp.strategy.name(),
+        c.scored,
+        c.total,
+        if stages.is_empty() {
+            "(no pruning)".to_string()
+        } else {
+            stages
+        },
+        resp.timings.total_s * 1e3,
+    );
+    for hit in resp.hits.iter().take(3) {
+        println!(
+            "      #{:<3} {:<24} score {:.4}",
+            hit.index, hit.table_name, hit.score
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic benchmark: tables + charts + ground truth.
+    println!("building benchmark corpus ...");
+    let bench = build_benchmark(&BenchmarkConfig {
+        n_train: 16,
+        n_distractors: 12,
+        n_query_tables: 4,
+        noise_copies: 4,
+        k_rel: 5,
+        train_extractor: false,
+        ..Default::default()
+    });
+
+    // 2. Train the relevance model briefly (CPU-scale).
+    println!("training FCM ({} repo tables) ...", bench.repo.len());
+    let mut model = FcmModel::new(FcmConfig::tiny());
+    train_fcm_on(
+        &bench,
+        &mut model,
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            n_neg: 2,
+            ..Default::default()
+        },
+        |_, _, _| 0.0,
+    );
+
+    // 3. Ingest -> encode -> index: one builder call chain.
+    let engine = EngineBuilder::new(model).ingest(&bench.repo).build()?;
+    println!(
+        "engine ready: {} tables indexed under {:?}\n",
+        engine.len(),
+        engine.hybrid_config()
+    );
+
+    // 4. A pre-extracted chart query, swept across every index strategy —
+    //    the strategy is a per-query option; nothing is rebuilt.
+    let extracted = bench.queries[0].input.extracted.clone();
+    println!("pre-extracted chart query, all strategies:");
+    for strategy in IndexStrategy::ALL {
+        let resp = engine.search(
+            &Query::Extracted(extracted.clone()),
+            &SearchOptions::top_k(5).with_strategy(strategy),
+        )?;
+        show("chart", &resp);
+    }
+
+    // 5. A raw numeric series sketch — "find datasets shaped like this".
+    let series: Vec<f64> = (0..120).map(|i| (i as f64 / 9.0).sin() * 4.0).collect();
+    let resp = engine.search(&Query::from_series(vec![series]), &SearchOptions::top_k(5))?;
+    println!("\nraw series sketch:");
+    show("series", &resp);
+
+    // 6. Batched serving across the work pool.
+    let queries: Vec<Query> = bench
+        .queries
+        .iter()
+        .map(|q| Query::Extracted(q.input.extracted.clone()))
+        .collect();
+    let batch = engine.search_batch(&queries, &SearchOptions::top_k(5));
+    println!(
+        "\nbatch of {}: {} answered",
+        batch.len(),
+        batch.iter().filter(|r| r.is_ok()).count()
+    );
+
+    // 7. Snapshot round-trip: serving restarts without re-encoding.
+    let path = std::env::temp_dir().join("lcdd_search_engine_example.snap");
+    engine.save(&path)?;
+    let restored = Engine::load(&path)?;
+    let again = restored.search(
+        &Query::Extracted(extracted),
+        &SearchOptions::top_k(5).with_strategy(IndexStrategy::Hybrid),
+    )?;
+    let reference = engine.search(
+        &Query::Extracted(bench.queries[0].input.extracted.clone()),
+        &SearchOptions::top_k(5).with_strategy(IndexStrategy::Hybrid),
+    )?;
+    assert_eq!(again.ranked_indices(), reference.ranked_indices());
+    println!(
+        "\nsnapshot round-trip OK: {} bytes, identical top-{} ranking after restore",
+        std::fs::metadata(&path)?.len(),
+        again.hits.len()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -10,6 +10,7 @@
 pub use lcdd_baselines as baselines;
 pub use lcdd_benchmark as benchmark;
 pub use lcdd_chart as chart;
+pub use lcdd_engine as engine;
 pub use lcdd_fcm as fcm;
 pub use lcdd_index as index;
 pub use lcdd_nn as nn;
