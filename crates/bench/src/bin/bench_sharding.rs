@@ -1,0 +1,140 @@
+//! Sharding benchmark emitter: measures the sharded engine's serving and
+//! mutation paths across shard counts and writes `BENCH_sharding.json`, so
+//! the scale-out trajectory is tracked from PR 3 onward.
+//!
+//! Coverage (the `bench_sharding` group):
+//! * reshard — redistributing cached encodings across N shards,
+//! * single-query latency — hybrid and exhaustive strategies,
+//! * batched serving — a 16-query `search_batch` fan-out,
+//! * live mutation — 1-table insert (delta encode + incremental index)
+//!   and removal (tombstone + compaction).
+//!
+//! Usage: `cargo run --release -p lcdd-bench --bin bench_sharding [-- out.json]`
+//! (defaults to `BENCH_sharding.json` in the current directory).
+
+use std::time::Instant;
+
+use lcdd_engine::{IndexStrategy, Query, SearchOptions};
+use lcdd_table::Table;
+use lcdd_tensor::pool;
+use lcdd_testkit::{corpus, queries_for, tiny_engine, CorpusSpec};
+
+/// Best-of-N wall time in milliseconds (engine operations are ms-scale, so
+/// single shots per round are stable enough).
+fn time_ms<O>(rounds: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Row {
+    n_shards: usize,
+    reshard_ms: f64,
+    query_hybrid_ms: f64,
+    query_noindex_ms: f64,
+    batch16_ms: f64,
+    insert1_ms: f64,
+    remove1_ms: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sharding.json".to_string());
+    eprintln!("[bench_sharding] pool threads: {}", pool::num_threads());
+
+    const N_TABLES: usize = 96;
+    let tables = corpus(&CorpusSpec {
+        seed: 0x5a4d,
+        n_tables: N_TABLES,
+        series_len: 120,
+        near_dup_every: 5,
+    });
+    let queries: Vec<Query> = queries_for(&tables, 16);
+
+    let t = Instant::now();
+    let mut engine = tiny_engine(tables.clone(), 1);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    eprintln!("[bench_sharding] built {N_TABLES}-table engine in {build_ms:.1} ms");
+
+    let delta: Vec<Table> = {
+        let mut d = corpus(&CorpusSpec::sized(0xd4, 1));
+        d[0].id = 9_000;
+        d
+    };
+
+    let mut rows = Vec::new();
+    for n_shards in [1usize, 2, 4, 8, 16] {
+        let reshard_ms = time_ms(3, || engine.reshard(n_shards).unwrap());
+        let hybrid = SearchOptions::top_k(10).with_strategy(IndexStrategy::Hybrid);
+        let noindex = SearchOptions::top_k(10).with_strategy(IndexStrategy::NoIndex);
+        let query_hybrid_ms = time_ms(5, || engine.search(&queries[0], &hybrid).unwrap());
+        let query_noindex_ms = time_ms(5, || engine.search(&queries[0], &noindex).unwrap());
+        let batch16_ms = time_ms(3, || {
+            let out = engine.search_batch(&queries, &hybrid);
+            assert!(out.iter().all(|r| r.is_ok()));
+            out
+        });
+        // Time the insert alone (best of 3); the restore between rounds
+        // runs outside the timed region. Cloning the delta is untimed too.
+        let mut insert1_ms = f64::INFINITY;
+        for _ in 0..3 {
+            let batch = delta.clone();
+            let start = Instant::now();
+            std::hint::black_box(engine.insert_tables(batch));
+            insert1_ms = insert1_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            engine.remove_tables(&[9_000]);
+            engine.compact();
+        }
+        engine.insert_tables(delta.clone());
+        let remove1_ms = time_ms(1, || {
+            engine.remove_tables(&[9_000]);
+            engine.compact();
+        });
+        eprintln!(
+            "[bench_sharding] shards {n_shards:>2}: reshard {reshard_ms:>7.2} ms  \
+             query(hybrid) {query_hybrid_ms:>6.2} ms  query(scan) {query_noindex_ms:>6.2} ms  \
+             batch16 {batch16_ms:>7.2} ms  insert1 {insert1_ms:>6.2} ms  remove1 {remove1_ms:>6.2} ms"
+        );
+        rows.push(Row {
+            n_shards,
+            reshard_ms,
+            query_hybrid_ms,
+            query_noindex_ms,
+            batch16_ms,
+            insert1_ms,
+            remove1_ms,
+        });
+    }
+
+    let mut json = String::from("{\n  \"group\": \"bench_sharding\",\n");
+    json.push_str(&format!("  \"pool_threads\": {},\n", pool::num_threads()));
+    json.push_str(&format!("  \"repo_tables\": {N_TABLES},\n"));
+    json.push_str(&format!("  \"build_1shard_ms\": {build_ms:.2},\n"));
+    json.push_str("  \"shard_sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"reshard_ms\": {:.3}, \"query_hybrid_ms\": {:.3}, \
+             \"query_noindex_ms\": {:.3}, \"batch16_ms\": {:.3}, \"batch_queries_per_sec\": {:.1}, \
+             \"insert1_ms\": {:.3}, \"remove1_ms\": {:.3}}}{}\n",
+            r.n_shards,
+            r.reshard_ms,
+            r.query_hybrid_ms,
+            r.query_noindex_ms,
+            r.batch16_ms,
+            16_000.0 / r.batch16_ms,
+            r.insert1_ms,
+            r.remove1_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_sharding.json");
+    eprintln!("[bench_sharding] wrote {out_path}");
+    println!("{json}");
+}

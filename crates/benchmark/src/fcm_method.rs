@@ -54,9 +54,18 @@ impl FcmMethod {
         self.engine.as_ref()
     }
 
-    /// The cached encoded repository (after `prepare`).
-    pub fn repository(&self) -> Option<&EncodedRepository> {
-        self.engine.as_ref().map(|e| e.repository())
+    /// Mutable access to the prepared engine (the Table VIII shard sweep
+    /// reshards it in place between measurement rows).
+    pub fn engine_mut(&mut self) -> Option<&mut Engine> {
+        self.engine.as_mut()
+    }
+
+    /// The cached encoded repository slices, one per engine shard (after
+    /// `prepare`; a freshly prepared engine has a single shard).
+    pub fn repositories(&self) -> Option<Vec<&EncodedRepository>> {
+        self.engine
+            .as_ref()
+            .map(|e| e.shards().iter().map(|s| s.repository()).collect())
     }
 
     /// Candidate set produced by the current strategy for a query (exposed

@@ -41,7 +41,9 @@ pub use input::{
     column_to_segments, line_to_patches, process_query, process_table, ProcessedQuery,
     ProcessedTable,
 };
-pub use model::FcmModel;
+pub use model::{table_encode_count, FcmModel};
 pub use negatives::NegativeStrategy;
-pub use scoring::{encode_repository, search_top_k, EncodedRepository};
+pub use scoring::{
+    encode_repository, encode_tables, pooled_mean_of, search_top_k, EncodedRepository,
+};
 pub use trainer::{train, train_with_callback, TrainConfig, TrainExample, TrainReport};

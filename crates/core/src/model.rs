@@ -1,10 +1,25 @@
 //! The assembled FCM model: visual-element-extracted lines + candidate
 //! table → `Rel'(V, T)`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use lcdd_table::Table;
 use lcdd_tensor::{Matrix, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Process-wide count of dataset-encoder invocations (one per table passed
+/// through [`FcmModel::encode_table_values`]). Instrumentation for the
+/// engine's delta-ingest guarantee: inserting a table batch must encode
+/// exactly that batch, never the resident corpus.
+static TABLE_ENCODE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide table-encode counter (see
+/// [`FcmModel::encode_table_values`]). Monotonic; tests measure deltas
+/// around an operation rather than absolute values.
+pub fn table_encode_count() -> u64 {
+    TABLE_ENCODE_CALLS.load(Ordering::Relaxed)
+}
 
 use crate::chart_encoder::ChartEncoder;
 use crate::config::FcmConfig;
@@ -91,6 +106,7 @@ impl FcmModel {
     /// Encodes every column of a preprocessed table and returns the value
     /// matrices (`N2 x K` each) plus the mean MoE gate per column.
     pub fn encode_table_values(&self, table: &ProcessedTable) -> Vec<Matrix> {
+        TABLE_ENCODE_CALLS.fetch_add(1, Ordering::Relaxed);
         let tape = Tape::new();
         table
             .column_segments

@@ -71,19 +71,35 @@ impl EncodedRepository {
     }
 }
 
-/// Encodes every table in parallel (the model is read-only and `Sync`).
-pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepository {
+/// Preprocesses and encodes a batch of tables in parallel (the model is
+/// read-only and `Sync`). This is the shared ingest kernel: full repository
+/// builds and live delta ingest both encode through here, so a table's
+/// encoding never depends on what else is in the batch.
+pub fn encode_tables(
+    model: &FcmModel,
+    tables: &[Table],
+) -> (Vec<ProcessedTable>, Vec<Vec<Matrix>>) {
     let processed: Vec<ProcessedTable> = tables
         .iter()
         .map(|t| process_table(t, &model.config))
         .collect();
     let encodings: Vec<Vec<Matrix>> = pool::par_map(&processed, |pt| model.encode_table_values(pt));
+    (processed, encodings)
+}
 
-    // Repository-mean pooled table embedding (centering reference).
-    let k = model.config.embed_dim;
+/// Mean over tables of the pooled (all-column, all-segment) table embedding
+/// — the centering reference for the matcher's alignment term.
+///
+/// The accumulation order is exactly the iteration order of `encodings`;
+/// callers that need bit-identical results across layouts (the sharded
+/// engine, snapshot restore) must iterate tables in the same global order.
+pub fn pooled_mean_of<'a>(
+    encodings: impl IntoIterator<Item = &'a Vec<Matrix>>,
+    k: usize,
+) -> Matrix {
     let mut pooled_mean = Matrix::zeros(1, k);
     let mut count = 0usize;
-    for table_enc in &encodings {
+    for table_enc in encodings {
         if table_enc.is_empty() {
             continue;
         }
@@ -107,6 +123,13 @@ pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepositor
     if count > 0 {
         pooled_mean.scale_assign(1.0 / count as f32);
     }
+    pooled_mean
+}
+
+/// Encodes every table in parallel and assembles the cached repository.
+pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepository {
+    let (processed, encodings) = encode_tables(model, tables);
+    let pooled_mean = pooled_mean_of(&encodings, model.config.embed_dim);
     EncodedRepository {
         tables: processed,
         encodings,

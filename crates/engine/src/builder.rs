@@ -1,24 +1,28 @@
-//! Ingest → encode → index: corpus in, [`Engine`] out.
+//! Ingest → encode → shard → index: corpus in, [`Engine`] out.
 
 use lcdd_baselines::RepoEntry;
 use lcdd_chart::ChartStyle;
-use lcdd_fcm::{encode_repository, EngineError, FcmConfig, FcmModel};
-use lcdd_index::{column_intervals, HybridConfig, HybridIndex};
+use lcdd_fcm::{encode_tables, EngineError, FcmConfig, FcmModel};
+use lcdd_index::HybridConfig;
 use lcdd_table::{Table, VisSpec};
 use lcdd_vision::VisualElementExtractor;
 
-use crate::engine::{Engine, TableMeta};
+use crate::engine::{Engine, DEFAULT_COMPACTION_THRESHOLD};
+use crate::shard::{EngineShard, SlotData};
 
 /// Builds an [`Engine`] from a model and a corpus. The expensive steps
 /// (parallel repository encoding, index construction) run once in
 /// [`EngineBuilder::build`]; afterwards — or after [`Engine::load`] — no
-/// query ever re-encodes the repository.
+/// query ever re-encodes the repository, and live mutation
+/// ([`Engine::insert_tables`] / [`Engine::remove_tables`]) encodes only its
+/// delta.
 pub struct EngineBuilder {
     model: FcmModel,
     hybrid: HybridConfig,
     extractor: VisualElementExtractor,
     style: ChartStyle,
     tables: Vec<Table>,
+    n_shards: usize,
 }
 
 impl EngineBuilder {
@@ -30,6 +34,7 @@ impl EngineBuilder {
             extractor: VisualElementExtractor::oracle(),
             style: ChartStyle::default(),
             tables: Vec::new(),
+            n_shards: 1,
         }
     }
 
@@ -44,6 +49,15 @@ impl EngineBuilder {
     /// Table VIII settings).
     pub fn hybrid_config(mut self, cfg: HybridConfig) -> Self {
         self.hybrid = cfg;
+        self
+    }
+
+    /// Sets the shard count (default 1). Tables are assigned round-robin
+    /// in ingest order; search results are identical for every shard count
+    /// (the shard-equivalence property suite enforces this), so the choice
+    /// only affects mutation granularity and fan-out.
+    pub fn shards(mut self, n_shards: usize) -> Self {
+        self.n_shards = n_shards;
         self
     }
 
@@ -75,37 +89,41 @@ impl EngineBuilder {
     }
 
     /// Encodes the corpus with the FCM dataset encoder (in parallel on the
-    /// shared work pool) and constructs the hybrid index.
+    /// shared work pool), distributes it round-robin across the shards and
+    /// constructs each shard's hybrid index.
     pub fn build(self) -> Result<Engine, EngineError> {
         self.model.config.validated()?;
-        let meta: Vec<TableMeta> = self
-            .tables
-            .iter()
-            .map(|t| TableMeta {
-                id: t.id,
-                name: t.name.clone(),
-            })
+        if self.n_shards == 0 {
+            return Err(EngineError::InvalidConfig(
+                "shards: shard count must be at least 1".into(),
+            ));
+        }
+        let (processed, encodings) = encode_tables(&self.model, &self.tables);
+        let mut per_shard: Vec<Vec<SlotData>> = (0..self.n_shards).map(|_| Vec::new()).collect();
+        let mut order = Vec::with_capacity(self.tables.len());
+        for (i, ((table, pt), enc)) in self.tables.iter().zip(processed).zip(encodings).enumerate()
+        {
+            let target = i % self.n_shards;
+            order.push((target as u32, per_shard[target].len() as u32));
+            per_shard[target].push(SlotData::from_encoded(table, pt, enc));
+        }
+        let embed_dim = self.model.config.embed_dim;
+        let shards: Vec<EngineShard> = per_shard
+            .into_iter()
+            .map(|slots| EngineShard::from_slots(slots, embed_dim, self.hybrid.clone()))
             .collect();
-        let repo = encode_repository(&self.model, &self.tables);
-        let column_embeddings = repo.column_embeddings();
-        let intervals = column_intervals(&self.tables);
-        let index = HybridIndex::from_parts(
-            intervals.clone(),
-            &column_embeddings,
-            self.model.config.embed_dim,
-            self.tables.len(),
-            self.hybrid.clone(),
-        );
-        Ok(Engine {
+        let mut engine = Engine {
             model: self.model,
-            repo,
-            index,
+            shards,
             hybrid_cfg: self.hybrid,
-            intervals,
-            meta,
+            pooled_mean: lcdd_tensor::Matrix::zeros(1, embed_dim),
+            order,
             extractor: self.extractor,
             style: self.style,
-        })
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+        };
+        engine.rebuild_global();
+        Ok(engine)
     }
 }
 

@@ -1,14 +1,33 @@
-//! The serving handle: typed queries in, ranked + attributed hits out.
+//! The serving handle: typed queries in, ranked + attributed hits out —
+//! now sharded and mutable.
+//!
+//! The engine splits its corpus across N [`EngineShard`]s (round-robin at
+//! build time; least-loaded for live ingest). A query fans candidate
+//! generation across shards on the shared work pool, scores the surviving
+//! candidates in one flat parallel pass, and merges per-shard results by
+//! `(score desc, table_id asc, global position asc)` — a total order, so
+//! rankings are identical for every shard count (enforced by the
+//! shard-equivalence property suite).
+//!
+//! Scores are layout-independent because the only cross-table statistic the
+//! matcher consumes — the repository-mean pooled table embedding — is
+//! maintained *globally* by the engine (recomputed over the live tables in
+//! global ingest order on every mutation) and mirrored into each shard's
+//! repository slice.
 
 use std::time::Instant;
 
 use lcdd_chart::{render, ChartStyle};
 use lcdd_fcm::scoring::score_against;
-use lcdd_fcm::{process_query, EncodedRepository, EngineError, FcmModel, ProcessedQuery};
-use lcdd_index::{CandidateSet, HybridConfig, HybridIndex, Interval};
+use lcdd_fcm::{
+    encode_tables, pooled_mean_of, process_query, EngineError, FcmModel, ProcessedQuery,
+};
+use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
+use lcdd_table::Table;
 use lcdd_tensor::{pool, Matrix};
 use lcdd_vision::{ExtractedChart, VisualElementExtractor};
 
+use crate::shard::{EngineShard, SlotData};
 use crate::types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};
 
 /// Identity of one ingested table, kept so hits can be attributed without
@@ -19,36 +38,58 @@ pub struct TableMeta {
     pub name: String,
 }
 
-/// The assembled search engine: a trained FCM model, the encoded
-/// repository, and the hybrid index, behind one `search` call.
+/// Default tombstone fraction at which a shard is compacted automatically
+/// during [`Engine::remove_tables`].
+pub const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.3;
+
+/// The assembled search engine: a trained FCM model and N corpus shards
+/// (cached encodings + hybrid index each), behind one `search` call.
 ///
 /// Construction goes through [`crate::EngineBuilder`] (ingest → encode →
-/// index) or [`Engine::load`] (snapshot restore). The engine is read-only
-/// after construction and `Sync`, so one instance serves concurrent
-/// queries; [`Engine::search_batch`] fans a batch across the shared work
-/// pool.
+/// index) or [`Engine::load`] (snapshot restore). Queries need only `&self`
+/// and the engine is `Sync`, so one instance serves concurrent reads;
+/// [`Engine::search_batch`] fans a batch across the shared work pool.
+/// Corpus mutation goes through [`Engine::insert_tables`] /
+/// [`Engine::remove_tables`], which touch only the affected shards and
+/// never re-encode resident tables.
 pub struct Engine {
     pub(crate) model: FcmModel,
-    pub(crate) repo: EncodedRepository,
-    pub(crate) index: HybridIndex,
+    pub(crate) shards: Vec<EngineShard>,
     pub(crate) hybrid_cfg: HybridConfig,
-    /// Kept verbatim for snapshots: the interval tree is rebuilt from
-    /// these on load.
-    pub(crate) intervals: Vec<Interval>,
-    pub(crate) meta: Vec<TableMeta>,
+    /// Global centering reference: mean pooled table embedding over the
+    /// live corpus in global ingest order. Mirrored into every shard.
+    pub(crate) pooled_mean: Matrix,
+    /// Live tables in global ingest order, as `(shard, slot)` pairs. This
+    /// is the engine's public index space: `SearchHit::index` and
+    /// [`Engine::table_meta`] address positions in this order.
+    pub(crate) order: Vec<(u32, u32)>,
     pub(crate) extractor: VisualElementExtractor,
     pub(crate) style: ChartStyle,
+    /// Dead-slot fraction above which [`Engine::remove_tables`] compacts a
+    /// shard automatically.
+    pub(crate) compaction_threshold: f64,
 }
 
 impl Engine {
-    /// Number of ingested tables.
+    /// Number of live ingested tables.
     pub fn len(&self) -> usize {
-        self.repo.len()
+        self.order.len()
     }
 
-    /// True when no tables are ingested.
+    /// True when no live tables are ingested.
     pub fn is_empty(&self) -> bool {
-        self.repo.is_empty()
+        self.order.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards (read-only; slot-level accessors live on
+    /// [`EngineShard`]).
+    pub fn shards(&self) -> &[EngineShard] {
+        &self.shards
     }
 
     /// The trained model serving this engine.
@@ -56,19 +97,21 @@ impl Engine {
         &self.model
     }
 
-    /// The cached repository encodings.
-    pub fn repository(&self) -> &EncodedRepository {
-        &self.repo
-    }
-
-    /// Identity of the `i`-th ingested table.
+    /// Identity of the `i`-th live table in global ingest order.
     pub fn table_meta(&self, i: usize) -> &TableMeta {
-        &self.meta[i]
+        let (s, l) = self.order[i];
+        self.shards[s as usize].table_meta(l as usize)
     }
 
     /// The hybrid-index configuration in effect.
     pub fn hybrid_config(&self) -> &HybridConfig {
         &self.hybrid_cfg
+    }
+
+    /// The global repository-mean pooled table embedding (the matcher's
+    /// centering reference).
+    pub fn pooled_mean(&self) -> &Matrix {
+        &self.pooled_mean
     }
 
     /// Replaces the visual element extractor (snapshots restore with the
@@ -77,6 +120,191 @@ impl Engine {
     pub fn set_extractor(&mut self, extractor: VisualElementExtractor) {
         self.extractor = extractor;
     }
+
+    /// Sets the tombstone fraction at which [`Engine::remove_tables`]
+    /// compacts a shard automatically (clamped to `[0, 1]`; `1.0`
+    /// effectively disables auto-compaction).
+    pub fn set_compaction_threshold(&mut self, frac: f64) {
+        self.compaction_threshold = frac.clamp(0.0, 1.0);
+    }
+
+    // ---- mutation --------------------------------------------------------
+
+    /// Ingests new tables into the live engine. Only the new tables are
+    /// preprocessed and encoded (in parallel); resident tables are never
+    /// re-encoded (asserted by `lcdd_fcm::table_encode_count` in the
+    /// mutability test suite). Each table goes to the shard with the fewest
+    /// live tables (ties to the lowest shard id), whose index is updated
+    /// incrementally. Returns the global positions assigned to the new
+    /// tables.
+    ///
+    /// ```
+    /// use lcdd_engine::{EngineBuilder, Query, SearchOptions};
+    /// use lcdd_fcm::{FcmConfig, FcmModel};
+    /// use lcdd_table::{Column, Table};
+    ///
+    /// let mk = |id: u64| {
+    ///     let vals: Vec<f64> = (0..64).map(|j| ((j + id as usize) as f64 / 5.0).sin()).collect();
+    ///     Table::new(id, format!("t{id}"), vec![Column::new("c", vals)])
+    /// };
+    /// let mut engine = EngineBuilder::new(FcmModel::new(FcmConfig::tiny()))
+    ///     .shards(2)
+    ///     .ingest_tables([mk(0), mk(1)])
+    ///     .build()
+    ///     .unwrap();
+    /// engine.insert_tables(vec![mk(2)]);
+    /// assert_eq!(engine.len(), 3);
+    /// assert_eq!(engine.remove_tables(&[1]), 1);
+    /// assert_eq!(engine.len(), 2);
+    /// ```
+    pub fn insert_tables(&mut self, tables: Vec<Table>) -> Vec<usize> {
+        if tables.is_empty() {
+            return Vec::new();
+        }
+        let (processed, encodings) = encode_tables(&self.model, &tables);
+        let mut assigned = Vec::with_capacity(tables.len());
+        for ((table, pt), enc) in tables.iter().zip(processed).zip(encodings) {
+            let slot = SlotData::from_encoded(table, pt, enc);
+            // Least-loaded shard, ties to the lowest id — deterministic,
+            // and only the receiving shard's index is touched.
+            let shard = (0..self.shards.len())
+                .min_by_key(|&s| (self.shards[s].live_len(), s))
+                .expect("engine always has at least one shard");
+            let local = self.shards[shard].push_slot(slot);
+            assigned.push(self.order.len());
+            self.order.push((shard as u32, local as u32));
+        }
+        self.rebuild_global();
+        assigned
+    }
+
+    /// Evicts every live table whose id is in `ids`. Removal tombstones the
+    /// table in its owning shard (eager LSH eviction, interval tree
+    /// filtered at query time); a shard whose tombstone fraction reaches
+    /// the compaction threshold is compacted in place. Returns the number
+    /// of tables removed. Unknown ids are ignored.
+    pub fn remove_tables(&mut self, ids: &[u64]) -> usize {
+        // Set lookup keeps a batch eviction O(live tables), not
+        // O(live tables x ids).
+        let ids: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let mut removed = 0usize;
+        let shards = &mut self.shards;
+        self.order.retain(|&(s, l)| {
+            let (s, l) = (s as usize, l as usize);
+            if ids.contains(&shards[s].meta[l].id) && shards[s].tombstone(l) {
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if removed == 0 {
+            return 0;
+        }
+        let threshold = self.compaction_threshold;
+        self.compact_where(|sh| sh.dead_fraction() >= threshold && sh.n_dead() > 0);
+        self.rebuild_global();
+        removed
+    }
+
+    /// Compacts every shard holding tombstones, reclaiming dead slots and
+    /// rebuilding the affected indexes over the live survivors. After
+    /// compaction the engine is bit-identical (including snapshot bytes) to
+    /// one freshly built over its live tables in the same order and shard
+    /// layout.
+    pub fn compact(&mut self) {
+        self.compact_where(|sh| sh.n_dead() > 0);
+        self.rebuild_global();
+    }
+
+    fn compact_where(&mut self, pred: impl Fn(&EngineShard) -> bool) {
+        let embed_dim = self.model.config.embed_dim;
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            if !pred(shard) {
+                continue;
+            }
+            let Some(remap) = shard.compact(embed_dim) else {
+                continue;
+            };
+            for loc in self.order.iter_mut().filter(|(s, _)| *s as usize == si) {
+                loc.1 = remap[loc.1 as usize].expect("live table compacted away") as u32;
+            }
+        }
+    }
+
+    /// Redistributes the live corpus round-robin (in global order) across
+    /// `n_shards` shards, rebuilding the per-shard indexes from the cached
+    /// encodings — no table is re-encoded. Search results are identical for
+    /// every shard count. Tombstoned slots are dropped in the process.
+    pub fn reshard(&mut self, n_shards: usize) -> Result<(), EngineError> {
+        if n_shards == 0 {
+            return Err(EngineError::InvalidConfig(
+                "reshard: shard count must be at least 1".into(),
+            ));
+        }
+        let embed_dim = self.model.config.embed_dim;
+        // Drain live slots in global order.
+        let order = std::mem::take(&mut self.order);
+        let mut old = std::mem::take(&mut self.shards);
+        let mut per_shard: Vec<Vec<SlotData>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut new_order = Vec::with_capacity(order.len());
+        for (pos, (s, l)) in order.into_iter().enumerate() {
+            let (s, l) = (s as usize, l as usize);
+            let sh = &mut old[s];
+            let slot = SlotData {
+                meta: std::mem::replace(
+                    &mut sh.meta[l],
+                    TableMeta {
+                        id: 0,
+                        name: String::new(),
+                    },
+                ),
+                table: std::mem::replace(
+                    &mut sh.repo.tables[l],
+                    lcdd_fcm::input::ProcessedTable {
+                        table_id: 0,
+                        column_segments: Vec::new(),
+                        column_ranges: Vec::new(),
+                    },
+                ),
+                encodings: std::mem::take(&mut sh.repo.encodings[l]),
+                intervals: std::mem::take(&mut sh.slot_intervals[l]),
+            };
+            let target = pos % n_shards;
+            new_order.push((target as u32, per_shard[target].len() as u32));
+            per_shard[target].push(slot);
+        }
+        self.shards = per_shard
+            .into_iter()
+            .map(|slots| EngineShard::from_slots(slots, embed_dim, self.hybrid_cfg.clone()))
+            .collect();
+        self.order = new_order;
+        self.rebuild_global();
+        Ok(())
+    }
+
+    /// Recomputes the engine-global state after any mutation: per-slot
+    /// global positions and the global pooled-mean centering reference
+    /// (accumulated over live tables in global ingest order, so the result
+    /// is bit-identical for every shard layout of the same corpus), which
+    /// is then mirrored into every shard's repository slice.
+    pub(crate) fn rebuild_global(&mut self) {
+        for (pos, &(s, l)) in self.order.iter().enumerate() {
+            self.shards[s as usize].global_pos[l as usize] = pos;
+        }
+        let k = self.model.config.embed_dim;
+        self.pooled_mean = pooled_mean_of(
+            self.order
+                .iter()
+                .map(|&(s, l)| &self.shards[s as usize].repo.encodings[l as usize]),
+            k,
+        );
+        for shard in &mut self.shards {
+            shard.repo.pooled_mean = self.pooled_mean.clone();
+        }
+    }
+
+    // ---- search ----------------------------------------------------------
 
     /// Answers one typed query.
     pub fn search(
@@ -143,38 +371,80 @@ impl Engine {
         let line_embs = mean_pooled(&ev);
         let encode_s = t.elapsed().as_secs_f64();
 
+        // Candidate generation fans out across shards on the work pool.
         let t = Instant::now();
-        let cand = self
-            .index
-            .candidates_with_stats(opts.strategy, pq.y_range, &line_embs);
+        let cands: Vec<CandidateSet> = pool::par_map(&self.shards, |sh| {
+            sh.index()
+                .candidates_with_stats(opts.strategy, pq.y_range, &line_embs)
+        });
+        let flat: Vec<(u32, u32)> = cands
+            .iter()
+            .enumerate()
+            .flat_map(|(si, c)| c.ids.iter().map(move |&l| (si as u32, l as u32)))
+            .collect();
         let prune_s = t.elapsed().as_secs_f64();
 
+        // Scoring runs in one flat parallel pass over every surviving
+        // candidate, so a single-shard engine loses no parallelism and an
+        // imbalanced shard cannot straggle the whole query.
         let t = Instant::now();
-        let mut scored: Vec<(usize, f32)> = pool::par_map(&cand.ids, |&ti| {
-            (ti, score_against(&self.model, &self.repo, &ev, &pq, ti))
+        let scored: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
+            score_against(
+                &self.model,
+                &self.shards[s as usize].repo,
+                &ev,
+                &pq,
+                l as usize,
+            )
         });
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut ranked: Vec<(f32, u64, usize, (u32, u32))> = flat
+            .iter()
+            .zip(&scored)
+            .map(|(&(s, l), &score)| {
+                let shard = &self.shards[s as usize];
+                (
+                    score,
+                    shard.meta[l as usize].id,
+                    shard.global_pos[l as usize],
+                    (s, l),
+                )
+            })
+            .collect();
+        // Total order: score desc, then table id asc, then global position
+        // asc — merged rankings are identical for every shard layout.
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
         let score_s = t.elapsed().as_secs_f64();
 
-        let hits: Vec<SearchHit> = scored
+        let hits: Vec<SearchHit> = ranked
             .iter()
             .take(opts.k)
-            .filter(|&&(_, s)| opts.min_score.is_none_or(|m| s >= m))
-            .map(|&(i, score)| SearchHit {
-                index: i,
-                table_id: self.meta[i].id,
-                table_name: self.meta[i].name.clone(),
+            .filter(|&&(score, ..)| opts.min_score.is_none_or(|m| score >= m))
+            .map(|&(score, table_id, pos, (s, l))| SearchHit {
+                index: pos,
+                table_id,
+                table_name: self.shards[s as usize].meta[l as usize].name.clone(),
                 score,
             })
             .collect();
 
+        let sum_stage = |f: fn(&CandidateSet) -> Option<usize>| -> Option<usize> {
+            cands
+                .iter()
+                .map(f)
+                .try_fold(0usize, |acc, v| v.map(|n| acc + n))
+        };
         Ok(SearchResponse {
             hits,
             counts: StageCounts {
-                total: self.repo.len(),
-                after_interval: cand.after_interval,
-                after_lsh: cand.after_lsh,
-                scored: cand.ids.len(),
+                total: self.len(),
+                after_interval: sum_stage(|c| c.after_interval),
+                after_lsh: sum_stage(|c| c.after_lsh),
+                scored: flat.len(),
             },
             timings: StageTimings {
                 extract_s,
@@ -190,6 +460,9 @@ impl Engine {
     /// Answers a batch of queries, fanned across the shared work pool
     /// (per-query candidate scoring then runs serially inside each worker
     /// — nested pool calls degrade gracefully).
+    ///
+    /// An empty `queries` slice is a defined no-op: the result is an empty
+    /// vector, never an error.
     pub fn search_batch(
         &self,
         queries: &[Query],
@@ -198,33 +471,57 @@ impl Engine {
         pool::par_map(queries, |q| self.search(q, opts))
     }
 
-    /// The candidate set (with per-stage counts) the index produces for a
-    /// pre-extracted query under `strategy`, without scoring. Exposed for
-    /// index experiments and diagnostics.
-    pub fn candidates(
-        &self,
-        extracted: &ExtractedChart,
-        strategy: lcdd_index::IndexStrategy,
-    ) -> CandidateSet {
+    /// The merged candidate set (with per-stage counts summed over shards)
+    /// the indexes produce for a pre-extracted query under `strategy`,
+    /// without scoring. Ids are global corpus positions. Exposed for index
+    /// experiments and diagnostics.
+    pub fn candidates(&self, extracted: &ExtractedChart, strategy: IndexStrategy) -> CandidateSet {
         let pq = process_query(extracted, &self.model.config);
         let line_embs = if pq.line_patches.is_empty() {
             Vec::new()
         } else {
             mean_pooled(&self.model.encode_query_values(&pq))
         };
-        self.index
-            .candidates_with_stats(strategy, pq.y_range, &line_embs)
+        let per_shard: Vec<CandidateSet> = pool::par_map(&self.shards, |sh| {
+            sh.index()
+                .candidates_with_stats(strategy, pq.y_range, &line_embs)
+        });
+        let mut ids: Vec<usize> = per_shard
+            .iter()
+            .enumerate()
+            .flat_map(|(si, c)| c.ids.iter().map(move |&l| self.shards[si].global_pos[l]))
+            .collect();
+        ids.sort_unstable();
+        let sum_stage = |f: fn(&CandidateSet) -> Option<usize>| -> Option<usize> {
+            per_shard
+                .iter()
+                .map(f)
+                .try_fold(0usize, |acc, v| v.map(|n| acc + n))
+        };
+        CandidateSet {
+            after_interval: sum_stage(|c| c.after_interval),
+            after_lsh: sum_stage(|c| c.after_lsh),
+            ids,
+        }
     }
 
-    /// Preprocesses + scores one query against one specific table through
-    /// the cached encodings (the point-lookup counterpart of `search`).
+    /// Preprocesses + scores one query against the live table at global
+    /// position `index` through the cached encodings (the point-lookup
+    /// counterpart of `search`).
     pub fn score_one(&self, extracted: &ExtractedChart, index: usize) -> Result<f32, EngineError> {
         let pq: ProcessedQuery = process_query(extracted, &self.model.config);
         if pq.line_patches.is_empty() {
             return Err(EngineError::EmptyQuery);
         }
         let ev = self.model.encode_query_values(&pq);
-        Ok(score_against(&self.model, &self.repo, &ev, &pq, index))
+        let (s, l) = self.order[index];
+        Ok(score_against(
+            &self.model,
+            &self.shards[s as usize].repo,
+            &ev,
+            &pq,
+            l as usize,
+        ))
     }
 }
 

@@ -18,153 +18,38 @@
 //!                  timings }     timings:    per-stage wall clock
 //! ```
 //!
+//! The corpus is split across N [`EngineShard`]s (configure with
+//! [`EngineBuilder::shards`]; redistribute live with [`Engine::reshard`]).
+//! Search results are **identical for every shard count** — queries fan
+//! out across shards on the shared work pool and merge top-k with
+//! deterministic `(score, table_id, position)` tie-breaking, a guarantee
+//! the shard-equivalence property suite enforces hit-for-hit.
+//!
+//! The corpus is **mutable**: [`Engine::insert_tables`] encodes only the
+//! new tables (never the resident corpus) and updates the receiving
+//! shard's index incrementally; [`Engine::remove_tables`] tombstones, and
+//! shards compact automatically past a dead-slot threshold (or on demand
+//! via [`Engine::compact`]).
+//!
 //! [`Engine::search_batch`] fans a query batch across the shared work
 //! pool; [`Engine::save`] / [`Engine::load`] persist model weights, cached
-//! repository encodings and index structures together (versioned header),
-//! so a serving process restarts without re-encoding the corpus.
+//! repository encodings and index structures together (`LCDDSNP2`:
+//! per-shard sections behind a checksummed, versioned header — legacy
+//! `LCDDSNP1` snapshots still load), so a serving process restarts without
+//! re-encoding the corpus.
 //!
 //! Errors are surfaced as [`EngineError`] values — no panics on bad
 //! configs, corrupt snapshots or empty queries.
 
 pub mod builder;
 pub mod engine;
+pub mod shard;
 pub mod snapshot;
 pub mod types;
 
 pub use builder::{entries_from_tables, EngineBuilder};
-pub use engine::{Engine, TableMeta};
+pub use engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
 pub use lcdd_fcm::EngineError;
 pub use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
+pub use shard::EngineShard;
 pub use types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use lcdd_fcm::{FcmConfig, FcmModel};
-    use lcdd_table::{Column, Table};
-
-    fn tiny_tables() -> Vec<Table> {
-        (0..6)
-            .map(|i| {
-                let vals: Vec<f64> = (0..90)
-                    .map(|j| ((j + i * 11) as f64 / 6.0).sin() * (i + 1) as f64)
-                    .collect();
-                Table::new(i as u64, format!("table-{i}"), vec![Column::new("c", vals)])
-            })
-            .collect()
-    }
-
-    fn tiny_engine() -> Engine {
-        EngineBuilder::new(FcmModel::new(FcmConfig::tiny()))
-            .ingest_tables(tiny_tables())
-            .build()
-            .unwrap()
-    }
-
-    #[test]
-    fn build_and_search_series_query() {
-        let engine = tiny_engine();
-        assert_eq!(engine.len(), 6);
-        let q = Query::from_series(vec![(0..90)
-            .map(|j| ((j + 22) as f64 / 6.0).sin() * 3.0)
-            .collect()]);
-        let resp = engine.search(&q, &SearchOptions::top_k(3)).unwrap();
-        assert!(resp.hits.len() <= 3);
-        for w in resp.hits.windows(2) {
-            assert!(w[0].score >= w[1].score);
-        }
-        assert_eq!(resp.counts.total, 6);
-        assert!(resp.timings.total_s > 0.0);
-        // Hits carry table identity.
-        for h in &resp.hits {
-            assert_eq!(h.table_name, format!("table-{}", h.table_id));
-        }
-    }
-
-    #[test]
-    fn per_query_strategy_override_without_rebuild() {
-        let engine = tiny_engine();
-        let q = Query::from_series(vec![(0..90).map(|j| (j as f64 / 6.0).sin()).collect()]);
-        for strategy in IndexStrategy::ALL {
-            let resp = engine
-                .search(&q, &SearchOptions::top_k(6).with_strategy(strategy))
-                .unwrap();
-            assert_eq!(resp.strategy, strategy);
-            match strategy {
-                IndexStrategy::NoIndex => {
-                    assert_eq!(resp.counts.scored, 6);
-                    assert!(resp.counts.after_interval.is_none());
-                }
-                IndexStrategy::Hybrid => {
-                    assert!(resp.counts.after_interval.is_some());
-                    assert!(resp.counts.after_lsh.is_some());
-                }
-                _ => {}
-            }
-            assert!(resp.counts.scored <= resp.counts.total);
-        }
-    }
-
-    #[test]
-    fn batch_matches_sequential() {
-        let engine = tiny_engine();
-        let queries: Vec<Query> = (0..3)
-            .map(|i| {
-                Query::from_series(vec![(0..90)
-                    .map(|j| ((j + i * 17) as f64 / 5.0).cos())
-                    .collect()])
-            })
-            .collect();
-        let opts = SearchOptions::top_k(4);
-        let batch = engine.search_batch(&queries, &opts);
-        for (q, b) in queries.iter().zip(&batch) {
-            let solo = engine.search(q, &opts).unwrap();
-            let b = b.as_ref().unwrap();
-            assert_eq!(solo.ranked_indices(), b.ranked_indices());
-            assert_eq!(solo.counts, b.counts);
-        }
-    }
-
-    #[test]
-    fn min_score_threshold_filters_hits() {
-        let engine = tiny_engine();
-        let q = Query::from_series(vec![(0..90).map(|j| (j as f64 / 6.0).sin()).collect()]);
-        let all = engine.search(&q, &SearchOptions::top_k(6)).unwrap();
-        let thresholded = engine
-            .search(&q, &SearchOptions::top_k(6).with_min_score(1.1))
-            .unwrap();
-        assert!(all.hits.len() >= thresholded.hits.len());
-        assert!(thresholded.hits.is_empty(), "scores are <= 1.0");
-    }
-
-    #[test]
-    fn image_query_without_trained_extractor_is_rejected() {
-        let engine = tiny_engine();
-        let img = lcdd_chart::RgbImage::new(32, 32, lcdd_chart::Rgb::WHITE);
-        match engine.search(&Query::Chart(img), &SearchOptions::default()) {
-            Err(EngineError::UnsupportedQuery(_)) => {}
-            other => panic!("expected UnsupportedQuery, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn empty_series_is_an_empty_query() {
-        let engine = tiny_engine();
-        match engine.search(&Query::from_series(vec![]), &SearchOptions::default()) {
-            Err(EngineError::EmptyQuery) => {}
-            other => panic!("expected EmptyQuery, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn invalid_config_is_reported_not_panicked() {
-        let cfg = FcmConfig {
-            embed_dim: 33,
-            ..FcmConfig::tiny()
-        };
-        match EngineBuilder::from_config(cfg) {
-            Err(EngineError::InvalidConfig(msg)) => assert!(msg.contains("embed_dim")),
-            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
-        }
-    }
-}

@@ -1,0 +1,248 @@
+//! One shard of the engine: a slice of the corpus with its own cached
+//! encodings and hybrid index.
+//!
+//! A shard owns *slots*. Each slot holds one ingested table (identity,
+//! preprocessed segments, cached encodings, and the index intervals its
+//! columns contribute). Slots are append-only between compactions: removal
+//! tombstones a slot in the shard's [`HybridIndex`], and compaction
+//! (driven by [`crate::Engine::compact`]) reclaims dead slots by
+//! rebuilding the shard's vectors and index over the live survivors —
+//! after which the shard is bit-identical to one freshly built from those
+//! tables.
+//!
+//! Shards never see queries directly; [`crate::Engine`] fans a query's
+//! candidate generation across shards on the shared work pool and merges
+//! the scored results with deterministic tie-breaking.
+
+use lcdd_fcm::input::ProcessedTable;
+use lcdd_fcm::EncodedRepository;
+use lcdd_index::{HybridConfig, HybridIndex, Interval};
+use lcdd_tensor::Matrix;
+
+use crate::engine::TableMeta;
+
+/// Everything one ingested table contributes to a shard.
+pub(crate) struct SlotData {
+    pub meta: TableMeta,
+    pub table: ProcessedTable,
+    pub encodings: Vec<Matrix>,
+    /// `[lo, hi]` index intervals of the table's columns (the
+    /// `[min(C), sum(C)]` ranges of Sec. VI-A).
+    pub intervals: Vec<(f64, f64)>,
+}
+
+impl SlotData {
+    /// The one place a raw table + its encoder outputs become a slot —
+    /// batch build and live insert must assemble slots identically or the
+    /// incremental path diverges from the batch path.
+    pub(crate) fn from_encoded(
+        table: &lcdd_table::Table,
+        processed: ProcessedTable,
+        encodings: Vec<Matrix>,
+    ) -> Self {
+        SlotData {
+            meta: TableMeta {
+                id: table.id,
+                name: table.name.clone(),
+            },
+            table: processed,
+            encodings,
+            intervals: table
+                .columns
+                .iter()
+                .filter_map(|c| c.index_interval())
+                .collect(),
+        }
+    }
+}
+
+/// One shard: a slot-indexed slice of the corpus plus its index structures.
+pub struct EngineShard {
+    /// Slot-indexed repository slice. `pooled_mean` here is a copy of the
+    /// *global* centering reference (kept in sync by the engine), so the
+    /// cached scoring path is layout-independent.
+    pub(crate) repo: EncodedRepository,
+    pub(crate) meta: Vec<TableMeta>,
+    pub(crate) slot_intervals: Vec<Vec<(f64, f64)>>,
+    /// Local index over slot ids; tombstones live here.
+    pub(crate) index: HybridIndex,
+    /// Slot -> position in the engine's global table order (engine-owned;
+    /// stale for dead slots).
+    pub(crate) global_pos: Vec<usize>,
+}
+
+impl EngineShard {
+    /// Assembles a shard from slot data (build, reshard and snapshot-load
+    /// all come through here). The repository's `pooled_mean` starts empty;
+    /// the engine installs the global one right after.
+    pub(crate) fn from_slots(slots: Vec<SlotData>, embed_dim: usize, cfg: HybridConfig) -> Self {
+        let mut meta = Vec::with_capacity(slots.len());
+        let mut tables = Vec::with_capacity(slots.len());
+        let mut encodings = Vec::with_capacity(slots.len());
+        let mut slot_intervals = Vec::with_capacity(slots.len());
+        for s in slots {
+            meta.push(s.meta);
+            tables.push(s.table);
+            encodings.push(s.encodings);
+            slot_intervals.push(s.intervals);
+        }
+        let repo = EncodedRepository {
+            tables,
+            encodings,
+            pooled_mean: Matrix::zeros(1, embed_dim),
+        };
+        let index = Self::build_index(&repo, &slot_intervals, embed_dim, cfg);
+        let global_pos = vec![0; meta.len()];
+        EngineShard {
+            repo,
+            meta,
+            slot_intervals,
+            index,
+            global_pos,
+        }
+    }
+
+    fn build_index(
+        repo: &EncodedRepository,
+        slot_intervals: &[Vec<(f64, f64)>],
+        embed_dim: usize,
+        cfg: HybridConfig,
+    ) -> HybridIndex {
+        let flat: Vec<Interval> = slot_intervals
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, ivs)| {
+                ivs.iter().map(move |&(lo, hi)| Interval {
+                    lo,
+                    hi,
+                    dataset_id: slot,
+                })
+            })
+            .collect();
+        HybridIndex::from_parts(flat, &repo.column_embeddings(), embed_dim, repo.len(), cfg)
+    }
+
+    /// Number of slots, including tombstoned ones.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Number of live tables in this shard.
+    pub fn live_len(&self) -> usize {
+        self.index.live_len()
+    }
+
+    /// True when the shard holds no live tables.
+    pub fn is_empty(&self) -> bool {
+        self.live_len() == 0
+    }
+
+    /// Number of tombstoned slots awaiting compaction.
+    pub fn n_dead(&self) -> usize {
+        self.index.n_dead()
+    }
+
+    /// Fraction of slots that are tombstones (0 for an empty shard).
+    pub fn dead_fraction(&self) -> f64 {
+        if self.meta.is_empty() {
+            0.0
+        } else {
+            self.n_dead() as f64 / self.meta.len() as f64
+        }
+    }
+
+    /// True when `slot` is tombstoned.
+    pub fn is_dead(&self, slot: usize) -> bool {
+        self.index.is_dead(slot)
+    }
+
+    /// Identity of the table in `slot`.
+    pub fn table_meta(&self, slot: usize) -> &TableMeta {
+        &self.meta[slot]
+    }
+
+    /// The shard's slice of cached encodings.
+    pub fn repository(&self) -> &EncodedRepository {
+        &self.repo
+    }
+
+    /// The shard's local hybrid index.
+    pub fn index(&self) -> &HybridIndex {
+        &self.index
+    }
+
+    /// Pooled column embeddings of one slot (what its LSH entries hash).
+    fn slot_embeddings(&self, slot: usize) -> Vec<Vec<f32>> {
+        (0..self.repo.encodings[slot].len())
+            .map(|c| self.repo.column_embedding(slot, c))
+            .collect()
+    }
+
+    /// Appends one table as a new live slot, updating the index
+    /// incrementally. Returns the slot id.
+    pub(crate) fn push_slot(&mut self, slot: SlotData) -> usize {
+        let id = self.meta.len();
+        self.meta.push(slot.meta);
+        self.repo.tables.push(slot.table);
+        self.repo.encodings.push(slot.encodings);
+        self.slot_intervals.push(slot.intervals);
+        self.global_pos.push(0);
+        let embeddings = self.slot_embeddings(id);
+        let assigned = self
+            .index
+            .insert_dataset(&self.slot_intervals[id], &embeddings);
+        debug_assert_eq!(assigned, id, "shard slots and index ids must agree");
+        id
+    }
+
+    /// Tombstones a slot (evicting it from the LSH buckets eagerly).
+    /// Returns false when the slot was already dead.
+    pub(crate) fn tombstone(&mut self, slot: usize) -> bool {
+        let embeddings = self.slot_embeddings(slot);
+        self.index.remove_dataset(slot, &embeddings)
+    }
+
+    /// Reclaims tombstoned slots: drops dead entries from every vector and
+    /// rebuilds the index over the survivors (restoring interval-tree
+    /// balance). Returns the slot remap (`old slot -> new slot`, `None` for
+    /// dead slots), or `None` when the shard had no tombstones.
+    pub(crate) fn compact(&mut self, embed_dim: usize) -> Option<Vec<Option<usize>>> {
+        if self.n_dead() == 0 {
+            return None;
+        }
+        let n = self.meta.len();
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(n);
+        let mut next = 0usize;
+        for slot in 0..n {
+            if self.index.is_dead(slot) {
+                remap.push(None);
+            } else {
+                remap.push(Some(next));
+                next += 1;
+            }
+        }
+        let live = |slot: usize| remap[slot].is_some();
+        retain_indexed(&mut self.meta, live);
+        retain_indexed(&mut self.repo.tables, live);
+        retain_indexed(&mut self.repo.encodings, live);
+        retain_indexed(&mut self.slot_intervals, live);
+        retain_indexed(&mut self.global_pos, live);
+        self.index = Self::build_index(
+            &self.repo,
+            &self.slot_intervals,
+            embed_dim,
+            self.index.config().clone(),
+        );
+        Some(remap)
+    }
+}
+
+/// `Vec::retain` keyed by index instead of value.
+fn retain_indexed<T>(v: &mut Vec<T>, keep: impl Fn(usize) -> bool) {
+    let mut i = 0usize;
+    v.retain(|_| {
+        let k = keep(i);
+        i += 1;
+        k
+    });
+}

@@ -2,25 +2,46 @@
 //! index structures in one versioned file, so serving starts without
 //! re-encoding the corpus.
 //!
-//! Layout (all little-endian; strings are `u32` length + UTF-8 bytes,
-//! matrices are `u32 rows, u32 cols, f32 * rows*cols`):
+//! Two formats are understood:
 //!
-//! ```text
-//! magic   "LCDDSNP1"                           (8 bytes)
-//! version u32 (currently 1)
-//! fcm config      (13 u64 fields, 2 bool bytes, 1 f64, 1 u64 seed)
-//! hybrid config   (u64 bits, u32 radius, f64 slack, u64 seed)
-//! model weights   (lcdd_tensor::io::write_params block)
-//! tables  u64 count; per table: id u64, name, n_cols u64,
-//!         per column: segment matrix + (f64, f64) range
-//! encodings       per table: n_cols u64, per column: N2 x K matrix
-//! pooled_mean     matrix
-//! intervals       u64 count; per interval: lo f64, hi f64, dataset u64
-//! ```
+//! * **`LCDDSNP2`** (current, written by [`Engine::save`]): sharded and
+//!   integrity-checked. Layout (all little-endian; strings are `u32`
+//!   length + UTF-8 bytes, matrices `u32 rows, u32 cols, f32*rows*cols`):
+//!
+//!   ```text
+//!   magic   "LCDDSNP2"                        (8 bytes)
+//!   version u32 (currently 2)
+//!   payload_len  u64
+//!   payload_hash u64 (FNV-1a over the payload bytes)
+//!   payload:
+//!     fcm config    (13 u64 fields, 2 bool bytes, 1 f64, 1 u64 seed)
+//!     hybrid config (u64 bits, u32 radius, f64 slack, u64 seed)
+//!     model weights (lcdd_tensor::io::write_params block)
+//!     n_shards u64
+//!     order    u64 count; per live table: u32 shard, u32 slot
+//!     per shard: u64 section_len, then the section:
+//!       tables    u64 count; per table: id u64, name, n_cols u64,
+//!                 per column: segment matrix + (f64, f64) range
+//!       encodings per table: n_cols u64, per column: N2 x K matrix
+//!       intervals per table: u64 count; per interval: lo f64, hi f64
+//!   ```
+//!
+//!   Only *live* tables are written (tombstones are compacted away on
+//!   serialization), and the payload hash makes corruption detection
+//!   total: any truncation or bit flip — header, section boundary, or
+//!   payload interior — surfaces as [`EngineError::Snapshot`], never a
+//!   panic and never a silently different engine.
+//!
+//! * **`LCDDSNP1`** (legacy, PR 2's monolithic format): still loaded, into
+//!   a single-shard engine — [`Engine::reshard`] redistributes afterwards
+//!   with identical results. [`Engine::save_v1_to`] keeps a writer around
+//!   for compatibility tests and downgrades.
 //!
 //! The interval tree and LSH structures are *deterministic* functions of
 //! the persisted intervals / embeddings / seed, so they are rebuilt on
-//! load and answer queries identically (asserted by the round-trip tests).
+//! load and answer queries identically; likewise the global pooled-mean
+//! centering reference is recomputed from the persisted encodings in
+//! global order, bit-identically (asserted by the round-trip tests).
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -28,15 +49,18 @@ use std::path::Path;
 use lcdd_chart::ChartStyle;
 use lcdd_fcm::input::ProcessedTable;
 use lcdd_fcm::persist::{read_model_into, write_model};
-use lcdd_fcm::{EncodedRepository, EngineError, FcmConfig, FcmModel};
-use lcdd_index::{HybridConfig, HybridIndex, Interval};
+use lcdd_fcm::{EngineError, FcmConfig, FcmModel};
+use lcdd_index::HybridConfig;
 use lcdd_tensor::Matrix;
 use lcdd_vision::VisualElementExtractor;
 
-use crate::engine::{Engine, TableMeta};
+use crate::engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
+use crate::shard::{EngineShard, SlotData};
 
-const MAGIC: &[u8; 8] = b"LCDDSNP1";
-const VERSION: u32 = 1;
+const MAGIC_V1: &[u8; 8] = b"LCDDSNP1";
+const MAGIC_V2: &[u8; 8] = b"LCDDSNP2";
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 // ---- primitive writers / readers -----------------------------------------
 
@@ -145,6 +169,29 @@ fn rmat<R: Read>(r: &mut R) -> Result<Matrix, EngineError> {
     Ok(Matrix::from_vec(rows, cols, data))
 }
 
+/// FNV-1a over a byte slice — the payload integrity hash. Not
+/// cryptographic; it guards against truncation and accidental corruption,
+/// which is the snapshot threat model.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Maps low-level payload read errors (EOF inside a section) to
+/// [`EngineError::Snapshot`]: by the time the payload is parsed its
+/// checksum has been verified, so a short read is a malformed snapshot,
+/// not an I/O condition the caller can retry.
+fn payload_err(e: EngineError) -> EngineError {
+    match e {
+        EngineError::Io(e) => EngineError::Snapshot(format!("payload ended early: {e}")),
+        other => other,
+    }
+}
+
 // ---- config sections -----------------------------------------------------
 
 fn write_fcm_config<W: Write>(w: &mut W, c: &FcmConfig) -> Result<(), EngineError> {
@@ -218,58 +265,369 @@ fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, EngineError> {
     })
 }
 
+// ---- v2: shard sections --------------------------------------------------
+
+/// One table's worth of a shard section (what `SlotData` becomes on disk).
+fn write_slot<W: Write>(
+    w: &mut W,
+    meta: &TableMeta,
+    pt: &ProcessedTable,
+) -> Result<(), EngineError> {
+    wu64(w, meta.id)?;
+    wstr(w, &meta.name)?;
+    wusize(w, pt.column_segments.len())?;
+    for (seg, &(lo, hi)) in pt.column_segments.iter().zip(&pt.column_ranges) {
+        wmat(w, seg)?;
+        wf64(w, lo)?;
+        wf64(w, hi)?;
+    }
+    Ok(())
+}
+
+/// Serializes one shard's live slots (in slot order) as a self-contained
+/// section.
+fn write_shard_section(shard: &EngineShard, live: &[usize]) -> Result<Vec<u8>, EngineError> {
+    let mut w = Vec::new();
+    wusize(&mut w, live.len())?;
+    for &slot in live {
+        write_slot(&mut w, &shard.meta[slot], &shard.repo.tables[slot])?;
+    }
+    for &slot in live {
+        let cols = &shard.repo.encodings[slot];
+        wusize(&mut w, cols.len())?;
+        for col in cols {
+            wmat(&mut w, col)?;
+        }
+    }
+    for &slot in live {
+        let ivs = &shard.slot_intervals[slot];
+        wusize(&mut w, ivs.len())?;
+        for &(lo, hi) in ivs {
+            wf64(&mut w, lo)?;
+            wf64(&mut w, hi)?;
+        }
+    }
+    Ok(w)
+}
+
+fn read_shard_section(bytes: &[u8], shard_idx: usize) -> Result<Vec<SlotData>, EngineError> {
+    let mut r = bytes;
+    let n_tables = rusize(&mut r)?;
+    let mut metas = Vec::with_capacity(n_tables.min(65_536));
+    let mut tables = Vec::with_capacity(n_tables.min(65_536));
+    for _ in 0..n_tables {
+        let id = ru64(&mut r)?;
+        let name = rstr(&mut r)?;
+        let n_cols = rusize(&mut r)?;
+        let mut column_segments = Vec::with_capacity(n_cols.min(65_536));
+        let mut column_ranges = Vec::with_capacity(n_cols.min(65_536));
+        for _ in 0..n_cols {
+            column_segments.push(rmat(&mut r)?);
+            let lo = rf64(&mut r)?;
+            let hi = rf64(&mut r)?;
+            column_ranges.push((lo, hi));
+        }
+        metas.push(TableMeta { id, name });
+        tables.push(ProcessedTable {
+            table_id: id,
+            column_segments,
+            column_ranges,
+        });
+    }
+    let mut encodings = Vec::with_capacity(n_tables.min(65_536));
+    for (ti, table) in tables.iter().enumerate() {
+        let n_cols = rusize(&mut r)?;
+        if n_cols != table.column_segments.len() {
+            return Err(EngineError::Snapshot(format!(
+                "shard {shard_idx}, table {ti}: {n_cols} encodings for {} columns",
+                table.column_segments.len()
+            )));
+        }
+        let mut cols = Vec::with_capacity(n_cols.min(65_536));
+        for _ in 0..n_cols {
+            cols.push(rmat(&mut r)?);
+        }
+        encodings.push(cols);
+    }
+    let mut slot_intervals = Vec::with_capacity(n_tables.min(65_536));
+    for _ in 0..n_tables {
+        let n_iv = rusize(&mut r)?;
+        if n_iv > MAX_FIELD_BYTES / 16 {
+            return Err(EngineError::Snapshot(format!(
+                "shard {shard_idx}: implausible interval count {n_iv}"
+            )));
+        }
+        let mut ivs = Vec::with_capacity(n_iv.min(65_536));
+        for _ in 0..n_iv {
+            let lo = rf64(&mut r)?;
+            let hi = rf64(&mut r)?;
+            ivs.push((lo, hi));
+        }
+        slot_intervals.push(ivs);
+    }
+    if !r.is_empty() {
+        return Err(EngineError::Snapshot(format!(
+            "shard {shard_idx}: {} trailing bytes in section",
+            r.len()
+        )));
+    }
+    Ok(metas
+        .into_iter()
+        .zip(tables)
+        .zip(encodings)
+        .zip(slot_intervals)
+        .map(|(((meta, table), encodings), intervals)| SlotData {
+            meta,
+            table,
+            encodings,
+            intervals,
+        })
+        .collect())
+}
+
 // ---- the snapshot itself -------------------------------------------------
 
 impl Engine {
-    /// Writes the full serving state to a writer.
+    /// Writes the full serving state to a writer in the current
+    /// (`LCDDSNP2`, sharded + checksummed) format. Only live tables are
+    /// written: a snapshot of an engine with pending tombstones equals the
+    /// snapshot of its compacted self.
     pub fn save_to<W: Write>(&self, mut w: W) -> Result<(), EngineError> {
-        w.write_all(MAGIC)?;
-        wu32(&mut w, VERSION)?;
+        let mut p = Vec::new();
+        write_fcm_config(&mut p, &self.model.config)?;
+        write_hybrid_config(&mut p, &self.hybrid_cfg)?;
+        write_model(&self.model, &mut p)?;
+
+        // Per-shard live slots (slot order) and the slot -> compact-slot
+        // remap the order entries are written through.
+        let live: Vec<Vec<usize>> = self
+            .shards
+            .iter()
+            .map(|sh| (0..sh.len()).filter(|&s| !sh.is_dead(s)).collect())
+            .collect();
+        let remap: Vec<Vec<Option<u32>>> = self
+            .shards
+            .iter()
+            .zip(&live)
+            .map(|(sh, live)| {
+                let mut m = vec![None; sh.len()];
+                for (compact, &slot) in live.iter().enumerate() {
+                    m[slot] = Some(compact as u32);
+                }
+                m
+            })
+            .collect();
+        wusize(&mut p, self.shards.len())?;
+        wusize(&mut p, self.order.len())?;
+        for &(s, l) in &self.order {
+            let compact = remap[s as usize][l as usize]
+                .ok_or_else(|| EngineError::Snapshot("order references a dead slot".into()))?;
+            wu32(&mut p, s)?;
+            wu32(&mut p, compact)?;
+        }
+        for (shard, live) in self.shards.iter().zip(&live) {
+            let section = write_shard_section(shard, live)?;
+            wusize(&mut p, section.len())?;
+            p.extend_from_slice(&section);
+        }
+
+        w.write_all(MAGIC_V2)?;
+        wu32(&mut w, VERSION_V2)?;
+        wusize(&mut w, p.len())?;
+        wu64(&mut w, fnv1a64(&p))?;
+        w.write_all(&p)?;
+        Ok(())
+    }
+
+    /// Restores an engine from a reader, accepting both the current
+    /// `LCDDSNP2` format and legacy `LCDDSNP1` snapshots (which load into a
+    /// single shard; [`Engine::reshard`] redistributes with identical
+    /// results). Serving configuration is not part of a snapshot: the
+    /// restored engine uses the oracle extractor, default chart style and
+    /// the default compaction threshold — call [`Engine::set_extractor`]
+    /// to serve raw image queries and
+    /// [`Engine::set_compaction_threshold`] to re-apply a custom eviction
+    /// policy.
+    ///
+    /// Corrupt input — bad magic, unknown version, truncation, bit flips —
+    /// is reported as [`EngineError::Snapshot`]; this function does not
+    /// panic on malformed bytes.
+    pub fn load_from<R: Read>(mut r: R) -> Result<Engine, EngineError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|e| EngineError::Snapshot(format!("missing magic: {e}")))?;
+        match &magic {
+            m if m == MAGIC_V2 => Self::load_v2(r),
+            m if m == MAGIC_V1 => Self::load_v1(r),
+            _ => Err(EngineError::Snapshot("bad magic".into())),
+        }
+    }
+
+    fn load_v2<R: Read>(mut r: R) -> Result<Engine, EngineError> {
+        let version =
+            ru32(&mut r).map_err(|e| EngineError::Snapshot(format!("missing version: {e}")))?;
+        if version != VERSION_V2 {
+            return Err(EngineError::Snapshot(format!(
+                "unsupported snapshot version {version} (supported: {VERSION_V1}, {VERSION_V2})"
+            )));
+        }
+        let payload_len =
+            rusize(&mut r).map_err(|e| EngineError::Snapshot(format!("missing length: {e}")))?;
+        let expect_hash =
+            ru64(&mut r).map_err(|e| EngineError::Snapshot(format!("missing checksum: {e}")))?;
+        // Bounded read: a corrupt length cannot trigger an up-front
+        // multi-GB allocation — the buffer grows only as bytes arrive.
+        let mut payload = Vec::new();
+        r.take(payload_len as u64)
+            .read_to_end(&mut payload)
+            .map_err(EngineError::Io)?;
+        if payload.len() != payload_len {
+            return Err(EngineError::Snapshot(format!(
+                "truncated snapshot: payload {} of {payload_len} bytes",
+                payload.len()
+            )));
+        }
+        let got = fnv1a64(&payload);
+        if got != expect_hash {
+            return Err(EngineError::Snapshot(format!(
+                "checksum mismatch: expected {expect_hash:#018x}, got {got:#018x}"
+            )));
+        }
+        Self::parse_v2_payload(&payload).map_err(payload_err)
+    }
+
+    fn parse_v2_payload(payload: &[u8]) -> Result<Engine, EngineError> {
+        let mut r = payload;
+        let config = read_fcm_config(&mut r)?;
+        config.validated()?;
+        let hybrid_cfg = read_hybrid_config(&mut r)?;
+        let mut model = FcmModel::new(config);
+        read_model_into(&mut model, &mut r)?;
+
+        let n_shards = rusize(&mut r)?;
+        if n_shards == 0 || n_shards > 65_536 {
+            return Err(EngineError::Snapshot(format!(
+                "implausible shard count {n_shards}"
+            )));
+        }
+        let n_live = rusize(&mut r)?;
+        if n_live > MAX_FIELD_BYTES / 8 {
+            return Err(EngineError::Snapshot(format!(
+                "implausible table count {n_live}"
+            )));
+        }
+        let mut order = Vec::with_capacity(n_live.min(65_536));
+        for _ in 0..n_live {
+            let s = ru32(&mut r)?;
+            let l = ru32(&mut r)?;
+            order.push((s, l));
+        }
+        let embed_dim = model.config.embed_dim;
+        let mut shards = Vec::with_capacity(n_shards);
+        for shard_idx in 0..n_shards {
+            let section_len = rusize(&mut r)?;
+            if section_len > r.len() {
+                return Err(EngineError::Snapshot(format!(
+                    "shard {shard_idx}: section length {section_len} exceeds remaining {} bytes",
+                    r.len()
+                )));
+            }
+            let (section, rest) = r.split_at(section_len);
+            r = rest;
+            let slots = read_shard_section(section, shard_idx)?;
+            shards.push(EngineShard::from_slots(
+                slots,
+                embed_dim,
+                hybrid_cfg.clone(),
+            ));
+        }
+
+        // The order must be a bijection onto the shard slots.
+        let total: usize = shards.iter().map(|sh| sh.len()).sum();
+        if order.len() != total {
+            return Err(EngineError::Snapshot(format!(
+                "order lists {} tables but shards hold {total}",
+                order.len()
+            )));
+        }
+        let mut seen: Vec<Vec<bool>> = shards.iter().map(|sh| vec![false; sh.len()]).collect();
+        for &(s, l) in &order {
+            let slot = seen
+                .get_mut(s as usize)
+                .and_then(|v| v.get_mut(l as usize))
+                .ok_or_else(|| {
+                    EngineError::Snapshot(format!("order references missing slot ({s}, {l})"))
+                })?;
+            if std::mem::replace(slot, true) {
+                return Err(EngineError::Snapshot(format!(
+                    "order references slot ({s}, {l}) twice"
+                )));
+            }
+        }
+
+        let mut engine = Engine {
+            model,
+            shards,
+            hybrid_cfg,
+            pooled_mean: Matrix::zeros(1, embed_dim),
+            order,
+            extractor: VisualElementExtractor::oracle(),
+            style: ChartStyle::default(),
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+        };
+        engine.rebuild_global();
+        Ok(engine)
+    }
+
+    /// Writes the legacy monolithic `LCDDSNP1` format (the corpus in global
+    /// order, whatever the shard layout). Kept for downgrade paths and the
+    /// v1-compatibility tests; new snapshots should use [`Engine::save`].
+    pub fn save_v1_to<W: Write>(&self, mut w: W) -> Result<(), EngineError> {
+        w.write_all(MAGIC_V1)?;
+        wu32(&mut w, VERSION_V1)?;
         write_fcm_config(&mut w, &self.model.config)?;
         write_hybrid_config(&mut w, &self.hybrid_cfg)?;
         write_model(&self.model, &mut w)?;
 
-        wusize(&mut w, self.repo.tables.len())?;
-        for (pt, meta) in self.repo.tables.iter().zip(&self.meta) {
-            wu64(&mut w, meta.id)?;
-            wstr(&mut w, &meta.name)?;
-            wusize(&mut w, pt.column_segments.len())?;
-            for (seg, &(lo, hi)) in pt.column_segments.iter().zip(&pt.column_ranges) {
-                wmat(&mut w, seg)?;
-                wf64(&mut w, lo)?;
-                wf64(&mut w, hi)?;
-            }
+        wusize(&mut w, self.order.len())?;
+        for &(s, l) in &self.order {
+            let shard = &self.shards[s as usize];
+            write_slot(
+                &mut w,
+                &shard.meta[l as usize],
+                &shard.repo.tables[l as usize],
+            )?;
         }
-        for table_enc in &self.repo.encodings {
-            wusize(&mut w, table_enc.len())?;
-            for col in table_enc {
+        for &(s, l) in &self.order {
+            let cols = &self.shards[s as usize].repo.encodings[l as usize];
+            wusize(&mut w, cols.len())?;
+            for col in cols {
                 wmat(&mut w, col)?;
             }
         }
-        wmat(&mut w, &self.repo.pooled_mean)?;
+        wmat(&mut w, &self.pooled_mean)?;
 
-        wusize(&mut w, self.intervals.len())?;
-        for iv in &self.intervals {
-            wf64(&mut w, iv.lo)?;
-            wf64(&mut w, iv.hi)?;
-            wusize(&mut w, iv.dataset_id)?;
+        let n_intervals: usize = self
+            .order
+            .iter()
+            .map(|&(s, l)| self.shards[s as usize].slot_intervals[l as usize].len())
+            .sum();
+        wusize(&mut w, n_intervals)?;
+        for (pos, &(s, l)) in self.order.iter().enumerate() {
+            for &(lo, hi) in &self.shards[s as usize].slot_intervals[l as usize] {
+                wf64(&mut w, lo)?;
+                wf64(&mut w, hi)?;
+                wusize(&mut w, pos)?;
+            }
         }
         Ok(())
     }
 
-    /// Restores an engine from a reader. The restored engine uses the
-    /// oracle extractor and default chart style; call
-    /// [`Engine::set_extractor`] to serve raw image queries.
-    pub fn load_from<R: Read>(mut r: R) -> Result<Engine, EngineError> {
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(EngineError::Snapshot("bad magic".into()));
-        }
+    fn load_v1<R: Read>(mut r: R) -> Result<Engine, EngineError> {
         let version = ru32(&mut r)?;
-        if version != VERSION {
+        if version != VERSION_V1 {
             return Err(EngineError::Snapshot(format!(
-                "unsupported snapshot version {version} (supported: {VERSION})"
+                "unsupported snapshot version {version} (supported: {VERSION_V1}, {VERSION_V2})"
             )));
         }
         let config = read_fcm_config(&mut r)?;
@@ -293,10 +651,7 @@ impl Engine {
                 let hi = rf64(&mut r)?;
                 column_ranges.push((lo, hi));
             }
-            meta.push(TableMeta {
-                id,
-                name: name.clone(),
-            });
+            meta.push(TableMeta { id, name });
             tables.push(ProcessedTable {
                 table_id: id,
                 column_segments,
@@ -327,8 +682,10 @@ impl Engine {
             )));
         }
 
+        // v1 stores intervals flat with global dataset ids; regroup them
+        // per table (file order preserves the per-table column order).
         let n_intervals = rusize(&mut r)?;
-        let mut intervals = Vec::with_capacity(n_intervals.min(65_536));
+        let mut slot_intervals: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_tables];
         for _ in 0..n_intervals {
             let lo = rf64(&mut r)?;
             let hi = rf64(&mut r)?;
@@ -338,38 +695,43 @@ impl Engine {
                     "interval references table {dataset_id} of {n_tables}"
                 )));
             }
-            intervals.push(Interval { lo, hi, dataset_id });
+            slot_intervals[dataset_id].push((lo, hi));
         }
 
-        let repo = EncodedRepository {
-            tables,
-            encodings,
-            pooled_mean,
-        };
-        // Column embeddings are the segment means of the persisted
-        // encodings; LSH insertion order (table-major, column-minor) and
-        // the seeded hyperplanes make the rebuilt index identical.
-        let column_embeddings = repo.column_embeddings();
-        let index = HybridIndex::from_parts(
-            intervals.clone(),
-            &column_embeddings,
-            repo.pooled_mean.cols(),
-            n_tables,
-            hybrid_cfg.clone(),
-        );
-        Ok(Engine {
+        let slots: Vec<SlotData> = meta
+            .into_iter()
+            .zip(tables)
+            .zip(encodings)
+            .zip(slot_intervals)
+            .map(|(((meta, table), encodings), intervals)| SlotData {
+                meta,
+                table,
+                encodings,
+                intervals,
+            })
+            .collect();
+        let embed_dim = model.config.embed_dim;
+        let order: Vec<(u32, u32)> = (0..slots.len()).map(|i| (0, i as u32)).collect();
+        let shard = EngineShard::from_slots(slots, embed_dim, hybrid_cfg.clone());
+        let mut engine = Engine {
             model,
-            repo,
-            index,
+            shards: vec![shard],
             hybrid_cfg,
-            intervals,
-            meta,
+            pooled_mean: Matrix::zeros(1, embed_dim),
+            order,
             extractor: VisualElementExtractor::oracle(),
             style: ChartStyle::default(),
-        })
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+        };
+        // Recomputing over the persisted encodings in order reproduces the
+        // persisted pooled mean bit-for-bit (same accumulation); the read
+        // above still validates the stored matrix's shape.
+        engine.rebuild_global();
+        Ok(engine)
     }
 
-    /// Saves the full serving state to a file.
+    /// Saves the full serving state to a file (current format; see
+    /// [`Engine::save_to`]).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), EngineError> {
         let file = std::fs::File::create(path)?;
         self.save_to(BufWriter::new(file))

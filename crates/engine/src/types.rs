@@ -40,7 +40,10 @@ impl Query {
 /// engine).
 #[derive(Clone, Debug)]
 pub struct SearchOptions {
-    /// Number of hits to return.
+    /// Number of hits to return. `k = 0` is a defined no-hit request: the
+    /// search still runs (candidate generation, scoring, provenance
+    /// counts and timings are all populated) but `hits` comes back empty
+    /// — useful for pure index diagnostics. It is never an error.
     pub k: usize,
     /// Which pruning stages run for this query.
     pub strategy: IndexStrategy,
@@ -59,7 +62,8 @@ impl Default for SearchOptions {
 }
 
 impl SearchOptions {
-    /// Options with the given `k` and the default hybrid strategy.
+    /// Options with the given `k` and the default hybrid strategy
+    /// (`k = 0` requests provenance only — see [`SearchOptions::k`]).
     pub fn top_k(k: usize) -> Self {
         SearchOptions {
             k,

@@ -1,0 +1,52 @@
+//! The delta-ingest acceptance criterion: inserting a 1-table batch into a
+//! live engine encodes exactly one table — the resident corpus is never
+//! re-encoded.
+//!
+//! This lives in its own integration-test binary on purpose: the encode
+//! counter (`lcdd_fcm::table_encode_count`) is process-wide, and sibling
+//! tests encoding tables concurrently would make exact-delta assertions
+//! flaky. Keep this file single-test.
+
+use lcdd_engine::SearchOptions;
+use lcdd_fcm::table_encode_count;
+use lcdd_testkit::{corpus, query_like, tiny_engine, CorpusSpec};
+
+#[test]
+fn insert_encodes_only_the_delta() {
+    let tables = corpus(&CorpusSpec::sized(5, 7));
+    let mut engine = tiny_engine(tables.clone(), 3);
+
+    // Build encodes each of the 7 tables exactly once.
+    let after_build = table_encode_count();
+
+    // Searching never encodes tables (queries go through the chart
+    // encoder, not the dataset encoder).
+    engine
+        .search(&query_like(&tables[0]), &SearchOptions::top_k(3))
+        .unwrap();
+    assert_eq!(
+        table_encode_count(),
+        after_build,
+        "search must not re-encode tables"
+    );
+
+    // A 1-table delta encodes exactly 1 table.
+    let mut delta = corpus(&CorpusSpec::sized(6, 1));
+    delta[0].id = 700;
+    engine.insert_tables(delta);
+    assert_eq!(
+        table_encode_count(),
+        after_build + 1,
+        "a 1-table insert must encode exactly one table"
+    );
+
+    // Removal, compaction and resharding reuse cached encodings.
+    engine.remove_tables(&[700]);
+    engine.compact();
+    engine.reshard(2).unwrap();
+    assert_eq!(
+        table_encode_count(),
+        after_build + 1,
+        "remove/compact/reshard must never re-encode"
+    );
+}

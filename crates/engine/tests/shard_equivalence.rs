@@ -1,0 +1,84 @@
+//! The tentpole guarantee, enforced as a property: for random corpora and
+//! queries, a sharded engine (N ∈ {1, 2, 4, 7}) returns hit-for-hit
+//! identical results to the monolithic single-shard engine — same order,
+//! same ids, scores within 1e-6, same per-stage provenance — for every
+//! `IndexStrategy`.
+//!
+//! Why this holds by construction (and what the suite would catch if it
+//! broke): per-table scores depend only on the table's own cached
+//! encodings and the *global* pooled-mean centering reference (maintained
+//! in global ingest order, bit-identical across layouts); candidate sets
+//! partition across shards; and the merge orders by
+//! `(score desc, table_id asc, position asc)` — a total order.
+
+use lcdd_engine::{IndexStrategy, SearchOptions};
+use lcdd_testkit::{assert_same_hits, corpus, query_like, tiny_engine, CorpusSpec};
+use proptest::prelude::*;
+
+/// Property cases are engine builds — expensive in debug, cheap enough in
+/// release (CI runs the suite both ways; the release job carries the
+/// statistical weight).
+const CASES: u32 = if cfg!(debug_assertions) { 3 } else { 12 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn sharded_equals_monolithic(
+        seed in 0u64..1_000_000,
+        n_tables in 4usize..10,
+        k in 1usize..8,
+    ) {
+        let tables = corpus(&CorpusSpec::sized(seed, n_tables));
+        let mono = tiny_engine(tables.clone(), 1);
+        let queries = [
+            query_like(&tables[0]),
+            query_like(&tables[n_tables / 2]),
+        ];
+        for n_shards in [2usize, 4, 7] {
+            let sharded = tiny_engine(tables.clone(), n_shards);
+            prop_assert_eq!(sharded.n_shards(), n_shards);
+            prop_assert_eq!(sharded.len(), mono.len());
+            for strategy in IndexStrategy::ALL {
+                let opts = SearchOptions::top_k(k).with_strategy(strategy);
+                for (qi, q) in queries.iter().enumerate() {
+                    let a = mono.search(q, &opts).unwrap();
+                    let b = sharded.search(q, &opts).unwrap();
+                    assert_same_hits(
+                        &format!(
+                            "seed {seed}, {n_tables} tables, {n_shards} shards, \
+                             {strategy:?}, query {qi}, k {k}"
+                        ),
+                        &a,
+                        &b,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scores_are_bit_identical(
+        seed in 0u64..1_000_000,
+        n_shards in 2usize..8,
+    ) {
+        // Stronger than the 1e-6 acceptance bound: the same cached
+        // encodings and the same global centering reference make per-table
+        // scores *bit*-identical across layouts.
+        let tables = corpus(&CorpusSpec::sized(seed, 6));
+        let mono = tiny_engine(tables.clone(), 1);
+        let sharded = tiny_engine(tables.clone(), n_shards);
+        let q = query_like(&tables[1]);
+        let opts = SearchOptions::top_k(6).with_strategy(IndexStrategy::NoIndex);
+        let a = mono.search(&q, &opts).unwrap();
+        let b = sharded.search(&q, &opts).unwrap();
+        prop_assert_eq!(a.hits.len(), b.hits.len());
+        for (ha, hb) in a.hits.iter().zip(&b.hits) {
+            prop_assert_eq!(ha.index, hb.index);
+            prop_assert!(
+                ha.score == hb.score,
+                "scores must be bit-identical: {} vs {}", ha.score, hb.score
+            );
+        }
+    }
+}

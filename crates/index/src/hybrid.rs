@@ -92,11 +92,23 @@ pub struct CandidateSet {
     pub after_lsh: Option<usize>,
 }
 
-/// The hybrid index over a repository.
+/// The hybrid index over a repository (or one shard of it).
+///
+/// Mutability model: [`HybridIndex::insert_dataset`] appends a new dataset
+/// id incrementally (BST insert into the interval tree, bucket insert into
+/// LSH); [`HybridIndex::remove_dataset`] evicts eagerly from the LSH
+/// buckets and tombstones the id for the interval side, whose static tree
+/// is filtered at query time. Compaction (rebuilding via
+/// [`HybridIndex::from_parts`] over the live survivors) reclaims tombstone
+/// slots and restores tree balance.
 pub struct HybridIndex {
     tree: IntervalTree,
     lsh: LshIndex,
     n_datasets: usize,
+    /// Tombstoned dataset ids (`dead[id]`): still occupying an id slot but
+    /// excluded from every candidate set.
+    dead: Vec<bool>,
+    n_dead: usize,
     cfg: HybridConfig,
 }
 
@@ -164,7 +176,9 @@ impl HybridIndex {
         HybridIndex {
             tree,
             lsh,
+            dead: vec![false; n_datasets],
             n_datasets,
+            n_dead: 0,
             cfg,
         }
     }
@@ -174,14 +188,66 @@ impl HybridIndex {
         &self.cfg
     }
 
-    /// Number of indexed datasets.
+    /// Number of indexed dataset id slots, including tombstoned ones.
     pub fn len(&self) -> usize {
         self.n_datasets
+    }
+
+    /// Number of live (non-tombstoned) datasets.
+    pub fn live_len(&self) -> usize {
+        self.n_datasets - self.n_dead
+    }
+
+    /// Number of tombstoned dataset slots awaiting compaction.
+    pub fn n_dead(&self) -> usize {
+        self.n_dead
     }
 
     /// True when nothing is indexed.
     pub fn is_empty(&self) -> bool {
         self.n_datasets == 0
+    }
+
+    /// True when `id` is a tombstoned slot.
+    pub fn is_dead(&self, id: usize) -> bool {
+        self.dead.get(id).copied().unwrap_or(false)
+    }
+
+    /// Appends a new dataset incrementally: its index `intervals`
+    /// (`[lo, hi]` pairs, one per indexed column) go into the interval tree
+    /// and its pooled column `embeddings` into the LSH buckets. Returns the
+    /// dataset id assigned to the new entry. Existing entries are untouched.
+    pub fn insert_dataset(&mut self, intervals: &[(f64, f64)], embeddings: &[Vec<f32>]) -> usize {
+        let id = self.n_datasets;
+        self.n_datasets += 1;
+        self.dead.push(false);
+        for &(lo, hi) in intervals {
+            self.tree.insert(Interval {
+                lo,
+                hi,
+                dataset_id: id,
+            });
+        }
+        for emb in embeddings {
+            self.lsh.insert(id, emb);
+        }
+        id
+    }
+
+    /// Tombstones a dataset: it is evicted from the LSH buckets eagerly
+    /// (via the same `embeddings` it was inserted with) and filtered out of
+    /// interval-tree answers at query time. Returns false when `id` is out
+    /// of range or already dead.
+    pub fn remove_dataset(&mut self, id: usize, embeddings: &[Vec<f32>]) -> bool {
+        if id >= self.n_datasets || self.dead[id] {
+            return false;
+        }
+        self.dead[id] = true;
+        self.n_dead += 1;
+        for emb in embeddings {
+            self.lsh.remove(id, emb);
+        }
+        true
     }
 
     /// Candidate datasets for a query under the given strategy.
@@ -208,15 +274,23 @@ impl HybridIndex {
         y_range: Option<(f64, f64)>,
         line_embeddings: &[Vec<f32>],
     ) -> CandidateSet {
-        let all = || (0..self.n_datasets).collect::<Vec<usize>>();
+        let all = || {
+            (0..self.n_datasets)
+                .filter(|&id| !self.dead[id])
+                .collect::<Vec<usize>>()
+        };
         let interval_side = |range: Option<(f64, f64)>| -> Vec<usize> {
             match range {
                 Some((lo, hi)) => {
                     let span = (hi - lo).abs().max(1e-12);
-                    self.tree.query(
+                    let mut s1 = self.tree.query(
                         lo - span * self.cfg.range_slack,
                         hi + span * self.cfg.range_slack,
-                    )
+                    );
+                    // The static tree still holds tombstoned entries until
+                    // compaction; they must never surface as candidates.
+                    s1.retain(|&id| !self.dead[id]);
+                    s1
                 }
                 None => all(),
             }
@@ -231,6 +305,9 @@ impl HybridIndex {
                 .collect();
             s2.sort_unstable();
             s2.dedup();
+            // Eviction already removed dead ids from the buckets; keep the
+            // filter anyway so a stale bucket entry can never leak.
+            s2.retain(|&id| !self.dead[id]);
             s2
         };
         match strategy {
@@ -392,6 +469,67 @@ mod tests {
                 built.candidates(strategy, Some((0.0, 20.0)), &q_emb),
                 rebuilt.candidates(strategy, Some((0.0, 20.0)), &q_emb),
                 "strategy {strategy:?} must answer identically after rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_dataset_is_queryable_under_every_strategy() {
+        let (tables, emb) = world();
+        let mut idx = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        let new_emb = vec![vec![0.99f32, 0.02, 0.0, 0.0]];
+        let id = idx.insert_dataset(&[(5.0, 20.0)], &new_emb);
+        assert_eq!(id, 3);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.live_len(), 4);
+        for strategy in IndexStrategy::ALL {
+            let c = idx.candidates(strategy, Some((6.0, 12.0)), &new_emb);
+            assert!(
+                c.contains(&id),
+                "strategy {strategy:?} must see the inserted dataset"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_dataset_tombstones_everywhere() {
+        let (tables, emb) = world();
+        let mut idx = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        assert!(idx.remove_dataset(1, &emb[1]));
+        assert!(!idx.remove_dataset(1, &emb[1]), "double remove is a no-op");
+        assert_eq!(idx.live_len(), 2);
+        assert!(idx.is_dead(1));
+        for strategy in IndexStrategy::ALL {
+            let c = idx.candidates(strategy, Some((-1000.0, 1000.0)), &emb[1]);
+            assert!(
+                !c.contains(&1),
+                "strategy {strategy:?} must not return a tombstoned dataset"
+            );
+        }
+        // Stage counts report live survivors only.
+        let s = idx.candidates_with_stats(IndexStrategy::Hybrid, Some((-1000.0, 1000.0)), &emb[1]);
+        assert!(s.after_interval.unwrap() <= idx.live_len());
+    }
+
+    #[test]
+    fn incremental_index_matches_batch_build() {
+        let (tables, emb) = world();
+        let batch = HybridIndex::build(&tables, &emb, 4, HybridConfig::default());
+        let mut inc = HybridIndex::build(&tables[..1], &emb[..1], 4, HybridConfig::default());
+        for (t, cols) in tables.iter().zip(&emb).skip(1) {
+            let intervals: Vec<(f64, f64)> = t
+                .columns
+                .iter()
+                .filter_map(|c| c.index_interval())
+                .collect();
+            inc.insert_dataset(&intervals, cols);
+        }
+        let q_emb = vec![vec![0.98f32, 0.05, 0.0, 0.0]];
+        for strategy in IndexStrategy::ALL {
+            assert_eq!(
+                batch.candidates(strategy, Some((0.0, 130.0)), &q_emb),
+                inc.candidates(strategy, Some((0.0, 130.0)), &q_emb),
+                "strategy {strategy:?}"
             );
         }
     }

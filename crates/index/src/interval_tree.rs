@@ -3,9 +3,12 @@
 //! Each column `C` of each candidate dataset is indexed by the interval
 //! `[min(C), sum(C)]` — the extremes any aggregation operator can reach —
 //! and a query's decoded y-tick range is used as a stabbing-overlap query.
-//! The tree is a static, balanced augmented BST built once over all
-//! intervals (the repository is read-mostly), giving `O(log n + k)` overlap
-//! queries with zero false negatives.
+//! The tree is an augmented BST built balanced over the initial interval
+//! set (the repository is read-mostly), giving `O(log n + k)` overlap
+//! queries with zero false negatives. Live ingest appends via
+//! [`IntervalTree::insert`], a plain BST insertion: the tree may drift out
+//! of balance under sustained ingest, but query *results* are
+//! shape-independent, and shard compaction rebuilds it balanced.
 
 /// One indexed interval: `[lo, hi]` owned by `dataset_id`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +65,33 @@ impl IntervalTree {
             left,
             right,
         }))
+    }
+
+    /// Inserts one interval incrementally (BST insert by `lo`, updating the
+    /// `max_hi` augmentation along the path). Non-finite or inverted
+    /// intervals are dropped, mirroring [`IntervalTree::build`]. Returns
+    /// whether the interval was kept.
+    pub fn insert(&mut self, interval: Interval) -> bool {
+        if !(interval.lo.is_finite() && interval.hi.is_finite() && interval.lo <= interval.hi) {
+            return false;
+        }
+        let mut slot = &mut self.root;
+        while let Some(node) = slot {
+            node.max_hi = node.max_hi.max(interval.hi);
+            slot = if interval.lo < node.center.lo {
+                &mut node.left
+            } else {
+                &mut node.right
+            };
+        }
+        *slot = Some(Box::new(Node {
+            center: interval,
+            max_hi: interval.hi,
+            left: None,
+            right: None,
+        }));
+        self.len += 1;
+        true
     }
 
     /// Number of indexed intervals.
@@ -169,6 +199,57 @@ mod tests {
             dataset_id: 7,
         }]);
         assert!(t.is_empty(), "NaN interval must be dropped");
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_build() {
+        let intervals: Vec<Interval> = (0..120)
+            .map(|i| {
+                let lo = ((i * 29) % 90) as f64 - 45.0;
+                Interval {
+                    lo,
+                    hi: lo + ((i * 11) % 25) as f64,
+                    dataset_id: i % 17,
+                }
+            })
+            .collect();
+        let batch = IntervalTree::build(intervals.clone());
+        let mut incremental = IntervalTree::build(intervals[..40].to_vec());
+        for &iv in &intervals[40..] {
+            assert!(incremental.insert(iv));
+        }
+        assert_eq!(incremental.len(), batch.len());
+        for q in 0..40 {
+            let qlo = ((q * 23) % 110) as f64 - 55.0;
+            let qhi = qlo + ((q * 5) % 35) as f64;
+            assert_eq!(
+                incremental.query(qlo, qhi),
+                batch.query(qlo, qhi),
+                "query [{qlo}, {qhi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_rejects_degenerate_intervals() {
+        let mut t = IntervalTree::build(vec![]);
+        assert!(!t.insert(Interval {
+            lo: f64::NAN,
+            hi: 1.0,
+            dataset_id: 0,
+        }));
+        assert!(!t.insert(Interval {
+            lo: 2.0,
+            hi: 1.0,
+            dataset_id: 0,
+        }));
+        assert!(t.is_empty());
+        assert!(t.insert(Interval {
+            lo: 1.0,
+            hi: 1.0,
+            dataset_id: 4,
+        }));
+        assert_eq!(t.query(0.5, 1.5), vec![4]);
     }
 
     #[test]

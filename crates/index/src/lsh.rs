@@ -74,6 +74,25 @@ impl LshIndex {
         self.buckets.entry(sig).or_default().push(dataset_id);
     }
 
+    /// Removes one occurrence of `dataset_id` from the bucket its embedding
+    /// hashes to (the exact inverse of [`LshIndex::insert`] with the same
+    /// embedding). Returns whether an entry was removed; empty buckets are
+    /// dropped so eviction does not leak bucket slots.
+    pub fn remove(&mut self, dataset_id: usize, embedding: &[f32]) -> bool {
+        let sig = self.signature(embedding);
+        let Some(bucket) = self.buckets.get_mut(&sig) else {
+            return false;
+        };
+        let Some(pos) = bucket.iter().position(|&id| id == dataset_id) else {
+            return false;
+        };
+        bucket.remove(pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&sig);
+        }
+        true
+    }
+
     /// Number of occupied buckets.
     pub fn n_buckets(&self) -> usize {
         self.buckets.len()
@@ -156,6 +175,24 @@ mod tests {
         let r10 = idx.query(&q, 10).len();
         assert!(r0 <= r2 && r2 <= r10);
         assert_eq!(r10, 20, "radius = bits returns everything");
+    }
+
+    #[test]
+    fn remove_is_inverse_of_insert() {
+        let mut idx = LshIndex::new(8, 14, 21);
+        let a = vec![0.4, -0.2, 0.9, 0.1, -0.6, 0.3, 0.7, -0.8];
+        let b: Vec<f32> = a.iter().map(|&v| v + 0.001).collect();
+        idx.insert(1, &a);
+        idx.insert(2, &a);
+        idx.insert(1, &b);
+        assert!(idx.remove(1, &a));
+        let hits = idx.query(&a, 0);
+        assert!(hits.contains(&2), "other ids in the bucket survive");
+        assert!(!idx.remove(9, &a), "absent id is a no-op");
+        assert!(idx.remove(2, &a));
+        assert!(idx.remove(1, &b));
+        assert_eq!(idx.n_buckets(), 0, "empty buckets are dropped");
+        assert!(!idx.remove(1, &a), "double-remove is a no-op");
     }
 
     #[test]

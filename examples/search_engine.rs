@@ -1,6 +1,8 @@
 //! The `lcdd_engine` facade end to end: build a corpus, train FCM briefly,
-//! assemble an engine (ingest → encode → index), answer typed queries with
-//! per-stage provenance, snapshot it, and serve from the restored engine.
+//! assemble a sharded engine (ingest → encode → shard → index), answer
+//! typed queries with per-stage provenance, mutate the corpus live
+//! (insert/remove without re-encoding the resident tables), snapshot it in
+//! the sharded `LCDDSNP2` format, and serve from the restored engine.
 //!
 //! ```bash
 //! cargo run --release --example search_engine
@@ -70,11 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         |_, _, _| 0.0,
     );
 
-    // 3. Ingest -> encode -> index: one builder call chain.
-    let engine = EngineBuilder::new(model).ingest(&bench.repo).build()?;
+    // 3. Ingest -> encode -> shard -> index: one builder call chain. Four
+    //    shards here; results are identical for any shard count.
+    let mut engine = EngineBuilder::new(model)
+        .shards(4)
+        .ingest(&bench.repo)
+        .build()?;
     println!(
-        "engine ready: {} tables indexed under {:?}\n",
+        "engine ready: {} tables across {} shards under {:?}\n",
         engine.len(),
+        engine.n_shards(),
         engine.hybrid_config()
     );
 
@@ -109,10 +116,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         batch.iter().filter(|r| r.is_ok()).count()
     );
 
-    // 7. Snapshot round-trip: serving restarts without re-encoding.
+    // 7. Live mutation: evict two tables, ingest a fresh one. Only the
+    //    new table is encoded — the resident corpus is untouched — and
+    //    only the receiving shard's index is updated.
+    let evicted = [engine.table_meta(0).id, engine.table_meta(1).id];
+    let n_removed = engine.remove_tables(&evicted);
+    let fresh: Vec<f64> = (0..120)
+        .map(|i| (i as f64 / 7.0).cos() * 2.5 + 10.0)
+        .collect();
+    let new_table = linechart_discovery::table::Table::new(
+        90_001,
+        "live-ingested",
+        vec![linechart_discovery::table::Column::new("c", fresh)],
+    );
+    let assigned = engine.insert_tables(vec![new_table]);
+    println!(
+        "\nlive mutation: removed {n_removed} tables, inserted 1 at global position {} -> {} tables",
+        assigned[0],
+        engine.len()
+    );
+
+    // 8. Sharded snapshot round-trip (LCDDSNP2): serving restarts without
+    //    re-encoding; the shard layout is preserved and can be changed
+    //    after restore with `reshard` — answers stay identical.
     let path = std::env::temp_dir().join("lcdd_search_engine_example.snap");
     engine.save(&path)?;
-    let restored = Engine::load(&path)?;
+    let mut restored = Engine::load(&path)?;
+    restored.reshard(2)?;
     let again = restored.search(
         &Query::Extracted(extracted),
         &SearchOptions::top_k(5).with_strategy(IndexStrategy::Hybrid),
@@ -123,8 +153,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     assert_eq!(again.ranked_indices(), reference.ranked_indices());
     println!(
-        "\nsnapshot round-trip OK: {} bytes, identical top-{} ranking after restore",
+        "\nsnapshot round-trip OK: {} bytes ({} shards saved, resharded to {} after restore), \
+         identical top-{} ranking",
         std::fs::metadata(&path)?.len(),
+        engine.n_shards(),
+        restored.n_shards(),
         again.hits.len()
     );
     std::fs::remove_file(&path).ok();

@@ -11,6 +11,10 @@ cd "$(dirname "$0")/.."
 echo "== kernel benches -> BENCH_kernels.json =="
 cargo run --release -p lcdd-bench --bin bench_kernels -- BENCH_kernels.json
 
+echo
+echo "== sharding benches -> BENCH_sharding.json =="
+cargo run --release -p lcdd-bench --bin bench_sharding -- BENCH_sharding.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo
     echo "== criterion micro-benchmarks =="

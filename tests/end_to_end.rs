@@ -1,9 +1,13 @@
 //! Cross-crate integration tests: the full pipeline from synthetic corpus
-//! through rendering, extraction, training and retrieval.
+//! through rendering, extraction, training and retrieval — engine-level
+//! corpora come from `lcdd_testkit` (seeded, with planted near-duplicates)
+//! instead of ad-hoc per-file generators.
 
+use lcdd_testkit::{assert_same_hits, corpus_with_dups, query_like, tiny_engine, CorpusSpec};
 use linechart_discovery::baselines::{DiscoveryMethod, QetchStar};
 use linechart_discovery::benchmark::{build_benchmark, evaluate, BenchmarkConfig, FcmMethod};
 use linechart_discovery::chart::{render, render_record, ChartStyle};
+use linechart_discovery::engine::{Engine, IndexStrategy, SearchOptions};
 use linechart_discovery::fcm::{FcmConfig, FcmModel, TrainConfig};
 use linechart_discovery::relevance::{rel_score, RelevanceConfig};
 use linechart_discovery::table::series::UnderlyingData;
@@ -158,6 +162,50 @@ fn index_candidates_preserve_ground_truth_recall() {
             );
         }
     }
+}
+
+#[test]
+fn sharded_engine_full_lifecycle() {
+    // The serving story end to end: build sharded, search, mutate live,
+    // snapshot, restore, reshard — identical answers at every step where
+    // the corpus is the same.
+    let (tables, dups) = corpus_with_dups(&CorpusSpec::sized(0xe2e, 9));
+    let mut engine = tiny_engine(tables.clone(), 3);
+    assert_eq!(engine.n_shards(), 3);
+
+    // A query shaped like a table with a planted near-duplicate: under
+    // the exhaustive strategy both the original and its dup are scored,
+    // and the dup scores within a whisker of the original.
+    let (orig, dup) = dups[0];
+    let opts = SearchOptions::top_k(9).with_strategy(IndexStrategy::NoIndex);
+    let resp = engine.search(&query_like(&tables[orig]), &opts).unwrap();
+    let score_of = |want: usize| resp.hits.iter().find(|h| h.index == want).unwrap().score;
+    assert!((score_of(orig) - score_of(dup)).abs() < 0.05);
+
+    // Live mutation: evict the duplicate, insert a fresh table.
+    assert_eq!(engine.remove_tables(&[tables[dup].id]), 1);
+    let mut extra = corpus_with_dups(&CorpusSpec::sized(0xbeef, 1)).0;
+    extra[0].id = 100;
+    engine.insert_tables(extra);
+    assert_eq!(engine.len(), 9);
+    let resp = engine.search(&query_like(&tables[orig]), &opts).unwrap();
+    assert!(resp.hits.iter().all(|h| h.index < 9));
+    assert!(resp.hits.iter().all(|h| h.table_id != tables[dup].id));
+
+    // Snapshot → restore → reshard: identical answers throughout.
+    let mut buf = Vec::new();
+    engine.save_to(&mut buf).unwrap();
+    let mut restored = Engine::load_from(buf.as_slice()).unwrap();
+    for strategy in IndexStrategy::ALL {
+        let opts = SearchOptions::top_k(5).with_strategy(strategy);
+        let a = engine.search(&query_like(&tables[1]), &opts).unwrap();
+        let b = restored.search(&query_like(&tables[1]), &opts).unwrap();
+        assert_same_hits(&format!("restored, {strategy:?}"), &a, &b);
+    }
+    restored.reshard(5).unwrap();
+    let a = engine.search(&query_like(&tables[1]), &opts).unwrap();
+    let b = restored.search(&query_like(&tables[1]), &opts).unwrap();
+    assert_same_hits("restored + resharded", &a, &b);
 }
 
 #[test]
