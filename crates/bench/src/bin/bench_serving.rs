@@ -1,0 +1,238 @@
+//! Concurrent-serving benchmark emitter: measures read throughput under a
+//! live writer and writes `BENCH_serving.json`.
+//!
+//! Three scenarios, same corpus, same reader threads, same query mix:
+//!
+//! * **idle** — N reader threads over a [`ServingEngine`] with no writer
+//!   (the ceiling),
+//! * **ingest** — the same readers while one writer continuously inserts
+//!   and evicts tables (the lock-free claim: reads must stay within ~2x
+//!   of idle, because publishes never block readers),
+//! * **stop-the-world baseline** — the same workload over a plain
+//!   `RwLock<Engine>` where the writer's exclusive lock stalls every
+//!   reader for the whole mutation (what PR 3's `&mut` API forced a
+//!   deployment into).
+//!
+//! Plus a cached-read measurement (repeat-query throughput through the
+//! epoch-tagged LRU).
+//!
+//! Usage: `cargo run --release -p lcdd-bench --bin bench_serving [-- out.json]`
+//! (defaults to `BENCH_serving.json` in the current directory).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::RwLock;
+use std::time::Duration;
+
+use lcdd_engine::{Engine, Query, SearchOptions, ServingEngine};
+use lcdd_table::Table;
+use lcdd_tensor::pool;
+use lcdd_testkit::{corpus, queries_for, tiny_engine, CorpusSpec};
+
+const N_TABLES: usize = 64;
+const N_READERS: usize = 4;
+const MEASURE: Duration = Duration::from_millis(1200);
+
+/// Churn batch the writer cycles: insert 2 fresh tables, remove them.
+fn churn_tables(round: u64) -> Vec<Table> {
+    let mut batch = corpus(&CorpusSpec::sized(0xc0de ^ round, 2));
+    for (i, t) in batch.iter_mut().enumerate() {
+        t.id = 10_000 + round * 10 + i as u64;
+    }
+    batch
+}
+
+/// Runs `readers` query loops for `MEASURE`, returning total queries
+/// answered. `run_writer`, when set, churns inserts/removals concurrently
+/// for the whole window.
+fn throughput(
+    queries: &[Query],
+    search: impl Fn(&Query) -> u64 + Sync,
+    run_writer: Option<&(dyn Fn(&AtomicBool) + Sync)>,
+) -> (f64, u64) {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let writes = AtomicU64::new(0);
+    let search = &search;
+    std::thread::scope(|scope| {
+        for reader in 0..N_READERS {
+            let (stop, total) = (&stop, &total);
+            scope.spawn(move || {
+                let mut n = 0u64;
+                let mut i = reader;
+                while !stop.load(SeqCst) {
+                    std::hint::black_box(search(&queries[i % queries.len()]));
+                    i += 1;
+                    n += 1;
+                }
+                total.fetch_add(n, SeqCst);
+            });
+        }
+        if let Some(writer) = run_writer {
+            let (stop, writes) = (&stop, &writes);
+            scope.spawn(move || {
+                let mut rounds = 0u64;
+                while !stop.load(SeqCst) {
+                    writer(stop);
+                    rounds += 1;
+                }
+                writes.store(rounds, SeqCst);
+            });
+        }
+        std::thread::sleep(MEASURE);
+        stop.store(true, SeqCst);
+    });
+    let qps = total.load(SeqCst) as f64 / MEASURE.as_secs_f64();
+    (qps, writes.load(SeqCst))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    eprintln!("[bench_serving] pool threads: {}", pool::num_threads());
+
+    let tables = corpus(&CorpusSpec {
+        seed: 0x5e4e,
+        n_tables: N_TABLES,
+        series_len: 120,
+        near_dup_every: 5,
+    });
+    // Pre-extract the query sketches outside the measured loops so all
+    // three scenarios time pruning + scoring, not chart rasterisation.
+    let queries: Vec<Query> = queries_for(&tables, 16)
+        .into_iter()
+        .map(|q| match q {
+            Query::Series(data) => {
+                let chart = lcdd_chart::render(&data, &lcdd_chart::ChartStyle::default());
+                Query::Extracted(lcdd_vision::VisualElementExtractor::oracle().extract(&chart))
+            }
+            other => other,
+        })
+        .collect();
+    let opts = SearchOptions::top_k(10);
+
+    // ---- lock-free serving engine ---------------------------------------
+    // Cache disabled here: idle vs ingest must compare full recomputes.
+    let serving = ServingEngine::with_cache_capacity(tiny_engine(tables.clone(), 4), 0);
+    let (idle_qps, _) = throughput(
+        &queries,
+        |q| {
+            serving
+                .search(q, &opts)
+                .map(|r| r.hits.len() as u64)
+                .unwrap_or(0)
+        },
+        None,
+    );
+    eprintln!("[bench_serving] serving idle: {idle_qps:>8.1} q/s");
+
+    let churn_round = AtomicU64::new(0);
+    let writer = |_stop: &AtomicBool| {
+        let round = churn_round.fetch_add(1, SeqCst);
+        let batch = churn_tables(round);
+        let ids: Vec<u64> = batch.iter().map(|t| t.id).collect();
+        serving.insert_tables(batch);
+        serving.remove_tables(&ids);
+    };
+    let (ingest_qps, ingest_rounds) = throughput(
+        &queries,
+        |q| {
+            serving
+                .search(q, &opts)
+                .map(|r| r.hits.len() as u64)
+                .unwrap_or(0)
+        },
+        Some(&writer),
+    );
+    let final_epoch = serving.epoch();
+    eprintln!(
+        "[bench_serving] serving under ingest: {ingest_qps:>8.1} q/s \
+         ({ingest_rounds} insert+remove rounds, {final_epoch} epochs)"
+    );
+
+    // Cached reads: warm the LRU with the query mix, then measure repeats.
+    let cached_serving = ServingEngine::new(serving.into_engine());
+    for q in &queries {
+        let _ = cached_serving.search(q, &opts);
+    }
+    let (cached_qps, _) = throughput(
+        &queries,
+        |q| {
+            cached_serving
+                .search(q, &opts)
+                .map(|r| u64::from(r.cached))
+                .unwrap_or(0)
+        },
+        None,
+    );
+    let cache_stats = cached_serving.cache_stats();
+    eprintln!(
+        "[bench_serving] cached reads: {cached_qps:>8.1} q/s (hits {}, misses {})",
+        cache_stats.hits, cache_stats.misses
+    );
+
+    // ---- stop-the-world baseline ----------------------------------------
+    let locked: RwLock<Engine> = RwLock::new(tiny_engine(tables.clone(), 4));
+    let (baseline_idle_qps, _) = throughput(
+        &queries,
+        |q| {
+            let engine = locked.read().expect("read lock");
+            engine
+                .search(q, &opts)
+                .map(|r| r.hits.len() as u64)
+                .unwrap_or(0)
+        },
+        None,
+    );
+    let baseline_round = AtomicU64::new(0);
+    let baseline_writer = |_stop: &AtomicBool| {
+        let round = baseline_round.fetch_add(1, SeqCst);
+        let batch = churn_tables(round);
+        let ids: Vec<u64> = batch.iter().map(|t| t.id).collect();
+        // The &mut API forces exclusive access: every reader stalls for
+        // the full encode + index update.
+        let mut engine = locked.write().expect("write lock");
+        engine.insert_tables(batch);
+        engine.remove_tables(&ids);
+    };
+    let (baseline_ingest_qps, baseline_rounds) = throughput(
+        &queries,
+        |q| {
+            let engine = locked.read().expect("read lock");
+            engine
+                .search(q, &opts)
+                .map(|r| r.hits.len() as u64)
+                .unwrap_or(0)
+        },
+        Some(&baseline_writer),
+    );
+    eprintln!(
+        "[bench_serving] rwlock baseline: idle {baseline_idle_qps:>8.1} q/s, \
+         under ingest {baseline_ingest_qps:>8.1} q/s ({baseline_rounds} rounds)"
+    );
+
+    let ingest_ratio = idle_qps / ingest_qps.max(1e-9);
+    let baseline_ratio = baseline_idle_qps / baseline_ingest_qps.max(1e-9);
+    eprintln!(
+        "[bench_serving] read slowdown under ingest: lock-free {ingest_ratio:.2}x, \
+         rwlock {baseline_ratio:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"group\": \"bench_serving\",\n  \"pool_threads\": {},\n  \
+         \"repo_tables\": {N_TABLES},\n  \"reader_threads\": {N_READERS},\n  \
+         \"measure_ms\": {},\n  \"serving\": {{\n    \"idle_qps\": {idle_qps:.1},\n    \
+         \"under_ingest_qps\": {ingest_qps:.1},\n    \"ingest_slowdown_x\": {ingest_ratio:.3},\n    \
+         \"ingest_rounds\": {ingest_rounds},\n    \"cached_qps\": {cached_qps:.1}\n  }},\n  \
+         \"rwlock_baseline\": {{\n    \"idle_qps\": {baseline_idle_qps:.1},\n    \
+         \"under_ingest_qps\": {baseline_ingest_qps:.1},\n    \
+         \"ingest_slowdown_x\": {baseline_ratio:.3},\n    \
+         \"ingest_rounds\": {baseline_rounds}\n  }}\n}}\n",
+        pool::num_threads(),
+        MEASURE.as_millis(),
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_serving.json");
+    eprintln!("[bench_serving] wrote {out_path}");
+    println!("{json}");
+}

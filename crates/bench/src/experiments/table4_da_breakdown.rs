@@ -83,7 +83,7 @@ pub fn run(scale: Scale) {
                     .enumerate()
                     .map(|(ti, e)| (ti, rel_score(&underlying, &e.table, &rel_cfg)))
                     .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let relevant: Vec<usize> =
                     scored.iter().take(bench.k_rel).map(|&(i, _)| i).collect();
                 let ranked: Vec<usize> = fcm

@@ -11,6 +11,7 @@ use crate::input::{filter_columns, process_table, ProcessedQuery, ProcessedTable
 use crate::model::FcmModel;
 
 /// A repository with cached dataset-encoder outputs.
+#[derive(Clone)]
 pub struct EncodedRepository {
     pub tables: Vec<ProcessedTable>,
     /// Per table, per column: `N2 x K` segment representations.
@@ -137,13 +138,30 @@ pub fn encode_repository(model: &FcmModel, tables: &[Table]) -> EncodedRepositor
     }
 }
 
-/// Scores the query against one cached table.
+/// Scores the query against one cached table, centering with the
+/// repository's own `pooled_mean`.
 pub fn score_against(
     model: &FcmModel,
     repo: &EncodedRepository,
     ev: &[Matrix],
     query: &ProcessedQuery,
     table_idx: usize,
+) -> f32 {
+    score_against_centered(model, repo, ev, query, table_idx, &repo.pooled_mean)
+}
+
+/// Scores the query against one cached table with an explicit centering
+/// reference. The sharded engine keeps the repository-mean embedding at the
+/// corpus level (one value for every shard layout) rather than mirroring it
+/// into each shard's repository slice, so its hot path passes the global
+/// mean through here.
+pub fn score_against_centered(
+    model: &FcmModel,
+    repo: &EncodedRepository,
+    ev: &[Matrix],
+    query: &ProcessedQuery,
+    table_idx: usize,
+    pooled_mean: &Matrix,
 ) -> f32 {
     let pt = &repo.tables[table_idx];
     let cols = filter_columns(pt, query.y_range, model.config.range_slack);
@@ -154,7 +172,7 @@ pub fn score_against(
     if et.is_empty() || ev.is_empty() {
         return 0.0;
     }
-    model.match_cached_centered(ev, &et, Some(&repo.pooled_mean))
+    model.match_cached_centered(ev, &et, Some(pooled_mean))
 }
 
 /// Top-k search over the repository (or a candidate subset), parallelised.

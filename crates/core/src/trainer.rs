@@ -331,7 +331,7 @@ mod tests {
             let best = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap();
             assert_eq!(best, pos, "query {qi}: source table must maximise Rel(D,T)");

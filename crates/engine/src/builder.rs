@@ -7,8 +7,9 @@ use lcdd_index::HybridConfig;
 use lcdd_table::{Table, VisSpec};
 use lcdd_vision::VisualElementExtractor;
 
-use crate::engine::{Engine, DEFAULT_COMPACTION_THRESHOLD};
+use crate::engine::Engine;
 use crate::shard::{EngineShard, SlotData};
+use crate::state::{EngineShared, EngineState};
 
 /// Builds an [`Engine`] from a model and a corpus. The expensive steps
 /// (parallel repository encoding, index construction) run once in
@@ -112,18 +113,14 @@ impl EngineBuilder {
             .into_iter()
             .map(|slots| EngineShard::from_slots(slots, embed_dim, self.hybrid.clone()))
             .collect();
-        let mut engine = Engine {
+        let state = EngineState::from_shards(shards, order, embed_dim);
+        let shared = EngineShared {
             model: self.model,
-            shards,
             hybrid_cfg: self.hybrid,
-            pooled_mean: lcdd_tensor::Matrix::zeros(1, embed_dim),
-            order,
             extractor: self.extractor,
             style: self.style,
-            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
         };
-        engine.rebuild_global();
-        Ok(engine)
+        Ok(Engine::from_parts(shared, state))
     }
 }
 

@@ -1,34 +1,32 @@
-//! The serving handle: typed queries in, ranked + attributed hits out —
-//! now sharded and mutable.
+//! The single-threaded serving handle: typed queries in, ranked +
+//! attributed hits out.
 //!
-//! The engine splits its corpus across N [`EngineShard`]s (round-robin at
-//! build time; least-loaded for live ingest). A query fans candidate
-//! generation across shards on the shared work pool, scores the surviving
-//! candidates in one flat parallel pass, and merges per-shard results by
-//! `(score desc, table_id asc, global position asc)` — a total order, so
-//! rankings are identical for every shard count (enforced by the
-//! shard-equivalence property suite).
+//! Since the concurrency split, `Engine` is a thin owner of two parts:
 //!
-//! Scores are layout-independent because the only cross-table statistic the
-//! matcher consumes — the repository-mean pooled table embedding — is
-//! maintained *globally* by the engine (recomputed over the live tables in
-//! global ingest order on every mutation) and mirrored into each shard's
-//! repository slice.
+//! * [`EngineShared`] — the immutable serving configuration (trained
+//!   model, index settings, extractor, chart style), and
+//! * [`EngineState`] — the epoch-versioned corpus snapshot (shards +
+//!   global order + pooled-mean centering reference) that all search and
+//!   mutation logic lives on.
+//!
+//! Everything observable about `Engine` (the public API, the result
+//! ranking, shard-count invariance, delta-only encoding on ingest) is
+//! unchanged; the split exists so [`crate::ServingEngine`] can share the
+//! same state values across threads and publish them atomically. `Engine`
+//! mutates its state in place (its shard `Arc`s are uniquely owned, so
+//! copy-on-write never copies); queries need only `&self` and the engine
+//! is `Sync`, so one instance serves concurrent reads.
 
-use std::time::Instant;
-
-use lcdd_chart::{render, ChartStyle};
-use lcdd_fcm::scoring::score_against;
-use lcdd_fcm::{
-    encode_tables, pooled_mean_of, process_query, EngineError, FcmModel, ProcessedQuery,
-};
+use lcdd_fcm::{EngineError, FcmModel};
 use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
 use lcdd_table::Table;
 use lcdd_tensor::{pool, Matrix};
 use lcdd_vision::{ExtractedChart, VisualElementExtractor};
 
-use crate::shard::{EngineShard, SlotData};
-use crate::types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};
+use crate::shard::EngineShard;
+use crate::state::{EngineShared, EngineState};
+use crate::types::{Query, SearchOptions, SearchResponse};
+use std::sync::Arc;
 
 /// Identity of one ingested table, kept so hits can be attributed without
 /// the raw table data.
@@ -51,74 +49,83 @@ pub const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.3;
 /// [`Engine::search_batch`] fans a batch across the shared work pool.
 /// Corpus mutation goes through [`Engine::insert_tables`] /
 /// [`Engine::remove_tables`], which touch only the affected shards and
-/// never re-encode resident tables.
+/// never re-encode resident tables. For lock-free serving *during*
+/// mutation, wrap the engine in a [`crate::ServingEngine`].
 pub struct Engine {
-    pub(crate) model: FcmModel,
-    pub(crate) shards: Vec<EngineShard>,
-    pub(crate) hybrid_cfg: HybridConfig,
-    /// Global centering reference: mean pooled table embedding over the
-    /// live corpus in global ingest order. Mirrored into every shard.
-    pub(crate) pooled_mean: Matrix,
-    /// Live tables in global ingest order, as `(shard, slot)` pairs. This
-    /// is the engine's public index space: `SearchHit::index` and
-    /// [`Engine::table_meta`] address positions in this order.
-    pub(crate) order: Vec<(u32, u32)>,
-    pub(crate) extractor: VisualElementExtractor,
-    pub(crate) style: ChartStyle,
+    pub(crate) shared: EngineShared,
+    pub(crate) state: EngineState,
     /// Dead-slot fraction above which [`Engine::remove_tables`] compacts a
     /// shard automatically.
     pub(crate) compaction_threshold: f64,
 }
 
 impl Engine {
+    pub(crate) fn from_parts(shared: EngineShared, state: EngineState) -> Self {
+        Engine {
+            shared,
+            state,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+        }
+    }
+
     /// Number of live ingested tables.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.state.len()
     }
 
     /// True when no live tables are ingested.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.state.is_empty()
     }
 
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.state.shards.len()
     }
 
     /// The shards (read-only; slot-level accessors live on
     /// [`EngineShard`]).
-    pub fn shards(&self) -> &[EngineShard] {
-        &self.shards
+    pub fn shards(&self) -> &[Arc<EngineShard>] {
+        self.state.shards()
+    }
+
+    /// The current corpus state snapshot (epoch, order, shards).
+    pub fn state(&self) -> &EngineState {
+        &self.state
+    }
+
+    /// The mutation epoch of the current state (starts at 0, bumped by
+    /// every corpus-changing call).
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch()
     }
 
     /// The trained model serving this engine.
     pub fn model(&self) -> &FcmModel {
-        &self.model
+        &self.shared.model
     }
 
     /// Identity of the `i`-th live table in global ingest order.
     pub fn table_meta(&self, i: usize) -> &TableMeta {
-        let (s, l) = self.order[i];
-        self.shards[s as usize].table_meta(l as usize)
+        self.state.table_meta(i)
     }
 
     /// The hybrid-index configuration in effect.
     pub fn hybrid_config(&self) -> &HybridConfig {
-        &self.hybrid_cfg
+        &self.shared.hybrid_cfg
     }
 
     /// The global repository-mean pooled table embedding (the matcher's
     /// centering reference).
     pub fn pooled_mean(&self) -> &Matrix {
-        &self.pooled_mean
+        self.state.pooled_mean()
     }
 
     /// Replaces the visual element extractor (snapshots restore with the
     /// oracle extractor; serving raw [`Query::Chart`] images needs a
     /// trained one).
     pub fn set_extractor(&mut self, extractor: VisualElementExtractor) {
-        self.extractor = extractor;
+        self.shared.extractor = extractor;
     }
 
     /// Sets the tombstone fraction at which [`Engine::remove_tables`]
@@ -158,24 +165,7 @@ impl Engine {
     /// assert_eq!(engine.len(), 2);
     /// ```
     pub fn insert_tables(&mut self, tables: Vec<Table>) -> Vec<usize> {
-        if tables.is_empty() {
-            return Vec::new();
-        }
-        let (processed, encodings) = encode_tables(&self.model, &tables);
-        let mut assigned = Vec::with_capacity(tables.len());
-        for ((table, pt), enc) in tables.iter().zip(processed).zip(encodings) {
-            let slot = SlotData::from_encoded(table, pt, enc);
-            // Least-loaded shard, ties to the lowest id — deterministic,
-            // and only the receiving shard's index is touched.
-            let shard = (0..self.shards.len())
-                .min_by_key(|&s| (self.shards[s].live_len(), s))
-                .expect("engine always has at least one shard");
-            let local = self.shards[shard].push_slot(slot);
-            assigned.push(self.order.len());
-            self.order.push((shard as u32, local as u32));
-        }
-        self.rebuild_global();
-        assigned
+        self.state.insert_tables(&self.shared.model, tables)
     }
 
     /// Evicts every live table whose id is in `ids`. Removal tombstones the
@@ -184,27 +174,11 @@ impl Engine {
     /// the compaction threshold is compacted in place. Returns the number
     /// of tables removed. Unknown ids are ignored.
     pub fn remove_tables(&mut self, ids: &[u64]) -> usize {
-        // Set lookup keeps a batch eviction O(live tables), not
-        // O(live tables x ids).
-        let ids: std::collections::HashSet<u64> = ids.iter().copied().collect();
-        let mut removed = 0usize;
-        let shards = &mut self.shards;
-        self.order.retain(|&(s, l)| {
-            let (s, l) = (s as usize, l as usize);
-            if ids.contains(&shards[s].meta[l].id) && shards[s].tombstone(l) {
-                removed += 1;
-                false
-            } else {
-                true
-            }
-        });
-        if removed == 0 {
-            return 0;
-        }
-        let threshold = self.compaction_threshold;
-        self.compact_where(|sh| sh.dead_fraction() >= threshold && sh.n_dead() > 0);
-        self.rebuild_global();
-        removed
+        self.state.remove_tables(
+            ids,
+            self.compaction_threshold,
+            self.shared.model.config.embed_dim,
+        )
     }
 
     /// Compacts every shard holding tombstones, reclaiming dead slots and
@@ -213,23 +187,7 @@ impl Engine {
     /// one freshly built over its live tables in the same order and shard
     /// layout.
     pub fn compact(&mut self) {
-        self.compact_where(|sh| sh.n_dead() > 0);
-        self.rebuild_global();
-    }
-
-    fn compact_where(&mut self, pred: impl Fn(&EngineShard) -> bool) {
-        let embed_dim = self.model.config.embed_dim;
-        for (si, shard) in self.shards.iter_mut().enumerate() {
-            if !pred(shard) {
-                continue;
-            }
-            let Some(remap) = shard.compact(embed_dim) else {
-                continue;
-            };
-            for loc in self.order.iter_mut().filter(|(s, _)| *s as usize == si) {
-                loc.1 = remap[loc.1 as usize].expect("live table compacted away") as u32;
-            }
-        }
+        self.state.compact(self.shared.model.config.embed_dim);
     }
 
     /// Redistributes the live corpus round-robin (in global order) across
@@ -237,71 +195,11 @@ impl Engine {
     /// encodings — no table is re-encoded. Search results are identical for
     /// every shard count. Tombstoned slots are dropped in the process.
     pub fn reshard(&mut self, n_shards: usize) -> Result<(), EngineError> {
-        if n_shards == 0 {
-            return Err(EngineError::InvalidConfig(
-                "reshard: shard count must be at least 1".into(),
-            ));
-        }
-        let embed_dim = self.model.config.embed_dim;
-        // Drain live slots in global order.
-        let order = std::mem::take(&mut self.order);
-        let mut old = std::mem::take(&mut self.shards);
-        let mut per_shard: Vec<Vec<SlotData>> = (0..n_shards).map(|_| Vec::new()).collect();
-        let mut new_order = Vec::with_capacity(order.len());
-        for (pos, (s, l)) in order.into_iter().enumerate() {
-            let (s, l) = (s as usize, l as usize);
-            let sh = &mut old[s];
-            let slot = SlotData {
-                meta: std::mem::replace(
-                    &mut sh.meta[l],
-                    TableMeta {
-                        id: 0,
-                        name: String::new(),
-                    },
-                ),
-                table: std::mem::replace(
-                    &mut sh.repo.tables[l],
-                    lcdd_fcm::input::ProcessedTable {
-                        table_id: 0,
-                        column_segments: Vec::new(),
-                        column_ranges: Vec::new(),
-                    },
-                ),
-                encodings: std::mem::take(&mut sh.repo.encodings[l]),
-                intervals: std::mem::take(&mut sh.slot_intervals[l]),
-            };
-            let target = pos % n_shards;
-            new_order.push((target as u32, per_shard[target].len() as u32));
-            per_shard[target].push(slot);
-        }
-        self.shards = per_shard
-            .into_iter()
-            .map(|slots| EngineShard::from_slots(slots, embed_dim, self.hybrid_cfg.clone()))
-            .collect();
-        self.order = new_order;
-        self.rebuild_global();
-        Ok(())
-    }
-
-    /// Recomputes the engine-global state after any mutation: per-slot
-    /// global positions and the global pooled-mean centering reference
-    /// (accumulated over live tables in global ingest order, so the result
-    /// is bit-identical for every shard layout of the same corpus), which
-    /// is then mirrored into every shard's repository slice.
-    pub(crate) fn rebuild_global(&mut self) {
-        for (pos, &(s, l)) in self.order.iter().enumerate() {
-            self.shards[s as usize].global_pos[l as usize] = pos;
-        }
-        let k = self.model.config.embed_dim;
-        self.pooled_mean = pooled_mean_of(
-            self.order
-                .iter()
-                .map(|&(s, l)| &self.shards[s as usize].repo.encodings[l as usize]),
-            k,
-        );
-        for shard in &mut self.shards {
-            shard.repo.pooled_mean = self.pooled_mean.clone();
-        }
+        self.state.reshard(
+            n_shards,
+            self.shared.model.config.embed_dim,
+            &self.shared.hybrid_cfg,
+        )
     }
 
     // ---- search ----------------------------------------------------------
@@ -312,36 +210,7 @@ impl Engine {
         query: &Query,
         opts: &SearchOptions,
     ) -> Result<SearchResponse, EngineError> {
-        let owned: ExtractedChart;
-        let (extracted, extract_s): (&ExtractedChart, f64) = match query {
-            Query::Extracted(e) => (e, 0.0),
-            Query::Chart(image) => {
-                if self.extractor.is_oracle() {
-                    return Err(EngineError::UnsupportedQuery(
-                        "raw chart images need a trained extractor (the oracle \
-                         extractor requires renderer masks); use set_extractor \
-                         or query with pre-extracted elements"
-                            .into(),
-                    ));
-                }
-                let t = Instant::now();
-                owned = self.extractor.extract_image(image);
-                (&owned, t.elapsed().as_secs_f64())
-            }
-            Query::Series(data) => {
-                if data.series.is_empty() {
-                    return Err(EngineError::EmptyQuery);
-                }
-                let t = Instant::now();
-                // Rendering our own chart gives the oracle extractor its
-                // ground-truth masks, so series sketches never need a
-                // trained extractor.
-                let chart = render(data, &self.style);
-                owned = VisualElementExtractor::oracle().extract(&chart);
-                (&owned, t.elapsed().as_secs_f64())
-            }
-        };
-        self.search_extracted_timed(extracted, opts, extract_s)
+        self.state.search(&self.shared, query, opts)
     }
 
     /// Answers a pre-extracted query without going through [`Query`]
@@ -351,110 +220,8 @@ impl Engine {
         extracted: &ExtractedChart,
         opts: &SearchOptions,
     ) -> Result<SearchResponse, EngineError> {
-        self.search_extracted_timed(extracted, opts, 0.0)
-    }
-
-    fn search_extracted_timed(
-        &self,
-        extracted: &ExtractedChart,
-        opts: &SearchOptions,
-        extract_s: f64,
-    ) -> Result<SearchResponse, EngineError> {
-        let total0 = Instant::now();
-
-        let t = Instant::now();
-        let pq = process_query(extracted, &self.model.config);
-        if pq.line_patches.is_empty() {
-            return Err(EngineError::EmptyQuery);
-        }
-        let ev = self.model.encode_query_values(&pq);
-        let line_embs = mean_pooled(&ev);
-        let encode_s = t.elapsed().as_secs_f64();
-
-        // Candidate generation fans out across shards on the work pool.
-        let t = Instant::now();
-        let cands: Vec<CandidateSet> = pool::par_map(&self.shards, |sh| {
-            sh.index()
-                .candidates_with_stats(opts.strategy, pq.y_range, &line_embs)
-        });
-        let flat: Vec<(u32, u32)> = cands
-            .iter()
-            .enumerate()
-            .flat_map(|(si, c)| c.ids.iter().map(move |&l| (si as u32, l as u32)))
-            .collect();
-        let prune_s = t.elapsed().as_secs_f64();
-
-        // Scoring runs in one flat parallel pass over every surviving
-        // candidate, so a single-shard engine loses no parallelism and an
-        // imbalanced shard cannot straggle the whole query.
-        let t = Instant::now();
-        let scored: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
-            score_against(
-                &self.model,
-                &self.shards[s as usize].repo,
-                &ev,
-                &pq,
-                l as usize,
-            )
-        });
-        let mut ranked: Vec<(f32, u64, usize, (u32, u32))> = flat
-            .iter()
-            .zip(&scored)
-            .map(|(&(s, l), &score)| {
-                let shard = &self.shards[s as usize];
-                (
-                    score,
-                    shard.meta[l as usize].id,
-                    shard.global_pos[l as usize],
-                    (s, l),
-                )
-            })
-            .collect();
-        // Total order: score desc, then table id asc, then global position
-        // asc — merged rankings are identical for every shard layout.
-        ranked.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(&b.1))
-                .then_with(|| a.2.cmp(&b.2))
-        });
-        let score_s = t.elapsed().as_secs_f64();
-
-        let hits: Vec<SearchHit> = ranked
-            .iter()
-            .take(opts.k)
-            .filter(|&&(score, ..)| opts.min_score.is_none_or(|m| score >= m))
-            .map(|&(score, table_id, pos, (s, l))| SearchHit {
-                index: pos,
-                table_id,
-                table_name: self.shards[s as usize].meta[l as usize].name.clone(),
-                score,
-            })
-            .collect();
-
-        let sum_stage = |f: fn(&CandidateSet) -> Option<usize>| -> Option<usize> {
-            cands
-                .iter()
-                .map(f)
-                .try_fold(0usize, |acc, v| v.map(|n| acc + n))
-        };
-        Ok(SearchResponse {
-            hits,
-            counts: StageCounts {
-                total: self.len(),
-                after_interval: sum_stage(|c| c.after_interval),
-                after_lsh: sum_stage(|c| c.after_lsh),
-                scored: flat.len(),
-            },
-            timings: StageTimings {
-                extract_s,
-                encode_s,
-                prune_s,
-                score_s,
-                total_s: extract_s + total0.elapsed().as_secs_f64(),
-            },
-            strategy: opts.strategy,
-        })
+        self.state
+            .search_extracted_timed(&self.shared, extracted, opts, 0.0)
     }
 
     /// Answers a batch of queries, fanned across the shared work pool
@@ -476,75 +243,22 @@ impl Engine {
     /// without scoring. Ids are global corpus positions. Exposed for index
     /// experiments and diagnostics.
     pub fn candidates(&self, extracted: &ExtractedChart, strategy: IndexStrategy) -> CandidateSet {
-        let pq = process_query(extracted, &self.model.config);
-        let line_embs = if pq.line_patches.is_empty() {
-            Vec::new()
-        } else {
-            mean_pooled(&self.model.encode_query_values(&pq))
-        };
-        let per_shard: Vec<CandidateSet> = pool::par_map(&self.shards, |sh| {
-            sh.index()
-                .candidates_with_stats(strategy, pq.y_range, &line_embs)
-        });
-        let mut ids: Vec<usize> = per_shard
-            .iter()
-            .enumerate()
-            .flat_map(|(si, c)| c.ids.iter().map(move |&l| self.shards[si].global_pos[l]))
-            .collect();
-        ids.sort_unstable();
-        let sum_stage = |f: fn(&CandidateSet) -> Option<usize>| -> Option<usize> {
-            per_shard
-                .iter()
-                .map(f)
-                .try_fold(0usize, |acc, v| v.map(|n| acc + n))
-        };
-        CandidateSet {
-            after_interval: sum_stage(|c| c.after_interval),
-            after_lsh: sum_stage(|c| c.after_lsh),
-            ids,
-        }
+        self.state
+            .candidates(&self.shared.model, extracted, strategy)
     }
 
     /// Preprocesses + scores one query against the live table at global
     /// position `index` through the cached encodings (the point-lookup
     /// counterpart of `search`).
     pub fn score_one(&self, extracted: &ExtractedChart, index: usize) -> Result<f32, EngineError> {
-        let pq: ProcessedQuery = process_query(extracted, &self.model.config);
-        if pq.line_patches.is_empty() {
-            return Err(EngineError::EmptyQuery);
-        }
-        let ev = self.model.encode_query_values(&pq);
-        let (s, l) = self.order[index];
-        Ok(score_against(
-            &self.model,
-            &self.shards[s as usize].repo,
-            &ev,
-            &pq,
-            l as usize,
-        ))
+        self.state.score_one(&self.shared.model, extracted, index)
     }
 }
 
-/// Mean-pools each `N1 x K` line encoding into a `K`-vector — the query
-/// side of the LSH probe (Sec. VI-A).
-pub(crate) fn mean_pooled(encodings: &[Matrix]) -> Vec<Vec<f32>> {
-    encodings
-        .iter()
-        .map(|m| {
-            let (rows, cols) = m.shape();
-            let mut out = vec![0.0f32; cols];
-            if rows == 0 {
-                return out;
-            }
-            for r in 0..rows {
-                for (o, &v) in out.iter_mut().zip(m.row(r)) {
-                    *o += v;
-                }
-            }
-            for o in &mut out {
-                *o /= rows as f32;
-            }
-            out
-        })
-        .collect()
+impl Engine {
+    /// Decomposes the engine into its serving parts (the
+    /// [`crate::ServingEngine`] construction path).
+    pub(crate) fn into_parts(self) -> (EngineShared, EngineState, f64) {
+        (self.shared, self.state, self.compaction_threshold)
+    }
 }

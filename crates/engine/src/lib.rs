@@ -38,18 +38,42 @@
 //! `LCDDSNP1` snapshots still load), so a serving process restarts without
 //! re-encoding the corpus.
 //!
+//! **Concurrent serving** wraps the same machinery in a
+//! [`ServingEngine`]: the corpus lives in an immutable, epoch-versioned
+//! [`EngineState`] behind a lock-free atomic-swap handle
+//! ([`swap::ArcSwapCell`]), so `search` / `search_batch` take `&self`,
+//! never block on mutation, and always see exactly one published epoch,
+//! while a single writer applies insert / remove / compact / reshard by
+//! building the next state from the cached encodings (copy-on-write at
+//! shard granularity — no re-encode, no stop-the-world) and publishing it
+//! atomically. An epoch-tagged query-result LRU ([`cache::QueryCache`])
+//! memoizes repeat queries and is invalidated by each publish.
+//!
 //! Errors are surfaced as [`EngineError`] values — no panics on bad
-//! configs, corrupt snapshots or empty queries.
+//! configs, corrupt snapshots, empty or degenerate queries (blank images,
+//! constant or NaN-laced series — fuzzed by the degenerate-query suite).
+//! Production code in this crate is `unwrap`-free by construction (the
+//! lint below is enforced in CI); tests keep `unwrap` where a backtrace
+//! is the point.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod builder;
+pub mod cache;
 pub mod engine;
+pub mod serving;
 pub mod shard;
 pub mod snapshot;
+pub mod state;
+pub mod swap;
 pub mod types;
 
 pub use builder::{entries_from_tables, EngineBuilder};
+pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
 pub use lcdd_fcm::EngineError;
 pub use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
+pub use serving::ServingEngine;
 pub use shard::EngineShard;
+pub use state::{EngineShared, EngineState};
 pub use types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};

@@ -1,0 +1,292 @@
+//! Lock-free concurrent serving: many readers, one logical writer, zero
+//! stop-the-world.
+//!
+//! [`ServingEngine`] wraps the same model/state machinery as [`Engine`]
+//! behind an epoch-versioned atomic-swap handle:
+//!
+//! * **Readers** ([`ServingEngine::search`] / `search_batch`) take `&self`,
+//!   snapshot the current [`EngineState`] through the lock-free
+//!   [`crate::swap::ArcSwapCell`], and run the whole query against that
+//!   immutable snapshot. They never block on mutation, never observe a
+//!   half-applied write, and every response reports the exact `epoch` it
+//!   was served from.
+//! * **The writer** (`insert_tables` / `remove_tables` / `compact` /
+//!   `reshard`) serializes behind one mutex, builds the next state from
+//!   the cached encodings (copy-on-write at shard granularity — resident
+//!   tables are never re-encoded and untouched shards are shared by
+//!   pointer with older epochs), and publishes it atomically. In-flight
+//!   queries keep serving from the epoch they started on.
+//! * **The query cache** memoizes successful responses keyed by a 128-bit
+//!   content fingerprint and tagged with the serving epoch; a publish
+//!   invalidates it wholesale (logically at once, physically pruned by the
+//!   writer).
+//!
+//! ```
+//! use lcdd_engine::{EngineBuilder, Query, SearchOptions, ServingEngine};
+//! use lcdd_fcm::{FcmConfig, FcmModel};
+//! use lcdd_table::{Column, Table};
+//!
+//! let mk = |id: u64| {
+//!     let vals: Vec<f64> = (0..64).map(|j| ((j + id as usize) as f64 / 5.0).sin()).collect();
+//!     Table::new(id, format!("t{id}"), vec![Column::new("c", vals)])
+//! };
+//! let engine = EngineBuilder::new(FcmModel::new(FcmConfig::tiny()))
+//!     .ingest_tables([mk(0), mk(1)])
+//!     .build()
+//!     .unwrap();
+//! let serving = ServingEngine::new(engine);
+//! // `search` takes &self: share `serving` freely across threads.
+//! let resp = serving
+//!     .search(&Query::from_series(vec![vec![0.5; 64]]), &SearchOptions::top_k(1))
+//!     .unwrap();
+//! assert_eq!(resp.epoch, 0);
+//! serving.insert_tables(vec![mk(2)]);
+//! assert_eq!(serving.epoch(), 1);
+//! assert_eq!(serving.len(), 3);
+//! ```
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use lcdd_fcm::{EngineError, FcmModel};
+use lcdd_index::{CandidateSet, IndexStrategy};
+use lcdd_table::Table;
+use lcdd_tensor::pool;
+use lcdd_vision::ExtractedChart;
+
+use crate::cache::{query_fingerprint, CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
+use crate::engine::Engine;
+use crate::state::{EngineShared, EngineState};
+use crate::swap::ArcSwapCell;
+use crate::types::{Query, SearchOptions, SearchResponse};
+
+/// The writer-side master copy of the state plus mutation policy. Readers
+/// never touch this; they see only what `publish` pushed into the cell.
+struct WriterState {
+    state: EngineState,
+    compaction_threshold: f64,
+}
+
+/// A concurrently servable engine: lock-free `&self` search over
+/// atomically published, epoch-versioned state snapshots, with a single
+/// serialized writer applying corpus mutations.
+pub struct ServingEngine {
+    shared: Arc<EngineShared>,
+    cell: ArcSwapCell<EngineState>,
+    writer: Mutex<WriterState>,
+    cache: QueryCache,
+}
+
+impl ServingEngine {
+    /// Wraps an engine for concurrent serving with the default query-cache
+    /// capacity.
+    pub fn new(engine: Engine) -> Self {
+        Self::with_cache_capacity(engine, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wraps an engine, bounding the query-result cache at `capacity`
+    /// entries (0 disables caching).
+    pub fn with_cache_capacity(engine: Engine, capacity: usize) -> Self {
+        let (shared, state, compaction_threshold) = engine.into_parts();
+        ServingEngine {
+            shared: Arc::new(shared),
+            cell: ArcSwapCell::new(Arc::new(state.clone())),
+            writer: Mutex::new(WriterState {
+                state,
+                compaction_threshold,
+            }),
+            cache: QueryCache::new(capacity),
+        }
+    }
+
+    /// Tears the serving wrapper back down to a plain [`Engine`] (e.g. to
+    /// snapshot with [`Engine::save`] or hand to single-threaded code).
+    pub fn into_engine(self) -> Engine {
+        let ws = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Ok(shared) = Arc::try_unwrap(self.shared) else {
+            // `shared` is never cloned out of the serving engine, so the
+            // writer holding `self` by value owns the last reference.
+            unreachable!("ServingEngine::into_engine: shared config is uniquely owned");
+        };
+        let mut engine = Engine::from_parts(shared, ws.state);
+        engine.set_compaction_threshold(ws.compaction_threshold);
+        engine
+    }
+
+    // ---- read side -------------------------------------------------------
+
+    /// Snapshots the current corpus state. The snapshot is immutable and
+    /// keeps serving consistently (same epoch, same results) no matter how
+    /// many mutations land after this call.
+    pub fn snapshot(&self) -> Arc<EngineState> {
+        self.cell.load()
+    }
+
+    /// The epoch of the currently published state.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Number of live tables in the currently published state.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// True when the currently published state holds no live tables.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// The trained model serving this engine.
+    pub fn model(&self) -> &FcmModel {
+        &self.shared.model
+    }
+
+    /// Query-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Answers one typed query against the current snapshot. Lock-free
+    /// with respect to the writer: holds no lock across extraction,
+    /// encoding or scoring (the query cache takes its mutex only for O(1)
+    /// map probes).
+    pub fn search(
+        &self,
+        query: &Query,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, EngineError> {
+        self.search_on(&self.snapshot(), query, opts)
+    }
+
+    /// Answers a batch of queries, fanned across the shared work pool.
+    /// The whole batch is served from **one** snapshot: every response
+    /// carries the same `epoch` even if a writer publishes mid-batch.
+    pub fn search_batch(
+        &self,
+        queries: &[Query],
+        opts: &SearchOptions,
+    ) -> Vec<Result<SearchResponse, EngineError>> {
+        let state = self.snapshot();
+        pool::par_map(queries, |q| self.search_on(&state, q, opts))
+    }
+
+    fn search_on(
+        &self,
+        state: &Arc<EngineState>,
+        query: &Query,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, EngineError> {
+        if !self.cache.is_enabled() {
+            return state.search(&self.shared, query, opts);
+        }
+        let key = query_fingerprint(query, opts);
+        if let Some(resp) = self.cache.get(key, state.epoch()) {
+            let mut resp = SearchResponse::clone(&resp);
+            resp.cached = true;
+            return Ok(resp);
+        }
+        let resp = state.search(&self.shared, query, opts)?;
+        self.cache.put(key, state.epoch(), Arc::new(resp.clone()));
+        Ok(resp)
+    }
+
+    /// Answers a query against a **pinned** snapshot (from
+    /// [`ServingEngine::snapshot`]), regardless of how many epochs have
+    /// been published since. Bypasses the query cache (which only serves
+    /// the live epoch) — useful for repeatable reads, pagination over a
+    /// frozen corpus view, or the concurrency test harness.
+    pub fn search_at(
+        &self,
+        state: &EngineState,
+        query: &Query,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, EngineError> {
+        state.search(&self.shared, query, opts)
+    }
+
+    /// Candidate generation against the current snapshot (diagnostics).
+    pub fn candidates(&self, extracted: &ExtractedChart, strategy: IndexStrategy) -> CandidateSet {
+        self.snapshot()
+            .candidates(&self.shared.model, extracted, strategy)
+    }
+
+    // ---- write side ------------------------------------------------------
+
+    fn write(&self) -> MutexGuard<'_, WriterState> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes the writer's state if its epoch moved. Readers switch to
+    /// the new epoch on their next snapshot; the query cache is
+    /// invalidated (logically by the epoch tag, physically pruned here).
+    fn publish(&self, ws: &WriterState, epoch_before: u64) {
+        if ws.state.epoch() == epoch_before {
+            return;
+        }
+        self.cell.store(Arc::new(ws.state.clone()));
+        self.cache.prune_stale(ws.state.epoch());
+    }
+
+    /// Ingests new tables without stopping reads: encodes only the delta,
+    /// copy-on-write clones only the receiving shards, publishes the next
+    /// epoch atomically. Returns the assigned global positions. See
+    /// [`Engine::insert_tables`] for semantics.
+    pub fn insert_tables(&self, tables: Vec<Table>) -> Vec<usize> {
+        let mut ws = self.write();
+        let before = ws.state.epoch();
+        let assigned = ws.state.insert_tables(&self.shared.model, tables);
+        self.publish(&ws, before);
+        assigned
+    }
+
+    /// Evicts live tables by id without stopping reads. Returns the number
+    /// removed. See [`Engine::remove_tables`] for semantics.
+    pub fn remove_tables(&self, ids: &[u64]) -> usize {
+        let mut ws = self.write();
+        let before = ws.state.epoch();
+        let threshold = ws.compaction_threshold;
+        let removed = ws
+            .state
+            .remove_tables(ids, threshold, self.shared.model.config.embed_dim);
+        self.publish(&ws, before);
+        removed
+    }
+
+    /// Compacts tombstoned shards without stopping reads.
+    pub fn compact(&self) {
+        let mut ws = self.write();
+        let before = ws.state.epoch();
+        ws.state.compact(self.shared.model.config.embed_dim);
+        self.publish(&ws, before);
+    }
+
+    /// Redistributes the corpus across `n_shards` without stopping reads.
+    pub fn reshard(&self, n_shards: usize) -> Result<(), EngineError> {
+        let mut ws = self.write();
+        let before = ws.state.epoch();
+        let result = ws.state.reshard(
+            n_shards,
+            self.shared.model.config.embed_dim,
+            &self.shared.hybrid_cfg,
+        );
+        self.publish(&ws, before);
+        result
+    }
+
+    /// Sets the auto-compaction threshold for future removals (clamped to
+    /// `[0, 1]`).
+    pub fn set_compaction_threshold(&self, frac: f64) {
+        self.write().compaction_threshold = frac.clamp(0.0, 1.0);
+    }
+
+    /// Writes the current snapshot to a file in the engine snapshot format
+    /// (readable by [`Engine::load`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), EngineError> {
+        let file = std::fs::File::create(path)?;
+        let state = self.snapshot();
+        crate::snapshot::write_snapshot_v2(&self.shared, &state, std::io::BufWriter::new(file))
+    }
+}

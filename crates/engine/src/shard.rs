@@ -10,9 +10,18 @@
 //! after which the shard is bit-identical to one freshly built from those
 //! tables.
 //!
-//! Shards never see queries directly; [`crate::Engine`] fans a query's
-//! candidate generation across shards on the shared work pool and merges
-//! the scored results with deterministic tie-breaking.
+//! Shards never see queries directly; [`crate::EngineState`] fans a
+//! query's candidate generation across shards on the shared work pool and
+//! merges the scored results with deterministic tie-breaking. Shards are
+//! held behind `Arc`s: the single-threaded [`crate::Engine`] owns its
+//! shards uniquely (mutation is in-place), while the concurrent
+//! [`crate::ServingEngine`] shares them with published snapshots and
+//! copy-on-writes only the shard a mutation touches.
+//!
+//! Cross-corpus statistics (the global ingest order and the pooled-mean
+//! centering reference) live on [`crate::EngineState`], not here — a
+//! shard's bytes depend only on its own slots, which is what makes
+//! copy-on-write sharing across epochs sound.
 
 use lcdd_fcm::input::ProcessedTable;
 use lcdd_fcm::EncodedRepository;
@@ -22,6 +31,7 @@ use lcdd_tensor::Matrix;
 use crate::engine::TableMeta;
 
 /// Everything one ingested table contributes to a shard.
+#[derive(Clone)]
 pub(crate) struct SlotData {
     pub meta: TableMeta,
     pub table: ProcessedTable,
@@ -57,24 +67,22 @@ impl SlotData {
 }
 
 /// One shard: a slot-indexed slice of the corpus plus its index structures.
+#[derive(Clone)]
 pub struct EngineShard {
-    /// Slot-indexed repository slice. `pooled_mean` here is a copy of the
-    /// *global* centering reference (kept in sync by the engine), so the
-    /// cached scoring path is layout-independent.
+    /// Slot-indexed repository slice. Its `pooled_mean` is intentionally
+    /// left at zero: the matcher's centering reference is a *corpus-wide*
+    /// statistic owned by [`crate::EngineState`] and passed to the scorer
+    /// explicitly, so shard bytes stay layout- and epoch-independent.
     pub(crate) repo: EncodedRepository,
     pub(crate) meta: Vec<TableMeta>,
     pub(crate) slot_intervals: Vec<Vec<(f64, f64)>>,
     /// Local index over slot ids; tombstones live here.
     pub(crate) index: HybridIndex,
-    /// Slot -> position in the engine's global table order (engine-owned;
-    /// stale for dead slots).
-    pub(crate) global_pos: Vec<usize>,
 }
 
 impl EngineShard {
     /// Assembles a shard from slot data (build, reshard and snapshot-load
-    /// all come through here). The repository's `pooled_mean` starts empty;
-    /// the engine installs the global one right after.
+    /// all come through here).
     pub(crate) fn from_slots(slots: Vec<SlotData>, embed_dim: usize, cfg: HybridConfig) -> Self {
         let mut meta = Vec::with_capacity(slots.len());
         let mut tables = Vec::with_capacity(slots.len());
@@ -92,14 +100,43 @@ impl EngineShard {
             pooled_mean: Matrix::zeros(1, embed_dim),
         };
         let index = Self::build_index(&repo, &slot_intervals, embed_dim, cfg);
-        let global_pos = vec![0; meta.len()];
         EngineShard {
             repo,
             meta,
             slot_intervals,
             index,
-            global_pos,
         }
+    }
+
+    /// Moves every slot (dead ones included — callers filter via the
+    /// global order) out of the shard. The cheap path of a reshard when
+    /// the shard is uniquely owned.
+    pub(crate) fn into_slots(self) -> Vec<SlotData> {
+        self.meta
+            .into_iter()
+            .zip(self.repo.tables)
+            .zip(self.repo.encodings)
+            .zip(self.slot_intervals)
+            .map(|(((meta, table), encodings), intervals)| SlotData {
+                meta,
+                table,
+                encodings,
+                intervals,
+            })
+            .collect()
+    }
+
+    /// Clones every slot out of a shared shard (the copy-on-write path of
+    /// a reshard while published snapshots still reference the shard).
+    pub(crate) fn clone_slots(&self) -> Vec<SlotData> {
+        (0..self.meta.len())
+            .map(|l| SlotData {
+                meta: self.meta[l].clone(),
+                table: self.repo.tables[l].clone(),
+                encodings: self.repo.encodings[l].clone(),
+                intervals: self.slot_intervals[l].clone(),
+            })
+            .collect()
     }
 
     fn build_index(
@@ -161,7 +198,9 @@ impl EngineShard {
         &self.meta[slot]
     }
 
-    /// The shard's slice of cached encodings.
+    /// The shard's slice of cached encodings. Note its `pooled_mean` is
+    /// zero by design — the corpus-wide centering reference lives on
+    /// [`crate::EngineState::pooled_mean`].
     pub fn repository(&self) -> &EncodedRepository {
         &self.repo
     }
@@ -186,7 +225,6 @@ impl EngineShard {
         self.repo.tables.push(slot.table);
         self.repo.encodings.push(slot.encodings);
         self.slot_intervals.push(slot.intervals);
-        self.global_pos.push(0);
         let embeddings = self.slot_embeddings(id);
         let assigned = self
             .index
@@ -226,7 +264,6 @@ impl EngineShard {
         retain_indexed(&mut self.repo.tables, live);
         retain_indexed(&mut self.repo.encodings, live);
         retain_indexed(&mut self.slot_intervals, live);
-        retain_indexed(&mut self.global_pos, live);
         self.index = Self::build_index(
             &self.repo,
             &self.slot_intervals,

@@ -54,8 +54,9 @@ use lcdd_index::HybridConfig;
 use lcdd_tensor::Matrix;
 use lcdd_vision::VisualElementExtractor;
 
-use crate::engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
+use crate::engine::{Engine, TableMeta};
 use crate::shard::{EngineShard, SlotData};
+use crate::state::{EngineShared, EngineState};
 
 const MAGIC_V1: &[u8; 8] = b"LCDDSNP1";
 const MAGIC_V2: &[u8; 8] = b"LCDDSNP2";
@@ -387,56 +388,68 @@ fn read_shard_section(bytes: &[u8], shard_idx: usize) -> Result<Vec<SlotData>, E
 
 // ---- the snapshot itself -------------------------------------------------
 
+/// Writes full serving state (config + model + shard sections) in the
+/// current `LCDDSNP2` format. Shared by [`Engine::save_to`] and
+/// [`crate::ServingEngine::save`], which snapshots an immutable
+/// [`EngineState`] and persists it without pausing readers. Only live
+/// tables are written: a snapshot of an engine with pending tombstones
+/// equals the snapshot of its compacted self.
+pub(crate) fn write_snapshot_v2<W: Write>(
+    shared: &EngineShared,
+    state: &EngineState,
+    mut w: W,
+) -> Result<(), EngineError> {
+    let mut p = Vec::new();
+    write_fcm_config(&mut p, &shared.model.config)?;
+    write_hybrid_config(&mut p, &shared.hybrid_cfg)?;
+    write_model(&shared.model, &mut p)?;
+
+    // Per-shard live slots (slot order) and the slot -> compact-slot
+    // remap the order entries are written through.
+    let live: Vec<Vec<usize>> = state
+        .shards
+        .iter()
+        .map(|sh| (0..sh.len()).filter(|&s| !sh.is_dead(s)).collect())
+        .collect();
+    let remap: Vec<Vec<Option<u32>>> = state
+        .shards
+        .iter()
+        .zip(&live)
+        .map(|(sh, live)| {
+            let mut m = vec![None; sh.len()];
+            for (compact, &slot) in live.iter().enumerate() {
+                m[slot] = Some(compact as u32);
+            }
+            m
+        })
+        .collect();
+    wusize(&mut p, state.shards.len())?;
+    wusize(&mut p, state.order.len())?;
+    for &(s, l) in &state.order {
+        let compact = remap[s as usize][l as usize]
+            .ok_or_else(|| EngineError::Snapshot("order references a dead slot".into()))?;
+        wu32(&mut p, s)?;
+        wu32(&mut p, compact)?;
+    }
+    for (shard, live) in state.shards.iter().zip(&live) {
+        let section = write_shard_section(shard, live)?;
+        wusize(&mut p, section.len())?;
+        p.extend_from_slice(&section);
+    }
+
+    w.write_all(MAGIC_V2)?;
+    wu32(&mut w, VERSION_V2)?;
+    wusize(&mut w, p.len())?;
+    wu64(&mut w, fnv1a64(&p))?;
+    w.write_all(&p)?;
+    Ok(())
+}
+
 impl Engine {
     /// Writes the full serving state to a writer in the current
-    /// (`LCDDSNP2`, sharded + checksummed) format. Only live tables are
-    /// written: a snapshot of an engine with pending tombstones equals the
-    /// snapshot of its compacted self.
-    pub fn save_to<W: Write>(&self, mut w: W) -> Result<(), EngineError> {
-        let mut p = Vec::new();
-        write_fcm_config(&mut p, &self.model.config)?;
-        write_hybrid_config(&mut p, &self.hybrid_cfg)?;
-        write_model(&self.model, &mut p)?;
-
-        // Per-shard live slots (slot order) and the slot -> compact-slot
-        // remap the order entries are written through.
-        let live: Vec<Vec<usize>> = self
-            .shards
-            .iter()
-            .map(|sh| (0..sh.len()).filter(|&s| !sh.is_dead(s)).collect())
-            .collect();
-        let remap: Vec<Vec<Option<u32>>> = self
-            .shards
-            .iter()
-            .zip(&live)
-            .map(|(sh, live)| {
-                let mut m = vec![None; sh.len()];
-                for (compact, &slot) in live.iter().enumerate() {
-                    m[slot] = Some(compact as u32);
-                }
-                m
-            })
-            .collect();
-        wusize(&mut p, self.shards.len())?;
-        wusize(&mut p, self.order.len())?;
-        for &(s, l) in &self.order {
-            let compact = remap[s as usize][l as usize]
-                .ok_or_else(|| EngineError::Snapshot("order references a dead slot".into()))?;
-            wu32(&mut p, s)?;
-            wu32(&mut p, compact)?;
-        }
-        for (shard, live) in self.shards.iter().zip(&live) {
-            let section = write_shard_section(shard, live)?;
-            wusize(&mut p, section.len())?;
-            p.extend_from_slice(&section);
-        }
-
-        w.write_all(MAGIC_V2)?;
-        wu32(&mut w, VERSION_V2)?;
-        wusize(&mut w, p.len())?;
-        wu64(&mut w, fnv1a64(&p))?;
-        w.write_all(&p)?;
-        Ok(())
+    /// (`LCDDSNP2`, sharded + checksummed) format.
+    pub fn save_to<W: Write>(&self, w: W) -> Result<(), EngineError> {
+        write_snapshot_v2(&self.shared, &self.state, w)
     }
 
     /// Restores an engine from a reader, accepting both the current
@@ -523,7 +536,7 @@ impl Engine {
             order.push((s, l));
         }
         let embed_dim = model.config.embed_dim;
-        let mut shards = Vec::with_capacity(n_shards);
+        let mut shards: Vec<EngineShard> = Vec::with_capacity(n_shards);
         for shard_idx in 0..n_shards {
             let section_len = rusize(&mut r)?;
             if section_len > r.len() {
@@ -565,56 +578,53 @@ impl Engine {
             }
         }
 
-        let mut engine = Engine {
+        let state = EngineState::from_shards(shards, order, embed_dim);
+        let shared = EngineShared {
             model,
-            shards,
             hybrid_cfg,
-            pooled_mean: Matrix::zeros(1, embed_dim),
-            order,
             extractor: VisualElementExtractor::oracle(),
             style: ChartStyle::default(),
-            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
         };
-        engine.rebuild_global();
-        Ok(engine)
+        Ok(Engine::from_parts(shared, state))
     }
 
     /// Writes the legacy monolithic `LCDDSNP1` format (the corpus in global
     /// order, whatever the shard layout). Kept for downgrade paths and the
     /// v1-compatibility tests; new snapshots should use [`Engine::save`].
     pub fn save_v1_to<W: Write>(&self, mut w: W) -> Result<(), EngineError> {
+        let state = &self.state;
         w.write_all(MAGIC_V1)?;
         wu32(&mut w, VERSION_V1)?;
-        write_fcm_config(&mut w, &self.model.config)?;
-        write_hybrid_config(&mut w, &self.hybrid_cfg)?;
-        write_model(&self.model, &mut w)?;
+        write_fcm_config(&mut w, &self.shared.model.config)?;
+        write_hybrid_config(&mut w, &self.shared.hybrid_cfg)?;
+        write_model(&self.shared.model, &mut w)?;
 
-        wusize(&mut w, self.order.len())?;
-        for &(s, l) in &self.order {
-            let shard = &self.shards[s as usize];
+        wusize(&mut w, state.order.len())?;
+        for &(s, l) in &state.order {
+            let shard = &state.shards[s as usize];
             write_slot(
                 &mut w,
                 &shard.meta[l as usize],
                 &shard.repo.tables[l as usize],
             )?;
         }
-        for &(s, l) in &self.order {
-            let cols = &self.shards[s as usize].repo.encodings[l as usize];
+        for &(s, l) in &state.order {
+            let cols = &state.shards[s as usize].repo.encodings[l as usize];
             wusize(&mut w, cols.len())?;
             for col in cols {
                 wmat(&mut w, col)?;
             }
         }
-        wmat(&mut w, &self.pooled_mean)?;
+        wmat(&mut w, &state.pooled_mean)?;
 
-        let n_intervals: usize = self
+        let n_intervals: usize = state
             .order
             .iter()
-            .map(|&(s, l)| self.shards[s as usize].slot_intervals[l as usize].len())
+            .map(|&(s, l)| state.shards[s as usize].slot_intervals[l as usize].len())
             .sum();
         wusize(&mut w, n_intervals)?;
-        for (pos, &(s, l)) in self.order.iter().enumerate() {
-            for &(lo, hi) in &self.shards[s as usize].slot_intervals[l as usize] {
+        for (pos, &(s, l)) in state.order.iter().enumerate() {
+            for &(lo, hi) in &state.shards[s as usize].slot_intervals[l as usize] {
                 wf64(&mut w, lo)?;
                 wf64(&mut w, hi)?;
                 wusize(&mut w, pos)?;
@@ -713,21 +723,17 @@ impl Engine {
         let embed_dim = model.config.embed_dim;
         let order: Vec<(u32, u32)> = (0..slots.len()).map(|i| (0, i as u32)).collect();
         let shard = EngineShard::from_slots(slots, embed_dim, hybrid_cfg.clone());
-        let mut engine = Engine {
+        // `from_shards` recomputes the pooled mean over the persisted
+        // encodings in order, reproducing the persisted matrix bit-for-bit
+        // (same accumulation); the read above still validates its shape.
+        let state = EngineState::from_shards(vec![shard], order, embed_dim);
+        let shared = EngineShared {
             model,
-            shards: vec![shard],
             hybrid_cfg,
-            pooled_mean: Matrix::zeros(1, embed_dim),
-            order,
             extractor: VisualElementExtractor::oracle(),
             style: ChartStyle::default(),
-            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
         };
-        // Recomputing over the persisted encodings in order reproduces the
-        // persisted pooled mean bit-for-bit (same accumulation); the read
-        // above still validates the stored matrix's shape.
-        engine.rebuild_global();
-        Ok(engine)
+        Ok(Engine::from_parts(shared, state))
     }
 
     /// Saves the full serving state to a file (current format; see

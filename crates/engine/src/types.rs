@@ -130,7 +130,8 @@ pub struct StageTimings {
 /// The engine's answer: ranked hits plus per-stage provenance and timings.
 #[derive(Clone, Debug)]
 pub struct SearchResponse {
-    /// Hits, descending by score, at most `k`.
+    /// Hits, descending by score, at most `k`. Candidates scoring `NaN`
+    /// (degenerate queries) are never surfaced as hits.
     pub hits: Vec<SearchHit>,
     /// Stage-by-stage candidate counts.
     pub counts: StageCounts,
@@ -138,6 +139,16 @@ pub struct SearchResponse {
     pub timings: StageTimings,
     /// The strategy that served this query.
     pub strategy: IndexStrategy,
+    /// The corpus mutation epoch this response was computed against. A
+    /// plain [`crate::Engine`] reports its current epoch; under
+    /// [`crate::ServingEngine`] every response is internally consistent
+    /// with exactly this one published snapshot (and a whole
+    /// `search_batch` shares a single epoch).
+    pub epoch: u64,
+    /// True when the response was served from the epoch-tagged query
+    /// cache rather than recomputed (timings are those of the original
+    /// computation).
+    pub cached: bool,
 }
 
 impl SearchResponse {

@@ -101,6 +101,7 @@ pub struct CandidateSet {
 /// is filtered at query time. Compaction (rebuilding via
 /// [`HybridIndex::from_parts`] over the live survivors) reclaims tombstone
 /// slots and restores tree balance.
+#[derive(Clone)]
 pub struct HybridIndex {
     tree: IntervalTree,
     lsh: LshIndex,

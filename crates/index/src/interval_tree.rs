@@ -40,7 +40,7 @@ impl IntervalTree {
     pub fn build(mut intervals: Vec<Interval>) -> Self {
         intervals.retain(|iv| iv.lo.is_finite() && iv.hi.is_finite() && iv.lo <= iv.hi);
         let len = intervals.len();
-        intervals.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());
+        intervals.sort_by(|a, b| a.lo.total_cmp(&b.lo));
         let root = Self::build_node(&intervals);
         IntervalTree { root, len }
     }

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Sign-random-projection LSH index mapping signatures → dataset ids.
+#[derive(Clone)]
 pub struct LshIndex {
     hyperplanes: Vec<Vec<f32>>,
     buckets: HashMap<u64, Vec<usize>>,

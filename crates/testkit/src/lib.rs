@@ -14,11 +14,17 @@
 //!   corpus, at any shard count,
 //! * [`assert_same_hits`] — the response comparator the equivalence
 //!   suites use: hit-for-hit identity (index, table id, name, order),
-//!   scores within `1e-6`, and identical per-stage provenance.
+//!   scores within `1e-6`, and identical per-stage provenance,
+//! * [`concurrent`] — the reader/writer harness for the concurrent
+//!   serving engine: N query loops racing a scripted writer, with every
+//!   response checked for single-epoch internal consistency and the final
+//!   state checked hit-for-hit against a serial replay.
 //!
 //! Everything is a pure function of its seed: two processes building the
 //! same spec get byte-identical corpora, so failures reproduce across
 //! runs and machines.
+
+pub mod concurrent;
 
 use lcdd_engine::{Engine, EngineBuilder, Query, SearchResponse};
 use lcdd_fcm::{FcmConfig, FcmModel};

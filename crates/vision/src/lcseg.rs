@@ -125,12 +125,13 @@ impl Lcseg {
                 let pv = probs.value();
                 for (i, &l) in labels.iter().enumerate() {
                     let row = pv.row(i);
+                    // `total_cmp`: a NaN probability (diverged training)
+                    // must miscount accuracy, not abort the process.
                     let pred = row
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                        .map(|(j, _)| j)
-                        .unwrap();
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map_or(0, |(j, _)| j);
                     correct += usize::from(pred == l);
                     total += 1;
                 }

@@ -5,6 +5,14 @@
 //! (Mask R-CNN substitute — see DESIGN.md), colour/connectivity line
 //! instance separation, line tracing back to 1-D series, and y-tick label
 //! decoding that recovers the chart's value range from raw pixels.
+//!
+//! This crate sits on the adversarial-input boundary (arbitrary images and
+//! extractor output flow through it into `Engine::search`), so production
+//! code is `unwrap`-free by construction — a degenerate chart must degrade
+//! to "no lines / no ticks", never abort the process. Tests keep `unwrap`
+//! (the backtrace is the point there).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod components;
 pub mod extractor;

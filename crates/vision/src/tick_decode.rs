@@ -56,10 +56,13 @@ pub fn find_spine(class_map: &[u8], width: usize, height: usize) -> Option<(usiz
     if best_count < 8 {
         return None;
     }
-    let ys: Vec<usize> = (0..height)
-        .filter(|&y| class_map[y * width + best_x] == 1)
-        .collect();
-    Some((best_x, *ys.first().unwrap(), *ys.last().unwrap()))
+    let mut ys = (0..height).filter(|&y| class_map[y * width + best_x] == 1);
+    // `best_count >= 8` implies the column has axis pixels, but guard the
+    // first/last lookups anyway: an adversarial class map must degrade to
+    // "no spine", never abort the process.
+    let top = ys.next()?;
+    let bottom = ys.next_back().unwrap_or(top);
+    Some((best_x, top, bottom))
 }
 
 fn is_ink(img: &RgbImage, x: usize, y: usize) -> bool {
@@ -106,7 +109,7 @@ fn decode_band(img: &RgbImage, x_limit: usize, y0: usize, y1: usize) -> Option<(
         for ch in [
             '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', '-', '.', 'e', '+',
         ] {
-            let g = glyph(ch).unwrap();
+            let Some(g) = glyph(ch) else { continue };
             let agree = g.iter().zip(cell.iter()).filter(|(a, b)| a == b).count();
             if best.is_none_or(|(_, s)| agree > s) {
                 best = Some((ch, agree));
@@ -166,7 +169,11 @@ pub fn decode_ticks(
         .into_iter()
         .filter_map(|(y0, y1)| decode_band(img, label_region_limit, y0, y1))
         .collect();
-    ticks.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // A label that parses to a non-finite value (or a degenerate band
+    // position) would poison the least-squares fit and, formerly, panic the
+    // NaN-unaware sort below; drop such ticks before fitting.
+    ticks.retain(|t| t.0.is_finite() && t.1.is_finite());
+    ticks.sort_by(|a, b| a.0.total_cmp(&b.0));
     if ticks.len() < 2 {
         return None;
     }

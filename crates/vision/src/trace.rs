@@ -24,27 +24,25 @@ pub fn trace_rows(instance: &LineInstance, x0: usize, x1: usize) -> Vec<Option<f
 
 /// Fills `None` gaps by linear interpolation between the nearest observed
 /// columns; leading/trailing gaps extend the first/last observation.
-/// Returns `None` when no column is observed at all.
+/// Returns `None` when no column is observed at all (an all-gap trace —
+/// e.g. a line fully occluded inside the plot window — is a skippable
+/// line, not a panic).
 pub fn fill_gaps(trace: &[Option<f64>]) -> Option<Vec<f64>> {
-    let first = trace.iter().position(Option::is_some)?;
-    let last = trace.iter().rposition(Option::is_some)?;
-    let mut out = Vec::with_capacity(trace.len());
-    for i in 0..trace.len() {
-        if let Some(v) = trace[i] {
-            out.push(v);
-            continue;
-        }
-        if i < first {
-            out.push(trace[first].unwrap());
-        } else if i > last {
-            out.push(trace[last].unwrap());
-        } else {
-            // interior gap: find bracketing observations
-            let l = trace[..i].iter().rposition(Option::is_some).unwrap();
-            let r = i + trace[i..].iter().position(Option::is_some).unwrap();
-            let (lv, rv) = (trace[l].unwrap(), trace[r].unwrap());
+    let observed: Vec<(usize, f64)> = trace
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.map(|v| (i, v)))
+        .collect();
+    let (&(first, first_v), &(last, last_v)) = (observed.first()?, observed.last()?);
+    let mut out = vec![0.0; trace.len()];
+    out[..first].fill(first_v);
+    out[last..].fill(last_v);
+    for w in observed.windows(2) {
+        let ((l, lv), (r, rv)) = (w[0], w[1]);
+        out[l] = lv;
+        for (i, slot) in out.iter_mut().enumerate().take(r).skip(l + 1) {
             let frac = (i - l) as f64 / (r - l) as f64;
-            out.push(lv + (rv - lv) * frac);
+            *slot = lv + (rv - lv) * frac;
         }
     }
     Some(out)

@@ -2,7 +2,9 @@
 //! assemble a sharded engine (ingest → encode → shard → index), answer
 //! typed queries with per-stage provenance, mutate the corpus live
 //! (insert/remove without re-encoding the resident tables), snapshot it in
-//! the sharded `LCDDSNP2` format, and serve from the restored engine.
+//! the sharded `LCDDSNP2` format, serve from the restored engine — then
+//! wrap it in a `ServingEngine` and query from threads *while* a writer
+//! keeps ingesting (lock-free, epoch-versioned serving).
 //!
 //! ```bash
 //! cargo run --release --example search_engine
@@ -10,7 +12,7 @@
 
 use linechart_discovery::benchmark::{build_benchmark, train_fcm_on, BenchmarkConfig};
 use linechart_discovery::engine::{
-    Engine, EngineBuilder, IndexStrategy, Query, SearchOptions, SearchResponse,
+    Engine, EngineBuilder, IndexStrategy, Query, SearchOptions, SearchResponse, ServingEngine,
 };
 use linechart_discovery::fcm::{FcmConfig, FcmModel, TrainConfig};
 
@@ -161,5 +163,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         again.hits.len()
     );
     std::fs::remove_file(&path).ok();
+
+    // 9. Concurrent serving: wrap the engine in a ServingEngine and let
+    //    reader threads hammer it while this thread keeps ingesting.
+    //    `search` takes &self (lock-free snapshot of the current epoch);
+    //    the writer publishes each mutation atomically, and repeat queries
+    //    within an epoch come from the query cache.
+    let serving = ServingEngine::new(engine);
+    let sketch: Vec<f64> = (0..120).map(|i| (i as f64 / 9.0).sin() * 4.0).collect();
+    println!("\nconcurrent serving: 3 readers querying during live ingest ...");
+    std::thread::scope(|scope| {
+        for reader in 0..3 {
+            let (serving, sketch) = (&serving, &sketch);
+            scope.spawn(move || {
+                let opts = SearchOptions::top_k(3);
+                let (mut served, mut cached, mut first, mut last) = (0u32, 0u32, u64::MAX, 0u64);
+                for _ in 0..40 {
+                    let resp = serving
+                        .search(&Query::from_series(vec![sketch.clone()]), &opts)
+                        .expect("concurrent search");
+                    first = first.min(resp.epoch);
+                    last = last.max(resp.epoch);
+                    served += 1;
+                    cached += u32::from(resp.cached);
+                    // Pace the loop so the reads visibly span several
+                    // published epochs (a real client thinks between
+                    // queries; the cache would otherwise absorb the loop
+                    // within one epoch).
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                println!(
+                    "  reader {reader}: {served} responses ({cached} cached), \
+                     epochs {first}..={last}"
+                );
+            });
+        }
+        // The writer: grow the corpus live, one publish per batch.
+        for round in 0..5u64 {
+            let vals: Vec<f64> = (0..120)
+                .map(|i| ((i as f64 + round as f64 * 11.0) / 6.5).sin() * 3.0)
+                .collect();
+            serving.insert_tables(vec![linechart_discovery::table::Table::new(
+                91_000 + round,
+                format!("live-{round}"),
+                vec![linechart_discovery::table::Column::new("c", vals)],
+            )]);
+        }
+    });
+    let stats = serving.cache_stats();
+    println!(
+        "writer done: {} tables at epoch {} | cache: {} hits, {} misses",
+        serving.len(),
+        serving.epoch(),
+        stats.hits,
+        stats.misses
+    );
     Ok(())
 }

@@ -15,6 +15,10 @@ echo
 echo "== sharding benches -> BENCH_sharding.json =="
 cargo run --release -p lcdd-bench --bin bench_sharding -- BENCH_sharding.json
 
+echo
+echo "== concurrent-serving benches -> BENCH_serving.json =="
+cargo run --release -p lcdd-bench --bin bench_serving -- BENCH_serving.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo
     echo "== criterion micro-benchmarks =="
