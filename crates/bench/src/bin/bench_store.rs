@@ -1,0 +1,216 @@
+//! Durable-store benchmark emitter: WAL append throughput, recovery time
+//! vs corpus size, and checkpoint write amplification. Writes
+//! `BENCH_store.json`.
+//!
+//! Three sections:
+//!
+//! * **wal_append** — records/s and MB/s appending realistic insert
+//!   records (encoded single-table batches), with and without per-record
+//!   `fdatasync` (the default durability policy pays the fsync; the
+//!   no-sync number is the framing/copy ceiling).
+//! * **recovery** — wall-clock for [`DurableEngine::open`] (manifest +
+//!   segments + WAL-tail replay) at 96 / 384 / 1536 tables. Recovery
+//!   replays cached encodings only; the bin *asserts* the FCM encoder ran
+//!   zero times during each open.
+//! * **write_amplification** — bytes written by a full (all-shard)
+//!   checkpoint vs an incremental one after a single-shard dirty op. The
+//!   bin *asserts* the incremental checkpoint rewrote exactly one of the
+//!   four shards — the dirty-only guarantee, in numbers.
+//!
+//! Usage: `cargo run --release -p lcdd-bench --bin bench_store [-- out.json]`
+//! (defaults to `BENCH_store.json` in the current directory).
+
+use std::time::Instant;
+
+use lcdd_engine::persist::{encode_batch, EncodedTableBatch};
+use lcdd_store::wal::{WalOp, WalRecord, WalWriter};
+use lcdd_store::{DurableEngine, StoreOptions};
+use lcdd_table::Table;
+use lcdd_testkit::crash::TempDir;
+use lcdd_testkit::{corpus, tiny_engine, CorpusSpec};
+
+const RECOVERY_SIZES: [usize; 3] = [96, 384, 1536];
+const N_SHARDS: usize = 4;
+
+fn store_opts() -> StoreOptions {
+    StoreOptions {
+        sync_writes: false,
+        checkpoint_every_ops: 0,
+        checkpoint_every_bytes: 0,
+        ..StoreOptions::default()
+    }
+}
+
+fn delta_tables(seed: u64, n: usize) -> Vec<Table> {
+    let mut tables = corpus(&CorpusSpec::sized(seed, n));
+    for (i, t) in tables.iter_mut().enumerate() {
+        t.id = 100_000 + seed * 100 + i as u64;
+        t.name = format!("delta-{seed}-{i}");
+    }
+    tables
+}
+
+/// Appends `n` copies of `record` to a fresh WAL; returns (records/s, MB/s).
+fn wal_append_throughput(
+    tmp: &TempDir,
+    tag: &str,
+    record: &WalRecord,
+    n: usize,
+    sync: bool,
+) -> (f64, f64) {
+    let path = tmp.subdir(&format!("wal-{tag}.log"));
+    let mut w = WalWriter::create(&path, sync).expect("bench WAL create");
+    let t = Instant::now();
+    for _ in 0..n {
+        w.append(record).expect("bench WAL append");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let bytes = w.len() as f64;
+    (n as f64 / secs, bytes / secs / 1e6)
+}
+
+struct RecoveryRow {
+    tables: usize,
+    create_ms: f64,
+    open_ms: f64,
+    replayed_ops: usize,
+}
+
+fn recovery_row(tmp: &TempDir, n_tables: usize) -> RecoveryRow {
+    let dir = tmp.subdir(&format!("recover-{n_tables}"));
+    let base = corpus(&CorpusSpec {
+        seed: 0x5707e ^ n_tables as u64,
+        n_tables,
+        series_len: 90,
+        near_dup_every: 5,
+    });
+    let t = Instant::now();
+    let engine = tiny_engine(base, N_SHARDS);
+    let durable = DurableEngine::create(&dir, engine, store_opts()).expect("bench store create");
+    let create_ms = t.elapsed().as_secs_f64() * 1e3;
+    // A realistic tail: some churn after the checkpoint.
+    durable
+        .insert_tables(delta_tables(1, 2))
+        .expect("bench insert");
+    durable.remove_tables(&[100_100]).expect("bench remove");
+    drop(durable);
+
+    let encodes_before = lcdd_fcm::table_encode_count();
+    let t = Instant::now();
+    let (recovered, report) = DurableEngine::open(&dir, store_opts()).expect("bench recovery");
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        lcdd_fcm::table_encode_count(),
+        encodes_before,
+        "recovery must not re-encode any table"
+    );
+    assert_eq!(recovered.len(), n_tables + 1);
+    eprintln!(
+        "[bench_store] recovery at {n_tables:>5} tables: open {open_ms:>8.1} ms \
+         ({} replayed ops; build+create was {create_ms:.1} ms)",
+        report.replayed_ops
+    );
+    RecoveryRow {
+        tables: n_tables,
+        create_ms,
+        open_ms,
+        replayed_ops: report.replayed_ops,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+    let tmp = TempDir::new("bench-store");
+
+    // ---- WAL append throughput ------------------------------------------
+    let model = lcdd_fcm::FcmModel::new(lcdd_fcm::FcmConfig::tiny());
+    let batch: EncodedTableBatch = encode_batch(&model, &delta_tables(9, 1));
+    let record = WalRecord {
+        epoch_after: 1,
+        op: WalOp::Insert {
+            batch: batch.to_bytes().expect("bench batch bytes"),
+        },
+    };
+    let record_bytes = match &record.op {
+        WalOp::Insert { batch } => batch.len() + 9 + 12,
+        _ => unreachable!(),
+    };
+    let (nosync_rps, nosync_mbs) = wal_append_throughput(&tmp, "nosync", &record, 4000, false);
+    let (sync_rps, sync_mbs) = wal_append_throughput(&tmp, "sync", &record, 300, true);
+    eprintln!(
+        "[bench_store] WAL append ({record_bytes} B/record): \
+         no-sync {nosync_rps:>9.0} rec/s ({nosync_mbs:.1} MB/s), \
+         fsync-every {sync_rps:>7.0} rec/s ({sync_mbs:.1} MB/s)"
+    );
+
+    // ---- recovery time vs corpus size ------------------------------------
+    let recovery: Vec<RecoveryRow> = RECOVERY_SIZES
+        .iter()
+        .map(|&n| recovery_row(&tmp, n))
+        .collect();
+
+    // ---- write amplification ---------------------------------------------
+    let dir = tmp.subdir("amplification");
+    let base = corpus(&CorpusSpec {
+        seed: 0xa3b1,
+        n_tables: 384,
+        series_len: 90,
+        near_dup_every: 5,
+    });
+    let durable =
+        DurableEngine::create(&dir, tiny_engine(base, N_SHARDS), store_opts()).expect("amp store");
+    // Full rewrite baseline: reshard dirties every shard.
+    durable.reshard(N_SHARDS).expect("amp reshard");
+    let full = durable.checkpoint().expect("amp full checkpoint");
+    assert_eq!(full.shards_written, N_SHARDS, "reshard dirties all shards");
+    // Incremental: one insert dirties exactly one shard.
+    durable
+        .insert_tables(delta_tables(3, 1))
+        .expect("amp insert");
+    let incr = durable.checkpoint().expect("amp incremental checkpoint");
+    assert_eq!(
+        incr.shards_written, 1,
+        "a single-shard op must rewrite exactly one segment"
+    );
+    assert_eq!(incr.shards_total, N_SHARDS);
+    let amp_ratio = full.bytes_written as f64 / (incr.bytes_written as f64).max(1.0);
+    eprintln!(
+        "[bench_store] checkpoint write amplification at 384 tables / {N_SHARDS} shards: \
+         full {} B ({} shards), incremental {} B (1 dirty shard) -> {amp_ratio:.1}x less written",
+        full.bytes_written, full.shards_written, incr.bytes_written
+    );
+
+    // ---- emit -------------------------------------------------------------
+    let recovery_json: Vec<String> = recovery
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"tables\": {}, \"open_ms\": {:.2}, \"build_create_ms\": {:.2}, \"replayed_ops\": {} }}",
+                r.tables, r.open_ms, r.create_ms, r.replayed_ops
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"group\": \"bench_store\",\n  \"wal_append\": {{\n    \
+         \"record_bytes\": {record_bytes},\n    \
+         \"nosync_records_per_s\": {nosync_rps:.0},\n    \
+         \"nosync_mb_per_s\": {nosync_mbs:.1},\n    \
+         \"fsync_records_per_s\": {sync_rps:.0},\n    \
+         \"fsync_mb_per_s\": {sync_mbs:.1}\n  }},\n  \
+         \"recovery\": [\n{}\n  ],\n  \
+         \"write_amplification\": {{\n    \"tables\": 384,\n    \"shards\": {N_SHARDS},\n    \
+         \"full_checkpoint_bytes\": {},\n    \"full_shards_written\": {},\n    \
+         \"incremental_checkpoint_bytes\": {},\n    \"incremental_shards_written\": {},\n    \
+         \"full_over_incremental_x\": {amp_ratio:.2}\n  }}\n}}\n",
+        recovery_json.join(",\n"),
+        full.bytes_written,
+        full.shards_written,
+        incr.bytes_written,
+        incr.shards_written,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_store.json");
+    eprintln!("[bench_store] wrote {out_path}");
+    println!("{json}");
+}

@@ -18,6 +18,15 @@ pub enum EngineError {
     WeightMismatch { expected: usize, restored: usize },
     /// A snapshot file is malformed, truncated, or from an unknown version.
     Snapshot(String),
+    /// A write-ahead-log file is malformed: a record fails its checksum,
+    /// the framing is inconsistent, or replay diverges from the recorded
+    /// epochs. (A *torn tail* — a final record cut short by a crash — is
+    /// not an error; recovery truncates it.)
+    Wal(String),
+    /// The durable store is inconsistent: no valid manifest, a segment
+    /// missing or corrupt, or a manifest referencing state that cannot be
+    /// assembled.
+    Store(String),
     /// The query kind cannot be served by this engine configuration
     /// (e.g. a raw chart image without a trained extractor).
     UnsupportedQuery(String),
@@ -36,6 +45,8 @@ impl fmt::Display for EngineError {
                 "weight file restored {restored} of {expected} parameters; config mismatch?"
             ),
             EngineError::Snapshot(msg) => write!(f, "bad engine snapshot: {msg}"),
+            EngineError::Wal(msg) => write!(f, "bad write-ahead log: {msg}"),
+            EngineError::Store(msg) => write!(f, "inconsistent durable store: {msg}"),
             EngineError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
             EngineError::EmptyQuery => write!(f, "query has no extractable lines"),
         }
@@ -70,6 +81,10 @@ mod tests {
             restored: 3,
         };
         assert!(e.to_string().contains("3 of 10"));
+        let e = EngineError::Wal("record 3 checksum mismatch".into());
+        assert!(e.to_string().contains("write-ahead log"));
+        let e = EngineError::Store("no valid manifest".into());
+        assert!(e.to_string().contains("durable store"));
     }
 
     #[test]

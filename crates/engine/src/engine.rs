@@ -135,6 +135,12 @@ impl Engine {
         self.compaction_threshold = frac.clamp(0.0, 1.0);
     }
 
+    /// The tombstone fraction at which [`Engine::remove_tables`] compacts a
+    /// shard automatically.
+    pub fn compaction_threshold(&self) -> f64 {
+        self.compaction_threshold
+    }
+
     // ---- mutation --------------------------------------------------------
 
     /// Ingests new tables into the live engine. Only the new tables are
@@ -166,6 +172,14 @@ impl Engine {
     /// ```
     pub fn insert_tables(&mut self, tables: Vec<Table>) -> Vec<usize> {
         self.state.insert_tables(&self.shared.model, tables)
+    }
+
+    /// Ingests an already-encoded batch (see [`crate::persist::encode_batch`])
+    /// without touching the encoder — the WAL-replay counterpart of
+    /// [`Engine::insert_tables`], with identical shard assignment.
+    pub fn insert_encoded(&mut self, batch: crate::persist::EncodedTableBatch) -> Vec<usize> {
+        self.state
+            .insert_slots(batch.slots, self.shared.model.config.embed_dim)
     }
 
     /// Evicts every live table whose id is in `ids`. Removal tombstones the

@@ -61,6 +61,7 @@
 pub mod builder;
 pub mod cache;
 pub mod engine;
+pub mod persist;
 pub mod serving;
 pub mod shard;
 pub mod snapshot;
@@ -73,6 +74,7 @@ pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
 pub use lcdd_fcm::EngineError;
 pub use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
+pub use persist::EncodedTableBatch;
 pub use serving::ServingEngine;
 pub use shard::EngineShard;
 pub use state::{EngineShared, EngineState};

@@ -45,6 +45,7 @@
 //! assert_eq!(serving.len(), 3);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use lcdd_fcm::{EngineError, FcmModel};
@@ -59,21 +60,20 @@ use crate::state::{EngineShared, EngineState};
 use crate::swap::ArcSwapCell;
 use crate::types::{Query, SearchOptions, SearchResponse};
 
-/// The writer-side master copy of the state plus mutation policy. Readers
-/// never touch this; they see only what `publish` pushed into the cell.
-struct WriterState {
-    state: EngineState,
-    compaction_threshold: f64,
-}
-
 /// A concurrently servable engine: lock-free `&self` search over
 /// atomically published, epoch-versioned state snapshots, with a single
 /// serialized writer applying corpus mutations.
 pub struct ServingEngine {
     shared: Arc<EngineShared>,
     cell: ArcSwapCell<EngineState>,
-    writer: Mutex<WriterState>,
+    /// The writer-side master copy of the state. Readers never touch it;
+    /// they see only what `publish` pushed into the cell.
+    writer: Mutex<EngineState>,
     cache: QueryCache,
+    /// Auto-compaction threshold as `f64` bits — atomic so the getter is
+    /// as lock-free as the rest of the read API (the durable write path
+    /// reads it per eviction while already holding its own lock).
+    compaction_threshold: AtomicU64,
 }
 
 impl ServingEngine {
@@ -90,18 +90,17 @@ impl ServingEngine {
         ServingEngine {
             shared: Arc::new(shared),
             cell: ArcSwapCell::new(Arc::new(state.clone())),
-            writer: Mutex::new(WriterState {
-                state,
-                compaction_threshold,
-            }),
+            writer: Mutex::new(state),
             cache: QueryCache::new(capacity),
+            compaction_threshold: AtomicU64::new(compaction_threshold.to_bits()),
         }
     }
 
     /// Tears the serving wrapper back down to a plain [`Engine`] (e.g. to
     /// snapshot with [`Engine::save`] or hand to single-threaded code).
     pub fn into_engine(self) -> Engine {
-        let ws = self
+        let threshold = f64::from_bits(self.compaction_threshold.load(Ordering::Relaxed));
+        let state = self
             .writer
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner);
@@ -110,8 +109,8 @@ impl ServingEngine {
             // writer holding `self` by value owns the last reference.
             unreachable!("ServingEngine::into_engine: shared config is uniquely owned");
         };
-        let mut engine = Engine::from_parts(shared, ws.state);
-        engine.set_compaction_threshold(ws.compaction_threshold);
+        let mut engine = Engine::from_parts(shared, state);
+        engine.set_compaction_threshold(threshold);
         engine
     }
 
@@ -215,19 +214,19 @@ impl ServingEngine {
 
     // ---- write side ------------------------------------------------------
 
-    fn write(&self) -> MutexGuard<'_, WriterState> {
+    fn write(&self) -> MutexGuard<'_, EngineState> {
         self.writer.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Publishes the writer's state if its epoch moved. Readers switch to
     /// the new epoch on their next snapshot; the query cache is
     /// invalidated (logically by the epoch tag, physically pruned here).
-    fn publish(&self, ws: &WriterState, epoch_before: u64) {
-        if ws.state.epoch() == epoch_before {
+    fn publish(&self, state: &EngineState, epoch_before: u64) {
+        if state.epoch() == epoch_before {
             return;
         }
-        self.cell.store(Arc::new(ws.state.clone()));
-        self.cache.prune_stale(ws.state.epoch());
+        self.cell.store(Arc::new(state.clone()));
+        self.cache.prune_stale(state.epoch());
     }
 
     /// Ingests new tables without stopping reads: encodes only the delta,
@@ -236,8 +235,21 @@ impl ServingEngine {
     /// [`Engine::insert_tables`] for semantics.
     pub fn insert_tables(&self, tables: Vec<Table>) -> Vec<usize> {
         let mut ws = self.write();
-        let before = ws.state.epoch();
-        let assigned = ws.state.insert_tables(&self.shared.model, tables);
+        let before = ws.epoch();
+        let assigned = ws.insert_tables(&self.shared.model, tables);
+        self.publish(&ws, before);
+        assigned
+    }
+
+    /// Ingests an already-encoded batch (see
+    /// [`crate::persist::encode_batch`]) without touching the encoder — the
+    /// durable write path logs the batch to its WAL first, then splices
+    /// exactly those bytes in here. Shard assignment is identical to
+    /// [`ServingEngine::insert_tables`].
+    pub fn insert_encoded(&self, batch: crate::persist::EncodedTableBatch) -> Vec<usize> {
+        let mut ws = self.write();
+        let before = ws.epoch();
+        let assigned = ws.insert_slots(batch.slots, self.shared.model.config.embed_dim);
         self.publish(&ws, before);
         assigned
     }
@@ -245,12 +257,10 @@ impl ServingEngine {
     /// Evicts live tables by id without stopping reads. Returns the number
     /// removed. See [`Engine::remove_tables`] for semantics.
     pub fn remove_tables(&self, ids: &[u64]) -> usize {
+        let threshold = self.compaction_threshold();
         let mut ws = self.write();
-        let before = ws.state.epoch();
-        let threshold = ws.compaction_threshold;
-        let removed = ws
-            .state
-            .remove_tables(ids, threshold, self.shared.model.config.embed_dim);
+        let before = ws.epoch();
+        let removed = ws.remove_tables(ids, threshold, self.shared.model.config.embed_dim);
         self.publish(&ws, before);
         removed
     }
@@ -258,16 +268,16 @@ impl ServingEngine {
     /// Compacts tombstoned shards without stopping reads.
     pub fn compact(&self) {
         let mut ws = self.write();
-        let before = ws.state.epoch();
-        ws.state.compact(self.shared.model.config.embed_dim);
+        let before = ws.epoch();
+        ws.compact(self.shared.model.config.embed_dim);
         self.publish(&ws, before);
     }
 
     /// Redistributes the corpus across `n_shards` without stopping reads.
     pub fn reshard(&self, n_shards: usize) -> Result<(), EngineError> {
         let mut ws = self.write();
-        let before = ws.state.epoch();
-        let result = ws.state.reshard(
+        let before = ws.epoch();
+        let result = ws.reshard(
             n_shards,
             self.shared.model.config.embed_dim,
             &self.shared.hybrid_cfg,
@@ -277,9 +287,17 @@ impl ServingEngine {
     }
 
     /// Sets the auto-compaction threshold for future removals (clamped to
-    /// `[0, 1]`).
+    /// `[0, 1]`). Lock-free: takes effect for the next eviction.
     pub fn set_compaction_threshold(&self, frac: f64) {
-        self.write().compaction_threshold = frac.clamp(0.0, 1.0);
+        self.compaction_threshold
+            .store(frac.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The auto-compaction threshold currently in effect (the durable
+    /// write path records it per eviction so replay compacts identically).
+    /// Lock-free like the rest of the read API.
+    pub fn compaction_threshold(&self) -> f64 {
+        f64::from_bits(self.compaction_threshold.load(Ordering::Relaxed))
     }
 
     /// Writes the current snapshot to a file in the engine snapshot format

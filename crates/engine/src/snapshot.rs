@@ -65,37 +65,37 @@ const VERSION_V2: u32 = 2;
 
 // ---- primitive writers / readers -----------------------------------------
 
-fn wu32<W: Write>(w: &mut W, v: u32) -> Result<(), EngineError> {
+pub(crate) fn wu32<W: Write>(w: &mut W, v: u32) -> Result<(), EngineError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
 }
 
-fn wu64<W: Write>(w: &mut W, v: u64) -> Result<(), EngineError> {
+pub(crate) fn wu64<W: Write>(w: &mut W, v: u64) -> Result<(), EngineError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
 }
 
-fn wusize<W: Write>(w: &mut W, v: usize) -> Result<(), EngineError> {
+pub(crate) fn wusize<W: Write>(w: &mut W, v: usize) -> Result<(), EngineError> {
     wu64(w, v as u64)
 }
 
-fn wf64<W: Write>(w: &mut W, v: f64) -> Result<(), EngineError> {
+pub(crate) fn wf64<W: Write>(w: &mut W, v: f64) -> Result<(), EngineError> {
     w.write_all(&v.to_le_bytes())?;
     Ok(())
 }
 
-fn wbool<W: Write>(w: &mut W, v: bool) -> Result<(), EngineError> {
+pub(crate) fn wbool<W: Write>(w: &mut W, v: bool) -> Result<(), EngineError> {
     w.write_all(&[u8::from(v)])?;
     Ok(())
 }
 
-fn wstr<W: Write>(w: &mut W, s: &str) -> Result<(), EngineError> {
+pub(crate) fn wstr<W: Write>(w: &mut W, s: &str) -> Result<(), EngineError> {
     wu32(w, s.len() as u32)?;
     w.write_all(s.as_bytes())?;
     Ok(())
 }
 
-fn wmat<W: Write>(w: &mut W, m: &Matrix) -> Result<(), EngineError> {
+pub(crate) fn wmat<W: Write>(w: &mut W, m: &Matrix) -> Result<(), EngineError> {
     wu32(w, m.rows() as u32)?;
     wu32(w, m.cols() as u32)?;
     let mut buf = Vec::with_capacity(m.len() * 4);
@@ -106,29 +106,29 @@ fn wmat<W: Write>(w: &mut W, m: &Matrix) -> Result<(), EngineError> {
     Ok(())
 }
 
-fn ru32<R: Read>(r: &mut R) -> Result<u32, EngineError> {
+pub(crate) fn ru32<R: Read>(r: &mut R) -> Result<u32, EngineError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn ru64<R: Read>(r: &mut R) -> Result<u64, EngineError> {
+pub(crate) fn ru64<R: Read>(r: &mut R) -> Result<u64, EngineError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn rusize<R: Read>(r: &mut R) -> Result<usize, EngineError> {
+pub(crate) fn rusize<R: Read>(r: &mut R) -> Result<usize, EngineError> {
     Ok(ru64(r)? as usize)
 }
 
-fn rf64<R: Read>(r: &mut R) -> Result<f64, EngineError> {
+pub(crate) fn rf64<R: Read>(r: &mut R) -> Result<f64, EngineError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
 }
 
-fn rbool<R: Read>(r: &mut R) -> Result<bool, EngineError> {
+pub(crate) fn rbool<R: Read>(r: &mut R) -> Result<bool, EngineError> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0] != 0)
@@ -139,9 +139,9 @@ fn rbool<R: Read>(r: &mut R) -> Result<bool, EngineError> {
 /// either overflow the size arithmetic or trigger multi-GB allocations
 /// before `read_exact` ever fails. 256 MiB is orders of magnitude above
 /// any real segment/encoding matrix.
-const MAX_FIELD_BYTES: usize = 256 << 20;
+pub(crate) const MAX_FIELD_BYTES: usize = 256 << 20;
 
-fn rstr<R: Read>(r: &mut R) -> Result<String, EngineError> {
+pub(crate) fn rstr<R: Read>(r: &mut R) -> Result<String, EngineError> {
     let len = ru32(r)? as usize;
     if len > MAX_FIELD_BYTES {
         return Err(EngineError::Snapshot(format!(
@@ -153,7 +153,7 @@ fn rstr<R: Read>(r: &mut R) -> Result<String, EngineError> {
     String::from_utf8(b).map_err(|e| EngineError::Snapshot(format!("non-UTF-8 string: {e}")))
 }
 
-fn rmat<R: Read>(r: &mut R) -> Result<Matrix, EngineError> {
+pub(crate) fn rmat<R: Read>(r: &mut R) -> Result<Matrix, EngineError> {
     let rows = ru32(r)? as usize;
     let cols = ru32(r)? as usize;
     let bytes = rows
@@ -173,7 +173,7 @@ fn rmat<R: Read>(r: &mut R) -> Result<Matrix, EngineError> {
 /// FNV-1a over a byte slice — the payload integrity hash. Not
 /// cryptographic; it guards against truncation and accidental corruption,
 /// which is the snapshot threat model.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -186,7 +186,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// [`EngineError::Snapshot`]: by the time the payload is parsed its
 /// checksum has been verified, so a short read is a malformed snapshot,
 /// not an I/O condition the caller can retry.
-fn payload_err(e: EngineError) -> EngineError {
+pub(crate) fn payload_err(e: EngineError) -> EngineError {
     match e {
         EngineError::Io(e) => EngineError::Snapshot(format!("payload ended early: {e}")),
         other => other,
@@ -195,7 +195,7 @@ fn payload_err(e: EngineError) -> EngineError {
 
 // ---- config sections -----------------------------------------------------
 
-fn write_fcm_config<W: Write>(w: &mut W, c: &FcmConfig) -> Result<(), EngineError> {
+pub(crate) fn write_fcm_config<W: Write>(w: &mut W, c: &FcmConfig) -> Result<(), EngineError> {
     for v in [
         c.embed_dim,
         c.n_heads,
@@ -220,7 +220,7 @@ fn write_fcm_config<W: Write>(w: &mut W, c: &FcmConfig) -> Result<(), EngineErro
     Ok(())
 }
 
-fn read_fcm_config<R: Read>(r: &mut R) -> Result<FcmConfig, EngineError> {
+pub(crate) fn read_fcm_config<R: Read>(r: &mut R) -> Result<FcmConfig, EngineError> {
     let mut f = [0usize; 13];
     for v in f.iter_mut() {
         *v = rusize(r)?;
@@ -250,14 +250,17 @@ fn read_fcm_config<R: Read>(r: &mut R) -> Result<FcmConfig, EngineError> {
     })
 }
 
-fn write_hybrid_config<W: Write>(w: &mut W, c: &HybridConfig) -> Result<(), EngineError> {
+pub(crate) fn write_hybrid_config<W: Write>(
+    w: &mut W,
+    c: &HybridConfig,
+) -> Result<(), EngineError> {
     wusize(w, c.lsh_bits)?;
     wu32(w, c.lsh_radius)?;
     wf64(w, c.range_slack)?;
     wu64(w, c.seed)
 }
 
-fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, EngineError> {
+pub(crate) fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, EngineError> {
     Ok(HybridConfig {
         lsh_bits: rusize(r)?,
         lsh_radius: ru32(r)?,
@@ -269,7 +272,7 @@ fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, EngineError> {
 // ---- v2: shard sections --------------------------------------------------
 
 /// One table's worth of a shard section (what `SlotData` becomes on disk).
-fn write_slot<W: Write>(
+pub(crate) fn write_slot<W: Write>(
     w: &mut W,
     meta: &TableMeta,
     pt: &ProcessedTable,
@@ -287,7 +290,10 @@ fn write_slot<W: Write>(
 
 /// Serializes one shard's live slots (in slot order) as a self-contained
 /// section.
-fn write_shard_section(shard: &EngineShard, live: &[usize]) -> Result<Vec<u8>, EngineError> {
+pub(crate) fn write_shard_section(
+    shard: &EngineShard,
+    live: &[usize],
+) -> Result<Vec<u8>, EngineError> {
     let mut w = Vec::new();
     wusize(&mut w, live.len())?;
     for &slot in live {
@@ -311,7 +317,10 @@ fn write_shard_section(shard: &EngineShard, live: &[usize]) -> Result<Vec<u8>, E
     Ok(w)
 }
 
-fn read_shard_section(bytes: &[u8], shard_idx: usize) -> Result<Vec<SlotData>, EngineError> {
+pub(crate) fn read_shard_section(
+    bytes: &[u8],
+    shard_idx: usize,
+) -> Result<Vec<SlotData>, EngineError> {
     let mut r = bytes;
     let n_tables = rusize(&mut r)?;
     let mut metas = Vec::with_capacity(n_tables.min(65_536));
@@ -386,6 +395,76 @@ fn read_shard_section(bytes: &[u8], shard_idx: usize) -> Result<Vec<SlotData>, E
         .collect())
 }
 
+/// Per-shard live slot ids, in slot order — what a shard section (and a
+/// store segment) serializes.
+pub(crate) fn live_slots(state: &EngineState) -> Vec<Vec<usize>> {
+    state
+        .shards
+        .iter()
+        .map(|sh| (0..sh.len()).filter(|&s| !sh.is_dead(s)).collect())
+        .collect()
+}
+
+/// The global order re-expressed in *compacted* slot coordinates (the ones
+/// live slots get when a section is read back). Fails if the order
+/// references a dead slot — a state invariant violation.
+pub(crate) fn remapped_order(
+    state: &EngineState,
+    live: &[Vec<usize>],
+) -> Result<Vec<(u32, u32)>, EngineError> {
+    let remap: Vec<Vec<Option<u32>>> = state
+        .shards
+        .iter()
+        .zip(live)
+        .map(|(sh, live)| {
+            let mut m = vec![None; sh.len()];
+            for (compact, &slot) in live.iter().enumerate() {
+                m[slot] = Some(compact as u32);
+            }
+            m
+        })
+        .collect();
+    state
+        .order
+        .iter()
+        .map(|&(s, l)| {
+            remap[s as usize][l as usize]
+                .map(|compact| (s, compact))
+                .ok_or_else(|| EngineError::Snapshot("order references a dead slot".into()))
+        })
+        .collect()
+}
+
+/// Checks a restored order is a bijection onto the restored shard slots
+/// (shared by the snapshot loader and [`crate::persist::assemble_engine`]).
+pub(crate) fn validate_order(
+    order: &[(u32, u32)],
+    shards: &[EngineShard],
+) -> Result<(), EngineError> {
+    let total: usize = shards.iter().map(|sh| sh.len()).sum();
+    if order.len() != total {
+        return Err(EngineError::Snapshot(format!(
+            "order lists {} tables but shards hold {total}",
+            order.len()
+        )));
+    }
+    let mut seen: Vec<Vec<bool>> = shards.iter().map(|sh| vec![false; sh.len()]).collect();
+    for &(s, l) in order {
+        let slot = seen
+            .get_mut(s as usize)
+            .and_then(|v| v.get_mut(l as usize))
+            .ok_or_else(|| {
+                EngineError::Snapshot(format!("order references missing slot ({s}, {l})"))
+            })?;
+        if std::mem::replace(slot, true) {
+            return Err(EngineError::Snapshot(format!(
+                "order references slot ({s}, {l}) twice"
+            )));
+        }
+    }
+    Ok(())
+}
+
 // ---- the snapshot itself -------------------------------------------------
 
 /// Writes full serving state (config + model + shard sections) in the
@@ -404,30 +483,13 @@ pub(crate) fn write_snapshot_v2<W: Write>(
     write_hybrid_config(&mut p, &shared.hybrid_cfg)?;
     write_model(&shared.model, &mut p)?;
 
-    // Per-shard live slots (slot order) and the slot -> compact-slot
-    // remap the order entries are written through.
-    let live: Vec<Vec<usize>> = state
-        .shards
-        .iter()
-        .map(|sh| (0..sh.len()).filter(|&s| !sh.is_dead(s)).collect())
-        .collect();
-    let remap: Vec<Vec<Option<u32>>> = state
-        .shards
-        .iter()
-        .zip(&live)
-        .map(|(sh, live)| {
-            let mut m = vec![None; sh.len()];
-            for (compact, &slot) in live.iter().enumerate() {
-                m[slot] = Some(compact as u32);
-            }
-            m
-        })
-        .collect();
+    // Per-shard live slots (slot order) and the order re-expressed in the
+    // compact slot coordinates those sections restore into.
+    let live = live_slots(state);
+    let order = remapped_order(state, &live)?;
     wusize(&mut p, state.shards.len())?;
-    wusize(&mut p, state.order.len())?;
-    for &(s, l) in &state.order {
-        let compact = remap[s as usize][l as usize]
-            .ok_or_else(|| EngineError::Snapshot("order references a dead slot".into()))?;
+    wusize(&mut p, order.len())?;
+    for &(s, compact) in &order {
         wu32(&mut p, s)?;
         wu32(&mut p, compact)?;
     }
@@ -556,27 +618,7 @@ impl Engine {
         }
 
         // The order must be a bijection onto the shard slots.
-        let total: usize = shards.iter().map(|sh| sh.len()).sum();
-        if order.len() != total {
-            return Err(EngineError::Snapshot(format!(
-                "order lists {} tables but shards hold {total}",
-                order.len()
-            )));
-        }
-        let mut seen: Vec<Vec<bool>> = shards.iter().map(|sh| vec![false; sh.len()]).collect();
-        for &(s, l) in &order {
-            let slot = seen
-                .get_mut(s as usize)
-                .and_then(|v| v.get_mut(l as usize))
-                .ok_or_else(|| {
-                    EngineError::Snapshot(format!("order references missing slot ({s}, {l})"))
-                })?;
-            if std::mem::replace(slot, true) {
-                return Err(EngineError::Snapshot(format!(
-                    "order references slot ({s}, {l}) twice"
-                )));
-            }
-        }
+        validate_order(&order, &shards)?;
 
         let state = EngineState::from_shards(shards, order, embed_dim);
         let shared = EngineShared {

@@ -147,6 +147,13 @@ impl EngineState {
         self.epoch
     }
 
+    /// Overrides the epoch counter — recovery continuity only (see
+    /// [`crate::persist::force_epoch`]): a recovered state resumes epoch
+    /// numbering where the crashed process left off.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// The shards backing this state.
     pub fn shards(&self) -> &[Arc<EngineShard>] {
         &self.shards
@@ -170,15 +177,31 @@ impl EngineState {
     // They return plain data; publication (for the concurrent engine) is
     // the caller's job.
 
-    /// Ingests pre-encoded tables; see [`crate::Engine::insert_tables`].
+    /// Ingests fresh tables by encoding them first; see
+    /// [`crate::Engine::insert_tables`].
     pub(crate) fn insert_tables(&mut self, model: &FcmModel, tables: Vec<Table>) -> Vec<usize> {
         if tables.is_empty() {
             return Vec::new();
         }
         let (processed, encodings) = encode_tables(model, &tables);
-        let mut assigned = Vec::with_capacity(tables.len());
-        for ((table, pt), enc) in tables.iter().zip(processed).zip(encodings) {
-            let slot = SlotData::from_encoded(table, pt, enc);
+        let slots = tables
+            .iter()
+            .zip(processed)
+            .zip(encodings)
+            .map(|((table, pt), enc)| SlotData::from_encoded(table, pt, enc))
+            .collect();
+        self.insert_slots(slots, model.config.embed_dim)
+    }
+
+    /// Ingests already-encoded slots — the shared tail of fresh ingest and
+    /// WAL replay ([`crate::persist::EncodedTableBatch`]). Both paths must
+    /// assign shards identically or replay diverges from the live engine.
+    pub(crate) fn insert_slots(&mut self, slots: Vec<SlotData>, embed_dim: usize) -> Vec<usize> {
+        if slots.is_empty() {
+            return Vec::new();
+        }
+        let mut assigned = Vec::with_capacity(slots.len());
+        for slot in slots {
             // Least-loaded shard, ties to the lowest id — deterministic,
             // and only the receiving shard is copy-on-write cloned.
             let shard = (0..self.shards.len())
@@ -189,7 +212,7 @@ impl EngineState {
             self.order.push((shard as u32, local as u32));
         }
         self.epoch += 1;
-        self.rebuild_global(model.config.embed_dim);
+        self.rebuild_global(embed_dim);
         assigned
     }
 

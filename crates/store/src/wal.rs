@@ -1,0 +1,394 @@
+//! The write-ahead log: an append-only stream of corpus mutations, each
+//! record length-prefixed and FNV-1a-checksummed.
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic   "LCDDWAL1"  (8 bytes)
+//! version u32 (currently 1)
+//! records, each:
+//!   payload_len  u32
+//!   payload_hash u64 (FNV-1a over the payload bytes)
+//!   payload:
+//!     kind        u8  (1 insert | 2 remove | 3 compact | 4 reshard)
+//!     epoch_after u64 (the engine epoch once this op is applied)
+//!     body        (kind-specific, see [`WalOp`])
+//! ```
+//!
+//! Insert bodies carry the **already-encoded** FCM delta
+//! ([`lcdd_engine::persist::EncodedTableBatch`] bytes), so replay splices
+//! cached encodings back in and never re-runs the encoder.
+//!
+//! ## Torn tails vs corruption
+//!
+//! A crash mid-append leaves an *incomplete* final record (the frame
+//! promises more bytes than the file holds). [`scan`] reports it as a torn
+//! tail: replay stops at the last complete record and the writer truncates
+//! the tail away — that is normal crash recovery, not an error.
+//!
+//! A *complete* record whose checksum does not match, whose length prefix
+//! is implausible, or whose payload does not parse, is corruption —
+//! surfaced as [`EngineError::Wal`], never a panic. One narrow ambiguity
+//! is inherent to the format: damage to the final record's length prefix
+//! that keeps it plausible but pushes it past the end of the file is
+//! indistinguishable from a genuine torn write, and is resolved in favor
+//! of truncation (the choice every length-prefixed WAL makes).
+//!
+//! ## fsync discipline
+//!
+//! [`WalWriter::append`] with `sync = true` (the default store policy)
+//! issues `fdatasync` after every record: an acknowledged op survives
+//! power loss. With `sync = false` the OS page cache decides. A *process*
+//! crash (the page cache survives) still recovers a clean prefix — a
+//! suffix of acknowledged records may be lost, never reordered. Under
+//! *power loss*, unsynced pages can persist out of order, which can leave
+//! a complete-looking mid-file record with a bad checksum; recovery
+//! reports that as a typed [`EngineError::Wal`] rather than silently
+//! picking a prefix — choosing what to salvage is then the operator's
+//! call (an older checkpoint remains on disk).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use lcdd_engine::persist::fnv1a64;
+use lcdd_fcm::EngineError;
+
+use crate::codec::{wf64, wu64, SliceReader};
+
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"LCDDWAL1";
+pub(crate) const WAL_VERSION: u32 = 1;
+/// Byte length of the WAL file header (magic + version).
+pub const WAL_HEADER_LEN: u64 = 12;
+
+/// Largest accepted record payload. A corrupt length prefix beyond this is
+/// classified by position: at EOF it is a torn tail, mid-file it is
+/// corruption.
+const MAX_RECORD_BYTES: usize = 1 << 31;
+
+/// One logged corpus mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalOp {
+    /// Ingest of an encoded batch ([`lcdd_engine::persist::EncodedTableBatch`]
+    /// bytes — parsed lazily at replay).
+    Insert { batch: Vec<u8> },
+    /// Eviction by table id, with the auto-compaction threshold that was
+    /// in effect (replay must compact at the same point).
+    Remove { ids: Vec<u64>, threshold: f64 },
+    /// Explicit compaction of every tombstoned shard.
+    Compact,
+    /// Redistribution across `n_shards`.
+    Reshard { n_shards: usize },
+}
+
+/// A [`WalOp`] plus the epoch the engine reached by applying it — replay
+/// pins recovered epochs to these values so recovered and uncrashed
+/// engines agree epoch-for-epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    pub epoch_after: u64,
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match &self.op {
+            WalOp::Insert { batch } => {
+                p.push(1u8);
+                wu64(&mut p, self.epoch_after);
+                p.extend_from_slice(batch);
+            }
+            WalOp::Remove { ids, threshold } => {
+                p.push(2u8);
+                wu64(&mut p, self.epoch_after);
+                wf64(&mut p, *threshold);
+                wu64(&mut p, ids.len() as u64);
+                for &id in ids {
+                    wu64(&mut p, id);
+                }
+            }
+            WalOp::Compact => {
+                p.push(3u8);
+                wu64(&mut p, self.epoch_after);
+            }
+            WalOp::Reshard { n_shards } => {
+                p.push(4u8);
+                wu64(&mut p, self.epoch_after);
+                wu64(&mut p, *n_shards as u64);
+            }
+        }
+        p
+    }
+
+    fn parse(payload: &[u8], offset: u64) -> Result<WalRecord, EngineError> {
+        let wal_err = |m: String| EngineError::Wal(format!("record at offset {offset}: {m}"));
+        let remap = |e: EngineError| match e {
+            EngineError::Store(m) | EngineError::Snapshot(m) => wal_err(m),
+            other => other,
+        };
+        if payload.is_empty() {
+            return Err(wal_err("empty payload".into()));
+        }
+        let kind = payload[0];
+        let mut r2 = SliceReader::new(&payload[1..]);
+        let epoch_after = r2.ru64().map_err(remap)?;
+        let op = match kind {
+            1 => WalOp::Insert {
+                batch: payload[1 + 8..].to_vec(),
+            },
+            2 => {
+                let threshold = r2.rf64().map_err(remap)?;
+                let n = r2.ru64().map_err(remap)? as usize;
+                if n > MAX_RECORD_BYTES / 8 {
+                    return Err(wal_err(format!("implausible id count {n}")));
+                }
+                let mut ids = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    ids.push(r2.ru64().map_err(remap)?);
+                }
+                if r2.remaining() != 0 {
+                    return Err(wal_err(format!(
+                        "{} trailing bytes in remove record",
+                        r2.remaining()
+                    )));
+                }
+                WalOp::Remove { ids, threshold }
+            }
+            3 => {
+                if r2.remaining() != 0 {
+                    return Err(wal_err(format!(
+                        "{} trailing bytes in compact record",
+                        r2.remaining()
+                    )));
+                }
+                WalOp::Compact
+            }
+            4 => {
+                let n_shards = r2.ru64().map_err(remap)? as usize;
+                if r2.remaining() != 0 {
+                    return Err(wal_err(format!(
+                        "{} trailing bytes in reshard record",
+                        r2.remaining()
+                    )));
+                }
+                WalOp::Reshard { n_shards }
+            }
+            other => return Err(wal_err(format!("unknown op kind {other}"))),
+        };
+        Ok(WalRecord { epoch_after, op })
+    }
+}
+
+/// Append handle over a WAL file.
+pub struct WalWriter {
+    file: File,
+    len: u64,
+    sync: bool,
+    /// Set when a failed append could not be rolled back: the file may
+    /// hold a partial frame, so further appends would write garbage after
+    /// it and corrupt the log. A poisoned writer refuses to append.
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL at `path` (truncating any existing file),
+    /// writes the header and makes it durable.
+    pub fn create(path: &Path, sync: bool) -> Result<WalWriter, EngineError> {
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            len: WAL_HEADER_LEN,
+            sync,
+            poisoned: false,
+        })
+    }
+
+    /// Opens an existing WAL for appending at `valid_len`, truncating
+    /// everything past it (the torn tail a [`scan`] identified).
+    pub fn open(path: &Path, valid_len: u64, sync: bool) -> Result<WalWriter, EngineError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        if valid_len < WAL_HEADER_LEN {
+            return Err(EngineError::Wal(format!(
+                "valid length {valid_len} is shorter than the header"
+            )));
+        }
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        if sync {
+            file.sync_all()?;
+        }
+        Ok(WalWriter {
+            file,
+            len: valid_len,
+            sync,
+            poisoned: false,
+        })
+    }
+
+    /// Bytes in the log up to and including the last appended record.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == WAL_HEADER_LEN
+    }
+
+    /// Appends one record; returns the log length after it. With
+    /// `sync = true` the record is on stable storage when this returns —
+    /// the durability point an acknowledged op gets.
+    ///
+    /// A failed append (short write, failed `fdatasync`) is rolled back by
+    /// truncating the file to its pre-append length, so the log never
+    /// accumulates a partial frame that a later successful append would
+    /// bury mid-file. If even the rollback fails the writer poisons
+    /// itself and refuses further appends.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, EngineError> {
+        if self.poisoned {
+            return Err(EngineError::Wal(
+                "writer poisoned by an earlier failed append that could not be rolled back".into(),
+            ));
+        }
+        let payload = record.payload();
+        if payload.len() > MAX_RECORD_BYTES {
+            return Err(EngineError::Wal(format!(
+                "record payload of {} bytes exceeds the {MAX_RECORD_BYTES}-byte cap",
+                payload.len()
+            )));
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 12);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let wrote = self.file.write_all(&frame).and_then(|()| {
+            if self.sync {
+                self.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = wrote {
+            // Undo whatever partial frame (or unapplied complete frame —
+            // a record whose fsync failed is never applied) hit the file.
+            let rollback = self
+                .file
+                .set_len(self.len)
+                .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()));
+            if rollback.is_err() {
+                self.poisoned = true;
+            }
+            return Err(EngineError::Io(e));
+        }
+        self.len += frame.len() as u64;
+        Ok(self.len)
+    }
+}
+
+/// Result of scanning a WAL from a byte offset.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Complete, checksum-valid records in log order, each with the log
+    /// offset *after* its frame (the crash harness enumerates these as
+    /// crash points).
+    pub records: Vec<(u64, WalRecord)>,
+    /// Log length through the last complete record — where an appender
+    /// should truncate to.
+    pub valid_len: u64,
+    /// Present when the file ended inside a record (a torn tail cut off
+    /// by a crash); describes what was dropped.
+    pub torn: Option<String>,
+}
+
+/// Scans the WAL at `path` from byte offset `from` (typically a
+/// manifest's WAL offset), validating the header and every record frame.
+///
+/// Complete-but-invalid records (checksum mismatch, unparseable payload)
+/// are [`EngineError::Wal`]; an incomplete final record is a torn tail,
+/// reported in [`WalScan::torn`] rather than as an error.
+pub fn scan(path: &Path, from: u64) -> Result<WalScan, EngineError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .map_err(|e| EngineError::Wal(format!("cannot open WAL: {e}")))?
+        .read_to_end(&mut bytes)?;
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        return Err(EngineError::Wal(format!(
+            "file of {} bytes is shorter than the header",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..8] != WAL_MAGIC {
+        return Err(EngineError::Wal("bad magic".into()));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != WAL_VERSION {
+        return Err(EngineError::Wal(format!(
+            "unsupported version {version} (expected {WAL_VERSION})"
+        )));
+    }
+    if from < WAL_HEADER_LEN || from as usize > bytes.len() {
+        return Err(EngineError::Wal(format!(
+            "replay offset {from} is outside the {}-byte log",
+            bytes.len()
+        )));
+    }
+    let mut pos = from as usize;
+    let mut records = Vec::new();
+    let mut torn = None;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 12 {
+            torn = Some(format!(
+                "{remaining}-byte partial frame at offset {pos} (crash mid-append)"
+            ));
+            break;
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let expect_hash = u64::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+            bytes[pos + 8],
+            bytes[pos + 9],
+            bytes[pos + 10],
+            bytes[pos + 11],
+        ]);
+        // A crash mid-append writes a prefix of one frame, so a record
+        // with >= 12 bytes present carries its true length; a length
+        // beyond the cap is therefore corruption, not a tear.
+        if len > MAX_RECORD_BYTES {
+            return Err(EngineError::Wal(format!(
+                "record at offset {pos}: implausible length prefix {len}"
+            )));
+        }
+        if remaining - 12 < len {
+            torn = Some(format!(
+                "record at offset {pos} promises {len} payload bytes, {} remain (crash mid-append)",
+                remaining - 12
+            ));
+            break;
+        }
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        let got = fnv1a64(payload);
+        if got != expect_hash {
+            return Err(EngineError::Wal(format!(
+                "record at offset {pos}: checksum mismatch: expected {expect_hash:#018x}, got {got:#018x}"
+            )));
+        }
+        let record = WalRecord::parse(payload, pos as u64)?;
+        pos += 12 + len;
+        records.push((pos as u64, record));
+    }
+    Ok(WalScan {
+        records,
+        valid_len: pos as u64,
+        torn,
+    })
+}

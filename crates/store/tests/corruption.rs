@@ -1,0 +1,290 @@
+//! Corruption sweeps over the store's on-disk formats: bit flips and
+//! truncations of WAL files, manifests and segments must surface as typed
+//! [`EngineError`] values (`Wal` / `Store` / `Snapshot`) or recover to a
+//! valid op prefix — **never** a panic and never a silently different
+//! corpus.
+//!
+//! The sweep verdict for each damaged store:
+//!
+//! * `Err(EngineError::{Wal, Store, Snapshot, Io})` — corruption detected
+//!   and typed; or
+//! * `Ok(engine)` — the damage fell in a region recovery legitimately
+//!   drops (a torn tail) or repairs around (manifest fallback); then the
+//!   recovered engine must equal the serial replay of *some* prefix of
+//!   the op script.
+
+use lcdd_fcm::EngineError;
+use lcdd_store::{latest_manifest, DurableEngine, StoreOptions};
+use lcdd_testkit::crash::{
+    apply_durable, apply_serial, assert_recovered_equals_serial, copy_dir, random_script,
+    truncate_file, TempDir,
+};
+use lcdd_testkit::{corpus, query_like, tiny_engine, CorpusSpec};
+
+const SEED: u64 = 0x57e9_a11d;
+const N_BASE: usize = 5;
+const N_SHARDS: usize = 2;
+const N_OPS: usize = 5;
+
+/// Sweep density: every byte of small files; strided samples plus all
+/// structural offsets for the WAL.
+const WAL_FLIP_SAMPLES: usize = if cfg!(debug_assertions) { 96 } else { 512 };
+
+fn opts() -> StoreOptions {
+    StoreOptions {
+        sync_writes: false,
+        checkpoint_every_ops: 0,
+        checkpoint_every_bytes: 0,
+        keep_checkpoints: 1,
+    }
+}
+
+struct SweepWorld {
+    tmp: TempDir,
+    base: Vec<lcdd_table::Table>,
+    script: Vec<lcdd_testkit::crash::ScriptedOp>,
+    /// The pristine store directory after the full script ran.
+    golden: std::path::PathBuf,
+}
+
+fn build_world(tag: &str) -> SweepWorld {
+    let tmp = TempDir::new(tag);
+    let golden = tmp.subdir("golden");
+    let base = corpus(&CorpusSpec::sized(SEED, N_BASE));
+    let durable = DurableEngine::create(&golden, tiny_engine(base.clone(), N_SHARDS), opts())
+        .expect("store creation");
+    let base_ids: Vec<u64> = base.iter().map(|t| t.id).collect();
+    let script = random_script(SEED, N_OPS, &base_ids);
+    for op in &script {
+        apply_durable(&durable, op);
+    }
+    SweepWorld {
+        tmp,
+        base,
+        script,
+        golden,
+    }
+}
+
+/// The verdict for one damaged store: typed error, or equality with some
+/// serial op prefix.
+fn assert_error_or_prefix(world: &SweepWorld, dir: &std::path::Path, what: &str) {
+    match DurableEngine::open(dir, opts()) {
+        Err(
+            EngineError::Wal(_)
+            | EngineError::Store(_)
+            | EngineError::Snapshot(_)
+            | EngineError::Io(_),
+        ) => {}
+        Err(other) => panic!("{what}: expected a Wal/Store/Snapshot/Io error, got {other}"),
+        Ok((recovered, _)) => {
+            let queries = [query_like(&world.base[0]), query_like(&world.base[2])];
+            let mut serial = tiny_engine(world.base.clone(), N_SHARDS);
+            for cut in 0..=world.script.len() {
+                if cut > 0 {
+                    apply_serial(&mut serial, &world.script[cut - 1]);
+                }
+                if serial.epoch() != recovered.epoch() || serial.len() != recovered.len() {
+                    continue;
+                }
+                // Candidate prefix: require full hit equivalence.
+                assert_recovered_equals_serial(
+                    &format!("{what}: as op prefix 0..{cut}"),
+                    &recovered,
+                    &serial,
+                    &queries,
+                );
+                return;
+            }
+            panic!("{what}: recovered engine matches no serial op prefix");
+        }
+    }
+}
+
+fn flip_bit(path: &std::path::Path, byte: u64, bit: u8) {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .expect("flip: open");
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(byte)).expect("flip: seek");
+    f.read_exact(&mut b).expect("flip: read");
+    b[0] ^= 1 << bit;
+    f.seek(SeekFrom::Start(byte)).expect("flip: seek back");
+    f.write_all(&b).expect("flip: write");
+}
+
+fn file_len(path: &std::path::Path) -> u64 {
+    std::fs::metadata(path).expect("metadata").len()
+}
+
+#[test]
+fn wal_bit_flip_sweep_is_typed_or_prefix_recoverable() {
+    let world = build_world("walflip");
+    let (_, manifest) = latest_manifest(&world.golden)
+        .expect("manifest readable")
+        .expect("manifest present");
+    let wal_name = manifest.wal_file.clone();
+    let wal_len = file_len(&world.golden.join(&wal_name));
+
+    // Structural offsets (header + every record frame) plus an even
+    // stride across the payload bytes.
+    let scan = lcdd_store::wal::scan(&world.golden.join(&wal_name), manifest.wal_offset)
+        .expect("pristine WAL scans");
+    let mut offsets: Vec<u64> = (0..manifest.wal_offset.min(wal_len)).collect();
+    let mut boundary = manifest.wal_offset;
+    for &(end, _) in &scan.records {
+        offsets.extend(boundary..(boundary + 12).min(wal_len));
+        boundary = end;
+    }
+    let stride = (wal_len.max(1) / WAL_FLIP_SAMPLES as u64).max(1);
+    offsets.extend((0..wal_len).step_by(stride as usize));
+    offsets.sort_unstable();
+    offsets.dedup();
+
+    for &off in &offsets {
+        for bit in [0u8, 5] {
+            let dir = world.tmp.subdir(&format!("flip-{off}-{bit}"));
+            copy_dir(&world.golden, &dir);
+            flip_bit(&dir.join(&wal_name), off, bit);
+            assert_error_or_prefix(&world, &dir, &format!("WAL flip byte {off} bit {bit}"));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn wal_truncation_sweep_is_typed_or_prefix_recoverable() {
+    let world = build_world("waltrunc");
+    let (_, manifest) = latest_manifest(&world.golden)
+        .expect("manifest readable")
+        .expect("manifest present");
+    let wal_name = manifest.wal_file.clone();
+    let wal_len = file_len(&world.golden.join(&wal_name));
+    let stride = (wal_len.max(1) / WAL_FLIP_SAMPLES as u64).max(1);
+    let mut cuts: Vec<u64> = (0..wal_len).step_by(stride as usize).collect();
+    cuts.extend(0..16.min(wal_len)); // header region byte-by-byte
+    cuts.sort_unstable();
+    cuts.dedup();
+    for &cut in &cuts {
+        let dir = world.tmp.subdir(&format!("cut-{cut}"));
+        copy_dir(&world.golden, &dir);
+        truncate_file(&dir.join(&wal_name), cut);
+        assert_error_or_prefix(&world, &dir, &format!("WAL truncated to {cut} bytes"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn manifest_bit_flip_and_truncation_sweep_is_typed() {
+    let world = build_world("manflip");
+    let (man_path, _) = latest_manifest(&world.golden)
+        .expect("manifest readable")
+        .expect("manifest present");
+    let man_name = man_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .expect("manifest name")
+        .to_string();
+    let len = file_len(&man_path);
+    // Manifests are small: flip every byte, truncate at every eighth.
+    for off in 0..len {
+        let dir = world.tmp.subdir(&format!("mflip-{off}"));
+        copy_dir(&world.golden, &dir);
+        flip_bit(&dir.join(&man_name), off, 3);
+        // keep_checkpoints = 1 leaves a single manifest: any flip must be
+        // a typed Store error (nothing to fall back to).
+        match DurableEngine::open(&dir, opts()) {
+            Err(EngineError::Store(_)) => {}
+            Err(other) => panic!("manifest flip byte {off}: expected Store error, got {other}"),
+            Ok(_) => panic!("manifest flip byte {off}: corrupt manifest accepted"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    for cut in (0..len).step_by(8) {
+        let dir = world.tmp.subdir(&format!("mcut-{cut}"));
+        copy_dir(&world.golden, &dir);
+        truncate_file(&dir.join(&man_name), cut);
+        match DurableEngine::open(&dir, opts()) {
+            Err(EngineError::Store(_)) => {}
+            Err(other) => panic!("manifest cut at {cut}: expected Store error, got {other}"),
+            Ok(_) => panic!("manifest cut at {cut}: truncated manifest accepted"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn segment_and_meta_corruption_is_typed() {
+    let world = build_world("segflip");
+    let (_, manifest) = latest_manifest(&world.golden)
+        .expect("manifest readable")
+        .expect("manifest present");
+    let mut files = manifest.segments.clone();
+    files.push(manifest.meta_file.clone());
+    for name in &files {
+        let len = file_len(&world.golden.join(name));
+        let stride = (len.max(1) / 64).max(1);
+        for off in (0..len).step_by(stride as usize) {
+            let dir = world.tmp.subdir(&format!("seg-{name}-{off}"));
+            copy_dir(&world.golden, &dir);
+            flip_bit(&dir.join(name), off, 6);
+            match DurableEngine::open(&dir, opts()) {
+                Err(EngineError::Store(_) | EngineError::Snapshot(_) | EngineError::Wal(_)) => {}
+                Err(other) => {
+                    panic!("{name} flip byte {off}: expected typed store error, got {other}")
+                }
+                Ok(_) => panic!("{name} flip byte {off}: corrupt file accepted"),
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn corrupt_newest_manifest_falls_back_to_previous_checkpoint() {
+    let tmp = TempDir::new("fallback");
+    let dir = tmp.subdir("store");
+    let base = corpus(&CorpusSpec::sized(SEED ^ 1, N_BASE));
+    let durable = DurableEngine::create(
+        &dir,
+        tiny_engine(base.clone(), N_SHARDS),
+        StoreOptions {
+            sync_writes: false,
+            checkpoint_every_ops: 0,
+            checkpoint_every_bytes: 0,
+            keep_checkpoints: 2,
+        },
+    )
+    .expect("store creation");
+    let extra = {
+        let mut t = corpus(&CorpusSpec::sized(SEED ^ 2, 1));
+        t[0].id = 777;
+        t[0].name = "fallback-extra".into();
+        t
+    };
+    durable
+        .insert_tables(extra)
+        .expect("insert before checkpoint");
+    durable.checkpoint().expect("manual checkpoint");
+    let (newest, _) = latest_manifest(&dir)
+        .expect("manifest readable")
+        .expect("manifest present");
+    flip_bit(&newest, 40, 2);
+    // The newest manifest is damaged; recovery must fall back to the
+    // creation checkpoint + its WAL (which still holds the insert) and
+    // reach the same final corpus.
+    let (recovered, report) = DurableEngine::open(&dir, opts()).expect("fallback recovery");
+    assert!(
+        report.fallback,
+        "skipping a corrupt newer manifest must be reported"
+    );
+    assert_eq!(
+        report.replayed_ops, 1,
+        "the insert replays from the old WAL"
+    );
+    assert_eq!(recovered.len(), N_BASE + 1);
+    assert_eq!(recovered.epoch(), 1);
+}

@@ -18,13 +18,18 @@
 //! * [`concurrent`] — the reader/writer harness for the concurrent
 //!   serving engine: N query loops racing a scripted writer, with every
 //!   response checked for single-epoch internal consistency and the final
-//!   state checked hit-for-hit against a serial replay.
+//!   state checked hit-for-hit against a serial replay,
+//! * [`crash`] — the crash-injection harness for the durable store:
+//!   scripted op sequences, store-directory snapshots as simulated crash
+//!   points, torn-write WAL variants, and the recovered-vs-serial-replay
+//!   comparator (bit-identical scores).
 //!
 //! Everything is a pure function of its seed: two processes building the
 //! same spec get byte-identical corpora, so failures reproduce across
 //! runs and machines.
 
 pub mod concurrent;
+pub mod crash;
 
 use lcdd_engine::{Engine, EngineBuilder, Query, SearchResponse};
 use lcdd_fcm::{FcmConfig, FcmModel};

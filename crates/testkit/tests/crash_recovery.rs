@@ -1,0 +1,53 @@
+//! The recovery-equivalence property: for random scripted op sequences,
+//! crashing at **every record boundary** (clean boundaries, post-
+//! checkpoint states, torn final records) and recovering from
+//! {latest checkpoint + WAL tail} yields search results hit-for-hit
+//! identical — with bit-identical scores — to a serial replay of the
+//! surviving op prefix, for shard counts 1, 2 and 4. Recovery replays
+//! cached encodings only: the FCM encoder runs zero times (asserted
+//! inside the harness via `lcdd_fcm::table_encode_count`).
+
+use lcdd_testkit::crash::{run_crash_boundary_case, CrashCase};
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(debug_assertions) { 2 } else { 6 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn crash_recovery_equals_serial_replay(
+        seed in 0u64..1_000_000,
+        n_base in 3usize..7,
+        n_ops in 4usize..8,
+        checkpoint_every in 0u64..4,
+    ) {
+        for n_shards in [1usize, 2, 4] {
+            let case = CrashCase {
+                seed,
+                n_base,
+                n_shards,
+                n_ops,
+                checkpoint_every,
+            };
+            let points = run_crash_boundary_case(&case);
+            // Every op boundary plus the pre-op state must have been
+            // exercised (torn variants come on top).
+            prop_assert!(points > n_ops, "only {points} crash points for {n_ops} ops");
+        }
+    }
+}
+
+/// One deterministic end-to-end pass (fast to run in isolation when
+/// debugging a harness or store change).
+#[test]
+fn crash_recovery_smoke() {
+    let points = run_crash_boundary_case(&CrashCase {
+        seed: 0xc0ffee,
+        n_base: 5,
+        n_shards: 2,
+        n_ops: 6,
+        checkpoint_every: 2,
+    });
+    assert!(points > 6);
+}

@@ -19,6 +19,10 @@ echo
 echo "== concurrent-serving benches -> BENCH_serving.json =="
 cargo run --release -p lcdd-bench --bin bench_serving -- BENCH_serving.json
 
+echo
+echo "== durable-store benches -> BENCH_store.json =="
+cargo run --release -p lcdd-bench --bin bench_store -- BENCH_store.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo
     echo "== criterion micro-benchmarks =="
