@@ -27,6 +27,13 @@ pub enum EngineError {
     /// missing or corrupt, or a manifest referencing state that cannot be
     /// assembled.
     Store(String),
+    /// The replication stream is unusable as-is: a shipped frame failed
+    /// its checksum, a record arrived out of sequence, the leader's WAL
+    /// chain no longer covers a follower's position, or a read-consistency
+    /// contract cannot be met by the replica's current epoch. Recoverable
+    /// by design — the replication layer responds with retry, resume-from-
+    /// offset or a full resync, never a panic.
+    Replication(String),
     /// The query kind cannot be served by this engine configuration
     /// (e.g. a raw chart image without a trained extractor).
     UnsupportedQuery(String),
@@ -47,6 +54,7 @@ impl fmt::Display for EngineError {
             EngineError::Snapshot(msg) => write!(f, "bad engine snapshot: {msg}"),
             EngineError::Wal(msg) => write!(f, "bad write-ahead log: {msg}"),
             EngineError::Store(msg) => write!(f, "inconsistent durable store: {msg}"),
+            EngineError::Replication(msg) => write!(f, "replication: {msg}"),
             EngineError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
             EngineError::EmptyQuery => write!(f, "query has no extractable lines"),
         }

@@ -286,6 +286,21 @@ impl ServingEngine {
         result
     }
 
+    /// Overrides the published epoch counter — replication/recovery
+    /// continuity only (the serving-side sibling of
+    /// [`crate::persist::force_epoch`]). A follower replaying a leader's
+    /// WAL records pins each applied epoch to the logged `epoch_after`, so
+    /// replica and leader agree epoch-for-epoch even where apply semantics
+    /// differ benignly (e.g. a logged `compact` that is a no-op on the
+    /// already-compacted replica). Publishes atomically like any mutation;
+    /// a no-op pin (same epoch) publishes nothing.
+    pub fn pin_epoch(&self, epoch: u64) {
+        let mut ws = self.write();
+        let before = ws.epoch();
+        ws.set_epoch(epoch);
+        self.publish(&ws, before);
+    }
+
     /// Sets the auto-compaction threshold for future removals (clamped to
     /// `[0, 1]`). Lock-free: takes effect for the next eviction.
     pub fn set_compaction_threshold(&self, frac: f64) {

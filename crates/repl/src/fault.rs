@@ -1,0 +1,183 @@
+//! Scripted fault injection on a replication transport.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and applies a
+//! deterministic schedule of [`FaultAction`]s keyed by **send-attempt
+//! index** (1-based, counting every call to `send`, including the
+//! leader's retries — which is what lets a schedule target "the first
+//! retry of frame 3"). Everything the schedule can do maps to a failure
+//! a real link exhibits:
+//!
+//! * lose a frame ([`FaultAction::Drop`]) — detected downstream as an
+//!   epoch gap, healed by resume-from-offset;
+//! * deliver it twice ([`FaultAction::Duplicate`]) — absorbed
+//!   idempotently by epoch dedup;
+//! * deliver it late ([`FaultAction::ReorderNext`],
+//!   [`FaultAction::Delay`]) — absorbed by dedup + gap handling;
+//! * damage it ([`FaultAction::CorruptByte`], [`FaultAction::Truncate`])
+//!   — caught by the frame checksum, healed by quarantine-and-resync;
+//! * refuse the send ([`FaultAction::FailSend`]) — healed by the
+//!   leader's retry + exponential backoff.
+//!
+//! The wrapper is itself a [`Transport`], so schedules compose with any
+//! underlying channel.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use lcdd_fcm::EngineError;
+
+use crate::transport::Transport;
+
+/// What to do to one send attempt (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Swallow the frame: the receiver never sees it, the sender sees
+    /// success.
+    Drop,
+    /// Deliver the frame twice, back to back.
+    Duplicate,
+    /// Hold the frame and deliver it *after* the next delivered frame
+    /// (a one-slot reorder).
+    ReorderNext,
+    /// Flip one bit of byte `offset % frame_len` before delivery.
+    CorruptByte { offset: usize },
+    /// Deliver only the first `keep` bytes.
+    Truncate { keep: usize },
+    /// Hold the frame for `rounds` calls to [`Transport::tick`] before
+    /// delivering it.
+    Delay { rounds: usize },
+    /// Fail this send attempt with [`EngineError::Replication`] (the
+    /// sender's retry policy decides what happens next).
+    FailSend,
+}
+
+/// A scripted schedule: `(send-attempt index, action)` pairs. Indices are
+/// 1-based and count every send attempt, retries included.
+pub type FaultSchedule = Vec<(u64, FaultAction)>;
+
+struct FaultState {
+    sends: u64,
+    actions: HashMap<u64, FaultAction>,
+    /// Frames an injected delay is holding: (ticks remaining, frame).
+    delayed: Vec<(usize, Vec<u8>)>,
+    /// Frame held by a pending reorder, delivered after the next one.
+    held: Option<Vec<u8>>,
+    faults_fired: u64,
+}
+
+/// A [`Transport`] decorator that applies a [`FaultSchedule`]. Unlisted
+/// sends pass through untouched.
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    state: Mutex<FaultState>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    pub fn new(inner: T, schedule: FaultSchedule) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            state: Mutex::new(FaultState {
+                sends: 0,
+                actions: schedule.into_iter().collect(),
+                delayed: Vec::new(),
+                held: None,
+                faults_fired: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Scheduled faults that have actually fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.lock().faults_fired
+    }
+
+    /// Send attempts observed so far.
+    pub fn send_attempts(&self) -> u64 {
+        self.lock().sends
+    }
+
+    /// Delivers `frame`, then releases any reorder-held frame behind it.
+    fn deliver_with_held(&self, st: &mut FaultState, frame: &[u8]) -> Result<(), EngineError> {
+        self.inner.send(frame)?;
+        if let Some(held) = st.held.take() {
+            self.inner.send(&held)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&self, frame: &[u8]) -> Result<(), EngineError> {
+        let mut st = self.lock();
+        st.sends += 1;
+        let n = st.sends;
+        let Some(action) = st.actions.remove(&n) else {
+            return self.deliver_with_held(&mut st, frame);
+        };
+        st.faults_fired += 1;
+        match action {
+            FaultAction::Drop => Ok(()),
+            FaultAction::Duplicate => {
+                self.deliver_with_held(&mut st, frame)?;
+                self.inner.send(frame)
+            }
+            FaultAction::ReorderNext => {
+                // If a frame is already held, release it first — at most
+                // one slot of reordering at a time keeps schedules easy
+                // to reason about.
+                if let Some(prev) = st.held.take() {
+                    self.inner.send(&prev)?;
+                }
+                st.held = Some(frame.to_vec());
+                Ok(())
+            }
+            FaultAction::CorruptByte { offset } => {
+                let mut bad = frame.to_vec();
+                if !bad.is_empty() {
+                    let i = offset % bad.len();
+                    bad[i] ^= 0x01;
+                }
+                self.deliver_with_held(&mut st, &bad)
+            }
+            FaultAction::Truncate { keep } => {
+                let cut = &frame[..keep.min(frame.len())];
+                self.deliver_with_held(&mut st, cut)
+            }
+            FaultAction::Delay { rounds } => {
+                st.delayed.push((rounds, frame.to_vec()));
+                Ok(())
+            }
+            FaultAction::FailSend => Err(EngineError::Replication(format!(
+                "injected send failure at attempt {n}"
+            ))),
+        }
+    }
+
+    fn recv(&self) -> Result<Option<Vec<u8>>, EngineError> {
+        self.inner.recv()
+    }
+
+    fn pending(&self) -> usize {
+        let st = self.lock();
+        self.inner.pending() + st.delayed.len() + usize::from(st.held.is_some())
+    }
+
+    fn tick(&self) {
+        let mut st = self.lock();
+        let mut still_delayed = Vec::new();
+        // Deliver in the order the delays were injected.
+        for (rounds, frame) in st.delayed.drain(..) {
+            if rounds <= 1 {
+                let _ = self.inner.send(&frame);
+            } else {
+                still_delayed.push((rounds - 1, frame));
+            }
+        }
+        st.delayed = still_delayed;
+        self.inner.tick();
+    }
+}

@@ -1,0 +1,413 @@
+//! The applying (follower) half of replication.
+//!
+//! A [`Follower`] owns a full [`DurableEngine`] of its own — every
+//! shipped record is logged to the replica's WAL before it is applied,
+//! so a follower restart recovers through exactly the PR 5 machinery
+//! (newest-valid manifest, WAL replay, torn-tail truncation) and then
+//! resumes streaming from its recovered epoch. Insert records carry the
+//! leader's already-encoded batches; applying them never invokes the
+//! encoder (`lcdd_fcm::table_encode_count` stays flat on a replica).
+//!
+//! ## Generations
+//!
+//! The replica's store lives in a *generation* subdirectory
+//! (`<root>/gen-<n>`). A checkpoint resync installs into `gen-<n+1>` and
+//! only switches over once the new store opens cleanly — a crash mid-
+//! install leaves a directory without a manifest, which
+//! [`Follower::open`] skips, falling back to the previous generation.
+//! This is also what makes divergence handling safe: a stale generation
+//! with a *higher* epoch (a demoted ex-leader's leftovers) can never
+//! shadow the freshly installed truth, because generation order, not
+//! epoch order, picks the live store.
+//!
+//! ## Quarantine
+//!
+//! A frame that fails its checksum, does not decode, or carries a batch
+//! that does not parse **quarantines** the follower: streaming frames
+//! are refused (typed errors, never a panic, never a partially-applied
+//! record) until a [`Frame::Snapshot`] resync arrives. Epoch *gaps* —
+//! lost frames — are not corruption and do not quarantine; they surface
+//! as [`FrameOutcome::Gap`] so the driver can resume the leader's cursor
+//! from the replica's real epoch.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use lcdd_engine::{Engine, EngineState, Query, SearchOptions, SearchResponse};
+use lcdd_fcm::EngineError;
+use lcdd_store::{
+    CheckpointPackage, DurableEngine, RecoveryReport, ReplicatedApply, StoreOptions, WalRecord,
+};
+
+use crate::frame::Frame;
+
+/// Explicit staleness contract for a replica read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadConsistency {
+    /// Serve whatever the replica has (maximum availability).
+    Any,
+    /// Read-your-writes: the caller holds an epoch token from the leader
+    /// (the epoch its write published at) and the replica must have
+    /// caught up to it.
+    AtLeastEpoch(u64),
+    /// Bounded staleness: the replica may trail the leader's last
+    /// heartbeat by at most this many epochs.
+    BoundedLag(u64),
+}
+
+/// What applying one received frame did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// A record advanced the replica to this epoch.
+    Applied(u64),
+    /// A record at or below the replica's epoch — duplicate delivery,
+    /// skipped.
+    Duplicate,
+    /// A heartbeat; the replica now knows the leader is at this epoch.
+    Heartbeat(u64),
+    /// A checkpoint resync installed and opened; the replica is at this
+    /// epoch (and no longer quarantined).
+    Resynced(u64),
+    /// A record skipped ahead of the replica (frames were lost). Nothing
+    /// was applied; the driver should re-attach the leader's cursor at
+    /// the replica's epoch.
+    Gap { expected: u64, got: u64 },
+}
+
+/// Counters the robustness suites assert on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FollowerStats {
+    pub applied: u64,
+    pub duplicates: u64,
+    pub gaps: u64,
+    pub resyncs: u64,
+    pub quarantines: u64,
+}
+
+/// The applying half of replication; see the module docs.
+pub struct Follower {
+    root: PathBuf,
+    opts: StoreOptions,
+    state: Mutex<FollowerState>,
+    /// Leader epoch from the most recent heartbeat (0 until one arrives).
+    leader_epoch_seen: AtomicU64,
+}
+
+struct FollowerState {
+    generation: u64,
+    store: Arc<DurableEngine>,
+    quarantined: Option<String>,
+    stats: FollowerStats,
+}
+
+fn gen_dir(root: &Path, generation: u64) -> PathBuf {
+    root.join(format!("gen-{generation:04}"))
+}
+
+fn parse_gen(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?.parse().ok()
+}
+
+impl Follower {
+    /// Bootstraps a brand-new replica at `root` around `engine` (which
+    /// must match the leader's corpus at the epoch streaming will start
+    /// from — typically an empty or seed engine; otherwise attach via
+    /// [`Follower::from_package`]).
+    pub fn create(
+        root: impl AsRef<Path>,
+        engine: Engine,
+        opts: StoreOptions,
+    ) -> Result<Follower, EngineError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let store = DurableEngine::create(gen_dir(&root, 0), engine, opts.clone())?;
+        Ok(Follower {
+            root,
+            opts,
+            state: Mutex::new(FollowerState {
+                generation: 0,
+                store: Arc::new(store),
+                quarantined: None,
+                stats: FollowerStats::default(),
+            }),
+            leader_epoch_seen: AtomicU64::new(0),
+        })
+    }
+
+    /// Bootstraps a replica at `root` from a shipped checkpoint — the
+    /// first-attach path when the leader already has history.
+    pub fn from_package(
+        root: impl AsRef<Path>,
+        package: &CheckpointPackage,
+        opts: StoreOptions,
+    ) -> Result<Follower, EngineError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        let dir = gen_dir(&root, 0);
+        DurableEngine::install_checkpoint(&dir, package)?;
+        let (store, _) = DurableEngine::open(&dir, opts.clone())?;
+        Ok(Follower {
+            root,
+            opts,
+            state: Mutex::new(FollowerState {
+                generation: 0,
+                store: Arc::new(store),
+                quarantined: None,
+                stats: FollowerStats::default(),
+            }),
+            leader_epoch_seen: AtomicU64::new(0),
+        })
+    }
+
+    /// Restarts a replica at `root`: tries generations newest-first,
+    /// recovering the first one that opens as a valid store (a crash
+    /// mid-resync leaves a manifest-less directory, which is skipped and
+    /// swept). The replica resumes at its recovered epoch; re-attach the
+    /// leader's cursor there.
+    pub fn open(
+        root: impl AsRef<Path>,
+        opts: StoreOptions,
+    ) -> Result<(Follower, RecoveryReport), EngineError> {
+        let root = root.as_ref().to_path_buf();
+        let mut generations: Vec<u64> = std::fs::read_dir(&root)
+            .map_err(|e| {
+                EngineError::Replication(format!(
+                    "cannot list replica root {}: {e}",
+                    root.display()
+                ))
+            })?
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|n| parse_gen(&n))
+            .collect();
+        generations.sort_unstable();
+        let mut failures = Vec::new();
+        while let Some(generation) = generations.pop() {
+            match DurableEngine::open(gen_dir(&root, generation), opts.clone()) {
+                Ok((store, report)) => {
+                    let follower = Follower {
+                        root: root.clone(),
+                        opts,
+                        state: Mutex::new(FollowerState {
+                            generation,
+                            store: Arc::new(store),
+                            quarantined: None,
+                            stats: FollowerStats::default(),
+                        }),
+                        leader_epoch_seen: AtomicU64::new(0),
+                    };
+                    return Ok((follower, report));
+                }
+                Err(e) => {
+                    // Torn install: sweep it so it can never shadow a
+                    // later resync into the same generation number.
+                    failures.push(format!("gen-{generation:04}: {e}"));
+                    let _ = std::fs::remove_dir_all(gen_dir(&root, generation));
+                }
+            }
+        }
+        Err(EngineError::Replication(format!(
+            "no recoverable generation under {}: {}",
+            root.display(),
+            if failures.is_empty() {
+                "no gen-* directories".to_string()
+            } else {
+                failures.join("; ")
+            }
+        )))
+    }
+
+    fn state(&self) -> MutexGuard<'_, FollowerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The replica's store (reads are lock-free on the engine inside;
+    /// the outer lock only guards the generation swap).
+    pub fn store(&self) -> Arc<DurableEngine> {
+        self.state().store.clone()
+    }
+
+    /// The replica's published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state().store.epoch()
+    }
+
+    /// The leader epoch carried by the most recent heartbeat (0 before
+    /// any heartbeat arrives).
+    pub fn leader_epoch_seen(&self) -> u64 {
+        self.leader_epoch_seen.load(Ordering::Acquire)
+    }
+
+    /// The quarantine reason, when the replica has refused the stream.
+    pub fn quarantine_reason(&self) -> Option<String> {
+        self.state().quarantined.clone()
+    }
+
+    /// Apply/dedup/gap/resync counters since this handle was built.
+    pub fn stats(&self) -> FollowerStats {
+        self.state().stats
+    }
+
+    /// The store directory of the live generation (a failover candidate
+    /// for [`crate::failover::elect`]).
+    pub fn store_dir(&self) -> PathBuf {
+        let st = self.state();
+        gen_dir(&self.root, st.generation)
+    }
+
+    /// Consumes the follower for promotion: the replica's store becomes
+    /// the new authoritative engine (wrap it in a [`crate::Leader`]).
+    pub fn into_store(self) -> Arc<DurableEngine> {
+        self.state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store
+    }
+
+    /// Applies one received frame; see [`FrameOutcome`] for the
+    /// vocabulary. Corruption quarantines the replica; a quarantined
+    /// replica refuses record and heartbeat frames with
+    /// [`EngineError::Replication`] until a snapshot frame resyncs it.
+    pub fn apply_frame(&self, bytes: &[u8]) -> Result<FrameOutcome, EngineError> {
+        let mut st = self.state();
+        let frame = match Frame::decode(bytes) {
+            Ok(frame) => frame,
+            Err(e) => {
+                st.stats.quarantines += u64::from(st.quarantined.is_none());
+                let reason = format!("undecodable frame: {e}");
+                st.quarantined = Some(reason.clone());
+                return Err(EngineError::Replication(format!("quarantined: {reason}")));
+            }
+        };
+        if let Some(reason) = &st.quarantined {
+            if !matches!(frame, Frame::Snapshot { .. }) {
+                return Err(EngineError::Replication(format!(
+                    "quarantined ({reason}); awaiting checkpoint resync"
+                )));
+            }
+        }
+        match frame {
+            Frame::Heartbeat { leader_epoch } => {
+                self.leader_epoch_seen
+                    .fetch_max(leader_epoch, Ordering::AcqRel);
+                Ok(FrameOutcome::Heartbeat(leader_epoch))
+            }
+            Frame::Record { payload } => {
+                let record = match WalRecord::decode_payload(&payload) {
+                    Ok(record) => record,
+                    Err(e) => {
+                        st.stats.quarantines += 1;
+                        let reason = format!("unparseable record payload: {e}");
+                        st.quarantined = Some(reason.clone());
+                        return Err(EngineError::Replication(format!("quarantined: {reason}")));
+                    }
+                };
+                let current = st.store.epoch();
+                if record.epoch_after > current + 1 {
+                    st.stats.gaps += 1;
+                    return Ok(FrameOutcome::Gap {
+                        expected: current + 1,
+                        got: record.epoch_after,
+                    });
+                }
+                match st.store.apply_replicated(&record) {
+                    Ok(ReplicatedApply::Applied) => {
+                        st.stats.applied += 1;
+                        Ok(FrameOutcome::Applied(record.epoch_after))
+                    }
+                    Ok(ReplicatedApply::AlreadyApplied) => {
+                        st.stats.duplicates += 1;
+                        Ok(FrameOutcome::Duplicate)
+                    }
+                    Err(e) => {
+                        // The record reached us intact but cannot apply
+                        // (e.g. its batch does not parse): replica state
+                        // is untouched; quarantine until resync.
+                        st.stats.quarantines += 1;
+                        let reason = format!("record failed to apply: {e}");
+                        st.quarantined = Some(reason.clone());
+                        Err(EngineError::Replication(format!("quarantined: {reason}")))
+                    }
+                }
+            }
+            Frame::Snapshot { package } => {
+                let package = CheckpointPackage::from_bytes(&package).map_err(|e| {
+                    // A damaged snapshot cannot resync; stay quarantined
+                    // (or enter quarantine) and wait for the next one.
+                    st.stats.quarantines += u64::from(st.quarantined.is_none());
+                    let reason = format!("undecodable checkpoint package: {e}");
+                    st.quarantined = Some(reason.clone());
+                    EngineError::Replication(format!("quarantined: {reason}"))
+                })?;
+                let next_gen = st.generation + 1;
+                let dir = gen_dir(&self.root, next_gen);
+                // Install into the next generation and only switch over
+                // once it opens cleanly; the old generation keeps serving
+                // through any failure below.
+                let _ = std::fs::remove_dir_all(&dir);
+                DurableEngine::install_checkpoint(&dir, &package)?;
+                let (store, _) = DurableEngine::open(&dir, self.opts.clone())?;
+                let old_dir = gen_dir(&self.root, st.generation);
+                st.generation = next_gen;
+                st.store = Arc::new(store);
+                st.quarantined = None;
+                st.stats.resyncs += 1;
+                let _ = std::fs::remove_dir_all(old_dir);
+                Ok(FrameOutcome::Resynced(st.store.epoch()))
+            }
+        }
+    }
+
+    /// Serves a read under an explicit staleness contract. A contract the
+    /// replica cannot currently honour is [`EngineError::Replication`] —
+    /// the caller retries, waits, or reads the leader.
+    pub fn search(
+        &self,
+        query: &Query,
+        opts: &SearchOptions,
+        consistency: ReadConsistency,
+    ) -> Result<SearchResponse, EngineError> {
+        let store = {
+            let st = self.state();
+            let epoch = st.store.epoch();
+            match consistency {
+                ReadConsistency::Any => {}
+                ReadConsistency::AtLeastEpoch(token) => {
+                    if epoch < token {
+                        return Err(EngineError::Replication(format!(
+                            "staleness contract: replica at epoch {epoch}, read requires {token}"
+                        )));
+                    }
+                }
+                ReadConsistency::BoundedLag(max_lag) => {
+                    let leader = self.leader_epoch_seen();
+                    let lag = leader.saturating_sub(epoch);
+                    if lag > max_lag {
+                        return Err(EngineError::Replication(format!(
+                            "staleness contract: replica lags leader by {lag} epochs (max {max_lag})"
+                        )));
+                    }
+                }
+            }
+            st.store.clone()
+        };
+        store.search(query, opts)
+    }
+
+    /// Pins the replica's current snapshot (for epoch-stable reads; pair
+    /// with [`Follower::search_at`]).
+    pub fn snapshot(&self) -> Arc<EngineState> {
+        self.state().store.snapshot()
+    }
+
+    /// Answers a query against a pinned snapshot.
+    pub fn search_at(
+        &self,
+        state: &EngineState,
+        query: &Query,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, EngineError> {
+        self.state().store.search_at(state, query, opts)
+    }
+}

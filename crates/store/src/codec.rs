@@ -23,6 +23,8 @@ use std::path::Path;
 use lcdd_engine::persist::fnv1a64;
 use lcdd_fcm::EngineError;
 
+use crate::fault::{self, FaultHook, FaultPoint};
+
 /// Upper bound on any framed payload / variable-length field. Headers are
 /// untrusted: without a cap a corrupt length would trigger a multi-GB
 /// allocation before the read ever fails. Strictly below `u32::MAX` so
@@ -63,7 +65,7 @@ impl<'a> SliceReader<'a> {
         self.bytes.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
         if self.remaining() < n {
             return Err(EngineError::Store(format!(
                 "payload ended early: wanted {n} bytes at offset {}, {} remain",
@@ -107,13 +109,19 @@ impl<'a> SliceReader<'a> {
 
 /// Writes `payload` to `path` under a checksummed frame. The file is
 /// written whole and fsynced; callers needing atomic replacement write to
-/// a temp name and rename (see [`crate::manifest`]).
+/// a temp name and rename (see [`crate::manifest`]). The fault hook
+/// (`point` names which instrumented operation this write counts as) is
+/// consulted *before* any byte lands, so an injected failure is a write
+/// that never happened.
 pub(crate) fn write_framed(
     path: &Path,
     magic: &[u8; 8],
     version: u32,
     payload: &[u8],
+    hook: &FaultHook,
+    point: FaultPoint,
 ) -> Result<(), EngineError> {
+    fault::check(hook, point)?;
     let mut buf = Vec::with_capacity(payload.len() + 28);
     buf.extend_from_slice(magic);
     wu32(&mut buf, version);

@@ -60,7 +60,8 @@ use lcdd_engine::{
 use lcdd_fcm::FcmModel;
 use lcdd_table::Table;
 
-use crate::codec::{read_framed, sync_dir, write_framed};
+use crate::codec::{read_framed, sync_dir, write_framed, wstr, wu64, SliceReader};
+use crate::fault::{FaultHook, FaultPoint};
 use crate::manifest::{
     latest_manifest, latest_manifest_impl, read_manifest, write_manifest, Manifest, MANIFEST_PREFIX,
 };
@@ -91,6 +92,12 @@ pub struct StoreOptions {
     /// How many checkpoints (manifest + referenced files) to retain for
     /// fallback; older ones are garbage-collected. Clamped to at least 1.
     pub keep_checkpoints: usize,
+    /// Injected-failure schedule for the robustness suites (see
+    /// [`crate::fault::FaultPlan`]): fail or short-write the Nth WAL
+    /// append/fsync, segment write or manifest write. `None` — the
+    /// default and the only sensible production value — costs one
+    /// `Option` test per instrumented operation.
+    pub fault: FaultHook,
 }
 
 impl Default for StoreOptions {
@@ -100,6 +107,7 @@ impl Default for StoreOptions {
             checkpoint_every_ops: 64,
             checkpoint_every_bytes: 8 << 20,
             keep_checkpoints: 2,
+            fault: None,
         }
     }
 }
@@ -141,6 +149,109 @@ pub struct RecoveryReport {
     /// (never deleting files newer than the retained manifests) so an
     /// operator can attempt manual salvage.
     pub fallback: bool,
+}
+
+/// A position in a store's WAL chain: the log file a reader has reached
+/// and the byte offset just past the last record frame it consumed.
+/// Cursors are handed out by [`DurableEngine::wal_tail_cursor`] /
+/// [`DurableEngine::wal_cursor_for_epoch`] and advanced by
+/// [`DurableEngine::wal_records_since`] — the leader half of WAL-shipping
+/// replication uses them to resume a follower from exactly where it left
+/// off.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalCursor {
+    /// WAL file name within the store directory (`wal-<epoch>.log`).
+    pub file: String,
+    /// Byte offset just past the last consumed record frame.
+    pub offset: u64,
+}
+
+/// Outcome of [`DurableEngine::apply_replicated`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicatedApply {
+    /// The record advanced this replica by exactly one epoch (logged to
+    /// the replica's own WAL first, then applied and published).
+    Applied,
+    /// The record's `epoch_after` was at or below the replica's epoch — a
+    /// duplicate delivery, skipped idempotently without logging.
+    AlreadyApplied,
+}
+
+/// A full checkpoint captured for shipping to a follower that cannot be
+/// caught up record-by-record (first attach, or a resync after checksum
+/// mismatch / WAL-chain truncation). Carries the manifest plus the raw
+/// framed bytes of every file it references; each file keeps its own
+/// checksum frame, so corruption in transit is caught at install or open
+/// time, never served.
+#[derive(Clone, Debug)]
+pub struct CheckpointPackage {
+    /// The checkpoint's manifest, normalized to replay from an empty WAL
+    /// (records after the checkpoint arrive through the stream instead).
+    pub manifest: Manifest,
+    /// `(file name, raw framed contents)` for the meta section and every
+    /// segment the manifest references.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl CheckpointPackage {
+    /// Total payload bytes across the packaged files.
+    pub fn payload_bytes(&self) -> u64 {
+        self.files.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+
+    /// Serializes the package for shipping.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        let man = self.manifest.to_payload();
+        wu64(&mut p, man.len() as u64);
+        p.extend_from_slice(&man);
+        wu64(&mut p, self.files.len() as u64);
+        for (name, bytes) in &self.files {
+            wstr(&mut p, name);
+            wu64(&mut p, bytes.len() as u64);
+            p.extend_from_slice(bytes);
+        }
+        p
+    }
+
+    /// Parses bytes produced by [`CheckpointPackage::to_bytes`].
+    /// Malformed input is [`EngineError::Replication`] — the receiver's
+    /// response is to request the package again, not to crash.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CheckpointPackage, EngineError> {
+        let repl = |e: EngineError| EngineError::Replication(format!("checkpoint package: {e}"));
+        let cap = |n: usize, what: &str| {
+            if n > crate::codec::MAX_PAYLOAD_BYTES {
+                Err(EngineError::Replication(format!(
+                    "checkpoint package: implausible {what} length {n}"
+                )))
+            } else {
+                Ok(n)
+            }
+        };
+        let mut r = SliceReader::new(bytes);
+        let man_len = cap(r.ru64().map_err(repl)? as usize, "manifest")?;
+        let man_bytes = r.take(man_len).map_err(repl)?;
+        let manifest = Manifest::from_payload(man_bytes, "shipped manifest").map_err(repl)?;
+        let n_files = r.ru64().map_err(repl)? as usize;
+        if n_files == 0 || n_files > 65_537 {
+            return Err(EngineError::Replication(format!(
+                "checkpoint package: implausible file count {n_files}"
+            )));
+        }
+        let mut files = Vec::with_capacity(n_files);
+        for _ in 0..n_files {
+            let name = r.rstr().map_err(repl)?;
+            let len = cap(r.ru64().map_err(repl)? as usize, "file")?;
+            files.push((name, r.take(len).map_err(repl)?.to_vec()));
+        }
+        if r.remaining() != 0 {
+            return Err(EngineError::Replication(format!(
+                "checkpoint package: {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(CheckpointPackage { manifest, files })
+    }
 }
 
 struct StoreInner {
@@ -204,6 +315,8 @@ impl DurableEngine {
             META_MAGIC,
             STORE_FILE_VERSION,
             &meta_bytes(&engine)?,
+            &opts.fault,
+            FaultPoint::SegmentWrite,
         )?;
         let state = engine.state();
         let mut segments = Vec::with_capacity(state.shards().len());
@@ -214,11 +327,14 @@ impl DurableEngine {
                 SEGMENT_MAGIC,
                 STORE_FILE_VERSION,
                 &segment_bytes(state, i)?,
+                &opts.fault,
+                FaultPoint::SegmentWrite,
             )?;
             segments.push(name);
         }
         let wal_file = wal_file_name(epoch);
-        let wal = WalWriter::create(&dir.join(&wal_file), opts.sync_writes)?;
+        let mut wal = WalWriter::create(&dir.join(&wal_file), opts.sync_writes)?;
+        wal.set_fault(opts.fault.clone());
         let manifest = Manifest {
             epoch,
             meta_file: META_FILE.to_string(),
@@ -227,7 +343,7 @@ impl DurableEngine {
             wal_offset: WAL_HEADER_LEN,
             order: live_order(state)?,
         };
-        write_manifest(&dir, &manifest)?;
+        write_manifest(&dir, &manifest, &opts.fault)?;
         let serving = ServingEngine::new(engine);
         let ckpt_shards = Some(serving.snapshot().shards().to_vec());
         Ok(DurableEngine {
@@ -289,7 +405,8 @@ impl DurableEngine {
         }
         engine.set_compaction_threshold(DEFAULT_COMPACTION_THRESHOLD);
         let recovered_epoch = engine.epoch();
-        let wal = WalWriter::open(&wal_path, scan.valid_len, opts.sync_writes)?;
+        let mut wal = WalWriter::open(&wal_path, scan.valid_len, opts.sync_writes)?;
+        wal.set_fault(opts.fault.clone());
         let report = RecoveryReport {
             checkpoint_epoch: manifest.epoch,
             replayed_ops: scan.records.len(),
@@ -597,6 +714,8 @@ impl DurableEngine {
                     SEGMENT_MAGIC,
                     STORE_FILE_VERSION,
                     &payload,
+                    &self.opts.fault,
+                    FaultPoint::SegmentWrite,
                 )?;
                 segments.push(name);
             }
@@ -605,7 +724,8 @@ impl DurableEngine {
         // empty log, and the old WAL file stays untouched for fallback
         // recovery from the previous manifest.
         let wal_file = wal_file_name(epoch);
-        let new_wal = WalWriter::create(&self.dir.join(&wal_file), self.opts.sync_writes)?;
+        let mut new_wal = WalWriter::create(&self.dir.join(&wal_file), self.opts.sync_writes)?;
+        new_wal.set_fault(self.opts.fault.clone());
         let manifest = Manifest {
             epoch,
             meta_file: inner.current.meta_file.clone(),
@@ -614,7 +734,7 @@ impl DurableEngine {
             wal_offset: WAL_HEADER_LEN,
             order: live_order(&state)?,
         };
-        write_manifest(&self.dir, &manifest)?;
+        write_manifest(&self.dir, &manifest, &self.opts.fault)?;
         inner.wal = new_wal;
         inner.ops_since = 0;
         inner.bytes_since = 0;
@@ -678,6 +798,286 @@ impl DurableEngine {
             }
         }
         sync_dir(&self.dir);
+    }
+
+    // ---- replication side ------------------------------------------------
+    //
+    // The leader half of WAL shipping (`lcdd_repl`) tails this store's own
+    // log files through the cursor APIs below; the follower half applies
+    // shipped records through [`DurableEngine::apply_replicated`], so a
+    // replica is itself a fully crash-recoverable store. Errors meaning
+    // "this cursor or stream is unusable as-is — resync" are typed
+    // [`EngineError::Replication`]; the shipping layer reacts with
+    // resume-from-offset or a full checkpoint transfer, never a panic.
+
+    /// The cursor one past the last durable record — where a freshly
+    /// attached follower that is already at [`DurableEngine::epoch`]
+    /// starts tailing.
+    pub fn wal_tail_cursor(&self) -> WalCursor {
+        let inner = self.lock();
+        WalCursor {
+            file: inner.current.wal_file.clone(),
+            offset: inner.wal.len(),
+        }
+    }
+
+    /// Every record logged after `cursor`, in log order, with the cursor
+    /// just past the last one. Walks the chain of rotated WAL files
+    /// (checkpoints start a fresh log), holding the store lock so
+    /// rotation and GC cannot race the read. A cursor the chain no longer
+    /// covers (its file was garbage-collected, or its offset does not lie
+    /// on a record boundary) is [`EngineError::Replication`] — the
+    /// follower needs a checkpoint transfer instead.
+    pub fn wal_records_since(
+        &self,
+        cursor: &WalCursor,
+    ) -> Result<(Vec<WalRecord>, WalCursor), EngineError> {
+        let inner = self.lock();
+        self.collect_chain(&inner, cursor.clone(), None)
+    }
+
+    /// The cursor just past the record that produced `target` — where a
+    /// follower already at epoch `target` resumes tailing. Starts from
+    /// the newest on-disk checkpoint at or below `target` and walks
+    /// forward. [`EngineError::Replication`] when the history needed is
+    /// gone (garbage-collected) or `target` is beyond this store's
+    /// durable epoch.
+    pub fn wal_cursor_for_epoch(&self, target: u64) -> Result<WalCursor, EngineError> {
+        let inner = self.lock();
+        let mut base: Option<Manifest> = None;
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| EngineError::Replication(format!("cannot list store dir: {e}")))?;
+        for entry in entries.flatten() {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if !name.starts_with(MANIFEST_PREFIX) {
+                continue;
+            }
+            let Ok(m) = read_manifest(&self.dir.join(&name)) else {
+                continue;
+            };
+            if m.epoch <= target && base.as_ref().is_none_or(|b| m.epoch > b.epoch) {
+                base = Some(m);
+            }
+        }
+        let Some(base) = base else {
+            return Err(EngineError::Replication(format!(
+                "no checkpoint at or below epoch {target} (history garbage-collected)"
+            )));
+        };
+        let cursor = WalCursor {
+            file: base.wal_file.clone(),
+            offset: base.wal_offset,
+        };
+        if base.epoch == target {
+            return Ok(cursor);
+        }
+        let (records, cursor) = self.collect_chain(&inner, cursor, Some(target))?;
+        match records.last() {
+            Some(r) if r.epoch_after == target => Ok(cursor),
+            _ => Err(EngineError::Replication(format!(
+                "epoch {target} is beyond this store's durable history"
+            ))),
+        }
+    }
+
+    /// Walks the WAL chain from `cursor`, collecting records until the
+    /// live log is exhausted or (with `stop_at`) a record reaches that
+    /// epoch. Caller holds the store lock (`inner` witnesses it), so the
+    /// chain is stable underneath.
+    fn collect_chain(
+        &self,
+        inner: &StoreInner,
+        mut cursor: WalCursor,
+        stop_at: Option<u64>,
+    ) -> Result<(Vec<WalRecord>, WalCursor), EngineError> {
+        let mut out = Vec::new();
+        loop {
+            let path = self.dir.join(&cursor.file);
+            if !path.exists() {
+                return Err(EngineError::Replication(format!(
+                    "WAL file {} no longer exists (chain garbage-collected past the cursor)",
+                    cursor.file
+                )));
+            }
+            let scan = wal::scan(&path, cursor.offset)
+                .map_err(|e| EngineError::Replication(format!("tailing {}: {e}", cursor.file)))?;
+            for (end, record) in scan.records {
+                let epoch = record.epoch_after;
+                out.push(record);
+                cursor.offset = end;
+                if stop_at == Some(epoch) {
+                    return Ok((out, cursor));
+                }
+            }
+            if cursor.file == inner.current.wal_file {
+                return Ok((out, cursor));
+            }
+            // This file was rotated out by a checkpoint; move to the
+            // next log in the chain (smallest epoch above this file's).
+            let cur_epoch = file_epoch(&cursor.file).ok_or_else(|| {
+                EngineError::Replication(format!("unparseable WAL file name {}", cursor.file))
+            })?;
+            cursor = WalCursor {
+                file: self.next_wal_file(cur_epoch)?,
+                offset: WAL_HEADER_LEN,
+            };
+        }
+    }
+
+    /// The WAL file with the smallest embedded epoch above `after`, or
+    /// [`EngineError::Replication`] if the chain is broken there.
+    fn next_wal_file(&self, after: u64) -> Result<String, EngineError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| EngineError::Replication(format!("cannot list store dir: {e}")))?;
+        let mut best: Option<(u64, String)> = None;
+        for entry in entries.flatten() {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if !name.starts_with("wal-") {
+                continue;
+            }
+            let Some(epoch) = file_epoch(&name) else {
+                continue;
+            };
+            if epoch > after && best.as_ref().is_none_or(|(b, _)| epoch < *b) {
+                best = Some((epoch, name));
+            }
+        }
+        best.map(|(_, name)| name).ok_or_else(|| {
+            EngineError::Replication(format!(
+                "WAL chain broken: no successor log after epoch {after}"
+            ))
+        })
+    }
+
+    /// Captures the current checkpoint for shipping to a follower: the
+    /// authoritative manifest plus the raw bytes of every file it
+    /// references, read under the store lock so a concurrent checkpoint
+    /// or GC cannot swap files out mid-read. The shipped manifest is
+    /// normalized to replay from an empty WAL — records logged after the
+    /// checkpoint travel through the record stream instead.
+    pub fn export_checkpoint(&self) -> Result<CheckpointPackage, EngineError> {
+        let inner = self.lock();
+        let manifest = Manifest {
+            wal_offset: WAL_HEADER_LEN,
+            ..inner.current.clone()
+        };
+        let mut names: Vec<String> = Vec::with_capacity(manifest.segments.len() + 1);
+        names.push(manifest.meta_file.clone());
+        names.extend(manifest.segments.iter().cloned());
+        names.dedup();
+        let mut files = Vec::with_capacity(names.len());
+        for name in names {
+            let bytes = std::fs::read(self.dir.join(&name)).map_err(|e| {
+                EngineError::Store(format!("export checkpoint: cannot read {name}: {e}"))
+            })?;
+            files.push((name, bytes));
+        }
+        Ok(CheckpointPackage { manifest, files })
+    }
+
+    /// Materializes a shipped checkpoint into `dir` (created if absent).
+    /// Write order is crash-safe: data files first, then a fresh empty
+    /// WAL, then the manifest — the commit point. A crash at any earlier
+    /// instant leaves no manifest, so the directory is simply not (yet) a
+    /// store; after this returns, [`DurableEngine::open`] on `dir`
+    /// recovers exactly the packaged epoch.
+    pub fn install_checkpoint(
+        dir: impl AsRef<Path>,
+        package: &CheckpointPackage,
+    ) -> Result<(), EngineError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let have = |name: &String| package.files.iter().any(|(n, _)| n == name);
+        for name in
+            std::iter::once(&package.manifest.meta_file).chain(package.manifest.segments.iter())
+        {
+            if !have(name) {
+                return Err(EngineError::Replication(format!(
+                    "checkpoint package does not carry {name}, which its manifest references"
+                )));
+            }
+        }
+        for (name, bytes) in &package.files {
+            // File names come off the wire: only bare names may touch
+            // the target directory.
+            if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+                return Err(EngineError::Replication(format!(
+                    "checkpoint package file name {name:?} is not a bare file name"
+                )));
+            }
+            let mut f = std::fs::File::create(dir.join(name))?;
+            std::io::Write::write_all(&mut f, bytes)?;
+            f.sync_all()?;
+        }
+        WalWriter::create(&dir.join(&package.manifest.wal_file), true)?;
+        write_manifest(dir, &package.manifest, &None)?;
+        Ok(())
+    }
+
+    /// Applies one record shipped from a leader. The replica logs the
+    /// record to its **own** WAL first (so it is itself crash-
+    /// recoverable), then applies and publishes — the same
+    /// log-before-publish discipline as local mutation, and replay never
+    /// re-runs the encoder because insert records carry the leader's
+    /// already-encoded batch.
+    ///
+    /// Sequencing by `epoch_after` (every logged record bumps the epoch
+    /// by exactly one): a duplicate delivery is skipped idempotently, a
+    /// gap is [`EngineError::Replication`] — the caller resumes from its
+    /// real offset or requests a checkpoint transfer.
+    pub fn apply_replicated(&self, record: &WalRecord) -> Result<ReplicatedApply, EngineError> {
+        let mut inner = self.lock();
+        let current = self.serving.epoch();
+        if record.epoch_after <= current {
+            return Ok(ReplicatedApply::AlreadyApplied);
+        }
+        if record.epoch_after != current + 1 {
+            return Err(EngineError::Replication(format!(
+                "sequence gap: replica at epoch {current}, record jumps to {}",
+                record.epoch_after
+            )));
+        }
+        // Validate before logging: a record that cannot apply must never
+        // enter this replica's WAL (replay would hit the same wall).
+        let parsed_batch = match &record.op {
+            WalOp::Insert { batch } => Some(EncodedTableBatch::from_bytes(batch).map_err(|e| {
+                EngineError::Replication(format!("shipped insert batch does not parse: {e}"))
+            })?),
+            WalOp::Reshard { n_shards } if *n_shards == 0 => {
+                return Err(EngineError::Replication(
+                    "shipped reshard to zero shards".into(),
+                ));
+            }
+            _ => None,
+        };
+        self.log_then_apply(&mut inner, record.clone(), || -> Result<(), EngineError> {
+            match &record.op {
+                WalOp::Insert { .. } => {
+                    if let Some(batch) = parsed_batch {
+                        self.serving.insert_encoded(batch);
+                    }
+                }
+                WalOp::Remove { ids, threshold } => {
+                    self.serving.set_compaction_threshold(*threshold);
+                    self.serving.remove_tables(ids);
+                }
+                WalOp::Compact => {
+                    self.serving.compact();
+                }
+                WalOp::Reshard { n_shards } => self.serving.reshard(*n_shards)?,
+            }
+            // Apply semantics can differ benignly from the leader's (a
+            // logged compact that finds nothing to reclaim here); the
+            // published epoch must not.
+            self.serving.pin_epoch(record.epoch_after);
+            Ok(())
+        })??;
+        self.maybe_checkpoint(&mut inner);
+        Ok(ReplicatedApply::Applied)
     }
 }
 

@@ -1,0 +1,184 @@
+//! Fault-point injection for store I/O — the shim the robustness suites
+//! use to fail the Nth write or fsync *deterministically* and prove the
+//! store degrades into typed errors, never panics and never inconsistent
+//! in-memory state.
+//!
+//! A [`FaultPlan`] is an `Arc`-shared schedule handed to the store via
+//! [`crate::StoreOptions::fault`]. Each instrumented operation kind (a
+//! [`FaultPoint`]) carries its own 1-based counter; a scheduled entry
+//! `(point, nth)` trips exactly once, when that point's counter reaches
+//! `nth`, and then disarms. Three trip modes:
+//!
+//! * **Error** — the operation fails up front with an injected
+//!   `io::Error` before touching the file (a full write that never
+//!   happened, a failed `fdatasync`).
+//! * **Short write** ([`FaultPlan::short_write_at`], WAL appends only) —
+//!   a *prefix* of the frame reaches the file before the error, the shape
+//!   a crash or full disk leaves. Exercises the append rollback path: the
+//!   writer must truncate the partial frame away or poison itself.
+//!
+//! Production code never constructs a plan; with `StoreOptions::fault ==
+//! None` every check compiles down to an `Option` test. The plan is
+//! internally synchronized, so one plan can be shared across the writer
+//! thread and a checkpoint running elsewhere.
+
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// An instrumented store operation kind. Counters are per-point: the
+/// "3rd `WalAppend`" and the "3rd `SegmentWrite`" are independent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// One WAL record append (the frame write, before any fsync).
+    WalAppend,
+    /// One WAL `fdatasync` after a record append.
+    WalSync,
+    /// One checkpoint segment or meta-section file write.
+    SegmentWrite,
+    /// One manifest file write (the temp-file write before the rename).
+    ManifestWrite,
+}
+
+impl FaultPoint {
+    fn idx(self) -> usize {
+        match self {
+            FaultPoint::WalAppend => 0,
+            FaultPoint::WalSync => 1,
+            FaultPoint::SegmentWrite => 2,
+            FaultPoint::ManifestWrite => 3,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FaultPoint::WalAppend => "WAL append",
+            FaultPoint::WalSync => "WAL fdatasync",
+            FaultPoint::SegmentWrite => "segment write",
+            FaultPoint::ManifestWrite => "manifest write",
+        }
+    }
+}
+
+/// What an armed entry does when its counter matches.
+#[derive(Clone, Copy, Debug)]
+enum TripMode {
+    Error,
+    /// Let `keep` bytes of the payload through, then error.
+    Short {
+        keep: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    point: FaultPoint,
+    /// 1-based operation ordinal at which this entry trips.
+    nth: u64,
+    mode: TripMode,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    /// Operations seen so far, per [`FaultPoint::idx`].
+    counts: [u64; 4],
+    armed: Vec<Scheduled>,
+    trips: u64,
+}
+
+/// What a consulted fault point should do. Only WAL appends honour
+/// `Short`; every other point treats it as `Error`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FaultDecision {
+    Proceed,
+    Fail,
+    ShortWrite { keep: usize },
+}
+
+/// A deterministic schedule of injected store-I/O failures. See the
+/// module docs; construct with [`FaultPlan::new`], arm with
+/// [`FaultPlan::fail_at`] / [`FaultPlan::short_write_at`], hand to the
+/// store via [`crate::StoreOptions::fault`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// An empty (never-tripping) plan, ready to arm and share.
+    pub fn new() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PlanState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms an error at the `nth` (1-based) operation of `point`,
+    /// counting from the plan's creation. Trips once, then disarms.
+    pub fn fail_at(&self, point: FaultPoint, nth: u64) {
+        self.lock().armed.push(Scheduled {
+            point,
+            nth,
+            mode: TripMode::Error,
+        });
+    }
+
+    /// Arms a short write at the `nth` (1-based) WAL append: `keep` bytes
+    /// of the frame reach the file, then the append errors — the torn
+    /// shape a crash or full disk leaves mid-write. Trips once.
+    pub fn short_write_at(&self, nth: u64, keep: usize) {
+        self.lock().armed.push(Scheduled {
+            point: FaultPoint::WalAppend,
+            nth,
+            mode: TripMode::Short { keep },
+        });
+    }
+
+    /// How many injected failures have actually fired so far.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+
+    /// Operations of `point` observed so far (whether or not any tripped).
+    pub fn count(&self, point: FaultPoint) -> u64 {
+        self.lock().counts[point.idx()]
+    }
+
+    /// The error every tripped fault surfaces (`io::ErrorKind::Other`
+    /// with an `"injected fault"` message — tests match on it).
+    pub(crate) fn injected_error(point: FaultPoint) -> io::Error {
+        io::Error::other(format!("injected fault: {}", point.label()))
+    }
+
+    /// Counts one operation of `point` and reports what it should do.
+    pub(crate) fn consult(&self, point: FaultPoint) -> FaultDecision {
+        let mut st = self.lock();
+        st.counts[point.idx()] += 1;
+        let n = st.counts[point.idx()];
+        let Some(i) = st.armed.iter().position(|s| s.point == point && s.nth == n) else {
+            return FaultDecision::Proceed;
+        };
+        let entry = st.armed.swap_remove(i);
+        st.trips += 1;
+        match entry.mode {
+            TripMode::Error => FaultDecision::Fail,
+            TripMode::Short { keep } => FaultDecision::ShortWrite { keep },
+        }
+    }
+}
+
+/// The optional shared plan a store carries. `None` (production) costs an
+/// `Option` test per instrumented operation.
+pub type FaultHook = Option<Arc<FaultPlan>>;
+
+/// Consults `hook` at `point`; returns the injected error when the plan
+/// says to fail outright. Short-write decisions are only meaningful for
+/// WAL appends, which call [`FaultPlan::consult`] directly.
+pub(crate) fn check(hook: &FaultHook, point: FaultPoint) -> io::Result<()> {
+    match hook.as_deref().map(|p| p.consult(point)) {
+        None | Some(FaultDecision::Proceed) => Ok(()),
+        Some(FaultDecision::Fail) | Some(FaultDecision::ShortWrite { .. }) => {
+            Err(FaultPlan::injected_error(point))
+        }
+    }
+}

@@ -42,12 +42,17 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod durable;
+pub mod fault;
 pub mod manifest;
 pub mod wal;
 
 mod codec;
 
-pub use durable::{CheckpointStats, DurableEngine, RecoveryReport, StoreOptions};
+pub use durable::{
+    CheckpointPackage, CheckpointStats, DurableEngine, RecoveryReport, ReplicatedApply,
+    StoreOptions, WalCursor,
+};
+pub use fault::{FaultPlan, FaultPoint};
 pub use lcdd_fcm::EngineError;
 pub use manifest::{latest_manifest, read_manifest, Manifest};
 pub use wal::{WalOp, WalRecord, WalScan, WalWriter, WAL_HEADER_LEN};

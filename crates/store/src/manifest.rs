@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 use lcdd_fcm::EngineError;
 
 use crate::codec::{read_framed, sync_dir, write_framed, wstr, wu32, wu64, SliceReader};
+use crate::fault::{FaultHook, FaultPoint};
 
 pub(crate) const MANIFEST_MAGIC: &[u8; 8] = b"LCDDMAN1";
 pub(crate) const MANIFEST_VERSION: u32 = 1;
@@ -46,7 +47,7 @@ impl Manifest {
         manifest_file_name(self.epoch)
     }
 
-    fn to_payload(&self) -> Vec<u8> {
+    pub(crate) fn to_payload(&self) -> Vec<u8> {
         let mut p = Vec::new();
         wu64(&mut p, self.epoch);
         wstr(&mut p, &self.meta_file);
@@ -64,7 +65,7 @@ impl Manifest {
         p
     }
 
-    fn from_payload(payload: &[u8], name: &str) -> Result<Manifest, EngineError> {
+    pub(crate) fn from_payload(payload: &[u8], name: &str) -> Result<Manifest, EngineError> {
         let ctx = |e: EngineError| match e {
             EngineError::Store(m) => EngineError::Store(format!("{name}: {m}")),
             other => other,
@@ -121,7 +122,11 @@ pub(crate) fn manifest_file_name(epoch: u64) -> String {
 
 /// Atomically publishes `manifest` into `dir`: temp write + fsync +
 /// rename + directory fsync. After this returns, recovery will prefer it.
-pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<PathBuf, EngineError> {
+pub(crate) fn write_manifest(
+    dir: &Path,
+    manifest: &Manifest,
+    hook: &FaultHook,
+) -> Result<PathBuf, EngineError> {
     let final_path = dir.join(manifest.file_name());
     let tmp_path = dir.join(format!(".tmp-{}", manifest.file_name()));
     write_framed(
@@ -129,6 +134,8 @@ pub(crate) fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<PathBuf,
         MANIFEST_MAGIC,
         MANIFEST_VERSION,
         &manifest.to_payload(),
+        hook,
+        FaultPoint::ManifestWrite,
     )?;
     std::fs::rename(&tmp_path, &final_path)?;
     sync_dir(dir);

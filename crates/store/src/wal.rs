@@ -55,6 +55,7 @@ use lcdd_engine::persist::fnv1a64;
 use lcdd_fcm::EngineError;
 
 use crate::codec::{wf64, wu64, SliceReader};
+use crate::fault::{FaultDecision, FaultHook, FaultPlan, FaultPoint};
 
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"LCDDWAL1";
 pub(crate) const WAL_VERSION: u32 = 1;
@@ -91,6 +92,23 @@ pub struct WalRecord {
 }
 
 impl WalRecord {
+    /// Serializes the record to its WAL payload bytes (kind + epoch +
+    /// body, **without** the length/checksum frame — the container adds
+    /// its own). This is the wire format replication ships verbatim: a
+    /// follower receiving these bytes appends and applies them without
+    /// re-encoding anything.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        self.payload()
+    }
+
+    /// Parses payload bytes produced by [`WalRecord::encode_payload`].
+    /// Used by the replication transport, where the payload arrives in a
+    /// stream frame rather than at a WAL file offset (error context
+    /// therefore reports offset 0).
+    pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, EngineError> {
+        WalRecord::parse(payload, 0)
+    }
+
     fn payload(&self) -> Vec<u8> {
         let mut p = Vec::new();
         match &self.op {
@@ -189,6 +207,8 @@ pub struct WalWriter {
     /// hold a partial frame, so further appends would write garbage after
     /// it and corrupt the log. A poisoned writer refuses to append.
     poisoned: bool,
+    /// Injected-failure schedule (tests only; `None` in production).
+    fault: FaultHook,
 }
 
 impl WalWriter {
@@ -204,6 +224,7 @@ impl WalWriter {
             len: WAL_HEADER_LEN,
             sync,
             poisoned: false,
+            fault: None,
         })
     }
 
@@ -227,7 +248,14 @@ impl WalWriter {
             len: valid_len,
             sync,
             poisoned: false,
+            fault: None,
         })
+    }
+
+    /// Attaches an injected-failure schedule consulted on every append
+    /// and fsync (see [`crate::fault::FaultPlan`]). `None` detaches.
+    pub fn set_fault(&mut self, fault: FaultHook) {
+        self.fault = fault;
     }
 
     /// Bytes in the log up to and including the last appended record.
@@ -266,13 +294,35 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        let wrote = self.file.write_all(&frame).and_then(|()| {
-            if self.sync {
-                self.file.sync_data()
-            } else {
-                Ok(())
-            }
-        });
+        // Consult the fault schedule (tests only): a `Fail` decision
+        // errors before any byte is written; a `ShortWrite` lands a
+        // prefix of the frame — the torn shape a crash leaves — and then
+        // errors, exercising the rollback path below for real.
+        let append_decision = match self.fault.as_deref() {
+            Some(plan) => plan.consult(FaultPoint::WalAppend),
+            None => FaultDecision::Proceed,
+        };
+        let wrote = match append_decision {
+            FaultDecision::Fail => Err(FaultPlan::injected_error(FaultPoint::WalAppend)),
+            FaultDecision::ShortWrite { keep } => self
+                .file
+                .write_all(&frame[..keep.min(frame.len())])
+                .and_then(|()| Err(FaultPlan::injected_error(FaultPoint::WalAppend))),
+            FaultDecision::Proceed => self.file.write_all(&frame).and_then(|()| {
+                if self.sync {
+                    match self
+                        .fault
+                        .as_deref()
+                        .map(|p| p.consult(FaultPoint::WalSync))
+                    {
+                        None | Some(FaultDecision::Proceed) => self.file.sync_data(),
+                        Some(_) => Err(FaultPlan::injected_error(FaultPoint::WalSync)),
+                    }
+                } else {
+                    Ok(())
+                }
+            }),
+        };
         if let Err(e) = wrote {
             // Undo whatever partial frame (or unapplied complete frame —
             // a record whose fsync failed is never applied) hit the file.
@@ -283,7 +333,7 @@ impl WalWriter {
             if rollback.is_err() {
                 self.poisoned = true;
             }
-            return Err(EngineError::Io(e));
+            return Err(EngineError::Wal(format!("append failed: {e}")));
         }
         self.len += frame.len() as u64;
         Ok(self.len)

@@ -36,6 +36,7 @@ fn opts() -> StoreOptions {
         checkpoint_every_ops: 0,
         checkpoint_every_bytes: 0,
         keep_checkpoints: 1,
+        ..StoreOptions::default()
     }
 }
 
@@ -256,6 +257,7 @@ fn corrupt_newest_manifest_falls_back_to_previous_checkpoint() {
             checkpoint_every_ops: 0,
             checkpoint_every_bytes: 0,
             keep_checkpoints: 2,
+            ..StoreOptions::default()
         },
     )
     .expect("store creation");

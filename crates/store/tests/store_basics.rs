@@ -146,6 +146,7 @@ fn incremental_checkpoints_rewrite_only_dirty_shards_and_gc_old_files() {
         checkpoint_every_ops: 0,
         checkpoint_every_bytes: 0,
         keep_checkpoints: 1,
+        ..StoreOptions::default()
     };
     let durable = DurableEngine::create(&dir, tiny_engine(base, 4), opts).unwrap();
 

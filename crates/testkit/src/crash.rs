@@ -304,6 +304,7 @@ pub fn run_crash_boundary_case(case: &CrashCase) -> usize {
         checkpoint_every_ops: case.checkpoint_every,
         checkpoint_every_bytes: 0,
         keep_checkpoints: 2,
+        ..StoreOptions::default()
     };
     let durable = DurableEngine::create(
         &live_dir,

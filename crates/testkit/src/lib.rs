@@ -22,7 +22,11 @@
 //! * [`crash`] — the crash-injection harness for the durable store:
 //!   scripted op sequences, store-directory snapshots as simulated crash
 //!   points, torn-write WAL variants, and the recovered-vs-serial-replay
-//!   comparator (bit-identical scores).
+//!   comparator (bit-identical scores),
+//! * [`repl`] — the partition/lag harness for WAL-shipping replication:
+//!   scripted fault schedules on the transport, leader-crash /
+//!   torn-tail / failover stories, and the follower-equals-leader
+//!   bitwise comparator at every shared epoch.
 //!
 //! Everything is a pure function of its seed: two processes building the
 //! same spec get byte-identical corpora, so failures reproduce across
@@ -30,6 +34,7 @@
 
 pub mod concurrent;
 pub mod crash;
+pub mod repl;
 
 use lcdd_engine::{Engine, EngineBuilder, Query, SearchResponse};
 use lcdd_fcm::{FcmConfig, FcmModel};

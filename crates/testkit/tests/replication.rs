@@ -1,0 +1,167 @@
+//! The replication partition/lag property suite (PR 6's acceptance
+//! gate, run in release mode in CI): scripted op sequences × scripted
+//! fault schedules, asserting after every batch that the follower is
+//! **bit-identical** to the leader at the shared epoch, that it never
+//! re-encodes a shipped batch, and that no injected fault panics —
+//! every schedule either converges or heals through typed errors.
+//!
+//! Case counts shrink under `debug_assertions` so `cargo test` stays
+//! quick; the release-mode CI step runs the full sweep.
+
+use lcdd_repl::FaultAction;
+use lcdd_testkit::repl::{
+    random_schedule, run_follower_torn_tail_restart, run_lag_case, run_leader_crash_mid_stream,
+    run_promote_follower_then_continue_churn, ReplCase,
+};
+
+fn seeds(base: u64, release_count: usize) -> Vec<u64> {
+    let n = if cfg!(debug_assertions) {
+        release_count.div_ceil(2).max(1)
+    } else {
+        release_count
+    };
+    (0..n as u64)
+        .map(|i| base ^ (i.wrapping_mul(0x9E37_79B9)))
+        .collect()
+}
+
+#[test]
+fn clean_link_is_bitwise_identical_at_every_epoch() {
+    for seed in seeds(0xC1EA, 4) {
+        // ops_per_batch = 1: assert at literally every leader epoch.
+        let case = ReplCase {
+            ops_per_batch: 1,
+            n_batches: 10,
+            ..ReplCase::clean(seed)
+        };
+        let run = run_lag_case("lag-clean", &case);
+        assert_eq!(run.faults_fired, 0);
+        assert_eq!(run.follower.resyncs, 0, "clean link must never resync");
+        assert_eq!(run.follower.quarantines, 0);
+        assert_eq!(run.epochs_checked, 10);
+    }
+}
+
+#[test]
+fn checkpoint_rotation_under_streaming_stays_on_the_record_path() {
+    for seed in seeds(0x0707, 3) {
+        // Cadence 2 with generous retention: the leader rotates its WAL
+        // mid-stream but history always covers the follower's cursor.
+        let case = ReplCase {
+            checkpoint_every: 2,
+            keep_checkpoints: 16,
+            ..ReplCase::clean(seed)
+        };
+        let run = run_lag_case("lag-rotate", &case);
+        assert_eq!(
+            run.follower.resyncs, 0,
+            "retained history must keep the follower on the record path"
+        );
+    }
+}
+
+#[test]
+fn aggressive_gc_heals_lagging_followers_by_resync() {
+    for seed in seeds(0x6C6C, 3) {
+        // Checkpoint every op, keep almost nothing, sync only every 6
+        // ops: the WAL chain is collected out from under the cursor.
+        let case = ReplCase {
+            checkpoint_every: 1,
+            keep_checkpoints: 1,
+            ops_per_batch: 6,
+            n_batches: 4,
+            ..ReplCase::clean(seed)
+        };
+        let run = run_lag_case("lag-gc", &case);
+        assert!(
+            run.follower.resyncs >= 1,
+            "collected history must surface as checkpoint resyncs (run: {run:?})"
+        );
+    }
+}
+
+#[test]
+fn lossy_links_converge_through_typed_recovery() {
+    for seed in seeds(0x1055, 6) {
+        let case = ReplCase {
+            schedule: random_schedule(seed, 140, 25),
+            max_rounds: 256,
+            ..ReplCase::clean(seed)
+        };
+        let run = run_lag_case("lag-lossy", &case);
+        assert!(
+            run.faults_fired > 0,
+            "the schedule must actually have fired (run: {run:?})"
+        );
+    }
+}
+
+#[test]
+fn drop_heavy_links_heal_by_resume_from_offset() {
+    for seed in seeds(0xD409, 3) {
+        // Pure loss, no corruption: healing must be gap-resume (cursor
+        // re-attach), never a checkpoint transfer.
+        let schedule = (0..12).map(|k| (3 + 4 * k, FaultAction::Drop)).collect();
+        let case = ReplCase {
+            schedule,
+            max_rounds: 256,
+            ..ReplCase::clean(seed)
+        };
+        let run = run_lag_case("lag-drop", &case);
+        assert!(run.faults_fired > 0);
+        assert!(
+            run.gaps_resumed >= 1,
+            "dropped records must heal by cursor resume (run: {run:?})"
+        );
+        assert_eq!(
+            run.follower.quarantines, 0,
+            "loss is not corruption; nothing should quarantine (run: {run:?})"
+        );
+    }
+}
+
+#[test]
+fn corrupting_links_heal_by_quarantine_and_resync() {
+    for seed in seeds(0xC047, 3) {
+        let schedule = vec![
+            (2, FaultAction::CorruptByte { offset: 17 }),
+            (9, FaultAction::Truncate { keep: 6 }),
+            (15, FaultAction::CorruptByte { offset: 5 }),
+        ];
+        let case = ReplCase {
+            schedule,
+            max_rounds: 256,
+            ..ReplCase::clean(seed)
+        };
+        let run = run_lag_case("lag-corrupt", &case);
+        assert!(
+            run.follower.quarantines >= 1,
+            "damaged frames must quarantine (run: {run:?})"
+        );
+        assert!(
+            run.follower.resyncs >= 1,
+            "quarantine heals through checkpoint resync (run: {run:?})"
+        );
+    }
+}
+
+#[test]
+fn leader_crash_mid_stream_loses_nothing_acknowledged() {
+    for seed in seeds(0xCA54, 3) {
+        run_leader_crash_mid_stream("leader-crash", seed);
+    }
+}
+
+#[test]
+fn follower_restarts_from_a_torn_tail_and_catches_up() {
+    for seed in seeds(0x7047, 3) {
+        run_follower_torn_tail_restart("torn-tail", seed);
+    }
+}
+
+#[test]
+fn promoting_the_newest_follower_survives_continued_churn() {
+    for seed in seeds(0xFA17, 3) {
+        run_promote_follower_then_continue_churn("promote", seed);
+    }
+}

@@ -23,6 +23,10 @@ echo
 echo "== durable-store benches -> BENCH_store.json =="
 cargo run --release -p lcdd-bench --bin bench_store -- BENCH_store.json
 
+echo
+echo "== replication benches -> BENCH_repl.json =="
+cargo run --release -p lcdd-bench --bin bench_repl -- BENCH_repl.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo
     echo "== criterion micro-benchmarks =="
