@@ -269,7 +269,11 @@ impl Fp {
 /// extracted line images / traces / values and the decoded y range, plus
 /// `k`, strategy and `min_score`. Decoded tick metadata is deliberately
 /// excluded — scoring reads only `y_range` from it.
-pub(crate) fn query_fingerprint(query: &Query, opts: &SearchOptions) -> u128 {
+///
+/// Public because it is also the gateway's request-coalescing identity:
+/// two in-flight wire requests with equal fingerprints are provably the
+/// same computation, so the batcher scores one and fans the response out.
+pub fn query_fingerprint(query: &Query, opts: &SearchOptions) -> u128 {
     let mut fp = Fp::new();
     match query {
         Query::Series(data) => {

@@ -70,7 +70,7 @@ pub mod swap;
 pub mod types;
 
 pub use builder::{entries_from_tables, EngineBuilder};
-pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{query_fingerprint, CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
 pub use lcdd_fcm::EngineError;
 pub use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};

@@ -168,8 +168,24 @@ impl ServingEngine {
         queries: &[Query],
         opts: &SearchOptions,
     ) -> Vec<Result<SearchResponse, EngineError>> {
-        let state = self.snapshot();
-        pool::par_map(queries, |q| self.search_on(&state, q, opts))
+        self.search_batch_at(&self.snapshot(), queries, opts)
+    }
+
+    /// Answers a batch of queries against an explicitly pinned snapshot,
+    /// fanned across the shared work pool and served **through the query
+    /// cache** (unlike [`ServingEngine::search_at`], which bypasses it).
+    /// The network gateway uses this to serve one coalesced wire batch
+    /// from exactly one epoch *after* it has checked per-request staleness
+    /// contracts against that same snapshot's epoch. Cache entries tagged
+    /// with other epochs are epoch-checked as usual, so a pinned batch can
+    /// neither read nor poison another epoch's entries.
+    pub fn search_batch_at(
+        &self,
+        state: &Arc<EngineState>,
+        queries: &[Query],
+        opts: &SearchOptions,
+    ) -> Vec<Result<SearchResponse, EngineError>> {
+        pool::par_map(queries, |q| self.search_on(state, q, opts))
     }
 
     fn search_on(

@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use lcdd_engine::{Engine, EngineState, Query, SearchOptions, SearchResponse};
+use lcdd_engine::{CacheStats, Engine, EngineState, Query, SearchOptions, SearchResponse};
 use lcdd_fcm::EngineError;
 use lcdd_store::{
     CheckpointPackage, DurableEngine, RecoveryReport, ReplicatedApply, StoreOptions, WalRecord,
@@ -237,6 +237,20 @@ impl Follower {
     /// any heartbeat arrives).
     pub fn leader_epoch_seen(&self) -> u64 {
         self.leader_epoch_seen.load(Ordering::Acquire)
+    }
+
+    /// How many epochs the replica trails the leader's most recent
+    /// heartbeat (0 when caught up — or when no heartbeat has arrived
+    /// yet, since an unknown leader epoch reads as 0). The gateway's
+    /// `/healthz` and `BoundedLag` admission read this per request.
+    pub fn lag(&self) -> u64 {
+        self.leader_epoch_seen().saturating_sub(self.epoch())
+    }
+
+    /// Query-cache counters of the replica's serving engine (lock-free;
+    /// surfaced by the gateway's `/metrics`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state().store.cache_stats()
     }
 
     /// The quarantine reason, when the replica has refused the stream.

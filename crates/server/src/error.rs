@@ -1,0 +1,154 @@
+//! The typed wire error surface: every non-2xx response the gateway emits
+//! carries a machine-readable `{"error":{"code":...,"message":...}}` body,
+//! and adversarial input maps to a 4xx — never a panic, never a bare
+//! connection reset (enforced by the rejection fuzz suite).
+
+use lcdd_fcm::EngineError;
+
+use crate::json::quote;
+
+/// A wire-level error: HTTP status plus a stable machine-readable code.
+#[derive(Clone, Debug)]
+pub struct ApiError {
+    pub status: u16,
+    pub code: &'static str,
+    pub message: String,
+    /// Emitted as a `Retry-After` header (seconds) on backpressure
+    /// rejections.
+    pub retry_after_s: Option<u64>,
+    /// The serving epoch at rejection time, when relevant (staleness
+    /// contract failures) — lets the caller recalibrate its token.
+    pub current_epoch: Option<u64>,
+}
+
+impl ApiError {
+    /// A 400 with the given code.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            code,
+            message: message.into(),
+            retry_after_s: None,
+            current_epoch: None,
+        }
+    }
+
+    /// 503: the admission queue is full — shed load, ask for a retry.
+    pub fn queue_full(capacity: usize) -> ApiError {
+        ApiError {
+            status: 503,
+            code: "queue_full",
+            message: format!("admission queue at capacity ({capacity}); retry shortly"),
+            retry_after_s: Some(1),
+            current_epoch: None,
+        }
+    }
+
+    /// 503: the server is draining for shutdown.
+    pub fn shutting_down() -> ApiError {
+        ApiError {
+            status: 503,
+            code: "shutting_down",
+            message: "server is draining; no new work is admitted".into(),
+            retry_after_s: Some(1),
+            current_epoch: None,
+        }
+    }
+
+    /// 504: the request's deadline passed before it was scored.
+    pub fn deadline_exceeded(deadline_ms: u64) -> ApiError {
+        ApiError {
+            status: 504,
+            code: "deadline_exceeded",
+            message: format!("deadline of {deadline_ms} ms expired before the query was scored"),
+            retry_after_s: None,
+            current_epoch: None,
+        }
+    }
+
+    /// 412: a staleness contract the current snapshot cannot honour.
+    pub fn stale(message: impl Into<String>, current_epoch: u64) -> ApiError {
+        ApiError {
+            status: 412,
+            code: "stale_replica",
+            message: message.into(),
+            retry_after_s: Some(1),
+            current_epoch: Some(current_epoch),
+        }
+    }
+
+    /// 405: mutation attempted against a read-only replica gateway.
+    pub fn read_only_replica() -> ApiError {
+        ApiError {
+            status: 405,
+            code: "read_only_replica",
+            message: "this gateway serves a replica; send writes to the leader".into(),
+            retry_after_s: None,
+            current_epoch: None,
+        }
+    }
+
+    /// 404 for an unroutable path.
+    pub fn not_found(path: &str) -> ApiError {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message: format!("no route for '{path}'"),
+            retry_after_s: None,
+            current_epoch: None,
+        }
+    }
+
+    /// 405 for a known path with the wrong method.
+    pub fn method_not_allowed(method: &str, path: &str) -> ApiError {
+        ApiError {
+            status: 405,
+            code: "method_not_allowed",
+            message: format!("method {method} is not allowed on {path}"),
+            retry_after_s: None,
+            current_epoch: None,
+        }
+    }
+
+    /// The JSON error body.
+    pub fn body(&self) -> String {
+        let mut extra = String::new();
+        if let Some(e) = self.current_epoch {
+            extra.push_str(&format!(",\"current_epoch\":{e}"));
+        }
+        format!(
+            "{{\"error\":{{\"code\":{},\"message\":{}{extra}}}}}",
+            quote(self.code),
+            quote(&self.message)
+        )
+    }
+}
+
+/// Maps an engine-side failure to the wire. Degenerate *inputs* are the
+/// caller's fault (400); a replica that cannot honour a staleness token is
+/// 412; anything else is a genuine 500.
+pub fn from_engine_error(e: &EngineError) -> ApiError {
+    match e {
+        EngineError::EmptyQuery => {
+            ApiError::bad_request("empty_query", "the query contains no extractable lines")
+        }
+        EngineError::UnsupportedQuery(msg) => {
+            ApiError::bad_request("unsupported_query", msg.clone())
+        }
+        EngineError::InvalidConfig(msg) => ApiError::bad_request("invalid_config", msg.clone()),
+        EngineError::Replication(msg) => ApiError {
+            status: 412,
+            code: "stale_replica",
+            message: msg.clone(),
+            retry_after_s: Some(1),
+            current_epoch: None,
+        },
+        other => ApiError {
+            status: 500,
+            code: "engine_error",
+            message: other.to_string(),
+            retry_after_s: None,
+            current_epoch: None,
+        },
+    }
+}

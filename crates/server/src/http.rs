@@ -1,0 +1,230 @@
+//! Hand-rolled HTTP/1.1 framing over blocking `std::net` sockets — the
+//! offline-vendor constraint rules out tokio/hyper, and the gateway needs
+//! only the small subset it speaks: request-line + headers + a
+//! `Content-Length` body, keep-alive by default, explicit close on
+//! error or drain.
+//!
+//! Every limit is enforced *while reading*, never after: header lines are
+//! capped, header count is capped, and a body larger than the configured
+//! maximum is refused before a byte of it is buffered — the gateway's
+//! first line of admission control (bounded memory per connection).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line / header line, bytes.
+const MAX_LINE: u64 = 8192;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request. Header names are lowercased; the path is stripped
+/// of any query string (kept in `query`).
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close after this response.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream between requests (keep-alive peer went away).
+    Eof,
+    /// The socket read timed out (idle keep-alive) — close silently.
+    Timeout,
+    /// Transport error mid-request.
+    Io(io::Error),
+    /// Syntactically invalid request — answer 400 and close.
+    Malformed(String),
+    /// Declared `Content-Length` exceeds the configured maximum — answer
+    /// the typed 400 without buffering the body.
+    BodyTooLarge { declared: usize, limit: usize },
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one CRLF- (or LF-) terminated line, capped at [`MAX_LINE`].
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ReadError> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| {
+            if is_timeout(&e) {
+                // A timeout with bytes already consumed is a stalled
+                // peer mid-line, not an idle keep-alive: the stream is
+                // desynchronized and must be answered-and-closed.
+                if buf.is_empty() {
+                    ReadError::Timeout
+                } else {
+                    ReadError::Malformed("stream stalled mid-line".into())
+                }
+            } else {
+                ReadError::Io(e)
+            }
+        })?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(ReadError::Malformed(format!(
+            "header line exceeds {MAX_LINE} bytes or stream ended mid-line"
+        )));
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| ReadError::Malformed("header line is not valid UTF-8".into()))
+}
+
+/// Reads the next request off a keep-alive connection.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let Some(line) = read_line(reader)? else {
+        return Err(ReadError::Eof);
+    };
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::Malformed(format!("bad request line '{line}'")));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad request line '{line}'")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(ReadError::Malformed("stream ended inside headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::Malformed(
+            "transfer-encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let declared = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length '{v}'")))?,
+        None => 0,
+    };
+    if declared > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+    if declared > 0 {
+        let mut body = vec![0u8; declared];
+        reader.read_exact(&mut body).map_err(|e| {
+            if is_timeout(&e) {
+                // Headers arrived but the body stalled: the stream is
+                // desynchronized, so this is malformed, not idle.
+                ReadError::Malformed("body stalled short of Content-Length".into())
+            } else {
+                ReadError::Io(e)
+            }
+        })?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        410 => "Gone",
+        412 => "Precondition Failed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+/// Writes one JSON response. `extra` headers are emitted verbatim;
+/// `close` controls the `Connection` header.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let mut out = String::with_capacity(body.len() + 160);
+    out.push_str(&format!("HTTP/1.1 {status} {}\r\n", reason(status)));
+    out.push_str("Content-Type: application/json\r\n");
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    out.push_str(if close {
+        "Connection: close\r\n"
+    } else {
+        "Connection: keep-alive\r\n"
+    });
+    for (k, v) in extra {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}

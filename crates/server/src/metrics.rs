@@ -1,0 +1,182 @@
+//! The gateway's observability counters, all lock-free: plain relaxed
+//! atomics plus two [`Histogram`]s (search latency, coalesced batch
+//! size). A `/metrics` scrape reads a relaxed snapshot — it never takes a
+//! lock the serving path could contend on, and the backend side
+//! contributes only the engine's own atomic cache/epoch getters.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+use crate::backend::Backend;
+use crate::latency::Histogram;
+
+/// All gateway counters. Field groups mirror the `/metrics` JSON schema
+/// documented in the README.
+pub struct Metrics {
+    start: Instant,
+    // Requests routed, per endpoint.
+    pub search: AtomicU64,
+    pub insert: AtomicU64,
+    pub remove: AtomicU64,
+    pub healthz: AtomicU64,
+    pub metrics: AtomicU64,
+    pub snapshot: AtomicU64,
+    // Response classes.
+    pub ok: AtomicU64,
+    pub client_error: AtomicU64,
+    pub server_error: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_connections: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+    pub expired: AtomicU64,
+    pub stale_rejected: AtomicU64,
+    // Batcher accounting. `jobs_enqueued == jobs_answered` after a drain
+    // is the no-lost-request invariant the shutdown test asserts.
+    pub jobs_enqueued: AtomicU64,
+    pub jobs_answered: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub queue_high_water: AtomicU64,
+    // Coalescing.
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub deduped_requests: AtomicU64,
+    pub batch_sizes: Histogram,
+    /// End-to-end `/search` handling latency (parse → response built), ns.
+    pub search_latency: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; `start` anchors the qps/uptime computation.
+    pub fn new() -> Self {
+        Metrics {
+            start: Instant::now(),
+            search: AtomicU64::new(0),
+            insert: AtomicU64::new(0),
+            remove: AtomicU64::new(0),
+            healthz: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            snapshot: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            client_error: AtomicU64::new(0),
+            server_error: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            stale_rejected: AtomicU64::new(0),
+            jobs_enqueued: AtomicU64::new(0),
+            jobs_answered: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            deduped_requests: AtomicU64::new(0),
+            batch_sizes: Histogram::new(),
+            search_latency: Histogram::new(),
+        }
+    }
+
+    /// Classifies a response status into the ok/4xx/5xx counters (the
+    /// dedicated 503/504/412 counters are bumped at their decision
+    /// points, not here).
+    pub fn count_status(&self, status: u16) {
+        match status {
+            200..=299 => self.ok.fetch_add(1, Relaxed),
+            400..=499 => self.client_error.fetch_add(1, Relaxed),
+            _ => self.server_error.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Updates the queue-depth gauge (and its high-water mark).
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Relaxed);
+        self.queue_high_water.fetch_max(depth, Relaxed);
+    }
+
+    /// Renders the `/metrics` JSON document.
+    pub fn to_json(&self, backend: &Backend, queue_capacity: usize, draining: bool) -> String {
+        let uptime_s = self.start.elapsed().as_secs_f64().max(1e-9);
+        let searches = self.search.load(Relaxed);
+        let lat = &self.search_latency;
+        let bs = &self.batch_sizes;
+        let cache = backend.cache_stats();
+        let batches = self.batches.load(Relaxed);
+        let batched = self.batched_requests.load(Relaxed);
+        let mean_batch = if batches == 0 {
+            0.0
+        } else {
+            batched as f64 / batches as f64
+        };
+        format!(
+            concat!(
+                "{{",
+                "\"uptime_s\":{uptime},",
+                "\"draining\":{draining},",
+                "\"epoch\":{epoch},",
+                "\"tables\":{tables},",
+                "\"qps\":{qps},",
+                "\"requests\":{{\"search\":{search},\"insert\":{insert},\"remove\":{remove},",
+                "\"healthz\":{healthz},\"metrics\":{metricsc},\"snapshot\":{snapshot}}},",
+                "\"responses\":{{\"ok\":{ok},\"client_error\":{cerr},\"server_error\":{serr},",
+                "\"rejected_503\":{r503},\"rejected_connections\":{rconn},",
+                "\"rejected_shutdown\":{rshut},\"expired_504\":{exp},\"stale_412\":{stale}}},",
+                "\"latency_us\":{{\"count\":{lcount},\"mean\":{lmean},\"p50\":{p50},",
+                "\"p95\":{p95},\"p99\":{p99},\"max\":{lmax}}},",
+                "\"queue\":{{\"depth\":{qdepth},\"capacity\":{qcap},\"high_water\":{qhw}}},",
+                "\"jobs\":{{\"enqueued\":{jenq},\"answered\":{jans}}},",
+                "\"coalescing\":{{\"batches\":{batches},\"requests\":{breq},",
+                "\"deduped\":{dedup},\"mean_batch\":{meanb},\"p95_batch\":{p95b},",
+                "\"max_batch\":{maxb}}},",
+                "\"cache\":{{\"hits\":{chits},\"misses\":{cmiss},\"evictions\":{cevict},",
+                "\"len\":{clen}}}",
+                "}}"
+            ),
+            uptime = crate::json::num(uptime_s),
+            draining = draining,
+            epoch = backend.epoch(),
+            tables = backend.tables(),
+            qps = crate::json::num(searches as f64 / uptime_s),
+            search = searches,
+            insert = self.insert.load(Relaxed),
+            remove = self.remove.load(Relaxed),
+            healthz = self.healthz.load(Relaxed),
+            metricsc = self.metrics.load(Relaxed),
+            snapshot = self.snapshot.load(Relaxed),
+            ok = self.ok.load(Relaxed),
+            cerr = self.client_error.load(Relaxed),
+            serr = self.server_error.load(Relaxed),
+            r503 = self.rejected_queue_full.load(Relaxed),
+            rconn = self.rejected_connections.load(Relaxed),
+            rshut = self.rejected_shutdown.load(Relaxed),
+            exp = self.expired.load(Relaxed),
+            stale = self.stale_rejected.load(Relaxed),
+            lcount = lat.count(),
+            lmean = crate::json::num(lat.mean() / 1_000.0),
+            p50 = lat.percentile(0.50) / 1_000,
+            p95 = lat.percentile(0.95) / 1_000,
+            p99 = lat.percentile(0.99) / 1_000,
+            lmax = lat.max() / 1_000,
+            qdepth = self.queue_depth.load(Relaxed),
+            qcap = queue_capacity,
+            qhw = self.queue_high_water.load(Relaxed),
+            jenq = self.jobs_enqueued.load(Relaxed),
+            jans = self.jobs_answered.load(Relaxed),
+            batches = batches,
+            breq = batched,
+            dedup = self.deduped_requests.load(Relaxed),
+            meanb = crate::json::num(mean_batch),
+            p95b = bs.percentile(0.95),
+            maxb = bs.max(),
+            chits = cache.hits,
+            cmiss = cache.misses,
+            cevict = cache.evictions,
+            clen = cache.len,
+        )
+    }
+}

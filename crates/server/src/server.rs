@@ -1,0 +1,565 @@
+//! The gateway itself: a blocking acceptor over `std::net::TcpListener`,
+//! one handler thread per admitted connection (bounded by
+//! `max_connections` — the connection-level half of admission control),
+//! and the coalescing [`Batcher`] in between handlers and the engine.
+//!
+//! Shutdown is a drain, not an abort: admission stops, the batcher
+//! answers everything already queued, handlers finish the request they
+//! are reading, and [`Server::shutdown`] joins every thread before
+//! reporting `jobs_enqueued == jobs_answered`.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::backend::Backend;
+use crate::batcher::{Batcher, JobReply, Submit};
+use crate::error::ApiError;
+use crate::http::{read_request, write_response, ReadError, Request};
+use crate::metrics::Metrics;
+use crate::wire;
+
+/// Gateway tuning knobs. The defaults suit the integration tests; a real
+/// deployment mostly raises `max_connections` and the queue.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Most simultaneously-open client connections; the acceptor answers
+    /// 503 and closes beyond this.
+    pub max_connections: usize,
+    /// Bounded batcher admission queue (overflow → 503 `queue_full`).
+    pub queue_capacity: usize,
+    /// Most requests coalesced into one `search_batch` call (1 disables
+    /// coalescing — the bench baseline).
+    pub max_batch: usize,
+    /// Deadline applied when a request does not set one.
+    pub default_deadline_ms: u64,
+    /// Hard cap on requested deadlines.
+    pub max_deadline_ms: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Socket read timeout — also the latency with which idle keep-alive
+    /// handlers notice a drain.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: 256,
+            queue_capacity: 1024,
+            max_batch: 64,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 30_000,
+            max_body_bytes: 4 << 20,
+            read_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// What [`Server::shutdown`] reports after the drain completes.
+#[derive(Clone, Copy, Debug)]
+pub struct ShutdownReport {
+    /// Searches ever admitted to the batcher queue.
+    pub jobs_enqueued: u64,
+    /// Replies the batcher sent. Equal to `jobs_enqueued` after a clean
+    /// drain — the no-lost-request invariant.
+    pub jobs_answered: u64,
+}
+
+struct Shared {
+    backend: Arc<Backend>,
+    cfg: ServerConfig,
+    metrics: Arc<Metrics>,
+    batcher: Arc<Batcher>,
+    draining: AtomicBool,
+    active_connections: AtomicUsize,
+    started: Instant,
+}
+
+/// A running gateway; dropping it without calling
+/// [`Server::shutdown`] leaves the threads serving.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    batcher_thread: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and batcher threads, and returns once
+    /// the gateway is reachable.
+    pub fn start(backend: Backend, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let backend = Arc::new(backend);
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(
+            Arc::clone(&backend),
+            Arc::clone(&metrics),
+            cfg.queue_capacity,
+            cfg.max_batch,
+        );
+        let batcher_thread = batcher.spawn();
+        let shared = Arc::new(Shared {
+            backend,
+            cfg,
+            metrics,
+            batcher,
+            draining: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            started: Instant::now(),
+        });
+        let conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("lcdd-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            batcher_thread: Some(batcher_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway's live counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// Drains and stops: no new admissions, every queued search answered,
+    /// every thread joined.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.draining.store(true, Relaxed);
+        self.shared.batcher.begin_shutdown();
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; it checks the drain flag before serving it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+        let threads = std::mem::take(
+            &mut *self
+                .conn_threads
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for t in threads {
+            let _ = t.join();
+        }
+        ShutdownReport {
+            jobs_enqueued: self.shared.metrics.jobs_enqueued.load(Relaxed),
+            jobs_answered: self.shared.metrics.jobs_answered.load(Relaxed),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.draining.load(Relaxed) {
+                return;
+            }
+            continue;
+        };
+        if shared.draining.load(Relaxed) {
+            // The shutdown wake-up connection (or a straggler): refuse
+            // politely and stop accepting.
+            let mut stream = stream;
+            let e = ApiError::shutting_down();
+            let _ = write_response(&mut stream, e.status, &[], &e.body(), true);
+            return;
+        }
+        if shared.active_connections.load(Relaxed) >= shared.cfg.max_connections {
+            shared.metrics.rejected_connections.fetch_add(1, Relaxed);
+            let mut stream = stream;
+            let e = ApiError::queue_full(shared.cfg.max_connections);
+            let _ = write_response(&mut stream, e.status, &extra_headers(&e), &e.body(), true);
+            continue;
+        }
+        shared.active_connections.fetch_add(1, Relaxed);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("lcdd-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_shared);
+                conn_shared.active_connections.fetch_sub(1, Relaxed);
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut threads = conn_threads.lock().unwrap_or_else(PoisonError::into_inner);
+                // Reap finished handlers so the vector stays bounded on
+                // long-running servers.
+                threads.retain(|t| !t.is_finished());
+                threads.push(handle);
+            }
+            Err(_) => {
+                shared.active_connections.fetch_sub(1, Relaxed);
+            }
+        }
+    }
+}
+
+/// One keep-alive connection, served to completion.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let timeout = Duration::from_millis(shared.cfg.read_timeout_ms.max(1));
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, shared.cfg.max_body_bytes) {
+            Ok(req) => {
+                let close = req.wants_close() || shared.draining.load(Relaxed);
+                let served = handle_request(&req, shared, &mut write_half, close);
+                if close || served.is_err() {
+                    return;
+                }
+            }
+            Err(ReadError::Eof) => return,
+            Err(ReadError::Timeout) => {
+                // Idle keep-alive: linger unless the server is draining.
+                if shared.draining.load(Relaxed) {
+                    return;
+                }
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(msg)) => {
+                let e = ApiError::bad_request("malformed_request", msg);
+                shared.metrics.count_status(e.status);
+                let _ = write_response(&mut write_half, e.status, &[], &e.body(), true);
+                return;
+            }
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                let e = ApiError::bad_request(
+                    "body_too_large",
+                    format!("declared body of {declared} bytes exceeds the {limit}-byte limit"),
+                );
+                shared.metrics.count_status(e.status);
+                let _ = write_response(&mut write_half, e.status, &[], &e.body(), true);
+                return;
+            }
+        }
+    }
+}
+
+/// Headers an [`ApiError`] carries onto the wire.
+fn extra_headers(e: &ApiError) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    if let Some(s) = e.retry_after_s {
+        out.push(("Retry-After", s.to_string()));
+    }
+    if let Some(epoch) = e.current_epoch {
+        out.push(("x-lcdd-epoch", epoch.to_string()));
+    }
+    out
+}
+
+fn respond_error(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    e: &ApiError,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.count_status(e.status);
+    write_response(stream, e.status, &extra_headers(e), &e.body(), close)
+}
+
+fn respond_ok(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    extra: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.count_status(200);
+    write_response(stream, 200, extra, body, close)
+}
+
+/// Routes one parsed request. An `Err` return means the response could
+/// not be written — the connection is torn down.
+fn handle_request(
+    req: &Request,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/search") => handle_search(req, shared, stream, close),
+        ("POST", "/insert") => handle_insert(req, shared, stream, close),
+        ("POST", "/remove") => handle_remove(req, shared, stream, close),
+        ("GET", "/healthz") => handle_healthz(shared, stream, close),
+        ("GET", "/metrics") => handle_metrics(shared, stream, close),
+        ("GET", path) if path.starts_with("/snapshot/") => {
+            handle_snapshot(path, shared, stream, close)
+        }
+        ("GET", "/") => {
+            let body = format!(
+                "{{\"service\":\"lcdd-server\",\"backend\":{},\"endpoints\":[\"POST /search\",\"POST /insert\",\"POST /remove\",\"GET /healthz\",\"GET /metrics\",\"GET /snapshot/{{epoch}}\"]}}",
+                crate::json::quote(shared.backend.kind()),
+            );
+            respond_ok(stream, shared, &[], &body, close)
+        }
+        (_, path @ ("/search" | "/insert" | "/remove" | "/healthz" | "/metrics" | "/")) => {
+            respond_error(
+                stream,
+                shared,
+                &ApiError::method_not_allowed(&req.method, path),
+                close,
+            )
+        }
+        (_, path) => respond_error(stream, shared, &ApiError::not_found(path), close),
+    }
+}
+
+fn handle_search(
+    req: &Request,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.search.fetch_add(1, Relaxed);
+    let started = Instant::now();
+    let parsed = match wire::parse_search(
+        req,
+        shared.cfg.default_deadline_ms,
+        shared.cfg.max_deadline_ms,
+    ) {
+        Ok(p) => p,
+        Err(e) => return respond_error(stream, shared, &e, close),
+    };
+    let deadline = started + parsed.deadline;
+    let submitted = shared.batcher.submit(
+        parsed.query,
+        parsed.opts,
+        parsed.consistency,
+        deadline,
+        parsed.deadline_ms,
+    );
+    let rx = match submitted {
+        Submit::Enqueued(rx) => rx,
+        Submit::QueueFull => {
+            shared.metrics.rejected_queue_full.fetch_add(1, Relaxed);
+            return respond_error(
+                stream,
+                shared,
+                &ApiError::queue_full(shared.cfg.queue_capacity),
+                close,
+            );
+        }
+        Submit::ShuttingDown => {
+            shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+            return respond_error(stream, shared, &ApiError::shutting_down(), close);
+        }
+    };
+    // The batcher answers every admitted job, including expired ones; the
+    // extra grace only guards against a wedged batcher thread.
+    let grace = parsed.deadline + Duration::from_secs(1);
+    let reply = rx.recv_timeout(grace);
+    let result = match reply {
+        Ok(JobReply::Ok {
+            resp,
+            batch_id,
+            batch_size,
+            batch_unique,
+        }) => {
+            let body = wire::search_body(&resp, batch_id, batch_size, batch_unique);
+            let extra = vec![
+                ("x-lcdd-epoch", resp.epoch.to_string()),
+                ("x-lcdd-batch-id", batch_id.to_string()),
+            ];
+            respond_ok(stream, shared, &extra, &body, close)
+        }
+        Ok(JobReply::Err(e)) => respond_error(stream, shared, &e, close),
+        Err(_) => respond_error(
+            stream,
+            shared,
+            &ApiError::deadline_exceeded(parsed.deadline_ms),
+            close,
+        ),
+    };
+    shared
+        .metrics
+        .search_latency
+        .record_duration(started.elapsed());
+    result
+}
+
+fn handle_insert(
+    req: &Request,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.insert.fetch_add(1, Relaxed);
+    if shared.draining.load(Relaxed) {
+        shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+        return respond_error(stream, shared, &ApiError::shutting_down(), close);
+    }
+    let tables = match wire::parse_insert(req) {
+        Ok(t) => t,
+        Err(e) => return respond_error(stream, shared, &e, close),
+    };
+    match shared.backend.insert(tables) {
+        Ok((epoch, positions)) => {
+            let body = wire::insert_body(epoch, &positions);
+            let extra = vec![("x-lcdd-epoch", epoch.to_string())];
+            respond_ok(stream, shared, &extra, &body, close)
+        }
+        Err(e) => respond_error(stream, shared, &e, close),
+    }
+}
+
+fn handle_remove(
+    req: &Request,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.remove.fetch_add(1, Relaxed);
+    if shared.draining.load(Relaxed) {
+        shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+        return respond_error(stream, shared, &ApiError::shutting_down(), close);
+    }
+    let ids = match wire::parse_remove(req) {
+        Ok(ids) => ids,
+        Err(e) => return respond_error(stream, shared, &e, close),
+    };
+    match shared.backend.remove(&ids) {
+        Ok((epoch, removed)) => {
+            let body = wire::remove_body(epoch, removed);
+            let extra = vec![("x-lcdd-epoch", epoch.to_string())];
+            respond_ok(stream, shared, &extra, &body, close)
+        }
+        Err(e) => respond_error(stream, shared, &e, close),
+    }
+}
+
+fn handle_healthz(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.healthz.fetch_add(1, Relaxed);
+    let backend = &shared.backend;
+    let draining = shared.draining.load(Relaxed);
+    let mut body = format!(
+        "{{\"status\":{},\"backend\":{},\"epoch\":{},\"tables\":{},\"shards\":{},\"uptime_s\":{}",
+        crate::json::quote(if draining { "draining" } else { "ok" }),
+        crate::json::quote(backend.kind()),
+        backend.epoch(),
+        backend.tables(),
+        backend.shards(),
+        crate::json::num(shared.started.elapsed().as_secs_f64()),
+    );
+    if let Some(wal) = backend.wal_len() {
+        body.push_str(&format!(",\"wal_bytes\":{wal}"));
+        match backend.last_checkpoint_error() {
+            Some(e) => body.push_str(&format!(",\"checkpoint_error\":{}", crate::json::quote(&e))),
+            None => body.push_str(",\"checkpoint_error\":null"),
+        }
+    }
+    if let Some((leader_epoch_seen, lag, quarantine)) = backend.replica_health() {
+        body.push_str(&format!(
+            ",\"replica\":{{\"leader_epoch_seen\":{leader_epoch_seen},\"lag\":{lag},\"quarantined\":{}}}",
+            match quarantine {
+                Some(reason) => crate::json::quote(&reason),
+                None => "null".to_string(),
+            }
+        ));
+    }
+    body.push('}');
+    respond_ok(stream, shared, &[], &body, close)
+}
+
+fn handle_metrics(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.metrics.fetch_add(1, Relaxed);
+    let body = shared.metrics.to_json(
+        &shared.backend,
+        shared.cfg.queue_capacity,
+        shared.draining.load(Relaxed),
+    );
+    respond_ok(stream, shared, &[], &body, close)
+}
+
+/// `GET /snapshot/{epoch}`: 200 when the published epoch matches, 410
+/// for an epoch the corpus has moved past (the snapshot is gone — the
+/// store keeps state, not history), 404 for an epoch not yet published.
+fn handle_snapshot(
+    path: &str,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.snapshot.fetch_add(1, Relaxed);
+    let raw = path.trim_start_matches("/snapshot/");
+    let Ok(requested) = raw.parse::<u64>() else {
+        return respond_error(
+            stream,
+            shared,
+            &ApiError::bad_request("invalid_epoch", format!("'{raw}' is not an epoch number")),
+            close,
+        );
+    };
+    let pin = shared.backend.pin();
+    let current = pin.state.epoch();
+    if requested == current {
+        let body = format!(
+            "{{\"epoch\":{current},\"tables\":{},\"shards\":{}}}",
+            pin.state.len(),
+            pin.state.shards().len(),
+        );
+        let extra = vec![("x-lcdd-epoch", current.to_string())];
+        respond_ok(stream, shared, &extra, &body, close)
+    } else if requested < current {
+        let e = ApiError {
+            status: 410,
+            code: "epoch_gone",
+            message: format!("epoch {requested} has been superseded by {current}"),
+            retry_after_s: None,
+            current_epoch: Some(current),
+        };
+        respond_error(stream, shared, &e, close)
+    } else {
+        let e = ApiError {
+            status: 404,
+            code: "epoch_not_published",
+            message: format!("epoch {requested} is ahead of the published {current}"),
+            retry_after_s: None,
+            current_epoch: Some(current),
+        };
+        respond_error(stream, shared, &e, close)
+    }
+}

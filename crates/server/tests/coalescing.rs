@@ -1,0 +1,135 @@
+//! The tentpole invariant, asserted over the real wire: concurrent
+//! searches are coalesced into shared batches, and every response that
+//! carries the same `x-lcdd-batch-id` carries the same `epoch` — even
+//! while a writer churns the corpus and bumps the epoch underneath.
+
+mod util;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+use lcdd_server::ServerConfig;
+use lcdd_testkit::load::{insert_body, remove_body, search_body, HttpClient};
+
+fn series(i: usize) -> Vec<f64> {
+    (0..90)
+        .map(|j| ((j + i * 11) as f64 / 6.0).sin() * (i + 1) as f64)
+        .collect()
+}
+
+#[test]
+fn coalesced_batches_share_one_epoch_under_churn() {
+    let (server, _serving) = util::serving_server(8, ServerConfig::default());
+    let addr = server.addr();
+    let stop = AtomicBool::new(false);
+
+    // (batch_id, epoch, batch_size) per successful search, across all
+    // reader threads.
+    let observed: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        // A writer churning inserts/removes so the published epoch moves
+        // throughout the run.
+        let writer = scope.spawn(|| {
+            let Ok(mut c) = HttpClient::connect(addr) else {
+                return;
+            };
+            let mut i = 0u64;
+            while !stop.load(Relaxed) {
+                let id = 5_000 + (i % 20);
+                let inserting = i.is_multiple_of(2);
+                let body = if inserting {
+                    insert_body(id, &series((id % 5) as usize))
+                } else {
+                    remove_body(&[5_000 + ((i - 1) % 20)])
+                };
+                let path = if inserting { "/insert" } else { "/remove" };
+                if c.request("POST", path, &[], &body).is_err() {
+                    return;
+                }
+                i += 1;
+            }
+        });
+
+        let readers: Vec<_> = (0..8)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let Ok(mut c) = HttpClient::connect(addr) else {
+                        return out;
+                    };
+                    for i in 0..40 {
+                        // A pool of 3 hot queries: concurrent duplicates are
+                        // what the batcher dedups.
+                        let body = search_body(&[series((r + i) % 3)], 3);
+                        let Ok(resp) = c.request("POST", "/search", &[], &body) else {
+                            break;
+                        };
+                        if resp.status != 200 {
+                            continue;
+                        }
+                        let batch_id: u64 = resp
+                            .header("x-lcdd-batch-id")
+                            .and_then(|v| v.parse().ok())
+                            .expect("batch id header");
+                        let epoch: u64 = resp
+                            .header("x-lcdd-epoch")
+                            .and_then(|v| v.parse().ok())
+                            .expect("epoch header");
+                        assert_eq!(
+                            resp.json_u64("epoch"),
+                            Some(epoch),
+                            "body/header epoch mismatch"
+                        );
+                        let size = resp.json_u64("size").expect("batch size in body");
+                        out.push((batch_id, epoch, size));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for r in readers {
+            all.extend(r.join().expect("reader thread"));
+        }
+        stop.store(true, Relaxed);
+        writer.join().expect("writer thread");
+        all
+    });
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.jobs_enqueued, report.jobs_answered,
+        "drain must answer everything"
+    );
+    assert!(
+        observed.len() >= 200,
+        "expected most searches to succeed, got {}",
+        observed.len()
+    );
+
+    // The invariant: a shared batch id implies a shared epoch.
+    let mut epoch_of: HashMap<u64, u64> = HashMap::new();
+    for (batch_id, epoch, _) in &observed {
+        if let Some(prev) = epoch_of.insert(*batch_id, *epoch) {
+            assert_eq!(
+                prev, *epoch,
+                "batch {batch_id} served from two epochs ({prev} and {epoch})"
+            );
+        }
+    }
+
+    // Coalescing actually happened: some batch held more than one request.
+    let max_size = observed.iter().map(|(_, _, s)| *s).max().unwrap_or(0);
+    assert!(
+        max_size > 1,
+        "8 concurrent readers over 3 hot queries never shared a batch"
+    );
+
+    // Churn actually happened: responses span more than one epoch.
+    let mut epochs: Vec<u64> = observed.iter().map(|(_, e, _)| *e).collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    assert!(
+        epochs.len() > 1,
+        "the writer never moved the epoch during the run"
+    );
+}

@@ -1,0 +1,102 @@
+//! Graceful drain: shutdown mid-traffic answers every admitted request
+//! (`jobs_enqueued == jobs_answered`), refuses late arrivals with a
+//! typed 503, and never leaves a client holding a truncated response.
+
+mod util;
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use lcdd_server::ServerConfig;
+use lcdd_testkit::load::{search_body, HttpClient};
+
+fn series(i: usize) -> Vec<f64> {
+    (0..90)
+        .map(|j| ((j + i * 11) as f64 / 6.0).sin() * (i + 1) as f64)
+        .collect()
+}
+
+#[test]
+fn shutdown_mid_traffic_loses_no_admitted_request() {
+    let (server, _serving) = util::serving_server(
+        8,
+        ServerConfig {
+            read_timeout_ms: 200,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let ok = AtomicU64::new(0);
+    let refused = AtomicU64::new(0);
+    let cut_off = AtomicU64::new(0);
+
+    let report = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for w in 0..6 {
+            let (ok, refused, cut_off) = (&ok, &refused, &cut_off);
+            workers.push(scope.spawn(move || {
+                let Ok(mut c) = HttpClient::connect(addr) else {
+                    return;
+                };
+                for i in 0..200 {
+                    let body = search_body(&[series((w + i) % 4)], 3);
+                    match c.request("POST", "/search", &[], &body) {
+                        Ok(resp) => match resp.status {
+                            200 => {
+                                // Every 200 is complete by construction:
+                                // the client read Content-Length bytes.
+                                assert!(resp.body.contains("\"epoch\":"));
+                                ok.fetch_add(1, Relaxed);
+                            }
+                            503 | 504 => {
+                                // Typed refusal during the drain window.
+                                assert!(
+                                    resp.body.contains("shutting_down")
+                                        || resp.body.contains("queue_full")
+                                        || resp.body.contains("deadline_exceeded"),
+                                    "unexpected refusal: {}",
+                                    resp.body
+                                );
+                                refused.fetch_add(1, Relaxed);
+                            }
+                            other => panic!("unexpected status {other}: {}", resp.body),
+                        },
+                        Err(_) => {
+                            // The server closed between requests — the
+                            // drain's clean end for idle keep-alives. No
+                            // partially-written response can look like
+                            // this with status 200 (asserted above).
+                            cut_off.fetch_add(1, Relaxed);
+                            return;
+                        }
+                    }
+                }
+            }));
+        }
+        // Let traffic build, then drain while workers are mid-flight.
+        std::thread::sleep(Duration::from_millis(300));
+        let report = server.shutdown();
+        for t in workers {
+            t.join().expect("worker thread");
+        }
+        report
+    });
+
+    assert_eq!(
+        report.jobs_enqueued,
+        report.jobs_answered,
+        "drain lost {} admitted searches",
+        report.jobs_enqueued - report.jobs_answered
+    );
+    assert!(ok.load(Relaxed) > 0, "no search completed before the drain");
+
+    // After shutdown returns, the port no longer serves: a fresh client
+    // either fails to connect or gets no response.
+    if let Ok(mut c) = HttpClient::connect(addr) {
+        let resp = c.request("POST", "/search", &[], &search_body(&[series(0)], 2));
+        assert!(
+            resp.is_err() || resp.map(|r| r.status).unwrap_or(503) == 503,
+            "gateway still serving after shutdown"
+        );
+    }
+}

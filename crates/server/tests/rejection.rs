@@ -1,0 +1,162 @@
+//! Adversarial wire input: everything malformed maps to a typed 4xx
+//! error body — never a panic, never a hung connection — and the server
+//! keeps serving afterwards.
+
+mod util;
+
+use lcdd_server::ServerConfig;
+use lcdd_testkit::load::search_body;
+
+fn small_body_config() -> ServerConfig {
+    ServerConfig {
+        max_body_bytes: 2_048,
+        // Short stall detection so the byte-soup rounds stay fast.
+        read_timeout_ms: 200,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sends a request, expects a 400 with the given error code in the body.
+fn expect_400(server: &lcdd_server::Server, body: &str, want_code: &str) {
+    let mut c = util::client(server);
+    let resp = c
+        .request("POST", "/search", &[], body)
+        .unwrap_or_else(|e| panic!("no response for {want_code} case: {e}"));
+    assert_eq!(resp.status, 400, "body: {} → {}", body, resp.body);
+    assert!(
+        resp.body.contains(want_code),
+        "expected code {want_code} in {}",
+        resp.body
+    );
+}
+
+#[test]
+fn malformed_bodies_get_typed_400s_and_the_server_survives() {
+    let (server, _serving) = util::serving_server(4, small_body_config());
+
+    // The satellite checklist's rogues gallery.
+    expect_400(&server, "not json at all", "invalid_json");
+    expect_400(&server, "{\"series\":[[1,2]]", "invalid_json"); // truncated
+    expect_400(&server, "[]", "invalid_json"); // not an object
+    expect_400(&server, "{}", "missing_series");
+    expect_400(&server, "{\"series\":[]}", "invalid_series");
+    expect_400(&server, "{\"series\":[[1]]}", "invalid_series"); // 1 point
+    expect_400(&server, "{\"series\":[[1,\"x\"]]}", "invalid_series");
+    expect_400(&server, "{\"series\":[[1,1e999]]}", "invalid_json"); // inf smuggle
+    expect_400(&server, "{\"series\":[[1,2]],\"k\":0}", "invalid_k");
+    expect_400(&server, "{\"series\":[[1,2]],\"k\":-3}", "invalid_k");
+    expect_400(&server, "{\"series\":[[1,2]],\"k\":1e12}", "invalid_k");
+    expect_400(
+        &server,
+        "{\"series\":[[1,2]],\"strategy\":\"quantum\"}",
+        "invalid_strategy",
+    );
+    expect_400(
+        &server,
+        "{\"series\":[[1,2]],\"min_epoch\":1,\"max_lag\":2}",
+        "conflicting_consistency",
+    );
+    // Depth bomb: 100 nested arrays.
+    let bomb = format!("{{\"series\":{}{}}}", "[".repeat(100), "]".repeat(100));
+    expect_400(&server, &bomb, "invalid_json");
+
+    // Insert-side: ragged and empty tables.
+    {
+        let mut c = util::client(&server);
+        let ragged = r#"{"tables":[{"id":1,"columns":[{"values":[1,2]},{"values":[3]}]}]}"#;
+        let resp = c.request("POST", "/insert", &[], ragged).expect("ragged");
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("ragged_table"), "body: {}", resp.body);
+        let resp = c
+            .request("POST", "/remove", &[], r#"{"ids":"all"}"#)
+            .expect("bad ids");
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("invalid_ids"));
+    }
+
+    // Oversize body: refused from the declared Content-Length, before
+    // buffering.
+    {
+        let mut c = util::client(&server);
+        let huge = search_body(&[(0..2000).map(|i| i as f64 + 0.125).collect()], 3);
+        assert!(huge.len() > 2_048);
+        let resp = c.request("POST", "/search", &[], &huge).expect("oversize");
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("body_too_large"), "body: {}", resp.body);
+    }
+
+    // Broken framing: garbage request line, bad content-length. The
+    // server answers 400 (and closes) rather than resetting silently.
+    {
+        let mut c = util::client(&server);
+        let resp = c.raw(b"THIS IS NOT HTTP\r\n\r\n").expect("garbage line");
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("malformed_request"));
+    }
+    {
+        let mut c = util::client(&server);
+        let resp = c
+            .raw(b"POST /search HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+            .expect("bad length");
+        assert_eq!(resp.status, 400);
+    }
+    {
+        let mut c = util::client(&server);
+        let resp = c
+            .raw(b"POST /search HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .expect("chunked refused");
+        assert_eq!(resp.status, 400);
+    }
+
+    // After all of that, the gateway still serves a clean search.
+    let mut c = util::client(&server);
+    let good = search_body(
+        &[(0..90)
+            .map(|j| ((j + 11) as f64 / 6.0).sin() * 2.0)
+            .collect()],
+        2,
+    );
+    let resp = c.request("POST", "/search", &[], &good).expect("healthy");
+    assert_eq!(
+        resp.status, 200,
+        "server unhealthy after fuzz: {}",
+        resp.body
+    );
+    let report = server.shutdown();
+    assert_eq!(report.jobs_enqueued, report.jobs_answered);
+}
+
+#[test]
+fn fuzzish_random_bytes_never_crash_the_gateway() {
+    let (server, _serving) = util::serving_server(3, small_body_config());
+    // Deterministic xorshift byte soup, several shapes: pure garbage,
+    // garbage after a valid prefix, and truncated JSON bodies.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for round in 0..32 {
+        let mut c = util::client(&server);
+        let len = (next() % 200) as usize + 1;
+        let mut bytes: Vec<u8> = (0..len).map(|_| (next() % 256) as u8).collect();
+        if round % 3 == 1 {
+            let mut prefixed = b"POST /search HTTP/1.1\r\nContent-Length: ".to_vec();
+            prefixed.extend_from_slice(len.to_string().as_bytes());
+            prefixed.extend_from_slice(b"\r\n\r\n");
+            prefixed.extend_from_slice(&bytes);
+            bytes = prefixed;
+        }
+        // Any outcome except a hang is acceptable: a typed 4xx, or the
+        // server closing the connection on unparseable framing.
+        let _ = c.raw(&bytes);
+    }
+    // Still alive and correct.
+    let mut c = util::client(&server);
+    let good = search_body(&[(0..90).map(|j| (j as f64 / 6.0).sin()).collect()], 2);
+    let resp = c.request("POST", "/search", &[], &good).expect("healthy");
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}

@@ -1,0 +1,28 @@
+//! Shared setup for the gateway integration suites.
+
+// Each integration bin compiles this module separately and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use lcdd_engine::ServingEngine;
+use lcdd_server::{Backend, Server, ServerConfig};
+use lcdd_testkit::load::HttpClient;
+
+/// A gateway over a fresh in-memory serving engine; returns the serving
+/// handle too so tests can churn the corpus from the inside.
+pub fn serving_server(n_tables: usize, cfg: ServerConfig) -> (Server, Arc<ServingEngine>) {
+    let serving = Arc::new(ServingEngine::new(lcdd_testkit::tiny_engine(
+        lcdd_testkit::tiny_corpus(n_tables),
+        2,
+    )));
+    let server =
+        Server::start(Backend::Serving(Arc::clone(&serving)), cfg).expect("server must start");
+    (server, serving)
+}
+
+/// A connected client for a server.
+pub fn client(server: &Server) -> HttpClient {
+    HttpClient::connect(server.addr()).expect("client must connect")
+}

@@ -54,8 +54,8 @@ use lcdd_engine::persist::{
     self, assemble_engine, encode_batch, live_order, meta_bytes, segment_bytes, EncodedTableBatch,
 };
 use lcdd_engine::{
-    EngineError, EngineShard, EngineState, Query, SearchOptions, SearchResponse, ServingEngine,
-    DEFAULT_COMPACTION_THRESHOLD,
+    CacheStats, EngineError, EngineShard, EngineState, Query, SearchOptions, SearchResponse,
+    ServingEngine, DEFAULT_COMPACTION_THRESHOLD,
 };
 use lcdd_fcm::FcmModel;
 use lcdd_table::Table;
@@ -475,6 +475,24 @@ impl DurableEngine {
         opts: &SearchOptions,
     ) -> Result<SearchResponse, EngineError> {
         self.serving.search_at(state, query, opts)
+    }
+
+    /// Answers a batch against a pinned snapshot, through the query cache
+    /// (see [`ServingEngine::search_batch_at`] — the gateway's coalesced
+    /// single-epoch batch path).
+    pub fn search_batch_at(
+        &self,
+        state: &Arc<EngineState>,
+        queries: &[Query],
+        opts: &SearchOptions,
+    ) -> Vec<Result<SearchResponse, EngineError>> {
+        self.serving.search_batch_at(state, queries, opts)
+    }
+
+    /// Query-cache counters of the underlying serving engine (lock-free
+    /// atomics — the gateway's `/metrics` path reads them on every scrape).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.serving.cache_stats()
     }
 
     /// The currently published epoch.

@@ -23,6 +23,9 @@
 //!   scripted op sequences, store-directory snapshots as simulated crash
 //!   points, torn-write WAL variants, and the recovered-vs-serial-replay
 //!   comparator (bit-identical scores),
+//! * [`load`] — a pure-`std` keep-alive HTTP client plus a deterministic
+//!   mixed read/ingest load driver for the network gateway (testkit does
+//!   not depend on `lcdd-server`, so suites exercise the real wire),
 //! * [`repl`] — the partition/lag harness for WAL-shipping replication:
 //!   scripted fault schedules on the transport, leader-crash /
 //!   torn-tail / failover stories, and the follower-equals-leader
@@ -34,6 +37,7 @@
 
 pub mod concurrent;
 pub mod crash;
+pub mod load;
 pub mod repl;
 
 use lcdd_engine::{Engine, EngineBuilder, Query, SearchResponse};

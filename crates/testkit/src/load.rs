@@ -1,0 +1,344 @@
+//! A pure-`std` HTTP/1.1 client and load driver for exercising the
+//! gateway — testkit deliberately does not depend on `lcdd-server`, so
+//! the integration suites and `bench_server` talk to the server the same
+//! way a real client would: bytes over a `TcpStream`.
+//!
+//! The client speaks exactly the dialect the gateway emits (status line,
+//! headers, `Content-Length` body, keep-alive), and the mixed-traffic
+//! driver in [`drive_mixed`] is deterministic per worker seed so bench
+//! runs are comparable across configurations.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    /// Lowercased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of a (lowercase) header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Extracts `"field":<number>` from the JSON body — enough for
+    /// asserting on the gateway's flat response schemas without a JSON
+    /// parser in the testkit.
+    pub fn json_u64(&self, field: &str) -> Option<u64> {
+        let needle = format!("\"{field}\":");
+        let at = self.body.find(&needle)? + needle.len();
+        let rest = &self.body[at..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+}
+
+/// A keep-alive connection to the gateway.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects with a generous read timeout (load tests must never hang
+    /// forever on a lost response).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the response off the same connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<HttpResponse> {
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: lcdd\r\n");
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Writes raw bytes (malformed-input tests) and attempts to read
+    /// whatever comes back.
+    pub fn raw(&mut self, bytes: &[u8]) -> std::io::Result<HttpResponse> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line '{status_line}'"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                let k = k.trim().to_ascii_lowercase();
+                let v = v.trim().to_string();
+                if k == "content-length" {
+                    content_length = v.parse().unwrap_or(0);
+                }
+                headers.push((k, v));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}
+
+/// Body of a `/search` request over the given series (default strategy).
+pub fn search_body(series: &[Vec<f64>], k: usize) -> String {
+    search_body_with(series, k, None)
+}
+
+/// Body of a `/search` request with an explicit strategy. `"none"` scores
+/// the full corpus — what hit-identity assertions (and saturating load
+/// runs) want on the untrained test model, whose LSH stage may prune
+/// every candidate.
+pub fn search_body_with(series: &[Vec<f64>], k: usize, strategy: Option<&str>) -> String {
+    let ser: Vec<String> = series
+        .iter()
+        .map(|s| {
+            let vals: Vec<String> = s.iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    match strategy {
+        Some(st) => format!(
+            "{{\"series\":[{}],\"k\":{k},\"strategy\":\"{st}\"}}",
+            ser.join(",")
+        ),
+        None => format!("{{\"series\":[{}],\"k\":{k}}}", ser.join(",")),
+    }
+}
+
+/// Body of an `/insert` request for one single-column table.
+pub fn insert_body(id: u64, values: &[f64]) -> String {
+    let vals: Vec<String> = values.iter().map(|v| format!("{v}")).collect();
+    format!(
+        "{{\"tables\":[{{\"id\":{id},\"columns\":[{{\"name\":\"c\",\"values\":[{}]}}]}}]}}",
+        vals.join(",")
+    )
+}
+
+/// Body of a `/remove` request.
+pub fn remove_body(ids: &[u64]) -> String {
+    let idstr: Vec<String> = ids.iter().map(u64::to_string).collect();
+    format!("{{\"ids\":[{}]}}", idstr.join(","))
+}
+
+/// Shape of one mixed read/ingest load run.
+#[derive(Clone, Debug)]
+pub struct LoadSpec {
+    /// Concurrent connections (one worker thread per connection).
+    pub connections: usize,
+    /// Requests each connection issues.
+    pub requests_per_connection: usize,
+    /// Out of 100: how many requests are writes (insert/remove churn);
+    /// the rest are searches.
+    pub write_percent: u64,
+    /// Searches draw from this many distinct hot queries — small pools
+    /// create the duplicate in-flight requests coalescing collapses.
+    pub hot_queries: usize,
+    /// `k` for every search.
+    pub k: usize,
+    /// Wire strategy for every search (`None` = server default). Load
+    /// runs on the untrained test model use `Some("none")` so each query
+    /// scores the full corpus.
+    pub strategy: Option<&'static str>,
+    /// Base seed; worker `w` uses `seed + w`.
+    pub seed: u64,
+}
+
+/// Aggregate outcome of a load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadSummary {
+    pub requests: u64,
+    pub ok: u64,
+    pub rejected: u64,
+    pub errors: u64,
+    pub elapsed_s: f64,
+    /// Per-request latencies in microseconds, pooled across workers,
+    /// sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadSummary {
+    /// Queries per second over the whole run.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / self.elapsed_s
+        }
+    }
+
+    /// The `q`-quantile latency in microseconds (0 when empty).
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len());
+        self.latencies_us[rank - 1]
+    }
+}
+
+/// A deterministic xorshift step — testkit keeps the driver free of
+/// `rand` so bench workers stay cheap and reproducible.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x
+}
+
+/// The hot-query series a worker draws from: same closed form as
+/// [`crate::tiny_query`], so hot query `i` matches tiny-corpus table `i`.
+fn hot_series(i: usize) -> Vec<f64> {
+    (0..90)
+        .map(|j| ((j + i * 11) as f64 / 6.0).sin() * (i + 1) as f64)
+        .collect()
+}
+
+/// Drives mixed read/write traffic at the gateway from
+/// `spec.connections` concurrent keep-alive connections, pooling
+/// latencies and outcome counts. Write requests alternate insert/remove
+/// of a worker-owned table id range so corpus churn (and the epoch bumps
+/// that invalidate the query cache) continues for the whole run.
+pub fn drive_mixed(addr: SocketAddr, spec: &LoadSpec) -> LoadSummary {
+    let ok = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut all_latencies: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..spec.connections {
+            let (ok, rejected, errors) = (&ok, &rejected, &errors);
+            handles.push(scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(spec.requests_per_connection);
+                let Ok(mut client) = HttpClient::connect(addr) else {
+                    errors.fetch_add(spec.requests_per_connection as u64, Relaxed);
+                    return latencies;
+                };
+                let mut rng = spec.seed.wrapping_add(w as u64).wrapping_mul(2654435761) | 1;
+                // Worker-owned churn ids, far above the seeded corpus.
+                let churn_base = 1_000_000 + (w as u64) * 1_000;
+                let mut churn_next = 0u64;
+                for r in 0..spec.requests_per_connection {
+                    let roll = next_rand(&mut rng) % 100;
+                    let t0 = Instant::now();
+                    let resp = if roll < spec.write_percent {
+                        if r % 2 == 0 {
+                            let id = churn_base + (churn_next % 500);
+                            churn_next += 1;
+                            let vals = hot_series((id % 7) as usize);
+                            client.request("POST", "/insert", &[], &insert_body(id, &vals))
+                        } else {
+                            let id = churn_base + (next_rand(&mut rng) % 500);
+                            client.request("POST", "/remove", &[], &remove_body(&[id]))
+                        }
+                    } else {
+                        let hot = (next_rand(&mut rng) as usize) % spec.hot_queries.max(1);
+                        let body = search_body_with(&[hot_series(hot)], spec.k, spec.strategy);
+                        client.request("POST", "/search", &[], &body)
+                    };
+                    match resp {
+                        Ok(resp) => {
+                            latencies
+                                .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                            match resp.status {
+                                200 => ok.fetch_add(1, Relaxed),
+                                503 | 504 => rejected.fetch_add(1, Relaxed),
+                                _ => errors.fetch_add(1, Relaxed),
+                            };
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Relaxed);
+                            // The server closes on fatal errors; reconnect.
+                            match HttpClient::connect(addr) {
+                                Ok(c) => client = c,
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+                latencies
+            }));
+        }
+        for h in handles {
+            if let Ok(lat) = h.join() {
+                all_latencies.push(lat);
+            }
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let mut latencies_us: Vec<u64> = all_latencies.into_iter().flatten().collect();
+    latencies_us.sort_unstable();
+    LoadSummary {
+        requests: (spec.connections * spec.requests_per_connection) as u64,
+        ok: ok.load(Relaxed),
+        rejected: rejected.load(Relaxed),
+        errors: errors.load(Relaxed),
+        elapsed_s,
+        latencies_us,
+    }
+}

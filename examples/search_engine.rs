@@ -12,7 +12,10 @@
 //! replicate it: a `lcdd_repl::Leader` ships the WAL to a follower
 //! replica (read-your-writes via epoch tokens, zero re-encodes), the
 //! leader is killed, and the replica is elected and promoted without
-//! losing anything acknowledged.
+//! losing anything acknowledged. The finale serves the promoted store
+//! over the network through the `lcdd_server` gateway: an insert over
+//! HTTP answers with an epoch token, replaying it as `x-lcdd-min-epoch`
+//! gives read-your-writes, and shutdown drains every admitted request.
 //!
 //! ```bash
 //! cargo run --release --example search_engine
@@ -370,6 +373,65 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the new leader is live and ingesting at epoch {}",
         ranking.len(),
         new_leader.store().epoch()
+    );
+
+    // 12. Serve it over the network: the lcdd-server gateway wraps the
+    //     promoted leader's durable store behind a plain HTTP/1.1 API.
+    //     Concurrent searches are coalesced into single batch calls (one
+    //     pinned epoch per batch, duplicate in-flight queries computed
+    //     once), writes answer with an epoch token, and replaying that
+    //     token as `x-lcdd-min-epoch` gives read-your-writes.
+    use linechart_discovery::server::{Backend, Server, ServerConfig};
+    let gateway = Server::start(
+        Backend::Durable(std::sync::Arc::clone(new_leader.store())),
+        ServerConfig::default(),
+    )?;
+    println!("\ngateway listening on {}", gateway.addr());
+    let mut client = lcdd_testkit::load::HttpClient::connect(gateway.addr())?;
+    // Write over the wire; the response carries the read-your-writes token.
+    let wire_vals: Vec<f64> = (0..120)
+        .map(|i| ((i as f64 + 53.0) / 5.5).sin() * 2.0)
+        .collect();
+    let ins = client.request(
+        "POST",
+        "/insert",
+        &[],
+        &lcdd_testkit::load::insert_body(95_103, &wire_vals),
+    )?;
+    let token = ins.header("x-lcdd-epoch").expect("epoch token").to_string();
+    println!("  POST /insert -> {} (epoch token {token})", ins.status);
+    // Search pinned at-or-after the write: the new table must be visible.
+    let resp = client.request(
+        "POST",
+        "/search",
+        &[("x-lcdd-min-epoch", &token)],
+        &lcdd_testkit::load::search_body_with(&[wire_vals], 5, Some("none")),
+    )?;
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"table_id\":95103"));
+    println!(
+        "  POST /search (x-lcdd-min-epoch: {token}) -> {} at epoch {} \
+         (batch {})",
+        resp.status,
+        resp.json_u64("epoch").unwrap_or(0),
+        resp.header("x-lcdd-batch-id").unwrap_or("?"),
+    );
+    let health = client.request("GET", "/healthz", &[], "")?;
+    let metrics = client.request("GET", "/metrics", &[], "")?;
+    println!(
+        "  GET /healthz -> {}; GET /metrics -> {} ({} searches served)",
+        health.status,
+        metrics.status,
+        metrics.json_u64("search").unwrap_or(0)
+    );
+    drop(client);
+    // Graceful drain: every admitted request is answered before the
+    // listener goes away.
+    let report = gateway.shutdown();
+    assert_eq!(report.jobs_enqueued, report.jobs_answered);
+    println!(
+        "gateway drained cleanly: {}/{} admitted searches answered",
+        report.jobs_answered, report.jobs_enqueued
     );
 
     std::fs::remove_dir_all(&store_dir).ok();

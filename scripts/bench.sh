@@ -27,6 +27,10 @@ echo
 echo "== replication benches -> BENCH_repl.json =="
 cargo run --release -p lcdd-bench --bin bench_repl -- BENCH_repl.json
 
+echo
+echo "== gateway benches -> BENCH_server.json =="
+cargo run --release -p lcdd-bench --bin bench_server -- BENCH_server.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo
     echo "== criterion micro-benchmarks =="

@@ -16,6 +16,7 @@ pub use lcdd_index as index;
 pub use lcdd_nn as nn;
 pub use lcdd_relevance as relevance;
 pub use lcdd_repl as repl;
+pub use lcdd_server as server;
 pub use lcdd_store as store;
 pub use lcdd_table as table;
 pub use lcdd_tensor as tensor;
