@@ -5,6 +5,9 @@
 //! Coverage:
 //! * square matmul 64–512 — blocked/packed kernel vs the seed's skip-zero
 //!   i-k-j loop vs the naive i-j-k reference,
+//! * score-GEMM shapes — the short, wide `matmul_nt` calls the panel-packed
+//!   candidate scorer issues, timed at 1 thread vs the pool's resolved
+//!   count to regression-test the per-band-work parallel gate,
 //! * DTW — full 128×128 and Sakoe-Chiba banded at 128 and 512,
 //! * end-to-end query latency — linear-scan `search_top_k` over an encoded
 //!   repository (the path Sec. VI's indexes prune).
@@ -101,7 +104,10 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    eprintln!("[bench_kernels] pool threads: {}", pool::num_threads());
+    // Pin the pool's thread count before any parallel work: the count
+    // freezes at first `par_*` touch, so resolving it up front guarantees
+    // the value reported in the JSON is the value the benches ran with.
+    eprintln!("[bench_kernels] pool threads: {}", pool::resolve_threads());
 
     // --- matmul sweep -----------------------------------------------------
     let mut matmul_rows = Vec::new();
@@ -135,6 +141,41 @@ fn main() {
             seed_ns,
             naive_ns,
         });
+    }
+
+    // --- score-GEMM shapes (small n, large k·m) ---------------------------
+    // The panel-packed candidate scorer produces wide, short `matmul_nt`
+    // calls. The old parallel gate (`n >= 2 * MR`) left these permanently
+    // serial; the per-band-work gate splits them by column panels. Timing
+    // each shape at 1 thread vs the resolved count is the regression
+    // check: if the gate regresses to serial, the ratio collapses to ~1.
+    let resolved = pool::num_threads();
+    let mut score_gemm_rows = Vec::new();
+    for &(n, m, p) in &[(6usize, 512usize, 1024usize), (12, 300, 512), (2, 768, 768)] {
+        let a = Matrix::from_vec(
+            n,
+            m,
+            (0..n * m)
+                .map(|i| ((i * 29 + 7) % 173) as f32 / 86.0 - 1.0)
+                .collect(),
+        );
+        let b = Matrix::from_vec(
+            p,
+            m,
+            (0..p * m)
+                .map(|i| ((i * 31 + 3) % 211) as f32 / 105.0 - 1.0)
+                .collect(),
+        );
+        pool::force_threads(1);
+        let serial_ns = time_ns(|| a.matmul_nt(&b));
+        pool::force_threads(resolved);
+        let pooled_ns = time_ns(|| a.matmul_nt(&b));
+        eprintln!(
+            "[bench_kernels] score-gemm {n}x{m}x{p} (nt): 1-thread {serial_ns:>10.0} ns  \
+             {resolved}-thread {pooled_ns:>10.0} ns ({:.2}x)",
+            serial_ns / pooled_ns
+        );
+        score_gemm_rows.push((n, m, p, serial_ns, pooled_ns));
     }
 
     // --- DTW --------------------------------------------------------------
@@ -228,6 +269,17 @@ fn main() {
         1e9 / dtw_banded_512_ns
     ));
     json.push_str("  },\n");
+    json.push_str("  \"score_gemm\": [\n");
+    for (i, &(n, m, p, serial_ns, pooled_ns)) in score_gemm_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {n}, \"m\": {m}, \"p\": {p}, \"serial_ns\": {}, \"pooled_ns\": {}, \"pool_speedup\": {:.2}}}{}\n",
+            json_escape_free_number(serial_ns),
+            json_escape_free_number(pooled_ns),
+            serial_ns / pooled_ns,
+            if i + 1 < score_gemm_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"end_to_end\": {\n");
     json.push_str(&format!("    \"repo_tables\": {n_tables},\n"));
     json.push_str(&format!(

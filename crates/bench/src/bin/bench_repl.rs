@@ -233,6 +233,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_repl.json".to_string());
+    // Freeze the pool's thread count before any parallel work so the
+    // whole bench runs one configuration (see lcdd_tensor::pool docs).
+    lcdd_tensor::pool::resolve_threads();
 
     let lag: Vec<LagRow> = [1usize, 4, 16].iter().map(|&n| lag_row(n)).collect();
     let catchup: Vec<CatchupRow> = [16usize, 64, 256].iter().map(|&n| catchup_row(n)).collect();

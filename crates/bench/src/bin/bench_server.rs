@@ -167,6 +167,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_server.json".to_string());
+    // Freeze the pool's thread count before any parallel work so the
+    // whole bench runs one configuration (see lcdd_tensor::pool docs).
+    lcdd_tensor::pool::resolve_threads();
 
     let mut rows: Vec<Row> = Vec::new();
     for &(conns, rpc) in &POINTS {

@@ -9,15 +9,64 @@
 //! * live mutation — 1-table insert (delta encode + incremental index)
 //!   and removal (tombstone + compaction).
 //!
+//! Plus a 1/4/N **thread sweep** over the query path (child process per
+//! count, since the pool freezes its worker count at first touch), with
+//! hit digests asserted identical across counts.
+//!
 //! Usage: `cargo run --release -p lcdd-bench --bin bench_sharding [-- out.json]`
 //! (defaults to `BENCH_sharding.json` in the current directory).
 
 use std::time::Instant;
 
+use lcdd_bench::threadsweep::{self, HitsDigest};
 use lcdd_engine::{IndexStrategy, Query, SearchOptions};
 use lcdd_table::Table;
 use lcdd_tensor::pool;
 use lcdd_testkit::{corpus, queries_for, tiny_engine, CorpusSpec};
+
+const N_TABLES: usize = 96;
+
+fn bench_world() -> (Vec<Table>, Vec<Query>) {
+    let tables = corpus(&CorpusSpec {
+        seed: 0x5a4d,
+        n_tables: N_TABLES,
+        series_len: 120,
+        near_dup_every: 5,
+    });
+    let queries = queries_for(&tables, 16);
+    (tables, queries)
+}
+
+/// One sweep point in a re-exec'd child: hybrid/scan single-query latency
+/// and the 16-query batch over a fixed 4-shard engine.
+fn child_main() {
+    let threads = pool::resolve_threads();
+    let (tables, queries) = bench_world();
+    let engine = tiny_engine(tables, 4);
+    let hybrid = SearchOptions::top_k(10).with_strategy(IndexStrategy::Hybrid);
+    let noindex = SearchOptions::top_k(10).with_strategy(IndexStrategy::NoIndex);
+
+    let mut digest = HitsDigest::default();
+    for q in &queries {
+        let r = engine.search(q, &hybrid).expect("search");
+        for h in &r.hits {
+            digest.fold(h.table_id, h.score);
+        }
+    }
+    let query_hybrid_ms = time_ms(5, || engine.search(&queries[0], &hybrid).unwrap());
+    let query_noindex_ms = time_ms(5, || engine.search(&queries[0], &noindex).unwrap());
+    let batch16_ms = time_ms(3, || {
+        let out = engine.search_batch(&queries, &hybrid);
+        assert!(out.iter().all(|r| r.is_ok()));
+        out
+    });
+
+    println!("threads={threads}");
+    println!("query_hybrid_ms={query_hybrid_ms:.4}");
+    println!("query_noindex_ms={query_noindex_ms:.4}");
+    println!("batch16_ms={batch16_ms:.4}");
+    println!("digest={}", digest.finish());
+}
 
 /// Best-of-N wall time in milliseconds (engine operations are ms-scale, so
 /// single shots per round are stable enough).
@@ -42,19 +91,16 @@ struct Row {
 }
 
 fn main() {
+    if threadsweep::is_child() {
+        child_main();
+        return;
+    }
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_sharding.json".to_string());
-    eprintln!("[bench_sharding] pool threads: {}", pool::num_threads());
+    eprintln!("[bench_sharding] pool threads: {}", pool::resolve_threads());
 
-    const N_TABLES: usize = 96;
-    let tables = corpus(&CorpusSpec {
-        seed: 0x5a4d,
-        n_tables: N_TABLES,
-        series_len: 120,
-        near_dup_every: 5,
-    });
-    let queries: Vec<Query> = queries_for(&tables, 16);
+    let (tables, queries) = bench_world();
 
     let t = Instant::now();
     let mut engine = tiny_engine(tables.clone(), 1);
@@ -111,10 +157,40 @@ fn main() {
         });
     }
 
+    // ---- thread sweep (child process per count) --------------------------
+    let points = threadsweep::run_children();
+    let digest = threadsweep::assert_same_digest(&points);
+    for p in &points {
+        eprintln!(
+            "[bench_sharding] threads {:>2}: query(hybrid) {:>6.2} ms  \
+             query(scan) {:>6.2} ms  batch16 {:>7.2} ms",
+            p.threads,
+            p.f64("query_hybrid_ms"),
+            p.f64("query_noindex_ms"),
+            p.f64("batch16_ms"),
+        );
+    }
+    eprintln!("[bench_sharding] hits digest {digest} (identical across thread counts)");
+
     let mut json = String::from("{\n  \"group\": \"bench_sharding\",\n");
     json.push_str(&format!("  \"pool_threads\": {},\n", pool::num_threads()));
     json.push_str(&format!("  \"repo_tables\": {N_TABLES},\n"));
     json.push_str(&format!("  \"build_1shard_ms\": {build_ms:.2},\n"));
+    json.push_str("  \"thread_sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"query_hybrid_ms\": {:.3}, \"query_noindex_ms\": {:.3}, \
+             \"batch16_ms\": {:.3}, \"batch_queries_per_sec\": {:.1}}}{}\n",
+            p.threads,
+            p.f64("query_hybrid_ms"),
+            p.f64("query_noindex_ms"),
+            p.f64("batch16_ms"),
+            16_000.0 / p.f64("batch16_ms"),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"hits_digest\": \"{digest}\",\n"));
     json.push_str("  \"shard_sweep\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

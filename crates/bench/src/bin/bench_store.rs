@@ -122,6 +122,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_store.json".to_string());
+    // Freeze the pool's thread count before any parallel work so the
+    // whole bench runs one configuration (see lcdd_tensor::pool docs).
+    lcdd_tensor::pool::resolve_threads();
     let tmp = TempDir::new("bench-store");
 
     // ---- WAL append throughput ------------------------------------------

@@ -11,5 +11,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod threadsweep;
 
 pub use harness::*;

@@ -1,0 +1,140 @@
+//! Child-process thread sweeps for the bench binaries.
+//!
+//! The pool freezes its worker count at first `par_*` touch
+//! (`lcdd_tensor::pool` module docs), so a bench cannot sweep
+//! `LCDD_THREADS` inside one process: after the first measured point the
+//! env var is silently ignored and `pool_threads` in the emitted JSON
+//! lies. Every sweep point therefore runs in a **child process**: the
+//! parent re-execs its own binary with `LCDD_THREADS=<n>` and
+//! `LCDD_BENCH_CHILD=1`, and the child prints `key=value` lines on stdout
+//! (human chatter stays on stderr).
+//!
+//! Children also print a `digest` of a deterministic search's hits —
+//! `(table_id, score bits)` folded through FNV-1a — which the parent
+//! asserts equal across every thread count: the sweep measures *speed*,
+//! never *results*.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+/// Env var marking a re-exec'd sweep child.
+pub const CHILD_ENV: &str = "LCDD_BENCH_CHILD";
+
+/// True when this process is a re-exec'd sweep child and should run the
+/// child measurement instead of the full bench.
+pub fn is_child() -> bool {
+    std::env::var_os(CHILD_ENV).is_some()
+}
+
+/// The swept worker counts: 1, 4, and the host's detected parallelism
+/// (deduplicated, ascending). On a single-core host this still sweeps
+/// oversubscribed counts — thread-invariance must hold regardless of how
+/// many cores back the workers.
+pub fn sweep_counts() -> Vec<usize> {
+    let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 4, detected.min(16)];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// One sweep point: the child's thread count and its parsed `key=value`
+/// output.
+pub struct SweepPoint {
+    pub threads: usize,
+    pub fields: BTreeMap<String, String>,
+}
+
+impl SweepPoint {
+    /// Fetches a field parsed as `f64`, panicking with context on absence
+    /// — a missing field means the child protocol drifted, which should
+    /// fail the bench loudly rather than emit partial JSON.
+    pub fn f64(&self, key: &str) -> f64 {
+        self.fields
+            .get(key)
+            .unwrap_or_else(|| panic!("sweep child (threads={}) missing field {key}", self.threads))
+            .parse()
+            .unwrap_or_else(|e| panic!("sweep field {key} not a number: {e}"))
+    }
+
+    /// Fetches a raw field (e.g. the hits digest).
+    pub fn str(&self, key: &str) -> &str {
+        self.fields
+            .get(key)
+            .unwrap_or_else(|| panic!("sweep child (threads={}) missing field {key}", self.threads))
+    }
+}
+
+/// Re-execs the current binary once per sweep count with
+/// `LCDD_THREADS=<n>` + [`CHILD_ENV`] set, parsing each child's stdout
+/// `key=value` lines. Panics if a child fails — a sweep with holes is
+/// worse than no sweep.
+pub fn run_children() -> Vec<SweepPoint> {
+    let exe = std::env::current_exe().expect("current_exe");
+    sweep_counts()
+        .into_iter()
+        .map(|threads| {
+            let out = Command::new(&exe)
+                .env("LCDD_THREADS", threads.to_string())
+                .env(CHILD_ENV, "1")
+                .output()
+                .expect("spawn sweep child");
+            assert!(
+                out.status.success(),
+                "sweep child (threads={threads}) failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let fields = String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .filter_map(|l| {
+                    let (k, v) = l.split_once('=')?;
+                    Some((k.trim().to_string(), v.trim().to_string()))
+                })
+                .collect();
+            SweepPoint { threads, fields }
+        })
+        .collect()
+}
+
+/// Asserts every sweep point reported the same hits digest. Returns the
+/// shared digest for the JSON artifact.
+pub fn assert_same_digest(points: &[SweepPoint]) -> String {
+    let digest = points[0].str("digest").to_string();
+    for p in points {
+        assert_eq!(
+            p.str("digest"),
+            digest,
+            "hits digest differs at threads={} — scoring is not thread-invariant",
+            p.threads
+        );
+    }
+    digest
+}
+
+/// FNV-1a fold of `(table_id, score bits)` hit lists — the cross-process
+/// bit-identity fingerprint.
+#[derive(Clone, Copy)]
+pub struct HitsDigest(u64);
+
+impl Default for HitsDigest {
+    fn default() -> Self {
+        HitsDigest(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl HitsDigest {
+    pub fn fold(&mut self, table_id: u64, score: f32) {
+        for byte in table_id
+            .to_le_bytes()
+            .into_iter()
+            .chain(score.to_bits().to_le_bytes())
+        {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}

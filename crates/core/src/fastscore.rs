@@ -1,0 +1,430 @@
+//! Tape-free batched candidate scoring — the search hot path.
+//!
+//! [`crate::scoring::search_top_k`] and the sharded engine score one query
+//! against hundreds of cached candidate encodings. Running the matcher
+//! through the autograd tape for that is pure overhead: every node clones
+//! its inputs, allocates a backward closure, and the per-line / per-column
+//! SL-SAN projections re-derive the *query-side* values for every single
+//! candidate.
+//!
+//! [`QueryScorer`] removes both costs. At construction it hoists everything
+//! that depends only on the query: the concatenated line-segment panel, its
+//! SL-SAN query/key projections, the pooled chart embedding and its log
+//! norm. Per candidate it packs the (range-filtered) column encodings into
+//! one contiguous panel and drives the segment-relevance computation
+//! through the blocked `matmul_nt` micro-kernel as two batched score GEMMs
+//! — one `(V x K) · (T x K)ᵀ` for all lines at once, one transposed for all
+//! columns — instead of a tape node per line and column.
+//!
+//! ## Determinism
+//!
+//! Every reduction here is a fixed-order loop and every GEMM is the
+//! bit-deterministic kernel from `lcdd-tensor` (parallel band splits are
+//! proven bit-identical to the serial sweep), so a candidate's score is a
+//! pure function of `(query encodings, candidate encodings, center)` —
+//! independent of thread count, batch composition, and shard layout. That
+//! is the invariance the engine's `assert_same_hits` thread-axis suites
+//! pin. Scores agree with the tape path ([`FcmModel::match_cached_centered`])
+//! to float tolerance (the batched GEMMs may round differently in the last
+//! ulp), and the parity tests below keep the two paths locked together.
+
+use lcdd_tensor::Matrix;
+
+use crate::input::{filter_columns, ProcessedQuery};
+use crate::model::FcmModel;
+use crate::scoring::EncodedRepository;
+
+/// Row-wise softmax, in place — same max-shift / exp / divide sequence as
+/// the tape op's forward pass.
+fn softmax_rows_in_place(m: &mut Matrix) {
+    let (rows, _) = m.shape();
+    for r in 0..rows {
+        let row = m.row_mut(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+        let mut denom = 0.0;
+        for o in row.iter_mut() {
+            *o = (*o - max).exp();
+            denom += *o;
+        }
+        for o in row.iter_mut() {
+            *o /= denom;
+        }
+    }
+}
+
+/// Log-space norm `ln(||v||) = 0.5 * ln(Σv² + eps)` with the same epsilon
+/// chain as `lcdd_nn::cosine_scores`.
+fn log_norm(v: &Matrix) -> f32 {
+    let sq: f32 = v.as_slice().iter().map(|&x| x * x).sum();
+    (sq + 1e-6).max(1e-12).ln() * 0.5
+}
+
+/// Mean over all rows of the matrices in `parts`, taken in order — the
+/// value of `Var::concat_rows(parts).mean_rows()`.
+fn mean_rows_of(parts: &[&Matrix], cols: usize) -> Matrix {
+    let mut out = Matrix::zeros(1, cols);
+    let mut rows = 0usize;
+    for p in parts {
+        for r in 0..p.rows() {
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(p.row(r)) {
+                *o += x;
+            }
+        }
+        rows += p.rows();
+    }
+    assert!(rows > 0, "mean_rows: empty matrix");
+    out.scale_assign(1.0 / rows as f32);
+    out
+}
+
+/// The mean-pooling ablation's pooled representation: per-item row mean,
+/// stacked, then meaned again (`mean_pool` in [`crate::matcher`]).
+fn mean_pool_value(parts: &[&Matrix], cols: usize) -> Matrix {
+    let per_item: Vec<Matrix> = parts.iter().map(|p| mean_rows_of(&[p], cols)).collect();
+    let refs: Vec<&Matrix> = per_item.iter().collect();
+    mean_rows_of(&refs, cols)
+}
+
+/// Relevance-weighted pooling over pre-scaled attention scores: given
+/// `scores = (own·Wq)(other·Wk)ᵀ / sqrt(K)` for one pooling group, reduce
+/// `own` (n x K) to `1 x K` exactly as `relevance_pool` does on the tape.
+fn attention_pool_into(out_row: &mut [f32], own: &Matrix, scores: &Matrix) {
+    let n = own.rows();
+    debug_assert_eq!(scores.rows(), n);
+    let mut attn = scores.clone();
+    softmax_rows_in_place(&mut attn);
+    // Smooth per-row max: attention-weighted mean of the row's own scores.
+    let mut row_rel = vec![0.0f32; n];
+    for (i, rel) in row_rel.iter_mut().enumerate() {
+        *rel = attn
+            .row(i)
+            .iter()
+            .zip(scores.row(i))
+            .map(|(&a, &s)| a * s)
+            .sum();
+    }
+    // weights = softmax over the per-row relevances.
+    let max = row_rel.iter().fold(f32::NEG_INFINITY, |acc, &x| acc.max(x));
+    let mut denom = 0.0;
+    for w in row_rel.iter_mut() {
+        *w = (*w - max).exp();
+        denom += *w;
+    }
+    for o in out_row.iter_mut() {
+        *o = 0.0;
+    }
+    for (i, &w) in row_rel.iter().enumerate() {
+        let w = w / denom;
+        for (o, &x) in out_row.iter_mut().zip(own.row(i)) {
+            *o += w * x;
+        }
+    }
+}
+
+/// One query's hoisted state for scoring many candidates.
+///
+/// Build once per query (after `FcmModel::encode_query_values`), then call
+/// [`QueryScorer::score_table`] for each candidate — from any thread; the
+/// scorer is `Sync` and scoring is read-only.
+pub struct QueryScorer<'a> {
+    model: &'a FcmModel,
+    /// Per-line segment encodings (`V_i x K` each), borrowed from the caller.
+    ev: &'a [Matrix],
+    /// Row span of each line inside the concatenated panel.
+    line_spans: Vec<(usize, usize)>,
+    /// SL-SAN query projection of all line segments (`V x K`); `None` in
+    /// the mean-pooling ablation.
+    q_sl_v: Option<Matrix>,
+    /// SL-SAN key projection of all line segments (`V x K`) — the keys the
+    /// candidate's columns attend over.
+    k_sl_v: Option<Matrix>,
+    /// Ablation only: `mean_pool(ev)`.
+    v_mean_pooled: Option<Matrix>,
+    /// Mean over all line-segment rows (`1 x K`) — the cosine-term chart
+    /// embedding.
+    v_pooled: Matrix,
+    /// `ln(||v_pooled||)`, hoisted out of the per-candidate cosine.
+    qn: f32,
+    /// `1 / sqrt(K)` attention scale.
+    scale: f32,
+}
+
+impl<'a> QueryScorer<'a> {
+    /// Hoists all query-side computation. `ev` must be non-empty (the
+    /// caller's empty-query short-circuit runs before scoring).
+    pub fn new(model: &'a FcmModel, ev: &'a [Matrix]) -> Self {
+        assert!(!ev.is_empty(), "QueryScorer: no query lines");
+        let k = model.config.embed_dim;
+        let refs: Vec<&Matrix> = ev.iter().collect();
+        let ev_concat = Matrix::concat_rows(&refs);
+        let mut line_spans = Vec::with_capacity(ev.len());
+        let mut acc = 0;
+        for m in ev {
+            line_spans.push((acc, m.rows()));
+            acc += m.rows();
+        }
+        let (q_sl_v, k_sl_v, v_mean_pooled) = match &model.matcher.sl_proj {
+            Some((wq, wk)) => (
+                Some(wq.forward_value(&model.store, &ev_concat)),
+                Some(wk.forward_value(&model.store, &ev_concat)),
+                None,
+            ),
+            None => (None, None, Some(mean_pool_value(&refs, k))),
+        };
+        let v_pooled = mean_rows_of(&refs, k);
+        let qn = log_norm(&v_pooled);
+        QueryScorer {
+            model,
+            ev,
+            line_spans,
+            q_sl_v,
+            k_sl_v,
+            v_mean_pooled,
+            v_pooled,
+            qn,
+            scale: 1.0 / (k as f32).sqrt(),
+        }
+    }
+
+    /// Scores the query against one cached repository table, with the same
+    /// column range filter and centering semantics as
+    /// `scoring::score_against_centered`.
+    pub fn score_table(
+        &self,
+        repo: &EncodedRepository,
+        query: &ProcessedQuery,
+        table_idx: usize,
+        pooled_mean: &Matrix,
+    ) -> f32 {
+        let pt = &repo.tables[table_idx];
+        let cols = filter_columns(pt, query.y_range, self.model.config.range_slack);
+        let et: Vec<&Matrix> = cols
+            .iter()
+            .map(|&c| &repo.encodings[table_idx][c])
+            .collect();
+        if et.is_empty() {
+            return 0.0;
+        }
+        self.score_encodings_centered(&et, pooled_mean)
+    }
+
+    /// Raw relevance score against one candidate's column encodings,
+    /// centered on `t_center`. Equals
+    /// `FcmModel::match_cached_centered(ev, et, Some(t_center))` to float
+    /// tolerance.
+    pub fn score_encodings_centered(&self, et: &[&Matrix], t_center: &Matrix) -> f32 {
+        match self.score_encodings(et) {
+            Some(head_logit) => pooled_logit_to_score(head_logit, t_center, self, et),
+            None => 0.0,
+        }
+    }
+
+    /// The matcher head's logit for `et` (everything except the cosine
+    /// alignment term, which depends on the centering reference).
+    fn score_encodings(&self, et: &[&Matrix]) -> Option<f32> {
+        if et.is_empty() {
+            return None;
+        }
+        let model = self.model;
+        let k = model.config.embed_dim;
+        let (v_rep, t_rep) = match (&model.matcher.sl_proj, &model.matcher.ll_proj) {
+            (Some((wq, wk)), Some(ll)) => {
+                // Pack the candidate's columns into one contiguous panel so
+                // both SL-SAN projections and both score GEMMs are single
+                // kernel calls over the whole candidate.
+                let panel_storage;
+                let panel: &Matrix = if et.len() == 1 {
+                    et[0]
+                } else {
+                    panel_storage = Matrix::concat_rows(et);
+                    &panel_storage
+                };
+                let mut col_spans = Vec::with_capacity(et.len());
+                let mut acc = 0;
+                for m in et {
+                    col_spans.push((acc, m.rows()));
+                    acc += m.rows();
+                }
+                let q_t = wq.forward_value(&model.store, panel);
+                let k_t = wk.forward_value(&model.store, panel);
+                let q_v = self.q_sl_v.as_ref().expect("hcman hoist");
+                let k_v = self.k_sl_v.as_ref().expect("hcman hoist");
+
+                // Batched score GEMMs: every line's (and every column's)
+                // attention scores in one matmul_nt against the packed panel.
+                let mut scores_v = q_v.matmul_nt(&k_t); // V x T
+                scores_v.scale_assign(self.scale);
+                let mut scores_t = q_t.matmul_nt(k_v); // T x V
+                scores_t.scale_assign(self.scale);
+
+                // SL-SAN: reconstruct each line / column from its own
+                // segments, weighted by cross-modal segment relevance.
+                let mut lines_mat = Matrix::zeros(self.ev.len(), k);
+                for (i, &(start, len)) in self.line_spans.iter().enumerate() {
+                    let s = scores_v.slice_rows(start, start + len);
+                    attention_pool_into(lines_mat.row_mut(i), &self.ev[i], &s);
+                }
+                let mut cols_mat = Matrix::zeros(et.len(), k);
+                for (j, &(start, len)) in col_spans.iter().enumerate() {
+                    let s = scores_t.slice_rows(start, start + len);
+                    attention_pool_into(cols_mat.row_mut(j), et[j], &s);
+                }
+
+                // LL-SAN: chart from its lines, table from its columns.
+                let q_l = ll.0.forward_value(&model.store, &lines_mat);
+                let k_l = ll.1.forward_value(&model.store, &lines_mat);
+                let q_c = ll.0.forward_value(&model.store, &cols_mat);
+                let k_c = ll.1.forward_value(&model.store, &cols_mat);
+                let mut s_v = q_l.matmul_nt(&k_c);
+                s_v.scale_assign(self.scale);
+                let mut s_t = q_c.matmul_nt(&k_l);
+                s_t.scale_assign(self.scale);
+                let mut v_rep = Matrix::zeros(1, k);
+                attention_pool_into(v_rep.row_mut(0), &lines_mat, &s_v);
+                let mut t_rep = Matrix::zeros(1, k);
+                attention_pool_into(t_rep.row_mut(0), &cols_mat, &s_t);
+                (v_rep, t_rep)
+            }
+            _ => (
+                self.v_mean_pooled.as_ref().expect("ablation hoist").clone(),
+                mean_pool_value(et, k),
+            ),
+        };
+        let v_rep = model.matcher.v_norm.forward_value(&model.store, &v_rep);
+        let t_rep = model.matcher.t_norm.forward_value(&model.store, &t_rep);
+        // joint = [v, t, v*t, (v-t)^2], 1 x 4K.
+        let mut joint = Vec::with_capacity(4 * k);
+        joint.extend_from_slice(v_rep.as_slice());
+        joint.extend_from_slice(t_rep.as_slice());
+        joint.extend(
+            v_rep
+                .as_slice()
+                .iter()
+                .zip(t_rep.as_slice())
+                .map(|(&v, &t)| v * t),
+        );
+        joint.extend(
+            v_rep
+                .as_slice()
+                .iter()
+                .zip(t_rep.as_slice())
+                .map(|(&v, &t)| {
+                    let d = v - t;
+                    d * d
+                }),
+        );
+        let joint = Matrix::from_vec(1, 4 * k, joint);
+        Some(
+            model
+                .matcher
+                .head
+                .forward_value(&model.store, &joint)
+                .get(0, 0),
+        )
+    }
+}
+
+/// Adds the centered cosine alignment term to the head logit and squashes:
+/// `sigmoid(head + w * cos(v_pooled, t_pooled - center))`.
+fn pooled_logit_to_score(
+    head_logit: f32,
+    t_center: &Matrix,
+    scorer: &QueryScorer<'_>,
+    et: &[&Matrix],
+) -> f32 {
+    let k = scorer.model.config.embed_dim;
+    let t_pooled = mean_rows_of(et, k);
+    let t_centered = t_pooled.zip(t_center, |x, y| x - y);
+    let dot: f32 = scorer
+        .v_pooled
+        .as_slice()
+        .iter()
+        .zip(t_centered.as_slice())
+        .map(|(&q, &c)| q * c)
+        .sum();
+    let cn = log_norm(&t_centered);
+    let inv = (-(scorer.qn + cn)).exp();
+    let cos = dot * inv;
+    let w = scorer
+        .model
+        .store
+        .value(scorer.model.matcher.sim_weight)
+        .get(0, 0);
+    let logit = head_logit + cos * w;
+    1.0 / (1.0 + (-logit).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FcmConfig;
+    use lcdd_tensor::Matrix;
+
+    fn reps(n: usize, rows: usize, k: usize, seed: f32) -> Vec<Matrix> {
+        (0..n)
+            .map(|i| {
+                Matrix::from_vec(
+                    rows,
+                    k,
+                    (0..rows * k)
+                        .map(|j| ((j as f32 + seed + i as f32) * 0.37).sin() * 0.3)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn parity_case(hcman: bool, n_lines: usize, n_cols: usize) {
+        let mut cfg = FcmConfig::tiny();
+        cfg.hcman_enabled = hcman;
+        let model = FcmModel::new(cfg);
+        let k = model.config.embed_dim;
+        let ev = reps(n_lines, 4, k, 0.0);
+        let et = reps(n_cols, 5, k, 7.0);
+        let center = Matrix::from_vec(
+            1,
+            k,
+            (0..k).map(|j| (j as f32 * 0.11).cos() * 0.05).collect(),
+        );
+
+        let tape_score = model.match_cached_centered(&ev, &et, Some(&center));
+        let scorer = QueryScorer::new(&model, &ev);
+        let et_refs: Vec<&Matrix> = et.iter().collect();
+        let fast_score = scorer.score_encodings_centered(&et_refs, &center);
+        assert!(
+            (tape_score - fast_score).abs() < 1e-5,
+            "hcman={hcman} lines={n_lines} cols={n_cols}: tape {tape_score} vs fast {fast_score}"
+        );
+    }
+
+    #[test]
+    fn fast_path_matches_tape_path_hcman() {
+        parity_case(true, 1, 1);
+        parity_case(true, 2, 3);
+        parity_case(true, 5, 7);
+    }
+
+    #[test]
+    fn fast_path_matches_tape_path_ablation() {
+        parity_case(false, 1, 1);
+        parity_case(false, 3, 2);
+    }
+
+    #[test]
+    fn scoring_is_deterministic_across_repeats() {
+        let model = FcmModel::new(FcmConfig::tiny());
+        let k = model.config.embed_dim;
+        let ev = reps(3, 4, k, 1.0);
+        let et = reps(4, 5, k, 9.0);
+        let center = Matrix::zeros(1, k);
+        let scorer = QueryScorer::new(&model, &ev);
+        let et_refs: Vec<&Matrix> = et.iter().collect();
+        let a = scorer.score_encodings_centered(&et_refs, &center);
+        let b = scorer.score_encodings_centered(&et_refs, &center);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // A fresh scorer over the same inputs reproduces the same bits too.
+        let scorer2 = QueryScorer::new(&model, &ev);
+        let c = scorer2.score_encodings_centered(&et_refs, &center);
+        assert_eq!(a.to_bits(), c.to_bits());
+    }
+}

@@ -22,11 +22,14 @@
 //! Ablations from the paper are config switches: `hcman_enabled = false`
 //! gives FCM-HCMAN (Table V), `da_enabled = false` gives FCM-DA (Table VI).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod chart_encoder;
 pub mod config;
 pub mod da;
 pub mod dataset_encoder;
 pub mod error;
+pub mod fastscore;
 pub mod input;
 pub mod matcher;
 pub mod model;
@@ -37,6 +40,7 @@ pub mod trainer;
 
 pub use config::FcmConfig;
 pub use error::EngineError;
+pub use fastscore::QueryScorer;
 pub use input::{
     column_to_segments, line_to_patches, process_query, process_table, ProcessedQuery,
     ProcessedTable,

@@ -22,20 +22,22 @@ use crate::config::FcmConfig;
 #[derive(Clone, Debug)]
 pub struct CrossModalMatcher {
     /// Segment-level query/key projections (SL-SAN); `None` in the ablation.
-    sl_proj: Option<(Linear, Linear)>,
+    /// `pub(crate)` so the tape-free scorer ([`crate::fastscore`]) can run
+    /// the same projections without recording gradients.
+    pub(crate) sl_proj: Option<(Linear, Linear)>,
     /// Line-to-column level projections (LL-SAN); `None` in the ablation.
-    ll_proj: Option<(Linear, Linear)>,
+    pub(crate) ll_proj: Option<(Linear, Linear)>,
     /// Norms on the pooled chart/table representations: the pre-norm
     /// transformer stacks have unbounded output magnitude, which would
     /// saturate the sigmoid head.
-    v_norm: LayerNorm,
-    t_norm: LayerNorm,
-    head: Mlp,
+    pub(crate) v_norm: LayerNorm,
+    pub(crate) t_norm: LayerNorm,
+    pub(crate) head: Mlp,
     /// Learnable weight of the direct correlation term added to the head's
     /// logit: `logit = head(...) + w * corr(v, t)`. The correlation of the
     /// normalised pooled representations gives ranking direct access to the
     /// encoder alignment the contrastive objective trains.
-    sim_weight: ParamId,
+    pub(crate) sim_weight: ParamId,
 }
 
 /// Relevance-weighted pooling: reduces `own` (n x K) to `1 x K` using

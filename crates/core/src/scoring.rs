@@ -7,7 +7,8 @@
 use lcdd_table::Table;
 use lcdd_tensor::{pool, Matrix};
 
-use crate::input::{filter_columns, process_table, ProcessedQuery, ProcessedTable};
+use crate::fastscore::QueryScorer;
+use crate::input::{process_table, ProcessedQuery, ProcessedTable};
 use crate::model::FcmModel;
 
 /// A repository with cached dataset-encoder outputs.
@@ -163,16 +164,10 @@ pub fn score_against_centered(
     table_idx: usize,
     pooled_mean: &Matrix,
 ) -> f32 {
-    let pt = &repo.tables[table_idx];
-    let cols = filter_columns(pt, query.y_range, model.config.range_slack);
-    let et: Vec<Matrix> = cols
-        .iter()
-        .map(|&c| repo.encodings[table_idx][c].clone())
-        .collect();
-    if et.is_empty() || ev.is_empty() {
+    if ev.is_empty() {
         return 0.0;
     }
-    model.match_cached_centered(ev, &et, Some(pooled_mean))
+    QueryScorer::new(model, ev).score_table(repo, query, table_idx, pooled_mean)
 }
 
 /// Top-k search over the repository (or a candidate subset), parallelised.
@@ -192,10 +187,15 @@ pub fn search_top_k(
         Some(c) => c.to_vec(),
         None => (0..repo.len()).collect(),
     };
+    // One scorer for the whole scan: the query-side SL-SAN projections and
+    // cosine hoists are computed once, then every candidate is scored
+    // tape-free in parallel. Per-candidate scoring is a pure function of
+    // (query, candidate, center), so the fan-out is thread-count invariant.
+    let scorer = QueryScorer::new(model, &ev);
     let mut scored: Vec<(usize, f32)> = pool::par_map(&indices, |&ti| {
-        (ti, score_against(model, repo, &ev, query, ti))
+        (ti, scorer.score_table(repo, query, ti, &repo.pooled_mean))
     });
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.truncate(k);
     scored
 }

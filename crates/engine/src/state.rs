@@ -20,9 +20,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use lcdd_chart::{render, ChartStyle};
-use lcdd_fcm::scoring::score_against_centered;
 use lcdd_fcm::{
     encode_tables, pooled_mean_of, process_query, EngineError, FcmModel, ProcessedQuery,
+    QueryScorer,
 };
 use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
 use lcdd_table::Table;
@@ -398,13 +398,16 @@ impl EngineState {
 
         // Scoring runs in one flat parallel pass over every surviving
         // candidate, so a single-shard engine loses no parallelism and an
-        // imbalanced shard cannot straggle the whole query.
+        // imbalanced shard cannot straggle the whole query. The scorer
+        // hoists the query-side work once; each candidate is then a
+        // tape-free panel-packed pass whose result depends only on
+        // (query, candidate, center) — never on which worker ran it — so
+        // hits are bit-identical across thread counts and shard layouts.
         let t = Instant::now();
+        let scorer = QueryScorer::new(model, &ev);
         let scored: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
-            score_against_centered(
-                model,
+            scorer.score_table(
                 &self.shards[s as usize].repo,
-                &ev,
                 &pq,
                 l as usize,
                 &self.pooled_mean,
@@ -526,10 +529,8 @@ impl EngineState {
         }
         let ev = model.encode_query_values(&pq);
         let (s, l) = self.order[index];
-        Ok(score_against_centered(
-            model,
+        Ok(QueryScorer::new(model, &ev).score_table(
             &self.shards[s as usize].repo,
-            &ev,
             &pq,
             l as usize,
             &self.pooled_mean,

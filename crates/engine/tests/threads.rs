@@ -1,0 +1,118 @@
+//! Thread-count invariance: the `assert_same_hits` suites with a thread
+//! axis. Search results — hits, order, provenance counts, and score *bits*
+//! — must be identical whether the pool runs 1, 2, 4 or 8 workers.
+//!
+//! Why this holds by construction: per-candidate scoring
+//! (`QueryScorer::score_table`) is a pure function of
+//! `(query encodings, candidate encodings, center)`; `pool::par_map`
+//! assigns disjoint index ranges and writes results back by position; and
+//! the parallel matmul band splits inside the kernels are proven
+//! bit-identical to the serial sweep in `lcdd-tensor`'s own tests. A data
+//! race, a worker-dependent accumulation order, or a non-aligned band
+//! split would all surface here as a score-bit diff.
+//!
+//! `pool::force_threads` mutates process-global state, so every test takes
+//! `THREAD_LOCK` and the sweep runs inside one test body rather than
+//! across tests.
+
+use std::sync::Mutex;
+
+use lcdd_engine::{IndexStrategy, Query, SearchOptions};
+use lcdd_tensor::pool;
+use lcdd_testkit::{
+    assert_same_hits_bitwise, corpus, query_like, tiny_corpus, tiny_engine, tiny_query, CorpusSpec,
+};
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// The swept worker counts: serial baseline, a mid split, and two
+/// oversubscribed counts (the CI runner may have a single core — the
+/// invariance must hold regardless of how many workers actually run).
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn search_hits_bit_identical_across_thread_counts() {
+    let _g = THREAD_LOCK.lock().unwrap();
+    let tables = corpus(&CorpusSpec::sized(42, 8));
+    let engine = tiny_engine(tables.clone(), 3);
+    let queries = [query_like(&tables[0]), query_like(&tables[5])];
+    let opts: Vec<SearchOptions> = IndexStrategy::ALL
+        .iter()
+        .map(|&s| SearchOptions::top_k(5).with_strategy(s))
+        .collect();
+
+    pool::force_threads(SWEEP[0]);
+    let baseline: Vec<Vec<_>> = queries
+        .iter()
+        .map(|q| opts.iter().map(|o| engine.search(q, o).unwrap()).collect())
+        .collect();
+
+    for &threads in &SWEEP[1..] {
+        pool::force_threads(threads);
+        for (qi, q) in queries.iter().enumerate() {
+            for (oi, o) in opts.iter().enumerate() {
+                let r = engine.search(q, o).unwrap();
+                assert_same_hits_bitwise(
+                    &format!(
+                        "threads {threads}, query {qi}, strategy {:?}",
+                        IndexStrategy::ALL[oi]
+                    ),
+                    &baseline[qi][oi],
+                    &r,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn search_batch_bit_identical_across_thread_counts() {
+    let _g = THREAD_LOCK.lock().unwrap();
+    let engine = tiny_engine(tiny_corpus(7), 2);
+    let queries: Vec<Query> = (0..4).map(tiny_query).collect();
+    let opts = SearchOptions::top_k(4);
+
+    pool::force_threads(SWEEP[0]);
+    let baseline = engine.search_batch(&queries, &opts);
+
+    for &threads in &SWEEP[1..] {
+        pool::force_threads(threads);
+        let swept = engine.search_batch(&queries, &opts);
+        assert_eq!(baseline.len(), swept.len());
+        for (qi, (a, b)) in baseline.iter().zip(&swept).enumerate() {
+            assert_same_hits_bitwise(
+                &format!("threads {threads}, batch query {qi}"),
+                a.as_ref().unwrap(),
+                b.as_ref().unwrap(),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharding_and_threading_compose_bitwise() {
+    // The two layout axes at once: every (shard count, thread count) cell
+    // must agree with the single-shard single-thread corner bit-for-bit.
+    let _g = THREAD_LOCK.lock().unwrap();
+    let tables = corpus(&CorpusSpec::sized(7, 6));
+    let q = query_like(&tables[2]);
+    let opts = SearchOptions::top_k(6).with_strategy(IndexStrategy::NoIndex);
+
+    pool::force_threads(1);
+    let mono = tiny_engine(tables.clone(), 1);
+    let baseline = mono.search(&q, &opts).unwrap();
+
+    for n_shards in [1usize, 3, 5] {
+        let engine = tiny_engine(tables.clone(), n_shards);
+        for &threads in &SWEEP {
+            pool::force_threads(threads);
+            let r = engine.search(&q, &opts).unwrap();
+            assert_same_hits_bitwise(
+                &format!("{n_shards} shards, {threads} threads"),
+                &baseline,
+                &r,
+            );
+        }
+    }
+    pool::force_threads(1);
+}

@@ -1,6 +1,6 @@
 //! Layer normalisation with learnable affine parameters.
 
-use lcdd_tensor::{init, ParamId, ParamStore, Tape, Var};
+use lcdd_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
 
 use crate::module::scoped;
 
@@ -40,6 +40,32 @@ impl LayerNorm {
         let beta = store.leaf(tape, self.beta);
         x.layer_norm(&gamma, &beta, self.eps)
     }
+
+    /// Value-level forward (no tape): per-row mean/var/normalise in the
+    /// same accumulation order as [`Var::layer_norm`]'s forward pass, so
+    /// the output is bit-identical to [`LayerNorm::forward`]'s value.
+    pub fn forward_value(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.dim,
+            "LayerNorm::forward_value: width mismatch"
+        );
+        let gm = store.value(self.gamma);
+        let bt = store.value(self.beta);
+        let (rows, cols) = x.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / cols as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            for (c, &xv) in row.iter().enumerate() {
+                let xh = (xv - mean) * istd;
+                out.set(r, c, gm.get(0, c) * xh + bt.get(0, c));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -61,6 +87,20 @@ mod tests {
         for r in 0..2 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
             assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn forward_value_bit_identical_to_tape_forward() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 6);
+        let x = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.37).cos()).collect());
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let taped = ln.forward(&store, &tape, &xv).value();
+        let valued = ln.forward_value(&store, &x);
+        for (a, b) in taped.as_slice().iter().zip(valued.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

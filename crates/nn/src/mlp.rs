@@ -1,6 +1,6 @@
 //! Multi-layer perceptron.
 
-use lcdd_tensor::{ParamStore, Tape, Var};
+use lcdd_tensor::{Matrix, ParamStore, Tape, Var};
 use rand::Rng;
 
 use crate::linear::Linear;
@@ -71,6 +71,17 @@ impl Mlp {
         }
         h
     }
+
+    /// Value-level forward (no tape), bit-identical to [`Mlp::forward`]'s
+    /// output value.
+    pub fn forward_value(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].forward_value(store, x);
+        for layer in &self.layers[1..] {
+            h = self.activation.apply_matrix(&h);
+            h = layer.forward_value(store, &h);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +101,21 @@ mod tests {
         let tape = Tape::new();
         let x = tape.leaf(Matrix::zeros(3, 4));
         assert_eq!(mlp.forward(&store, &tape, &x).shape(), (3, 2));
+    }
+
+    #[test]
+    fn forward_value_bit_identical_to_tape_forward() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[6, 9, 4, 1], Activation::Relu);
+        let x = Matrix::from_vec(5, 6, (0..30).map(|i| (i as f32 * 0.13).sin()).collect());
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let taped = mlp.forward(&store, &tape, &xv).value();
+        let valued = mlp.forward_value(&store, &x);
+        for (a, b) in taped.as_slice().iter().zip(valued.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

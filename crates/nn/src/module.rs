@@ -1,6 +1,6 @@
 //! Shared layer plumbing: activation functions and naming helpers.
 
-use lcdd_tensor::Var;
+use lcdd_tensor::{Matrix, Var};
 
 /// Activation functions used across the model zoo.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,6 +23,20 @@ impl Activation {
             Activation::LeakyRelu(a) => x.leaky_relu(a),
             Activation::Sigmoid => x.sigmoid(),
             Activation::Tanh => x.tanh_var(),
+        }
+    }
+
+    /// Value-level application (no tape). Each arm computes exactly the
+    /// same elementwise function as the corresponding [`Var`] op's forward
+    /// pass, so inference paths built on this are bit-identical to the
+    /// tape path.
+    pub fn apply_matrix(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::LeakyRelu(a) => x.map(|v| if v > 0.0 { v } else { a * v }),
+            Activation::Sigmoid => x.map(|v| 1.0 / (1.0 + (-v).exp())),
+            Activation::Tanh => x.map(f32::tanh),
         }
     }
 }

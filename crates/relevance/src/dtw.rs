@@ -1,5 +1,75 @@
 //! Dynamic time warping (paper Sec. III-A uses DTW to define the low-level
 //! relevance between a chart's data series and a table column).
+//!
+//! ## SIMD structure
+//!
+//! The DP recurrence `curr[j] = cost(i,j) + min(prev[j], prev[j-1],
+//! curr[j-1])` carries a serial dependency through `curr[j-1]`, which blocks
+//! vectorization of the whole row. But two of its three ingredients do not:
+//! the local cost `|a_i - b_{j-1}|` and the diagonal/vertical minimum
+//! `min(prev[j], prev[j-1])` are elementwise over the row. The inner loops
+//! here are therefore split into two data-parallel sweeps the compiler
+//! auto-vectorizes (8 f64 lanes under AVX-512, 4 under AVX2), followed by a
+//! short sequential combine that only does one `min` + one `add` per cell.
+//!
+//! `f64::min` is exact and order-insensitive for our inputs (no NaNs; band
+//! edges are `INFINITY`), so the split evaluates the recurrence with the
+//! same roundings in the same order — results are bit-identical to the
+//! fused scalar loop (pinned by `split_loops_match_fused_reference`).
+
+/// Scratch for the split inner loops, reused across DP rows to keep the
+/// hot loop allocation-free.
+struct RowScratch {
+    /// `cost[t] = |a_i - b[j_lo - 1 + t]|`
+    cost: Vec<f64>,
+    /// `diag_min[t] = min(prev[j], prev[j - 1])` for `j = j_lo + t`
+    diag_min: Vec<f64>,
+}
+
+impl RowScratch {
+    fn new(m: usize) -> Self {
+        RowScratch {
+            cost: vec![0.0; m],
+            diag_min: vec![0.0; m],
+        }
+    }
+
+    /// Computes `curr[j_lo..=j_hi]` from `prev` for row value `ai`.
+    /// `curr[j_lo - 1]` must already hold the row's left boundary value.
+    #[inline]
+    fn advance(
+        &mut self,
+        ai: f64,
+        b: &[f64],
+        prev: &[f64],
+        curr: &mut [f64],
+        j_lo: usize,
+        j_hi: usize,
+    ) {
+        let w = j_hi + 1 - j_lo;
+        let cost = &mut self.cost[..w];
+        let diag = &mut self.diag_min[..w];
+        // Data-parallel sweeps (auto-vectorized): local cost ...
+        for (c, &bv) in cost.iter_mut().zip(&b[j_lo - 1..j_hi]) {
+            *c = (ai - bv).abs();
+        }
+        // ... and the vertical/diagonal minimum of the previous row.
+        for ((d, &up), &up_left) in diag
+            .iter_mut()
+            .zip(&prev[j_lo..=j_hi])
+            .zip(&prev[j_lo - 1..j_hi])
+        {
+            *d = up.min(up_left);
+        }
+        // Sequential combine: the only loop-carried dependency.
+        let mut left = curr[j_lo - 1];
+        for (j, (&c, &d)) in (j_lo..=j_hi).zip(cost.iter().zip(diag.iter())) {
+            let v = c + d.min(left);
+            curr[j] = v;
+            left = v;
+        }
+    }
+}
 
 /// Full O(n·m) DTW with absolute-difference local cost and a rolling DP row.
 pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
@@ -13,13 +83,11 @@ pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
     let m = b.len();
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
+    let mut scratch = RowScratch::new(m);
     prev[0] = 0.0;
     for &ai in a {
         curr[0] = f64::INFINITY;
-        for j in 1..=m {
-            let cost = (ai - b[j - 1]).abs();
-            curr[j] = cost + prev[j].min(prev[j - 1]).min(curr[j - 1]);
-        }
+        scratch.advance(ai, b, &prev, &mut curr, 1, m);
         std::mem::swap(&mut prev, &mut curr);
     }
     prev[m]
@@ -42,6 +110,7 @@ pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
     let band = band.max(n.abs_diff(m)) + 1;
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
+    let mut scratch = RowScratch::new(m);
     prev[0] = 0.0;
     for i in 1..=n {
         let center = (i as f64 * scale).round() as isize;
@@ -55,9 +124,8 @@ pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
         for c in curr.iter_mut().take(m + 1).skip(j_hi + 1) {
             *c = f64::INFINITY;
         }
-        for j in j_lo..=j_hi {
-            let cost = (a[i - 1] - b[j - 1]).abs();
-            curr[j] = cost + prev[j].min(prev[j - 1]).min(curr[j - 1]);
+        if j_lo <= j_hi {
+            scratch.advance(a[i - 1], b, &prev, &mut curr, j_lo, j_hi);
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -116,6 +184,58 @@ mod tests {
         // With a huge band, banded equals full.
         let wide = dtw_distance_banded(&a, &b, 64);
         assert!((wide - full).abs() < 1e-9);
+    }
+
+    /// The pre-split fused scalar recurrence, kept as the bit-exactness
+    /// reference for the vectorized row sweeps.
+    fn fused_reference(a: &[f64], b: &[f64]) -> f64 {
+        let m = b.len();
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut curr = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for &ai in a {
+            curr[0] = f64::INFINITY;
+            for j in 1..=m {
+                let cost = (ai - b[j - 1]).abs();
+                curr[j] = cost + prev[j].min(prev[j - 1]).min(curr[j - 1]);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+
+    #[test]
+    fn split_loops_match_fused_reference() {
+        // Awkward lengths around SIMD widths, irregular values.
+        for (n, m) in [(1, 1), (3, 17), (16, 16), (33, 7), (40, 63), (100, 101)] {
+            let a: Vec<f64> = (0..n)
+                .map(|i| ((i * 37 % 19) as f64 * 0.71).sin() * 3.0)
+                .collect();
+            let b: Vec<f64> = (0..m)
+                .map(|i| ((i * 53 % 23) as f64 * 0.43).cos() * 2.0)
+                .collect();
+            let split = dtw_distance(&a, &b);
+            let fused = fused_reference(&a, &b);
+            assert_eq!(
+                split.to_bits(),
+                fused.to_bits(),
+                "(n={n}, m={m}): split {split} != fused {fused}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_extreme_length_ratio() {
+        // n >> m forces the widest effective band and single-column rows —
+        // the shapes that stress the band-edge guards.
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let b = [2.5];
+        let d = dtw_distance_banded(&a, &b, 0);
+        assert!(d.is_finite());
+        assert_eq!(
+            dtw_distance_banded(&a, &b, 64).to_bits(),
+            dtw_distance(&a, &b).to_bits()
+        );
     }
 
     #[test]

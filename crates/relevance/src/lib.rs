@@ -5,6 +5,8 @@
 //! ([`hungarian`]) and their composition into `Rel(D, T)` ([`rel`]), used
 //! to label training triplets and to generate benchmark ground truth.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod dtw;
 pub mod hungarian;
 pub mod rel;

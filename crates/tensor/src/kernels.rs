@@ -6,8 +6,11 @@
 //! [`MR`]-wide accumulator unrolling; both panel reads and accumulator
 //! updates are contiguous, so LLVM auto-vectorizes the inner loop to the
 //! widest SIMD the target supports (the workspace builds with
-//! `target-cpu=native`). Large products are additionally split into row
-//! bands across the [`crate::pool`] workers.
+//! `target-cpu=native`). Large products are additionally split across the
+//! [`crate::pool`] workers — by output-row bands when there are enough
+//! rows, otherwise by packed column panels (the small-`n` score-GEMM
+//! shape) — with band boundaries chosen so results are bit-identical to
+//! the serial sweep at every thread count.
 //!
 //! Three data layouts cover the autograd tape's needs without ever
 //! materializing a transpose:
@@ -34,8 +37,55 @@ pub const NR: usize = 16;
 /// in registers/L1 anyway.
 const TINY_FLOP_LIMIT: usize = 16 * 1024;
 
-/// Products at least this large are split into row bands across the pool.
-const PAR_FLOP_LIMIT: usize = 2 * 1024 * 1024;
+/// Minimum multiply-adds per band before the parallel split pays for a
+/// scoped spawn. The gate is derived from *per-band work* (`flops /
+/// bands`), not from `n` alone: a wide-but-short score GEMM (small `n`,
+/// large `k·m`) carries plenty of work per worker even though it has few
+/// output rows, and splits by column panels instead (see
+/// [`ColumnBandSplit`] in [`matmul_into`]).
+const PAR_BAND_FLOP_LIMIT: usize = 256 * 1024;
+
+/// Row granule of the parallel split. Band boundaries must align to the
+/// *widest* micro-kernel tile: the tile sweep (12-row AVX-512 tiles, then
+/// [`MR`]-row tiles, then single rows) restarts at each band start, and the
+/// AVX-512 tile accumulates with fused multiply-adds (one rounding) while
+/// the generic tiles round twice — so a band boundary that shifts rows
+/// between tile kinds would change result bits with the thread count.
+/// With bands aligned to the widest tile, every row lands in the same tile
+/// kind as in the serial sweep and results are bit-identical at any
+/// thread count.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+const BAND_ALIGN: usize = avx512::MR_WIDE;
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+const BAND_ALIGN: usize = MR;
+
+/// How [`matmul_into`]'s dense path distributes work across the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SplitPlan {
+    /// One worker: not enough work (or workers) to amortize spawning.
+    Serial,
+    /// Disjoint bands of output rows, aligned to [`BAND_ALIGN`].
+    Rows(usize),
+    /// Disjoint bands of packed column panels ([`NR`]-aligned); chosen for
+    /// row-poor shapes where a row split cannot use the workers.
+    Cols(usize),
+}
+
+/// Decides the parallel split for an `(n, p)` output with `flops`
+/// multiply-adds on a pool of `threads` workers. Bands are capped so each
+/// carries at least [`PAR_BAND_FLOP_LIMIT`] work.
+fn split_plan(flops: usize, n: usize, p: usize, threads: usize) -> SplitPlan {
+    let work_bands = flops / PAR_BAND_FLOP_LIMIT;
+    let row_bands = threads.min(work_bands).min(n.div_ceil(BAND_ALIGN));
+    if row_bands > 1 {
+        return SplitPlan::Rows(row_bands);
+    }
+    let col_bands = threads.min(work_bands).min(p.div_ceil(NR));
+    if col_bands > 1 {
+        return SplitPlan::Cols(col_bands);
+    }
+    SplitPlan::Serial
+}
 
 /// Fraction of probed elements that must be zero before the sparse
 /// skip-zero path is chosen.
@@ -125,18 +175,54 @@ pub fn matmul_into(out: &mut Matrix, a: &Matrix, b: &Matrix) {
     let a_data = a.as_slice();
     let out_data = out.as_mut_slice();
 
-    if flops >= PAR_FLOP_LIMIT && pool::num_threads() > 1 && n >= 2 * MR {
-        // Row bands: each worker owns a disjoint band of output rows,
-        // rounded to the micro-kernel tile so bands never share a tile.
-        let bands = pool::num_threads().min(n.div_ceil(MR));
-        let rows_per = n.div_ceil(bands).next_multiple_of(MR);
-        pool::par_chunks_mut(out_data, rows_per * p, |offset, band| {
-            let i0 = offset / p;
-            let rows = band.len() / p;
-            matmul_packed_rows(band, &a_data[i0 * m..(i0 + rows) * m], &packed, rows, m, p);
-        });
-    } else {
-        matmul_packed_rows(out_data, a_data, &packed, n, m, p);
+    match split_plan(flops, n, p, pool::num_threads()) {
+        SplitPlan::Rows(bands) => {
+            // Row bands: each worker owns a disjoint band of output rows,
+            // aligned to the widest micro-kernel tile so every row keeps
+            // its serial-sweep tile kind (see [`BAND_ALIGN`]).
+            let rows_per = n.div_ceil(bands).next_multiple_of(BAND_ALIGN);
+            pool::par_chunks_mut(out_data, rows_per * p, |offset, band| {
+                let i0 = offset / p;
+                let rows = band.len() / p;
+                matmul_packed_rows(band, &a_data[i0 * m..(i0 + rows) * m], &packed, rows, m, p);
+            });
+        }
+        SplitPlan::Cols(bands) => {
+            // Column bands: each worker sweeps all rows against a disjoint
+            // range of packed panels into a private buffer, scattered into
+            // `out` afterwards. Each output element's accumulation happens
+            // entirely within one panel with the full-row tile sweep, so
+            // the bits match the serial sweep exactly; the scatter copies
+            // O(n·p) floats against O(n·m·p) flops of saved wall-clock.
+            let n_panels = p.div_ceil(NR);
+            let panels_per = n_panels.div_ceil(bands);
+            let starts: Vec<usize> = (0..n_panels).step_by(panels_per).collect();
+            let parts: Vec<(usize, usize, Vec<f32>)> = pool::par_map(&starts, |&jp0| {
+                let jp1 = (jp0 + panels_per).min(n_panels);
+                let j0 = jp0 * NR;
+                let width = (jp1 * NR).min(p) - j0;
+                let mut part = vec![0.0f32; n * width];
+                // The band is a self-contained (n x width) product over its
+                // own panels: the right-edge panel width works out the same
+                // because only the globally-last panel is narrow.
+                matmul_packed_rows(
+                    &mut part,
+                    a_data,
+                    &packed[jp0 * m * NR..jp1 * m * NR],
+                    n,
+                    m,
+                    width,
+                );
+                (j0, width, part)
+            });
+            for (j0, width, part) in parts {
+                for i in 0..n {
+                    out_data[i * p + j0..i * p + j0 + width]
+                        .copy_from_slice(&part[i * width..(i + 1) * width]);
+                }
+            }
+        }
+        SplitPlan::Serial => matmul_packed_rows(out_data, a_data, &packed, n, m, p),
     }
 }
 
@@ -613,5 +699,112 @@ mod tests {
         let b = Matrix::zeros(4, 2);
         let mut out = Matrix::zeros(2, 2);
         matmul_into(&mut out, &a, &b);
+    }
+
+    #[test]
+    fn split_plan_derives_bands_from_per_band_work() {
+        let flops = |n: usize, m: usize, p: usize| n * m * p;
+        // Row-rich large product: splits by rows up to the thread count.
+        assert_eq!(
+            split_plan(flops(256, 256, 256), 256, 256, 8),
+            SplitPlan::Rows(8)
+        );
+        // Regression (the old gate `flops >= 2M && n >= 2*MR` kept these
+        // serial): small-n, large k·m score GEMMs must split by columns.
+        assert_eq!(
+            split_plan(flops(6, 512, 1024), 6, 1024, 8),
+            SplitPlan::Cols(8)
+        );
+        assert_eq!(
+            split_plan(flops(2, 768, 768), 2, 768, 4),
+            SplitPlan::Cols(4)
+        );
+        // Not enough total work for even two bands: stays serial no matter
+        // how many workers are idle.
+        assert_eq!(split_plan(flops(16, 64, 64), 16, 64, 16), SplitPlan::Serial);
+        // One thread: always serial.
+        assert_eq!(
+            split_plan(flops(256, 256, 256), 256, 256, 1),
+            SplitPlan::Serial
+        );
+        // Bands are capped so each carries >= PAR_BAND_FLOP_LIMIT work.
+        let f = flops(256, 64, 64); // 1M flops -> at most 4 bands of 256k
+        assert_eq!(split_plan(f, 256, 64, 16), SplitPlan::Rows(4));
+    }
+
+    /// The tentpole invariant: the parallel splits (row bands aligned to
+    /// the widest micro-kernel tile, column bands on panel boundaries)
+    /// produce bit-identical outputs at every thread count, including
+    /// shapes whose row counts straddle tile boundaries.
+    #[test]
+    fn parallel_matmul_is_bit_identical_across_thread_counts() {
+        let _guard = pool::test_sync::lock();
+        let shapes = [
+            (256, 256, 256), // row split, tile-aligned
+            (28, 300, 512),  // row split, 12/4/1 tile mix under AVX-512
+            (100, 100, 256), // row split, ragged last band
+            (6, 512, 1024),  // column split (small n)
+            (3, 700, 600),   // column split, ragged last panel
+            (17, 333, 129),  // odd everything
+        ];
+        for &(n, m, p) in &shapes {
+            let a = matrix(n, m, 21);
+            let b = matrix(m, p, 22);
+            pool::force_threads(1);
+            let mut serial = Matrix::zeros(n, p);
+            matmul_into(&mut serial, &a, &b);
+            for t in [2usize, 3, 4, 8, 16] {
+                pool::force_threads(t);
+                let mut par = Matrix::zeros(n, p);
+                matmul_into(&mut par, &a, &b);
+                for (i, (x, y)) in par.as_slice().iter().zip(serial.as_slice()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{n}x{m}x{p} threads={t}: element {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+        pool::force_threads(pool::detect_threads());
+    }
+
+    /// The transposed-layout kernels dispatch mid-size products through the
+    /// blocked path — those must inherit the same thread-count invariance
+    /// (they are the score-GEMM entry points).
+    #[test]
+    fn nt_tn_bit_identical_across_thread_counts() {
+        let _guard = pool::test_sync::lock();
+        let a = matrix(6, 512, 31);
+        let bt = matrix(900, 512, 32); // nt: (6,512) x (900,512)^T
+        let at = matrix(512, 9, 33); // tn: (512,9)^T x (512,700)
+        let b = matrix(512, 700, 34);
+        pool::force_threads(1);
+        let mut nt_serial = Matrix::zeros(6, 900);
+        matmul_nt_into(&mut nt_serial, &a, &bt);
+        let mut tn_serial = Matrix::zeros(9, 700);
+        matmul_tn_into(&mut tn_serial, &at, &b);
+        for t in [2usize, 4, 16] {
+            pool::force_threads(t);
+            let mut nt = Matrix::zeros(6, 900);
+            matmul_nt_into(&mut nt, &a, &bt);
+            let mut tn = Matrix::zeros(9, 700);
+            matmul_tn_into(&mut tn, &at, &b);
+            assert!(
+                nt.as_slice()
+                    .iter()
+                    .zip(nt_serial.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "nt differs at {t} threads"
+            );
+            assert!(
+                tn.as_slice()
+                    .iter()
+                    .zip(tn_serial.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "tn differs at {t} threads"
+            );
+        }
+        pool::force_threads(pool::detect_threads());
     }
 }

@@ -251,6 +251,25 @@ pub fn assert_same_hits(context: &str, a: &SearchResponse, b: &SearchResponse) {
     );
 }
 
+/// Bitwise-strict variant of [`assert_same_hits`]: hit order, ids, names
+/// and provenance must match as usual, and score *bits* must be identical
+/// — no tolerance. This is the contract the thread-count and shard-layout
+/// invariance suites pin: scoring is a pure function of
+/// `(query, candidate, center)`, so changing the worker count must not
+/// move a single ulp.
+pub fn assert_same_hits_bitwise(context: &str, a: &SearchResponse, b: &SearchResponse) {
+    assert_same_hits(context, a, b);
+    for (rank, (ha, hb)) in a.hits.iter().zip(&b.hits).enumerate() {
+        assert_eq!(
+            ha.score.to_bits(),
+            hb.score.to_bits(),
+            "{context}: rank {rank} score bits differ: {} vs {}",
+            ha.score,
+            hb.score
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Refresh BENCH_kernels.json (kernel-layer perf trajectory) and optionally
-# run the full Criterion micro-benchmark suite.
+# Refresh the tracked BENCH_*.json perf snapshots and optionally run the
+# full Criterion micro-benchmark suite.
+#
+# bench_serving and bench_sharding run a 1/4/N thread sweep internally by
+# re-exec'ing themselves with LCDD_THREADS pinned per child process (the
+# pool freezes its width at first touch, so in-process sweeps would lie);
+# setting LCDD_THREADS here pins only the parent's own measurement runs.
+# LCDD_BENCH_STRICT=1 turns the serving bench's thread-scaling warning
+# into a hard failure.
 #
 # Usage:
-#   scripts/bench.sh            # kernel benches -> BENCH_kernels.json
+#   scripts/bench.sh            # all bench bins -> BENCH_*.json
 #   scripts/bench.sh --all      # also run `cargo bench` (microbench suite)
 set -euo pipefail
 cd "$(dirname "$0")/.."
