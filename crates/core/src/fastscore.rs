@@ -30,7 +30,7 @@
 
 use lcdd_tensor::Matrix;
 
-use crate::input::{filter_columns, ProcessedQuery};
+use crate::input::{filter_columns, ProcessedQuery, ProcessedTable};
 use crate::model::FcmModel;
 use crate::scoring::EncodedRepository;
 
@@ -196,16 +196,36 @@ impl<'a> QueryScorer<'a> {
         table_idx: usize,
         pooled_mean: &Matrix,
     ) -> f32 {
-        let pt = &repo.tables[table_idx];
+        self.score_table_parts(
+            &repo.tables[table_idx],
+            &repo.encodings[table_idx],
+            query,
+            pooled_mean,
+        )
+    }
+
+    /// [`Self::score_table`] over borrowed table parts, for callers whose
+    /// tables don't live in an [`EncodedRepository`] (the tiered engine
+    /// materializes cold candidates one at a time).
+    pub fn score_table_parts(
+        &self,
+        pt: &ProcessedTable,
+        encodings: &[Matrix],
+        query: &ProcessedQuery,
+        pooled_mean: &Matrix,
+    ) -> f32 {
         let cols = filter_columns(pt, query.y_range, self.model.config.range_slack);
-        let et: Vec<&Matrix> = cols
-            .iter()
-            .map(|&c| &repo.encodings[table_idx][c])
-            .collect();
+        let et: Vec<&Matrix> = cols.iter().map(|&c| &encodings[c]).collect();
         if et.is_empty() {
             return 0.0;
         }
         self.score_encodings_centered(&et, pooled_mean)
+    }
+
+    /// The hoisted query-side pooled embedding (`1 x K` mean over all line
+    /// rows) — the vector the quantized candidate scan compares against.
+    pub fn v_pooled(&self) -> &Matrix {
+        &self.v_pooled
     }
 
     /// Raw relevance score against one candidate's column encodings,

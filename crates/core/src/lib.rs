@@ -35,6 +35,7 @@ pub mod matcher;
 pub mod model;
 pub mod negatives;
 pub mod persist;
+pub mod quant;
 pub mod scoring;
 pub mod trainer;
 
@@ -47,6 +48,7 @@ pub use input::{
 };
 pub use model::{table_encode_count, FcmModel};
 pub use negatives::NegativeStrategy;
+pub use quant::QuantizedVec;
 pub use scoring::{
     encode_repository, encode_tables, pooled_mean_of, search_top_k, EncodedRepository,
 };

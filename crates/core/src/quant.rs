@@ -1,0 +1,259 @@
+//! Int8 scalar quantization of pooled FCM encodings — the cheap tier of
+//! the scan-then-rerank pipeline.
+//!
+//! A [`QuantizedVec`] stores one embedding as `i8` codes plus an affine
+//! `(scale, zero_point)` pair, so a candidate scan touches 4x less memory
+//! than the f32 path and its inner loop is the integer
+//! [`lcdd_tensor::kernels::dot_i8`] kernel. Dot products between two
+//! quantized vectors expand through the affine decomposition
+//!
+//! ```text
+//! Σ v̂aᵢ·v̂bᵢ = sa·sb·( Σ qaᵢ·qbᵢ − za·Σqbᵢ − zb·Σqaᵢ + n·za·zb )
+//! ```
+//!
+//! where the per-vector sums are precomputed at quantization time — the
+//! scan loop itself is one `dot_i8` plus four scalar flops.
+//!
+//! Quantization is deterministic (pure function of the input slice), and
+//! the per-element round-trip error is bounded by `scale / 2` — the bound
+//! the property suite pins. Scores produced through this path are
+//! **approximate by design**; exactness is restored by the f32 re-rank of
+//! the surviving candidates (see `lcdd-engine`'s `SearchOptions::rerank`).
+
+use lcdd_tensor::kernels::{dot_i8, sum_i8};
+
+/// One embedding, affine-quantized to `i8`:
+/// `value_i ≈ scale * (q_i - zero_point)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedVec {
+    /// The int8 codes, one per input element.
+    pub q: Vec<i8>,
+    /// Dequantization step size (always positive and finite).
+    pub scale: f32,
+    /// The code representing `0.0`.
+    pub zero_point: i8,
+    /// `Σ q_i`, hoisted for the affine dot decomposition.
+    pub sum_q: i32,
+}
+
+/// Quantization grid endpoints.
+const QMIN: f32 = -128.0;
+const QMAX: f32 = 127.0;
+
+impl QuantizedVec {
+    /// Quantizes `values` over `[min(values, 0), max(values, 0)]` — the
+    /// range is extended through zero so the zero point always fits the
+    /// int8 grid. Every element round-trips within `scale / 2`; empty and
+    /// constant inputs degrade gracefully. Inputs are assumed finite
+    /// (encoder outputs are; the NaN-laced query paths are filtered long
+    /// before scoring).
+    pub fn quantize(values: &[f32]) -> Self {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if values.is_empty() || !lo.is_finite() || !hi.is_finite() {
+            return QuantizedVec {
+                q: vec![0; values.len()],
+                scale: 1.0,
+                zero_point: 0,
+                sum_q: 0,
+            };
+        }
+        // Extend the range through 0.0: this pins the zero point inside
+        // the int8 grid for any input (an all-negative vector would
+        // otherwise push it past 127) and makes 0.0 exactly representable.
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let span = hi - lo;
+        let (scale, zero_point) = if span <= f32::MIN_POSITIVE {
+            // Only the all-zero vector is still degenerate after the
+            // extension; it round-trips exactly under any positive scale.
+            (1.0, 0i8)
+        } else {
+            let scale = span / (QMAX - QMIN);
+            // `lo` maps to QMIN, so every in-range value quantizes with at
+            // most the rounding half-step of error.
+            let zp = (QMIN - lo / scale).round().clamp(QMIN, QMAX) as i8;
+            (scale, zp)
+        };
+        let inv = 1.0 / scale;
+        let zp = zero_point as f32;
+        let q: Vec<i8> = values
+            .iter()
+            .map(|&v| (v * inv + zp).round().clamp(QMIN, QMAX) as i8)
+            .collect();
+        let sum_q = sum_i8(&q);
+        QuantizedVec {
+            q,
+            scale,
+            zero_point,
+            sum_q,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The dequantized values `scale * (q_i - zero_point)`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let zp = self.zero_point as f32;
+        self.q
+            .iter()
+            .map(|&qi| self.scale * (qi as f32 - zp))
+            .collect()
+    }
+
+    /// Dot product of the two dequantized vectors, computed in integer
+    /// space through the affine decomposition (one [`dot_i8`] plus four
+    /// scalar flops; the per-vector sums were hoisted at quantization).
+    pub fn dot(&self, other: &QuantizedVec) -> f32 {
+        debug_assert_eq!(self.len(), other.len(), "QuantizedVec::dot: length");
+        let n = self.len() as i32;
+        let za = self.zero_point as i32;
+        let zb = other.zero_point as i32;
+        let int = dot_i8(&self.q, &other.q) - za * other.sum_q - zb * self.sum_q + n * za * zb;
+        self.scale * other.scale * int as f32
+    }
+
+    /// Worst-case per-element round-trip error of this quantization.
+    pub fn error_bound(&self) -> f32 {
+        0.5 * self.scale
+    }
+
+    /// Heap + inline bytes this vector occupies (the tier-stats
+    /// accounting unit).
+    pub fn byte_size(&self) -> usize {
+        self.q.len() + std::mem::size_of::<QuantizedVec>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize, seed: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.61 + seed).sin() * 2.5 + seed * 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        for seed in [0.0f32, 1.0, 3.7, -2.2] {
+            let v = wavy(64, seed);
+            let qv = QuantizedVec::quantize(&v);
+            let back = qv.dequantize();
+            let bound = qv.error_bound() * 1.0001; // float-rounding headroom
+            for (i, (&x, &y)) in v.iter().zip(&back).enumerate() {
+                assert!(
+                    (x - y).abs() <= bound,
+                    "seed {seed} elem {i}: {x} vs {y} (scale {})",
+                    qv.scale
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let zero = QuantizedVec::quantize(&[0.0; 8]);
+        assert_eq!(zero.dequantize(), vec![0.0; 8]);
+        let constant = QuantizedVec::quantize(&[3.25; 8]);
+        for &v in &constant.dequantize() {
+            assert!((v - 3.25).abs() <= constant.error_bound() * 1.0001);
+        }
+        let empty = QuantizedVec::quantize(&[]);
+        assert!(empty.is_empty());
+        assert!(empty.scale.is_finite() && empty.scale > 0.0);
+    }
+
+    #[test]
+    fn quantize_is_deterministic() {
+        let v = wavy(32, 1.5);
+        assert_eq!(QuantizedVec::quantize(&v), QuantizedVec::quantize(&v));
+    }
+
+    #[test]
+    fn affine_dot_tracks_dequantized_dot() {
+        let a = QuantizedVec::quantize(&wavy(48, 0.3));
+        let b = QuantizedVec::quantize(&wavy(48, 5.1));
+        let da = a.dequantize();
+        let db = b.dequantize();
+        let exact: f32 = da.iter().zip(&db).map(|(&x, &y)| x * y).sum();
+        let fast = a.dot(&b);
+        // The affine decomposition is algebraically identical; only f32
+        // summation order differs (integer part is exact).
+        assert!(
+            (exact - fast).abs() <= 1e-3 * exact.abs().max(1.0),
+            "{exact} vs {fast}"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_round_trip_within_half_scale(
+            v in proptest::collection::vec(-1e4f32..1e4, 0..192),
+        ) {
+            let qv = QuantizedVec::quantize(&v);
+            let back = qv.dequantize();
+            let bound = qv.error_bound() * 1.0001 + 1e-6;
+            for (&x, &y) in v.iter().zip(&back) {
+                proptest::prop_assert!(
+                    (x - y).abs() <= bound,
+                    "{x} vs {y} (scale {})", qv.scale,
+                );
+            }
+        }
+
+        #[test]
+        fn prop_affine_dot_matches_dequantized_dot(
+            v in proptest::collection::vec((-100f32..100.0, -100f32..100.0), 1..128),
+        ) {
+            let (va, vb): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
+            let a = QuantizedVec::quantize(&va);
+            let b = QuantizedVec::quantize(&vb);
+            let da = a.dequantize();
+            let db = b.dequantize();
+            let exact: f32 = da.iter().zip(&db).map(|(&x, &y)| x * y).sum();
+            let tol = 1e-3 * exact.abs().max(1.0) + 1e-2;
+            proptest::prop_assert!(
+                (a.dot(&b) - exact).abs() <= tol,
+                "{} vs {exact}", a.dot(&b),
+            );
+        }
+    }
+
+    #[test]
+    fn dot_approximates_f32_dot_within_linear_bound() {
+        let va = wavy(64, 2.0);
+        let vb = wavy(64, -1.0);
+        let a = QuantizedVec::quantize(&va);
+        let b = QuantizedVec::quantize(&vb);
+        let exact: f32 = va.iter().zip(&vb).map(|(&x, &y)| x * y).sum();
+        // |Σ v̂a·v̂b − Σ va·vb| ≤ Σ (|va|·eb + |vb|·ea + ea·eb)
+        let (ea, eb) = (a.error_bound(), b.error_bound());
+        let bound: f32 = va
+            .iter()
+            .zip(&vb)
+            .map(|(&x, &y)| x.abs() * eb + y.abs() * ea + ea * eb)
+            .sum::<f32>()
+            * 1.01;
+        assert!(
+            (a.dot(&b) - exact).abs() <= bound,
+            "{} vs {exact} (bound {bound})",
+            a.dot(&b)
+        );
+    }
+}

@@ -267,7 +267,7 @@ impl Fp {
 /// Content fingerprint of a `(query, options)` pair. Covers everything the
 /// search pipeline consumes: series values and names, raw image pixels,
 /// extracted line images / traces / values and the decoded y range, plus
-/// `k`, strategy and `min_score`. Decoded tick metadata is deliberately
+/// `k`, strategy, `min_score` and `rerank`. Decoded tick metadata is deliberately
 /// excluded — scoring reads only `y_range` from it.
 ///
 /// Public because it is also the gateway's request-coalescing identity:
@@ -342,11 +342,19 @@ pub fn query_fingerprint(query: &Query, opts: &SearchOptions) -> u128 {
         lcdd_index::IndexStrategy::IntervalOnly => 1,
         lcdd_index::IndexStrategy::LshOnly => 2,
         lcdd_index::IndexStrategy::Hybrid => 3,
+        lcdd_index::IndexStrategy::Ivf => 4,
     });
     match opts.min_score {
         Some(m) => {
             fp.byte(1);
             fp.f32(m);
+        }
+        None => fp.byte(0),
+    }
+    match opts.rerank {
+        Some(r) => {
+            fp.byte(1);
+            fp.u64(r as u64);
         }
         None => fp.byte(0),
     }

@@ -61,6 +61,7 @@
 pub mod builder;
 pub mod cache;
 pub mod engine;
+pub mod mapped;
 pub mod persist;
 pub mod serving;
 pub mod shard;
@@ -74,8 +75,10 @@ pub use cache::{query_fingerprint, CacheStats, QueryCache, DEFAULT_CACHE_CAPACIT
 pub use engine::{Engine, TableMeta, DEFAULT_COMPACTION_THRESHOLD};
 pub use lcdd_fcm::EngineError;
 pub use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
-pub use persist::EncodedTableBatch;
+pub use persist::{EncodedSlot, EncodedTableBatch};
 pub use serving::ServingEngine;
 pub use shard::EngineShard;
 pub use state::{EngineShared, EngineState};
-pub use types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};
+pub use types::{
+    Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings, TierStats,
+};

@@ -1,0 +1,1052 @@
+//! Memory-mappable checkpoint segments — the cold tier of the corpus.
+//!
+//! A *segment image* (`LCDDSEG2`) is a fixed-layout, align-safe encoding
+//! of one shard's live slots, split into two regions:
+//!
+//! ```text
+//! 0   magic   "LCDDSEG2"                       (8 bytes)
+//! 8   format  u32 (currently 1)
+//! 12  embed_dim u32
+//! 16  n_slots u64
+//! 24  summary_len u64
+//! 32  summary_hash u64 (FNV-1a over the summary bytes)
+//! 40  blob_off u64  (64-byte aligned, relative to image start)
+//! 48  blob_len u64  (blob_off + blob_len == image length)
+//! 56  reserved u64 (must be 0)
+//! 64  summary: per slot —
+//!       id u64, name (u32 len + bytes), n_cols u64,
+//!       per column: range lo f64, hi f64,
+//!                   segment dims u32 x 2, encoding dims u32 x 2,
+//!                   pooled column embedding (enc_cols x f32),
+//!       pooled rows u64, pooled sum (embed_dim x f32),
+//!       n_intervals u64, per interval: lo f64, hi f64,
+//!       blob_elems u64, blob_hash u64 (FNV-1a over the slot's blob bytes)
+//!     zero padding to blob_off
+//! blob: f32 LE matrix elements, slot-major —
+//!       per slot: every segment matrix row-major, then every encoding
+//!       matrix row-major; slots tile the blob contiguously
+//! ```
+//!
+//! The split is the point: the **summary** carries everything candidate
+//! generation, tombstoning and the global pooled-mean need (identity,
+//! column ranges, index intervals, pooled column embeddings, the pooled
+//! sum), while the **blob** carries the bulk f32 payload that only exact
+//! scoring and persistence touch. A `MappedSegment` therefore serves a
+//! cold shard *without decoding the blob*: slots materialize one at a
+//! time, on demand, straight out of the mapping.
+//!
+//! On Linux/x86-64 the mapping is a real `mmap(PROT_READ, MAP_PRIVATE)`
+//! issued by raw syscall (this workspace deliberately has no libc
+//! binding); elsewhere — or when `mmap` fails — the file is read into a
+//! 64-byte-aligned heap buffer, which keeps every byte path identical at
+//! the cost of residency. Because `blob_off` is 64-aligned and the store
+//! frame header is 28 bytes, blob floats sit on 4-byte boundaries in the
+//! file, so the little-endian fast path reinterprets mapped bytes in
+//! place (`align_to::<f32>`) and copies only the matrices a candidate
+//! actually needs.
+//!
+//! Integrity: `MappedSegment::open_framed` verifies the enclosing store
+//! frame's checksum over the *whole* payload at open — one sequential
+//! pass, after which the blob pages are dropped again (`madvise
+//! MADV_DONTNEED`) so a freshly opened cold corpus starts near-zero
+//! resident. Truncation or bit flips anywhere in the file surface as
+//! typed [`EngineError::Store`] values at open; materialization after a
+//! clean open is infallible by construction (every extent was bounds-
+//! checked at parse).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use lcdd_fcm::input::ProcessedTable;
+use lcdd_fcm::EngineError;
+use lcdd_tensor::Matrix;
+
+use crate::engine::TableMeta;
+use crate::shard::{column_embedding_of, PooledStat, SlotData};
+use crate::snapshot::{fnv1a64, MAX_FIELD_BYTES};
+
+pub(crate) const IMAGE_MAGIC: &[u8; 8] = b"LCDDSEG2";
+pub(crate) const IMAGE_FORMAT: u32 = 1;
+const HEADER_LEN: usize = 64;
+/// x86-64 page size; only used to round `madvise` ranges, where a wrong
+/// guess degrades to "pages stay resident", never to incorrectness.
+const PAGE: usize = 4096;
+
+// ---- the mapping ---------------------------------------------------------
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw x86-64 Linux syscalls. The workspace has no libc dependency,
+    //! so the three calls the cold tier needs are issued directly; each
+    //! is gated to exactly the (arch, OS) pair the numbers belong to.
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const SYS_MADVISE: usize = 28;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+    const MADV_DONTNEED: usize = 4;
+
+    #[inline]
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Maps `len` bytes of `fd` read-only. Returns the base address, or
+    /// `None` on any failure (the caller falls back to a heap read).
+    pub(super) fn mmap_readonly(fd: i32, len: usize) -> Option<*const u8> {
+        if len == 0 {
+            return None;
+        }
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        // Errors come back as -errno in [-4095, -1].
+        if (-4095..0).contains(&ret) {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    pub(super) fn munmap(ptr: *const u8, len: usize) {
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+        }
+    }
+
+    /// Best-effort release of resident pages in `[ptr, ptr+len)`; the
+    /// range is shrunk to page boundaries first. Data is re-faulted from
+    /// the page cache / disk on next touch.
+    pub(super) fn madvise_dontneed(ptr: *const u8, len: usize) {
+        let start = ptr as usize;
+        let page_start = start.div_ceil(super::PAGE) * super::PAGE;
+        let end = start + len;
+        if page_start >= end {
+            return;
+        }
+        unsafe {
+            syscall6(
+                SYS_MADVISE,
+                page_start,
+                end - page_start,
+                MADV_DONTNEED,
+                0,
+                0,
+                0,
+            );
+        }
+    }
+}
+
+/// A 64-byte-aligned heap copy of a file — the portable fallback when
+/// `mmap` is unavailable or fails.
+struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn from_file(path: &Path) -> Result<AlignedBuf, EngineError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| EngineError::Store(format!("{}: cannot read: {e}", path.display())))?;
+        if bytes.is_empty() {
+            return Ok(AlignedBuf {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let layout = std::alloc::Layout::from_size_align(bytes.len(), 64)
+            .map_err(|e| EngineError::Store(format!("segment buffer layout: {e}")))?;
+        // SAFETY: layout has non-zero size (empty case returned above).
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            return Err(EngineError::Store(format!(
+                "cannot allocate {} bytes for {}",
+                bytes.len(),
+                path.display()
+            )));
+        }
+        // SAFETY: freshly allocated region of exactly bytes.len() bytes.
+        unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, bytes.len()) };
+        Ok(AlignedBuf {
+            ptr,
+            len: bytes.len(),
+        })
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: allocated in from_file with this exact layout
+            // (64-byte alignment never fails for a non-zero length).
+            unsafe {
+                if let Ok(layout) = std::alloc::Layout::from_size_align(self.len, 64) {
+                    std::alloc::dealloc(self.ptr, layout);
+                }
+            }
+        }
+    }
+}
+
+enum Mapping {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(AlignedBuf),
+}
+
+// SAFETY: the mapping is read-only for its entire lifetime; all mutation
+// of the underlying file goes through atomic-rename replacement, never
+// in-place writes (the store's crash-safety discipline).
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    fn open(path: &Path) -> Result<Mapping, EngineError> {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            use std::os::fd::AsRawFd;
+            if let Ok(file) = std::fs::File::open(path) {
+                if let Ok(meta) = file.metadata() {
+                    let len = meta.len() as usize;
+                    if let Some(ptr) = sys::mmap_readonly(file.as_raw_fd(), len) {
+                        // The fd can close now; the mapping holds its own
+                        // reference to the file.
+                        return Ok(Mapping::Mapped { ptr, len });
+                    }
+                }
+            }
+        }
+        Ok(Mapping::Heap(AlignedBuf::from_file(path)?))
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            // SAFETY: ptr/len describe a live read-only mapping owned by
+            // self; unmapped only in Drop.
+            Mapping::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Mapping::Heap(buf) => {
+                if buf.len == 0 {
+                    &[]
+                } else {
+                    // SAFETY: ptr/len describe the live allocation.
+                    unsafe { std::slice::from_raw_parts(buf.ptr, buf.len) }
+                }
+            }
+        }
+    }
+
+    /// Drops residency of `[off, off+len)` if the platform can.
+    fn release_range(&self, off: usize, len: usize) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Mapping::Mapped { ptr, len: mlen } = self {
+            let end = (off + len).min(*mlen);
+            if off < end {
+                // SAFETY: range lies inside the live mapping.
+                sys::madvise_dontneed(unsafe { ptr.add(off) }, end - off);
+            }
+        }
+        let _ = (off, len);
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Mapping::Mapped { ptr, len } = self {
+            sys::munmap(*ptr, *len);
+        }
+    }
+}
+
+// ---- the parsed segment --------------------------------------------------
+
+/// Everything the summary records about one slot — enough to index,
+/// tombstone and center-pool the table without touching its blob extent.
+pub(crate) struct SlotSummary {
+    pub meta: TableMeta,
+    pub ranges: Vec<(f64, f64)>,
+    pub seg_dims: Vec<(u32, u32)>,
+    pub enc_dims: Vec<(u32, u32)>,
+    pub col_embeddings: Vec<Vec<f32>>,
+    pub pooled: PooledStat,
+    pub intervals: Vec<(f64, f64)>,
+    /// First f32 element of this slot's blob extent.
+    pub elem_start: u64,
+    pub n_elems: u64,
+}
+
+/// A checkpoint segment served straight from its file: summary decoded,
+/// blob left cold until a slot materializes.
+pub(crate) struct MappedSegment {
+    map: Mapping,
+    /// Image offset inside the mapping (past the store frame header).
+    image_off: usize,
+    embed_dim: usize,
+    slots: Vec<SlotSummary>,
+    /// Blob byte offset relative to the image start.
+    blob_off: usize,
+    blob_len: usize,
+    slots_paged_in: AtomicU64,
+    bytes_paged_in: AtomicU64,
+}
+
+impl MappedSegment {
+    /// Maps `path`, verifies the enclosing store frame (`magic | version
+    /// u32 | payload_len u64 | payload_hash u64 | payload`) over the whole
+    /// payload, parses the image summary, then drops blob residency. No
+    /// slot is decoded.
+    pub(crate) fn open_framed(
+        path: &Path,
+        magic: &[u8; 8],
+        version: u32,
+    ) -> Result<MappedSegment, EngineError> {
+        let name = path.display().to_string();
+        let map = Mapping::open(path)?;
+        let bytes = map.as_slice();
+        if bytes.len() < 28 {
+            return Err(EngineError::Store(format!(
+                "{name}: truncated frame header"
+            )));
+        }
+        if &bytes[0..8] != magic {
+            return Err(EngineError::Store(format!("{name}: bad magic")));
+        }
+        let got_version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if got_version != version {
+            return Err(EngineError::Store(format!(
+                "{name}: unsupported version {got_version} (expected {version})"
+            )));
+        }
+        let payload_len = read_u64(bytes, 12) as usize;
+        if payload_len != bytes.len() - 28 {
+            return Err(EngineError::Store(format!(
+                "{name}: truncated: payload {} of {payload_len} bytes",
+                bytes.len() - 28
+            )));
+        }
+        let expect_hash = read_u64(bytes, 20);
+        let got = fnv1a64(&bytes[28..]);
+        if got != expect_hash {
+            return Err(EngineError::Store(format!(
+                "{name}: checksum mismatch: expected {expect_hash:#018x}, got {got:#018x}"
+            )));
+        }
+        let image = &bytes[28..];
+        let parsed = parse_image(image).map_err(|e| store_ctx(&name, e))?;
+        let seg = MappedSegment {
+            image_off: 28,
+            embed_dim: parsed.embed_dim,
+            slots: parsed.slots,
+            blob_off: parsed.blob_off,
+            blob_len: parsed.blob_len,
+            slots_paged_in: AtomicU64::new(0),
+            bytes_paged_in: AtomicU64::new(0),
+            map,
+        };
+        // The verification pass touched every page; hand the blob back to
+        // the OS so a cold open starts cold.
+        seg.map
+            .release_range(seg.image_off + seg.blob_off, seg.blob_len);
+        Ok(seg)
+    }
+
+    pub(crate) fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    pub(crate) fn summary(&self, slot: usize) -> &SlotSummary {
+        &self.slots[slot]
+    }
+
+    /// Total blob bytes backing this segment (the cold tier's footprint).
+    pub(crate) fn blob_bytes(&self) -> u64 {
+        self.blob_len as u64
+    }
+
+    /// Blob bytes backing one slot.
+    #[cfg(test)]
+    pub(crate) fn slot_blob_bytes(&self, slot: usize) -> u64 {
+        self.slots[slot].n_elems * 4
+    }
+
+    /// `(slots materialized, bytes copied out of the blob)` since open.
+    ///
+    /// A slot is counted once, on its table decode — every consumer that
+    /// pages a slot in starts there (scoring materializes the table
+    /// before the encodings; persistence decodes whole slots) — while
+    /// the byte counter covers both matrix families.
+    pub(crate) fn paged_in(&self) -> (u64, u64) {
+        (
+            self.slots_paged_in.load(Relaxed),
+            self.bytes_paged_in.load(Relaxed),
+        )
+    }
+
+    fn blob(&self) -> &[u8] {
+        let start = self.image_off + self.blob_off;
+        &self.map.as_slice()[start..start + self.blob_len]
+    }
+
+    fn read_f32s(&self, elem_off: u64, n_elems: usize) -> Vec<f32> {
+        let bytes = &self.blob()[elem_off as usize * 4..elem_off as usize * 4 + n_elems * 4];
+        decode_f32s(bytes)
+    }
+
+    /// Decodes the slot's preprocessed table (identity + real segment
+    /// matrices + ranges) out of the blob. Infallible after a clean open:
+    /// every extent was bounds-checked at parse time.
+    pub(crate) fn materialize_table(&self, slot: usize) -> ProcessedTable {
+        let s = &self.slots[slot];
+        let mut off = s.elem_start;
+        let mut column_segments = Vec::with_capacity(s.seg_dims.len());
+        let mut copied = 0u64;
+        for &(r, c) in &s.seg_dims {
+            let n = r as usize * c as usize;
+            column_segments.push(Matrix::from_vec(
+                r as usize,
+                c as usize,
+                self.read_f32s(off, n),
+            ));
+            off += n as u64;
+            copied += n as u64 * 4;
+        }
+        self.slots_paged_in.fetch_add(1, Relaxed);
+        self.bytes_paged_in.fetch_add(copied, Relaxed);
+        ProcessedTable {
+            table_id: s.meta.id,
+            column_segments,
+            column_ranges: s.ranges.clone(),
+        }
+    }
+
+    /// Decodes the slot's cached encoding matrices out of the blob.
+    pub(crate) fn materialize_encodings(&self, slot: usize) -> Vec<Matrix> {
+        let s = &self.slots[slot];
+        let seg_elems: u64 = s.seg_dims.iter().map(|&(r, c)| r as u64 * c as u64).sum();
+        let mut off = s.elem_start + seg_elems;
+        let mut encodings = Vec::with_capacity(s.enc_dims.len());
+        let mut copied = 0u64;
+        for &(r, c) in &s.enc_dims {
+            let n = r as usize * c as usize;
+            encodings.push(Matrix::from_vec(
+                r as usize,
+                c as usize,
+                self.read_f32s(off, n),
+            ));
+            off += n as u64;
+            copied += n as u64 * 4;
+        }
+        self.bytes_paged_in.fetch_add(copied, Relaxed);
+        encodings
+    }
+
+    /// Decodes one slot fully (table + encodings) — the persistence /
+    /// compaction / reshard path.
+    pub(crate) fn materialize_slot(&self, slot: usize) -> SlotData {
+        let s = &self.slots[slot];
+        SlotData {
+            meta: s.meta.clone(),
+            table: self.materialize_table(slot),
+            encodings: self.materialize_encodings(slot),
+            intervals: s.intervals.clone(),
+        }
+    }
+}
+
+// ---- writing -------------------------------------------------------------
+
+/// Builds an `LCDDSEG2` image from slot data, consuming the slots one at
+/// a time (peak memory is the image itself plus one slot — bulk corpus
+/// writers stream millions of tables through here without ever holding a
+/// shard's worth of `SlotData`).
+pub(crate) fn write_segment_image(
+    slots: impl Iterator<Item = SlotData>,
+    embed_dim: usize,
+) -> Result<Vec<u8>, EngineError> {
+    let mut summary: Vec<u8> = Vec::new();
+    let mut blob: Vec<u8> = Vec::new();
+    let mut n_slots = 0u64;
+    for slot in slots {
+        n_slots += 1;
+        let blob_start = blob.len();
+        summary.extend_from_slice(&slot.meta.id.to_le_bytes());
+        let name = slot.meta.name.as_bytes();
+        summary.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        summary.extend_from_slice(name);
+        let n_cols = slot.table.column_segments.len();
+        if slot.encodings.len() != n_cols || slot.table.column_ranges.len() != n_cols {
+            return Err(EngineError::Store(format!(
+                "segment image: table {} has {} segments, {} ranges, {} encodings",
+                slot.meta.id,
+                n_cols,
+                slot.table.column_ranges.len(),
+                slot.encodings.len()
+            )));
+        }
+        summary.extend_from_slice(&(n_cols as u64).to_le_bytes());
+        for c in 0..n_cols {
+            let (lo, hi) = slot.table.column_ranges[c];
+            summary.extend_from_slice(&lo.to_le_bytes());
+            summary.extend_from_slice(&hi.to_le_bytes());
+            let seg = &slot.table.column_segments[c];
+            let enc = &slot.encodings[c];
+            for m in [seg, enc] {
+                summary.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+                summary.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+            }
+            for &v in column_embedding_of(enc).iter() {
+                summary.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let pooled = PooledStat::of(&slot.encodings, embed_dim);
+        summary.extend_from_slice(&pooled.rows.to_le_bytes());
+        for &v in &pooled.sum {
+            summary.extend_from_slice(&v.to_le_bytes());
+        }
+        summary.extend_from_slice(&(slot.intervals.len() as u64).to_le_bytes());
+        for &(lo, hi) in &slot.intervals {
+            summary.extend_from_slice(&lo.to_le_bytes());
+            summary.extend_from_slice(&hi.to_le_bytes());
+        }
+        for m in slot
+            .table
+            .column_segments
+            .iter()
+            .chain(slot.encodings.iter())
+        {
+            for &v in m.as_slice() {
+                blob.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let extent = &blob[blob_start..];
+        summary.extend_from_slice(&((extent.len() / 4) as u64).to_le_bytes());
+        summary.extend_from_slice(&fnv1a64(extent).to_le_bytes());
+    }
+    let blob_off = (HEADER_LEN + summary.len()).div_ceil(64) * 64;
+    let mut image = Vec::with_capacity(blob_off + blob.len());
+    image.extend_from_slice(IMAGE_MAGIC);
+    image.extend_from_slice(&IMAGE_FORMAT.to_le_bytes());
+    image.extend_from_slice(&(embed_dim as u32).to_le_bytes());
+    image.extend_from_slice(&n_slots.to_le_bytes());
+    image.extend_from_slice(&(summary.len() as u64).to_le_bytes());
+    image.extend_from_slice(&fnv1a64(&summary).to_le_bytes());
+    image.extend_from_slice(&(blob_off as u64).to_le_bytes());
+    image.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+    image.extend_from_slice(&0u64.to_le_bytes());
+    image.extend_from_slice(&summary);
+    image.resize(blob_off, 0);
+    image.extend_from_slice(&blob);
+    Ok(image)
+}
+
+// ---- parsing -------------------------------------------------------------
+
+struct ParsedImage {
+    embed_dim: usize,
+    slots: Vec<SlotSummary>,
+    blob_off: usize,
+    blob_len: usize,
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn store_ctx(name: &str, e: EngineError) -> EngineError {
+    match e {
+        EngineError::Store(m) => EngineError::Store(format!("{name}: {m}")),
+        other => other,
+    }
+}
+
+/// Little-endian f32 decode: reinterpret in place when the platform and
+/// alignment allow, per-element otherwise.
+fn decode_f32s(bytes: &[u8]) -> Vec<f32> {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY-free fast path: align_to handles misalignment by
+        // returning a non-empty prefix, in which case we fall through.
+        let (prefix, mid, suffix) = unsafe { bytes.align_to::<f32>() };
+        if prefix.is_empty() && suffix.is_empty() {
+            return mid.to_vec();
+        }
+    }
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// A bounds-checked cursor over the summary region.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(EngineError::Store(format!(
+                "summary ended early: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, EngineError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, EngineError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, EngineError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, EngineError> {
+        Ok(decode_f32s(self.take(n * 4)?))
+    }
+
+    fn str(&mut self) -> Result<String, EngineError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_BYTES {
+            return Err(EngineError::Store(format!(
+                "string length {len} exceeds the field cap"
+            )));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|e| EngineError::Store(format!("non-UTF-8 string: {e}")))
+    }
+}
+
+fn parse_image(image: &[u8]) -> Result<ParsedImage, EngineError> {
+    if image.len() < HEADER_LEN {
+        return Err(EngineError::Store("segment image: truncated header".into()));
+    }
+    if &image[0..8] != IMAGE_MAGIC {
+        return Err(EngineError::Store("segment image: bad magic".into()));
+    }
+    let format = u32::from_le_bytes([image[8], image[9], image[10], image[11]]);
+    if format != IMAGE_FORMAT {
+        return Err(EngineError::Store(format!(
+            "segment image: unsupported format {format}"
+        )));
+    }
+    let embed_dim = u32::from_le_bytes([image[12], image[13], image[14], image[15]]) as usize;
+    let n_slots = read_u64(image, 16) as usize;
+    let summary_len = read_u64(image, 24) as usize;
+    let summary_hash = read_u64(image, 32);
+    let blob_off = read_u64(image, 40) as usize;
+    let blob_len = read_u64(image, 48) as usize;
+    if read_u64(image, 56) != 0 {
+        return Err(EngineError::Store(
+            "segment image: nonzero reserved field".into(),
+        ));
+    }
+    if embed_dim > MAX_FIELD_BYTES / 4 || n_slots > MAX_FIELD_BYTES / 8 {
+        return Err(EngineError::Store(format!(
+            "segment image: implausible header (embed_dim {embed_dim}, {n_slots} slots)"
+        )));
+    }
+    if summary_len > image.len() - HEADER_LEN
+        || !blob_off.is_multiple_of(64)
+        || blob_off < HEADER_LEN + summary_len
+        || blob_off > image.len()
+        || blob_len != image.len() - blob_off
+    {
+        return Err(EngineError::Store(format!(
+            "segment image: inconsistent layout (len {}, summary {summary_len}, \
+             blob {blob_off}+{blob_len})",
+            image.len()
+        )));
+    }
+    let summary = &image[HEADER_LEN..HEADER_LEN + summary_len];
+    let got = fnv1a64(summary);
+    if got != summary_hash {
+        return Err(EngineError::Store(format!(
+            "segment image: summary checksum mismatch: expected {summary_hash:#018x}, got {got:#018x}"
+        )));
+    }
+    let mut cur = Cursor {
+        bytes: summary,
+        pos: 0,
+    };
+    let mut slots = Vec::with_capacity(n_slots.min(65_536));
+    let mut elem_cursor = 0u64;
+    for si in 0..n_slots {
+        let id = cur.u64()?;
+        let name = cur.str()?;
+        let n_cols = cur.u64()? as usize;
+        if n_cols > MAX_FIELD_BYTES / 8 {
+            return Err(EngineError::Store(format!(
+                "slot {si}: implausible column count {n_cols}"
+            )));
+        }
+        let mut ranges = Vec::with_capacity(n_cols.min(65_536));
+        let mut seg_dims = Vec::with_capacity(n_cols.min(65_536));
+        let mut enc_dims = Vec::with_capacity(n_cols.min(65_536));
+        let mut col_embeddings = Vec::with_capacity(n_cols.min(65_536));
+        let mut expect_elems = 0u64;
+        for _ in 0..n_cols {
+            let lo = cur.f64()?;
+            let hi = cur.f64()?;
+            ranges.push((lo, hi));
+            let mut dims = [(0u32, 0u32); 2];
+            for d in &mut dims {
+                let r = cur.u32()?;
+                let c = cur.u32()?;
+                if r as u64 * c as u64 * 4 > MAX_FIELD_BYTES as u64 {
+                    return Err(EngineError::Store(format!(
+                        "slot {si}: implausible matrix shape {r}x{c}"
+                    )));
+                }
+                *d = (r, c);
+                expect_elems += r as u64 * c as u64;
+            }
+            seg_dims.push(dims[0]);
+            enc_dims.push(dims[1]);
+            col_embeddings.push(cur.f32s(dims[1].1 as usize)?);
+        }
+        let pooled_rows = cur.u64()?;
+        let pooled_sum = cur.f32s(embed_dim)?;
+        let n_iv = cur.u64()? as usize;
+        if n_iv > MAX_FIELD_BYTES / 16 {
+            return Err(EngineError::Store(format!(
+                "slot {si}: implausible interval count {n_iv}"
+            )));
+        }
+        let mut intervals = Vec::with_capacity(n_iv.min(65_536));
+        for _ in 0..n_iv {
+            let lo = cur.f64()?;
+            let hi = cur.f64()?;
+            intervals.push((lo, hi));
+        }
+        let n_elems = cur.u64()?;
+        let _blob_hash = cur.u64()?;
+        if n_elems != expect_elems {
+            return Err(EngineError::Store(format!(
+                "slot {si}: blob extent {n_elems} elements, dims say {expect_elems}"
+            )));
+        }
+        slots.push(SlotSummary {
+            meta: TableMeta { id, name },
+            ranges,
+            seg_dims,
+            enc_dims,
+            col_embeddings,
+            pooled: PooledStat {
+                sum: pooled_sum,
+                rows: pooled_rows,
+            },
+            intervals,
+            elem_start: elem_cursor,
+            n_elems,
+        });
+        elem_cursor = elem_cursor
+            .checked_add(n_elems)
+            .ok_or_else(|| EngineError::Store("segment image: blob extent overflow".into()))?;
+    }
+    if cur.pos != summary.len() {
+        return Err(EngineError::Store(format!(
+            "segment image: {} trailing summary bytes",
+            summary.len() - cur.pos
+        )));
+    }
+    if elem_cursor * 4 != blob_len as u64 {
+        return Err(EngineError::Store(format!(
+            "segment image: slots claim {} blob bytes, blob holds {blob_len}",
+            elem_cursor * 4
+        )));
+    }
+    Ok(ParsedImage {
+        embed_dim,
+        slots,
+        blob_off,
+        blob_len,
+    })
+}
+
+/// Eagerly decodes a full image into slot data, verifying the per-slot
+/// blob checksums as it goes — the all-resident open path
+/// ([`crate::persist::assemble_engine`]).
+pub(crate) fn parse_segment_slots(image: &[u8]) -> Result<Vec<SlotData>, EngineError> {
+    let parsed = parse_image(image)?;
+    let blob = &image[parsed.blob_off..];
+    let mut out = Vec::with_capacity(parsed.slots.len());
+    // Re-derive the per-slot hashes from the summary for verification;
+    // parse_image validated extents so slicing below cannot go out of
+    // bounds.
+    let mut hash_cur = HashCursor::new(image, &parsed)?;
+    for (si, s) in parsed.slots.iter().enumerate() {
+        let bytes = &blob[s.elem_start as usize * 4..(s.elem_start + s.n_elems) as usize * 4];
+        let expect = hash_cur.next_hash();
+        let got = fnv1a64(bytes);
+        if got != expect {
+            return Err(EngineError::Store(format!(
+                "slot {si}: blob checksum mismatch: expected {expect:#018x}, got {got:#018x}"
+            )));
+        }
+        let mut off = 0usize;
+        let mut column_segments = Vec::with_capacity(s.seg_dims.len());
+        for &(r, c) in &s.seg_dims {
+            let n = r as usize * c as usize;
+            column_segments.push(Matrix::from_vec(
+                r as usize,
+                c as usize,
+                decode_f32s(&bytes[off * 4..(off + n) * 4]),
+            ));
+            off += n;
+        }
+        let mut encodings = Vec::with_capacity(s.enc_dims.len());
+        for &(r, c) in &s.enc_dims {
+            let n = r as usize * c as usize;
+            encodings.push(Matrix::from_vec(
+                r as usize,
+                c as usize,
+                decode_f32s(&bytes[off * 4..(off + n) * 4]),
+            ));
+            off += n;
+        }
+        out.push(SlotData {
+            meta: s.meta.clone(),
+            table: ProcessedTable {
+                table_id: s.meta.id,
+                column_segments,
+                column_ranges: s.ranges.clone(),
+            },
+            encodings,
+            intervals: s.intervals.clone(),
+        });
+    }
+    Ok(out)
+}
+
+/// Walks the summary a second time extracting only the per-slot blob
+/// hashes (the `SlotSummary` struct does not carry them — they matter
+/// exactly once, during eager verification).
+struct HashCursor {
+    hashes: std::vec::IntoIter<u64>,
+}
+
+impl HashCursor {
+    fn new(image: &[u8], parsed: &ParsedImage) -> Result<HashCursor, EngineError> {
+        let summary = &image[HEADER_LEN..];
+        let mut hashes = Vec::with_capacity(parsed.slots.len());
+        let mut cur = Cursor {
+            bytes: summary,
+            pos: 0,
+        };
+        for s in &parsed.slots {
+            cur.u64()?; // id
+            cur.str()?; // name
+            let n_cols = cur.u64()? as usize;
+            for c in 0..n_cols {
+                cur.take(16)?; // range
+                cur.take(16)?; // dims
+                cur.take(s.enc_dims[c].1 as usize * 4)?; // embedding
+            }
+            cur.take(8 + parsed.embed_dim * 4)?; // pooled
+            let n_iv = cur.u64()? as usize;
+            cur.take(n_iv * 16)?;
+            cur.u64()?; // n_elems
+            hashes.push(cur.u64()?);
+        }
+        Ok(HashCursor {
+            hashes: hashes.into_iter(),
+        })
+    }
+
+    fn next_hash(&mut self) -> u64 {
+        self.hashes.next().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| (i as f32 * 0.37 + seed).sin())
+                .collect(),
+        )
+    }
+
+    fn slot(id: u64, n_cols: usize, k: usize) -> SlotData {
+        SlotData {
+            meta: TableMeta {
+                id,
+                name: format!("table-{id}"),
+            },
+            table: ProcessedTable {
+                table_id: id,
+                column_segments: (0..n_cols).map(|c| mat(3, 8, c as f32)).collect(),
+                column_ranges: (0..n_cols).map(|c| (c as f64, c as f64 + 10.0)).collect(),
+            },
+            encodings: (0..n_cols)
+                .map(|c| mat(4, k, id as f32 + c as f32))
+                .collect(),
+            intervals: vec![(id as f64, id as f64 + 1.0)],
+        }
+    }
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Relaxed);
+        std::env::temp_dir().join(format!("lcdd-mapped-{tag}-{}-{n}.seg", std::process::id()))
+    }
+
+    fn frame(image: &[u8]) -> Vec<u8> {
+        let mut f = Vec::with_capacity(image.len() + 28);
+        f.extend_from_slice(b"TESTSEG9");
+        f.extend_from_slice(&7u32.to_le_bytes());
+        f.extend_from_slice(&(image.len() as u64).to_le_bytes());
+        f.extend_from_slice(&fnv1a64(image).to_le_bytes());
+        f.extend_from_slice(image);
+        f
+    }
+
+    #[test]
+    fn image_round_trips_through_eager_parse() {
+        let k = 16;
+        let slots: Vec<SlotData> = (0..5).map(|i| slot(i, 2 + (i as usize % 2), k)).collect();
+        let image = write_segment_image(slots.clone().into_iter(), k).unwrap();
+        let back = parse_segment_slots(&image).unwrap();
+        assert_eq!(back.len(), slots.len());
+        for (a, b) in slots.iter().zip(&back) {
+            assert_eq!(a.meta.id, b.meta.id);
+            assert_eq!(a.meta.name, b.meta.name);
+            assert_eq!(a.table.column_ranges, b.table.column_ranges);
+            assert_eq!(a.intervals, b.intervals);
+            for (ma, mb) in a.table.column_segments.iter().zip(&b.table.column_segments) {
+                assert_eq!(ma.as_slice(), mb.as_slice());
+            }
+            for (ma, mb) in a.encodings.iter().zip(&b.encodings) {
+                assert_eq!(ma.as_slice(), mb.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_open_materializes_identical_slots_lazily() {
+        let k = 16;
+        let slots: Vec<SlotData> = (0..4).map(|i| slot(i, 2, k)).collect();
+        let image = write_segment_image(slots.clone().into_iter(), k).unwrap();
+        let path = temp_file("lazy");
+        std::fs::write(&path, frame(&image)).unwrap();
+        let seg = MappedSegment::open_framed(&path, b"TESTSEG9", 7).unwrap();
+        assert_eq!(seg.n_slots(), 4);
+        assert_eq!(seg.embed_dim(), k);
+        assert_eq!(seg.paged_in(), (0, 0), "open must not decode any slot");
+        // Summary carries identity + pooled stats without touching blobs.
+        assert_eq!(seg.summary(2).meta.id, 2);
+        assert_eq!(
+            seg.summary(1).pooled,
+            PooledStat::of(&slots[1].encodings, k)
+        );
+        assert_eq!(
+            seg.summary(3).col_embeddings[1],
+            column_embedding_of(&slots[3].encodings[1])
+        );
+        // Materialization is per-slot and bit-exact.
+        let got = seg.materialize_slot(1);
+        assert_eq!(got.meta.id, slots[1].meta.id);
+        for (ma, mb) in got.encodings.iter().zip(&slots[1].encodings) {
+            assert_eq!(ma.as_slice(), mb.as_slice());
+        }
+        for (ma, mb) in got
+            .table
+            .column_segments
+            .iter()
+            .zip(&slots[1].table.column_segments)
+        {
+            assert_eq!(ma.as_slice(), mb.as_slice());
+        }
+        let (n, bytes) = seg.paged_in();
+        assert_eq!(n, 1, "a full slot decode counts as one page-in");
+        assert_eq!(bytes, seg.slot_blob_bytes(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_anywhere_fails_open() {
+        let k = 8;
+        let image = write_segment_image((0..3).map(|i| slot(i, 2, k)), k).unwrap();
+        let framed = frame(&image);
+        let path = temp_file("corrupt");
+        // A flip at every stride must be caught by the frame checksum.
+        for off in (0..framed.len()).step_by(97) {
+            let mut bad = framed.clone();
+            bad[off] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                MappedSegment::open_framed(&path, b"TESTSEG9", 7).is_err(),
+                "flip at {off} went undetected"
+            );
+        }
+        // Truncations too.
+        for cut in [10, 40, framed.len() / 2, framed.len() - 1] {
+            std::fs::write(&path, &framed[..cut]).unwrap();
+            assert!(MappedSegment::open_framed(&path, b"TESTSEG9", 7).is_err());
+        }
+        std::fs::write(&path, &framed).unwrap();
+        assert!(MappedSegment::open_framed(&path, b"TESTSEG9", 7).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let image = write_segment_image(std::iter::empty(), 16).unwrap();
+        assert!(parse_segment_slots(&image).unwrap().is_empty());
+        let path = temp_file("empty");
+        std::fs::write(&path, frame(&image)).unwrap();
+        let seg = MappedSegment::open_framed(&path, b"TESTSEG9", 7).unwrap();
+        assert_eq!(seg.n_slots(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

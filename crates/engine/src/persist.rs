@@ -3,9 +3,9 @@
 //! store persist, plus the assembly path that turns them back into an
 //! [`Engine`].
 //!
-//! Three kinds of bytes leave this module, all little-endian and all
-//! reusing the `LCDDSNP2` snapshot codec so a segment is bit-compatible
-//! with the corresponding shard section of [`Engine::save`]:
+//! Three kinds of bytes leave this module, all little-endian; batches and
+//! the meta section reuse the `LCDDSNP2` snapshot codec, while segments
+//! use the memory-mappable `LCDDSEG2` image of [`crate::mapped`]:
 //!
 //! * **Encoded table batches** ([`EncodedTableBatch`]) — the output of the
 //!   FCM dataset encoder for an ingest delta, opaque to callers. A WAL
@@ -18,7 +18,8 @@
 //! * **Shard segments** ([`segment_bytes`]) — one shard's live slots, the
 //!   unit of incremental checkpointing: a checkpoint rewrites only the
 //!   shards dirtied since the previous one and reuses the rest by file
-//!   reference.
+//!   reference. Segment files double as the cold tier: a store opened
+//!   cold serves them via [`assemble_engine_mapped`] without decoding.
 //!
 //! [`assemble_engine`] is the inverse: meta + global order + one segment
 //! per shard + the epoch to resume from. The interval tree and LSH are
@@ -26,18 +27,22 @@
 //! snapshot loader does, so a recovered engine answers queries
 //! bit-identically to the engine that wrote the segments.
 
+use std::sync::Arc;
+
 use lcdd_chart::ChartStyle;
 use lcdd_fcm::persist::{read_model_into, write_model};
 use lcdd_fcm::{encode_tables, EngineError, FcmModel};
+use lcdd_index::HybridConfig;
 use lcdd_table::Table;
+use lcdd_tensor::Matrix;
 use lcdd_vision::VisualElementExtractor;
 
 use crate::engine::Engine;
+use crate::mapped::{parse_segment_slots, write_segment_image, MappedSegment};
 use crate::shard::{EngineShard, SlotData};
 use crate::snapshot::{
-    read_fcm_config, read_hybrid_config, read_shard_section, rf64, rusize, validate_order, wf64,
-    wmat, write_fcm_config, write_hybrid_config, write_shard_section, write_slot, wusize,
-    MAX_FIELD_BYTES,
+    read_fcm_config, read_hybrid_config, rf64, rusize, validate_order, wf64, wmat,
+    write_fcm_config, write_hybrid_config, write_slot, wusize, MAX_FIELD_BYTES,
 };
 use crate::state::{EngineShared, EngineState};
 
@@ -205,15 +210,66 @@ pub fn meta_bytes(engine: &Engine) -> Result<Vec<u8>, EngineError> {
 }
 
 /// Serializes shard `shard` of `state` as a self-contained segment: its
-/// live slots in slot order, tombstone-independent (the same bytes the
-/// `LCDDSNP2` shard section would carry).
+/// live slots in slot order as a memory-mappable `LCDDSEG2` image (see
+/// [`crate::mapped`]) — fixed-layout summary up front, aligned f32 blob
+/// behind, so the store can later serve the file without decoding it.
+/// Slots are cloned out one at a time (cold slots materialize from their
+/// mapping transiently), so peak memory is the image plus one slot.
 pub fn segment_bytes(state: &EngineState, shard: usize) -> Result<Vec<u8>, EngineError> {
     let sh = state
         .shards
         .get(shard)
         .ok_or_else(|| EngineError::Store(format!("segment_bytes: no shard {shard}")))?;
-    let live: Vec<usize> = (0..sh.len()).filter(|&s| !sh.is_dead(s)).collect();
-    write_shard_section(sh, &live)
+    let live = (0..sh.len()).filter(|&s| !sh.is_dead(s));
+    write_segment_image(live.map(|s| sh.clone_slot(s)), sh.embed_dim)
+}
+
+/// One pre-encoded table, public shape: what external corpus generators
+/// (e.g. the testkit's synthetic scale corpus) hand the engine / store
+/// instead of raw tables, bypassing the FCM encoder entirely.
+pub struct EncodedSlot {
+    pub id: u64,
+    pub name: String,
+    pub table: lcdd_fcm::input::ProcessedTable,
+    pub encodings: Vec<Matrix>,
+    /// `[lo, hi]` index intervals of the table's columns.
+    pub intervals: Vec<(f64, f64)>,
+}
+
+impl EncodedSlot {
+    fn into_slot(self) -> SlotData {
+        SlotData {
+            meta: crate::TableMeta {
+                id: self.id,
+                name: self.name,
+            },
+            table: self.table,
+            encodings: self.encodings,
+            intervals: self.intervals,
+        }
+    }
+}
+
+impl EncodedTableBatch {
+    /// Packages externally encoded slots as an insertable batch — the
+    /// synthetic-corpus twin of [`encode_batch`].
+    pub fn from_encoded_parts(slots: Vec<EncodedSlot>) -> Self {
+        EncodedTableBatch {
+            slots: slots.into_iter().map(EncodedSlot::into_slot).collect(),
+        }
+    }
+}
+
+/// Builds an `LCDDSEG2` segment image directly from externally encoded
+/// slots, streaming: the iterator is consumed one slot at a time, so a
+/// generator can emit a million-table corpus without ever materializing
+/// a shard's worth of slots. Pair with the store's bulk-creation path to
+/// fabricate an openable corpus at scales live ingest can't hold.
+pub fn segment_image_bytes(
+    slots: impl Iterator<Item = EncodedSlot>,
+    embed_dim: usize,
+) -> Result<Vec<u8>, EngineError> {
+    write_segment_image(slots.map(EncodedSlot::into_slot), embed_dim)
 }
 
 /// The global ingest order of `state`, re-expressed in the compacted slot
@@ -238,12 +294,7 @@ pub fn assemble_engine(
     segments: &[Vec<u8>],
     epoch: u64,
 ) -> Result<Engine, EngineError> {
-    let mut r = meta;
-    let config = read_fcm_config(&mut r).map_err(meta_err)?;
-    config.validated()?;
-    let hybrid_cfg = read_hybrid_config(&mut r).map_err(meta_err)?;
-    let mut model = FcmModel::new(config);
-    read_model_into(&mut model, &mut r).map_err(meta_err)?;
+    let (model, hybrid_cfg) = parse_meta(meta)?;
     if segments.is_empty() {
         return Err(EngineError::Store(
             "assemble_engine: no segments (an engine always has at least one shard)".into(),
@@ -254,12 +305,73 @@ pub fn assemble_engine(
         .iter()
         .enumerate()
         .map(|(i, bytes)| {
-            read_shard_section(bytes, i)
+            parse_segment_slots(bytes)
+                .map_err(|e| segment_err(i, e))
                 .map(|slots| EngineShard::from_slots(slots, embed_dim, hybrid_cfg.clone()))
         })
         .collect::<Result<_, _>>()?;
+    finish_assembly(model, hybrid_cfg, shards, order, epoch)
+}
+
+/// [`assemble_engine`]'s cold-tier twin: instead of decoding segment
+/// payloads, each segment file is memory-mapped (`MappedSegment`) and
+/// its shard assembled from the summary alone — identity, index and
+/// corpus statistics come up immediately, while every f32 blob stays on
+/// disk until a query's exact-scoring stage (or a mutation that
+/// restructures the shard) demands specific slots. `magic` / `version`
+/// name the store's segment framing, verified — checksum included — at
+/// open.
+pub fn assemble_engine_mapped(
+    meta: &[u8],
+    order: Vec<(u32, u32)>,
+    segment_paths: &[std::path::PathBuf],
+    epoch: u64,
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<Engine, EngineError> {
+    let (model, hybrid_cfg) = parse_meta(meta)?;
+    if segment_paths.is_empty() {
+        return Err(EngineError::Store(
+            "assemble_engine_mapped: no segments (an engine always has at least one shard)".into(),
+        ));
+    }
+    let embed_dim = model.config.embed_dim;
+    let shards: Vec<EngineShard> = segment_paths
+        .iter()
+        .map(|path| {
+            let seg = MappedSegment::open_framed(path, magic, version)?;
+            if seg.embed_dim() != embed_dim {
+                return Err(EngineError::Store(format!(
+                    "{}: segment embed_dim {} does not match the model's {embed_dim}",
+                    path.display(),
+                    seg.embed_dim()
+                )));
+            }
+            Ok(EngineShard::from_mapped(Arc::new(seg), hybrid_cfg.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    finish_assembly(model, hybrid_cfg, shards, order, epoch)
+}
+
+fn parse_meta(meta: &[u8]) -> Result<(FcmModel, HybridConfig), EngineError> {
+    let mut r = meta;
+    let config = read_fcm_config(&mut r).map_err(meta_err)?;
+    config.validated()?;
+    let hybrid_cfg = read_hybrid_config(&mut r).map_err(meta_err)?;
+    let mut model = FcmModel::new(config);
+    read_model_into(&mut model, &mut r).map_err(meta_err)?;
+    Ok((model, hybrid_cfg))
+}
+
+fn finish_assembly(
+    model: FcmModel,
+    hybrid_cfg: HybridConfig,
+    shards: Vec<EngineShard>,
+    order: Vec<(u32, u32)>,
+    epoch: u64,
+) -> Result<Engine, EngineError> {
     validate_order(&order, &shards)?;
-    let mut state = EngineState::from_shards(shards, order, embed_dim);
+    let mut state = EngineState::from_shards(shards, order, model.config.embed_dim);
     state.set_epoch(epoch);
     let shared = EngineShared {
         model,
@@ -268,6 +380,13 @@ pub fn assemble_engine(
         style: ChartStyle::default(),
     };
     Ok(Engine::from_parts(shared, state))
+}
+
+fn segment_err(shard: usize, e: EngineError) -> EngineError {
+    match e {
+        EngineError::Store(m) => EngineError::Store(format!("segment {shard}: {m}")),
+        other => other,
+    }
 }
 
 /// Overrides the engine's epoch counter. Recovery-only: after replaying a

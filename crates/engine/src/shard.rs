@@ -23,12 +23,90 @@
 //! shard's bytes depend only on its own slots, which is what makes
 //! copy-on-write sharing across epochs sound.
 
+use std::borrow::Cow;
+use std::sync::Arc;
+
 use lcdd_fcm::input::ProcessedTable;
-use lcdd_fcm::EncodedRepository;
+use lcdd_fcm::{EncodedRepository, QuantizedVec};
 use lcdd_index::{HybridConfig, HybridIndex, Interval};
 use lcdd_tensor::Matrix;
 
 use crate::engine::TableMeta;
+use crate::mapped::MappedSegment;
+
+/// One table's contribution to the corpus pooled mean, in replayable
+/// form: `sum` is the table's element-wise pooled sum (`t_pool` in
+/// [`lcdd_fcm::pooled_mean_of`]) and `rows` its total segment-row count.
+/// Replaying `sum[j] / rows` per counted table reproduces the global
+/// pooled mean *bit-identically* without touching any encoding matrix —
+/// which is what lets a cold shard participate in corpus statistics
+/// while its blob stays on disk.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct PooledStat {
+    pub sum: Vec<f32>,
+    pub rows: u64,
+}
+
+impl PooledStat {
+    /// Accumulates one table's pooled statistic with the exact loop
+    /// structure of [`lcdd_fcm::pooled_mean_of`]'s per-table body
+    /// (columns outer, rows inner, `zip` truncation to `k`), so replay
+    /// is bitwise-faithful.
+    pub(crate) fn of(encodings: &[Matrix], k: usize) -> Self {
+        let mut sum = vec![0.0f32; k];
+        let mut rows = 0u64;
+        for col in encodings {
+            for r in 0..col.rows() {
+                for (acc, &v) in sum.iter_mut().zip(col.row(r)) {
+                    *acc += v;
+                }
+            }
+            rows += col.rows() as u64;
+        }
+        PooledStat { sum, rows }
+    }
+
+    /// The table's pooled embedding (`sum / rows`), or zeros for a table
+    /// with no segment rows. This is the vector the quantized proxy scan
+    /// ranks against.
+    pub(crate) fn t_mean(&self, k: usize) -> Vec<f32> {
+        if self.rows == 0 {
+            vec![0.0; k]
+        } else {
+            self.sum.iter().map(|&v| v / self.rows as f32).collect()
+        }
+    }
+}
+
+/// Mean-pooled column embedding of one encoding matrix — the same
+/// computation as [`EncodedRepository::column_embedding`], lifted off the
+/// repository so segment-image writers can derive the vector the LSH/IVF
+/// index will hash without assembling a repository first.
+pub(crate) fn column_embedding_of(m: &Matrix) -> Vec<f32> {
+    let (rows, cols) = m.shape();
+    let mut out = vec![0.0f32; cols];
+    if rows == 0 {
+        return out;
+    }
+    for r in 0..rows {
+        for (o, &v) in out.iter_mut().zip(m.row(r)) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= rows as f32;
+    }
+    out
+}
+
+/// The cold half of a tiered shard: slots `< n_mapped` live in a mapped
+/// checkpoint segment and materialize on demand; slots appended after
+/// the cold open are ordinary resident slots.
+#[derive(Clone)]
+pub(crate) struct ColdTier {
+    pub seg: Arc<MappedSegment>,
+    pub n_mapped: usize,
+}
 
 /// Everything one ingested table contributes to a shard.
 #[derive(Clone)]
@@ -78,6 +156,15 @@ pub struct EngineShard {
     pub(crate) slot_intervals: Vec<Vec<(f64, f64)>>,
     /// Local index over slot ids; tombstones live here.
     pub(crate) index: HybridIndex,
+    /// Per-slot replayable pooled-mean contribution (see [`PooledStat`]).
+    pub(crate) pooled: Vec<PooledStat>,
+    /// Per-slot int8-quantized pooled embedding — the candidate-scan
+    /// proxy representation (~K bytes per table instead of the full f32
+    /// encodings).
+    pub(crate) quant: Vec<QuantizedVec>,
+    pub(crate) embed_dim: usize,
+    /// `Some` while any slot is still served from a mapped segment.
+    pub(crate) cold: Option<ColdTier>,
 }
 
 impl EngineShard {
@@ -88,8 +175,13 @@ impl EngineShard {
         let mut tables = Vec::with_capacity(slots.len());
         let mut encodings = Vec::with_capacity(slots.len());
         let mut slot_intervals = Vec::with_capacity(slots.len());
+        let mut pooled = Vec::with_capacity(slots.len());
+        let mut quant = Vec::with_capacity(slots.len());
         for s in slots {
             meta.push(s.meta);
+            let p = PooledStat::of(&s.encodings, embed_dim);
+            quant.push(QuantizedVec::quantize(&p.t_mean(embed_dim)));
+            pooled.push(p);
             tables.push(s.table);
             encodings.push(s.encodings);
             slot_intervals.push(s.intervals);
@@ -105,13 +197,123 @@ impl EngineShard {
             meta,
             slot_intervals,
             index,
+            pooled,
+            quant,
+            embed_dim,
+            cold: None,
+        }
+    }
+
+    /// Assembles a shard served from a mapped checkpoint segment: every
+    /// derived structure (identity, ranges, index intervals, pooled
+    /// embeddings for LSH/IVF, pooled stats, quantized proxies) comes
+    /// from the segment *summary*; the f32 blob stays cold. The
+    /// repository holds shape-correct placeholders (real `column_ranges`
+    /// plus `n_cols` empty matrices) so column filtering — which reads
+    /// only ranges and column count — works unchanged, and anything that
+    /// needs real matrices goes through [`Self::slot_table`] /
+    /// [`Self::slot_encodings`].
+    pub(crate) fn from_mapped(seg: Arc<MappedSegment>, cfg: HybridConfig) -> Self {
+        let embed_dim = seg.embed_dim();
+        let n = seg.n_slots();
+        let mut meta = Vec::with_capacity(n);
+        let mut tables = Vec::with_capacity(n);
+        let mut encodings = Vec::with_capacity(n);
+        let mut slot_intervals = Vec::with_capacity(n);
+        let mut pooled = Vec::with_capacity(n);
+        let mut quant = Vec::with_capacity(n);
+        let mut embeddings = Vec::with_capacity(n);
+        for slot in 0..n {
+            let s = seg.summary(slot);
+            meta.push(s.meta.clone());
+            tables.push(ProcessedTable {
+                table_id: s.meta.id,
+                column_segments: s.seg_dims.iter().map(|_| Matrix::zeros(0, 0)).collect(),
+                column_ranges: s.ranges.clone(),
+            });
+            encodings.push(s.enc_dims.iter().map(|_| Matrix::zeros(0, 0)).collect());
+            slot_intervals.push(s.intervals.clone());
+            quant.push(QuantizedVec::quantize(&s.pooled.t_mean(embed_dim)));
+            pooled.push(s.pooled.clone());
+            embeddings.push(s.col_embeddings.clone());
+        }
+        let flat: Vec<Interval> = slot_intervals
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, ivs)| {
+                ivs.iter().map(move |&(lo, hi)| Interval {
+                    lo,
+                    hi,
+                    dataset_id: slot,
+                })
+            })
+            .collect();
+        let index = HybridIndex::from_parts(flat, &embeddings, embed_dim, n, cfg);
+        EngineShard {
+            repo: EncodedRepository {
+                tables,
+                encodings,
+                pooled_mean: Matrix::zeros(1, embed_dim),
+            },
+            meta,
+            slot_intervals,
+            index,
+            pooled,
+            quant,
+            embed_dim,
+            cold: Some(ColdTier { seg, n_mapped: n }),
+        }
+    }
+
+    /// Decodes every cold slot into the resident vectors and drops the
+    /// mapping — the escape hatch for operations that restructure the
+    /// shard (compaction, reshard extraction).
+    pub(crate) fn materialize_all(&mut self) {
+        if let Some(cold) = self.cold.take() {
+            for slot in 0..cold.n_mapped {
+                self.repo.tables[slot] = cold.seg.materialize_table(slot);
+                self.repo.encodings[slot] = cold.seg.materialize_encodings(slot);
+            }
+        }
+    }
+
+    /// The preprocessed table of one slot, materializing it out of the
+    /// mapped segment when cold.
+    pub(crate) fn slot_table(&self, slot: usize) -> Cow<'_, ProcessedTable> {
+        match &self.cold {
+            Some(c) if slot < c.n_mapped => Cow::Owned(c.seg.materialize_table(slot)),
+            _ => Cow::Borrowed(&self.repo.tables[slot]),
+        }
+    }
+
+    /// The cached encoding matrices of one slot, materializing them out
+    /// of the mapped segment when cold.
+    pub(crate) fn slot_encodings(&self, slot: usize) -> Cow<'_, [Matrix]> {
+        match &self.cold {
+            Some(c) if slot < c.n_mapped => Cow::Owned(c.seg.materialize_encodings(slot)),
+            _ => Cow::Borrowed(&self.repo.encodings[slot]),
+        }
+    }
+
+    /// A full copy of one slot's data, decoding from the mapped segment
+    /// when cold.
+    pub(crate) fn clone_slot(&self, slot: usize) -> SlotData {
+        match &self.cold {
+            Some(c) if slot < c.n_mapped => c.seg.materialize_slot(slot),
+            _ => SlotData {
+                meta: self.meta[slot].clone(),
+                table: self.repo.tables[slot].clone(),
+                encodings: self.repo.encodings[slot].clone(),
+                intervals: self.slot_intervals[slot].clone(),
+            },
         }
     }
 
     /// Moves every slot (dead ones included — callers filter via the
     /// global order) out of the shard. The cheap path of a reshard when
     /// the shard is uniquely owned.
-    pub(crate) fn into_slots(self) -> Vec<SlotData> {
+    pub(crate) fn into_slots(mut self) -> Vec<SlotData> {
+        self.materialize_all();
         self.meta
             .into_iter()
             .zip(self.repo.tables)
@@ -127,16 +329,10 @@ impl EngineShard {
     }
 
     /// Clones every slot out of a shared shard (the copy-on-write path of
-    /// a reshard while published snapshots still reference the shard).
+    /// a reshard while published snapshots still reference the shard),
+    /// decoding cold slots from the mapped segment as it goes.
     pub(crate) fn clone_slots(&self) -> Vec<SlotData> {
-        (0..self.meta.len())
-            .map(|l| SlotData {
-                meta: self.meta[l].clone(),
-                table: self.repo.tables[l].clone(),
-                encodings: self.repo.encodings[l].clone(),
-                intervals: self.slot_intervals[l].clone(),
-            })
-            .collect()
+        (0..self.meta.len()).map(|l| self.clone_slot(l)).collect()
     }
 
     fn build_index(
@@ -210,8 +406,41 @@ impl EngineShard {
         &self.index
     }
 
+    /// `(resident tables, mapped tables)` in this shard, dead slots
+    /// included (they occupy their tier until compaction).
+    pub(crate) fn tier_tables(&self) -> (u64, u64) {
+        let mapped = self.cold.as_ref().map_or(0, |c| c.n_mapped) as u64;
+        (self.meta.len() as u64 - mapped, mapped)
+    }
+
+    /// `(resident bytes, mapped bytes)` of table payload in this shard:
+    /// resident counts f32 matrix storage plus the always-resident
+    /// quantized proxies; mapped counts the cold blob backing the shard.
+    pub(crate) fn tier_bytes(&self) -> (u64, u64) {
+        let n_mapped = self.cold.as_ref().map_or(0, |c| c.n_mapped);
+        let mut resident: u64 = self.quant.iter().map(|q| q.byte_size() as u64).sum();
+        for slot in n_mapped..self.meta.len() {
+            let mats = self.repo.tables[slot]
+                .column_segments
+                .iter()
+                .chain(self.repo.encodings[slot].iter());
+            resident += mats.map(|m| m.len() as u64 * 4).sum::<u64>();
+        }
+        let mapped = self.cold.as_ref().map_or(0, |c| c.seg.blob_bytes());
+        (resident, mapped)
+    }
+
     /// Pooled column embeddings of one slot (what its LSH entries hash).
+    /// Cold slots answer from the segment summary — the writer derived
+    /// those vectors with the same loop the repository uses, so
+    /// tombstoning a cold slot evicts the exact LSH entries its insert
+    /// created, without decoding the blob.
     fn slot_embeddings(&self, slot: usize) -> Vec<Vec<f32>> {
+        if let Some(c) = &self.cold {
+            if slot < c.n_mapped {
+                return c.seg.summary(slot).col_embeddings.clone();
+            }
+        }
         (0..self.repo.encodings[slot].len())
             .map(|c| self.repo.column_embedding(slot, c))
             .collect()
@@ -222,6 +451,10 @@ impl EngineShard {
     pub(crate) fn push_slot(&mut self, slot: SlotData) -> usize {
         let id = self.meta.len();
         self.meta.push(slot.meta);
+        let p = PooledStat::of(&slot.encodings, self.embed_dim);
+        self.quant
+            .push(QuantizedVec::quantize(&p.t_mean(self.embed_dim)));
+        self.pooled.push(p);
         self.repo.tables.push(slot.table);
         self.repo.encodings.push(slot.encodings);
         self.slot_intervals.push(slot.intervals);
@@ -248,6 +481,10 @@ impl EngineShard {
         if self.n_dead() == 0 {
             return None;
         }
+        // Compaction restructures every slot-indexed vector; serve the
+        // survivors resident from here on. (Cold shards reach this only
+        // through explicit removal + threshold crossing.)
+        self.materialize_all();
         let n = self.meta.len();
         let mut remap: Vec<Option<usize>> = Vec::with_capacity(n);
         let mut next = 0usize;
@@ -264,6 +501,10 @@ impl EngineShard {
         retain_indexed(&mut self.repo.tables, live);
         retain_indexed(&mut self.repo.encodings, live);
         retain_indexed(&mut self.slot_intervals, live);
+        // Pooled stats and quantized proxies are per-slot pure values —
+        // surviving slots keep theirs verbatim.
+        retain_indexed(&mut self.pooled, live);
+        retain_indexed(&mut self.quant, live);
         self.index = Self::build_index(
             &self.repo,
             &self.slot_intervals,

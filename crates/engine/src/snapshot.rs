@@ -257,7 +257,8 @@ pub(crate) fn write_hybrid_config<W: Write>(
     wusize(w, c.lsh_bits)?;
     wu32(w, c.lsh_radius)?;
     wf64(w, c.range_slack)?;
-    wu64(w, c.seed)
+    wu64(w, c.seed)?;
+    wusize(w, c.ivf_nprobe)
 }
 
 pub(crate) fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, EngineError> {
@@ -266,6 +267,7 @@ pub(crate) fn read_hybrid_config<R: Read>(r: &mut R) -> Result<HybridConfig, Eng
         lsh_radius: ru32(r)?,
         range_slack: rf64(r)?,
         seed: ru64(r)?,
+        ivf_nprobe: rusize(r)?,
     })
 }
 
@@ -296,13 +298,15 @@ pub(crate) fn write_shard_section(
 ) -> Result<Vec<u8>, EngineError> {
     let mut w = Vec::new();
     wusize(&mut w, live.len())?;
+    // Slot accessors, not direct repo reads: a cold (mapped) shard
+    // materializes each slot transiently here and stays cold afterwards.
     for &slot in live {
-        write_slot(&mut w, &shard.meta[slot], &shard.repo.tables[slot])?;
+        write_slot(&mut w, &shard.meta[slot], &shard.slot_table(slot))?;
     }
     for &slot in live {
-        let cols = &shard.repo.encodings[slot];
+        let cols = shard.slot_encodings(slot);
         wusize(&mut w, cols.len())?;
-        for col in cols {
+        for col in cols.iter() {
             wmat(&mut w, col)?;
         }
     }
@@ -647,13 +651,13 @@ impl Engine {
             write_slot(
                 &mut w,
                 &shard.meta[l as usize],
-                &shard.repo.tables[l as usize],
+                &shard.slot_table(l as usize),
             )?;
         }
         for &(s, l) in &state.order {
-            let cols = &state.shards[s as usize].repo.encodings[l as usize];
+            let cols = state.shards[s as usize].slot_encodings(l as usize);
             wusize(&mut w, cols.len())?;
-            for col in cols {
+            for col in cols.iter() {
                 wmat(&mut w, col)?;
             }
         }

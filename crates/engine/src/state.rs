@@ -21,8 +21,7 @@ use std::time::Instant;
 
 use lcdd_chart::{render, ChartStyle};
 use lcdd_fcm::{
-    encode_tables, pooled_mean_of, process_query, EngineError, FcmModel, ProcessedQuery,
-    QueryScorer,
+    encode_tables, process_query, EngineError, FcmModel, ProcessedQuery, QuantizedVec, QueryScorer,
 };
 use lcdd_index::{CandidateSet, HybridConfig, IndexStrategy};
 use lcdd_table::Table;
@@ -30,7 +29,9 @@ use lcdd_tensor::{pool, Matrix};
 use lcdd_vision::{ExtractedChart, VisualElementExtractor};
 
 use crate::shard::{EngineShard, SlotData};
-use crate::types::{Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings};
+use crate::types::{
+    Query, SearchHit, SearchOptions, SearchResponse, StageCounts, StageTimings, TierStats,
+};
 
 /// The query-independent serving configuration: trained model, index
 /// settings, extractor and chart style. Immutable once serving starts —
@@ -113,6 +114,14 @@ pub struct EngineState {
     /// Global centering reference: mean pooled table embedding over the
     /// live corpus in global ingest order.
     pub(crate) pooled_mean: Matrix,
+    /// `pooled_mean`, int8-quantized — the query side of the proxy scan
+    /// subtracts `q . center` so candidates compare by their *centered*
+    /// pooled alignment, mirroring the matcher's centering.
+    pub(crate) quant_center: QuantizedVec,
+    /// `inv_norms[shard][slot]` = `1 / ||t_mean - pooled_mean||` (0 for
+    /// empty tables), the per-candidate normalizer of the proxy score.
+    /// Derived data, rebuilt with `pooled_mean` on every mutation.
+    pub(crate) inv_norms: Vec<Vec<f32>>,
     /// Version counter, bumped by every corpus mutation. Snapshots
     /// published by [`crate::ServingEngine`] carry it into every
     /// [`SearchResponse`].
@@ -126,6 +135,8 @@ impl EngineState {
             order,
             positions: Vec::new(),
             pooled_mean: Matrix::zeros(1, k),
+            quant_center: QuantizedVec::quantize(&[]),
+            inv_norms: Vec::new(),
             epoch: 0,
         };
         state.rebuild_global(k);
@@ -331,9 +342,17 @@ impl EngineState {
     }
 
     /// Recomputes the state-global derived data after any mutation: the
-    /// per-slot global positions and the pooled-mean centering reference
-    /// (accumulated over live tables in global ingest order, so the result
-    /// is bit-identical for every shard layout of the same corpus).
+    /// per-slot global positions, the pooled-mean centering reference,
+    /// and the proxy-scan side tables (`quant_center`, `inv_norms`).
+    ///
+    /// The pooled mean replays each table's [`crate::shard::PooledStat`]
+    /// in global ingest order with exactly the arithmetic of
+    /// [`lcdd_fcm::pooled_mean_of`] (`sum / rows` per counted table, then
+    /// one scale by `1 / count`), so the result is bit-identical for
+    /// every shard layout *and* for every residency: cold shards
+    /// contribute without decoding a single encoding matrix, and a
+    /// million-table mutation costs `O(corpus x K)`, not a pass over
+    /// every stored element.
     pub(crate) fn rebuild_global(&mut self, embed_dim: usize) {
         self.positions = self
             .shards
@@ -343,12 +362,68 @@ impl EngineState {
         for (pos, &(s, l)) in self.order.iter().enumerate() {
             self.positions[s as usize][l as usize] = pos;
         }
-        self.pooled_mean = pooled_mean_of(
-            self.order
-                .iter()
-                .map(|&(s, l)| &self.shards[s as usize].repo.encodings[l as usize]),
-            embed_dim,
-        );
+        let mut pooled_mean = Matrix::zeros(1, embed_dim);
+        let mut count = 0usize;
+        for &(s, l) in &self.order {
+            let p = &self.shards[s as usize].pooled[l as usize];
+            if p.rows > 0 {
+                for (m, v) in pooled_mean.as_mut_slice().iter_mut().zip(&p.sum) {
+                    *m += v / p.rows as f32;
+                }
+                count += 1;
+            }
+        }
+        if count > 0 {
+            pooled_mean.scale_assign(1.0 / count as f32);
+        }
+        self.pooled_mean = pooled_mean;
+        self.quant_center = QuantizedVec::quantize(self.pooled_mean.as_slice());
+        let center = self.pooled_mean.as_slice();
+        self.inv_norms = self
+            .shards
+            .iter()
+            .map(|sh| {
+                (0..sh.len())
+                    .map(|l| {
+                        let p = &sh.pooled[l];
+                        if p.rows == 0 {
+                            return 0.0;
+                        }
+                        let mut ss = 0.0f32;
+                        for (j, &v) in p.sum.iter().enumerate() {
+                            let t = v / p.rows as f32 - center[j];
+                            ss += t * t;
+                        }
+                        let n = ss.sqrt();
+                        if n > 0.0 {
+                            1.0 / n
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Hot/cold residency of this snapshot (see [`TierStats`]). Walks only
+    /// per-shard counters — no slot is touched, no lock is taken.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut t = TierStats::default();
+        for sh in &self.shards {
+            let (rt, mt) = sh.tier_tables();
+            let (rb, mb) = sh.tier_bytes();
+            t.resident_tables += rt;
+            t.mapped_tables += mt;
+            t.resident_bytes += rb;
+            t.mapped_bytes += mb;
+            if let Some(c) = &sh.cold {
+                let (n, b) = c.seg.paged_in();
+                t.slots_paged_in += n;
+                t.bytes_paged_in += b;
+            }
+        }
+        t
     }
 
     // ---- search ----------------------------------------------------------
@@ -405,13 +480,57 @@ impl EngineState {
         // hits are bit-identical across thread counts and shard layouts.
         let t = Instant::now();
         let scorer = QueryScorer::new(model, &ev);
+
+        // Optional quantized pre-rank: when the index stages leave more
+        // candidates than the exact-scoring budget, rank them all by the
+        // int8 proxy of the centered pooled-alignment term and keep the
+        // top `r`. The proxy reads ~K bytes per candidate from
+        // always-resident side tables, so a cold (mapped) corpus narrows
+        // its candidates without paging a single blob in; only the `r`
+        // survivors reach the exact matcher (and, on the cold tier, the
+        // mapping). Proxy values are per-table pure, and ties break on
+        // (table id, global position), so the surviving *set* — and hence
+        // the final ranking — is identical for every shard layout.
+        let (flat, quant_scanned, reranked) = match opts.rerank {
+            Some(r) if flat.len() > r => {
+                let qv = QuantizedVec::quantize(scorer.v_pooled().as_slice());
+                let q_dot_c = qv.dot(&self.quant_center);
+                let proxies: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
+                    let sh = &self.shards[s as usize];
+                    (qv.dot(&sh.quant[l as usize]) - q_dot_c)
+                        * self.inv_norms[s as usize][l as usize]
+                });
+                let mut by_proxy: Vec<(f32, u64, usize, (u32, u32))> = flat
+                    .iter()
+                    .zip(&proxies)
+                    .map(|(&(s, l), &p)| {
+                        (
+                            p,
+                            self.shards[s as usize].meta[l as usize].id,
+                            self.positions[s as usize][l as usize],
+                            (s, l),
+                        )
+                    })
+                    .collect();
+                by_proxy.sort_by(|a, b| {
+                    b.0.total_cmp(&a.0)
+                        .then_with(|| a.1.cmp(&b.1))
+                        .then_with(|| a.2.cmp(&b.2))
+                });
+                by_proxy.truncate(r);
+                let scanned = flat.len();
+                let kept: Vec<(u32, u32)> = by_proxy.iter().map(|&(.., loc)| loc).collect();
+                let n_kept = kept.len();
+                (kept, Some(scanned), Some(n_kept))
+            }
+            _ => (flat, None, None),
+        };
+
         let scored: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
-            scorer.score_table(
-                &self.shards[s as usize].repo,
-                &pq,
-                l as usize,
-                &self.pooled_mean,
-            )
+            let sh = &self.shards[s as usize];
+            let pt = sh.slot_table(l as usize);
+            let enc = sh.slot_encodings(l as usize);
+            scorer.score_table_parts(&pt, &enc, &pq, &self.pooled_mean)
         });
         let mut ranked: Vec<(f32, u64, usize, (u32, u32))> = flat
             .iter()
@@ -463,6 +582,9 @@ impl EngineState {
                 total: self.len(),
                 after_interval: sum_stage(|c| c.after_interval),
                 after_lsh: sum_stage(|c| c.after_lsh),
+                after_ann: sum_stage(|c| c.after_ann),
+                quant_scanned,
+                reranked,
                 scored: flat.len(),
             },
             timings: StageTimings {
@@ -511,6 +633,7 @@ impl EngineState {
         CandidateSet {
             after_interval: sum_stage(|c| c.after_interval),
             after_lsh: sum_stage(|c| c.after_lsh),
+            after_ann: sum_stage(|c| c.after_ann),
             ids,
         }
     }
@@ -529,12 +652,10 @@ impl EngineState {
         }
         let ev = model.encode_query_values(&pq);
         let (s, l) = self.order[index];
-        Ok(QueryScorer::new(model, &ev).score_table(
-            &self.shards[s as usize].repo,
-            &pq,
-            l as usize,
-            &self.pooled_mean,
-        ))
+        let sh = &self.shards[s as usize];
+        let pt = sh.slot_table(l as usize);
+        let enc = sh.slot_encodings(l as usize);
+        Ok(QueryScorer::new(model, &ev).score_table_parts(&pt, &enc, &pq, &self.pooled_mean))
     }
 }
 

@@ -49,6 +49,14 @@ pub struct SearchOptions {
     pub strategy: IndexStrategy,
     /// Drop hits scoring below this threshold (post-ranking filter).
     pub min_score: Option<f32>,
+    /// Quantized-scan re-rank budget. `Some(r)`: when the index stages
+    /// leave more than `r` candidates, rank them all by an int8 proxy of
+    /// the matcher's alignment term (centered pooled-embedding dot
+    /// product — bytes per table instead of full f32 encodings, so cold
+    /// tables are ranked without paging their blobs in) and hand only
+    /// the top `r` survivors to the exact FCM matcher. `None` (the
+    /// default): every candidate is scored exactly, as before.
+    pub rerank: Option<usize>,
 }
 
 impl Default for SearchOptions {
@@ -57,6 +65,7 @@ impl Default for SearchOptions {
             k: 10,
             strategy: IndexStrategy::Hybrid,
             min_score: None,
+            rerank: None,
         }
     }
 }
@@ -80,6 +89,13 @@ impl SearchOptions {
     /// Sets the minimum score threshold.
     pub fn with_min_score(mut self, min_score: f32) -> Self {
         self.min_score = Some(min_score);
+        self
+    }
+
+    /// Caps exact scoring at `r` candidates via the quantized pre-rank
+    /// (see [`SearchOptions::rerank`]).
+    pub fn with_rerank(mut self, r: usize) -> Self {
+        self.rerank = Some(r);
         self
     }
 }
@@ -107,8 +123,38 @@ pub struct StageCounts {
     pub after_interval: Option<usize>,
     /// Candidates after the LSH stage (`None` = stage inactive).
     pub after_lsh: Option<usize>,
+    /// Candidates after the IVF ANN probe (`None` = stage inactive).
+    pub after_ann: Option<usize>,
+    /// Candidates ranked by the int8 proxy scan (`None` = no re-rank
+    /// budget was set or the candidate set already fit inside it).
+    pub quant_scanned: Option<usize>,
+    /// Candidates surviving the proxy scan into exact scoring (`None`
+    /// under the same conditions as `quant_scanned`).
+    pub reranked: Option<usize>,
     /// Candidates handed to (and scored by) the FCM matcher.
     pub scored: usize,
+}
+
+/// Where the corpus physically lives: the resident (hot) tier versus
+/// mapped (cold) checkpoint segments, plus the demand-paging activity
+/// since those segments were opened. Computed on demand from a single
+/// published snapshot — reading it takes no locks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Tables served from resident (decoded) slots, dead slots included.
+    pub resident_tables: u64,
+    /// Tables served from mapped segments, dead slots included.
+    pub mapped_tables: u64,
+    /// Bytes of decoded matrix payload plus always-resident quantized
+    /// proxies.
+    pub resident_bytes: u64,
+    /// Bytes of cold blob backing the mapped slots.
+    pub mapped_bytes: u64,
+    /// Slot materializations (table or encodings) served from mapped
+    /// segments since they were opened.
+    pub slots_paged_in: u64,
+    /// Blob bytes decoded from mapped segments since they were opened.
+    pub bytes_paged_in: u64,
 }
 
 /// Wall-clock seconds spent in each stage of one search.

@@ -1,0 +1,301 @@
+//! IVF-style coarse ANN tier: seeded k-means centroids over pooled
+//! dataset embeddings, with nprobe-configurable posting-list scans.
+//!
+//! The interval tree is exact and the LSH tier holds recall well into the
+//! thousands, but at 6-to-7-figure corpus sizes Hamming-ball probing
+//! either explodes (large radius) or starves (small radius). The IVF tier
+//! trades that cliff for a smooth knob: datasets are bucketed by nearest
+//! coarse centroid at build time, and a query scans only the `nprobe`
+//! nearest buckets — recall grows monotonically with `nprobe`, reaching
+//! the exhaustive scan at `nprobe == nlist`.
+//!
+//! Everything is deterministic: centroid init draws from a seeded
+//! splitmix stream, k-means iterates a fixed number of rounds with
+//! lowest-index tie-breaking, and posting lists stay id-sorted. Two
+//! builds over the same embeddings answer queries identically, which is
+//! what lets snapshot restore rebuild the tier from persisted embeddings.
+//!
+//! Mutability follows the live-mutation contract of the other tiers:
+//! [`IvfIndex::insert`] assigns the new dataset to its nearest existing
+//! centroid (centroids are never re-trained incrementally — the same
+//! freeze-then-compact discipline the LSH hyperplanes use), and
+//! [`IvfIndex::remove`] deletes the id from its posting list eagerly.
+
+/// Maximum number of points the k-means training pass looks at. Beyond
+/// this, training samples a deterministic subset; assignment still covers
+/// every point.
+const KMEANS_SAMPLE_CAP: usize = 16_384;
+
+/// Fixed k-means refinement rounds (empty-cluster-safe Lloyd iterations).
+/// The coarse quantizer only needs rough Voronoi cells, not convergence.
+const KMEANS_ROUNDS: usize = 8;
+
+/// Hard cap on the centroid count (√n rule clamped).
+const MAX_NLIST: usize = 4096;
+
+/// The coarse inverted-file index over one shard's pooled dataset
+/// embeddings.
+#[derive(Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    /// Row-major `nlist x dim` coarse centroids.
+    centroids: Vec<f32>,
+    nlist: usize,
+    /// `posting[list]` = ascending dataset ids assigned to that centroid.
+    posting: Vec<Vec<usize>>,
+    /// `assign[id]` = posting list holding `id` (None once removed).
+    assign: Vec<Option<u32>>,
+}
+
+/// Deterministic splitmix64 step — the seed stream behind centroid init.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Squared L2 distance between two equal-length vectors.
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+impl IvfIndex {
+    /// Trains the coarse quantizer over `points` (one pooled embedding per
+    /// dataset, `points[id]` ↔ dataset id) and assigns every dataset to
+    /// its nearest centroid. `nlist ≈ √n`, clamped to `[1, 4096]`.
+    pub fn build(points: &[Vec<f32>], dim: usize, seed: u64) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return IvfIndex {
+                dim,
+                centroids: Vec::new(),
+                nlist: 0,
+                posting: Vec::new(),
+                assign: Vec::new(),
+            };
+        }
+        let nlist = ((n as f64).sqrt().ceil() as usize).clamp(1, MAX_NLIST.min(n));
+
+        // Seeded sample for training (all points when small enough).
+        let sample: Vec<usize> = if n <= KMEANS_SAMPLE_CAP {
+            (0..n).collect()
+        } else {
+            let mut state = seed ^ 0x1f5a_c0de;
+            let mut picked: Vec<usize> = (0..KMEANS_SAMPLE_CAP)
+                .map(|_| (splitmix(&mut state) % n as u64) as usize)
+                .collect();
+            picked.sort_unstable();
+            picked.dedup();
+            picked
+        };
+
+        // Init: nlist distinct seeded draws from the sample (duplicates in
+        // embedding space are fine — Lloyd rounds separate or ignore them).
+        let mut state = seed ^ 0x5eed_1f0f;
+        let mut centroids = vec![0.0f32; nlist * dim];
+        for c in 0..nlist {
+            let pick = sample[(splitmix(&mut state) % sample.len() as u64) as usize];
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&points[pick]);
+        }
+
+        // Lloyd rounds over the sample; empty clusters keep their centroid.
+        let mut sums = vec![0.0f64; nlist * dim];
+        let mut counts = vec![0usize; nlist];
+        for _ in 0..KMEANS_ROUNDS {
+            sums.fill(0.0);
+            counts.fill(0);
+            for &p in &sample {
+                let c = nearest_centroid(&centroids, nlist, dim, &points[p]);
+                counts[c] += 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(&points[p]) {
+                    *s += v as f64;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[c * dim..(c + 1) * dim])
+                    {
+                        *dst = (s / counts[c] as f64) as f32;
+                    }
+                }
+            }
+        }
+
+        // Final assignment covers every dataset, sampled or not.
+        let mut posting = vec![Vec::new(); nlist];
+        let mut assign = Vec::with_capacity(n);
+        for (id, p) in points.iter().enumerate() {
+            let c = nearest_centroid(&centroids, nlist, dim, p);
+            posting[c].push(id);
+            assign.push(Some(c as u32));
+        }
+        IvfIndex {
+            dim,
+            centroids,
+            nlist,
+            posting,
+            assign,
+        }
+    }
+
+    /// Number of coarse centroids.
+    pub fn nlist(&self) -> usize {
+        self.nlist
+    }
+
+    /// Assigns a new dataset (the next id) to its nearest centroid. On an
+    /// index built over zero datasets the point itself becomes the first
+    /// centroid, so an incrementally grown index is always queryable.
+    pub fn insert(&mut self, point: &[f32]) -> usize {
+        let id = self.assign.len();
+        if self.nlist == 0 {
+            self.centroids = point.to_vec();
+            self.nlist = 1;
+            self.posting.push(Vec::new());
+        }
+        let c = nearest_centroid(&self.centroids, self.nlist, self.dim, point);
+        // Ids are assigned monotonically, so a push keeps the list sorted.
+        self.posting[c].push(id);
+        self.assign.push(Some(c as u32));
+        id
+    }
+
+    /// Removes `id` from its posting list. Returns false when the id is
+    /// unknown or already removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        let Some(slot) = self.assign.get_mut(id) else {
+            return false;
+        };
+        let Some(c) = slot.take() else {
+            return false;
+        };
+        let list = &mut self.posting[c as usize];
+        if let Ok(pos) = list.binary_search(&id) {
+            list.remove(pos);
+        }
+        true
+    }
+
+    /// Dataset ids in the `nprobe` posting lists nearest to `query`
+    /// (ascending, deduplicated by construction — lists are disjoint).
+    /// `nprobe == 0` is treated as 1; `nprobe >= nlist` scans everything.
+    pub fn probe(&self, query: &[f32], nprobe: usize) -> Vec<usize> {
+        if self.nlist == 0 {
+            return Vec::new();
+        }
+        let nprobe = nprobe.max(1).min(self.nlist);
+        // Rank centroids by (distance, index) — total order, so the probe
+        // set is deterministic even under distance ties.
+        let mut ranked: Vec<(f32, usize)> = (0..self.nlist)
+            .map(|c| {
+                (
+                    dist2(&self.centroids[c * self.dim..(c + 1) * self.dim], query),
+                    c,
+                )
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut out: Vec<usize> = ranked[..nprobe]
+            .iter()
+            .flat_map(|&(_, c)| self.posting[c].iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Index of the centroid nearest to `p` (lowest index wins ties).
+fn nearest_centroid(centroids: &[f32], nlist: usize, dim: usize, p: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..nlist {
+        let d = dist2(&centroids[c * dim..(c + 1) * dim], p);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_points(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        // Four well-separated clusters with small deterministic jitter.
+        (0..n)
+            .map(|i| {
+                let cluster = i % 4;
+                (0..dim)
+                    .map(|j| {
+                        let base = if j == cluster { 10.0 } else { 0.0 };
+                        base + ((i * 31 + j * 7) % 13) as f32 * 0.01
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let pts = clustered_points(200, 8);
+        let a = IvfIndex::build(&pts, 8, 42);
+        let b = IvfIndex::build(&pts, 8, 42);
+        assert_eq!(a.nlist(), b.nlist());
+        for (pa, pb) in a.posting.iter().zip(&b.posting) {
+            assert_eq!(pa, pb);
+        }
+        assert_eq!(a.probe(&pts[3], 2), b.probe(&pts[3], 2));
+    }
+
+    #[test]
+    fn probe_finds_own_cluster_and_grows_with_nprobe() {
+        let pts = clustered_points(400, 8);
+        let idx = IvfIndex::build(&pts, 8, 7);
+        let small = idx.probe(&pts[0], 1);
+        assert!(small.contains(&0), "a point must be in its probed bucket");
+        let all = idx.probe(&pts[0], idx.nlist());
+        assert_eq!(all.len(), 400, "nprobe == nlist scans everything");
+        assert!(small.len() <= all.len());
+    }
+
+    #[test]
+    fn insert_then_remove_round_trips() {
+        let pts = clustered_points(64, 4);
+        let mut idx = IvfIndex::build(&pts, 4, 3);
+        let id = idx.insert(&pts[5]);
+        assert_eq!(id, 64);
+        assert!(idx.probe(&pts[5], idx.nlist()).contains(&id));
+        assert!(idx.remove(id));
+        assert!(!idx.remove(id), "double remove is a no-op");
+        assert!(!idx.probe(&pts[5], idx.nlist()).contains(&id));
+    }
+
+    #[test]
+    fn empty_then_incremental_is_queryable() {
+        let mut idx = IvfIndex::build(&[], 4, 1);
+        assert_eq!(idx.probe(&[0.0; 4], 3), Vec::<usize>::new());
+        let a = idx.insert(&[1.0, 0.0, 0.0, 0.0]);
+        let b = idx.insert(&[0.0, 1.0, 0.0, 0.0]);
+        let hits = idx.probe(&[1.0, 0.0, 0.0, 0.0], idx.nlist());
+        assert!(hits.contains(&a) && hits.contains(&b));
+    }
+
+    #[test]
+    fn large_build_samples_but_assigns_all() {
+        let pts = clustered_points(KMEANS_SAMPLE_CAP + 500, 4);
+        let idx = IvfIndex::build(&pts, 4, 9);
+        let total: usize = idx.posting.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len(), "every dataset must land in a bucket");
+    }
+}

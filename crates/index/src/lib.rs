@@ -6,10 +6,16 @@
 //! column embeddings, and their intersection ([`hybrid`]) which prunes the
 //! candidate set before the expensive FCM matcher runs.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod hybrid;
 pub mod interval_tree;
+pub mod ivf;
 pub mod lsh;
 
-pub use hybrid::{column_intervals, CandidateSet, HybridConfig, HybridIndex, IndexStrategy};
+pub use hybrid::{
+    column_intervals, dataset_embedding, CandidateSet, HybridConfig, HybridIndex, IndexStrategy,
+};
 pub use interval_tree::{Interval, IntervalTree};
+pub use ivf::IvfIndex;
 pub use lsh::LshIndex;

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use lcdd_engine::{
     CacheStats, EngineError, EngineState, Query, SearchOptions, SearchResponse, ServingEngine,
+    TierStats,
 };
 use lcdd_repl::Follower;
 use lcdd_store::DurableEngine;
@@ -185,6 +186,27 @@ impl Backend {
             Backend::Serving(s) => s.snapshot().shards().len(),
             Backend::Durable(d) => d.snapshot().shards().len(),
             Backend::Replica(f) => f.snapshot().shards().len(),
+        }
+    }
+
+    /// Hot/cold corpus-tier residency of the published state (lock-free:
+    /// one snapshot load plus per-shard counter reads — nothing on the
+    /// serving path is contended).
+    pub fn tier_stats(&self) -> TierStats {
+        match self {
+            Backend::Serving(s) => s.snapshot().tier_stats(),
+            Backend::Durable(d) => d.snapshot().tier_stats(),
+            Backend::Replica(f) => f.snapshot().tier_stats(),
+        }
+    }
+
+    /// The IVF probe width this backend serves `strategy=ivf` queries
+    /// with.
+    pub fn ivf_nprobe(&self) -> usize {
+        match self {
+            Backend::Serving(s) => s.hybrid_config().ivf_nprobe,
+            Backend::Durable(d) => d.hybrid_config().ivf_nprobe,
+            Backend::Replica(f) => f.store().hybrid_config().ivf_nprobe,
         }
     }
 

@@ -296,6 +296,16 @@ impl Batcher {
             .deduped_requests
             .fetch_add((batch_size - batch_unique) as u64, Relaxed);
         self.metrics.batch_sizes.record(batch_size as u64);
+        for r in results.iter().flatten() {
+            if let Some(scanned) = r.counts.quant_scanned {
+                self.metrics
+                    .quant_scanned
+                    .fetch_add(scanned as u64, Relaxed);
+            }
+            if let Some(survivors) = r.counts.reranked {
+                self.metrics.reranked.fetch_add(survivors as u64, Relaxed);
+            }
+        }
         for (job, slot) in admitted.iter().zip(slots) {
             let reply = match &results[slot] {
                 Ok(resp) => JobReply::Ok {

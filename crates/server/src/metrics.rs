@@ -43,6 +43,11 @@ pub struct Metrics {
     pub batch_sizes: Histogram,
     /// End-to-end `/search` handling latency (parse → response built), ns.
     pub search_latency: Histogram,
+    // Quantized-scan pipeline: candidates proxy-scored by the int8 scan
+    // vs candidates that survived into the exact f32 re-rank, summed over
+    // every answered search that used `rerank`.
+    pub quant_scanned: AtomicU64,
+    pub reranked: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -79,6 +84,8 @@ impl Metrics {
             deduped_requests: AtomicU64::new(0),
             batch_sizes: Histogram::new(),
             search_latency: Histogram::new(),
+            quant_scanned: AtomicU64::new(0),
+            reranked: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +113,7 @@ impl Metrics {
         let lat = &self.search_latency;
         let bs = &self.batch_sizes;
         let cache = backend.cache_stats();
+        let tier = backend.tier_stats();
         let batches = self.batches.load(Relaxed);
         let batched = self.batched_requests.load(Relaxed);
         let mean_batch = if batches == 0 {
@@ -134,7 +142,12 @@ impl Metrics {
                 "\"deduped\":{dedup},\"mean_batch\":{meanb},\"p95_batch\":{p95b},",
                 "\"max_batch\":{maxb}}},",
                 "\"cache\":{{\"hits\":{chits},\"misses\":{cmiss},\"evictions\":{cevict},",
-                "\"len\":{clen}}}",
+                "\"len\":{clen}}},",
+                "\"tier\":{{\"resident_tables\":{trt},\"mapped_tables\":{tmt},",
+                "\"resident_bytes\":{trb},\"mapped_bytes\":{tmb},",
+                "\"slots_paged_in\":{tspi},\"bytes_paged_in\":{tbpi},",
+                "\"quant_scanned\":{tqs},\"reranked\":{trr},",
+                "\"ivf_nprobe\":{tnp}}}",
                 "}}"
             ),
             uptime = crate::json::num(uptime_s),
@@ -177,6 +190,15 @@ impl Metrics {
             cmiss = cache.misses,
             cevict = cache.evictions,
             clen = cache.len,
+            trt = tier.resident_tables,
+            tmt = tier.mapped_tables,
+            trb = tier.resident_bytes,
+            tmb = tier.mapped_bytes,
+            tspi = tier.slots_paged_in,
+            tbpi = tier.bytes_paged_in,
+            tqs = self.quant_scanned.load(Relaxed),
+            trr = self.reranked.load(Relaxed),
+            tnp = backend.ivf_nprobe(),
         )
     }
 }

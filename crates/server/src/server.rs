@@ -480,6 +480,11 @@ fn handle_healthz(
         backend.shards(),
         crate::json::num(shared.started.elapsed().as_secs_f64()),
     );
+    let tier = backend.tier_stats();
+    body.push_str(&format!(
+        ",\"tier\":{{\"resident_tables\":{},\"mapped_tables\":{}}}",
+        tier.resident_tables, tier.mapped_tables,
+    ));
     if let Some(wal) = backend.wal_len() {
         body.push_str(&format!(",\"wal_bytes\":{wal}"));
         match backend.last_checkpoint_error() {

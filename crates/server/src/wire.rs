@@ -28,6 +28,10 @@ pub const MIN_SERIES_LEN: usize = 2;
 pub const MAX_SERIES_LEN: usize = 65_536;
 /// Largest accepted `k`.
 pub const MAX_K: usize = 1_000;
+
+/// Upper bound on the `rerank` depth (exact re-rank survivors of the
+/// quantized candidate scan) a request may ask for.
+pub const MAX_RERANK: usize = 100_000;
 /// Most tables per `/insert` call.
 pub const MAX_TABLES: usize = 1_024;
 /// Most columns per inserted table.
@@ -185,10 +189,13 @@ pub fn parse_search(
                 "interval" => IndexStrategy::IntervalOnly,
                 "lsh" => IndexStrategy::LshOnly,
                 "none" => IndexStrategy::NoIndex,
+                "ivf" => IndexStrategy::Ivf,
                 other => {
                     return Err(bad(
                         "invalid_strategy",
-                        format!("unknown strategy '{other}'; expected hybrid|interval|lsh|none"),
+                        format!(
+                            "unknown strategy '{other}'; expected hybrid|interval|lsh|none|ivf"
+                        ),
                     ))
                 }
             }
@@ -207,8 +214,27 @@ pub fn parse_search(
             Some(f32v)
         }
     };
+    let rerank = match body.get("rerank") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let r = v
+                .as_u64()
+                .ok_or_else(|| bad("invalid_rerank", "'rerank' must be a positive integer"))?;
+            if r == 0 {
+                return Err(bad("invalid_rerank", "'rerank' must be at least 1"));
+            }
+            if r > MAX_RERANK as u64 {
+                return Err(bad(
+                    "invalid_rerank",
+                    format!("'rerank' must be at most {MAX_RERANK}"),
+                ));
+            }
+            Some(r as usize)
+        }
+    };
     let mut opts = SearchOptions::top_k(k).with_strategy(strategy);
     opts.min_score = min_score;
+    opts.rerank = rerank;
 
     // --- deadline ---
     let deadline_ms = match u64_field(req, &body, "x-lcdd-deadline-ms", "deadline_ms")? {
@@ -409,7 +435,8 @@ pub fn search_body(
         concat!(
             "{{\"epoch\":{},\"strategy\":{},\"cached\":{},",
             "\"hits\":[{}],",
-            "\"counts\":{{\"total\":{},\"after_interval\":{},\"after_lsh\":{},\"scored\":{}}},",
+            "\"counts\":{{\"total\":{},\"after_interval\":{},\"after_lsh\":{},\"after_ann\":{},",
+            "\"quant_scanned\":{},\"reranked\":{},\"scored\":{}}},",
             "\"timings_us\":{{\"extract\":{},\"encode\":{},\"prune\":{},\"score\":{},\"total\":{}}},",
             "\"batch\":{{\"id\":{},\"size\":{},\"unique\":{}}}}}"
         ),
@@ -420,6 +447,9 @@ pub fn search_body(
         resp.counts.total,
         opt_usize(resp.counts.after_interval),
         opt_usize(resp.counts.after_lsh),
+        opt_usize(resp.counts.after_ann),
+        opt_usize(resp.counts.quant_scanned),
+        opt_usize(resp.counts.reranked),
         resp.counts.scored,
         micros(t.extract_s),
         micros(t.encode_s),
@@ -455,6 +485,7 @@ pub fn strategy_name(s: IndexStrategy) -> &'static str {
         IndexStrategy::IntervalOnly => "interval",
         IndexStrategy::LshOnly => "lsh",
         IndexStrategy::NoIndex => "none",
+        IndexStrategy::Ivf => "ivf",
     }
 }
 

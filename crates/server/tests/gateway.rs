@@ -101,10 +101,36 @@ fn healthz_metrics_and_snapshot_report_the_engine() {
         "\"coalescing\":",
         "\"cache\":",
         "\"jobs\":",
+        "\"tier\":",
+        "\"ivf_nprobe\":",
     ] {
         assert!(m.body.contains(field), "missing {field} in {}", m.body);
     }
     assert!(m.json_u64("search").unwrap() >= 1);
+    // An all-resident serving backend: everything hot, nothing mapped,
+    // no quantized scans yet.
+    assert_eq!(m.json_u64("resident_tables"), Some(5));
+    assert_eq!(m.json_u64("mapped_tables"), Some(0));
+    assert_eq!(m.json_u64("quant_scanned"), Some(0));
+    assert_eq!(m.json_u64("reranked"), Some(0));
+    assert!(h
+        .body
+        .contains("\"tier\":{\"resident_tables\":5,\"mapped_tables\":0}"));
+
+    // A re-rank search flows into the pipeline counters: 5 candidates
+    // proxy-scanned, 3 survivors exactly re-scored.
+    let rr = c
+        .request(
+            "POST",
+            "/search",
+            &[],
+            "{\"series\":[[1.0,2.0,3.0,2.0,1.0]],\"k\":2,\"strategy\":\"none\",\"rerank\":3}",
+        )
+        .expect("rerank search");
+    assert_eq!(rr.status, 200, "body: {}", rr.body);
+    let m2 = c.request("GET", "/metrics", &[], "").expect("metrics");
+    assert_eq!(m2.json_u64("quant_scanned"), Some(5));
+    assert_eq!(m2.json_u64("reranked"), Some(3));
 
     // Snapshot routing: current → 200, stale → 410, future → 404.
     let current = serving.epoch();

@@ -70,7 +70,12 @@ use crate::wal::{self, WalOp, WalRecord, WalWriter, WAL_HEADER_LEN};
 pub(crate) const META_MAGIC: &[u8; 8] = b"LCDDMET1";
 pub(crate) const SEGMENT_MAGIC: &[u8; 8] = b"LCDDSEG1";
 pub(crate) const STORE_FILE_VERSION: u32 = 1;
-const META_FILE: &str = "meta.seg";
+/// Segment files carry their own version: bumped to 2 when the payload
+/// became the memory-mappable `LCDDSEG2` image (fixed-layout summary +
+/// aligned f32 blob), which is what makes [`StoreOptions::cold_open`]
+/// possible. Meta and manifest files stay at [`STORE_FILE_VERSION`].
+pub(crate) const SEGMENT_VERSION: u32 = 2;
+pub(crate) const META_FILE: &str = "meta.seg";
 
 /// Durability policy knobs.
 #[derive(Clone, Debug)]
@@ -98,6 +103,14 @@ pub struct StoreOptions {
     /// default and the only sensible production value — costs one
     /// `Option` test per instrumented operation.
     pub fault: FaultHook,
+    /// Open checkpoint segments as memory-mapped cold tiers instead of
+    /// decoding them into RAM. Recovery then costs one checksum pass per
+    /// segment (after which the pages are handed back to the OS) plus the
+    /// summary decode; table payloads page in on demand as queries score
+    /// them. Search results are hit-for-hit identical to an eager open —
+    /// only residency changes. `false` (the default) preserves the
+    /// all-resident behaviour.
+    pub cold_open: bool,
 }
 
 impl Default for StoreOptions {
@@ -108,6 +121,7 @@ impl Default for StoreOptions {
             checkpoint_every_bytes: 8 << 20,
             keep_checkpoints: 2,
             fault: None,
+            cold_open: false,
         }
     }
 }
@@ -325,7 +339,7 @@ impl DurableEngine {
             write_framed(
                 &dir.join(&name),
                 SEGMENT_MAGIC,
-                STORE_FILE_VERSION,
+                SEGMENT_VERSION,
                 &segment_bytes(state, i)?,
                 &opts.fault,
                 FaultPoint::SegmentWrite,
@@ -382,12 +396,29 @@ impl DurableEngine {
             META_MAGIC,
             STORE_FILE_VERSION,
         )?;
-        let segments: Vec<Vec<u8>> = manifest
-            .segments
-            .iter()
-            .map(|name| read_framed(&dir.join(name), SEGMENT_MAGIC, STORE_FILE_VERSION))
-            .collect::<Result<_, _>>()?;
-        let mut engine = assemble_engine(&meta, manifest.order.clone(), &segments, manifest.epoch)?;
+        let mut engine = if opts.cold_open {
+            // Cold tier: segments are mapped, checksum-verified and
+            // summary-parsed, but no slot payload is decoded here — nor
+            // anywhere below: WAL replay splices logged encodings in as
+            // *new* resident slots and only an eviction that crosses the
+            // compaction threshold materializes a mapped shard.
+            let paths: Vec<PathBuf> = manifest.segments.iter().map(|n| dir.join(n)).collect();
+            persist::assemble_engine_mapped(
+                &meta,
+                manifest.order.clone(),
+                &paths,
+                manifest.epoch,
+                SEGMENT_MAGIC,
+                SEGMENT_VERSION,
+            )?
+        } else {
+            let segments: Vec<Vec<u8>> = manifest
+                .segments
+                .iter()
+                .map(|name| read_framed(&dir.join(name), SEGMENT_MAGIC, SEGMENT_VERSION))
+                .collect::<Result<_, _>>()?;
+            assemble_engine(&meta, manifest.order.clone(), &segments, manifest.epoch)?
+        };
         // Captured *before* replay: these Arcs mirror the segment files on
         // disk, so the next checkpoint's dirty detection stays exact even
         // for the shards replay is about to touch.
@@ -513,6 +544,11 @@ impl DurableEngine {
     /// The trained model serving this engine.
     pub fn model(&self) -> &FcmModel {
         self.serving.model()
+    }
+
+    /// The serving index configuration (observability pass-through).
+    pub fn hybrid_config(&self) -> &lcdd_engine::HybridConfig {
+        self.serving.hybrid_config()
     }
 
     /// Exports the published state as a plain `LCDDSNP2` snapshot file
@@ -730,7 +766,7 @@ impl DurableEngine {
                 write_framed(
                     &self.dir.join(&name),
                     SEGMENT_MAGIC,
-                    STORE_FILE_VERSION,
+                    SEGMENT_VERSION,
                     &payload,
                     &self.opts.fault,
                     FaultPoint::SegmentWrite,
@@ -1126,11 +1162,11 @@ fn apply_record(engine: &mut lcdd_engine::Engine, record: &WalRecord) -> Result<
     Ok(())
 }
 
-fn segment_file_name(epoch: u64, shard: usize) -> String {
+pub(crate) fn segment_file_name(epoch: u64, shard: usize) -> String {
     format!("seg-{epoch:016x}-{shard:04}.seg")
 }
 
-fn wal_file_name(epoch: u64) -> String {
+pub(crate) fn wal_file_name(epoch: u64) -> String {
     format!("wal-{epoch:016x}.log")
 }
 

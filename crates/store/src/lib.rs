@@ -31,16 +31,20 @@
 //!   rewrites only the shards dirtied since the previous checkpoint. The
 //!   lock-free read path of [`lcdd_engine::ServingEngine`] is untouched.
 //!
-//! The codecs live in [`lcdd_engine::persist`] and reuse the `LCDDSNP2`
-//! snapshot format per shard section, so segments restore bit-identically
-//! and the recovery equivalence suite can assert recovered == uncrashed
-//! at every record-boundary crash point.
+//! The codecs live in [`lcdd_engine::persist`]. Segments carry the
+//! memory-mappable `LCDDSEG2` image (summary + aligned f32 blob), so they
+//! restore bit-identically whether decoded eagerly or served as a mapped
+//! cold tier ([`StoreOptions::cold_open`]) — the recovery equivalence
+//! suite asserts recovered == uncrashed at every record-boundary crash
+//! point, and [`bulk::create_bulk`] fabricates million-table stores by
+//! streaming slots straight into segment images.
 //!
 //! Production code in this crate is `unwrap`-free (lint enforced in CI):
 //! corrupt stores surface as [`EngineError`] values, never panics.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod bulk;
 pub mod durable;
 pub mod fault;
 pub mod manifest;
@@ -48,6 +52,7 @@ pub mod wal;
 
 mod codec;
 
+pub use bulk::create_bulk;
 pub use durable::{
     CheckpointPackage, CheckpointStats, DurableEngine, RecoveryReport, ReplicatedApply,
     StoreOptions, WalCursor,

@@ -557,6 +557,41 @@ pub fn matmul_tn_into(out: &mut Matrix, a: &Matrix, b: &Matrix) {
     }
 }
 
+/// Integer dot product of two `i8` vectors with `i32` accumulation — the
+/// inner kernel of the quantized candidate scan. Products are widened to
+/// `i32` before summing, so no intermediate can overflow for any input
+/// shorter than `2^16` elements (`127 * 127 * 65536 < i32::MAX`); the
+/// embedding dimensions this workspace uses are orders of magnitude below
+/// that.
+///
+/// The loop runs four independent accumulators so LLVM vectorizes it to
+/// the widest integer SIMD the target supports (`pmaddwd`-style widening
+/// on x86-64); exact integer arithmetic means the result is identical for
+/// any split, so there is no serial/parallel bit-parity concern here.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8: length mismatch");
+    let mut acc = [0i32; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for i in 0..4 {
+            acc[i] += ca[i] as i32 * cb[i] as i32;
+        }
+    }
+    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        total += x as i32 * y as i32;
+    }
+    total
+}
+
+/// Sum of an `i8` vector widened to `i32` — the per-vector correction term
+/// of the affine quantized dot decomposition (computed once per quantized
+/// vector, never in the scan loop).
+pub fn sum_i8(a: &[i8]) -> i32 {
+    a.iter().map(|&x| x as i32).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +725,32 @@ mod tests {
         }
         let f = zero_fraction(&data);
         assert!(f < 0.1, "dense matrix with one zero column probed as {f}");
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_reference() {
+        for len in [0usize, 1, 3, 4, 7, 16, 63, 256] {
+            let a: Vec<i8> = (0..len)
+                .map(|i| ((i as i64 * 37 + 11) % 255 - 127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..len)
+                .map(|i| ((i as i64 * 91 + 5) % 255 - 127) as i8)
+                .collect();
+            let expect: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8(&a, &b), expect, "len {len}");
+            let sum_expect: i32 = a.iter().map(|&x| x as i32).sum();
+            assert_eq!(sum_i8(&a), sum_expect, "sum len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_extremes_do_not_overflow() {
+        // Worst case magnitude at the longest vector the scan will see.
+        let a = vec![-128i8; 4096];
+        let b = vec![-128i8; 4096];
+        assert_eq!(dot_i8(&a, &b), 128 * 128 * 4096);
+        let c = vec![127i8; 4096];
+        assert_eq!(dot_i8(&a, &c), -128 * 127 * 4096);
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //! * [`repl`] — the partition/lag harness for WAL-shipping replication:
 //!   scripted fault schedules on the transport, leader-crash /
 //!   torn-tail / failover stories, and the follower-equals-leader
-//!   bitwise comparator at every shared epoch.
+//!   bitwise comparator at every shared epoch,
+//! * [`scale`] — the streaming synthetic scale-corpus generator: slots
+//!   fabricated directly in encoding space as a pure function of
+//!   `(seed, index)`, so `lcdd_store::create_bulk` can write
+//!   million-table stores one slot at a time — the substrate for the
+//!   tiered-corpus suites and the scale benchmark.
 //!
 //! Everything is a pure function of its seed: two processes building the
 //! same spec get byte-identical corpora, so failures reproduce across
@@ -39,6 +44,7 @@ pub mod concurrent;
 pub mod crash;
 pub mod load;
 pub mod repl;
+pub mod scale;
 
 use lcdd_engine::{Engine, EngineBuilder, Query, SearchResponse};
 use lcdd_fcm::{FcmConfig, FcmModel};

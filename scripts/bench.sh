@@ -38,6 +38,13 @@ echo
 echo "== gateway benches -> BENCH_server.json =="
 cargo run --release -p lcdd-bench --bin bench_server -- BENCH_server.json
 
+echo
+echo "== tiered-corpus scale benches -> BENCH_scale.json =="
+# Full ladder: 10k and 100k with exact ground truth (gates deepest
+# re-rank recall@10 >= 0.95), plus a 1M-table fabricate/cold-open/scan
+# smoke. Takes a few minutes; CI runs the 10k-only `--smoke` variant.
+cargo run --release -p lcdd-bench --bin bench_scale -- BENCH_scale.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo
     echo "== criterion micro-benchmarks =="
