@@ -37,7 +37,7 @@ const WRITE_PERCENT: u64 = 5;
 /// individual runs finish in seconds on one core.
 const POINTS: [(usize, usize); 3] = [(8, 150), (64, 40), (256, 12)];
 
-fn gateway(max_batch: usize) -> Server {
+fn gateway(max_batch: usize, tracing: bool) -> Server {
     let serving = Arc::new(ServingEngine::new(lcdd_testkit::tiny_engine(
         lcdd_testkit::tiny_corpus(N_TABLES),
         N_SHARDS,
@@ -50,6 +50,7 @@ fn gateway(max_batch: usize) -> Server {
         // Generous deadline: the baseline must pay for its queue wait by
         // scoring, not by shedding 504s that would flatter its latency.
         default_deadline_ms: 30_000,
+        tracing,
         ..ServerConfig::default()
     };
     Server::start(Backend::Serving(serving), cfg).expect("bench gateway start")
@@ -68,8 +69,13 @@ struct Row {
     deduped: u64,
 }
 
-fn run_point(connections: usize, requests_per_connection: usize, max_batch: usize) -> Row {
-    let server = gateway(max_batch);
+fn run_point(
+    connections: usize,
+    requests_per_connection: usize,
+    max_batch: usize,
+    tracing: bool,
+) -> Row {
+    let server = gateway(max_batch, tracing);
     let spec = LoadSpec {
         connections,
         requests_per_connection,
@@ -128,6 +134,60 @@ fn run_point(connections: usize, requests_per_connection: usize, max_batch: usiz
     row
 }
 
+/// The tracing-overhead section: the same coalesced 64-connection
+/// workload with span recording on vs off. Longer runs than the
+/// comparison points and best-of-three per mode, interleaved, because
+/// the true cost (a handful of relaxed atomic stores per stage against
+/// millisecond-scale requests) is far below run-to-run scheduler noise.
+/// The completed-request throughput cost must stay under 5% — warned
+/// about always, enforced under `LCDD_BENCH_STRICT=1`.
+fn tracing_overhead_section() -> String {
+    const CONNS: usize = 64;
+    const RPC: usize = 100;
+    let mut best: [Option<Row>; 2] = [None, None];
+    for _round in 0..3 {
+        for (slot, tracing) in [(0usize, true), (1usize, false)] {
+            let row = run_point(CONNS, RPC, 64, tracing);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| row.ok_per_s > b.ok_per_s)
+            {
+                best[slot] = Some(row);
+            }
+        }
+    }
+    let traced = best[0].take().expect("traced row");
+    let untraced = best[1].take().expect("untraced row");
+    let overhead_pct = if untraced.ok_per_s > 0.0 {
+        (untraced.ok_per_s - traced.ok_per_s) / untraced.ok_per_s * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "[bench_server] tracing overhead @ {CONNS} conns: {:.0} ok/s traced vs {:.0} ok/s \
+         untraced ({overhead_pct:+.1}%)",
+        traced.ok_per_s, untraced.ok_per_s,
+    );
+    if overhead_pct > 5.0 {
+        eprintln!(
+            "[bench_server] WARNING: tracing costs {overhead_pct:.1}% ok/s — above the 5% budget"
+        );
+        if std::env::var_os("LCDD_BENCH_STRICT").is_some() {
+            panic!("tracing overhead {overhead_pct:.1}% > 5% of ok/s");
+        }
+    }
+    format!(
+        "  \"tracing_overhead\": {{ \"connections\": {CONNS}, \
+         \"traced_ok_per_s\": {:.0}, \"untraced_ok_per_s\": {:.0}, \
+         \"traced_p99_us\": {}, \"untraced_p99_us\": {}, \
+         \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": 5.0 }},\n",
+        traced.ok_per_s,
+        untraced.ok_per_s,
+        traced.hist.percentile(0.99),
+        untraced.hist.percentile(0.99),
+    )
+}
+
 /// Pulls batch/dedup counters off `/metrics` before shutdown.
 fn scrape_coalescing(server: &Server) -> (u64, u64) {
     let Ok(mut c) = HttpClient::connect(server.addr()) else {
@@ -173,8 +233,8 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for &(conns, rpc) in &POINTS {
-        rows.push(run_point(conns, rpc, 1));
-        rows.push(run_point(conns, rpc, 64));
+        rows.push(run_point(conns, rpc, 1, true));
+        rows.push(run_point(conns, rpc, 64, true));
     }
 
     // The tentpole claim: under queue pressure, coalescing beats the
@@ -205,11 +265,12 @@ fn main() {
         );
     }
 
+    let overhead = tracing_overhead_section();
     let body: Vec<String> = rows.iter().map(row_json).collect();
     let json = format!(
         "{{\n  \"group\": \"bench_server\",\n  \
          \"corpus_tables\": {N_TABLES},\n  \"hot_queries\": {HOT_QUERIES},\n  \
-         \"write_percent\": {WRITE_PERCENT},\n  \
+         \"write_percent\": {WRITE_PERCENT},\n{overhead}  \
          \"runs\": [\n{}\n  ]\n}}\n",
         body.join(",\n"),
     );

@@ -191,7 +191,14 @@ impl ServingEngine {
         queries: &[Query],
         opts: &SearchOptions,
     ) -> Vec<Result<SearchResponse, EngineError>> {
-        pool::par_map(queries, |q| self.search_on(state, q, opts))
+        // The pool's workers have their own thread-locals: capture the
+        // caller's trace context (the gateway's batch trace) and
+        // re-establish it inside each worker so engine stage spans land
+        // under the batch span.
+        let ctx = lcdd_obs::trace::current();
+        pool::par_map(queries, |q| {
+            lcdd_obs::trace::with_ctx(ctx, || self.search_on(state, q, opts))
+        })
     }
 
     fn search_on(
@@ -204,7 +211,19 @@ impl ServingEngine {
             return state.search(&self.shared, query, opts);
         }
         let key = query_fingerprint(query, opts);
+        let cache_probe = std::time::Instant::now();
         if let Some(resp) = self.cache.get(key, state.epoch()) {
+            if let Some(ctx) = lcdd_obs::trace::current() {
+                lcdd_obs::trace::ring().record(
+                    ctx.trace,
+                    ctx.parent,
+                    lcdd_obs::trace::Stage::CacheHit,
+                    cache_probe,
+                    cache_probe.elapsed(),
+                    None,
+                    0,
+                );
+            }
             let mut resp = SearchResponse::clone(&resp);
             resp.cached = true;
             return Ok(resp);

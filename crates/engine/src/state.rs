@@ -448,6 +448,11 @@ impl EngineState {
     ) -> Result<SearchResponse, EngineError> {
         let total0 = Instant::now();
         let model = &shared.model;
+        // Tracing context, if the caller (the gateway's batch trace) set
+        // one. Stage spans are recorded post-hoc from the same Instants
+        // the response timings use, so tracing adds no timer reads to an
+        // untraced search.
+        let trace_ctx = lcdd_obs::trace::current();
 
         let t = Instant::now();
         let pq = process_query(extracted, &model.config);
@@ -456,7 +461,19 @@ impl EngineState {
         }
         let ev = model.encode_query_values(&pq);
         let line_embs = mean_pooled(&ev);
-        let encode_s = t.elapsed().as_secs_f64();
+        let encode_d = t.elapsed();
+        let encode_s = encode_d.as_secs_f64();
+        if let Some(ctx) = trace_ctx {
+            lcdd_obs::trace::ring().record(
+                ctx.trace,
+                ctx.parent,
+                lcdd_obs::trace::Stage::Encode,
+                t,
+                encode_d,
+                None,
+                pq.line_patches.len() as u64,
+            );
+        }
 
         // Candidate generation fans out across shards on the work pool.
         let t = Instant::now();
@@ -469,7 +486,19 @@ impl EngineState {
             .enumerate()
             .flat_map(|(si, c)| c.ids.iter().map(move |&l| (si as u32, l as u32)))
             .collect();
-        let prune_s = t.elapsed().as_secs_f64();
+        let prune_d = t.elapsed();
+        let prune_s = prune_d.as_secs_f64();
+        if let Some(ctx) = trace_ctx {
+            lcdd_obs::trace::ring().record(
+                ctx.trace,
+                ctx.parent,
+                lcdd_obs::trace::Stage::CandidateGen,
+                t,
+                prune_d,
+                None,
+                flat.len() as u64,
+            );
+        }
 
         // Scoring runs in one flat parallel pass over every surviving
         // candidate, so a single-shard engine loses no parallelism and an
@@ -493,6 +522,7 @@ impl EngineState {
         // the final ranking — is identical for every shard layout.
         let (flat, quant_scanned, reranked) = match opts.rerank {
             Some(r) if flat.len() > r => {
+                let quant_start = Instant::now();
                 let qv = QuantizedVec::quantize(scorer.v_pooled().as_slice());
                 let q_dot_c = qv.dot(&self.quant_center);
                 let proxies: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
@@ -521,17 +551,32 @@ impl EngineState {
                 let scanned = flat.len();
                 let kept: Vec<(u32, u32)> = by_proxy.iter().map(|&(.., loc)| loc).collect();
                 let n_kept = kept.len();
+                if let Some(ctx) = trace_ctx {
+                    lcdd_obs::trace::ring().record(
+                        ctx.trace,
+                        ctx.parent,
+                        lcdd_obs::trace::Stage::QuantScan,
+                        quant_start,
+                        quant_start.elapsed(),
+                        None,
+                        scanned as u64,
+                    );
+                }
                 (kept, Some(scanned), Some(n_kept))
             }
             _ => (flat, None, None),
         };
 
+        let exact_start = Instant::now();
+        let pages_before = trace_ctx.map(|_| self.tier_stats().slots_paged_in);
         let scored: Vec<f32> = pool::par_map(&flat, |&(s, l)| {
             let sh = &self.shards[s as usize];
             let pt = sh.slot_table(l as usize);
             let enc = sh.slot_encodings(l as usize);
             scorer.score_table_parts(&pt, &enc, &pq, &self.pooled_mean)
         });
+        let exact_d = exact_start.elapsed();
+        let merge_start = Instant::now();
         let mut ranked: Vec<(f32, u64, usize, (u32, u32))> = flat
             .iter()
             .zip(&scored)
@@ -569,6 +614,44 @@ impl EngineState {
                 score,
             })
             .collect();
+
+        if let Some(ctx) = trace_ctx {
+            let ring = lcdd_obs::trace::ring();
+            ring.record(
+                ctx.trace,
+                ctx.parent,
+                lcdd_obs::trace::Stage::ExactScore,
+                exact_start,
+                exact_d,
+                None,
+                flat.len() as u64,
+            );
+            // Cold-tier page-ins attributable to this scoring pass
+            // (approximate under concurrency — the counters are shared).
+            if let Some(before) = pages_before {
+                let delta = self.tier_stats().slots_paged_in.saturating_sub(before);
+                if delta > 0 {
+                    ring.record(
+                        ctx.trace,
+                        ctx.parent,
+                        lcdd_obs::trace::Stage::PageIn,
+                        exact_start,
+                        exact_d,
+                        None,
+                        delta,
+                    );
+                }
+            }
+            ring.record(
+                ctx.trace,
+                ctx.parent,
+                lcdd_obs::trace::Stage::Merge,
+                merge_start,
+                merge_start.elapsed(),
+                None,
+                hits.len() as u64,
+            );
+        }
 
         let sum_stage = |f: fn(&CandidateSet) -> Option<usize>| -> Option<usize> {
             cands

@@ -1,0 +1,83 @@
+//! `promlint`: lint a Prometheus text-exposition document.
+//!
+//! ```text
+//! promlint <file>       lint a file
+//! promlint -            lint stdin
+//! promlint --self-test  lint built-in good/bad fixtures (the CI smoke)
+//! ```
+//!
+//! Exit code 0 = clean, 1 = issues found (printed one per line), 2 =
+//! usage/IO error.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+const GOOD_FIXTURE: &str = "\
+# HELP lcdd_requests_total Requests served.
+# TYPE lcdd_requests_total counter
+lcdd_requests_total 10
+# HELP lcdd_search_latency_ns End-to-end search latency.
+# TYPE lcdd_search_latency_ns summary
+lcdd_search_latency_ns{quantile=\"0.5\"} 120
+lcdd_search_latency_ns{quantile=\"0.99\"} 910
+lcdd_search_latency_ns_sum 4000
+lcdd_search_latency_ns_count 10
+";
+
+const BAD_FIXTURE: &str = "\
+# TYPE lcdd-bad-name counter
+lcdd-bad-name 1
+lcdd_no_headers 2
+lcdd_no_headers 3
+";
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first().map(String::as_str) {
+        Some("--self-test") => {
+            let good = lcdd_obs::promlint::lint(GOOD_FIXTURE);
+            if !good.is_empty() {
+                return Err(format!("self-test: clean fixture flagged: {good:?}"));
+            }
+            let bad = lcdd_obs::promlint::lint(BAD_FIXTURE);
+            if bad.len() < 3 {
+                return Err(format!(
+                    "self-test: bad fixture under-flagged ({} issues): {bad:?}",
+                    bad.len()
+                ));
+            }
+            println!("promlint self-test ok ({} issues caught)", bad.len());
+            return Ok(ExitCode::SUCCESS);
+        }
+        Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => return Err("usage: promlint <file> | - | --self-test".into()),
+    };
+    let issues = lcdd_obs::promlint::lint(&text);
+    if issues.is_empty() {
+        println!("clean ({} lines)", text.lines().count());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for issue in &issues {
+            eprintln!("{issue}");
+        }
+        eprintln!("{} issue(s)", issues.len());
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("promlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

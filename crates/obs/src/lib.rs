@@ -1,0 +1,39 @@
+//! `lcdd-obs`: the stack-wide observability layer — lock-free metrics
+//! instruments, a process-wide named-instrument registry, a fixed-capacity
+//! span ring for end-to-end request tracing, and a hand-rolled Prometheus
+//! text-exposition writer plus its linter.
+//!
+//! Design constraints, in force everywhere in this crate:
+//!
+//! * **The hot path never locks and never allocates.** Recording a sample
+//!   ([`Histogram::record`], [`Counter::inc`]) is a relaxed `fetch_add`;
+//!   recording a span ([`trace::SpanRing::record`]) is one atomic cursor
+//!   bump plus a seqlock-stamped write into preallocated slots. The only
+//!   mutexes in the crate guard instrument *registration* (startup) and
+//!   scrape-side snapshots — paths the serving threads never touch.
+//! * **Scrapes are monitoring-grade, not transactional.** A `/metrics`
+//!   read observes each atomic independently; a quantile can be skewed by
+//!   the records that land mid-walk. That is the usual contract for this
+//!   kind of telemetry and every consumer in the workspace asserts
+//!   accordingly (deltas and invariants, not exact cross-counter algebra).
+//! * **Instruments are process-global and idempotent.** `lcdd-store`,
+//!   `lcdd-repl` and the work pool register named instruments into
+//!   [`registry::global`]; opening two stores in one process yields the
+//!   *same* counters (get-or-register), so tests assert monotone deltas
+//!   rather than absolute values.
+//!
+//! The gateway (`lcdd-server`) threads trace context through the batcher
+//! into the engine via [`trace::with_ctx`] / [`trace::current`], replays
+//! traces from the global [`trace::ring`], and renders both its own
+//! per-server instruments and the global registry through
+//! [`prometheus::Writer`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod prometheus;
+pub mod promlint;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, Registry, WindowedHistogram};
+pub use trace::{SpanRing, Stage, TraceCtx, TraceId};

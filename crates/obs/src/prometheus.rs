@@ -1,0 +1,222 @@
+//! Hand-rolled Prometheus text-exposition (version 0.0.4) writer.
+//!
+//! The offline-vendor constraint rules out the `prometheus` crate, and
+//! the format is small: `# HELP` / `# TYPE` comment pairs followed by
+//! `name{labels} value` samples. [`Writer`] renders counters, gauges and
+//! histograms (as summary-type metrics — the log-linear histogram's 1920
+//! native buckets would be absurd as `_bucket` series, so it exposes
+//! p50/p95/p99 quantiles plus `_sum`/`_count`, which is exactly the
+//! summary contract). Windowed histograms render the same shape under
+//! the caller's chosen name (the gateway uses a `_recent` suffix).
+//!
+//! The writer refuses to emit the same family twice (first write wins),
+//! so a scrape assembled from several sources — per-server instruments
+//! plus the process-global registry — cannot produce duplicate series.
+//! [`crate::promlint`] checks the result independently in CI.
+
+use std::collections::BTreeSet;
+
+use crate::registry::{Histogram, Instrument, Registry, WindowedHistogram};
+
+/// The `Content-Type` a Prometheus text-exposition response carries.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Quantiles every histogram family exposes.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Renders one exposition document. Families are emitted in call order;
+/// re-registering a family name is skipped (first write wins).
+#[derive(Default)]
+pub struct Writer {
+    buf: String,
+    seen: BTreeSet<String>,
+}
+
+/// Formats a float the exposition parser accepts, trimming the noise
+/// `format!("{}")` would add for integral values.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Claims `name`; false means the family was already written.
+    fn claim(&mut self, name: &str) -> bool {
+        debug_assert!(
+            crate::promlint::valid_metric_name(name),
+            "invalid metric name {name:?}"
+        );
+        self.seen.insert(name.to_string())
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        // HELP text is free-form but newline-terminated; escape the two
+        // characters the format reserves.
+        self.buf
+            .push_str(&help.replace('\\', "\\\\").replace('\n', "\\n"));
+        self.buf.push('\n');
+        self.buf.push_str("# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// One counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "counter");
+        self.buf.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// One gauge family (integer value).
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "gauge");
+        self.buf.push_str(&format!("{name} {value}\n"));
+    }
+
+    /// One gauge family (float value — ratios, qps, seconds).
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "gauge");
+        self.buf.push_str(&format!("{name} {}\n", fmt_f64(value)));
+    }
+
+    fn summary_impl(&mut self, name: &str, quantiles: &[(String, u64)], sum: u64, count: u64) {
+        for (q, v) in quantiles {
+            self.buf
+                .push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+        }
+        self.buf.push_str(&format!("{name}_sum {sum}\n"));
+        self.buf.push_str(&format!("{name}_count {count}\n"));
+    }
+
+    /// One histogram, exposed as a summary family (see module docs).
+    pub fn summary(&mut self, name: &str, help: &str, h: &Histogram) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "summary");
+        let quantiles: Vec<(String, u64)> = QUANTILES
+            .iter()
+            .map(|&(q, label)| (label.to_string(), h.percentile(q)))
+            .collect();
+        self.summary_impl(name, &quantiles, h.sum(), h.count());
+    }
+
+    /// One windowed histogram, exposed as a summary family whose
+    /// quantiles cover the rolling window. `_sum` is not tracked per
+    /// window, so it reports 0; `_count` is the windowed sample count.
+    pub fn summary_windowed(&mut self, name: &str, help: &str, w: &WindowedHistogram) {
+        if !self.claim(name) {
+            return;
+        }
+        self.header(name, help, "summary");
+        let quantiles: Vec<(String, u64)> = QUANTILES
+            .iter()
+            .map(|&(q, label)| (label.to_string(), w.percentile(q)))
+            .collect();
+        self.summary_impl(name, &quantiles, 0, w.count());
+    }
+
+    /// Every instrument registered in `registry`, rendered by kind. The
+    /// registry lock is held only while the instrument list is cloned
+    /// out ([`Registry::snapshot`]); values are read lock-free after.
+    pub fn registry(&mut self, registry: &Registry) {
+        for (name, help, instrument) in registry.snapshot() {
+            match instrument {
+                Instrument::Counter(c) => self.counter(&name, &help, c.get()),
+                Instrument::Gauge(g) => self.gauge(&name, &help, g.get()),
+                Instrument::GaugeFn(f) => self.gauge(&name, &help, f()),
+                Instrument::Histogram(h) => self.summary(&name, &help, &h),
+                Instrument::Windowed(w) => self.summary_windowed(&name, &help, &w),
+            }
+        }
+    }
+
+    /// The finished exposition document (newline-terminated).
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_emits_lintable_exposition() {
+        let mut w = Writer::new();
+        w.counter("lcdd_test_requests_total", "Requests served.", 42);
+        w.gauge("lcdd_test_queue_depth", "Queued jobs.", 3);
+        w.gauge_f64("lcdd_test_qps", "Arrival rate.", 12.5);
+        let h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        w.summary("lcdd_test_latency_ns", "Latency.", &h);
+        let wh = WindowedHistogram::new();
+        wh.record(7);
+        w.summary_windowed("lcdd_test_latency_recent_ns", "Rolling latency.", &wh);
+        let text = w.finish();
+        assert!(text.contains("# TYPE lcdd_test_requests_total counter"));
+        assert!(text.contains("lcdd_test_requests_total 42\n"));
+        assert!(text.contains("lcdd_test_qps 12.5\n"));
+        assert!(text.contains("lcdd_test_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("lcdd_test_latency_ns_count 100\n"));
+        assert!(text.contains("lcdd_test_latency_recent_ns_count 1\n"));
+        let issues = crate::promlint::lint(&text);
+        assert!(issues.is_empty(), "lint issues: {issues:?}");
+    }
+
+    #[test]
+    fn duplicate_families_are_suppressed() {
+        let mut w = Writer::new();
+        w.counter("lcdd_test_dup_total", "first", 1);
+        w.counter("lcdd_test_dup_total", "second", 2);
+        let text = w.finish();
+        assert_eq!(text.matches("# TYPE lcdd_test_dup_total").count(), 1);
+        assert!(text.contains("lcdd_test_dup_total 1\n"), "first write wins");
+        assert!(crate::promlint::lint(&text).is_empty());
+    }
+
+    #[test]
+    fn registry_rendering_covers_every_kind() {
+        let r = Registry::new();
+        r.counter("lcdd_reg_a_total", "a").add(5);
+        r.gauge("lcdd_reg_b", "b").set(6);
+        r.gauge_fn("lcdd_reg_c", "c", || 7);
+        r.histogram("lcdd_reg_d_ns", "d").record(8);
+        r.windowed("lcdd_reg_e_ns", "e").record(9);
+        let mut w = Writer::new();
+        w.registry(&r);
+        let text = w.finish();
+        for needle in [
+            "lcdd_reg_a_total 5",
+            "lcdd_reg_b 6",
+            "lcdd_reg_c 7",
+            "lcdd_reg_d_ns_count 1",
+            "lcdd_reg_e_ns_count 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(crate::promlint::lint(&text).is_empty());
+    }
+}

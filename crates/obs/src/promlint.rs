@@ -1,0 +1,354 @@
+//! A hand-rolled linter for the Prometheus text exposition format
+//! (version 0.0.4) — the CI gate that keeps `/metrics` scrapes honest.
+//!
+//! Checks, per the exposition spec:
+//!
+//! * metric and label names match the required charsets;
+//! * every sample's metric family carries exactly one `# HELP` and one
+//!   `# TYPE` line, seen before the family's first sample;
+//! * `# TYPE` values are one of the five defined kinds, and summary /
+//!   histogram families only use their reserved suffixes and labels;
+//! * no two samples form the same series (identical name + label set);
+//! * sample values parse as floats (including `NaN` / `+Inf` / `-Inf`);
+//! * the document ends with a newline.
+//!
+//! [`lint`] returns every issue found (empty = clean) so a test failure
+//! prints the full damage report, not just the first problem.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// True when `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// True when `name` is a valid label name: `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// The metric family a sample name belongs to: summaries and histograms
+/// attach `_sum` / `_count` / `_bucket` suffixes to their family name.
+fn family_of<'a>(sample_name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(stem) = sample_name.strip_suffix(suffix) {
+            if let Some(kind) = types.get(stem) {
+                if kind == "summary" || kind == "histogram" {
+                    return stem;
+                }
+            }
+        }
+    }
+    sample_name
+}
+
+/// Splits a sample line into (name, canonical label set, value),
+/// reporting syntax issues into `issues`.
+fn parse_sample(line: &str, lineno: usize, issues: &mut Vec<String>) -> Option<(String, String)> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let Some(close) = find_label_close(&line[brace..]) else {
+                issues.push(format!("line {lineno}: unterminated label set"));
+                return None;
+            };
+            (&line[..brace], &line[brace..=brace + close])
+        }
+        None => match line.split_once(char::is_whitespace) {
+            Some((name, _)) => (name, ""),
+            None => {
+                issues.push(format!("line {lineno}: sample has no value"));
+                return None;
+            }
+        },
+    };
+    let name = name_part.trim();
+    if !valid_metric_name(name) {
+        issues.push(format!("line {lineno}: invalid metric name '{name}'"));
+        return None;
+    }
+    let after = &line[name_part.len() + rest.len()..];
+    let mut parts = after.split_whitespace();
+    match parts.next() {
+        Some(v) if v.parse::<f64>().is_ok() || matches!(v, "NaN" | "+Inf" | "-Inf" | "Inf") => {}
+        Some(v) => {
+            issues.push(format!("line {lineno}: value '{v}' is not a float"));
+        }
+        None => {
+            issues.push(format!("line {lineno}: sample has no value"));
+        }
+    }
+    // At most one optional timestamp after the value.
+    if let Some(ts) = parts.next() {
+        if ts.parse::<i64>().is_err() {
+            issues.push(format!("line {lineno}: timestamp '{ts}' is not an integer"));
+        }
+    }
+    let labels = if rest.is_empty() {
+        String::new()
+    } else {
+        canonical_labels(&rest[1..rest.len() - 1], lineno, issues)
+    };
+    Some((name.to_string(), labels))
+}
+
+/// Index of the closing `}` of a label set starting at `{`, honouring
+/// quoted values with backslash escapes.
+fn find_label_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(1) {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Canonicalizes `k="v",...` into a sorted, deduplicated key string so
+/// series identity ignores label order.
+fn canonical_labels(body: &str, lineno: usize, issues: &mut Vec<String>) -> String {
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let Some(eq) = rest.find('=') else {
+            issues.push(format!("line {lineno}: label without '=' in '{rest}'"));
+            break;
+        };
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            issues.push(format!("line {lineno}: invalid label name '{name}'"));
+        }
+        let after = rest[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            issues.push(format!(
+                "line {lineno}: label value for '{name}' not quoted"
+            ));
+            break;
+        }
+        // Walk to the closing quote, honouring escapes.
+        let bytes = after.as_bytes();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, &b) in bytes.iter().enumerate().skip(1) {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match b {
+                b'\\' => escaped = true,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else {
+            issues.push(format!("line {lineno}: unterminated label value"));
+            break;
+        };
+        labels.push((name.to_string(), after[1..end].to_string()));
+        rest = after[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    labels.sort();
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Lints one exposition document. Returns every issue found; an empty
+/// vector means the document is clean.
+pub fn lint(text: &str) -> Vec<String> {
+    let mut issues = Vec::new();
+    if text.is_empty() {
+        issues.push("document is empty".into());
+        return issues;
+    }
+    if !text.ends_with('\n') {
+        issues.push("document does not end with a newline".into());
+    }
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut series: BTreeSet<(String, String)> = BTreeSet::new();
+    // Families that already emitted at least one sample — HELP/TYPE
+    // arriving after that is an ordering violation.
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            let comment = comment.trim_start();
+            let (keyword, rest) = match comment.split_once(char::is_whitespace) {
+                Some(split) => split,
+                None => continue, // bare comment
+            };
+            match keyword {
+                "HELP" => {
+                    let name = rest.split_whitespace().next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        issues.push(format!("line {lineno}: HELP for invalid name '{name}'"));
+                    }
+                    if !helps.insert(name.to_string()) {
+                        issues.push(format!("line {lineno}: duplicate HELP for '{name}'"));
+                    }
+                    if sampled.contains(name) {
+                        issues.push(format!(
+                            "line {lineno}: HELP for '{name}' after its samples"
+                        ));
+                    }
+                }
+                "TYPE" => {
+                    let mut parts = rest.split_whitespace();
+                    let name = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        issues.push(format!("line {lineno}: TYPE for invalid name '{name}'"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        issues.push(format!("line {lineno}: unknown TYPE '{kind}' for '{name}'"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        issues.push(format!("line {lineno}: duplicate TYPE for '{name}'"));
+                    }
+                    if sampled.contains(name) {
+                        issues.push(format!(
+                            "line {lineno}: TYPE for '{name}' after its samples"
+                        ));
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        let Some((name, labels)) = parse_sample(trimmed, lineno, &mut issues) else {
+            continue;
+        };
+        let family = family_of(&name, &types).to_string();
+        if !helps.contains(&family) {
+            issues.push(format!("line {lineno}: sample '{name}' has no HELP"));
+        }
+        if !types.contains_key(&family) {
+            issues.push(format!("line {lineno}: sample '{name}' has no TYPE"));
+        }
+        sampled.insert(family);
+        if !series.insert((name.clone(), labels.clone())) {
+            issues.push(format!(
+                "line {lineno}: duplicate series '{name}{{{labels}}}'"
+            ));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "\
+# HELP lcdd_requests_total Requests served.
+# TYPE lcdd_requests_total counter
+lcdd_requests_total 10
+# HELP lcdd_latency_ns Latency.
+# TYPE lcdd_latency_ns summary
+lcdd_latency_ns{quantile=\"0.5\"} 100
+lcdd_latency_ns{quantile=\"0.99\"} 900
+lcdd_latency_ns_sum 5000
+lcdd_latency_ns_count 10
+";
+
+    #[test]
+    fn clean_document_passes() {
+        assert_eq!(lint(CLEAN), Vec::<String>::new());
+    }
+
+    #[test]
+    fn name_charset_is_enforced() {
+        assert!(valid_metric_name("lcdd_ok_total"));
+        assert!(valid_metric_name(":subsystem:thing"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name(""));
+        let doc = "# HELP bad-name x\n# TYPE bad-name counter\nbad-name 1\n";
+        assert!(!lint(doc).is_empty());
+    }
+
+    #[test]
+    fn missing_help_or_type_is_reported() {
+        let no_help = "# TYPE lcdd_x counter\nlcdd_x 1\n";
+        assert!(lint(no_help).iter().any(|i| i.contains("no HELP")));
+        let no_type = "# HELP lcdd_x x\nlcdd_x 1\n";
+        assert!(lint(no_type).iter().any(|i| i.contains("no TYPE")));
+        let bad_kind = "# HELP lcdd_x x\n# TYPE lcdd_x enum\nlcdd_x 1\n";
+        assert!(lint(bad_kind).iter().any(|i| i.contains("unknown TYPE")));
+    }
+
+    #[test]
+    fn duplicate_series_and_headers_are_reported() {
+        let dup_series = "# HELP lcdd_x x\n# TYPE lcdd_x counter\nlcdd_x 1\nlcdd_x 2\n";
+        assert!(lint(dup_series)
+            .iter()
+            .any(|i| i.contains("duplicate series")));
+        // Same name, different labels: distinct series, no issue.
+        let distinct = "# HELP lcdd_x x\n# TYPE lcdd_x summary\nlcdd_x{quantile=\"0.5\"} 1\nlcdd_x{quantile=\"0.9\"} 2\n";
+        assert_eq!(lint(distinct), Vec::<String>::new());
+        // Label order does not disguise a duplicate.
+        let reordered = "# HELP lcdd_x x\n# TYPE lcdd_x gauge\nlcdd_x{a=\"1\",b=\"2\"} 1\nlcdd_x{b=\"2\",a=\"1\"} 2\n";
+        assert!(lint(reordered)
+            .iter()
+            .any(|i| i.contains("duplicate series")));
+        let dup_help = "# HELP lcdd_x x\n# HELP lcdd_x y\n# TYPE lcdd_x counter\nlcdd_x 1\n";
+        assert!(lint(dup_help).iter().any(|i| i.contains("duplicate HELP")));
+    }
+
+    #[test]
+    fn summary_suffixes_resolve_to_their_family() {
+        // _sum/_count need no HELP of their own when the stem is a
+        // summary — but a bare _count with no summary stem is orphaned.
+        let orphan = "lcdd_x_count 1\n";
+        assert!(lint(orphan).iter().any(|i| i.contains("no HELP")));
+        assert!(lint(CLEAN).is_empty());
+    }
+
+    #[test]
+    fn values_must_be_floats() {
+        let bad = "# HELP lcdd_x x\n# TYPE lcdd_x gauge\nlcdd_x twelve\n";
+        assert!(lint(bad).iter().any(|i| i.contains("not a float")));
+        let special = "# HELP lcdd_x x\n# TYPE lcdd_x gauge\nlcdd_x NaN\n";
+        assert_eq!(lint(special), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_reported() {
+        let doc = "# HELP lcdd_x x\n# TYPE lcdd_x counter\nlcdd_x 1";
+        assert!(lint(doc).iter().any(|i| i.contains("newline")));
+    }
+}

@@ -33,6 +33,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use lcdd_engine::{CacheStats, Engine, EngineState, Query, SearchOptions, SearchResponse};
 use lcdd_fcm::EngineError;
@@ -41,6 +42,7 @@ use lcdd_store::{
 };
 
 use crate::frame::Frame;
+use crate::instruments;
 
 /// Explicit staleness contract for a replica read.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -284,10 +286,12 @@ impl Follower {
     /// replica refuses record and heartbeat frames with
     /// [`EngineError::Replication`] until a snapshot frame resyncs it.
     pub fn apply_frame(&self, bytes: &[u8]) -> Result<FrameOutcome, EngineError> {
+        let apply_start = Instant::now();
         let mut st = self.state();
         let frame = match Frame::decode(bytes) {
             Ok(frame) => frame,
             Err(e) => {
+                instruments::quarantines_total().add(u64::from(st.quarantined.is_none()));
                 st.stats.quarantines += u64::from(st.quarantined.is_none());
                 let reason = format!("undecodable frame: {e}");
                 st.quarantined = Some(reason.clone());
@@ -305,12 +309,19 @@ impl Follower {
             Frame::Heartbeat { leader_epoch } => {
                 self.leader_epoch_seen
                     .fetch_max(leader_epoch, Ordering::AcqRel);
+                instruments::note_leader_contact();
+                instruments::lag_epochs().set(
+                    self.leader_epoch_seen
+                        .load(Ordering::Acquire)
+                        .saturating_sub(st.store.epoch()),
+                );
                 Ok(FrameOutcome::Heartbeat(leader_epoch))
             }
             Frame::Record { payload } => {
                 let record = match WalRecord::decode_payload(&payload) {
                     Ok(record) => record,
                     Err(e) => {
+                        instruments::quarantines_total().inc();
                         st.stats.quarantines += 1;
                         let reason = format!("unparseable record payload: {e}");
                         st.quarantined = Some(reason.clone());
@@ -319,6 +330,7 @@ impl Follower {
                 };
                 let current = st.store.epoch();
                 if record.epoch_after > current + 1 {
+                    instruments::gaps_total().inc();
                     st.stats.gaps += 1;
                     return Ok(FrameOutcome::Gap {
                         expected: current + 1,
@@ -328,16 +340,27 @@ impl Follower {
                 match st.store.apply_replicated(&record) {
                     Ok(ReplicatedApply::Applied) => {
                         st.stats.applied += 1;
+                        instruments::frames_applied_total().inc();
+                        instruments::apply_ns().record_duration(apply_start.elapsed());
+                        instruments::note_leader_contact();
+                        instruments::lag_epochs().set(
+                            self.leader_epoch_seen
+                                .load(Ordering::Acquire)
+                                .saturating_sub(record.epoch_after),
+                        );
                         Ok(FrameOutcome::Applied(record.epoch_after))
                     }
                     Ok(ReplicatedApply::AlreadyApplied) => {
                         st.stats.duplicates += 1;
+                        instruments::duplicates_total().inc();
+                        instruments::note_leader_contact();
                         Ok(FrameOutcome::Duplicate)
                     }
                     Err(e) => {
                         // The record reached us intact but cannot apply
                         // (e.g. its batch does not parse): replica state
                         // is untouched; quarantine until resync.
+                        instruments::quarantines_total().inc();
                         st.stats.quarantines += 1;
                         let reason = format!("record failed to apply: {e}");
                         st.quarantined = Some(reason.clone());
@@ -349,6 +372,7 @@ impl Follower {
                 let package = CheckpointPackage::from_bytes(&package).map_err(|e| {
                     // A damaged snapshot cannot resync; stay quarantined
                     // (or enter quarantine) and wait for the next one.
+                    instruments::quarantines_total().add(u64::from(st.quarantined.is_none()));
                     st.stats.quarantines += u64::from(st.quarantined.is_none());
                     let reason = format!("undecodable checkpoint package: {e}");
                     st.quarantined = Some(reason.clone());
@@ -367,6 +391,8 @@ impl Follower {
                 st.store = Arc::new(store);
                 st.quarantined = None;
                 st.stats.resyncs += 1;
+                instruments::resyncs_total().inc();
+                instruments::note_leader_contact();
                 let _ = std::fs::remove_dir_all(old_dir);
                 Ok(FrameOutcome::Resynced(st.store.epoch()))
             }

@@ -23,6 +23,7 @@ use lcdd_fcm::EngineError;
 use lcdd_store::{DurableEngine, WalCursor, WAL_HEADER_LEN};
 
 use crate::frame::Frame;
+use crate::instruments;
 use crate::transport::Transport;
 
 /// Retry policy for transient transport failures: `max_attempts` tries
@@ -159,6 +160,7 @@ impl Leader {
                 Err(e) => {
                     last = Some(e);
                     *retries += 1;
+                    instruments::send_retries_total().inc();
                     let delay = self.retry.delay_for(attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
@@ -194,6 +196,7 @@ impl Leader {
             &mut stats.retries,
         )?;
         stats.snapshots_sent = 1;
+        instruments::snapshots_shipped_total().inc();
         self.sessions().insert(
             name.to_string(),
             Session {
@@ -268,6 +271,7 @@ impl Leader {
                 return Err(e);
             }
             stats.records_sent += 1;
+            instruments::records_shipped_total().inc();
             last_sent_epoch = Some(record.epoch_after);
         }
         self.sessions().insert(
@@ -284,6 +288,7 @@ impl Leader {
             },
             &mut stats.retries,
         )?;
+        instruments::heartbeats_sent_total().inc();
         Ok(stats)
     }
 }

@@ -54,6 +54,7 @@ pub mod failover;
 pub mod fault;
 pub mod follower;
 pub mod frame;
+mod instruments;
 pub mod leader;
 pub mod transport;
 

@@ -33,6 +33,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use lcdd_engine::{query_fingerprint, Query, SearchOptions, SearchResponse};
+use lcdd_obs::trace::{next_span_id, ring, with_ctx, Stage, TraceCtx, TraceId};
 
 use crate::backend::{Backend, Consistency};
 use crate::error::{from_engine_error, ApiError};
@@ -48,6 +49,13 @@ pub struct SearchJob {
     pub deadline: Instant,
     /// The requested deadline, for the 504 message.
     pub deadline_ms: u64,
+    /// When the job entered the admission queue (stamped by `submit`) —
+    /// the anchor for the queue-wait instrument and span.
+    pub enqueued_at: Instant,
+    /// The submitting request's trace context, if tracing is on. Spans
+    /// the batcher and engine record for this job nest under
+    /// `ctx.parent` (the handler's `await` span).
+    pub ctx: Option<TraceCtx>,
     pub reply: SyncSender<JobReply>,
 }
 
@@ -64,6 +72,10 @@ pub enum JobReply {
         /// Distinct computations in that call (`batch_size - unique`
         /// requests were answered by a batch-mate's result).
         batch_unique: usize,
+        /// How long this job sat in the admission queue, ns — the handler
+        /// subtracts it from end-to-end latency so the service-time
+        /// histogram measures scoring, not backlog.
+        queue_wait_ns: u64,
     },
     Err(ApiError),
 }
@@ -141,6 +153,7 @@ impl Batcher {
         consistency: Consistency,
         deadline: Instant,
         deadline_ms: u64,
+        ctx: Option<TraceCtx>,
     ) -> Submit {
         if self.shutdown.load(Relaxed) {
             return Submit::ShuttingDown;
@@ -159,9 +172,11 @@ impl Batcher {
             consistency,
             deadline,
             deadline_ms,
+            enqueued_at: Instant::now(),
+            ctx,
             reply: tx,
         });
-        self.metrics.jobs_enqueued.fetch_add(1, Relaxed);
+        self.metrics.jobs_enqueued.inc();
         self.metrics.set_queue_depth(q.len() as u64);
         drop(q);
         self.notify.notify_one();
@@ -218,11 +233,29 @@ impl Batcher {
     /// deterministic unit tests; the server only drives it via `run`.
     pub(crate) fn process(&self, batch: Vec<SearchJob>) {
         let now = Instant::now();
+        // Queue-wait accounting at pickup, for every drained job (expired
+        // ones waited too — that is usually *why* they expired).
+        for job in &batch {
+            let waited = now.saturating_duration_since(job.enqueued_at);
+            self.metrics.queue_wait.record_duration(waited);
+            self.metrics.queue_wait_60s.record_duration(waited);
+            if let Some(ctx) = job.ctx {
+                ring().record(
+                    ctx.trace,
+                    ctx.parent,
+                    Stage::QueueWait,
+                    job.enqueued_at,
+                    waited,
+                    None,
+                    0,
+                );
+            }
+        }
         // 1. Expired-in-queue jobs: 504, never scored.
         let mut live: Vec<SearchJob> = Vec::with_capacity(batch.len());
         for job in batch {
             if job.deadline <= now {
-                self.metrics.expired.fetch_add(1, Relaxed);
+                self.metrics.expired.inc();
                 self.answer(
                     &job,
                     JobReply::Err(ApiError::deadline_exceeded(job.deadline_ms)),
@@ -248,13 +281,14 @@ impl Batcher {
             let Some(group) = groups.remove(&key) else {
                 continue;
             };
-            self.serve_group(group);
+            self.serve_group(group, now);
         }
     }
 
     /// One coalesced `search_batch` call: pin, contract-check, dedup,
-    /// score, fan out.
-    fn serve_group(&self, group: Vec<SearchJob>) {
+    /// score, fan out. `picked_up` is the drain instant queue waits were
+    /// measured against.
+    fn serve_group(&self, group: Vec<SearchJob>, picked_up: Instant) {
         let opts = group[0].opts.clone();
         let pin = self.backend.pin();
         // 3. Staleness contracts against the pinned snapshot.
@@ -263,7 +297,7 @@ impl Batcher {
             match self.backend.check_consistency(&pin, job.consistency) {
                 Ok(()) => admitted.push(job),
                 Err(e) => {
-                    self.metrics.stale_rejected.fetch_add(1, Relaxed);
+                    self.metrics.stale_rejected.inc();
                     self.answer(&job, JobReply::Err(e));
                 }
             }
@@ -283,36 +317,78 @@ impl Batcher {
             });
             slots.push(slot);
         }
-        // 5. One single-epoch batch call for the whole group.
+        // 5. One single-epoch batch call for the whole group. When any
+        // member is traced, the call itself runs under a freshly minted
+        // **batch trace**: engine stage spans land there once, and every
+        // traced member records a `batch_member` span linking to it.
         let batch_id = self.batch_seq.fetch_add(1, Relaxed);
         let batch_size = admitted.len();
         let batch_unique = unique.len();
-        let results = self.backend.serve_batch(&pin, &unique, &opts);
-        self.metrics.batches.fetch_add(1, Relaxed);
-        self.metrics
-            .batched_requests
-            .fetch_add(batch_size as u64, Relaxed);
+        let batch_trace = admitted
+            .iter()
+            .any(|j| j.ctx.is_some())
+            .then(|| (TraceId::mint(), next_span_id()));
+        let serve_start = Instant::now();
+        let results = match batch_trace {
+            Some((trace, parent)) => with_ctx(Some(TraceCtx { trace, parent }), || {
+                self.backend.serve_batch(&pin, &unique, &opts)
+            }),
+            None => self.backend.serve_batch(&pin, &unique, &opts),
+        };
+        let served = serve_start.elapsed();
+        if let Some((trace, root)) = batch_trace {
+            ring().record_with_id(
+                trace,
+                root,
+                0,
+                Stage::Batch,
+                serve_start,
+                served,
+                None,
+                batch_size as u64,
+            );
+            for job in &admitted {
+                if let Some(ctx) = job.ctx {
+                    ring().record(
+                        ctx.trace,
+                        ctx.parent,
+                        Stage::BatchMember,
+                        serve_start,
+                        served,
+                        Some(trace),
+                        batch_unique as u64,
+                    );
+                }
+            }
+        }
+        self.metrics.batches.inc();
+        self.metrics.batched_requests.add(batch_size as u64);
         self.metrics
             .deduped_requests
-            .fetch_add((batch_size - batch_unique) as u64, Relaxed);
+            .add((batch_size - batch_unique) as u64);
         self.metrics.batch_sizes.record(batch_size as u64);
         for r in results.iter().flatten() {
             if let Some(scanned) = r.counts.quant_scanned {
-                self.metrics
-                    .quant_scanned
-                    .fetch_add(scanned as u64, Relaxed);
+                self.metrics.quant_scanned.add(scanned as u64);
             }
             if let Some(survivors) = r.counts.reranked {
-                self.metrics.reranked.fetch_add(survivors as u64, Relaxed);
+                self.metrics.reranked.add(survivors as u64);
             }
         }
         for (job, slot) in admitted.iter().zip(slots) {
+            let queue_wait_ns = u64::try_from(
+                picked_up
+                    .saturating_duration_since(job.enqueued_at)
+                    .as_nanos(),
+            )
+            .unwrap_or(u64::MAX);
             let reply = match &results[slot] {
                 Ok(resp) => JobReply::Ok {
                     resp: resp.clone(),
                     batch_id,
                     batch_size,
                     batch_unique,
+                    queue_wait_ns,
                 },
                 Err(e) => JobReply::Err(from_engine_error(e)),
             };
@@ -324,7 +400,7 @@ impl Batcher {
     /// still counts as answered.
     fn answer(&self, job: &SearchJob, reply: JobReply) {
         let _ = job.reply.send(reply);
-        self.metrics.jobs_answered.fetch_add(1, Relaxed);
+        self.metrics.jobs_answered.inc();
     }
 }
 
@@ -351,6 +427,8 @@ mod tests {
                 consistency: Consistency::Any,
                 deadline,
                 deadline_ms: 1,
+                enqueued_at: Instant::now(),
+                ctx: None,
                 reply: tx,
             },
             rx,
@@ -373,8 +451,8 @@ mod tests {
             }
             JobReply::Ok { .. } => panic!("expired job must not be scored"),
         }
-        assert_eq!(metrics.expired.load(Relaxed), 1);
-        assert_eq!(metrics.batches.load(Relaxed), 0, "no search_batch ran");
+        assert_eq!(metrics.expired.get(), 1);
+        assert_eq!(metrics.batches.get(), 0, "no search_batch ran");
     }
 
     #[test]
@@ -402,6 +480,7 @@ mod tests {
                     batch_id,
                     batch_size,
                     batch_unique,
+                    ..
                 } => {
                     assert_eq!(batch_size, 5);
                     assert_eq!(
@@ -419,8 +498,8 @@ mod tests {
             "single-epoch batch"
         );
         assert!(ids.windows(2).all(|w| w[0] == w[1]), "one batch id");
-        assert_eq!(metrics.deduped_requests.load(Relaxed), 3);
-        assert_eq!(metrics.batches.load(Relaxed), 1);
+        assert_eq!(metrics.deduped_requests.get(), 3);
+        assert_eq!(metrics.batches.get(), 1);
     }
 
     #[test]
@@ -435,6 +514,8 @@ mod tests {
             consistency: Consistency::Any,
             deadline: far,
             deadline_ms: 1000,
+            enqueued_at: Instant::now(),
+            ctx: None,
             reply: tx,
         };
         let (tx, rx2) = std::sync::mpsc::sync_channel(1);
@@ -444,6 +525,8 @@ mod tests {
             consistency: Consistency::Any,
             deadline: far,
             deadline_ms: 1000,
+            enqueued_at: Instant::now(),
+            ctx: None,
             reply: tx,
         };
         batcher.process(vec![j1, j2]);
@@ -455,7 +538,7 @@ mod tests {
             id2 = batch_id;
         }
         assert_ne!(id1, id2, "different option sets never share a batch");
-        assert_eq!(metrics.batches.load(Relaxed), 2);
+        assert_eq!(metrics.batches.get(), 2);
     }
 
     #[test]
@@ -470,6 +553,7 @@ mod tests {
                 Consistency::Any,
                 far,
                 1000,
+                None,
             )
         };
         assert!(matches!(sub(0), Submit::Enqueued(_)));

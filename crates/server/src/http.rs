@@ -211,9 +211,22 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra, body, close)
+}
+
+/// Writes one response with an explicit `Content-Type` (the Prometheus
+/// text exposition on `/metrics`; everything else stays JSON).
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
     let mut out = String::with_capacity(body.len() + 160);
     out.push_str(&format!("HTTP/1.1 {status} {}\r\n", reason(status)));
-    out.push_str("Content-Type: application/json\r\n");
+    out.push_str(&format!("Content-Type: {content_type}\r\n"));
     out.push_str(&format!("Content-Length: {}\r\n", body.len()));
     out.push_str(if close {
         "Connection: close\r\n"

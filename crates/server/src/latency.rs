@@ -1,215 +1,7 @@
-//! Lock-free log-linear histogram for latency and batch-size recording.
-//!
-//! [`Histogram::record`] is a single relaxed `fetch_add` into a fixed
-//! bucket array (plus count/sum/max counters), so the serving hot path —
-//! and every load-generator thread in `bench_server` — can record without
-//! a mutex and without allocation. Buckets are log-linear: values below
-//! 32 are exact, and every power-of-two octave above that is split into
-//! 32 sub-buckets, giving ≤ ~3% relative quantile error over the full
-//! `u64` range in 1920 buckets (~15 KiB of atomics).
-//!
-//! Percentile reads walk a relaxed snapshot of the buckets; concurrent
-//! recording can skew a quantile by at most the records that land
-//! mid-walk, which is the usual (and here acceptable) monitoring-grade
-//! contract.
+//! Re-export shim: the lock-free log-linear histogram that grew up here
+//! moved to [`lcdd_obs::registry`] so every crate in the stack — store,
+//! repl, engine, bench — records into the same instrument type. Existing
+//! `lcdd_server::latency::Histogram` (and `lcdd_server::Histogram`)
+//! imports keep compiling unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-
-/// Sub-buckets per power-of-two octave (and the exact-bucket cutoff).
-const SUB: u64 = 32;
-const SUB_BITS: u64 = 5;
-/// Bucket count covering the whole `u64` range: 32 exact buckets plus
-/// 59 octaves × 32 sub-buckets (octaves 5..=63).
-const BUCKETS: usize = 1920;
-
-/// A fixed-size, lock-free histogram of `u64` samples (nanoseconds,
-/// batch sizes — any non-negative magnitude).
-pub struct Histogram {
-    buckets: Vec<AtomicU64>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
-fn bucket_index(v: u64) -> usize {
-    if v < SUB {
-        v as usize
-    } else {
-        let e = 63 - u64::from(v.leading_zeros());
-        let m = (v >> (e - SUB_BITS)) & (SUB - 1);
-        ((e - SUB_BITS + 1) * SUB + m) as usize
-    }
-}
-
-/// Inclusive upper bound of the values mapping to `idx`.
-fn bucket_high(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < SUB {
-        idx
-    } else {
-        let octave = idx / SUB;
-        let m = idx % SUB;
-        let e = octave - 1 + SUB_BITS;
-        // The topmost octave's bound exceeds u64 — saturate.
-        let high = ((u128::from(SUB + m) + 1) << (e - SUB_BITS)) - 1;
-        u64::try_from(high).unwrap_or(u64::MAX)
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample. Lock-free; callable from any thread.
-    pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
-        self.count.fetch_add(1, Relaxed);
-        self.sum.fetch_add(v, Relaxed);
-        self.max.fetch_max(v, Relaxed);
-    }
-
-    /// Records a [`std::time::Duration`] in nanoseconds (saturating).
-    pub fn record_duration(&self, d: std::time::Duration) {
-        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Relaxed)
-    }
-
-    /// Largest sample recorded (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max.load(Relaxed)
-    }
-
-    /// Mean sample value (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum.load(Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// The `q`-quantile (`q` in `[0, 1]`), as the inclusive upper bound
-    /// of the bucket holding the rank — an overestimate by at most one
-    /// sub-bucket width (~3%). Returns 0 when empty.
-    pub fn percentile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_high(idx).min(self.max());
-            }
-        }
-        self.max()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn exact_buckets_below_cutoff() {
-        for v in 0..32u64 {
-            assert_eq!(bucket_index(v), v as usize);
-            assert_eq!(bucket_high(v as usize), v);
-        }
-    }
-
-    #[test]
-    fn bucket_bounds_are_contiguous_and_ordered() {
-        let mut prev_high = None;
-        for idx in 0..BUCKETS {
-            let high = bucket_high(idx);
-            if let Some(p) = prev_high {
-                assert!(high > p, "bucket {idx} high {high} <= previous {p}");
-            }
-            prev_high = Some(high);
-        }
-        // Every value maps to a bucket whose bound brackets it.
-        for v in [
-            0,
-            1,
-            31,
-            32,
-            33,
-            63,
-            64,
-            1000,
-            1 << 20,
-            u64::MAX / 3,
-            u64::MAX,
-        ] {
-            let idx = bucket_index(v);
-            assert!(idx < BUCKETS);
-            assert!(bucket_high(idx) >= v, "v={v} idx={idx}");
-            if idx > 0 {
-                assert!(bucket_high(idx - 1) < v, "v={v} idx={idx}");
-            }
-        }
-    }
-
-    #[test]
-    fn percentiles_track_known_distribution() {
-        let h = Histogram::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 1000);
-        let p50 = h.percentile(0.50);
-        let p99 = h.percentile(0.99);
-        // Log-linear error bound: within ~4% of the true quantile.
-        assert!((480..=530).contains(&p50), "p50={p50}");
-        assert!((960..=1000).contains(&p99), "p99={p99}");
-        assert_eq!(h.percentile(1.0), 1000);
-        assert_eq!(h.max(), 1000);
-        assert!((h.mean() - 500.5).abs() < 1.0);
-    }
-
-    #[test]
-    fn empty_histogram_reads_zero() {
-        let h = Histogram::new();
-        assert_eq!(h.percentile(0.99), 0);
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn concurrent_recording_counts_everything() {
-        let h = Histogram::new();
-        std::thread::scope(|s| {
-            for t in 0..4 {
-                let h = &h;
-                s.spawn(move || {
-                    for i in 0..1000u64 {
-                        h.record(t * 1000 + i);
-                    }
-                });
-            }
-        });
-        assert_eq!(h.count(), 4000);
-    }
-}
+pub use lcdd_obs::registry::Histogram;

@@ -14,10 +14,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use lcdd_obs::trace::{next_span_id, ring, slow, Stage, TraceCtx, TraceId};
+
 use crate::backend::Backend;
 use crate::batcher::{Batcher, JobReply, Submit};
 use crate::error::ApiError;
-use crate::http::{read_request, write_response, ReadError, Request};
+use crate::http::{read_request, write_response, write_response_typed, ReadError, Request};
 use crate::metrics::Metrics;
 use crate::wire;
 
@@ -44,6 +46,10 @@ pub struct ServerConfig {
     /// Socket read timeout — also the latency with which idle keep-alive
     /// handlers notice a drain.
     pub read_timeout_ms: u64,
+    /// Record per-stage spans for every `/search` (and mint/echo
+    /// `x-lcdd-trace-id`). Recording is lock-free and allocation-free;
+    /// the bench's tracing-overhead section keeps this honest.
+    pub tracing: bool,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
             max_deadline_ms: 30_000,
             max_body_bytes: 4 << 20,
             read_timeout_ms: 2_000,
+            tracing: true,
         }
     }
 }
@@ -95,6 +102,7 @@ impl Server {
     /// Binds, spawns the acceptor and batcher threads, and returns once
     /// the gateway is reachable.
     pub fn start(backend: Backend, cfg: ServerConfig) -> std::io::Result<Server> {
+        crate::metrics::register_process_instruments();
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let backend = Arc::new(backend);
@@ -168,8 +176,8 @@ impl Server {
             let _ = t.join();
         }
         ShutdownReport {
-            jobs_enqueued: self.shared.metrics.jobs_enqueued.load(Relaxed),
-            jobs_answered: self.shared.metrics.jobs_answered.load(Relaxed),
+            jobs_enqueued: self.shared.metrics.jobs_enqueued.get(),
+            jobs_answered: self.shared.metrics.jobs_answered.get(),
         }
     }
 }
@@ -195,7 +203,7 @@ fn accept_loop(
             return;
         }
         if shared.active_connections.load(Relaxed) >= shared.cfg.max_connections {
-            shared.metrics.rejected_connections.fetch_add(1, Relaxed);
+            shared.metrics.rejected_connections.inc();
             let mut stream = stream;
             let e = ApiError::queue_full(shared.cfg.max_connections);
             let _ = write_response(&mut stream, e.status, &extra_headers(&e), &e.body(), true);
@@ -317,10 +325,14 @@ fn handle_request(
         ("POST", "/insert") => handle_insert(req, shared, stream, close),
         ("POST", "/remove") => handle_remove(req, shared, stream, close),
         ("GET", "/healthz") => handle_healthz(shared, stream, close),
-        ("GET", "/metrics") => handle_metrics(shared, stream, close),
+        ("GET", "/metrics") => handle_metrics(req, shared, stream, close),
         ("GET", path) if path.starts_with("/snapshot/") => {
             handle_snapshot(path, shared, stream, close)
         }
+        ("GET", path) if path.starts_with("/debug/trace/") => {
+            handle_trace(path, shared, stream, close)
+        }
+        ("GET", "/debug/slow") => handle_slow(req, shared, stream, close),
         ("GET", "/") => {
             let body = format!(
                 "{{\"service\":\"lcdd-server\",\"backend\":{},\"endpoints\":[\"POST /search\",\"POST /insert\",\"POST /remove\",\"GET /healthz\",\"GET /metrics\",\"GET /snapshot/{{epoch}}\"]}}",
@@ -346,8 +358,22 @@ fn handle_search(
     stream: &mut TcpStream,
     close: bool,
 ) -> std::io::Result<()> {
-    shared.metrics.search.fetch_add(1, Relaxed);
+    shared.metrics.search.inc();
     let started = Instant::now();
+    // Trace identity: accept the caller's `x-lcdd-trace-id` (echoed back)
+    // or mint one. The root span and the handler's `await` span get
+    // pre-minted ids so children recorded by the batcher and engine —
+    // which finish before the parents are recorded — can nest under them.
+    let trace = if shared.cfg.tracing {
+        Some(
+            req.header("x-lcdd-trace-id")
+                .and_then(TraceId::parse)
+                .unwrap_or_else(TraceId::mint),
+        )
+    } else {
+        None
+    };
+    let root_id = trace.map_or(0, |_| next_span_id());
     let parsed = match wire::parse_search(
         req,
         shared.cfg.default_deadline_ms,
@@ -356,18 +382,36 @@ fn handle_search(
         Ok(p) => p,
         Err(e) => return respond_error(stream, shared, &e, close),
     };
+    if let Some(t) = trace {
+        ring().record(
+            t,
+            root_id,
+            Stage::Parse,
+            started,
+            started.elapsed(),
+            None,
+            0,
+        );
+    }
     let deadline = started + parsed.deadline;
+    let await_id = trace.map_or(0, |_| next_span_id());
+    let ctx = trace.map(|t| TraceCtx {
+        trace: t,
+        parent: await_id,
+    });
+    let await_start = Instant::now();
     let submitted = shared.batcher.submit(
         parsed.query,
         parsed.opts,
         parsed.consistency,
         deadline,
         parsed.deadline_ms,
+        ctx,
     );
     let rx = match submitted {
         Submit::Enqueued(rx) => rx,
         Submit::QueueFull => {
-            shared.metrics.rejected_queue_full.fetch_add(1, Relaxed);
+            shared.metrics.rejected_queue_full.inc();
             return respond_error(
                 stream,
                 shared,
@@ -376,7 +420,7 @@ fn handle_search(
             );
         }
         Submit::ShuttingDown => {
-            shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+            shared.metrics.rejected_shutdown.inc();
             return respond_error(stream, shared, &ApiError::shutting_down(), close);
         }
     };
@@ -384,33 +428,166 @@ fn handle_search(
     // extra grace only guards against a wedged batcher thread.
     let grace = parsed.deadline + Duration::from_secs(1);
     let reply = rx.recv_timeout(grace);
-    let result = match reply {
+    let awaited = await_start.elapsed();
+    if let Some(t) = trace {
+        ring().record_with_id(
+            t,
+            await_id,
+            root_id,
+            Stage::Await,
+            await_start,
+            awaited,
+            None,
+            0,
+        );
+    }
+    let serialize_start = Instant::now();
+    let (result, queue_wait_ns) = match reply {
         Ok(JobReply::Ok {
             resp,
             batch_id,
             batch_size,
             batch_unique,
+            queue_wait_ns,
         }) => {
             let body = wire::search_body(&resp, batch_id, batch_size, batch_unique);
-            let extra = vec![
+            let mut extra = vec![
                 ("x-lcdd-epoch", resp.epoch.to_string()),
                 ("x-lcdd-batch-id", batch_id.to_string()),
             ];
-            respond_ok(stream, shared, &extra, &body, close)
+            if let Some(t) = trace {
+                extra.push(("x-lcdd-trace-id", t.to_hex()));
+            }
+            (
+                respond_ok(stream, shared, &extra, &body, close),
+                queue_wait_ns,
+            )
         }
-        Ok(JobReply::Err(e)) => respond_error(stream, shared, &e, close),
-        Err(_) => respond_error(
-            stream,
-            shared,
-            &ApiError::deadline_exceeded(parsed.deadline_ms),
-            close,
+        Ok(JobReply::Err(e)) => (respond_error(stream, shared, &e, close), 0),
+        Err(_) => (
+            respond_error(
+                stream,
+                shared,
+                &ApiError::deadline_exceeded(parsed.deadline_ms),
+                close,
+            ),
+            0,
         ),
     };
+    let total = started.elapsed();
+    if let Some(t) = trace {
+        ring().record(
+            t,
+            root_id,
+            Stage::Serialize,
+            serialize_start,
+            serialize_start.elapsed(),
+            None,
+            0,
+        );
+        ring().record_with_id(t, root_id, 0, Stage::Request, started, total, None, 0);
+        slow().observe(u64::try_from(total.as_nanos()).unwrap_or(u64::MAX), t);
+    }
+    // Service time excludes the admission-queue wait (recorded separately
+    // by the batcher), so queue pressure does not read as scoring cost.
+    let total_ns = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
     shared
         .metrics
-        .search_latency
-        .record_duration(started.elapsed());
+        .record_service_time(total_ns.saturating_sub(queue_wait_ns));
     result
+}
+
+/// `GET /debug/trace/{id}`: replays every retained span of a trace from
+/// the ring as a JSON span tree, ordered by start offset.
+fn handle_trace(
+    path: &str,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.debug.inc();
+    let raw = path.trim_start_matches("/debug/trace/");
+    let Some(trace) = TraceId::parse(raw) else {
+        return respond_error(
+            stream,
+            shared,
+            &ApiError::bad_request("invalid_trace_id", format!("'{raw}' is not a hex trace id")),
+            close,
+        );
+    };
+    let spans = ring().replay(trace);
+    if spans.is_empty() {
+        let e = ApiError {
+            status: 404,
+            code: "trace_not_found",
+            message: format!(
+                "trace {} has no retained spans (never recorded, or evicted from the ring)",
+                trace.to_hex()
+            ),
+            retry_after_s: None,
+            current_epoch: None,
+        };
+        return respond_error(stream, shared, &e, close);
+    }
+    let mut body = format!(
+        "{{\"trace\":{},\"spans\":[",
+        crate::json::quote(&trace.to_hex())
+    );
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"id\":{},\"parent\":{},\"stage\":{},\"start_ns\":{},\"dur_ns\":{},\"link\":{},\"meta\":{}}}",
+            s.id,
+            s.parent,
+            crate::json::quote(s.stage.name()),
+            s.start_ns,
+            s.dur_ns,
+            match s.link {
+                Some(l) => crate::json::quote(&l.to_hex()),
+                None => "null".to_string(),
+            },
+            s.meta,
+        ));
+    }
+    body.push_str("]}");
+    respond_ok(stream, shared, &[], &body, close)
+}
+
+/// `GET /debug/slow?n=N`: the up-to-N slowest traced requests (default
+/// 10), slowest first, plus span-ring health.
+fn handle_slow(
+    req: &Request,
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    close: bool,
+) -> std::io::Result<()> {
+    shared.metrics.debug.inc();
+    let n = req
+        .query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("n="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(10);
+    let mut body = String::from("{\"slowest\":[");
+    for (i, (trace, total_ns)) in slow().slowest(n).into_iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"trace\":{},\"total_ns\":{total_ns}}}",
+            crate::json::quote(&trace.to_hex()),
+        ));
+    }
+    let ring = ring();
+    body.push_str(&format!(
+        "],\"ring\":{{\"recorded\":{},\"dropped\":{},\"capacity\":{}}}}}",
+        ring.recorded(),
+        ring.dropped(),
+        ring.capacity(),
+    ));
+    respond_ok(stream, shared, &[], &body, close)
 }
 
 fn handle_insert(
@@ -419,9 +596,9 @@ fn handle_insert(
     stream: &mut TcpStream,
     close: bool,
 ) -> std::io::Result<()> {
-    shared.metrics.insert.fetch_add(1, Relaxed);
+    shared.metrics.insert.inc();
     if shared.draining.load(Relaxed) {
-        shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+        shared.metrics.rejected_shutdown.inc();
         return respond_error(stream, shared, &ApiError::shutting_down(), close);
     }
     let tables = match wire::parse_insert(req) {
@@ -444,9 +621,9 @@ fn handle_remove(
     stream: &mut TcpStream,
     close: bool,
 ) -> std::io::Result<()> {
-    shared.metrics.remove.fetch_add(1, Relaxed);
+    shared.metrics.remove.inc();
     if shared.draining.load(Relaxed) {
-        shared.metrics.rejected_shutdown.fetch_add(1, Relaxed);
+        shared.metrics.rejected_shutdown.inc();
         return respond_error(stream, shared, &ApiError::shutting_down(), close);
     }
     let ids = match wire::parse_remove(req) {
@@ -468,7 +645,7 @@ fn handle_healthz(
     stream: &mut TcpStream,
     close: bool,
 ) -> std::io::Result<()> {
-    shared.metrics.healthz.fetch_add(1, Relaxed);
+    shared.metrics.healthz.inc();
     let backend = &shared.backend;
     let draining = shared.draining.load(Relaxed);
     let mut body = format!(
@@ -505,17 +682,37 @@ fn handle_healthz(
     respond_ok(stream, shared, &[], &body, close)
 }
 
+/// `GET /metrics`: JSON by default; `Accept: text/plain` negotiates the
+/// Prometheus text exposition (version 0.0.4).
 fn handle_metrics(
+    req: &Request,
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
     close: bool,
 ) -> std::io::Result<()> {
-    shared.metrics.metrics.fetch_add(1, Relaxed);
-    let body = shared.metrics.to_json(
-        &shared.backend,
-        shared.cfg.queue_capacity,
-        shared.draining.load(Relaxed),
-    );
+    shared.metrics.metrics.inc();
+    let draining = shared.draining.load(Relaxed);
+    let wants_prometheus = req
+        .header("accept")
+        .is_some_and(|a| a.contains("text/plain"));
+    if wants_prometheus {
+        let body =
+            shared
+                .metrics
+                .to_prometheus(&shared.backend, shared.cfg.queue_capacity, draining);
+        shared.metrics.count_status(200);
+        return write_response_typed(
+            stream,
+            200,
+            lcdd_obs::prometheus::CONTENT_TYPE,
+            &[],
+            &body,
+            close,
+        );
+    }
+    let body = shared
+        .metrics
+        .to_json(&shared.backend, shared.cfg.queue_capacity, draining);
     respond_ok(stream, shared, &[], &body, close)
 }
 
@@ -528,7 +725,7 @@ fn handle_snapshot(
     stream: &mut TcpStream,
     close: bool,
 ) -> std::io::Result<()> {
-    shared.metrics.snapshot.fetch_add(1, Relaxed);
+    shared.metrics.snapshot.inc();
     let raw = path.trim_start_matches("/snapshot/");
     let Ok(requested) = raw.parse::<u64>() else {
         return respond_error(

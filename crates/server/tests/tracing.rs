@@ -1,0 +1,278 @@
+//! End-to-end request tracing through the gateway: trace-id echo, the
+//! `/debug/trace/{id}` span tree, the span-accounting contract (direct
+//! children of the root cover its duration within 10%), and the
+//! member-trace → batch-trace link under coalescing.
+
+mod util;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use lcdd_server::ServerConfig;
+use lcdd_testkit::load::{search_body, search_body_with, HttpClient};
+
+fn series(i: usize) -> Vec<f64> {
+    (0..90)
+        .map(|j| ((j + i * 11) as f64 / 6.0).sin() * (i + 1) as f64)
+        .collect()
+}
+
+// ---- tiny span-JSON scraping helpers (the bodies are flat and ours) ----
+
+/// Splits the `"spans":[{...},{...}]` array into object strings.
+fn span_objects(body: &str) -> Vec<String> {
+    let arr = body
+        .split("\"spans\":[")
+        .nth(1)
+        .expect("spans array")
+        .rsplit_once(']')
+        .expect("closing bracket")
+        .0;
+    arr.split("},{")
+        .map(|s| s.trim_start_matches('{').trim_end_matches('}').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn field_u64(obj: &str, key: &str) -> Option<u64> {
+    let rest = obj.split(&format!("\"{key}\":")).nth(1)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let rest = obj.split(&format!("\"{key}\":\"")).nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+fn fetch_spans(c: &mut HttpClient, trace: &str) -> Vec<String> {
+    let resp = c
+        .request("GET", &format!("/debug/trace/{trace}"), &[], "")
+        .expect("trace replay");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    span_objects(&resp.body)
+}
+
+#[test]
+fn supplied_trace_id_is_echoed_and_replayable() {
+    let (server, _serving) = util::serving_server(6, ServerConfig::default());
+    let mut c = util::client(&server);
+    let id = "00000000000000010000000000000002";
+    let resp = c
+        .request(
+            "POST",
+            "/search",
+            &[("x-lcdd-trace-id", id)],
+            &search_body(&[series(1)], 3),
+        )
+        .expect("search");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.header("x-lcdd-trace-id"), Some(id));
+
+    let spans = fetch_spans(&mut c, id);
+    let stages: Vec<String> = spans.iter().filter_map(|s| field_str(s, "stage")).collect();
+    for want in [
+        "request",
+        "parse",
+        "queue_wait",
+        "await",
+        "serialize",
+        "batch_member",
+    ] {
+        assert!(
+            stages.iter().any(|s| s == want),
+            "stage {want} missing from {stages:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn minted_trace_id_round_trips_and_feeds_the_slow_log() {
+    let (server, _serving) = util::serving_server(5, ServerConfig::default());
+    let mut c = util::client(&server);
+    let resp = c
+        .request("POST", "/search", &[], &search_body(&[series(2)], 3))
+        .expect("search");
+    assert_eq!(resp.status, 200);
+    let id = resp
+        .header("x-lcdd-trace-id")
+        .expect("minted trace id")
+        .to_string();
+    assert_eq!(id.len(), 32, "trace id must be 32 hex chars: {id}");
+    assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    let spans = fetch_spans(&mut c, &id);
+    assert!(!spans.is_empty());
+
+    let slow = c
+        .request("GET", "/debug/slow?n=8", &[], "")
+        .expect("slow log");
+    assert_eq!(slow.status, 200);
+    assert!(slow.body.contains(&id), "slow log must list the trace");
+    assert!(slow.body.contains("\"ring\":{\"recorded\":"));
+    server.shutdown();
+}
+
+#[test]
+fn bad_and_unknown_trace_ids_are_typed_errors() {
+    let (server, _serving) = util::serving_server(4, ServerConfig::default());
+    let mut c = util::client(&server);
+    let bad = c
+        .request("GET", "/debug/trace/not-hex", &[], "")
+        .expect("bad id");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("invalid_trace_id"));
+    let unknown = c
+        .request(
+            "GET",
+            "/debug/trace/deadbeefdeadbeefdeadbeefdeadbeef",
+            &[],
+            "",
+        )
+        .expect("unknown id");
+    assert_eq!(unknown.status, 404);
+    assert!(unknown.body.contains("trace_not_found"));
+    server.shutdown();
+}
+
+#[test]
+fn tracing_off_suppresses_trace_ids() {
+    let cfg = ServerConfig {
+        tracing: false,
+        ..ServerConfig::default()
+    };
+    let (server, _serving) = util::serving_server(4, cfg);
+    let mut c = util::client(&server);
+    let resp = c
+        .request("POST", "/search", &[], &search_body(&[series(1)], 2))
+        .expect("search");
+    assert_eq!(resp.status, 200);
+    assert!(resp.header("x-lcdd-trace-id").is_none());
+    server.shutdown();
+}
+
+/// The accounting contract: the root request span's direct children
+/// (parse → await → serialize) are contiguous measured intervals, so
+/// their durations must sum to the root duration within 10%.
+#[test]
+fn direct_children_account_for_the_request_within_ten_percent() {
+    let (server, _serving) = util::serving_server(6, ServerConfig::default());
+    let mut c = util::client(&server);
+    // Warm the path once so lazy initialization doesn't land inside the
+    // measured request.
+    let warm = c
+        .request("POST", "/search", &[], &search_body(&[series(0)], 3))
+        .expect("warmup");
+    assert_eq!(warm.status, 200);
+
+    let id = "0000000000000003000000000000000a";
+    let resp = c
+        .request(
+            "POST",
+            "/search",
+            &[("x-lcdd-trace-id", id)],
+            &search_body_with(&[series(1), series(2)], 5, Some("none")),
+        )
+        .expect("search");
+    assert_eq!(resp.status, 200);
+
+    let spans = fetch_spans(&mut c, id);
+    let root = spans
+        .iter()
+        .find(|s| field_str(s, "stage").as_deref() == Some("request"))
+        .expect("root span");
+    let root_id = field_u64(root, "id").expect("root id");
+    let root_dur = field_u64(root, "dur_ns").expect("root dur");
+    assert!(field_u64(root, "parent") == Some(0));
+
+    let child_sum: u64 = spans
+        .iter()
+        .filter(|s| field_u64(s, "parent") == Some(root_id))
+        .filter_map(|s| field_u64(s, "dur_ns"))
+        .sum();
+    assert!(
+        child_sum <= root_dur,
+        "children ({child_sum} ns) cannot exceed the root ({root_dur} ns)"
+    );
+    assert!(
+        child_sum * 10 >= root_dur * 9,
+        "children cover {child_sum} of {root_dur} ns — more than 10% unaccounted"
+    );
+    server.shutdown();
+}
+
+/// Under coalescing, each member trace carries a `batch_member` span
+/// linking to the shared batch trace, whose own tree holds the engine
+/// stages (encode → candidate_gen → exact_score → merge).
+#[test]
+fn member_traces_link_to_a_batch_trace_with_engine_stages() {
+    let (server, _serving) = util::serving_server(8, ServerConfig::default());
+    let addr = server.addr();
+
+    // Concurrent traced searches so the window has something to coalesce.
+    let done = Arc::new(AtomicUsize::new(0));
+    let ids: Vec<String> = (0..4)
+        .map(|i| format!("00000000000000{i:02x}00000000000000ff"))
+        .collect();
+    let handles: Vec<_> = ids
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, id)| {
+            let done = Arc::clone(&done);
+            // Distinct queries per thread: identical queries would be
+            // deduplicated in-flight or served from the query cache,
+            // leaving later batch traces with a `cache_hit` span instead
+            // of the engine pipeline this test asserts on.
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(addr).expect("connect");
+                let resp = c
+                    .request(
+                        "POST",
+                        "/search",
+                        &[("x-lcdd-trace-id", &id)],
+                        &search_body(&[series(3 + i)], 3),
+                    )
+                    .expect("search");
+                assert_eq!(resp.status, 200);
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("searcher thread");
+    }
+    assert_eq!(done.load(Ordering::SeqCst), 4);
+
+    let mut c = util::client(&server);
+    let mut linked = 0;
+    for id in &ids {
+        let spans = fetch_spans(&mut c, id);
+        let member = spans
+            .iter()
+            .find(|s| field_str(s, "stage").as_deref() == Some("batch_member"))
+            .expect("batch_member span");
+        let link = field_str(member, "link").expect("batch link");
+        let batch_spans = fetch_spans(&mut c, &link);
+        let batch_stages: Vec<String> = batch_spans
+            .iter()
+            .filter_map(|s| field_str(s, "stage"))
+            .collect();
+        assert!(
+            batch_stages.iter().any(|s| s == "batch"),
+            "{batch_stages:?}"
+        );
+        for want in ["encode", "candidate_gen", "exact_score", "merge"] {
+            assert!(
+                batch_stages.iter().any(|s| s == want),
+                "stage {want} missing from batch trace {batch_stages:?}"
+            );
+        }
+        linked += 1;
+    }
+    assert_eq!(linked, 4);
+    server.shutdown();
+}

@@ -62,6 +62,7 @@ use lcdd_table::Table;
 
 use crate::codec::{read_framed, sync_dir, write_framed, wstr, wu64, SliceReader};
 use crate::fault::{FaultHook, FaultPoint};
+use crate::instruments;
 use crate::manifest::{
     latest_manifest, latest_manifest_impl, read_manifest, write_manifest, Manifest, MANIFEST_PREFIX,
 };
@@ -387,6 +388,7 @@ impl DurableEngine {
         dir: impl AsRef<Path>,
         opts: StoreOptions,
     ) -> Result<(DurableEngine, RecoveryReport), EngineError> {
+        let recovery_start = std::time::Instant::now();
         let dir = dir.as_ref().to_path_buf();
         let (_, manifest, fallback) = latest_manifest_impl(&dir)?.ok_or_else(|| {
             EngineError::Store(format!("{}: no manifest (not a store?)", dir.display()))
@@ -447,6 +449,9 @@ impl DurableEngine {
         };
         let bytes_since = scan.valid_len - manifest.wal_offset;
         let ops_since = scan.records.len() as u64;
+        instruments::recoveries_total().inc();
+        instruments::replayed_records().set(report.replayed_ops as u64);
+        instruments::recovery_ms().set(recovery_start.elapsed().as_millis() as u64);
         Ok((
             DurableEngine {
                 serving: ServingEngine::new(engine),
@@ -720,7 +725,24 @@ impl DurableEngine {
         self.checkpoint_locked(&mut inner)
     }
 
+    /// Instrumented wrapper around the checkpoint body: counts
+    /// successes/failures and records duration and bytes written into the
+    /// process-wide registry.
     fn checkpoint_locked(&self, inner: &mut StoreInner) -> Result<CheckpointStats, EngineError> {
+        let start = std::time::Instant::now();
+        let out = self.checkpoint_body(inner);
+        match &out {
+            Ok(stats) => {
+                instruments::checkpoints_total().inc();
+                instruments::checkpoint_bytes_written_total().add(stats.bytes_written);
+                instruments::checkpoint_duration_ms().record(start.elapsed().as_millis() as u64);
+            }
+            Err(_) => instruments::checkpoint_failures_total().inc(),
+        }
+        out
+    }
+
+    fn checkpoint_body(&self, inner: &mut StoreInner) -> Result<CheckpointStats, EngineError> {
         let state = self.serving.snapshot();
         let epoch = state.epoch();
         let shards = state.shards();
@@ -790,6 +812,7 @@ impl DurableEngine {
         };
         write_manifest(&self.dir, &manifest, &self.opts.fault)?;
         inner.wal = new_wal;
+        instruments::wal_rotations_total().inc();
         inner.ops_since = 0;
         inner.bytes_since = 0;
         inner.current = manifest;

@@ -51,6 +51,7 @@ pub mod manifest;
 pub mod wal;
 
 mod codec;
+mod instruments;
 
 pub use bulk::create_bulk;
 pub use durable::{

@@ -50,12 +50,16 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use lcdd_engine::persist::fnv1a64;
 use lcdd_fcm::EngineError;
+use lcdd_obs::registry::{Counter, Histogram};
 
 use crate::codec::{wf64, wu64, SliceReader};
 use crate::fault::{FaultDecision, FaultHook, FaultPlan, FaultPoint};
+use crate::instruments;
 
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"LCDDWAL1";
 pub(crate) const WAL_VERSION: u32 = 1;
@@ -209,6 +213,13 @@ pub struct WalWriter {
     poisoned: bool,
     /// Injected-failure schedule (tests only; `None` in production).
     fault: FaultHook,
+    /// Process-wide append-latency histogram, held as a field so the hot
+    /// append path never touches the registry lock.
+    append_ns: Arc<Histogram>,
+    /// Process-wide `fdatasync`-latency histogram.
+    fsync_ns: Arc<Histogram>,
+    /// Process-wide count of records durably appended.
+    appends: Arc<Counter>,
 }
 
 impl WalWriter {
@@ -225,6 +236,9 @@ impl WalWriter {
             sync,
             poisoned: false,
             fault: None,
+            append_ns: instruments::wal_append_ns(),
+            fsync_ns: instruments::wal_fsync_ns(),
+            appends: instruments::wal_appends_total(),
         })
     }
 
@@ -249,6 +263,9 @@ impl WalWriter {
             sync,
             poisoned: false,
             fault: None,
+            append_ns: instruments::wal_append_ns(),
+            fsync_ns: instruments::wal_fsync_ns(),
+            appends: instruments::wal_appends_total(),
         })
     }
 
@@ -294,6 +311,7 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        let append_start = Instant::now();
         // Consult the fault schedule (tests only): a `Fail` decision
         // errors before any byte is written; a `ShortWrite` lands a
         // prefix of the frame — the torn shape a crash leaves — and then
@@ -315,7 +333,12 @@ impl WalWriter {
                         .as_deref()
                         .map(|p| p.consult(FaultPoint::WalSync))
                     {
-                        None | Some(FaultDecision::Proceed) => self.file.sync_data(),
+                        None | Some(FaultDecision::Proceed) => {
+                            let fsync_start = Instant::now();
+                            let synced = self.file.sync_data();
+                            self.fsync_ns.record_duration(fsync_start.elapsed());
+                            synced
+                        }
                         Some(_) => Err(FaultPlan::injected_error(FaultPoint::WalSync)),
                     }
                 } else {
@@ -336,6 +359,8 @@ impl WalWriter {
             return Err(EngineError::Wal(format!("append failed: {e}")));
         }
         self.len += frame.len() as u64;
+        self.append_ns.record_duration(append_start.elapsed());
+        self.appends.inc();
         Ok(self.len)
     }
 }

@@ -58,6 +58,16 @@ thread_local! {
 /// tests and thread-sweep harnesses.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Parallel map/chunk invocations executed (monotone, relaxed). Scraped
+/// by the gateway's telemetry registry as `lcdd_pool_tasks`.
+static TASKS: AtomicUsize = AtomicUsize::new(0);
+
+/// Parallel invocations executed so far ([`par_map`] and the chunked
+/// variants each count one, whether they ran fanned-out or serial).
+pub fn tasks_executed() -> u64 {
+    TASKS.load(Ordering::Relaxed) as u64
+}
+
 pub(crate) fn detect_threads() -> usize {
     if let Ok(v) = std::env::var("LCDD_THREADS") {
         // 0 and garbage both fall through to detection.
@@ -123,6 +133,7 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
 
 /// Like [`par_map`], additionally passing each item's index.
 pub fn par_map_indexed<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    TASKS.fetch_add(1, Ordering::Relaxed);
     let threads = num_threads();
     if threads <= 1 || items.len() <= 1 {
         return items
@@ -184,6 +195,7 @@ pub fn par_chunks_mut<T: Send + Sync>(
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    TASKS.fetch_add(1, Ordering::Relaxed);
     let threads = num_threads();
     if threads <= 1 || data.len() <= chunk_len {
         f(0, data);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lint Prometheus text expositions with the repo's hand-rolled linter
+# (crates/obs/src/promlint.rs — no external tooling, CI runs the same
+# self-test).
+#
+# Usage:
+#   scripts/promlint.sh                  # build + run the linter self-test
+#   scripts/promlint.sh <file>           # lint a saved exposition
+#   scripts/promlint.sh <host>:<port>    # scrape a running gateway's
+#                                        # /metrics (Accept: text/plain,
+#                                        # via /dev/tcp — no curl) and lint
+#   scripts/promlint.sh -                # lint stdin
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p lcdd-obs --bin promlint --quiet
+BIN=target/release/promlint
+
+"$BIN" --self-test
+
+case "${1:-}" in
+  "")
+    ;;
+  *:*)
+    host=${1%%:*}
+    port=${1##*:}
+    exec 3<>"/dev/tcp/${host}/${port}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\nAccept: text/plain\r\nConnection: close\r\n\r\n' "$1" >&3
+    # Strip the status line + headers; lint only the exposition body.
+    body=$(awk 'in_body { print } /^\r?$/ { in_body = 1 }' <&3)
+    exec 3<&- 3>&-
+    printf '%s\n' "$body" | "$BIN" -
+    ;;
+  *)
+    "$BIN" "$1"
+    ;;
+esac
